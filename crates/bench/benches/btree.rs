@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the B+-tree substrate: bulk load vs
+//! incremental insert, point lookups, and full leaf scans (the three
+//! operations whose I/O counts the cost model predicts).
+
+use cdpd::storage::{BTree, Pager};
+use cdpd::types::{PageId, Rid, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn entries(n: i64) -> Vec<(Vec<Value>, Rid)> {
+    (0..n)
+        .map(|i| (vec![Value::Int(i)], Rid::new(PageId((i / 200) as u32), (i % 200) as u16)))
+        .collect()
+}
+
+fn bench_build(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("btree_build");
+    group.sample_size(10);
+    for n in [10_000i64, 100_000] {
+        let sorted = entries(n);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            b.iter(|| {
+                BTree::bulk_load(Arc::new(Pager::new()), black_box(sorted.clone())).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
+                for (v, r) in &sorted {
+                    tree.insert(v, *r).unwrap();
+                }
+                tree
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_and_scan(criterion: &mut Criterion) {
+    let tree = BTree::bulk_load(Arc::new(Pager::new()), entries(200_000)).unwrap();
+    let mut group = criterion.benchmark_group("btree_read");
+    group.bench_function("point_seek", |b| {
+        let mut key = 0i64;
+        b.iter(|| {
+            key = (key * 6364136223846793005 + 1442695040888963407) % 200_000;
+            let probe = vec![Value::Int(key.abs())];
+            let mut cur = tree.seek(black_box(&probe)).unwrap();
+            cur.next_entry().unwrap().map(|(_, rid)| rid)
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("full_leaf_scan_200k", |b| {
+        b.iter(|| {
+            let mut cur = tree.scan_all().unwrap();
+            let mut n = 0u64;
+            while cur.next_entry().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup_and_scan);
+criterion_main!(benches);

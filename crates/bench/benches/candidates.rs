@@ -1,0 +1,73 @@
+//! Ablation bench for the §4.1 design choice: full `2^m` configuration
+//! enumeration vs GREEDY-SEQ candidate restriction, as the number of
+//! candidate structures m grows. This is the quantitative version of
+//! the paper's claim that the exponential algorithms are "probably
+//! impractical unless m is very small".
+//!
+//! Both solve the same constrained problem (k = 3); the greedy series
+//! keeps working far past the point where full enumeration blows up.
+
+use cdpd_core::{enumerate_configs, greedy, kaware, Problem, SyntheticOracle};
+use cdpd_types::Cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn c(io: u64) -> Cost {
+    Cost::from_ios(io)
+}
+
+fn oracle(n: usize, m: usize) -> SyntheticOracle {
+    SyntheticOracle::from_fn(
+        n,
+        m,
+        move |stage, cfg| {
+            let want = (stage * m) / n;
+            let width_penalty = 40 * cfg.len().saturating_sub(1) as u64;
+            if cfg.contains(want) {
+                c(15 + width_penalty)
+            } else {
+                c(250 + width_penalty)
+            }
+        },
+        vec![c(30); m],
+        c(1),
+        vec![1; m],
+    )
+}
+
+fn bench_candidate_strategies(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("candidate_strategies");
+    group.sample_size(10);
+    const N: usize = 40;
+    const K: usize = 3;
+    // Full enumeration is O(n·4^m) edges; m = 10 is already ~42M edges
+    // at N = 40 and the whole point is that it stops scaling.
+    for m in [4usize, 6, 8] {
+        let o = oracle(N, m);
+        let problem = Problem::paper_experiment();
+        let full = enumerate_configs(&o, None, None).expect("m <= 20");
+        group.bench_with_input(
+            BenchmarkId::new("full_enumeration", m),
+            &m,
+            |b, _| {
+                b.iter(|| kaware::solve(&o, &problem, black_box(&full), K).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy_restricted", m), &m, |b, _| {
+            b.iter(|| greedy::solve(&o, &problem, black_box(K)).unwrap())
+        });
+    }
+    // Greedy alone where full enumeration is already hopeless.
+    {
+        let m = 14usize;
+        let o = oracle(N, m);
+        let problem = Problem::paper_experiment();
+        group.bench_with_input(BenchmarkId::new("greedy_restricted", m), &m, |b, _| {
+            b.iter(|| greedy::solve(&o, &problem, black_box(K)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_strategies);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks for the execution engine and the what-if
+//! optimizer: the access-path costs the whole reproduction stands on
+//! (seek ≪ index-only scan < sequential scan), and the throughput of
+//! what-if estimation (which bounds advisor scalability).
+
+use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
+use cdpd::sql::SelectStmt;
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd_bench::{build_database, paper_structures, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ROWS: i64 = 50_000;
+
+fn db_with_indexes() -> Database {
+    let scale = Scale { rows: ROWS, window_len: 500, seed: 5 };
+    let mut db = build_database(&scale);
+    db.create_index(&IndexSpec::new("t", &["a", "b"])).expect("builds");
+    db.create_index(&IndexSpec::new("t", &["c"])).expect("builds");
+    db
+}
+
+/// Measured cost of each access path on the same data.
+fn bench_access_paths(criterion: &mut Criterion) {
+    let db = db_with_indexes();
+    let mut group = criterion.benchmark_group("access_paths");
+    group.sample_size(20);
+    // Seek through I(a,b) on its leading column.
+    group.bench_function("index_seek", |b| {
+        let q = SelectStmt::point("t", "a", 777);
+        b.iter(|| db.query_count(black_box(&q)).unwrap().count)
+    });
+    // Covering index-only scan of I(a,b) for a b-query.
+    group.bench_function("index_only_scan", |b| {
+        let q = SelectStmt::point("t", "b", 777);
+        b.iter(|| db.query_count(black_box(&q)).unwrap().count)
+    });
+    // Full heap scan for the unindexed column.
+    group.bench_function("seq_scan", |b| {
+        let q = SelectStmt::point("t", "d", 777);
+        b.iter(|| db.query_count(black_box(&q)).unwrap().count)
+    });
+    group.finish();
+}
+
+/// What-if estimation throughput: one EXEC estimate = one planner run
+/// over hypothetical index shapes.
+fn bench_whatif(criterion: &mut Criterion) {
+    let scale = Scale { rows: ROWS, window_len: 500, seed: 5 };
+    let db = build_database(&scale);
+    let whatif = WhatIfEngine::snapshot(&db, "t").expect("analyzed");
+    let structures = paper_structures();
+    let q = SelectStmt::point("t", "b", 123);
+    let mut group = criterion.benchmark_group("whatif");
+    group.bench_function("exec_cost_6_indexes", |b| {
+        b.iter(|| whatif.exec_cost(black_box(&q), black_box(&structures)).unwrap())
+    });
+    group.bench_function("trans_cost", |b| {
+        b.iter(|| whatif.trans_cost(black_box(&structures[..2]), black_box(&structures[2..])).unwrap())
+    });
+    group.finish();
+}
+
+/// Online index build (CREATE INDEX: scan + sort + bulk load) — the
+/// real TRANS cost of a design change.
+fn bench_ddl(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("ddl");
+    group.sample_size(10);
+    group.bench_function("create_drop_index_10k", |b| {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![ColumnDef::int("a"), ColumnDef::int("b")]),
+        )
+        .unwrap();
+        for i in 0..10_000i64 {
+            db.insert("t", &[Value::Int(i % 2_000), Value::Int(i)]).unwrap();
+        }
+        db.analyze("t").unwrap();
+        let spec = IndexSpec::new("t", &["a"]);
+        b.iter(|| {
+            db.create_index(black_box(&spec)).unwrap();
+            db.drop_index(&spec).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_paths, bench_whatif, bench_ddl);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for the design optimizers — the Figure 4
+//! companion, plus the §6.4 hybrid ablation.
+//!
+//! Uses a synthetic cost oracle (deterministic tables, no what-if
+//! machinery) so the numbers isolate pure solver work. The instance
+//! family mirrors the paper's workloads: phased preferences with minor
+//! fluctuations, `m` structures, ≤1-structure configurations.
+
+use cdpd_core::{
+    enumerate_configs, hybrid, kaware, merging, ranking, seqgraph, Config, Problem,
+    SyntheticOracle,
+};
+use cdpd_types::Cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn c(io: u64) -> Cost {
+    Cost::from_ios(io)
+}
+
+/// W-style phased oracle: `phases` phases over `n` stages, minor
+/// fluctuation every other stage, `m` structures.
+fn phased(n: usize, m: usize, phases: usize) -> SyntheticOracle {
+    SyntheticOracle::from_fn(
+        n,
+        m,
+        move |stage, cfg| {
+            let phase = (stage * phases) / n;
+            let preferred = phase % m;
+            let minor = (preferred + 1) % m;
+            let want = if stage % 2 == 1 { minor } else { preferred };
+            if cfg.contains(want) {
+                c(20)
+            } else if cfg.contains(preferred) {
+                c(120)
+            } else {
+                c(300)
+            }
+        },
+        vec![c(25); m],
+        c(1),
+        vec![1; m],
+    )
+}
+
+fn instance(n: usize) -> (SyntheticOracle, Problem, Vec<Config>) {
+    let oracle = phased(n, 6, 3);
+    let problem = Problem::paper_experiment();
+    let candidates = enumerate_configs(&oracle, None, Some(1)).expect("small m");
+    (oracle, problem, candidates)
+}
+
+/// Solver runtime vs change budget k (the Figure 4 series).
+fn bench_vs_k(criterion: &mut Criterion) {
+    let (oracle, problem, candidates) = instance(120);
+    let unconstrained = seqgraph::solve(&oracle, &problem, &candidates).expect("feasible");
+    let mut group = criterion.benchmark_group("optimizer_vs_k");
+    for k in [2usize, 6, 10, 14, 18] {
+        group.bench_with_input(BenchmarkId::new("kaware", k), &k, |b, &k| {
+            b.iter(|| kaware::solve(&oracle, &problem, &candidates, black_box(k)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("merging", k), &k, |b, &k| {
+            b.iter(|| {
+                merging::refine(&oracle, &problem, &candidates, black_box(k), &unconstrained)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", k), &k, |b, &k| {
+            b.iter(|| hybrid::solve(&oracle, &problem, &candidates, black_box(k)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Solver runtime vs workload length n at fixed k.
+fn bench_vs_n(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("optimizer_vs_n");
+    for n in [30usize, 120, 480] {
+        let (oracle, problem, candidates) = instance(n);
+        group.bench_with_input(BenchmarkId::new("unconstrained", n), &n, |b, _| {
+            b.iter(|| seqgraph::solve(&oracle, &problem, &candidates).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("kaware_k4", n), &n, |b, _| {
+            b.iter(|| kaware::solve(&oracle, &problem, &candidates, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ranking in its friendly regime (k close to l), with the k-aware
+/// graph on the same point for comparison.
+fn bench_ranking_easy(criterion: &mut Criterion) {
+    let (oracle, problem, candidates) = instance(60);
+    let l = seqgraph::solve(&oracle, &problem, &candidates).unwrap().changes;
+    let k = l.saturating_sub(1);
+    let mut group = criterion.benchmark_group("ranking_near_l");
+    group.bench_function("ranking", |b| {
+        b.iter(|| ranking::solve(&oracle, &problem, &candidates, k, 1_000_000).unwrap())
+    });
+    group.bench_function("kaware", |b| {
+        b.iter(|| kaware::solve(&oracle, &problem, &candidates, k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vs_k, bench_vs_n, bench_ranking_easy
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates **Table 2** of the paper: the dynamic workloads W1/W2/W3
+//! and the physical designs recommended for W1 by the unconstrained
+//! (`k = ∞`) and constrained (`k = 2`) advisors, one row per
+//! 500-query window.
+//!
+//! Expected reproduction (paper's Table 2): the unconstrained column
+//! alternates with every minor shift (I(a,b) ↔ I(b) in phases 1/3,
+//! I(c,d) ↔ I(d) in phase 2); the k = 2 column holds I(a,b) / I(c,d) /
+//! I(a,b) across the three phases.
+//!
+//! ```sh
+//! cargo run --release -p cdpd-bench --bin table2 [--rows N] [--full]
+//! ```
+
+use cdpd::workload::{generate, paper};
+use cdpd::{Advisor, AdvisorOptions, Algorithm, Recommendation};
+use cdpd_bench::{build_database, paper_structures, Scale};
+
+fn design_label(rec: &Recommendation, window: usize) -> String {
+    let specs = rec.specs_at(window);
+    if specs.is_empty() {
+        "-".to_owned()
+    } else {
+        specs
+            .iter()
+            .map(|s| s.display_short())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("building database: {} rows ...", scale.rows);
+    let db = build_database(&scale);
+    let params = scale.params();
+
+    eprintln!("generating workloads and solving ...");
+    let w1 = generate(&paper::w1_with(&params), scale.seed);
+    let opts = |k| AdvisorOptions {
+        k,
+        window_len: scale.window_len,
+        structures: Some(paper_structures()),
+        max_structures_per_config: Some(1),
+        end_empty: true,
+        algorithm: Algorithm::KAware,
+        ..Default::default()
+    };
+    let unc = Advisor::new(&db, "t").options(opts(None)).recommend(&w1).expect("advisor");
+    let k2 = Advisor::new(&db, "t").options(opts(Some(2))).recommend(&w1).expect("advisor");
+
+    let w = scale.window_len;
+    println!("Table 2: Dynamic Workloads and Physical Designs");
+    println!("(window = {w} queries, {} rows, domain {})\n", scale.rows, scale.domain());
+    println!(
+        "{:>15} | {:^4} | {:^8} | {:^8} | {:^4} | {:^4}",
+        "query number", "W1", "k = inf", "k = 2", "W2", "W3"
+    );
+    println!("{}", "-".repeat(60));
+    for i in 0..30 {
+        println!(
+            "{:>15} | {:^4} | {:^8} | {:^8} | {:^4} | {:^4}",
+            format!("{}-{}", i * w + 1, (i + 1) * w),
+            paper::W1_PATTERN[i],
+            design_label(&unc, i),
+            design_label(&k2, i),
+            paper::W2_PATTERN[i],
+            paper::W3_PATTERN[i],
+        );
+    }
+
+    println!("\nunconstrained: {}", unc.schedule);
+    println!("k = 2:         {}", k2.schedule);
+    println!("\nk = 2 cost breakdown:");
+    print!("{}", k2.render_with(&db, &w1).expect("render"));
+    println!(
+        "\npaper expectation: k=inf column tracks minor shifts \
+         (I(a,b)/I(b), I(c,d)/I(d)); k=2 column is I(a,b) | I(c,d) | I(a,b)."
+    );
+}

@@ -1,0 +1,139 @@
+//! Shared scaffolding for the experiment regenerators and criterion
+//! benches: the paper's experimental database, the §6.1 design space,
+//! and a tiny CLI-argument helper so every binary supports
+//! `--rows N --window N --seed N` (and `--full` for paper scale).
+
+#![warn(missing_docs)]
+
+use cdpd::engine::{Database, IndexSpec};
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd::workload::paper::PaperParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows per distinct column value (paper: 2.5M rows / 500k values).
+pub const ROWS_PER_VALUE: i64 = 5;
+
+/// Experiment scale, parsed from command-line arguments.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Table rows.
+    pub rows: i64,
+    /// Queries per window (problem stage).
+    pub window_len: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        // Default scale keeps every regenerator under ~a minute in
+        // release mode while preserving all the paper's cost orderings.
+        Scale { rows: 100_000, window_len: 500, seed: 42 }
+    }
+}
+
+impl Scale {
+    /// The paper's scale: 2.5M rows, 500-query windows.
+    pub fn paper() -> Scale {
+        Scale { rows: 2_500_000, window_len: 500, seed: 42 }
+    }
+
+    /// Parse `--rows N`, `--window N`, `--seed N`, `--full` from argv.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => scale = Scale::paper(),
+                "--rows" => {
+                    i += 1;
+                    scale.rows = args[i].parse().expect("--rows takes an integer");
+                }
+                "--window" => {
+                    i += 1;
+                    scale.window_len = args[i].parse().expect("--window takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    scale.seed = args[i].parse().expect("--seed takes an integer");
+                }
+                other => panic!("unknown argument {other}; known: --full --rows --window --seed"),
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// The predicate value domain at this scale.
+    pub fn domain(&self) -> i64 {
+        (self.rows / ROWS_PER_VALUE).max(1)
+    }
+
+    /// Paper workload parameters at this scale.
+    pub fn params(&self) -> PaperParams {
+        PaperParams {
+            table: "t".into(),
+            domain: self.domain(),
+            window_len: self.window_len,
+        }
+    }
+}
+
+/// Build and analyze the §6.1 table: four uniform integer columns.
+pub fn build_database(scale: &Scale) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )
+    .expect("fresh database");
+    let domain = scale.domain();
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xD1B2_54A3);
+    for _ in 0..scale.rows {
+        let row: Vec<Value> =
+            (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        db.insert("t", &row).expect("row matches schema");
+    }
+    db.analyze("t").expect("table exists");
+    db
+}
+
+/// The §6.1 design space: I(a), I(b), I(c), I(d), I(a,b), I(c,d).
+pub fn paper_structures() -> Vec<IndexSpec> {
+    vec![
+        IndexSpec::new("t", &["a"]),
+        IndexSpec::new("t", &["b"]),
+        IndexSpec::new("t", &["c"]),
+        IndexSpec::new("t", &["d"]),
+        IndexSpec::new("t", &["a", "b"]),
+        IndexSpec::new("t", &["c", "d"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_preserves_rows_per_value() {
+        let s = Scale::default();
+        assert_eq!(s.domain(), s.rows / ROWS_PER_VALUE);
+        assert_eq!(Scale::paper().rows, 2_500_000);
+    }
+
+    #[test]
+    fn database_builds_at_small_scale() {
+        let s = Scale { rows: 2_000, window_len: 50, seed: 1 };
+        let db = build_database(&s);
+        let stats = db.stats("t").unwrap().unwrap();
+        assert_eq!(stats.row_count, 2_000);
+        assert!(stats.columns[0].distinct > 300);
+    }
+}

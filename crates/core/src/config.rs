@@ -1,0 +1,235 @@
+use cdpd_types::{Error, Result};
+use std::fmt;
+
+/// A physical design configuration: a set of candidate structures,
+/// represented as a bitmask over the problem's candidate list.
+///
+/// The paper's design space is the power set of `m` candidate
+/// structures; a bitmask caps `m` at 64, far beyond the point where the
+/// exponential algorithms stop being runnable anyway (§4: *"unless m is
+/// very small, the shortest-path-based algorithms … are probably
+/// impractical"*). Structure indices refer to whatever candidate list
+/// the [`crate::CostOracle`] was built over.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Config(u64);
+
+impl Config {
+    /// The empty configuration (no auxiliary structures).
+    pub const EMPTY: Config = Config(0);
+
+    /// A configuration containing exactly `structure`.
+    pub fn single(structure: usize) -> Config {
+        assert!(structure < 64, "structure index out of range");
+        Config(1 << structure)
+    }
+
+    /// From a raw bitmask.
+    pub const fn from_bits(bits: u64) -> Config {
+        Config(bits)
+    }
+
+    /// The raw bitmask.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `structure` is in this configuration.
+    pub const fn contains(self, structure: usize) -> bool {
+        structure < 64 && (self.0 >> structure) & 1 == 1
+    }
+
+    /// This configuration plus `structure`.
+    pub fn with(self, structure: usize) -> Config {
+        assert!(structure < 64, "structure index out of range");
+        Config(self.0 | (1 << structure))
+    }
+
+    /// This configuration minus `structure`.
+    pub fn without(self, structure: usize) -> Config {
+        assert!(structure < 64, "structure index out of range");
+        Config(self.0 & !(1 << structure))
+    }
+
+    /// Set union.
+    pub const fn union(self, other: Config) -> Config {
+        Config(self.0 | other.0)
+    }
+
+    /// Structures in `self` but not `other` (what must be built to go
+    /// from `other` to `self`).
+    pub const fn minus(self, other: Config) -> Config {
+        Config(self.0 & !other.0)
+    }
+
+    /// Number of structures.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no structures are present.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every structure of `self` is in `other`.
+    pub const fn is_subset_of(self, other: Config) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate the structure indices present, ascending.
+    pub fn structures(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (n, s) in self.structures().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Enumerate every candidate configuration: all subsets of the oracle's
+/// structures that satisfy the space bound and (optionally) a cap on
+/// structures per configuration.
+///
+/// The paper's experiments restrict the design space to "at most one
+/// index" — pass `max_structures = Some(1)` for that regime. Full
+/// enumeration is `O(2^m)` and refused for `m > 20` (at that point use
+/// [`crate::greedy`], which exists precisely because of this wall).
+pub fn enumerate_configs(
+    oracle: &dyn crate::CostOracle,
+    space_bound: Option<u64>,
+    max_structures: Option<usize>,
+) -> Result<Vec<Config>> {
+    let m = oracle.n_structures();
+    if m > 20 {
+        return Err(Error::InvalidArgument(format!(
+            "refusing full 2^{m} configuration enumeration; use greedy candidate selection"
+        )));
+    }
+    let mut out = Vec::new();
+    for bits in 0..(1u64 << m) {
+        let config = Config::from_bits(bits);
+        if let Some(cap) = max_structures {
+            if config.len() > cap {
+                continue;
+            }
+        }
+        if let Some(b) = space_bound {
+            if oracle.size(config) > b {
+                continue;
+            }
+        }
+        out.push(config);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticOracle;
+    use cdpd_types::Cost;
+
+    #[test]
+    fn set_operations() {
+        let c = Config::EMPTY.with(0).with(3);
+        assert!(c.contains(0) && c.contains(3) && !c.contains(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.without(0), Config::single(3));
+        assert_eq!(c.union(Config::single(1)).len(), 3);
+        assert_eq!(c.minus(Config::single(3)), Config::single(0));
+        assert!(Config::single(3).is_subset_of(c));
+        assert!(!c.is_subset_of(Config::single(3)));
+        assert_eq!(c.structures().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Config::EMPTY.to_string(), "{}");
+        assert_eq!(Config::EMPTY.with(1).with(4).to_string(), "{1,4}");
+    }
+
+    fn oracle(m: usize, sizes: Vec<u64>) -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            1,
+            m,
+            |_, _| Cost::from_ios(1),
+            vec![Cost::from_ios(10); m],
+            Cost::from_ios(1),
+            sizes,
+        )
+    }
+
+    #[test]
+    fn enumerate_all_subsets() {
+        let o = oracle(3, vec![1, 1, 1]);
+        let configs = enumerate_configs(&o, None, None).unwrap();
+        assert_eq!(configs.len(), 8);
+    }
+
+    #[test]
+    fn enumerate_with_structure_cap() {
+        // The paper's "at most one index" regime: m singletons + empty.
+        let o = oracle(6, vec![1; 6]);
+        let configs = enumerate_configs(&o, None, Some(1)).unwrap();
+        assert_eq!(configs.len(), 7);
+    }
+
+    #[test]
+    fn enumerate_with_space_bound() {
+        let o = oracle(3, vec![5, 7, 100]);
+        let configs = enumerate_configs(&o, Some(12), None).unwrap();
+        // {}, {0}, {1}, {0,1} fit; anything with structure 2 does not.
+        assert_eq!(configs.len(), 4);
+        assert!(configs.iter().all(|c| !c.contains(2)));
+    }
+
+    #[test]
+    fn enumerate_refuses_huge_m() {
+        struct Wide;
+        impl crate::CostOracle for Wide {
+            fn n_stages(&self) -> usize {
+                1
+            }
+            fn n_structures(&self) -> usize {
+                21
+            }
+            fn exec(&self, _: usize, _: Config) -> Cost {
+                Cost::ZERO
+            }
+            fn trans(&self, _: Config, _: Config) -> Cost {
+                Cost::ZERO
+            }
+            fn size(&self, _: Config) -> u64 {
+                0
+            }
+        }
+        assert!(enumerate_configs(&Wide, None, None).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The *k-aware sequence graph*: the paper's optimal solution to the
+//! constrained problem (§3).
+//!
+//! The sequence graph is replicated into `k + 1` *layers*; a node
+//! `(stage, config, layer)` means "statement `stage` runs under
+//! `config` after exactly `layer` design changes so far". Staying in a
+//! configuration moves horizontally within a layer; changing
+//! configuration descends one layer. Paths through the layered graph
+//! are exactly the dynamic designs with at most `k` changes, so the
+//! shortest path is the constrained optimum — `O(k·n·4^m)` time with
+//! full enumeration (the paper's `O(k·n·2^{2m})`).
+
+use crate::config::Config;
+use crate::problem::{CostOracle, Problem};
+use crate::schedule::Schedule;
+use crate::seqgraph::usable_candidates;
+use cdpd_graph::{Dag, NodeId};
+use cdpd_types::{Cost, Error, Result};
+
+/// Optimal design with at most `k` changes over `candidates`.
+#[allow(clippy::needless_range_loop)] // layer indexes three parallel structures; a range is clearer
+pub fn solve(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+    k: usize,
+) -> Result<Schedule> {
+    let candidates = usable_candidates(oracle, problem, candidates)?;
+    let n = oracle.n_stages();
+    let ncand = candidates.len();
+    let layers = k + 1;
+
+    // Node ids per (stage, candidate, layer); source first so edges are
+    // forward in insertion order.
+    let mut dag: Dag<Option<(usize, usize)>> =
+        Dag::with_capacity(n * ncand * layers + 2);
+    let source = dag.add_node(None, Cost::ZERO);
+    // nodes[stage][cand][layer]
+    let mut nodes: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(n);
+    for stage in 0..n {
+        let mut per_cand = Vec::with_capacity(ncand);
+        for (ci, &cfg) in candidates.iter().enumerate() {
+            let exec = oracle.exec(stage, cfg);
+            let per_layer: Vec<NodeId> =
+                (0..layers).map(|_| dag.add_node(Some((stage, ci)), exec)).collect();
+            per_cand.push(per_layer);
+        }
+        nodes.push(per_cand);
+    }
+    let dest = dag.add_node(None, Cost::ZERO);
+
+    // Source edges: entering `C_1 = c` lands on layer 0, unless the
+    // initial build counts as a change (strict Definition 1 mode).
+    for (ci, &cfg) in candidates.iter().enumerate() {
+        let layer = if cfg != problem.initial && problem.count_initial_change { 1 } else { 0 };
+        if layer >= layers {
+            continue; // k = 0 in strict mode: only the initial config enters
+        }
+        dag.add_edge(source, nodes[0][ci][layer], oracle.trans(problem.initial, cfg));
+    }
+
+    // Stage-to-stage edges.
+    for stage in 0..n.saturating_sub(1) {
+        for (ai, &a) in candidates.iter().enumerate() {
+            for (bi, &b) in candidates.iter().enumerate() {
+                if ai == bi {
+                    for layer in 0..layers {
+                        dag.add_edge(
+                            nodes[stage][ai][layer],
+                            nodes[stage + 1][bi][layer],
+                            Cost::ZERO,
+                        );
+                    }
+                } else {
+                    let trans = oracle.trans(a, b);
+                    for layer in 0..layers.saturating_sub(1) {
+                        dag.add_edge(
+                            nodes[stage][ai][layer],
+                            nodes[stage + 1][bi][layer + 1],
+                            trans,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Destination edges: the closing transition (to the pinned final
+    // configuration, if any) does not consume change budget.
+    for (ci, &cfg) in candidates.iter().enumerate() {
+        let w = match problem.final_config {
+            Some(f) => oracle.trans(cfg, f),
+            None => Cost::ZERO,
+        };
+        for layer in 0..layers {
+            dag.add_edge(nodes[n - 1][ci][layer], dest, w);
+        }
+    }
+
+    let sp = dag
+        .shortest_path(source, dest)
+        .ok_or_else(|| Error::Infeasible(format!("no design with at most {k} changes")))?;
+    let configs: Vec<Config> = sp
+        .nodes
+        .iter()
+        .filter_map(|&node| dag.payload(node).map(|(_, ci)| candidates[ci]))
+        .collect();
+    let schedule = Schedule::evaluate(oracle, problem, configs);
+    debug_assert_eq!(schedule.total_cost(), sp.cost, "graph and evaluator disagree");
+    debug_assert!(schedule.changes <= k, "layering must enforce the change budget");
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use crate::problem::SyntheticOracle;
+    use crate::seqgraph;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// W1-like: three phases, each preferring a different structure;
+    /// minor fluctuations inside each phase.
+    fn phased_oracle() -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            12,
+            3,
+            |stage, cfg| {
+                let phase = stage / 4;
+                let fluctuation = stage % 2 == 1;
+                let preferred = phase;
+                let minor = (phase + 1) % 3;
+                let want = if fluctuation { minor } else { preferred };
+                if cfg.contains(want) {
+                    c(20)
+                } else if cfg.contains(preferred) {
+                    c(40)
+                } else {
+                    c(200)
+                }
+            },
+            vec![c(30); 3],
+            c(1),
+            vec![1; 3],
+        )
+    }
+
+    #[test]
+    fn k_bounds_are_respected_and_cost_is_monotone() {
+        let o = phased_oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let unconstrained = seqgraph::solve(&o, &p, &cands).unwrap();
+        let mut prev_cost = None;
+        for k in 0..=unconstrained.changes + 1 {
+            let s = solve(&o, &p, &cands, k).unwrap();
+            s.validate(&o, &p, Some(k)).unwrap();
+            if let Some(prev) = prev_cost {
+                assert!(s.total_cost() <= prev, "more budget can never hurt");
+            }
+            prev_cost = Some(s.total_cost());
+        }
+        // With enough budget the constrained optimum IS the optimum.
+        let full = solve(&o, &p, &cands, unconstrained.changes).unwrap();
+        assert_eq!(full.total_cost(), unconstrained.total_cost());
+    }
+
+    #[test]
+    fn k2_tracks_major_shifts_only() {
+        let o = phased_oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = solve(&o, &p, &cands, 2).unwrap();
+        assert_eq!(s.changes, 2);
+        let segs = s.segments();
+        assert_eq!(segs.len(), 3, "one segment per phase: {s}");
+        // Each phase settles on its preferred structure.
+        assert!(segs[0].1.contains(0));
+        assert!(segs[1].1.contains(1));
+        assert!(segs[2].1.contains(2));
+    }
+
+    #[test]
+    fn matches_brute_force_under_constraint() {
+        let o = SyntheticOracle::from_fn(
+            4,
+            2,
+            |stage, cfg| c((stage as u64 * 13 + cfg.bits() * 29) % 47 + 1),
+            vec![c(7), c(11)],
+            c(1),
+            vec![1, 1],
+        );
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        for k in 0..4 {
+            let got = solve(&o, &p, &cands, k).unwrap();
+            let mut best: Option<Cost> = None;
+            // Brute force all 4^4 schedules with ≤ k changes.
+            let idx = 0..cands.len();
+            for a in idx.clone() {
+                for b in idx.clone() {
+                    for cc in idx.clone() {
+                        for d in idx.clone() {
+                            let cfgs = vec![cands[a], cands[b], cands[cc], cands[d]];
+                            let s = Schedule::evaluate(&o, &p, cfgs);
+                            if s.changes <= k
+                                && best.is_none_or(|x| s.total_cost() < x)
+                            {
+                                best = Some(s.total_cost());
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(got.total_cost(), best.unwrap(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_freezes_the_design() {
+        let o = phased_oracle();
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = solve(&o, &p, &cands, 0).unwrap();
+        assert_eq!(s.changes, 0);
+        assert_eq!(s.segments().len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_charges_the_initial_build() {
+        let o = phased_oracle();
+        let p = Problem { count_initial_change: true, ..Problem::default() };
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        // k = 0 in strict mode: must stay in the (empty) initial config.
+        let s = solve(&o, &p, &cands, 0).unwrap();
+        assert!(s.configs.iter().all(|cfg| *cfg == Config::EMPTY));
+        // k = 1 buys exactly the initial build.
+        let s = solve(&o, &p, &cands, 1).unwrap();
+        assert!(s.changes <= 1);
+        let loose = solve(
+            &o,
+            &Problem::default(),
+            &cands,
+            1,
+        )
+        .unwrap();
+        assert!(
+            loose.total_cost() <= s.total_cost(),
+            "strict counting can only restrict"
+        );
+    }
+
+    #[test]
+    fn large_k_equals_unconstrained() {
+        let o = phased_oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let unc = seqgraph::solve(&o, &p, &cands).unwrap();
+        let k = o.n_stages(); // more budget than stages
+        let s = solve(&o, &p, &cands, k).unwrap();
+        assert_eq!(s.total_cost(), unc.total_cost());
+    }
+}

@@ -1,0 +1,353 @@
+//! Choosing the change budget `k` — the paper's first open question
+//! (§8: *"One question is how to choose an appropriate change
+//! constraint (k)"*).
+//!
+//! Two tools:
+//!
+//! * [`cost_curve`] — the constrained-optimal cost for every `k` in
+//!   `0..=k_max`, computed in parallel (each `k` is an independent
+//!   k-aware solve). The curve is non-increasing and flattens once `k`
+//!   reaches the unconstrained change count.
+//! * [`suggest_k`] — the *knee* of that curve: the smallest `k` whose
+//!   cost is within `tolerance` of the unconstrained optimum. Costs
+//!   stop improving once the budget covers the workload's major trends,
+//!   so the knee sits at "number of major shifts" — exactly the
+//!   domain-knowledge rule of thumb §2 describes (*"choose a value of k
+//!   equal to or a bit larger than the number of anticipated
+//!   fluctuations"*), derived from data instead of domain knowledge.
+
+use crate::config::Config;
+use crate::kaware;
+use crate::problem::{CostOracle, Problem};
+use crate::schedule::Schedule;
+use cdpd_types::{Cost, Error, Result};
+
+/// One point of the cost-vs-k curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KCurvePoint {
+    /// The change budget.
+    pub k: usize,
+    /// Constrained-optimal total cost at this budget.
+    pub cost: Cost,
+    /// Changes the optimal schedule actually used (≤ k).
+    pub changes: usize,
+}
+
+/// Constrained-optimal cost for each `k ∈ 0..=k_max`, solved in
+/// parallel across budgets.
+pub fn cost_curve<O: CostOracle + Sync>(
+    oracle: &O,
+    problem: &Problem,
+    candidates: &[Config],
+    k_max: usize,
+) -> Result<Vec<KCurvePoint>> {
+    let mut results: Vec<Option<Result<KCurvePoint>>> = Vec::new();
+    results.resize_with(k_max + 1, || None);
+    crossbeam::thread::scope(|scope| {
+        for (k, slot) in results.iter_mut().enumerate() {
+            scope.spawn(move |_| {
+                *slot = Some(kaware::solve(oracle, problem, candidates, k).map(|s| {
+                    KCurvePoint { k, cost: s.total_cost(), changes: s.changes }
+                }));
+            });
+        }
+    })
+    .map_err(|_| Error::InvalidArgument("k-sweep worker panicked".into()))?;
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
+}
+
+/// The knee of a cost curve: the smallest `k` whose cost is within
+/// `tolerance` (fractional, e.g. `0.02` = 2%) of the curve's final
+/// (most permissive) cost. Returns `None` for an empty curve.
+///
+/// Sensitive to how far the curve was computed (the "floor" is the last
+/// point); prefer [`suggest_k_elbow`] when the curve has a long slowly
+/// improving tail, which real workloads with minor shifts do.
+pub fn suggest_k(curve: &[KCurvePoint], tolerance: f64) -> Option<usize> {
+    let last = curve.last()?;
+    let floor = last.cost.raw() as f64;
+    curve
+        .iter()
+        .find(|p| (p.cost.raw() as f64) <= floor * (1.0 + tolerance))
+        .map(|p| p.k)
+}
+
+/// Geometric knee detection (kneedle-style): normalize both axes to
+/// `[0, 1]` and return the `k` maximizing the vertical distance *below*
+/// the chord from the first to the last curve point. Robust against
+/// the long flat tail that minor-shift tracking produces: the big drop
+/// at "k = number of major shifts" dominates the chord distance.
+///
+/// Returns `k = 0` for flat curves (no budget buys anything) and `None`
+/// for curves with fewer than two points.
+pub fn suggest_k_elbow(curve: &[KCurvePoint]) -> Option<usize> {
+    if curve.len() < 2 {
+        return curve.first().map(|p| p.k);
+    }
+    let first = curve.first().expect("len checked");
+    let last = curve.last().expect("len checked");
+    let cost_span = first.cost.raw() as f64 - last.cost.raw() as f64;
+    if cost_span <= 0.0 {
+        return Some(first.k); // flat (or rising, impossible) curve
+    }
+    let k_span = (last.k - first.k) as f64;
+    let mut best: Option<(f64, usize)> = None;
+    for p in curve {
+        let x = (p.k - first.k) as f64 / k_span;
+        let y = (first.cost.raw() as f64 - p.cost.raw() as f64) / cost_span;
+        let dist = y - x; // height above the (normalized) chord
+        if best.is_none_or(|(d, _)| dist > d + 1e-12) {
+            best = Some((dist, p.k));
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
+/// One point of a cross-validated k sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RobustPoint {
+    /// The change budget.
+    pub k: usize,
+    /// Cost of the k-optimal schedule on the *training* workload.
+    pub train_cost: Cost,
+    /// Mean cost of that same schedule on the held-out workloads.
+    pub mean_test_cost: Cost,
+}
+
+/// Cross-validated choice of `k` — §6.3 operationalized.
+///
+/// The paper evaluates W1-trained designs on W2 and W3 and finds the
+/// constrained design transfers better. This function turns that
+/// experiment into a selection rule: for each `k`, solve on `train`,
+/// then *re-cost the same schedule* on each held-out oracle (same
+/// candidate-structure indexing; the held-out oracles typically wrap
+/// traces captured on other days). Training cost decreases
+/// monotonically with `k` — held-out cost does not, and its minimum is
+/// the `k` that generalizes.
+pub fn robust_curve<O: CostOracle>(
+    train: &O,
+    holdouts: &[&dyn CostOracle],
+    problem: &Problem,
+    candidates: &[Config],
+    k_max: usize,
+) -> Result<Vec<RobustPoint>> {
+    if holdouts.is_empty() {
+        return Err(Error::InvalidArgument("robust_curve needs held-out workloads".into()));
+    }
+    let mut out = Vec::with_capacity(k_max + 1);
+    for k in 0..=k_max {
+        let schedule = kaware::solve(train, problem, candidates, k)?;
+        let mut total: u128 = 0;
+        for oracle in holdouts {
+            if oracle.n_stages() != train.n_stages() {
+                return Err(Error::InvalidArgument(
+                    "held-out workload has a different stage count".into(),
+                ));
+            }
+            let s = Schedule::evaluate(*oracle, problem, schedule.configs.clone());
+            total += s.total_cost().raw() as u128;
+        }
+        let mean = (total / holdouts.len() as u128) as u64;
+        out.push(RobustPoint {
+            k,
+            train_cost: schedule.total_cost(),
+            mean_test_cost: Cost::from_raw(mean),
+        });
+    }
+    Ok(out)
+}
+
+/// The budget minimizing held-out cost (smallest such `k` on ties).
+pub fn suggest_robust_k(curve: &[RobustPoint]) -> Option<usize> {
+    curve
+        .iter()
+        .min_by(|a, b| {
+            a.mean_test_cost
+                .cmp(&b.mean_test_cost)
+                .then(a.k.cmp(&b.k))
+        })
+        .map(|p| p.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use crate::problem::SyntheticOracle;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// Three phases with minor fluctuations: the knee should be at
+    /// k = 2 (the number of major shifts).
+    fn w1_like() -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            30,
+            3,
+            |stage, cfg| {
+                let phase = stage / 10;
+                let minor = stage % 2 == 1;
+                // Preferred structure per phase: 0, 1, 0 (like A/C/A).
+                let preferred = if phase == 1 { 1 } else { 0 };
+                // Minor fluctuation mildly prefers structure 2.
+                if cfg.contains(preferred) {
+                    if minor { c(60) } else { c(40) }
+                } else if minor && cfg.contains(2) {
+                    c(50)
+                } else {
+                    c(400)
+                }
+            },
+            vec![c(100); 3],
+            c(1),
+            vec![1; 3],
+        )
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let o = w1_like();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let curve = cost_curve(&o, &p, &cands, 8).unwrap();
+        assert_eq!(curve.len(), 9);
+        for w in curve.windows(2) {
+            assert!(w[1].cost <= w[0].cost, "{curve:?}");
+        }
+        for p in &curve {
+            assert!(p.changes <= p.k);
+        }
+    }
+
+    #[test]
+    fn knee_lands_on_major_shift_count() {
+        let o = w1_like();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let curve = cost_curve(&o, &p, &cands, 10).unwrap();
+        let k = suggest_k(&curve, 0.02).unwrap();
+        assert_eq!(k, 2, "two major shifts ⇒ knee at 2: {curve:?}");
+    }
+
+    #[test]
+    fn suggest_k_edge_cases() {
+        assert_eq!(suggest_k(&[], 0.1), None);
+        let flat = [
+            KCurvePoint { k: 0, cost: c(100), changes: 0 },
+            KCurvePoint { k: 1, cost: c(100), changes: 0 },
+        ];
+        assert_eq!(suggest_k(&flat, 0.0), Some(0), "flat curve ⇒ k = 0");
+        let steep = [
+            KCurvePoint { k: 0, cost: c(1000), changes: 0 },
+            KCurvePoint { k: 1, cost: c(100), changes: 1 },
+        ];
+        assert_eq!(suggest_k(&steep, 0.5), Some(1));
+    }
+
+    #[test]
+    fn elbow_detection() {
+        // Big drop at k = 2, slow tail after.
+        let mk = |k: usize, cost: u64| KCurvePoint { k, cost: c(cost), changes: k };
+        let curve = [
+            mk(0, 1000),
+            mk(1, 990),
+            mk(2, 400),
+            mk(3, 395),
+            mk(4, 390),
+            mk(5, 385),
+        ];
+        assert_eq!(suggest_k_elbow(&curve), Some(2));
+        // Flat curve.
+        let flat = [mk(0, 100), mk(1, 100), mk(2, 100)];
+        assert_eq!(suggest_k_elbow(&flat), Some(0));
+        // Degenerate curves.
+        assert_eq!(suggest_k_elbow(&[]), None);
+        assert_eq!(suggest_k_elbow(&[mk(3, 5)]), Some(3));
+    }
+
+    /// Oracle pair for cross-validation: minor fluctuations strongly
+    /// reward structure 2, but on `minor_parity`-indexed stages only —
+    /// the train/holdout pair uses opposite parities (the W1/W3
+    /// construction), so chasing train's fluctuations backfires on the
+    /// holdout.
+    fn fluctuating(minor_parity: usize) -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            30,
+            3,
+            move |stage, cfg| {
+                let phase = stage / 10;
+                let preferred = if phase == 1 { 1 } else { 0 };
+                if stage % 2 == minor_parity {
+                    if cfg.contains(2) {
+                        c(30) // tracking the fluctuation pays on train...
+                    } else if cfg.contains(preferred) {
+                        c(200)
+                    } else {
+                        c(400)
+                    }
+                } else if cfg.contains(preferred) {
+                    c(40)
+                } else {
+                    c(400)
+                }
+            },
+            vec![c(40); 3],
+            c(1),
+            vec![1; 3],
+        )
+    }
+
+    #[test]
+    fn robust_k_prefers_generalizing_budget() {
+        let train = fluctuating(1);
+        let holdout = fluctuating(0);
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&train, None, Some(1)).unwrap();
+        let curve =
+            robust_curve(&train, &[&holdout as &dyn CostOracle], &p, &cands, 10).unwrap();
+        // Training cost is non-increasing in k ...
+        for w in curve.windows(2) {
+            assert!(w[1].train_cost <= w[0].train_cost);
+        }
+        // ... but the held-out cost bottoms out at the major-shift
+        // count: chasing w1's minor fluctuations hurts on w3.
+        let k = suggest_robust_k(&curve).unwrap();
+        assert_eq!(k, 2, "{curve:?}");
+        let at2 = curve.iter().find(|p| p.k == 2).unwrap();
+        let at10 = curve.iter().find(|p| p.k == 10).unwrap();
+        assert!(
+            at2.mean_test_cost < at10.mean_test_cost,
+            "overfitting must cost on the holdout: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn robust_curve_validates_inputs() {
+        let train = w1_like();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&train, None, Some(1)).unwrap();
+        assert!(robust_curve(&train, &[], &p, &cands, 3).is_err());
+        let short = SyntheticOracle::from_fn(5, 3, |_, _| c(1), vec![c(1); 3], c(1), vec![1; 3]);
+        assert!(
+            robust_curve(&train, &[&short as &dyn CostOracle], &p, &cands, 3).is_err(),
+            "stage-count mismatch must be rejected"
+        );
+        assert_eq!(suggest_robust_k(&[]), None);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let o = w1_like();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let curve = cost_curve(&o, &p, &cands, 5).unwrap();
+        for point in &curve {
+            let serial = kaware::solve(&o, &p, &cands, point.k).unwrap();
+            assert_eq!(serial.total_cost(), point.cost);
+        }
+    }
+}

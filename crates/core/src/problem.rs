@@ -1,0 +1,288 @@
+use crate::config::Config;
+use cdpd_types::Cost;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The `EXEC` / `TRANS` / `SIZE` cost oracle of the paper's §2.
+///
+/// Stages index the workload's statements (or summarized statement
+/// blocks); structures index the candidate-structure list the oracle
+/// was built over. Implementations must be deterministic — solvers
+/// assume `exec(i, c)` is a pure function.
+pub trait CostOracle {
+    /// Number of statements (stages) in the workload sequence.
+    fn n_stages(&self) -> usize;
+    /// Number of candidate structures (`m`).
+    fn n_structures(&self) -> usize;
+    /// `EXEC(S_stage, config)`: cost of executing the stage's
+    /// statement(s) under `config`.
+    fn exec(&self, stage: usize, config: Config) -> Cost;
+    /// `TRANS(from, to)`: cost of changing the physical design.
+    /// Must be zero when `from == to`.
+    fn trans(&self, from: Config, to: Config) -> Cost;
+    /// `SIZE(config)` in the problem's space unit (pages).
+    fn size(&self, config: Config) -> u64;
+}
+
+/// The problem instance around the oracle: boundary conditions and the
+/// space bound. The change budget `k` is a per-solve argument.
+#[derive(Clone, Copy, Debug)]
+pub struct Problem {
+    /// `C_0`: the configuration in place before the first statement.
+    pub initial: Config,
+    /// Optional required final configuration. When set, `TRANS(C_n, f)`
+    /// is added to every schedule's cost (the sequence graph's
+    /// destination node; the paper's experiments pin it to `{}`). The
+    /// closing transition never counts against `k`.
+    pub final_config: Option<Config>,
+    /// `b`: maximum `SIZE(C_i)` for every stage, if bounded.
+    pub space_bound: Option<u64>,
+    /// Whether `C_0 ≠ C_1` counts as one of the `k` changes.
+    ///
+    /// Definition 1 counts every `i` with `C_{i-1} ≠ C_i`, which
+    /// includes the initial build. The paper's own experiment (Table 2,
+    /// `k = 2` starting from an empty design with three phases) is only
+    /// feasible if the initial build is *not* counted, so that is the
+    /// default; set `true` for the strict Definition 1 reading.
+    pub count_initial_change: bool,
+}
+
+impl Default for Problem {
+    fn default() -> Self {
+        Problem {
+            initial: Config::EMPTY,
+            final_config: None,
+            space_bound: None,
+            count_initial_change: false,
+        }
+    }
+}
+
+impl Problem {
+    /// The paper's experimental setup: start empty, end empty,
+    /// unbounded space, initial build not counted.
+    pub fn paper_experiment() -> Problem {
+        Problem {
+            initial: Config::EMPTY,
+            final_config: Some(Config::EMPTY),
+            space_bound: None,
+            count_initial_change: false,
+        }
+    }
+
+    /// True if `config` respects the space bound under `oracle`.
+    pub fn fits(&self, oracle: &dyn CostOracle, config: Config) -> bool {
+        self.space_bound.is_none_or(|b| oracle.size(config) <= b)
+    }
+}
+
+/// A table-driven oracle for tests, simulations, and benchmarks.
+///
+/// `EXEC` is materialized as a dense `[stage][config.bits]` matrix (so
+/// `m` must stay small); `TRANS` is per-structure build costs plus a
+/// flat drop cost; `SIZE` is additive over per-structure sizes.
+pub struct SyntheticOracle {
+    n_structures: usize,
+    exec: Vec<Vec<Cost>>,
+    build: Vec<Cost>,
+    drop_cost: Cost,
+    sizes: Vec<u64>,
+}
+
+impl SyntheticOracle {
+    /// Materialize an oracle from a cost function.
+    ///
+    /// # Panics
+    /// Panics if `n_structures > 16` (the dense matrix would explode)
+    /// or the `build`/`sizes` vectors have the wrong length.
+    pub fn from_fn(
+        n_stages: usize,
+        n_structures: usize,
+        exec: impl Fn(usize, Config) -> Cost,
+        build: Vec<Cost>,
+        drop_cost: Cost,
+        sizes: Vec<u64>,
+    ) -> SyntheticOracle {
+        assert!(n_structures <= 16, "synthetic oracle caps m at 16");
+        assert_eq!(build.len(), n_structures);
+        assert_eq!(sizes.len(), n_structures);
+        let configs = 1usize << n_structures;
+        let exec = (0..n_stages)
+            .map(|s| {
+                (0..configs)
+                    .map(|bits| exec(s, Config::from_bits(bits as u64)))
+                    .collect()
+            })
+            .collect();
+        SyntheticOracle { n_structures, exec, build, drop_cost, sizes }
+    }
+}
+
+impl CostOracle for SyntheticOracle {
+    fn n_stages(&self) -> usize {
+        self.exec.len()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.n_structures
+    }
+
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        self.exec[stage][config.bits() as usize]
+    }
+
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        let mut total = Cost::ZERO;
+        for s in to.minus(from).structures() {
+            total += self.build[s];
+        }
+        if !from.minus(to).is_empty() {
+            total += self.drop_cost.scale(from.minus(to).len() as u64);
+        }
+        total
+    }
+
+    fn size(&self, config: Config) -> u64 {
+        config.structures().map(|s| self.sizes[s]).sum()
+    }
+}
+
+/// A memoizing wrapper: caches `exec` and `size` results, which is what
+/// makes engine-backed oracles affordable inside the solvers (the same
+/// `(stage, config)` pair is probed by every algorithm, repeatedly).
+///
+/// `trans` is not cached: engine transition costs are already cheap to
+/// compute (set difference over per-structure costs).
+pub struct MemoOracle<O> {
+    inner: O,
+    exec_cache: Mutex<HashMap<(usize, u64), Cost>>,
+    size_cache: Mutex<HashMap<u64, u64>>,
+}
+
+impl<O: CostOracle> MemoOracle<O> {
+    /// Wrap `inner`.
+    pub fn new(inner: O) -> MemoOracle<O> {
+        MemoOracle {
+            inner,
+            exec_cache: Mutex::new(HashMap::new()),
+            size_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Number of distinct `(stage, config)` exec evaluations so far.
+    pub fn exec_evaluations(&self) -> usize {
+        self.exec_cache.lock().expect("cache lock").len()
+    }
+}
+
+impl<O: CostOracle> CostOracle for MemoOracle<O> {
+    fn n_stages(&self) -> usize {
+        self.inner.n_stages()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.inner.n_structures()
+    }
+
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        let key = (stage, config.bits());
+        if let Some(&c) = self.exec_cache.lock().expect("cache lock").get(&key) {
+            return c;
+        }
+        let c = self.inner.exec(stage, config);
+        self.exec_cache.lock().expect("cache lock").insert(key, c);
+        c
+    }
+
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        self.inner.trans(from, to)
+    }
+
+    fn size(&self, config: Config) -> u64 {
+        let key = config.bits();
+        if let Some(&s) = self.size_cache.lock().expect("cache lock").get(&key) {
+            return s;
+        }
+        let s = self.inner.size(config);
+        self.size_cache.lock().expect("cache lock").insert(key, s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    fn oracle() -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            3,
+            2,
+            |stage, cfg| c(100 - 10 * (stage as u64) - 5 * cfg.len() as u64),
+            vec![c(50), c(60)],
+            c(1),
+            vec![10, 20],
+        )
+    }
+
+    #[test]
+    fn synthetic_exec_matrix() {
+        let o = oracle();
+        assert_eq!(o.n_stages(), 3);
+        assert_eq!(o.n_structures(), 2);
+        assert_eq!(o.exec(0, Config::EMPTY), c(100));
+        assert_eq!(o.exec(2, Config::from_bits(0b11)), c(70));
+    }
+
+    #[test]
+    fn synthetic_trans_builds_and_drops() {
+        let o = oracle();
+        let e = Config::EMPTY;
+        let s0 = Config::single(0);
+        let s1 = Config::single(1);
+        assert_eq!(o.trans(e, e), Cost::ZERO);
+        assert_eq!(o.trans(e, s0), c(50));
+        assert_eq!(o.trans(s0, e), c(1));
+        assert_eq!(o.trans(s0, s1), c(61), "build 60 + drop 1");
+        assert_eq!(o.trans(e, s0.union(s1)), c(110));
+    }
+
+    #[test]
+    fn synthetic_size_additive() {
+        let o = oracle();
+        assert_eq!(o.size(Config::EMPTY), 0);
+        assert_eq!(o.size(Config::from_bits(0b11)), 30);
+    }
+
+    #[test]
+    fn problem_fits_space_bound() {
+        let o = oracle();
+        let p = Problem { space_bound: Some(15), ..Problem::default() };
+        assert!(p.fits(&o, Config::single(0)));
+        assert!(!p.fits(&o, Config::single(1)));
+        let unbounded = Problem::default();
+        assert!(unbounded.fits(&o, Config::from_bits(0b11)));
+    }
+
+    #[test]
+    fn memo_caches_exec() {
+        let o = MemoOracle::new(oracle());
+        assert_eq!(o.exec_evaluations(), 0);
+        let a = o.exec(1, Config::single(0));
+        let b = o.exec(1, Config::single(0));
+        assert_eq!(a, b);
+        assert_eq!(o.exec_evaluations(), 1);
+        o.exec(2, Config::single(0));
+        assert_eq!(o.exec_evaluations(), 2);
+        assert_eq!(o.size(Config::single(1)), 20);
+        assert_eq!(o.size(Config::single(1)), 20);
+    }
+}

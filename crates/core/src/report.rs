@@ -1,0 +1,196 @@
+//! Human-readable reporting over schedules: per-stage cost breakdowns,
+//! rendered tables, and schedule diffs — what a DBA reviews before
+//! letting a recommended design schedule loose on production.
+
+use crate::config::Config;
+use crate::problem::{CostOracle, Problem};
+use crate::schedule::Schedule;
+use cdpd_types::Cost;
+use std::fmt::Write as _;
+
+/// One stage's cost decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageCost {
+    /// Stage index.
+    pub stage: usize,
+    /// Configuration in effect.
+    pub config: Config,
+    /// `EXEC(S_stage, config)`.
+    pub exec: Cost,
+    /// `TRANS` paid *entering* this stage (zero unless the design
+    /// changed here).
+    pub trans_in: Cost,
+}
+
+/// Per-stage breakdown of a schedule's cost (the closing transition to
+/// a pinned final configuration is not a stage and is excluded; use
+/// [`Schedule::trans_cost`] for totals).
+pub fn per_stage(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    schedule: &Schedule,
+) -> Vec<StageCost> {
+    let mut out = Vec::with_capacity(schedule.len());
+    let mut prev = problem.initial;
+    for (stage, &config) in schedule.configs.iter().enumerate() {
+        out.push(StageCost {
+            stage,
+            config,
+            exec: oracle.exec(stage, config),
+            trans_in: oracle.trans(prev, config),
+        });
+        prev = config;
+    }
+    out
+}
+
+/// Render a schedule as an aligned text table, one row per segment,
+/// with a caller-supplied `label` for configurations (e.g. mapping
+/// structure bits back to `I(a,b)` names).
+pub fn render(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    schedule: &Schedule,
+    label: &dyn Fn(Config) -> String,
+) -> String {
+    let stages = per_stage(oracle, problem, schedule);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} | {:<20} | {:>12} | {:>12}",
+        "stages", "configuration", "exec I/Os", "trans I/Os"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    for (range, config) in schedule.segments() {
+        let exec: Cost = stages[range.clone()].iter().map(|s| s.exec).sum();
+        let trans = stages[range.start].trans_in;
+        let _ = writeln!(
+            out,
+            "{:>12} | {:<20} | {:>12} | {:>12}",
+            format!("{}..{}", range.start, range.end),
+            label(config),
+            exec.to_string(),
+            trans.to_string(),
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    let _ = writeln!(
+        out,
+        "{:>12} | {:<20} | {:>12} | {:>12}   ({} change(s))",
+        "total",
+        "",
+        schedule.exec_cost.to_string(),
+        schedule.trans_cost.to_string(),
+        schedule.changes,
+    );
+    out
+}
+
+/// Difference between two schedules over the same workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleDiff {
+    /// Stages where the two schedules disagree.
+    pub diverging_stages: Vec<usize>,
+    /// `a.total_cost() − b.total_cost()` in raw cost units (signed).
+    pub cost_delta: i128,
+    /// `a.changes` vs `b.changes`.
+    pub changes: (usize, usize),
+}
+
+/// Compare schedule `a` against `b` (must cover the same stage count).
+pub fn diff(a: &Schedule, b: &Schedule) -> ScheduleDiff {
+    assert_eq!(a.len(), b.len(), "schedules cover different workloads");
+    ScheduleDiff {
+        diverging_stages: (0..a.len())
+            .filter(|&i| a.configs[i] != b.configs[i])
+            .collect(),
+        cost_delta: a.total_cost().raw() as i128 - b.total_cost().raw() as i128,
+        changes: (a.changes, b.changes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use crate::problem::SyntheticOracle;
+    use crate::{kaware, seqgraph};
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    fn oracle() -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            6,
+            2,
+            |stage, cfg| {
+                let want = if stage < 3 { 0 } else { 1 };
+                if cfg.contains(want) {
+                    c(10)
+                } else {
+                    c(100)
+                }
+            },
+            vec![c(20), c(20)],
+            c(1),
+            vec![1, 1],
+        )
+    }
+
+    #[test]
+    fn per_stage_sums_to_schedule_totals() {
+        let o = oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = kaware::solve(&o, &p, &cands, 1).unwrap();
+        let stages = per_stage(&o, &p, &s);
+        assert_eq!(stages.len(), 6);
+        let exec: Cost = stages.iter().map(|x| x.exec).sum();
+        assert_eq!(exec, s.exec_cost);
+        let trans: Cost = stages.iter().map(|x| x.trans_in).sum();
+        // Schedule totals additionally include the closing transition.
+        assert!(trans <= s.trans_cost);
+        let closing = o.trans(*s.configs.last().unwrap(), Config::EMPTY);
+        assert_eq!(trans + closing, s.trans_cost);
+    }
+
+    #[test]
+    fn render_contains_segments_and_totals() {
+        let o = oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = kaware::solve(&o, &p, &cands, 1).unwrap();
+        let text = render(&o, &p, &s, &|cfg| format!("cfg{}", cfg.bits()));
+        assert!(text.contains("0..3"), "{text}");
+        assert!(text.contains("3..6"), "{text}");
+        assert!(text.contains("total"), "{text}");
+        assert!(text.contains("1 change(s)"), "{text}");
+    }
+
+    #[test]
+    fn diff_reports_divergence() {
+        let o = oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let unc = seqgraph::solve(&o, &p, &cands).unwrap();
+        let frozen = kaware::solve(&o, &p, &cands, 0).unwrap();
+        let d = diff(&frozen, &unc);
+        assert!(!d.diverging_stages.is_empty());
+        assert!(d.cost_delta >= 0, "constrained cannot beat unconstrained");
+        assert_eq!(d.changes.0, 0);
+        let same = diff(&unc, &unc);
+        assert!(same.diverging_stages.is_empty());
+        assert_eq!(same.cost_delta, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workloads")]
+    fn diff_rejects_mismatched_lengths() {
+        let o = oracle();
+        let p = Problem::default();
+        let a = Schedule::evaluate(&o, &p, vec![Config::EMPTY; 6]);
+        let b = Schedule::evaluate(&o, &p, vec![Config::EMPTY; 5]);
+        let _ = diff(&a, &b);
+    }
+}

@@ -1,0 +1,233 @@
+//! Sequence graphs and the unconstrained optimum (§3).
+//!
+//! A sequence graph has one *stage* of nodes per workload statement,
+//! one node per candidate configuration, node weights `EXEC(Sᵢ, C)`,
+//! edge weights `TRANS(C, C')`, plus a source (the initial
+//! configuration) and a destination (optionally constraining the final
+//! configuration). Dynamic designs are exactly the source→destination
+//! paths, and the optimal unconstrained design is the shortest path —
+//! `O(n·4^m)` with full candidate enumeration, or `O(n·|cands|²)` in
+//! general.
+
+use crate::config::Config;
+use crate::problem::{CostOracle, Problem};
+use crate::schedule::Schedule;
+use cdpd_graph::{Dag, NodeId};
+use cdpd_types::{Cost, Error, Result};
+
+/// Node payload: which (stage, candidate) a node stands for; `None` for
+/// the source/destination terminals.
+pub(crate) type Payload = Option<(usize, usize)>;
+
+/// A built sequence graph plus its terminals.
+pub(crate) struct SeqGraph {
+    pub(crate) dag: Dag<Payload>,
+    pub(crate) source: NodeId,
+    pub(crate) dest: NodeId,
+}
+
+/// Drop candidates violating the space bound; error out when nothing
+/// survives or the workload is empty.
+pub(crate) fn usable_candidates(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+) -> Result<Vec<Config>> {
+    if oracle.n_stages() == 0 {
+        return Err(Error::InvalidArgument("workload has no statements".into()));
+    }
+    let mut out: Vec<Config> = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        if problem.fits(oracle, c) && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        return Err(Error::Infeasible(
+            "no candidate configuration satisfies the space bound".into(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Build the (unconstrained) sequence graph over `candidates`.
+pub(crate) fn build(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+) -> SeqGraph {
+    let n = oracle.n_stages();
+    let mut dag = Dag::with_capacity(n * candidates.len() + 2);
+    let source = dag.add_node(None, Cost::ZERO);
+    let mut prev: Vec<NodeId> = Vec::new();
+    for stage in 0..n {
+        let mut cur = Vec::with_capacity(candidates.len());
+        for (ci, &cfg) in candidates.iter().enumerate() {
+            let node = dag.add_node(Some((stage, ci)), oracle.exec(stage, cfg));
+            cur.push(node);
+        }
+        if stage == 0 {
+            for (ci, &node) in cur.iter().enumerate() {
+                dag.add_edge(source, node, oracle.trans(problem.initial, candidates[ci]));
+            }
+        } else {
+            for (ai, &a) in prev.iter().enumerate() {
+                for (bi, &b) in cur.iter().enumerate() {
+                    dag.add_edge(a, b, oracle.trans(candidates[ai], candidates[bi]));
+                }
+            }
+        }
+        prev = cur;
+    }
+    let dest = dag.add_node(None, Cost::ZERO);
+    for (ci, &node) in prev.iter().enumerate() {
+        let w = match problem.final_config {
+            Some(f) => oracle.trans(candidates[ci], f),
+            None => Cost::ZERO,
+        };
+        dag.add_edge(node, dest, w);
+    }
+    SeqGraph { dag, source, dest }
+}
+
+/// Convert a graph path back into per-stage configurations.
+pub(crate) fn path_to_configs(
+    graph: &SeqGraph,
+    candidates: &[Config],
+    nodes: &[NodeId],
+) -> Vec<Config> {
+    nodes
+        .iter()
+        .filter_map(|&n| graph.dag.payload(n).map(|(_, ci)| candidates[ci]))
+        .collect()
+}
+
+/// Optimal *unconstrained* dynamic design over `candidates`
+/// (Agrawal et al.'s formulation; the paper's baseline).
+pub fn solve(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+) -> Result<Schedule> {
+    let candidates = usable_candidates(oracle, problem, candidates)?;
+    let graph = build(oracle, problem, &candidates);
+    let sp = graph
+        .dag
+        .shortest_path(graph.source, graph.dest)
+        .ok_or_else(|| Error::Infeasible("sequence graph has no finite-cost path".into()))?;
+    let configs = path_to_configs(&graph, &candidates, &sp.nodes);
+    let schedule = Schedule::evaluate(oracle, problem, configs);
+    debug_assert_eq!(schedule.total_cost(), sp.cost, "graph and evaluator disagree");
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use crate::problem::SyntheticOracle;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// Two structures; stage s is cheap under structure s % 2.
+    fn alternating_oracle(n: usize, build: u64) -> SyntheticOracle {
+        SyntheticOracle::from_fn(
+            n,
+            2,
+            |stage, cfg| {
+                if cfg.contains(stage % 2) {
+                    c(10)
+                } else {
+                    c(100)
+                }
+            },
+            vec![c(build), c(build)],
+            c(1),
+            vec![1, 1],
+        )
+    }
+
+    #[test]
+    fn cheap_transitions_track_every_shift() {
+        let o = alternating_oracle(4, 5);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = solve(&o, &p, &cands).unwrap();
+        assert_eq!(s.changes, 3, "design flips every stage: {s}");
+        assert_eq!(s.exec_cost, c(40));
+    }
+
+    #[test]
+    fn expensive_transitions_freeze_the_design() {
+        let o = alternating_oracle(4, 10_000);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let s = solve(&o, &p, &cands).unwrap();
+        assert!(s.changes <= 1, "flipping can never pay for itself: {s}");
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let o = SyntheticOracle::from_fn(
+            3,
+            2,
+            |stage, cfg| c(((stage as u64 + 1) * 37) % (3 + cfg.bits() * 11) + 5),
+            vec![c(9), c(14)],
+            c(2),
+            vec![1, 1],
+        );
+        let p = Problem { final_config: Some(Config::EMPTY), ..Problem::default() };
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let got = solve(&o, &p, &cands).unwrap();
+
+        // Brute force over all |cands|^3 schedules.
+        let mut best: Option<Schedule> = None;
+        for &a in &cands {
+            for &b in &cands {
+                for &d in &cands {
+                    let s = Schedule::evaluate(&o, &p, vec![a, b, d]);
+                    if best.as_ref().is_none_or(|x| s.total_cost() < x.total_cost()) {
+                        best = Some(s);
+                    }
+                }
+            }
+        }
+        assert_eq!(got.total_cost(), best.unwrap().total_cost());
+    }
+
+    #[test]
+    fn space_bound_excludes_candidates() {
+        let o = SyntheticOracle::from_fn(
+            2,
+            2,
+            |_, cfg| if cfg.contains(1) { c(1) } else { c(50) },
+            vec![c(1), c(1)],
+            c(1),
+            vec![1, 100],
+        );
+        let p = Problem { space_bound: Some(10), ..Problem::default() };
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let s = solve(&o, &p, &cands).unwrap();
+        assert!(
+            s.configs.iter().all(|cfg| !cfg.contains(1)),
+            "structure 1 violates the bound: {s}"
+        );
+        s.validate(&o, &p, None).unwrap();
+    }
+
+    #[test]
+    fn infeasible_inputs_error() {
+        let o = alternating_oracle(2, 5);
+        let p = Problem { space_bound: Some(0), ..Problem::default() };
+        // Only the empty config fits; that is still feasible.
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        assert!(solve(&o, &p, &cands).is_ok());
+        // No candidates at all is not.
+        assert!(solve(&o, &p, &[]).is_err());
+        // Empty workload is rejected.
+        let empty = SyntheticOracle::from_fn(0, 1, |_, _| c(1), vec![c(1)], c(1), vec![1]);
+        assert!(solve(&empty, &Problem::default(), &[Config::EMPTY]).is_err());
+    }
+}

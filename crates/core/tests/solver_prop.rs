@@ -1,0 +1,164 @@
+//! Cross-solver property tests on random synthetic problem instances:
+//! the k-aware graph is never beaten by brute force, ranking agrees
+//! with the k-aware optimum, heuristics are feasible and never better
+//! than optimal, and budgets behave monotonically.
+
+use cdpd_core::{
+    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config, Problem,
+    Schedule, SyntheticOracle,
+};
+use cdpd_types::Cost;
+use proptest::prelude::*;
+
+/// A random instance: n stages, m structures, cost tables from the
+/// supplied byte vectors (consumed cyclically).
+fn instance(
+    n: usize,
+    m: usize,
+    exec_seed: &[u8],
+    build_seed: &[u8],
+) -> SyntheticOracle {
+    let exec: Vec<u64> = exec_seed.iter().map(|&b| 1 + b as u64).collect();
+    let build: Vec<Cost> = (0..m)
+        .map(|i| Cost::from_ios(1 + build_seed[i % build_seed.len()] as u64))
+        .collect();
+    let el = exec.len();
+    SyntheticOracle::from_fn(
+        n,
+        m,
+        move |stage, cfg| {
+            let idx = (stage * 31 + cfg.bits() as usize * 17) % el;
+            Cost::from_ios(exec[idx])
+        },
+        build,
+        Cost::from_ios(1),
+        vec![1; m],
+    )
+}
+
+/// All schedules over `cands` with exactly `n` stages (n small).
+fn brute_force_best(
+    oracle: &SyntheticOracle,
+    problem: &Problem,
+    cands: &[Config],
+    n: usize,
+    k: usize,
+) -> Option<Cost> {
+    let mut best: Option<Cost> = None;
+    let total = cands.len().pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        let configs: Vec<Config> = (0..n)
+            .map(|_| {
+                let pick = cands[c % cands.len()];
+                c /= cands.len();
+                pick
+            })
+            .collect();
+        let s = Schedule::evaluate(oracle, problem, configs);
+        if s.changes <= k && best.is_none_or(|b| s.total_cost() < b) {
+            best = Some(s.total_cost());
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kaware_matches_brute_force(
+        n in 2usize..5,
+        m in 1usize..3,
+        k in 0usize..4,
+        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
+        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+        count_initial in any::<bool>(),
+        pin_final in any::<bool>(),
+    ) {
+        let o = instance(n, m, &exec_seed, &build_seed);
+        let p = Problem {
+            count_initial_change: count_initial,
+            final_config: pin_final.then_some(Config::EMPTY),
+            ..Problem::default()
+        };
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let brute = brute_force_best(&o, &p, &cands, n, k);
+        match kaware::solve(&o, &p, &cands, k) {
+            Ok(s) => {
+                s.validate(&o, &p, Some(k)).unwrap();
+                prop_assert_eq!(Some(s.total_cost()), brute);
+            }
+            Err(_) => prop_assert_eq!(brute, None),
+        }
+    }
+
+    #[test]
+    fn ranking_agrees_with_kaware(
+        n in 2usize..5,
+        m in 1usize..3,
+        k in 0usize..3,
+        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
+        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let o = instance(n, m, &exec_seed, &build_seed);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let graph = kaware::solve(&o, &p, &cands, k);
+        let rank = ranking::solve(&o, &p, &cands, k, 5_000_000);
+        match (graph, rank) {
+            (Ok(g), Ok(r)) => prop_assert_eq!(g.total_cost(), r.total_cost()),
+            (Err(_), Err(_)) => {}
+            (g, r) => prop_assert!(false, "solvers disagree on feasibility: {g:?} vs {r:?}"),
+        }
+    }
+
+    #[test]
+    fn heuristics_are_feasible_and_not_better_than_optimal(
+        n in 2usize..6,
+        m in 1usize..3,
+        k in 0usize..3,
+        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
+        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let o = instance(n, m, &exec_seed, &build_seed);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let optimal = kaware::solve(&o, &p, &cands, k).unwrap();
+
+        let merged = merging::solve(&o, &p, &cands, k).unwrap();
+        merged.validate(&o, &p, Some(k)).unwrap();
+        prop_assert!(merged.total_cost() >= optimal.total_cost());
+
+        let hyb = hybrid::solve(&o, &p, &cands, k).unwrap();
+        hyb.schedule.validate(&o, &p, Some(k)).unwrap();
+        prop_assert!(hyb.schedule.total_cost() >= optimal.total_cost());
+
+        let g = greedy::solve(&o, &p, k).unwrap();
+        g.validate(&o, &p, Some(k)).unwrap();
+        prop_assert!(g.total_cost() >= optimal.total_cost());
+    }
+
+    #[test]
+    fn budget_monotonicity_and_convergence(
+        n in 2usize..6,
+        m in 1usize..3,
+        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
+        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let o = instance(n, m, &exec_seed, &build_seed);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, None).unwrap();
+        let unconstrained = seqgraph::solve(&o, &p, &cands).unwrap();
+        let mut prev: Option<Cost> = None;
+        for k in 0..=n {
+            let s = kaware::solve(&o, &p, &cands, k).unwrap();
+            if let Some(pc) = prev {
+                prop_assert!(s.total_cost() <= pc, "budget k={k} made things worse");
+            }
+            prev = Some(s.total_cost());
+        }
+        prop_assert_eq!(prev.unwrap(), unconstrained.total_cost(),
+            "at k = n the constraint is vacuous");
+    }
+}

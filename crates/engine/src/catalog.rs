@@ -1,0 +1,85 @@
+use cdpd_storage::{BTree, HeapFile};
+use cdpd_types::{ColumnId, Schema, TableId};
+use std::fmt;
+
+/// A logical index description: the unit the design advisor reasons
+/// about. Two specs are the same index iff table and key columns (in
+/// order) match; the canonical [`IndexSpec::name`] encodes both.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexSpec {
+    /// Indexed table.
+    pub table: String,
+    /// Key columns in key order.
+    pub columns: Vec<String>,
+}
+
+impl IndexSpec {
+    /// Build a spec.
+    pub fn new(table: impl Into<String>, columns: &[&str]) -> IndexSpec {
+        IndexSpec {
+            table: table.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+        }
+    }
+
+    /// Canonical catalog name, e.g. `ix_t_a_b` for `I(a,b)` on `t`.
+    pub fn name(&self) -> String {
+        let mut s = format!("ix_{}", self.table);
+        for c in &self.columns {
+            s.push('_');
+            s.push_str(c);
+        }
+        s
+    }
+
+    /// Paper-style display, e.g. `I(a,b)`.
+    pub fn display_short(&self) -> String {
+        format!("I({})", self.columns.join(","))
+    }
+}
+
+impl fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_short())
+    }
+}
+
+/// A materialized index: spec resolved to column ids plus its B+-tree.
+pub(crate) struct IndexEntry {
+    pub(crate) spec: IndexSpec,
+    pub(crate) columns: Vec<ColumnId>,
+    pub(crate) btree: BTree,
+}
+
+/// A table in the catalog.
+pub(crate) struct TableEntry {
+    #[allow(dead_code)]
+    pub(crate) id: TableId,
+    pub(crate) schema: Schema,
+    pub(crate) heap: HeapFile,
+    pub(crate) stats: Option<crate::stats::TableStats>,
+    /// Indexes keyed by canonical name, iterated in name order so
+    /// planning is deterministic.
+    pub(crate) indexes: std::collections::BTreeMap<String, IndexEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names() {
+        let ab = IndexSpec::new("t", &["a", "b"]);
+        assert_eq!(ab.name(), "ix_t_a_b");
+        assert_eq!(ab.display_short(), "I(a,b)");
+        assert_eq!(ab.to_string(), "I(a,b)");
+    }
+
+    #[test]
+    fn column_order_distinguishes_specs() {
+        let ab = IndexSpec::new("t", &["a", "b"]);
+        let ba = IndexSpec::new("t", &["b", "a"]);
+        assert_ne!(ab, ba);
+        assert_ne!(ab.name(), ba.name());
+    }
+}

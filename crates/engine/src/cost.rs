@@ -1,0 +1,265 @@
+//! The I/O cost model shared by the planner and the what-if optimizer.
+//!
+//! Costs are logical page I/Os, the same unit the executor measures, so
+//! estimates and measurements are directly comparable. The model is
+//! deliberately classical (System-R flavoured):
+//!
+//! * sequential scan = heap pages;
+//! * index seek = tree height + matching leaf pages + one heap fetch
+//!   per matching row when the index does not cover the query;
+//! * index range scan = height + (selectivity × leaf pages) + fetches;
+//! * index-only scan = height + all leaf pages.
+//!
+//! These four formulas are what produce the paper's Table 2 design
+//! choices: `I(a,b)` beats `I(a)` under mix A precisely because a
+//! covering index-only scan of `I(a,b)` (≈ 0.6 × heap pages) is cheaper
+//! than a full heap scan for the 25% of queries on `b`.
+
+use crate::stats::TableStats;
+use cdpd_storage::PAGE_SIZE;
+use cdpd_types::{ColumnId, Cost};
+
+/// Physical shape of a (real or hypothetical) index, as the cost model
+/// needs it: leaf page count, height, and total pages (for `SIZE` and
+/// build cost).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IndexShape {
+    /// Number of leaf pages.
+    pub leaf_pages: u64,
+    /// Levels from root to leaf, inclusive.
+    pub height: u32,
+    /// All pages (leaves + internal).
+    pub total_pages: u64,
+}
+
+/// Stateless cost model. Constants are associated consts so ablation
+/// benches can document exactly what is being assumed.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Fraction of a page usable after bulk-load fill factor.
+    pub const FILL: f64 = 0.9;
+    /// Per-entry overhead in a leaf: 2-byte length prefix + 6-byte rid.
+    pub const LEAF_ENTRY_OVERHEAD: f64 = 8.0;
+    /// Memcomparable encoding overhead per key column (tag byte).
+    pub const KEY_COL_OVERHEAD: f64 = 1.0;
+    /// Cost of a `DROP INDEX` (one catalog page write).
+    pub const DROP_COST_IOS: u64 = 1;
+
+    /// Estimated average encoded key width for an index over `cols`.
+    fn key_width(stats: &TableStats, cols: &[ColumnId]) -> f64 {
+        cols.iter()
+            .map(|c| {
+                // Row-codec width ≈ memcomparable width for ints (9 vs 9)
+                // and close enough for strings (3+len vs 3+len).
+                stats.column(*c).avg_width.max(2.0) + Self::KEY_COL_OVERHEAD - 1.0
+            })
+            .sum()
+    }
+
+    /// Estimate the shape a B+-tree over `cols` would have.
+    pub fn estimate_shape(stats: &TableStats, cols: &[ColumnId]) -> IndexShape {
+        let rows = stats.row_count;
+        if rows == 0 {
+            return IndexShape { leaf_pages: 1, height: 1, total_pages: 1 };
+        }
+        let entry = Self::key_width(stats, cols) + Self::LEAF_ENTRY_OVERHEAD;
+        let leaf_cap = (PAGE_SIZE as f64 * Self::FILL / entry).max(1.0);
+        let leaves = (rows as f64 / leaf_cap).ceil().max(1.0);
+        // Internal fanout: entry + 4-byte child pointer.
+        let fanout = (PAGE_SIZE as f64 * Self::FILL / (entry + 4.0)).max(2.0);
+        let mut height = 1u32;
+        let mut level = leaves;
+        let mut total = leaves;
+        while level > 1.0 {
+            level = (level / fanout).ceil();
+            total += level;
+            height += 1;
+        }
+        IndexShape {
+            leaf_pages: leaves as u64,
+            height,
+            total_pages: total as u64,
+        }
+    }
+
+    /// Rows stored per leaf for `shape` (≥ 1).
+    fn rows_per_leaf(stats: &TableStats, shape: IndexShape) -> f64 {
+        (stats.row_count as f64 / shape.leaf_pages as f64).max(1.0)
+    }
+
+    /// Sequential heap scan.
+    pub fn seq_scan(stats: &TableStats) -> Cost {
+        Cost::from_ios(stats.heap_pages.max(1))
+    }
+
+    /// Index seek matching ~`rows` entries; `covering` skips heap
+    /// fetches (one random page read per matching row otherwise).
+    pub fn index_seek(stats: &TableStats, shape: IndexShape, rows: f64, covering: bool) -> Cost {
+        let leaf_ios = (rows / Self::rows_per_leaf(stats, shape)).ceil().max(1.0);
+        let fetches = if covering { 0.0 } else { rows.ceil() };
+        Cost::from_ios(shape.height as u64 + leaf_ios as u64 + fetches as u64)
+    }
+
+    /// Range scan over `fraction` of the index, matching ~`rows` rows.
+    pub fn index_range(
+        stats: &TableStats,
+        shape: IndexShape,
+        fraction: f64,
+        rows: f64,
+        covering: bool,
+    ) -> Cost {
+        let _ = stats;
+        let leaf_ios = (fraction * shape.leaf_pages as f64).ceil().max(1.0);
+        let fetches = if covering { 0.0 } else { rows.ceil() };
+        Cost::from_ios(shape.height as u64 + leaf_ios as u64 + fetches as u64)
+    }
+
+    /// Full index-only scan of every leaf.
+    pub fn index_only_scan(shape: IndexShape) -> Cost {
+        Cost::from_ios(shape.height as u64 + shape.leaf_pages)
+    }
+
+    /// Cost of building the index: scan the heap, bulk-write the tree.
+    /// (The in-memory sort's CPU time is not an I/O and is excluded, as
+    /// are the measured numbers it is compared against.)
+    pub fn build(stats: &TableStats, shape: IndexShape) -> Cost {
+        Cost::from_ios(stats.heap_pages + shape.total_pages)
+    }
+
+    /// Cost of dropping an index.
+    pub fn drop() -> Cost {
+        Cost::from_ios(Self::DROP_COST_IOS)
+    }
+
+    /// Cost of one index-entry mutation (insert or delete of a single
+    /// entry): descend the tree and read-modify-write the leaf.
+    pub fn index_entry_op(shape: IndexShape) -> Cost {
+        Cost::from_ios(shape.height as u64 + 2)
+    }
+
+    /// Cost of rewriting one heap row in place (read-modify-write of
+    /// its page).
+    pub fn heap_row_write() -> Cost {
+        Cost::from_ios(2)
+    }
+
+    /// Maintenance cost of an `UPDATE` touching ~`rows` rows for one
+    /// index: affected indexes pay a delete + insert per row.
+    pub fn update_maintenance(shape: IndexShape, rows: f64) -> Cost {
+        Self::index_entry_op(shape).scale(2).scale(rows.ceil() as u64)
+    }
+
+    /// Maintenance cost of a `DELETE` touching ~`rows` rows for one
+    /// index: one entry removal per row.
+    pub fn delete_maintenance(shape: IndexShape, rows: f64) -> Cost {
+        Self::index_entry_op(shape).scale(rows.ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsBuilder;
+    use cdpd_types::Value;
+
+    /// Stats resembling the paper's table: 4 int columns, uniform.
+    fn paper_stats(rows: u64) -> TableStats {
+        let mut b = StatsBuilder::new(4, rows);
+        for i in 0..rows as i64 {
+            let v = (i * 2654435761) % 500_000;
+            b.add_row(&[Value::Int(v), Value::Int(v / 2), Value::Int(v / 3), Value::Int(v / 4)]);
+        }
+        // ~200 rows/page (36 encoded bytes + 4 slot bytes).
+        b.finish(rows / 200)
+    }
+
+    fn cols(ids: &[u16]) -> Vec<ColumnId> {
+        ids.iter().map(|&i| ColumnId(i)).collect()
+    }
+
+    #[test]
+    fn single_column_shape_is_plausible() {
+        let stats = paper_stats(100_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        // entry ≈ 9 + 8 = 17 bytes → ~430/leaf → ~230 leaves.
+        assert!((200..280).contains(&shape.leaf_pages), "{shape:?}");
+        assert_eq!(shape.height, 2);
+        assert!(shape.total_pages > shape.leaf_pages);
+    }
+
+    #[test]
+    fn two_column_index_is_bigger_but_smaller_than_heap() {
+        let stats = paper_stats(100_000);
+        let one = CostModel::estimate_shape(&stats, &cols(&[0]));
+        let two = CostModel::estimate_shape(&stats, &cols(&[0, 1]));
+        assert!(two.leaf_pages > one.leaf_pages);
+        assert!(
+            two.leaf_pages < stats.heap_pages * 8 / 10,
+            "covering scan must beat heap scan: {} vs {}",
+            two.leaf_pages,
+            stats.heap_pages
+        );
+    }
+
+    #[test]
+    fn seek_is_orders_cheaper_than_scan() {
+        let stats = paper_stats(100_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        let rows = stats.eq_rows(ColumnId(0));
+        let seek = CostModel::index_seek(&stats, shape, rows, false);
+        let scan = CostModel::seq_scan(&stats);
+        assert!(seek.ios() * 20 < scan.ios(), "seek {seek} vs scan {scan}");
+    }
+
+    #[test]
+    fn covering_seek_cheaper_than_fetching() {
+        let stats = paper_stats(100_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0, 1]));
+        let c = CostModel::index_seek(&stats, shape, 5.0, true);
+        let nc = CostModel::index_seek(&stats, shape, 5.0, false);
+        assert!(c < nc);
+    }
+
+    #[test]
+    fn range_scales_with_fraction() {
+        let stats = paper_stats(100_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        let narrow = CostModel::index_range(&stats, shape, 0.01, 1000.0, true);
+        let wide = CostModel::index_range(&stats, shape, 0.5, 50_000.0, true);
+        assert!(narrow < wide);
+        // A wide non-covering range should lose to a seq scan.
+        let wide_fetch = CostModel::index_range(&stats, shape, 0.5, 50_000.0, false);
+        assert!(CostModel::seq_scan(&stats) < wide_fetch);
+    }
+
+    #[test]
+    fn build_cost_scan_plus_write() {
+        let stats = paper_stats(50_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        let build = CostModel::build(&stats, shape);
+        assert_eq!(build.ios(), stats.heap_pages + shape.total_pages);
+        assert_eq!(CostModel::drop().ios(), 1);
+    }
+
+    #[test]
+    fn maintenance_scales_with_rows_and_height() {
+        let stats = paper_stats(100_000);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        let one = CostModel::delete_maintenance(shape, 1.0);
+        let many = CostModel::delete_maintenance(shape, 10.0);
+        assert_eq!(many.raw(), one.raw() * 10);
+        let upd = CostModel::update_maintenance(shape, 10.0);
+        assert_eq!(upd.raw(), many.raw() * 2, "update = delete + insert");
+        assert_eq!(CostModel::heap_row_write().ios(), 2);
+    }
+
+    #[test]
+    fn empty_table_has_minimal_shape() {
+        let stats = StatsBuilder::new(2, 0).finish(0);
+        let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
+        assert_eq!(shape, IndexShape { leaf_pages: 1, height: 1, total_pages: 1 });
+        assert_eq!(CostModel::seq_scan(&stats).ios(), 1);
+    }
+}

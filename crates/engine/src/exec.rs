@@ -1,0 +1,563 @@
+//! Plan execution against the storage substrate.
+//!
+//! The executor is deliberately dumb: it runs exactly the access path
+//! the planner chose and lets the pager count the I/O. Hot paths avoid
+//! per-row allocation: heap scans evaluate predicates through
+//! [`RowView`] column extraction, and index scans evaluate them by
+//! decoding fixed-width integer segments straight out of the
+//! memcomparable key bytes.
+
+use crate::catalog::{IndexEntry, TableEntry};
+use crate::planner::{BoundCondition, Plan, PlannedQuery, Planner};
+use cdpd_sql::{AggFunc, Condition};
+use cdpd_storage::codec::{decode_key, encode_key, RowView};
+use cdpd_types::{ColumnId, Error, Result, Rid, Value, ValueType};
+
+/// Result of executing one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecOutcome {
+    /// Number of rows that matched.
+    pub count: u64,
+    /// Materialized rows (only when requested).
+    pub rows: Option<Vec<Vec<Value>>>,
+    /// Aggregate result, for aggregate projections.
+    pub aggregate: Option<Value>,
+}
+
+/// Execute `planned` against `table`. `materialize` controls whether
+/// result rows are built (query results) or merely counted (workload
+/// replay, where only cost matters). Aggregates, ORDER BY, and LIMIT
+/// are applied here, on top of the chosen access path.
+pub(crate) fn execute(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    planned: &PlannedQuery,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    // Extremum plans answer the aggregate directly from one tree spine.
+    if let Plan::IndexExtremum { index, max } = planned.plan {
+        return index_extremum(table, planner, planned, index, max);
+    }
+    // Aggregates and sorts need the rows regardless of caller intent.
+    let need_rows = planned.aggregate.is_some() || planned.order_by.is_some();
+    let materialize = (materialize || need_rows) && !planned.count_only;
+    let mut outcome = match &planned.plan {
+        Plan::SeqScan => seq_scan(table, planned, materialize)?,
+        Plan::IndexSeek { index, eq_prefix, covering } => {
+            let probe = planner.seek_probe(planned, *index, *eq_prefix);
+            index_seek(table, planned, planner, *index, &probe, *covering, materialize)?
+        }
+        Plan::IndexRange { index, covering } => {
+            index_range(table, planned, planner, *index, *covering, materialize)?
+        }
+        Plan::IndexOnlyScan { index } => {
+            index_only(table, planned, planner, *index, materialize)?
+        }
+        Plan::IndexExtremum { .. } => unreachable!("handled above"),
+    };
+
+    if let Some((func, col)) = planned.aggregate {
+        let rows = outcome.rows.take().unwrap_or_default();
+        // The aggregate column is the sole output column
+        // (bind_projection); `count` stays the number of rows folded.
+        let _ = col;
+        outcome.count = rows.len() as u64;
+        outcome.aggregate = Some(fold_aggregate(func, rows)?);
+        outcome.rows = None;
+        return Ok(outcome);
+    }
+
+    if let Some(rows) = &mut outcome.rows {
+        if let Some((col, desc)) = planned.order_by {
+            if !planned.plan_ordered || desc {
+                // The order column was appended as the last output
+                // column when absent from the projection; sort on the
+                // position output_columns() placed it at.
+                let pos = order_column_position(table, planned, col);
+                rows.sort_by(|a, b| a[pos].cmp(&b[pos]));
+            }
+            if desc {
+                rows.reverse();
+            }
+        }
+        if let Some(limit) = planned.limit {
+            rows.truncate(limit as usize);
+            outcome.count = rows.len() as u64;
+        }
+        // Strip a trailing order-by helper column not in the projection.
+        if let (Some(proj), Some((col, _))) = (&planned.projection, planned.order_by) {
+            if !proj.contains(&col) {
+                for row in rows.iter_mut() {
+                    row.pop();
+                }
+            }
+        }
+    } else if let Some(limit) = planned.limit {
+        outcome.count = outcome.count.min(limit);
+    }
+    Ok(outcome)
+}
+
+/// Position of the ORDER BY column in the executed output rows.
+fn order_column_position(table: &TableEntry, planned: &PlannedQuery, col: ColumnId) -> usize {
+    let _ = table;
+    match &planned.projection {
+        Some(proj) => proj.iter().position(|c| *c == col).unwrap_or(proj.len()),
+        None => col.index(), // SELECT * keeps schema order
+    }
+}
+
+fn fold_aggregate(func: AggFunc, rows: Vec<Vec<Value>>) -> Result<Value> {
+    let values = rows.into_iter().map(|mut r| r.swap_remove(0));
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.count() as i64)),
+        AggFunc::Min => Ok(values.min().unwrap_or(Value::Int(0))),
+        AggFunc::Max => Ok(values.max().unwrap_or(Value::Int(0))),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sum: i64 = 0;
+            let mut n: i64 = 0;
+            for v in values {
+                let i = v.as_int().ok_or_else(|| {
+                    Error::TypeMismatch("SUM/AVG need an integer column".into())
+                })?;
+                sum = sum.wrapping_add(i);
+                n += 1;
+            }
+            Ok(Value::Int(if func == AggFunc::Sum {
+                sum
+            } else if n == 0 {
+                0
+            } else {
+                sum / n
+            }))
+        }
+    }
+}
+
+/// `O(height)` MIN/MAX: read one end of the index.
+fn index_extremum(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    _planned: &PlannedQuery,
+    index: usize,
+    max: bool,
+) -> Result<ExecOutcome> {
+    let entry = index_entry(table, planner, index)?;
+    let key = if max {
+        entry.btree.last_entry()?.map(|(k, _)| k)
+    } else {
+        let mut cur = entry.btree.scan_all()?;
+        cur.next_entry()?.map(|(k, _)| k.to_vec())
+    };
+    let aggregate = match key {
+        Some(k) => Some(decode_key(&k)?.swap_remove(0)),
+        None => Some(Value::Int(0)), // empty-table aggregate convention
+    };
+    // For aggregate queries `count` is the number of rows aggregated,
+    // matching the fold-based paths.
+    Ok(ExecOutcome { count: entry.btree.entry_count(), rows: None, aggregate })
+}
+
+fn index_entry<'t>(table: &'t TableEntry, planner: &Planner<'_>, index: usize) -> Result<&'t IndexEntry> {
+    let name = &planner.indexes()[index].name;
+    table
+        .indexes
+        .get(name)
+        .ok_or_else(|| Error::NotFound(format!("index {name} is not materialized")))
+}
+
+/// Output columns of the query, in order. When an ORDER BY column is
+/// not part of the projection it is appended as a helper column (the
+/// execute() wrapper sorts on it and strips it before returning).
+fn output_columns(table: &TableEntry, planned: &PlannedQuery) -> Vec<ColumnId> {
+    let mut cols = match &planned.projection {
+        Some(cols) => cols.clone(),
+        None => (0..table.schema.len()).map(|i| ColumnId(i as u16)).collect(),
+    };
+    if let Some((col, _)) = planned.order_by {
+        if !cols.contains(&col) {
+            cols.push(col);
+        }
+    }
+    cols
+}
+
+/// Evaluate all conjuncts against a heap row.
+fn row_matches(view: &RowView<'_>, conds: &[BoundCondition]) -> Result<bool> {
+    for bc in conds {
+        // Fast path: integer column compared against integer literal.
+        let v = view.value(bc.column.index())?;
+        if !bc.condition.matches(&v) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn project_row(view: &RowView<'_>, cols: &[ColumnId]) -> Result<Vec<Value>> {
+    cols.iter().map(|c| view.value(c.index())).collect()
+}
+
+// --- Key-side predicate evaluation --------------------------------------
+
+/// Evaluates conditions directly on encoded index keys.
+///
+/// When every key column is `INT`, each column occupies a fixed 9-byte
+/// segment of the memcomparable key, so a condition on key position `p`
+/// decodes 8 bytes at offset `9p + 1` — no allocation. Otherwise the
+/// matcher falls back to a full `decode_key`.
+struct KeyMatcher {
+    /// (key position, condition) for every conjunct on a key column.
+    checks: Vec<(usize, Condition)>,
+    all_int: bool,
+}
+
+impl KeyMatcher {
+    /// Build a matcher for the conjuncts of `planned` that reference key
+    /// columns of `index` at or after `skip_prefix` (probe-satisfied
+    /// leading equalities are skipped).
+    fn new(
+        table: &TableEntry,
+        planner: &Planner<'_>,
+        planned: &PlannedQuery,
+        index: usize,
+        skip_prefix: usize,
+    ) -> KeyMatcher {
+        let cols = &planner.indexes()[index].columns;
+        let all_int = cols.iter().all(|c| {
+            table.schema.column(*c).map(|d| d.ty) == Some(ValueType::Int)
+        });
+        let mut checks = Vec::new();
+        for bc in &planned.conditions {
+            if let Some(pos) = cols.iter().position(|c| *c == bc.column) {
+                if pos < skip_prefix && matches!(bc.condition, Condition::Eq { .. }) {
+                    continue; // satisfied by the probe
+                }
+                checks.push((pos, bc.condition.clone()));
+            }
+        }
+        KeyMatcher { checks, all_int }
+    }
+
+    fn decode_int_segment(key: &[u8], pos: usize) -> Option<i64> {
+        let off = pos * 9 + 1;
+        let seg = key.get(off..off + 8)?;
+        let raw = u64::from_be_bytes(seg.try_into().ok()?);
+        Some((raw ^ (1u64 << 63)) as i64)
+    }
+
+    fn matches(&self, key: &[u8]) -> Result<bool> {
+        if self.checks.is_empty() {
+            return Ok(true);
+        }
+        if self.all_int {
+            for (pos, cond) in &self.checks {
+                let v = Self::decode_int_segment(key, *pos)
+                    .ok_or_else(|| Error::Corrupt("short index key".into()))?;
+                if !cond.matches(&Value::Int(v)) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        } else {
+            let vals = decode_key(key)?;
+            for (pos, cond) in &self.checks {
+                if !cond.matches(&vals[*pos]) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Project output columns out of an index key (covering plans).
+fn project_key(
+    key: &[u8],
+    key_cols: &[ColumnId],
+    out_cols: &[ColumnId],
+    all_int: bool,
+) -> Result<Vec<Value>> {
+    if all_int {
+        out_cols
+            .iter()
+            .map(|c| {
+                let pos = key_cols
+                    .iter()
+                    .position(|k| k == c)
+                    .ok_or_else(|| Error::Corrupt("projection column not in key".into()))?;
+                KeyMatcher::decode_int_segment(key, pos)
+                    .map(Value::Int)
+                    .ok_or_else(|| Error::Corrupt("short index key".into()))
+            })
+            .collect()
+    } else {
+        let vals = decode_key(key)?;
+        out_cols
+            .iter()
+            .map(|c| {
+                let pos = key_cols
+                    .iter()
+                    .position(|k| k == c)
+                    .ok_or_else(|| Error::Corrupt("projection column not in key".into()))?;
+                Ok(vals[pos].clone())
+            })
+            .collect()
+    }
+}
+
+// --- Access paths --------------------------------------------------------
+
+fn seq_scan(
+    table: &TableEntry,
+    planned: &PlannedQuery,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let out_cols = output_columns(table, planned);
+    let mut count = 0u64;
+    let mut rows = materialize.then(Vec::new);
+    let mut scan = table.heap.scan();
+    while let Some((_rid, view)) = scan.next_row()? {
+        if row_matches(&view, &planned.conditions)? {
+            count += 1;
+            if let Some(rows) = &mut rows {
+                rows.push(project_row(&view, &out_cols)?);
+            }
+        }
+    }
+    Ok(ExecOutcome { count, rows, aggregate: None })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_seek(
+    table: &TableEntry,
+    planned: &PlannedQuery,
+    planner: &Planner<'_>,
+    index: usize,
+    probe: &[Value],
+    covering: bool,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let entry = index_entry(table, planner, index)?;
+    let matcher = KeyMatcher::new(table, planner, planned, index, probe.len());
+    let out_cols = output_columns(table, planned);
+    let probe_bytes = encode_key(probe);
+    let mut cursor = entry.btree.seek(probe)?;
+    let mut count = 0u64;
+    let mut rows = materialize.then(Vec::new);
+    while let Some((key, rid)) = cursor.next_entry()? {
+        if !key.starts_with(&probe_bytes) {
+            break;
+        }
+        if covering {
+            if matcher.matches(key)? {
+                count += 1;
+                if let Some(rows) = &mut rows {
+                    rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+                }
+            }
+        } else {
+            let bytes = table.heap.fetch(rid)?;
+            let view = RowView::new(&bytes);
+            if row_matches(&view, &planned.conditions)? {
+                count += 1;
+                if let Some(rows) = &mut rows {
+                    rows.push(project_row(&view, &out_cols)?);
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome { count, rows, aggregate: None })
+}
+
+fn index_range(
+    table: &TableEntry,
+    planned: &PlannedQuery,
+    planner: &Planner<'_>,
+    index: usize,
+    covering: bool,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let entry = index_entry(table, planner, index)?;
+    let leading = entry.columns[0];
+    let range = planned
+        .conditions
+        .iter()
+        .find(|c| c.column == leading && matches!(c.condition, Condition::Range { .. }))
+        .ok_or_else(|| Error::Corrupt("range plan without range condition".into()))?;
+    let Condition::Range { lo, hi, hi_inclusive, .. } = &range.condition else {
+        unreachable!()
+    };
+    let matcher = KeyMatcher::new(table, planner, planned, index, 0);
+    let out_cols = output_columns(table, planned);
+
+    let mut cursor = match lo {
+        Some(lo) => entry.btree.seek(std::slice::from_ref(lo))?,
+        None => entry.btree.scan_all()?,
+    };
+    let mut count = 0u64;
+    let mut rows = materialize.then(Vec::new);
+    while let Some((key, rid)) = cursor.next_entry()? {
+        // Stop once the leading column exceeds the upper bound.
+        if let Some(hi) = hi {
+            let lead = if matcher.all_int {
+                Value::Int(
+                    KeyMatcher::decode_int_segment(key, 0)
+                        .ok_or_else(|| Error::Corrupt("short index key".into()))?,
+                )
+            } else {
+                decode_key(key)?.swap_remove(0)
+            };
+            if lead > *hi || (!hi_inclusive && lead == *hi) {
+                break;
+            }
+        }
+        if covering {
+            if matcher.matches(key)? {
+                count += 1;
+                if let Some(rows) = &mut rows {
+                    rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+                }
+            }
+        } else {
+            // The matcher (including the range itself) may still reject
+            // e.g. an exclusive lower bound; check on the fetched row.
+            let bytes = table.heap.fetch(rid)?;
+            let view = RowView::new(&bytes);
+            if row_matches(&view, &planned.conditions)? {
+                count += 1;
+                if let Some(rows) = &mut rows {
+                    rows.push(project_row(&view, &out_cols)?);
+                }
+            }
+        }
+    }
+    Ok(ExecOutcome { count, rows, aggregate: None })
+}
+
+fn index_only(
+    table: &TableEntry,
+    planned: &PlannedQuery,
+    planner: &Planner<'_>,
+    index: usize,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let entry = index_entry(table, planner, index)?;
+    let matcher = KeyMatcher::new(table, planner, planned, index, 0);
+    let out_cols = output_columns(table, planned);
+    let mut cursor = entry.btree.scan_all()?;
+    let mut count = 0u64;
+    let mut rows = materialize.then(Vec::new);
+    while let Some((key, _rid)) = cursor.next_entry()? {
+        if matcher.matches(key)? {
+            count += 1;
+            if let Some(rows) = &mut rows {
+                rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+            }
+        }
+    }
+    Ok(ExecOutcome { count, rows, aggregate: None })
+}
+
+
+/// Collect the rids of every row matching `planned`'s predicate, using
+/// the planned access path. This is the locate phase of UPDATE/DELETE:
+/// rids are fully materialized *before* any mutation, so the write
+/// phase cannot re-see rows it already changed (no Halloween problem).
+pub(crate) fn collect_rids(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    planned: &PlannedQuery,
+) -> Result<Vec<Rid>> {
+    let mut out = Vec::new();
+    match &planned.plan {
+        Plan::SeqScan => {
+            let mut scan = table.heap.scan();
+            while let Some((rid, view)) = scan.next_row()? {
+                if row_matches(&view, &planned.conditions)? {
+                    out.push(rid);
+                }
+            }
+        }
+        Plan::IndexSeek { index, eq_prefix, covering } => {
+            let entry = index_entry(table, planner, *index)?;
+            let probe = planner.seek_probe(planned, *index, *eq_prefix);
+            let probe_bytes = encode_key(&probe);
+            let matcher = KeyMatcher::new(table, planner, planned, *index, probe.len());
+            let mut cursor = entry.btree.seek(&probe)?;
+            while let Some((key, rid)) = cursor.next_entry()? {
+                if !key.starts_with(&probe_bytes) {
+                    break;
+                }
+                if *covering {
+                    if matcher.matches(key)? {
+                        out.push(rid);
+                    }
+                } else {
+                    let bytes = table.heap.fetch(rid)?;
+                    if row_matches(&RowView::new(&bytes), &planned.conditions)? {
+                        out.push(rid);
+                    }
+                }
+            }
+        }
+        Plan::IndexRange { index, covering } => {
+            let entry = index_entry(table, planner, *index)?;
+            let leading = entry.columns[0];
+            let range = planned
+                .conditions
+                .iter()
+                .find(|c| c.column == leading && matches!(c.condition, Condition::Range { .. }))
+                .ok_or_else(|| Error::Corrupt("range plan without range condition".into()))?;
+            let Condition::Range { lo, hi, hi_inclusive, .. } = &range.condition else {
+                unreachable!()
+            };
+            let matcher = KeyMatcher::new(table, planner, planned, *index, 0);
+            let mut cursor = match lo {
+                Some(lo) => entry.btree.seek(std::slice::from_ref(lo))?,
+                None => entry.btree.scan_all()?,
+            };
+            while let Some((key, rid)) = cursor.next_entry()? {
+                if let Some(hi) = hi {
+                    let lead = if matcher.all_int {
+                        Value::Int(
+                            KeyMatcher::decode_int_segment(key, 0)
+                                .ok_or_else(|| Error::Corrupt("short index key".into()))?,
+                        )
+                    } else {
+                        decode_key(key)?.swap_remove(0)
+                    };
+                    if lead > *hi || (!hi_inclusive && lead == *hi) {
+                        break;
+                    }
+                }
+                if *covering {
+                    if matcher.matches(key)? {
+                        out.push(rid);
+                    }
+                } else {
+                    let bytes = table.heap.fetch(rid)?;
+                    if row_matches(&RowView::new(&bytes), &planned.conditions)? {
+                        out.push(rid);
+                    }
+                }
+            }
+        }
+        Plan::IndexOnlyScan { index } => {
+            let entry = index_entry(table, planner, *index)?;
+            let matcher = KeyMatcher::new(table, planner, planned, *index, 0);
+            let mut cursor = entry.btree.scan_all()?;
+            while let Some((key, rid)) = cursor.next_entry()? {
+                if matcher.matches(key)? {
+                    out.push(rid);
+                }
+            }
+        }
+        Plan::IndexExtremum { .. } => {
+            return Err(Error::Corrupt(
+                "extremum plans never locate write targets".into(),
+            ))
+        }
+    }
+    Ok(out)
+}

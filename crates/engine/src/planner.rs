@@ -1,0 +1,828 @@
+//! Cost-based access-path selection.
+//!
+//! The planner is configuration-driven: it receives a list of
+//! [`IndexInfo`]s describing the indexes *assumed to exist* and knows
+//! nothing about whether they are real B+-trees or hypothetical
+//! what-if structures. `Database` plans against its materialized
+//! indexes; [`crate::WhatIfEngine`] plans against estimated shapes.
+//! One planner, two callers — that is the what-if interface.
+
+use crate::cost::{CostModel, IndexShape};
+use crate::stats::TableStats;
+use cdpd_sql::{AggFunc, Condition, Dml, Projection, SelectStmt};
+use cdpd_types::{ColumnId, Cost, Error, Result, Schema, Value};
+
+/// An index as the planner sees it.
+#[derive(Clone, Debug)]
+pub struct IndexInfo {
+    /// Canonical name (for plan descriptions and executor lookup).
+    pub name: String,
+    /// Key columns in key order.
+    pub columns: Vec<ColumnId>,
+    /// Physical shape (real or estimated).
+    pub shape: IndexShape,
+}
+
+/// Bound projection: output columns (`None` = all), whether only a
+/// count is needed, and an optional aggregate fold.
+type BoundProjection = (Option<Vec<ColumnId>>, bool, Option<(AggFunc, ColumnId)>);
+
+/// A resolved predicate conjunct: condition with its column id.
+#[derive(Clone, Debug)]
+pub struct BoundCondition {
+    /// Column the conjunct constrains.
+    pub column: ColumnId,
+    /// The original condition.
+    pub condition: Condition,
+}
+
+/// The chosen access path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Scan the heap, filter, project.
+    SeqScan,
+    /// Descend the index with an equality probe on the leading
+    /// `eq_prefix` key columns.
+    IndexSeek {
+        /// Position in the planner's index list.
+        index: usize,
+        /// Number of leading key columns bound by equality.
+        eq_prefix: usize,
+        /// Whether the index covers the query (no heap fetches).
+        covering: bool,
+    },
+    /// Scan the index range where the leading key column falls in the
+    /// predicate's range.
+    IndexRange {
+        /// Position in the planner's index list.
+        index: usize,
+        /// Whether the index covers the query.
+        covering: bool,
+    },
+    /// Scan every leaf of a covering index instead of the (wider) heap.
+    IndexOnlyScan {
+        /// Position in the planner's index list.
+        index: usize,
+    },
+    /// Read one end of an index: `O(height)` evaluation of an
+    /// unpredicated `MIN(col)` / `MAX(col)` over the leading key column.
+    IndexExtremum {
+        /// Position in the planner's index list.
+        index: usize,
+        /// True for `MAX` (rightmost entry), false for `MIN`.
+        max: bool,
+    },
+}
+
+/// Planner output: the plan, its cost estimate, and bound predicate.
+#[derive(Clone, Debug)]
+pub struct PlannedQuery {
+    /// Chosen access path.
+    pub plan: Plan,
+    /// Estimated cost in logical I/Os.
+    pub est_cost: Cost,
+    /// Estimated number of matching rows.
+    pub est_rows: f64,
+    /// All predicate conjuncts, bound to column ids.
+    pub conditions: Vec<BoundCondition>,
+    /// Projected column ids (`None` = all columns).
+    pub projection: Option<Vec<ColumnId>>,
+    /// Whether the query only needs a row count (`COUNT(*)`).
+    pub count_only: bool,
+    /// Single-column aggregate to fold, if any.
+    pub aggregate: Option<(AggFunc, ColumnId)>,
+    /// Requested ordering `(column, desc)`, if any.
+    pub order_by: Option<(ColumnId, bool)>,
+    /// Row limit, if any.
+    pub limit: Option<u64>,
+    /// Whether the chosen access path already emits rows in the
+    /// requested order (no sort needed).
+    pub plan_ordered: bool,
+    /// Index name used, if any.
+    pub index_name: Option<String>,
+}
+
+impl PlannedQuery {
+    /// One-line plan description, e.g. `IndexSeek(ix_t_a) cost=9`.
+    pub fn describe(&self) -> String {
+        let kind = match &self.plan {
+            Plan::SeqScan => "SeqScan".to_owned(),
+            Plan::IndexSeek { covering, .. } => format!(
+                "IndexSeek({}{})",
+                self.index_name.as_deref().unwrap_or("?"),
+                if *covering { ", covering" } else { "" }
+            ),
+            Plan::IndexRange { covering, .. } => format!(
+                "IndexRange({}{})",
+                self.index_name.as_deref().unwrap_or("?"),
+                if *covering { ", covering" } else { "" }
+            ),
+            Plan::IndexOnlyScan { .. } => {
+                format!("IndexOnlyScan({})", self.index_name.as_deref().unwrap_or("?"))
+            }
+            Plan::IndexExtremum { max, .. } => format!(
+                "IndexExtremum({}, {})",
+                self.index_name.as_deref().unwrap_or("?"),
+                if *max { "max" } else { "min" }
+            ),
+        };
+        format!("{kind} cost={}", self.est_cost)
+    }
+}
+
+/// A planned `UPDATE` or `DELETE`: the row-locating access path plus
+/// the estimated write-side cost.
+#[derive(Clone, Debug)]
+pub struct PlannedWrite {
+    /// Access path used to locate the affected rows.
+    pub find: PlannedQuery,
+    /// Estimated total cost: locate + heap writes + index maintenance.
+    pub est_total: Cost,
+    /// Positions (in the planner's index list) of indexes that need
+    /// per-row maintenance under this statement.
+    pub maintained: Vec<usize>,
+    /// Whether this is an update (vs a delete).
+    pub is_update: bool,
+}
+
+impl PlannedWrite {
+    /// One-line description, e.g. `Update via SeqScan, 2 index(es) maintained`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} via {} maintaining {} index(es), cost={}",
+            if self.is_update { "Update" } else { "Delete" },
+            self.find.describe(),
+            self.maintained.len(),
+            self.est_total
+        )
+    }
+}
+
+/// Access-path feature flags, for ablation studies: disabling a path
+/// shows how much of an experiment's outcome it carries. (Disabling
+/// `index_only_scans` demotes `I(a,b)` from the paper's Table 2 winner
+/// for mix A to a loser — the covering-scan path IS the Table 2 driver;
+/// see the ablation tests and `cdpd-bench`.)
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerFlags {
+    /// Allow full index-only scans of covering indexes.
+    pub index_only_scans: bool,
+    /// Allow range scans over an index's leading column.
+    pub range_scans: bool,
+    /// Let seeks skip heap fetches when the index covers the query
+    /// (off = every seek fetches, like a non-covering secondary index).
+    pub covering_seeks: bool,
+}
+
+impl Default for PlannerFlags {
+    fn default() -> Self {
+        PlannerFlags { index_only_scans: true, range_scans: true, covering_seeks: true }
+    }
+}
+
+/// Cost-based single-table planner.
+pub struct Planner<'a> {
+    schema: &'a Schema,
+    stats: &'a TableStats,
+    indexes: &'a [IndexInfo],
+    flags: PlannerFlags,
+}
+
+impl<'a> Planner<'a> {
+    /// Plan against `schema`/`stats` with `indexes` assumed available.
+    pub fn new(schema: &'a Schema, stats: &'a TableStats, indexes: &'a [IndexInfo]) -> Planner<'a> {
+        Planner { schema, stats, indexes, flags: PlannerFlags::default() }
+    }
+
+    /// Planner with non-default access-path flags (ablations).
+    pub fn with_flags(
+        schema: &'a Schema,
+        stats: &'a TableStats,
+        indexes: &'a [IndexInfo],
+        flags: PlannerFlags,
+    ) -> Planner<'a> {
+        Planner { schema, stats, indexes, flags }
+    }
+
+    /// Resolve and validate the statement, then pick the cheapest path.
+    pub fn plan(&self, stmt: &SelectStmt) -> Result<PlannedQuery> {
+        let conditions = self.bind_conditions(stmt)?;
+        let (projection, count_only, aggregate) = self.bind_projection(stmt)?;
+        let order_by = stmt
+            .order_by
+            .as_ref()
+            .map(|ob| {
+                self.schema
+                    .column_id(&ob.column)
+                    .map(|id| (id, ob.desc))
+                    .ok_or_else(|| Error::NotFound(format!("column {}", ob.column)))
+            })
+            .transpose()?;
+        if aggregate.is_some() && (order_by.is_some() || stmt.limit.is_some()) {
+            return Err(Error::InvalidArgument(
+                "ORDER BY / LIMIT on an aggregate query is meaningless (one result row)".into(),
+            ));
+        }
+
+        // Columns the plan must produce (projection + predicate).
+        let needed: Option<Vec<ColumnId>> = match (&projection, count_only) {
+            (Some(proj), _) => {
+                let mut v = proj.clone();
+                for c in &conditions {
+                    if !v.contains(&c.column) {
+                        v.push(c.column);
+                    }
+                }
+                Some(v)
+            }
+            (None, true) => Some(conditions.iter().map(|c| c.column).collect()),
+            (None, false) => None, // SELECT *
+        };
+
+        let est_rows = self.estimate_rows(&conditions);
+        let mut best: Option<(Cost, u32, Plan, Option<String>)> = None;
+        let mut consider = |cost: Cost, rank: u32, plan: Plan, name: Option<String>| {
+            let better = match &best {
+                None => true,
+                Some((bc, br, ..)) => cost < *bc || (cost == *bc && rank < *br),
+            };
+            if better {
+                best = Some((cost, rank, plan, name));
+            }
+        };
+
+        consider(CostModel::seq_scan(self.stats), 3, Plan::SeqScan, None);
+
+        // Unpredicated MIN/MAX over an index's leading column: read one
+        // end of the tree.
+        if conditions.is_empty() {
+            if let Some((func @ (AggFunc::Min | AggFunc::Max), col)) = aggregate {
+                for (i, info) in self.indexes.iter().enumerate() {
+                    if info.columns[0] == col {
+                        consider(
+                            Cost::from_ios(info.shape.height as u64),
+                            0,
+                            Plan::IndexExtremum { index: i, max: func == AggFunc::Max },
+                            Some(info.name.clone()),
+                        );
+                    }
+                }
+            }
+        }
+
+        for (i, info) in self.indexes.iter().enumerate() {
+            let covering = self.flags.covering_seeks
+                && match &needed {
+                    Some(cols) => cols.iter().all(|c| info.columns.contains(c)),
+                    None => self
+                        .schema
+                        .columns()
+                        .iter()
+                        .enumerate()
+                        .all(|(j, _)| info.columns.contains(&ColumnId(j as u16))),
+                };
+
+            // Longest leading prefix bound by equality.
+            let eq_prefix = info
+                .columns
+                .iter()
+                .take_while(|col| {
+                    conditions
+                        .iter()
+                        .any(|c| c.column == **col && matches!(c.condition, Condition::Eq { .. }))
+                })
+                .count();
+
+            if eq_prefix > 0 {
+                let rows = self.eq_prefix_rows(info, eq_prefix);
+                let cost = CostModel::index_seek(self.stats, info.shape, rows, covering);
+                consider(
+                    cost,
+                    0,
+                    Plan::IndexSeek { index: i, eq_prefix, covering },
+                    Some(info.name.clone()),
+                );
+                continue;
+            }
+
+            // Range on the leading key column?
+            let leading = info.columns[0];
+            let range = conditions.iter().find(|c| {
+                c.column == leading && matches!(c.condition, Condition::Range { .. })
+            });
+            if let Some(bc) = range.filter(|_| self.flags.range_scans) {
+                if let Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } = &bc.condition
+                {
+                    let frac = self
+                        .stats
+                        .column(leading)
+                        .histogram
+                        .range_selectivity(lo.as_ref(), *lo_inclusive, hi.as_ref(), *hi_inclusive);
+                    let rows = self.stats.row_count as f64 * frac;
+                    let cost =
+                        CostModel::index_range(self.stats, info.shape, frac, rows, covering);
+                    consider(
+                        cost,
+                        1,
+                        Plan::IndexRange { index: i, covering },
+                        Some(info.name.clone()),
+                    );
+                    continue;
+                }
+            }
+
+            if covering && self.flags.index_only_scans {
+                let cost = CostModel::index_only_scan(info.shape);
+                consider(cost, 2, Plan::IndexOnlyScan { index: i }, Some(info.name.clone()));
+            }
+        }
+
+        let (est_cost, _, plan, index_name) = best.expect("seq scan is always a candidate");
+        // Does the chosen path already emit rows in the requested order?
+        // Index cursors run ascending over the key, so an ascending
+        // ORDER BY on the index's leading column is free.
+        let plan_ordered = match (&plan, order_by) {
+            (_, None) => true,
+            (
+                Plan::IndexSeek { index, .. }
+                | Plan::IndexRange { index, .. }
+                | Plan::IndexOnlyScan { index },
+                Some((col, false)),
+            ) => self.indexes[*index].columns[0] == col,
+            _ => false,
+        };
+        Ok(PlannedQuery {
+            plan,
+            est_cost,
+            est_rows,
+            conditions,
+            projection,
+            count_only,
+            aggregate,
+            order_by,
+            limit: stmt.limit,
+            plan_ordered,
+            index_name,
+        })
+    }
+
+    /// The index list this planner was constructed with.
+    pub fn indexes(&self) -> &[IndexInfo] {
+        self.indexes
+    }
+
+    /// Plan the write statements of Definition 1's "queries and
+    /// updates": locate the affected rows with the cheapest access
+    /// path, then charge heap writes plus per-row maintenance on every
+    /// index the write invalidates (all indexes for a delete; indexes
+    /// whose key columns intersect the SET list for an update).
+    ///
+    /// Updates are costed as in-place heap writes — exact for the
+    /// fixed-width integer rows of this engine's workloads; a moved row
+    /// additionally reindexes everything, which execution handles
+    /// correctly but estimation ignores.
+    ///
+    /// # Errors
+    /// `stmt` must be an `UPDATE` or `DELETE` (queries go through
+    /// [`Planner::plan`]); SET columns must exist and be type-correct.
+    pub fn plan_write(&self, stmt: &Dml) -> Result<PlannedWrite> {
+        let (set_cols, is_update): (Vec<ColumnId>, bool) = match stmt {
+            Dml::Update(u) => {
+                let cols = u
+                    .set
+                    .iter()
+                    .map(|(name, value)| {
+                        let id = self
+                            .schema
+                            .column_id(name)
+                            .ok_or_else(|| Error::NotFound(format!("column {name}")))?;
+                        let ty = self.schema.column(id).expect("id just resolved").ty;
+                        if value.value_type() != ty {
+                            return Err(Error::TypeMismatch(format!(
+                                "SET literal type does not match column {name}"
+                            )));
+                        }
+                        Ok(id)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                (cols, true)
+            }
+            Dml::Delete(_) => (Vec::new(), false),
+            Dml::Select(_) => {
+                return Err(Error::InvalidArgument(
+                    "plan_write takes UPDATE or DELETE statements".into(),
+                ))
+            }
+        };
+        // The locate phase only needs the predicate columns (rids are
+        // collected first, then rows are mutated — no Halloween hazard).
+        let find_stmt = SelectStmt {
+            projection: Projection::CountStar,
+            table: stmt.table().to_owned(),
+            conditions: stmt.conditions().to_vec(),
+            order_by: None,
+            limit: None,
+        };
+        let find = self.plan(&find_stmt)?;
+        let rows = find.est_rows;
+
+        let maintained: Vec<usize> = self
+            .indexes
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| {
+                if is_update {
+                    info.columns.iter().any(|c| set_cols.contains(c))
+                } else {
+                    true
+                }
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut est_total = find.est_cost + CostModel::heap_row_write().scale(rows.ceil() as u64);
+        for &i in &maintained {
+            let shape = self.indexes[i].shape;
+            est_total += if is_update {
+                CostModel::update_maintenance(shape, rows)
+            } else {
+                CostModel::delete_maintenance(shape, rows)
+            };
+        }
+        Ok(PlannedWrite { find, est_total, maintained, is_update })
+    }
+
+    fn bind_conditions(&self, stmt: &SelectStmt) -> Result<Vec<BoundCondition>> {
+        stmt.conditions
+            .iter()
+            .map(|cond| {
+                let name = cond.column();
+                let column = self
+                    .schema
+                    .column_id(name)
+                    .ok_or_else(|| Error::NotFound(format!("column {name}")))?;
+                let ty = self.schema.column(column).expect("id just resolved").ty;
+                let lit_ok = match cond {
+                    Condition::Eq { value, .. } => value.value_type() == ty,
+                    Condition::Range { lo, hi, .. } => {
+                        lo.as_ref().is_none_or(|v| v.value_type() == ty)
+                            && hi.as_ref().is_none_or(|v| v.value_type() == ty)
+                    }
+                };
+                if !lit_ok {
+                    return Err(Error::TypeMismatch(format!(
+                        "literal type does not match column {name} ({ty:?})",
+                        ty = ty
+                    )));
+                }
+                Ok(BoundCondition { column, condition: cond.clone() })
+            })
+            .collect()
+    }
+
+    fn bind_projection(&self, stmt: &SelectStmt) -> Result<BoundProjection> {
+        match &stmt.projection {
+            Projection::Star => Ok((None, false, None)),
+            Projection::CountStar => Ok((None, true, None)),
+            Projection::Columns(cols) => {
+                let ids = cols
+                    .iter()
+                    .map(|c| {
+                        self.schema
+                            .column_id(c)
+                            .ok_or_else(|| Error::NotFound(format!("column {c}")))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok((Some(ids), false, None))
+            }
+            Projection::Aggregate(func, col) => {
+                let id = self
+                    .schema
+                    .column_id(col)
+                    .ok_or_else(|| Error::NotFound(format!("column {col}")))?;
+                Ok((Some(vec![id]), false, Some((*func, id))))
+            }
+        }
+    }
+
+    /// Independence-assumption row estimate over all conjuncts.
+    fn estimate_rows(&self, conditions: &[BoundCondition]) -> f64 {
+        let mut sel = 1.0f64;
+        for bc in conditions {
+            sel *= match &bc.condition {
+                Condition::Eq { .. } => self.stats.column(bc.column).eq_selectivity(),
+                Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } => self
+                    .stats
+                    .column(bc.column)
+                    .histogram
+                    .range_selectivity(lo.as_ref(), *lo_inclusive, hi.as_ref(), *hi_inclusive),
+            };
+        }
+        self.stats.row_count as f64 * sel
+    }
+
+    /// Rows matching an equality probe on the first `eq_prefix` key
+    /// columns of `info` (independence assumption).
+    fn eq_prefix_rows(&self, info: &IndexInfo, eq_prefix: usize) -> f64 {
+        let mut sel = 1.0f64;
+        for col in &info.columns[..eq_prefix] {
+            sel *= self.stats.column(*col).eq_selectivity();
+        }
+        self.stats.row_count as f64 * sel
+    }
+
+    /// The probe values for an [`Plan::IndexSeek`], in key order.
+    pub fn seek_probe(
+        &self,
+        planned: &PlannedQuery,
+        index: usize,
+        eq_prefix: usize,
+    ) -> Vec<Value> {
+        self.indexes[index].columns[..eq_prefix]
+            .iter()
+            .map(|col| {
+                planned
+                    .conditions
+                    .iter()
+                    .find_map(|c| match &c.condition {
+                        Condition::Eq { value, .. } if c.column == *col => Some(value.clone()),
+                        _ => None,
+                    })
+                    .expect("eq_prefix column must have an Eq condition")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsBuilder;
+    use cdpd_sql::parse;
+    use cdpd_types::{ColumnDef, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ])
+    }
+
+    fn stats(rows: u64) -> TableStats {
+        let mut b = StatsBuilder::new(4, rows);
+        for i in 0..rows as i64 {
+            let v = (i * 2654435761) % 50_000;
+            b.add_row(&[Value::Int(v), Value::Int(v / 2), Value::Int(v / 3), Value::Int(v / 4)]);
+        }
+        b.finish((rows / 200).max(1))
+    }
+
+    fn info(name: &str, cols: &[u16], stats: &TableStats) -> IndexInfo {
+        let ids: Vec<ColumnId> = cols.iter().map(|&c| ColumnId(c)).collect();
+        IndexInfo {
+            name: name.into(),
+            shape: CostModel::estimate_shape(stats, &ids),
+            columns: ids,
+        }
+    }
+
+    fn plan_sql(sql: &str, schema: &Schema, stats: &TableStats, idx: &[IndexInfo]) -> PlannedQuery {
+        let stmt = match parse(sql).unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => panic!("not a select"),
+        };
+        Planner::new(schema, stats, idx).plan(&stmt).unwrap()
+    }
+
+    #[test]
+    fn no_indexes_means_seq_scan() {
+        let (sc, st) = (schema(), stats(100_000));
+        let p = plan_sql("SELECT a FROM t WHERE a = 5", &sc, &st, &[]);
+        assert_eq!(p.plan, Plan::SeqScan);
+        assert_eq!(p.est_cost, CostModel::seq_scan(&st));
+    }
+
+    #[test]
+    fn matching_index_becomes_seek() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st)];
+        let p = plan_sql("SELECT a FROM t WHERE a = 5", &sc, &st, &idx);
+        assert!(
+            matches!(p.plan, Plan::IndexSeek { index: 0, eq_prefix: 1, covering: true }),
+            "{:?}",
+            p.plan
+        );
+        assert!(p.est_cost.ios() < 20);
+    }
+
+    #[test]
+    fn composite_index_serves_leading_column() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st)];
+        let p = plan_sql("SELECT a FROM t WHERE a = 5", &sc, &st, &idx);
+        assert!(matches!(p.plan, Plan::IndexSeek { covering: true, .. }));
+    }
+
+    #[test]
+    fn composite_index_covers_second_column_via_index_only_scan() {
+        // The Table 2 linchpin: query on b, index I(a,b) → index-only
+        // scan, cheaper than the heap scan but dearer than a seek.
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st)];
+        let p = plan_sql("SELECT b FROM t WHERE b = 5", &sc, &st, &idx);
+        assert!(matches!(p.plan, Plan::IndexOnlyScan { index: 0 }), "{:?}", p.plan);
+        assert!(p.est_cost < CostModel::seq_scan(&st));
+    }
+
+    #[test]
+    fn non_covering_index_on_other_column_is_useless() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_c", &[2], &st)];
+        let p = plan_sql("SELECT a FROM t WHERE a = 5", &sc, &st, &idx);
+        assert_eq!(p.plan, Plan::SeqScan);
+    }
+
+    #[test]
+    fn narrow_range_uses_index_range_scan() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st)];
+        let p = plan_sql("SELECT a FROM t WHERE a BETWEEN 10 AND 20", &sc, &st, &idx);
+        assert!(matches!(p.plan, Plan::IndexRange { index: 0, covering: true }), "{:?}", p.plan);
+    }
+
+    #[test]
+    fn wide_non_covering_range_falls_back_to_scan() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st)];
+        let p = plan_sql("SELECT d FROM t WHERE a BETWEEN 0 AND 49000", &sc, &st, &idx);
+        assert_eq!(p.plan, Plan::SeqScan, "fetching half the table via rids must lose");
+    }
+
+    #[test]
+    fn two_column_equality_uses_longest_prefix() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st)];
+        let p = plan_sql("SELECT a FROM t WHERE a = 5 AND b = 2", &sc, &st, &idx);
+        assert!(
+            matches!(p.plan, Plan::IndexSeek { eq_prefix: 2, .. }),
+            "{:?}",
+            p.plan
+        );
+    }
+
+    #[test]
+    fn picks_cheapest_among_indexes() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st), info("ix_b", &[1], &st)];
+        let p = plan_sql("SELECT b FROM t WHERE b = 5", &sc, &st, &idx);
+        assert!(
+            matches!(p.plan, Plan::IndexSeek { index: 1, .. }),
+            "seek on I(b) must beat index-only scan of I(a,b): {:?}",
+            p.plan
+        );
+    }
+
+    #[test]
+    fn unknown_column_and_type_mismatch_rejected() {
+        let (sc, st) = (schema(), stats(1000));
+        let planner_idx: [IndexInfo; 0] = [];
+        let stmt = match parse("SELECT z FROM t").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(Planner::new(&sc, &st, &planner_idx).plan(&stmt).is_err());
+        let stmt = match parse("SELECT a FROM t WHERE a = 'x'").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(Planner::new(&sc, &st, &planner_idx).plan(&stmt).is_err());
+    }
+
+    #[test]
+    fn write_planning_charges_maintenance() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st), info("ix_bc", &[1, 2], &st)];
+        let planner = Planner::new(&sc, &st, &idx);
+        let upd = match cdpd_sql::parse("UPDATE t SET b = 7 WHERE a = 5").unwrap() {
+            cdpd_sql::Statement::Update(u) => cdpd_sql::Dml::Update(u),
+            _ => unreachable!(),
+        };
+        let p = planner.plan_write(&upd).unwrap();
+        assert!(p.is_update);
+        // Only ix_bc contains the SET column b.
+        assert_eq!(p.maintained, vec![1]);
+        // The locate phase uses the index on a.
+        assert!(matches!(p.find.plan, Plan::IndexSeek { index: 0, .. }), "{:?}", p.find.plan);
+        assert!(p.est_total > p.find.est_cost);
+
+        let del = match cdpd_sql::parse("DELETE FROM t WHERE a = 5").unwrap() {
+            cdpd_sql::Statement::Delete(d) => cdpd_sql::Dml::Delete(d),
+            _ => unreachable!(),
+        };
+        let p = planner.plan_write(&del).unwrap();
+        assert!(!p.is_update);
+        assert_eq!(p.maintained, vec![0, 1], "deletes maintain every index");
+    }
+
+    #[test]
+    fn write_planning_validates_set_columns() {
+        let (sc, st) = (schema(), stats(1_000));
+        let planner_idx: [IndexInfo; 0] = [];
+        let planner = Planner::new(&sc, &st, &planner_idx);
+        for bad in ["UPDATE t SET z = 1", "UPDATE t SET a = 'x'"] {
+            let stmt = match cdpd_sql::parse(bad).unwrap() {
+                cdpd_sql::Statement::Update(u) => cdpd_sql::Dml::Update(u),
+                _ => unreachable!(),
+            };
+            assert!(planner.plan_write(&stmt).is_err(), "should reject {bad}");
+        }
+        // Selects are rejected by plan_write.
+        let sel = cdpd_sql::Dml::Select(SelectStmt::point("t", "a", 1));
+        assert!(planner.plan_write(&sel).is_err());
+    }
+
+    #[test]
+    fn more_indexes_make_writes_costlier() {
+        let (sc, st) = (schema(), stats(100_000));
+        let del = match cdpd_sql::parse("DELETE FROM t WHERE a = 5").unwrap() {
+            cdpd_sql::Statement::Delete(d) => cdpd_sql::Dml::Delete(d),
+            _ => unreachable!(),
+        };
+        let one = [info("ix_a", &[0], &st)];
+        let three = [
+            info("ix_a", &[0], &st),
+            info("ix_b", &[1], &st),
+            info("ix_cd", &[2, 3], &st),
+        ];
+        let cheap = Planner::new(&sc, &st, &one).plan_write(&del).unwrap();
+        let dear = Planner::new(&sc, &st, &three).plan_write(&del).unwrap();
+        assert!(
+            dear.est_total > cheap.est_total,
+            "every extra index taxes the delete: {} vs {}",
+            dear.est_total,
+            cheap.est_total
+        );
+    }
+
+    #[test]
+    fn ablation_flags_disable_paths() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st)];
+        let stmt = match parse("SELECT b FROM t WHERE b = 5").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        // Default: covering index-only scan (the Table 2 driver).
+        let p = Planner::new(&sc, &st, &idx).plan(&stmt).unwrap();
+        assert!(matches!(p.plan, Plan::IndexOnlyScan { .. }));
+        // Ablated: the index cannot serve the b-query at all.
+        let flags = PlannerFlags { index_only_scans: false, ..Default::default() };
+        let p = Planner::with_flags(&sc, &st, &idx, flags).plan(&stmt).unwrap();
+        assert_eq!(p.plan, Plan::SeqScan, "without covering scans I(a,b) is useless for b");
+
+        // covering_seeks off: seeks still chosen but pay heap fetches.
+        let stmt = match parse("SELECT a FROM t WHERE a = 5").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let with_cover = Planner::new(&sc, &st, &idx).plan(&stmt).unwrap();
+        let flags = PlannerFlags { covering_seeks: false, ..Default::default() };
+        let without = Planner::with_flags(&sc, &st, &idx, flags).plan(&stmt).unwrap();
+        assert!(matches!(without.plan, Plan::IndexSeek { covering: false, .. }));
+        assert!(without.est_cost > with_cover.est_cost);
+
+        // range_scans off: BETWEEN falls back to a scan.
+        let stmt = match parse("SELECT a FROM t WHERE a BETWEEN 10 AND 20").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let idx_a = [info("ix_a", &[0], &st)];
+        let flags = PlannerFlags { range_scans: false, ..Default::default() };
+        let p = Planner::with_flags(&sc, &st, &idx_a, flags).plan(&stmt).unwrap();
+        // Without range scans the planner falls back to a covering
+        // index-only scan (still cheaper than the heap); with that off
+        // too, only the seq scan remains.
+        assert!(matches!(p.plan, Plan::IndexOnlyScan { .. }), "{:?}", p.plan);
+        let flags =
+            PlannerFlags { range_scans: false, index_only_scans: false, ..Default::default() };
+        let p = Planner::with_flags(&sc, &st, &idx_a, flags).plan(&stmt).unwrap();
+        assert_eq!(p.plan, Plan::SeqScan);
+    }
+
+    #[test]
+    fn count_star_plans_and_probe_extraction() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_ab", &[0, 1], &st)];
+        let p = plan_sql("SELECT COUNT(*) FROM t WHERE a = 7", &sc, &st, &idx);
+        assert!(p.count_only);
+        if let Plan::IndexSeek { index, eq_prefix, .. } = p.plan {
+            let planner = Planner::new(&sc, &st, &idx);
+            let probe = planner.seek_probe(&p, index, eq_prefix);
+            assert_eq!(probe, vec![Value::Int(7)]);
+        } else {
+            panic!("expected seek: {:?}", p.plan);
+        }
+    }
+}

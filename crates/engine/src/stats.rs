@@ -1,0 +1,313 @@
+//! Table and column statistics, built by `ANALYZE`-style full scans.
+//!
+//! The what-if optimizer never touches data; everything it knows comes
+//! from here: row/page counts, exact distinct counts (collected during
+//! the analyze scan — affordable in-memory, and it removes one source
+//! of estimation noise the paper's SQL Server setup had), min/max, and
+//! an equi-depth histogram over a strided sample for range selectivity.
+
+use cdpd_types::{ColumnId, Value};
+
+/// Equi-depth histogram: `bounds[i]` is the upper bound of a bucket and
+/// `cum[i]` the fraction of sampled values ≤ that bound. Duplicate
+/// bounds are merged by keeping the *largest* cumulative fraction, so
+/// heavily skewed data (many buckets ending at the same value) keeps its
+/// depth information.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<Value>,
+    cum: Vec<f64>,
+    min: Option<Value>,
+}
+
+impl Histogram {
+    /// Build from a (not necessarily sorted) sample with `buckets`
+    /// buckets. Empty samples yield an empty histogram.
+    pub fn build(mut sample: Vec<Value>, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        if sample.is_empty() {
+            return Histogram { bounds: Vec::new(), cum: Vec::new(), min: None };
+        }
+        sample.sort();
+        let n = sample.len();
+        let min = Some(sample[0].clone());
+        let mut bounds: Vec<Value> = Vec::with_capacity(buckets);
+        let mut cum: Vec<f64> = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            let idx = (n * b / buckets).saturating_sub(1);
+            let bound = sample[idx].clone();
+            let frac = (idx + 1) as f64 / n as f64;
+            if bounds.last() == Some(&bound) {
+                *cum.last_mut().expect("non-empty") = frac.max(*cum.last().expect("non-empty"));
+            } else {
+                bounds.push(bound);
+                cum.push(frac);
+            }
+        }
+        *cum.last_mut().expect("non-empty") = 1.0;
+        Histogram { bounds, cum, min }
+    }
+
+    /// Estimated fraction of values that are `< v` (or `≤ v` when
+    /// `inclusive`). Buckets are assumed internally uniform; integer
+    /// buckets interpolate linearly.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        if self.bounds.is_empty() {
+            return 0.5; // no information
+        }
+        let mut prev_cum = 0.0f64;
+        let mut prev_bound: Option<&Value> = self.min.as_ref();
+        for (b, c) in self.bounds.iter().zip(&self.cum) {
+            if v <= b {
+                if v == b && inclusive {
+                    return *c;
+                }
+                let depth = c - prev_cum;
+                let frac_in_bucket =
+                    match (prev_bound.and_then(Value::as_int), b.as_int(), v.as_int()) {
+                        (Some(lo), Some(hi), Some(x)) if hi > lo => {
+                            ((x - lo) as f64 / (hi - lo) as f64).clamp(0.0, 1.0)
+                        }
+                        _ => 0.5,
+                    };
+                return (prev_cum + depth * frac_in_bucket).clamp(0.0, 1.0);
+            }
+            prev_cum = *c;
+            prev_bound = Some(b);
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of a (possibly one-sided) range.
+    pub fn range_selectivity(
+        &self,
+        lo: Option<&Value>,
+        lo_inclusive: bool,
+        hi: Option<&Value>,
+        hi_inclusive: bool,
+    ) -> f64 {
+        let below_hi = match hi {
+            Some(h) => self.fraction_below(h, hi_inclusive),
+            None => 1.0,
+        };
+        let below_lo = match lo {
+            Some(l) => self.fraction_below(l, !lo_inclusive),
+            None => 0.0,
+        };
+        (below_hi - below_lo).clamp(0.0, 1.0)
+    }
+
+    /// Number of buckets actually stored.
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+/// Per-column statistics.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Exact number of distinct values at analyze time.
+    pub distinct: u64,
+    /// Minimum value seen.
+    pub min: Option<Value>,
+    /// Maximum value seen.
+    pub max: Option<Value>,
+    /// Equi-depth histogram over a strided sample.
+    pub histogram: Histogram,
+    /// Average encoded width in bytes (for index size estimates).
+    pub avg_width: f64,
+}
+
+impl ColumnStats {
+    /// Selectivity of `col = v`: `1 / distinct`, bounded to [0, 1].
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            1.0 / self.distinct as f64
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Clone, Debug)]
+pub struct TableStats {
+    /// Live row count at analyze time.
+    pub row_count: u64,
+    /// Heap page count (sequential scan cost).
+    pub heap_pages: u64,
+    /// Average encoded row width in bytes.
+    pub avg_row_width: f64,
+    /// Per-column stats, indexed by [`ColumnId`].
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for column `col`.
+    pub fn column(&self, col: ColumnId) -> &ColumnStats {
+        &self.columns[col.index()]
+    }
+
+    /// Expected number of rows matching an equality on `col`.
+    pub fn eq_rows(&self, col: ColumnId) -> f64 {
+        self.row_count as f64 * self.column(col).eq_selectivity()
+    }
+}
+
+/// Incrementally accumulates statistics during an analyze scan.
+pub(crate) struct StatsBuilder {
+    rows: u64,
+    bytes: u64,
+    /// Per column: distinct hash set, min, max, sample.
+    cols: Vec<ColBuilder>,
+    stride: u64,
+}
+
+struct ColBuilder {
+    distinct: std::collections::HashSet<Value>,
+    min: Option<Value>,
+    max: Option<Value>,
+    sample: Vec<Value>,
+    width_sum: u64,
+}
+
+pub(crate) const HISTOGRAM_BUCKETS: usize = 64;
+const SAMPLE_TARGET: u64 = 20_000;
+
+impl StatsBuilder {
+    pub(crate) fn new(n_columns: usize, expected_rows: u64) -> StatsBuilder {
+        StatsBuilder {
+            rows: 0,
+            bytes: 0,
+            cols: (0..n_columns)
+                .map(|_| ColBuilder {
+                    distinct: std::collections::HashSet::new(),
+                    min: None,
+                    max: None,
+                    sample: Vec::new(),
+                    width_sum: 0,
+                })
+                .collect(),
+            stride: (expected_rows / SAMPLE_TARGET).max(1),
+        }
+    }
+
+    pub(crate) fn add_row(&mut self, values: &[Value]) {
+        let sampled = self.rows.is_multiple_of(self.stride);
+        self.rows += 1;
+        for (cb, v) in self.cols.iter_mut().zip(values) {
+            self.bytes += v.encoded_len() as u64;
+            cb.width_sum += v.encoded_len() as u64;
+            cb.distinct.insert(v.clone());
+            if cb.min.as_ref().is_none_or(|m| v < m) {
+                cb.min = Some(v.clone());
+            }
+            if cb.max.as_ref().is_none_or(|m| v > m) {
+                cb.max = Some(v.clone());
+            }
+            if sampled {
+                cb.sample.push(v.clone());
+            }
+        }
+    }
+
+    pub(crate) fn finish(self, heap_pages: u64) -> TableStats {
+        let rows = self.rows;
+        TableStats {
+            row_count: rows,
+            heap_pages,
+            avg_row_width: if rows == 0 { 0.0 } else { self.bytes as f64 / rows as f64 },
+            columns: self
+                .cols
+                .into_iter()
+                .map(|cb| ColumnStats {
+                    distinct: cb.distinct.len() as u64,
+                    min: cb.min,
+                    max: cb.max,
+                    histogram: Histogram::build(cb.sample, HISTOGRAM_BUCKETS),
+                    avg_width: if rows == 0 {
+                        0.0
+                    } else {
+                        cb.width_sum as f64 / rows as f64
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn histogram_uniform_fractions() {
+        let sample: Vec<Value> = (0..10_000).map(iv).collect();
+        let h = Histogram::build(sample, 64);
+        let f = h.fraction_below(&iv(2500), false);
+        assert!((f - 0.25).abs() < 0.05, "got {f}");
+        let f = h.fraction_below(&iv(9999), true);
+        assert!(f > 0.98, "got {f}");
+        let f = h.fraction_below(&iv(-5), false);
+        assert!(f < 0.02, "got {f}");
+    }
+
+    #[test]
+    fn histogram_range_selectivity() {
+        let sample: Vec<Value> = (0..10_000).map(iv).collect();
+        let h = Histogram::build(sample, 64);
+        let s = h.range_selectivity(Some(&iv(1000)), true, Some(&iv(2000)), true);
+        assert!((s - 0.10).abs() < 0.05, "got {s}");
+        let s = h.range_selectivity(None, false, Some(&iv(5000)), false);
+        assert!((s - 0.50).abs() < 0.05, "got {s}");
+        assert_eq!(h.range_selectivity(None, false, None, false), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_agnostic() {
+        let h = Histogram::build(Vec::new(), 8);
+        assert_eq!(h.bucket_count(), 0);
+        assert_eq!(h.fraction_below(&iv(3), false), 0.5);
+    }
+
+    #[test]
+    fn skewed_histogram_tracks_depth_not_width() {
+        // 90% of values are < 10; equi-depth must reflect that.
+        let mut sample: Vec<Value> = (0..9000).map(|i| iv(i % 10)).collect();
+        sample.extend((0..1000).map(|i| iv(1000 + i)));
+        let h = Histogram::build(sample, 64);
+        let f = h.fraction_below(&iv(100), false);
+        assert!(f > 0.85, "got {f}");
+    }
+
+    #[test]
+    fn builder_computes_exact_distinct_and_bounds() {
+        let mut b = StatsBuilder::new(2, 100);
+        for i in 0..100i64 {
+            b.add_row(&[iv(i % 10), iv(i)]);
+        }
+        let stats = b.finish(7);
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.heap_pages, 7);
+        assert_eq!(stats.columns[0].distinct, 10);
+        assert_eq!(stats.columns[1].distinct, 100);
+        assert_eq!(stats.columns[0].min, Some(iv(0)));
+        assert_eq!(stats.columns[0].max, Some(iv(9)));
+        assert!((stats.column(cdpd_types::ColumnId(0)).eq_selectivity() - 0.1).abs() < 1e-9);
+        assert!((stats.eq_rows(cdpd_types::ColumnId(0)) - 10.0).abs() < 1e-9);
+        assert!((stats.avg_row_width - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_handles_empty_table() {
+        let b = StatsBuilder::new(1, 0);
+        let stats = b.finish(0);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.columns[0].distinct, 0);
+        assert_eq!(stats.columns[0].eq_selectivity(), 0.0);
+    }
+}

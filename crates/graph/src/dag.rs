@@ -1,0 +1,316 @@
+use cdpd_types::Cost;
+use std::fmt;
+
+/// Index of a node within a [`Dag`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The node's position in insertion (= topological) order.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+struct Node<N> {
+    payload: N,
+    weight: Cost,
+    /// Out-edges as (target, edge weight).
+    out: Vec<(NodeId, Cost)>,
+    /// In-edges as (source, edge weight); kept for backward DP passes.
+    inc: Vec<(NodeId, Cost)>,
+}
+
+/// A weighted DAG whose insertion order is a topological order.
+///
+/// Sequence graphs are built stage by stage, so requiring every edge to
+/// go from a lower to a higher [`NodeId`] costs the caller nothing and
+/// buys an allocation-free `O(|V| + |E|)` shortest-path DP with no
+/// explicit topological sort. [`Dag::add_edge`] panics on a backward or
+/// self edge — that is a construction bug, never an input condition.
+///
+/// Both nodes and edges are weighted: a path's cost is the sum of the
+/// weights of every node *and* every edge on it, matching the paper's
+/// labelling (nodes = `EXEC`, edges = `TRANS`).
+pub struct Dag<N> {
+    nodes: Vec<Node<N>>,
+    edge_count: usize,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        Dag { nodes: Vec::new(), edge_count: 0 }
+    }
+}
+
+/// Result of [`Dag::shortest_path`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShortestPath {
+    /// Total cost (node weights + edge weights along the path).
+    pub cost: Cost,
+    /// Nodes on the path, source first, target last.
+    pub nodes: Vec<NodeId>,
+}
+
+impl<N> Dag<N> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty DAG with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Dag { nodes: Vec::with_capacity(nodes), edge_count: 0 }
+    }
+
+    /// Add a node with the given payload and weight; returns its id.
+    pub fn add_node(&mut self, payload: N, weight: Cost) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
+        self.nodes.push(Node { payload, weight, out: Vec::new(), inc: Vec::new() });
+        id
+    }
+
+    /// Add a weighted edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics unless `from < to` (insertion order must be topological).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: Cost) {
+        assert!(
+            from.0 < to.0,
+            "edges must go forward in insertion order ({from:?} -> {to:?})"
+        );
+        self.nodes[from.index()].out.push((to, weight));
+        self.nodes[to.index()].inc.push((from, weight));
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The payload attached to `id`.
+    pub fn payload(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()].payload
+    }
+
+    /// The node weight of `id`.
+    pub fn node_weight(&self, id: NodeId) -> Cost {
+        self.nodes[id.index()].weight
+    }
+
+    /// Out-edges of `id` as `(target, edge weight)` pairs.
+    pub fn out_edges(&self, id: NodeId) -> &[(NodeId, Cost)] {
+        &self.nodes[id.index()].out
+    }
+
+    /// In-edges of `id` as `(source, edge weight)` pairs.
+    pub fn in_edges(&self, id: NodeId) -> &[(NodeId, Cost)] {
+        &self.nodes[id.index()].inc
+    }
+
+    /// All node ids in topological (insertion) order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Shortest path from `source` to `target`, or `None` if `target` is
+    /// unreachable (also when every route saturates at `Cost::MAX`).
+    ///
+    /// Runs one forward DP over nodes in topological order:
+    /// `O(|V| + |E|)` time, `O(|V|)` space.
+    pub fn shortest_path(&self, source: NodeId, target: NodeId) -> Option<ShortestPath> {
+        let dist = self.forward_distances(source);
+        let total = dist[target.index()]?;
+        if total.is_infinite() {
+            return None;
+        }
+        // Reconstruct by walking predecessors greedily: at each node pick
+        // an in-edge whose source distance + edge weight + node weight
+        // equals our distance.
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != source {
+            let d_cur = dist[cur.index()].expect("on-path node must be reachable");
+            let w_cur = self.node_weight(cur);
+            let prev = self
+                .in_edges(cur)
+                .iter()
+                .find(|(src, ew)| {
+                    dist[src.index()]
+                        .is_some_and(|d| d.saturating_add(*ew).saturating_add(w_cur) == d_cur)
+                })
+                .map(|(src, _)| *src)
+                .expect("shortest-path predecessor must exist");
+            nodes.push(prev);
+            cur = prev;
+        }
+        nodes.reverse();
+        Some(ShortestPath { cost: total, nodes })
+    }
+
+    /// Distance from `source` to every node (including the node weights
+    /// of both endpoints). `None` = unreachable.
+    pub(crate) fn forward_distances(&self, source: NodeId) -> Vec<Option<Cost>> {
+        let mut dist: Vec<Option<Cost>> = vec![None; self.nodes.len()];
+        dist[source.index()] = Some(self.node_weight(source));
+        for id in self.node_ids().skip(source.index()) {
+            let Some(d) = dist[id.index()] else { continue };
+            for &(to, ew) in self.out_edges(id) {
+                let cand = d.saturating_add(ew).saturating_add(self.node_weight(to));
+                let slot = &mut dist[to.index()];
+                if slot.is_none_or(|old| cand < old) {
+                    *slot = Some(cand);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Distance from every node to `target` (counting the node weight of
+    /// every node on the suffix **except** the starting node itself).
+    ///
+    /// This is the exact remaining-cost heuristic used by path ranking:
+    /// for a partial path ending at `v` with accumulated cost `g`
+    /// (which already includes `v`'s node weight), `g + to_target[v]` is
+    /// the exact cost of the best completion.
+    pub(crate) fn backward_distances(&self, target: NodeId) -> Vec<Option<Cost>> {
+        let mut dist: Vec<Option<Cost>> = vec![None; self.nodes.len()];
+        dist[target.index()] = Some(Cost::ZERO);
+        for id in self.node_ids().rev() {
+            if id == target {
+                continue;
+            }
+            let mut best: Option<Cost> = None;
+            for &(to, ew) in self.out_edges(id) {
+                if let Some(d) = dist[to.index()] {
+                    let cand = ew.saturating_add(self.node_weight(to)).saturating_add(d);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            dist[id.index()] = best;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// Diamond: s -> {a, b} -> t with different costs.
+    fn diamond() -> (Dag<&'static str>, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Dag::new();
+        let s = g.add_node("s", c(0));
+        let a = g.add_node("a", c(10));
+        let b = g.add_node("b", c(1));
+        let t = g.add_node("t", c(0));
+        g.add_edge(s, a, c(1));
+        g.add_edge(s, b, c(5));
+        g.add_edge(a, t, c(1));
+        g.add_edge(b, t, c(1));
+        (g, s, a, b, t)
+    }
+
+    #[test]
+    fn shortest_path_picks_cheaper_branch() {
+        let (g, s, _a, b, t) = diamond();
+        let sp = g.shortest_path(s, t).unwrap();
+        // via b: 0 + 5 + 1 + 1 + 0 = 7; via a: 0 + 1 + 10 + 1 + 0 = 12.
+        assert_eq!(sp.cost, c(7));
+        assert_eq!(sp.nodes, vec![s, b, t]);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let mut g = Dag::new();
+        let s = g.add_node((), c(0));
+        let t = g.add_node((), c(0));
+        assert!(g.shortest_path(s, t).is_none());
+    }
+
+    #[test]
+    fn single_node_path() {
+        let mut g = Dag::new();
+        let s = g.add_node((), c(3));
+        let sp = g.shortest_path(s, s).unwrap();
+        assert_eq!(sp.cost, c(3));
+        assert_eq!(sp.nodes, vec![s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edge_panics() {
+        let mut g = Dag::new();
+        let a = g.add_node((), c(0));
+        let b = g.add_node((), c(0));
+        g.add_edge(b, a, c(0));
+    }
+
+    #[test]
+    fn infinite_edges_are_avoided() {
+        let (mut g, s, _a, b, t) = diamond();
+        // Poison the cheap branch.
+        let idx = g.nodes[s.index()]
+            .out
+            .iter()
+            .position(|&(to, _)| to == b)
+            .unwrap();
+        g.nodes[s.index()].out[idx].1 = Cost::MAX;
+        for e in &mut g.nodes[b.index()].inc {
+            if e.0 == s {
+                e.1 = Cost::MAX;
+            }
+        }
+        let sp = g.shortest_path(s, t).unwrap();
+        assert_eq!(sp.cost, c(12));
+    }
+
+    #[test]
+    fn all_infinite_routes_means_unreachable() {
+        let mut g = Dag::new();
+        let s = g.add_node((), c(0));
+        let t = g.add_node((), c(0));
+        g.add_edge(s, t, Cost::MAX);
+        assert!(g.shortest_path(s, t).is_none());
+    }
+
+    #[test]
+    fn backward_distances_are_exact_remaining_cost() {
+        let (g, s, a, b, t) = diamond();
+        let back = g.backward_distances(t);
+        assert_eq!(back[t.index()], Some(c(0)));
+        assert_eq!(back[a.index()], Some(c(1))); // a -> t: edge 1 + node 0
+        assert_eq!(back[b.index()], Some(c(1)));
+        // from s: min(1+10+1, 5+1+1) = 7
+        assert_eq!(back[s.index()], Some(c(7)));
+        // forward + check consistency
+        let fwd = g.forward_distances(s);
+        assert_eq!(fwd[t.index()], Some(c(7)));
+    }
+
+    #[test]
+    fn counters() {
+        let (g, ..) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.payload(NodeId(2)), "b");
+    }
+}

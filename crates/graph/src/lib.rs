@@ -1,0 +1,38 @@
+//! Weighted directed-acyclic-graph algorithms underpinning the design
+//! advisor.
+//!
+//! The paper (§3) reduces dynamic physical design to a *shortest path in
+//! a sequence graph*: a staged DAG whose nodes carry the execution cost
+//! of running one statement under one configuration and whose edges
+//! carry transition costs. Its §5 alternative solves the *constrained*
+//! problem by **ranking** paths in ascending cost until one satisfies
+//! the change bound.
+//!
+//! This crate provides both primitives, generically:
+//!
+//! * [`Dag`] — a staged DAG with [`cdpd_types::Cost`] node and edge weights, built in
+//!   topological order, with an `O(|V| + |E|)` shortest-path solver
+//!   ([`Dag::shortest_path`]).
+//! * [`PathRanking`] — an iterator yielding *all* source→target paths in
+//!   nondecreasing total cost, implemented as best-first search over
+//!   partial paths with the exact remaining-distance heuristic (computed
+//!   by one backward DP pass). With an exact heuristic the frontier pops
+//!   paths in true cost order, so the stream is properly ranked — this
+//!   is the classic A*-based k-shortest-paths construction.
+//!
+//! * [`yen`] — an independently implemented deviation-based ranker
+//!   (Yen's algorithm, the textbook member of the path-deletion family
+//!   §5 cites); property-tested to agree with [`PathRanking`], so each
+//!   ranker is the other's oracle.
+//!
+//! Costs are saturating integers ([`cdpd_types::Cost`]), so "infeasible" edges can be
+//! modelled as `Cost::MAX` without overflow poisoning the search.
+
+#![warn(missing_docs)]
+
+mod dag;
+mod ranking;
+pub mod yen;
+
+pub use dag::{Dag, NodeId, ShortestPath};
+pub use ranking::{PathRanking, RankedPath};

@@ -1,0 +1,223 @@
+use crate::dag::{Dag, NodeId};
+use cdpd_types::Cost;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// One path produced by [`PathRanking`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RankedPath {
+    /// Total cost (node + edge weights).
+    pub cost: Cost,
+    /// Nodes on the path, source first.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A partial path stored as a shared cons-list so that the frontier's
+/// many partial paths share their common prefixes.
+struct Cons {
+    node: NodeId,
+    prev: Option<Rc<Cons>>,
+}
+
+impl Cons {
+    fn unwind(mut this: &Rc<Cons>) -> Vec<NodeId> {
+        let mut out = vec![this.node];
+        while let Some(prev) = &this.prev {
+            out.push(prev.node);
+            this = prev;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Frontier entry: a partial path ending at `tail.node`, with exact
+/// accumulated cost `g` (includes the tail's node weight) and priority
+/// `f = g + h(tail)` where `h` is the exact remaining distance.
+struct Frontier {
+    f: Cost,
+    g: Cost,
+    tail: Rc<Cons>,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other.f.cmp(&self.f)
+    }
+}
+
+/// Iterator over all `source → target` paths of a [`Dag`] in
+/// nondecreasing total-cost order.
+///
+/// This is the path-ranking primitive behind the paper's §5 solver:
+/// *"shortest path ranking algorithms generate paths in ascending order
+/// of length until a given stopping condition is reached."* The
+/// implementation is best-first search over partial paths with the exact
+/// remaining-distance heuristic, precomputed by one backward DP pass
+/// over the DAG (`O(|V| + |E|)`). Because the heuristic is exact, the
+/// first time a partial path reaching `target` pops it is a true
+/// next-shortest path, so paths stream out in properly ranked order —
+/// no path-deletion graph surgery needed on a DAG.
+///
+/// Each emitted path costs `O(L log F)` where `L` is its length and `F`
+/// the frontier size; the frontier grows with the number of paths
+/// enumerated, so callers should stop as soon as their condition holds
+/// (the advisor stops at the first path with ≤ k design changes).
+pub struct PathRanking<'g, N> {
+    dag: &'g Dag<N>,
+    target: NodeId,
+    /// Exact distance from each node to `target` (None = dead end).
+    to_target: Vec<Option<Cost>>,
+    heap: BinaryHeap<Frontier>,
+}
+
+impl<'g, N> PathRanking<'g, N> {
+    /// Start ranking paths from `source` to `target`.
+    pub fn new(dag: &'g Dag<N>, source: NodeId, target: NodeId) -> Self {
+        let to_target = dag.backward_distances(target);
+        let mut heap = BinaryHeap::new();
+        let g = dag.node_weight(source);
+        if let Some(h) = to_target[source.index()] {
+            if !h.is_infinite() {
+                heap.push(Frontier {
+                    f: g.saturating_add(h),
+                    g,
+                    tail: Rc::new(Cons { node: source, prev: None }),
+                });
+            }
+        }
+        PathRanking { dag, target, to_target, heap }
+    }
+
+    /// Number of partial paths currently on the frontier (diagnostics).
+    pub fn frontier_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<N> Iterator for PathRanking<'_, N> {
+    type Item = RankedPath;
+
+    fn next(&mut self) -> Option<RankedPath> {
+        while let Some(Frontier { f, g, tail }) = self.heap.pop() {
+            if f.is_infinite() {
+                return None; // only unreachable/poisoned routes remain
+            }
+            let node = tail.node;
+            if node == self.target {
+                return Some(RankedPath { cost: g, nodes: Cons::unwind(&tail) });
+            }
+            for &(to, ew) in self.dag.out_edges(node) {
+                let Some(h) = self.to_target[to.index()] else { continue };
+                let g2 = g.saturating_add(ew).saturating_add(self.dag.node_weight(to));
+                let f2 = g2.saturating_add(h);
+                if f2.is_infinite() {
+                    continue;
+                }
+                self.heap.push(Frontier {
+                    f: f2,
+                    g: g2,
+                    tail: Rc::new(Cons { node: to, prev: Some(tail.clone()) }),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// Two stages, two choices per stage: 4 total paths.
+    fn two_stage() -> (Dag<()>, NodeId, NodeId) {
+        let mut g = Dag::new();
+        let s = g.add_node((), c(0));
+        let a1 = g.add_node((), c(1));
+        let a2 = g.add_node((), c(4));
+        let b1 = g.add_node((), c(2));
+        let b2 = g.add_node((), c(3));
+        let t = g.add_node((), c(0));
+        g.add_edge(s, a1, c(0));
+        g.add_edge(s, a2, c(0));
+        for &a in &[a1, a2] {
+            for &b in &[b1, b2] {
+                g.add_edge(a, b, if a == a1 && b == b2 { c(10) } else { c(0) });
+            }
+        }
+        g.add_edge(b1, t, c(0));
+        g.add_edge(b2, t, c(0));
+        (g, s, t)
+    }
+
+    #[test]
+    fn enumerates_all_paths_in_ascending_order() {
+        let (g, s, t) = two_stage();
+        let paths: Vec<RankedPath> = PathRanking::new(&g, s, t).collect();
+        assert_eq!(paths.len(), 4);
+        let costs: Vec<u64> = paths.iter().map(|p| p.cost.ios()).collect();
+        // a1+b1=3, a2+b1=6, a2+b2=7, a1+b2+10=14
+        assert_eq!(costs, vec![3, 6, 7, 14]);
+        let mut sorted = costs.clone();
+        sorted.sort_unstable();
+        assert_eq!(costs, sorted);
+    }
+
+    #[test]
+    fn first_ranked_path_equals_shortest_path() {
+        let (g, s, t) = two_stage();
+        let first = PathRanking::new(&g, s, t).next().unwrap();
+        let sp = g.shortest_path(s, t).unwrap();
+        assert_eq!(first.cost, sp.cost);
+        assert_eq!(first.nodes, sp.nodes);
+    }
+
+    #[test]
+    fn no_path_yields_empty_iterator() {
+        let mut g: Dag<()> = Dag::new();
+        let s = g.add_node((), c(0));
+        let t = g.add_node((), c(0));
+        assert_eq!(PathRanking::new(&g, s, t).count(), 0);
+    }
+
+    #[test]
+    fn trivial_source_is_target() {
+        let mut g: Dag<()> = Dag::new();
+        let s = g.add_node((), c(5));
+        let paths: Vec<_> = PathRanking::new(&g, s, s).collect();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].cost, c(5));
+        assert_eq!(paths[0].nodes, vec![s]);
+    }
+
+    #[test]
+    fn poisoned_routes_are_skipped() {
+        let mut g: Dag<()> = Dag::new();
+        let s = g.add_node((), c(0));
+        let a = g.add_node((), c(1));
+        let t = g.add_node((), c(0));
+        g.add_edge(s, a, Cost::MAX);
+        g.add_edge(a, t, c(0));
+        g.add_edge(s, t, c(2));
+        let paths: Vec<_> = PathRanking::new(&g, s, t).collect();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].cost, c(2));
+    }
+}

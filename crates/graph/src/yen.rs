@@ -1,0 +1,207 @@
+//! Yen-style k-shortest-path ranking: the classical deviation-based
+//! alternative to [`crate::PathRanking`].
+//!
+//! The paper's §5 points at deviation-based rankers (path deletion,
+//! de Azevedo et al.); Yen's algorithm is the textbook member of that
+//! family for loopless paths — and on a DAG *every* path is loopless,
+//! so it ranks exactly the same path set as the A*-based
+//! [`crate::PathRanking`]. It exists here as an independently
+//! implemented oracle: the two rankers are checked against each other
+//! property-wise, which is how subtle ordering bugs in either get
+//! caught.
+//!
+//! Limitation (irrelevant for sequence graphs): parallel edges between
+//! the same node pair are treated as one edge — deviation banning is by
+//! `(from, to)` pair.
+
+use crate::dag::{Dag, NodeId};
+use crate::ranking::RankedPath;
+use cdpd_types::Cost;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Shortest path from `start` to `target` avoiding banned nodes and
+/// edges, via the same topological DP as [`Dag::shortest_path`].
+fn constrained_shortest<N>(
+    dag: &Dag<N>,
+    start: NodeId,
+    target: NodeId,
+    banned_nodes: &HashSet<NodeId>,
+    banned_edges: &HashSet<(NodeId, NodeId)>,
+) -> Option<RankedPath> {
+    if banned_nodes.contains(&start) {
+        return None;
+    }
+    let n = dag.node_count();
+    let mut dist: Vec<Option<Cost>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    dist[start.index()] = Some(dag.node_weight(start));
+    for id in dag.node_ids().skip(start.index()) {
+        let Some(d) = dist[id.index()] else { continue };
+        for &(to, ew) in dag.out_edges(id) {
+            if banned_nodes.contains(&to) || banned_edges.contains(&(id, to)) {
+                continue;
+            }
+            let cand = d.saturating_add(ew).saturating_add(dag.node_weight(to));
+            if cand.is_infinite() {
+                continue;
+            }
+            if dist[to.index()].is_none_or(|old| cand < old) {
+                dist[to.index()] = Some(cand);
+                parent[to.index()] = Some(id);
+            }
+        }
+    }
+    let cost = dist[target.index()]?;
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while cur != start {
+        cur = parent[cur.index()].expect("reachable node has a parent");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Some(RankedPath { cost, nodes })
+}
+
+/// The `k` shortest `source → target` paths in nondecreasing cost
+/// order (fewer if the graph has fewer paths).
+pub fn k_shortest<N>(dag: &Dag<N>, source: NodeId, target: NodeId, k: usize) -> Vec<RankedPath> {
+    let mut accepted: Vec<RankedPath> = Vec::new();
+    let Some(first) = constrained_shortest(dag, source, target, &HashSet::new(), &HashSet::new())
+    else {
+        return accepted;
+    };
+    accepted.push(first);
+
+    // Candidate heap ordered by (cost, nodes) ascending; min-heap via
+    // Reverse semantics on a wrapper.
+    #[derive(PartialEq, Eq)]
+    struct Cand(RankedPath);
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .0
+                .cost
+                .cmp(&self.0.cost)
+                .then_with(|| other.0.nodes.cmp(&self.0.nodes))
+        }
+    }
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut candidates: BinaryHeap<Cand> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    seen.insert(accepted[0].nodes.clone());
+
+    while accepted.len() < k {
+        let prev = accepted.last().expect("at least the shortest path").clone();
+        // Deviate at every node of the previous path except the target.
+        for i in 0..prev.nodes.len() - 1 {
+            let spur_node = prev.nodes[i];
+            let root = &prev.nodes[..=i];
+
+            // Ban the next edge of every accepted path sharing this root.
+            let mut banned_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for p in &accepted {
+                if p.nodes.len() > i + 1 && p.nodes[..=i] == *root {
+                    banned_edges.insert((p.nodes[i], p.nodes[i + 1]));
+                }
+            }
+            // Ban the root's interior nodes so the spur cannot rejoin it
+            // (loopless; vacuous on a DAG but keeps the algorithm honest).
+            let banned_nodes: HashSet<NodeId> = root[..i].iter().copied().collect();
+
+            let Some(spur) =
+                constrained_shortest(dag, spur_node, target, &banned_nodes, &banned_edges)
+            else {
+                continue;
+            };
+
+            // Root cost: nodes and edges strictly before the spur node.
+            let mut root_cost = Cost::ZERO;
+            for w in 0..i {
+                root_cost = root_cost.saturating_add(dag.node_weight(root[w]));
+                let edge = dag
+                    .out_edges(root[w])
+                    .iter()
+                    .filter(|(to, _)| *to == root[w + 1])
+                    .map(|(_, c)| *c)
+                    .min()
+                    .expect("root follows existing edges");
+                root_cost = root_cost.saturating_add(edge);
+            }
+            let total = root_cost.saturating_add(spur.cost);
+            let mut nodes = root[..i].to_vec();
+            nodes.extend_from_slice(&spur.nodes);
+            if seen.insert(nodes.clone()) {
+                candidates.push(Cand(RankedPath { cost: total, nodes }));
+            }
+        }
+        match candidates.pop() {
+            Some(Cand(next)) => accepted.push(next),
+            None => break,
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::PathRanking;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    fn two_stage() -> (Dag<()>, NodeId, NodeId) {
+        let mut g = Dag::new();
+        let s = g.add_node((), c(0));
+        let a1 = g.add_node((), c(1));
+        let a2 = g.add_node((), c(4));
+        let b1 = g.add_node((), c(2));
+        let b2 = g.add_node((), c(3));
+        let t = g.add_node((), c(0));
+        g.add_edge(s, a1, c(0));
+        g.add_edge(s, a2, c(0));
+        for &a in &[a1, a2] {
+            for &b in &[b1, b2] {
+                g.add_edge(a, b, if a == a1 && b == b2 { c(10) } else { c(0) });
+            }
+        }
+        g.add_edge(b1, t, c(0));
+        g.add_edge(b2, t, c(0));
+        (g, s, t)
+    }
+
+    #[test]
+    fn agrees_with_astar_ranking() {
+        let (g, s, t) = two_stage();
+        let yen = k_shortest(&g, s, t, 10);
+        let astar: Vec<RankedPath> = PathRanking::new(&g, s, t).collect();
+        assert_eq!(yen.len(), astar.len());
+        let yc: Vec<u64> = yen.iter().map(|p| p.cost.ios()).collect();
+        let ac: Vec<u64> = astar.iter().map(|p| p.cost.ios()).collect();
+        assert_eq!(yc, ac);
+    }
+
+    #[test]
+    fn truncates_at_k() {
+        let (g, s, t) = two_stage();
+        let yen = k_shortest(&g, s, t, 2);
+        assert_eq!(yen.len(), 2);
+        assert!(yen[0].cost <= yen[1].cost);
+    }
+
+    #[test]
+    fn handles_no_path_and_trivial() {
+        let mut g: Dag<()> = Dag::new();
+        let s = g.add_node((), c(0));
+        let t = g.add_node((), c(0));
+        assert!(k_shortest(&g, s, t, 3).is_empty());
+        let single = k_shortest(&g, s, s, 3);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].nodes, vec![s]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: shortest path and path ranking vs brute-force
+//! enumeration on randomly generated staged DAGs (the exact shape of the
+//! advisor's sequence graphs).
+
+use cdpd_graph::{yen, Dag, NodeId, PathRanking};
+use cdpd_types::Cost;
+use proptest::prelude::*;
+
+/// Build a staged DAG: `stages` columns of `width` nodes, fully
+/// connected stage-to-stage, plus single source and target nodes.
+/// Weights come from the two input vectors (consumed cyclically).
+fn staged_dag(
+    stages: usize,
+    width: usize,
+    node_w: &[u64],
+    edge_w: &[u64],
+) -> (Dag<(usize, usize)>, NodeId, NodeId) {
+    let mut g = Dag::new();
+    let mut nw = node_w.iter().cycle();
+    let mut ew = edge_w.iter().cycle();
+    let src = g.add_node((usize::MAX, 0), Cost::from_ios(*nw.next().unwrap() % 16));
+    let mut prev: Vec<NodeId> = vec![src];
+    for s in 0..stages {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let n = g.add_node((s, w), Cost::from_ios(*nw.next().unwrap() % 64));
+            cur.push(n);
+        }
+        for &p in &prev {
+            for &c in &cur {
+                g.add_edge(p, c, Cost::from_ios(*ew.next().unwrap() % 32));
+            }
+        }
+        prev = cur;
+    }
+    let tgt = g.add_node((usize::MAX, 1), Cost::ZERO);
+    for &p in &prev {
+        g.add_edge(p, tgt, Cost::from_ios(*ew.next().unwrap() % 32));
+    }
+    (g, src, tgt)
+}
+
+/// Enumerate every source→target path cost by DFS.
+fn brute_force_costs(g: &Dag<(usize, usize)>, src: NodeId, tgt: NodeId) -> Vec<u64> {
+    fn dfs(g: &Dag<(usize, usize)>, cur: NodeId, tgt: NodeId, acc: Cost, out: &mut Vec<u64>) {
+        let acc = acc.saturating_add(g.node_weight(cur));
+        if cur == tgt {
+            out.push(acc.ios());
+            return;
+        }
+        for &(to, ew) in g.out_edges(cur) {
+            dfs(g, to, tgt, acc.saturating_add(ew), out);
+        }
+    }
+    let mut out = Vec::new();
+    dfs(g, src, tgt, Cost::ZERO, &mut out);
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shortest_path_matches_brute_force(
+        stages in 1usize..5,
+        width in 1usize..4,
+        node_w in prop::collection::vec(0u64..1000, 4..40),
+        edge_w in prop::collection::vec(0u64..1000, 4..40),
+    ) {
+        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let brute = brute_force_costs(&g, s, t);
+        let sp = g.shortest_path(s, t).expect("staged dag is connected");
+        prop_assert_eq!(sp.cost.ios(), brute[0]);
+    }
+
+    #[test]
+    fn ranking_enumerates_exactly_all_paths_in_order(
+        stages in 1usize..4,
+        width in 1usize..4,
+        node_w in prop::collection::vec(0u64..1000, 4..40),
+        edge_w in prop::collection::vec(0u64..1000, 4..40),
+    ) {
+        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let brute = brute_force_costs(&g, s, t);
+        let ranked: Vec<u64> =
+            PathRanking::new(&g, s, t).map(|p| p.cost.ios()).collect();
+        prop_assert_eq!(&ranked, &brute, "ranking must yield every path, sorted");
+    }
+
+    #[test]
+    fn yen_agrees_with_astar_ranking(
+        stages in 1usize..4,
+        width in 1usize..4,
+        node_w in prop::collection::vec(0u64..1000, 4..40),
+        edge_w in prop::collection::vec(0u64..1000, 4..40),
+        k in 1usize..12,
+    ) {
+        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let astar: Vec<u64> = PathRanking::new(&g, s, t)
+            .take(k)
+            .map(|p| p.cost.ios())
+            .collect();
+        let via_yen: Vec<u64> = yen::k_shortest(&g, s, t, k)
+            .into_iter()
+            .map(|p| p.cost.ios())
+            .collect();
+        prop_assert_eq!(via_yen, astar, "two independent rankers must agree");
+    }
+
+    #[test]
+    fn ranked_paths_are_valid_paths(
+        stages in 1usize..4,
+        width in 1usize..4,
+        node_w in prop::collection::vec(0u64..1000, 4..40),
+        edge_w in prop::collection::vec(0u64..1000, 4..40),
+    ) {
+        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        for p in PathRanking::new(&g, s, t).take(10) {
+            prop_assert_eq!(p.nodes[0], s);
+            prop_assert_eq!(*p.nodes.last().unwrap(), t);
+            // Every consecutive pair must be an actual edge, and the
+            // stated cost must equal the recomputed cost.
+            let mut cost = g.node_weight(p.nodes[0]);
+            for w in p.nodes.windows(2) {
+                let (from, to) = (w[0], w[1]);
+                let edge = g
+                    .out_edges(from)
+                    .iter()
+                    .filter(|(n, _)| *n == to)
+                    .map(|(_, c)| *c)
+                    .min()
+                    .expect("consecutive ranked nodes must be connected");
+                cost = cost.saturating_add(edge).saturating_add(g.node_weight(to));
+            }
+            // Recomputed cost may use the min parallel edge; ranked cost
+            // can't be below it.
+            prop_assert!(p.cost >= cost);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+use cdpd_types::{Error, Result};
+use std::fmt;
+
+/// The kind (and payload) of one token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Keyword or bare identifier (keywords are recognized by the
+    /// parser case-insensitively; the lexer keeps the original text).
+    Ident(String),
+    /// Integer literal (sign handled by the parser via `-`).
+    Int(i64),
+    /// Single-quoted string literal with `''` escaping.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Minus,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts (for error messages).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+/// Streaming SQL lexer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Lex `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lex the whole input into a vector.
+    pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+        let mut lexer = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(tok) = lexer.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// Produce the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>> {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let Some(b) = self.peek() else { return Ok(None) };
+        let kind = match b {
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semi
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'\'' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        Some(b'\'') => {
+                            self.pos += 1;
+                            if self.peek() == Some(b'\'') {
+                                s.push('\'');
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance over one UTF-8 scalar.
+                            let rest = std::str::from_utf8(&self.src[self.pos..])
+                                .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                            let ch = rest.chars().next().expect("peeked byte exists");
+                            s.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        None => {
+                            return Err(Error::parse(start, "unterminated string literal"))
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' => {
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("digits are ASCII");
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| Error::parse(start, format!("integer out of range: {text}")))?;
+                TokenKind::Int(v)
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ident bytes are ASCII");
+                TokenKind::Ident(text.to_owned())
+            }
+            other => {
+                return Err(Error::parse(
+                    start,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(Some(Token { kind, offset: start }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_point_query() {
+        assert_eq!(
+            kinds("SELECT a FROM t WHERE a = 42"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_punctuation() {
+        assert_eq!(
+            kinds("<= >= < > = , ( ) * ; -"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Comma,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Star,
+                TokenKind::Semi,
+                TokenKind::Minus,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Lexer::tokenize("a @").unwrap_err();
+        assert!(err.to_string().contains("byte 2"), "{err}");
+        assert!(Lexer::tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(Lexer::tokenize("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! A minimal SQL dialect: just enough surface syntax to express the
+//! paper's workloads and the DDL the design advisor issues.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! SELECT a FROM t WHERE a = 5
+//! SELECT a, b FROM t WHERE a = 5 AND b BETWEEN 1 AND 10
+//! SELECT * FROM t
+//! SELECT COUNT(*) FROM t WHERE c >= 100
+//! SELECT SUM(b) FROM t WHERE a = 5
+//! SELECT MAX(a) FROM t
+//! SELECT a, b FROM t WHERE a >= 5 ORDER BY b DESC LIMIT 10
+//! UPDATE t SET b = 7 WHERE a = 5
+//! DELETE FROM t WHERE a BETWEEN 1 AND 3
+//! CREATE TABLE t (a INT, b INT, c INT, d INT)
+//! CREATE INDEX i_ab ON t (a, b)
+//! DROP INDEX i_ab
+//! INSERT INTO t VALUES (1, 2, 3, 4)
+//! ```
+//!
+//! The paper's experimental template — `SELECT <col> FROM t WHERE <col> =
+//! <randValue>` — is the core case; ranges, conjunctions, `COUNT(*)` and
+//! `*` projections exist so the engine, cost model, and candidate
+//! generator are exercised beyond single-point queries.
+//!
+//! Parsing is a hand-written lexer + recursive-descent parser with byte
+//! offsets in every error; [`std::fmt::Display`] on the AST
+//! pretty-prints back to parseable SQL (tested as a round-trip).
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFunc, Condition, DeleteStmt, Dml, OrderBy, Projection, SelectStmt, Statement, UpdateStmt};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, parse_many};

@@ -1,0 +1,592 @@
+use crate::ast::{AggFunc, Condition, DeleteStmt, OrderBy, Projection, SelectStmt, Statement, UpdateStmt};
+use crate::lexer::{Lexer, Token, TokenKind};
+use cdpd_types::{Error, Result, Value, ValueType};
+
+/// Parse exactly one statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Statement> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    p.eat(&TokenKind::Semi);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_many(src: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semi) {}
+        if p.at_end() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser { tokens: Lexer::tokenize(src)?, pos: 0, src_len: src.len() })
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.src_len, |t| t.offset)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume `kind` if it is next; returns whether it was consumed.
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::parse(self.offset(), format!("expected {kw}")))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(Error::parse(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(Error::parse(self.offset(), "trailing input after statement"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        let off = self.offset();
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            _ => Err(Error::parse(off, format!("expected {what}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let off = self.offset();
+        match self.bump() {
+            Some(TokenKind::Int(v)) => Ok(Value::Int(v)),
+            Some(TokenKind::Minus) => match self.bump() {
+                Some(TokenKind::Int(v)) => Ok(Value::Int(-v)),
+                _ => Err(Error::parse(off, "expected integer after '-'")),
+            },
+            Some(TokenKind::Str(s)) => Ok(Value::Str(s)),
+            _ => Err(Error::parse(off, "expected literal")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let off = self.offset();
+        if self.eat_kw("SELECT") {
+            return self.select().map(Statement::Select);
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return Err(Error::parse(self.offset(), "expected TABLE or INDEX"));
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("INDEX")?;
+            let name = self.ident("index name")?;
+            return Ok(Statement::DropIndex { name });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        Err(Error::parse(
+            off,
+            "expected SELECT, UPDATE, DELETE, CREATE, DROP, or INSERT",
+        ))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let projection = if self.eat(&TokenKind::Star) {
+            Projection::Star
+        } else if let Some(TokenKind::Ident(s)) = self.peek() {
+            let agg = [
+                ("COUNT", AggFunc::Count),
+                ("SUM", AggFunc::Sum),
+                ("MIN", AggFunc::Min),
+                ("MAX", AggFunc::Max),
+                ("AVG", AggFunc::Avg),
+            ]
+            .into_iter()
+            .find(|(kw, _)| s.eq_ignore_ascii_case(kw))
+            .filter(|_| {
+                self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+            });
+            if let Some((_, func)) = agg {
+                self.pos += 2;
+                if self.eat(&TokenKind::Star) {
+                    if func != AggFunc::Count {
+                        return Err(Error::parse(
+                            self.offset(),
+                            "only COUNT accepts * as its argument",
+                        ));
+                    }
+                    self.expect(&TokenKind::RParen, ")")?;
+                    Projection::CountStar
+                } else {
+                    let col = self.ident("column name")?;
+                    self.expect(&TokenKind::RParen, ")")?;
+                    Projection::Aggregate(func, col)
+                }
+            } else {
+                let mut cols = vec![self.ident("column name")?];
+                while self.eat(&TokenKind::Comma) {
+                    cols.push(self.ident("column name")?);
+                }
+                Projection::Columns(cols)
+            }
+        } else {
+            return Err(Error::parse(self.offset(), "expected projection"));
+        };
+        self.expect_kw("FROM")?;
+        let table = self.ident("table name")?;
+        let conditions = self.where_clause()?;
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let column = self.ident("column name")?;
+            let desc = self.eat_kw("DESC") || {
+                self.eat_kw("ASC");
+                false
+            };
+            Some(OrderBy { column, desc })
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            let off = self.offset();
+            match self.bump() {
+                Some(TokenKind::Int(v)) if v >= 0 => Some(v as u64),
+                _ => return Err(Error::parse(off, "expected non-negative LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { projection, table, conditions, order_by, limit })
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let column = self.ident("column name")?;
+        let off = self.offset();
+        match self.bump() {
+            Some(TokenKind::Eq) => {
+                Ok(Condition::Eq { column, value: self.literal()? })
+            }
+            Some(TokenKind::Lt) => Ok(Condition::Range {
+                column,
+                lo: None,
+                lo_inclusive: false,
+                hi: Some(self.literal()?),
+                hi_inclusive: false,
+            }),
+            Some(TokenKind::Le) => Ok(Condition::Range {
+                column,
+                lo: None,
+                lo_inclusive: false,
+                hi: Some(self.literal()?),
+                hi_inclusive: true,
+            }),
+            Some(TokenKind::Gt) => Ok(Condition::Range {
+                column,
+                lo: Some(self.literal()?),
+                lo_inclusive: false,
+                hi: None,
+                hi_inclusive: false,
+            }),
+            Some(TokenKind::Ge) => Ok(Condition::Range {
+                column,
+                lo: Some(self.literal()?),
+                lo_inclusive: true,
+                hi: None,
+                hi_inclusive: false,
+            }),
+            Some(TokenKind::Ident(kw)) if kw.eq_ignore_ascii_case("BETWEEN") => {
+                let lo = self.literal()?;
+                self.expect_kw("AND")?;
+                let hi = self.literal()?;
+                Ok(Condition::Range {
+                    column,
+                    lo: Some(lo),
+                    lo_inclusive: true,
+                    hi: Some(hi),
+                    hi_inclusive: true,
+                })
+            }
+            _ => Err(Error::parse(off, "expected comparison operator")),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let off = self.offset();
+            let ty = self.ident("column type")?;
+            let ty = if ty.eq_ignore_ascii_case("INT") || ty.eq_ignore_ascii_case("INTEGER") {
+                ValueType::Int
+            } else if ty.eq_ignore_ascii_case("TEXT") || ty.eq_ignore_ascii_case("VARCHAR") {
+                ValueType::Str
+            } else {
+                return Err(Error::parse(off, format!("unknown type {ty}")));
+            };
+            columns.push((col, ty));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident("index name")?;
+        self.expect_kw("ON")?;
+        let table = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let mut columns = vec![self.ident("column name")?];
+        while self.eat(&TokenKind::Comma) {
+            columns.push(self.ident("column name")?);
+        }
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(Statement::CreateIndex { name, table, columns })
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Condition>> {
+        let mut conditions = Vec::new();
+        if self.eat_kw("WHERE") {
+            conditions.push(self.condition()?);
+            while self.eat_kw("AND") {
+                conditions.push(self.condition()?);
+            }
+        }
+        Ok(fold_ranges(conditions))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident("table name")?;
+        self.expect_kw("SET")?;
+        let mut set = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(&TokenKind::Eq, "=")?;
+            set.push((col, self.literal()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let conditions = self.where_clause()?;
+        Ok(Statement::Update(UpdateStmt { table, set, conditions }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.ident("table name")?;
+        let conditions = self.where_clause()?;
+        Ok(Statement::Delete(DeleteStmt { table, conditions }))
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("VALUES")?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let mut values = vec![self.literal()?];
+        while self.eat(&TokenKind::Comma) {
+            values.push(self.literal()?);
+        }
+        self.expect(&TokenKind::RParen, ")")?;
+        Ok(Statement::Insert { table, values })
+    }
+}
+
+/// Merge one-sided range conjuncts on the same column into a single
+/// two-sided [`Condition::Range`] (so `a > 1 AND a <= 9` round-trips
+/// with its printed form and the planner sees one range).
+fn fold_ranges(conds: Vec<Condition>) -> Vec<Condition> {
+    let mut out: Vec<Condition> = Vec::with_capacity(conds.len());
+    'next: for c in conds {
+        if let Condition::Range { column, lo, lo_inclusive, hi, hi_inclusive } = &c {
+            for prev in &mut out {
+                if let Condition::Range {
+                    column: pc,
+                    lo: plo,
+                    lo_inclusive: ploi,
+                    hi: phi,
+                    hi_inclusive: phii,
+                } = prev
+                {
+                    if pc == column {
+                        if plo.is_none() && lo.is_some() && hi.is_none() {
+                            *plo = lo.clone();
+                            *ploi = *lo_inclusive;
+                            continue 'next;
+                        }
+                        if phi.is_none() && hi.is_some() && lo.is_none() {
+                            *phi = hi.clone();
+                            *phii = *hi_inclusive;
+                            continue 'next;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(src: &str) -> SelectStmt {
+        match parse(src).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_template() {
+        let s = sel("SELECT a FROM t WHERE a = 421337");
+        assert_eq!(s, SelectStmt::point("t", "a", 421337));
+    }
+
+    #[test]
+    fn parses_multi_column_and_conjunction() {
+        let s = sel("select a, b from t where a = 5 and b between 1 and 10");
+        assert_eq!(s.projection, Projection::Columns(vec!["a".into(), "b".into()]));
+        assert_eq!(s.conditions.len(), 2);
+        assert_eq!(s.order_by, None);
+        assert_eq!(s.limit, None);
+    }
+
+    #[test]
+    fn parses_star_and_count() {
+        assert_eq!(sel("SELECT * FROM t").projection, Projection::Star);
+        let s = sel("SELECT COUNT(*) FROM t WHERE c >= 100");
+        assert_eq!(s.projection, Projection::CountStar);
+        assert!(matches!(&s.conditions[0], Condition::Range { lo: Some(_), .. }));
+    }
+
+    #[test]
+    fn folds_one_sided_ranges() {
+        let s = sel("SELECT a FROM t WHERE a > 1 AND a <= 9");
+        assert_eq!(s.conditions.len(), 1);
+        match &s.conditions[0] {
+            Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } => {
+                assert_eq!(lo, &Some(Value::Int(1)));
+                assert!(!lo_inclusive);
+                assert_eq!(hi, &Some(Value::Int(9)));
+                assert!(hi_inclusive);
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let s = sel("SELECT a FROM t WHERE a = -5");
+        assert_eq!(
+            s.conditions[0],
+            Condition::Eq { column: "a".into(), value: Value::Int(-5) }
+        );
+    }
+
+    #[test]
+    fn parses_ddl_and_insert() {
+        assert_eq!(
+            parse("CREATE TABLE t (a INT, s TEXT)").unwrap(),
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![("a".into(), ValueType::Int), ("s".into(), ValueType::Str)],
+            }
+        );
+        assert_eq!(
+            parse("CREATE INDEX i_cd ON t (c, d)").unwrap(),
+            Statement::CreateIndex {
+                name: "i_cd".into(),
+                table: "t".into(),
+                columns: vec!["c".into(), "d".into()],
+            }
+        );
+        assert_eq!(
+            parse("INSERT INTO t VALUES (1, -2, 'x')").unwrap(),
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(1), Value::Int(-2), Value::from("x")],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_aggregates_order_by_limit() {
+        let s = sel("SELECT SUM(b) FROM t WHERE a = 5");
+        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Sum, "b".into()));
+        let s = sel("SELECT MAX(a) FROM t");
+        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Max, "a".into()));
+        let s = sel("SELECT COUNT(b) FROM t");
+        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Count, "b".into()));
+
+        let s = sel("SELECT a, b FROM t WHERE a >= 5 ORDER BY b DESC LIMIT 10");
+        assert_eq!(s.order_by, Some(OrderBy { column: "b".into(), desc: true }));
+        assert_eq!(s.limit, Some(10));
+        let s = sel("SELECT a FROM t ORDER BY a ASC");
+        assert_eq!(s.order_by, Some(OrderBy { column: "a".into(), desc: false }));
+
+        for bad in [
+            "SELECT SUM(*) FROM t",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT a FROM t ORDER a",
+            "SELECT a FROM t LIMIT",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        assert_eq!(
+            parse("UPDATE t SET a = 1, b = -2 WHERE c = 3 AND d >= 4").unwrap(),
+            Statement::Update(UpdateStmt {
+                table: "t".into(),
+                set: vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(-2))],
+                conditions: vec![
+                    Condition::Eq { column: "c".into(), value: Value::Int(3) },
+                    Condition::Range {
+                        column: "d".into(),
+                        lo: Some(Value::Int(4)),
+                        lo_inclusive: true,
+                        hi: None,
+                        hi_inclusive: false,
+                    },
+                ],
+            })
+        );
+        assert_eq!(
+            parse("DELETE FROM t WHERE a = 1").unwrap(),
+            Statement::Delete(DeleteStmt {
+                table: "t".into(),
+                conditions: vec![Condition::Eq { column: "a".into(), value: Value::Int(1) }],
+            })
+        );
+        // Unpredicated delete (full truncate) parses too.
+        assert!(matches!(parse("DELETE FROM t").unwrap(), Statement::Delete(_)));
+        for bad in ["UPDATE t", "UPDATE t SET", "UPDATE t SET a", "DELETE t", "DELETE FROM"] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_many_splits_script() {
+        let stmts = parse_many("SELECT a FROM t; SELECT b FROM t;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(parse_many("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_with_offsets() {
+        for bad in [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a",
+            "SELECT a FROM t WHERE a = ",
+            "SELECT a FROM t extra",
+            "CREATE VIEW v",
+            "DROP TABLE t",
+            "CREATE TABLE t (a BLOB)",
+            "INSERT INTO t VALUES ()",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let samples = [
+            "SELECT a FROM t WHERE a = 42",
+            "SELECT a, b FROM t WHERE a = 5 AND b BETWEEN 1 AND 10",
+            "SELECT * FROM t",
+            "SELECT COUNT(*) FROM t WHERE c >= 100",
+            "CREATE TABLE t (a INT, b INT)",
+            "CREATE INDEX i ON t (a, b)",
+            "DROP INDEX i",
+            "INSERT INTO t VALUES (1, 2)",
+            "UPDATE t SET a = 5 WHERE b = 2",
+            "SELECT SUM(b) FROM t WHERE a = 5",
+            "SELECT MIN(a) FROM t",
+            "SELECT a, b FROM t WHERE a >= 5 ORDER BY b DESC LIMIT 10",
+            "SELECT a FROM t ORDER BY a",
+            "UPDATE t SET a = 5, b = 6",
+            "DELETE FROM t WHERE a BETWEEN 1 AND 3",
+        ];
+        for s in samples {
+            let ast = parse(s).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(ast, reparsed, "round-trip failed for {s} (printed: {printed})");
+        }
+    }
+}

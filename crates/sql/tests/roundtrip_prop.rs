@@ -1,0 +1,147 @@
+//! Property test: every AST the library can produce pretty-prints to
+//! SQL that parses back to the identical AST.
+
+use cdpd_sql::{parse, Condition, DeleteStmt, Projection, SelectStmt, Statement, UpdateStmt};
+use cdpd_types::Value;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Strings without embedded quotes exercise the printer; the
+        // lexer's escape handling is unit-tested separately.
+        "[a-zA-Z0-9 _]{0,12}".prop_map(Value::from),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (ident(), any::<i64>()).prop_map(|(column, v)| Condition::Eq {
+            column,
+            value: Value::Int(v),
+        }),
+        (ident(), any::<i64>(), any::<i64>()).prop_map(|(column, lo, hi)| {
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            Condition::Range {
+                column,
+                lo: Some(Value::Int(lo)),
+                lo_inclusive: true,
+                hi: Some(Value::Int(hi)),
+                hi_inclusive: true,
+            }
+        }),
+        (ident(), any::<i64>(), any::<bool>()).prop_map(|(column, v, incl)| Condition::Range {
+            column,
+            lo: Some(Value::Int(v)),
+            lo_inclusive: incl,
+            hi: None,
+            hi_inclusive: false,
+        }),
+        (ident(), any::<i64>(), any::<bool>()).prop_map(|(column, v, incl)| Condition::Range {
+            column,
+            lo: None,
+            lo_inclusive: false,
+            hi: Some(Value::Int(v)),
+            hi_inclusive: incl,
+        }),
+    ]
+}
+
+/// Conditions with distinct columns (the parser folds one-sided ranges
+/// on the same column together, which is semantics-preserving but not
+/// AST-identical).
+fn distinct_conditions(max: usize) -> impl Strategy<Value = Vec<Condition>> {
+    prop::collection::vec(condition(), 0..max).prop_map(|mut conds| {
+        let mut seen = std::collections::HashSet::new();
+        conds.retain(|c| seen.insert(c.column().to_owned()));
+        conds
+    })
+}
+
+fn projection() -> impl Strategy<Value = Projection> {
+    use cdpd_sql::AggFunc;
+    prop_oneof![
+        Just(Projection::Star),
+        Just(Projection::CountStar),
+        prop::collection::vec(ident(), 1..4).prop_map(|mut cols| {
+            cols.dedup();
+            Projection::Columns(cols)
+        }),
+        (
+            prop_oneof![
+                Just(AggFunc::Sum),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+                Just(AggFunc::Avg),
+                Just(AggFunc::Count),
+            ],
+            ident()
+        )
+            .prop_map(|(f, c)| Projection::Aggregate(f, c)),
+    ]
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        (
+            projection(),
+            ident(),
+            distinct_conditions(4),
+            prop::option::of((ident(), any::<bool>())),
+            prop::option::of(0u64..1000),
+        )
+            .prop_map(|(projection, table, conditions, order, limit)| {
+                // ORDER BY / LIMIT are rejected on aggregates.
+                let is_agg = matches!(
+                    projection,
+                    cdpd_sql::Projection::Aggregate(..) | cdpd_sql::Projection::CountStar
+                );
+                Statement::Select(SelectStmt {
+                    projection,
+                    table,
+                    conditions,
+                    order_by: if is_agg {
+                        None
+                    } else {
+                        order.map(|(column, desc)| cdpd_sql::OrderBy { column, desc })
+                    },
+                    limit: if is_agg { None } else { limit },
+                })
+            }),
+        (
+            ident(),
+            prop::collection::vec((ident(), literal()), 1..4),
+            distinct_conditions(3)
+        )
+            .prop_map(|(table, mut set, conditions)| {
+                let mut seen = std::collections::HashSet::new();
+                set.retain(|(c, _)| seen.insert(c.clone()));
+                Statement::Update(UpdateStmt { table, set, conditions })
+            }),
+        (ident(), distinct_conditions(3))
+            .prop_map(|(table, conditions)| Statement::Delete(DeleteStmt { table, conditions })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        // Arbitrary input must produce Ok or Err, never a panic.
+        let _ = parse(&input);
+        let _ = cdpd_sql::parse_many(&input);
+    }
+
+    #[test]
+    fn print_parse_roundtrip(stmt in statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed:?}: {e}"));
+        prop_assert_eq!(stmt, reparsed, "round-trip mismatch via {}", printed);
+    }
+}

@@ -1,0 +1,356 @@
+//! Row serialization and order-preserving key encoding.
+//!
+//! Two independent encodings live here:
+//!
+//! * **Row codec** ([`encode_row`] / [`decode_row`] / [`RowView`]) — the
+//!   on-page tuple format used by heap pages. Self-describing (one tag
+//!   byte per value) and cheap to project: [`RowView::value`] walks tag
+//!   bytes instead of materializing the whole row, which is what keeps
+//!   full-table scans with a single-column predicate fast.
+//!
+//! * **Memcomparable key codec** ([`encode_key`] / [`decode_key`]) — the
+//!   B+-tree key format. Encoded keys compare with plain byte
+//!   comparison in the same order as the decoded [`Value`] tuples, and
+//!   the encoding of a tuple *prefix* is a byte-prefix of the full
+//!   encoding, so a composite index `I(a,b)` can be seeked with just an
+//!   `a` value. Integers are tagged and offset-flipped big-endian;
+//!   strings are `0x00`-escaped and double-zero terminated.
+
+use bytes::{Buf, BufMut};
+use cdpd_types::{Error, PageId, Result, Rid, Value};
+
+const TAG_INT: u8 = 0x01;
+const TAG_STR: u8 = 0x02;
+
+// --- Row codec ---------------------------------------------------------
+
+/// Append the row encoding of `values` to `out`.
+pub fn encode_row(values: &[Value], out: &mut Vec<u8>) {
+    for v in values {
+        match v {
+            Value::Int(i) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*i);
+            }
+            Value::Str(s) => {
+                out.put_u8(TAG_STR);
+                out.put_u16_le(u16::try_from(s.len()).expect("string too long for row codec"));
+                out.put_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Decode a full row.
+pub fn decode_row(mut bytes: &[u8]) -> Result<Vec<Value>> {
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        out.push(decode_value(&mut bytes)?);
+    }
+    Ok(out)
+}
+
+fn decode_value(bytes: &mut &[u8]) -> Result<Value> {
+    if !bytes.has_remaining() {
+        return Err(Error::Corrupt("truncated row: missing tag".into()));
+    }
+    match bytes.get_u8() {
+        TAG_INT => {
+            if bytes.remaining() < 8 {
+                return Err(Error::Corrupt("truncated row: short int".into()));
+            }
+            Ok(Value::Int(bytes.get_i64_le()))
+        }
+        TAG_STR => {
+            if bytes.remaining() < 2 {
+                return Err(Error::Corrupt("truncated row: short str len".into()));
+            }
+            let len = bytes.get_u16_le() as usize;
+            if bytes.remaining() < len {
+                return Err(Error::Corrupt("truncated row: short str body".into()));
+            }
+            let s = std::str::from_utf8(&bytes[..len])
+                .map_err(|_| Error::Corrupt("row string is not UTF-8".into()))?
+                .to_owned();
+            bytes.advance(len);
+            Ok(Value::Str(s))
+        }
+        tag => Err(Error::Corrupt(format!("unknown value tag {tag:#x}"))),
+    }
+}
+
+/// Zero-copy accessor over an encoded row.
+///
+/// `value(i)` skips `i` encoded values by reading tags and lengths —
+/// no allocation until the requested value is materialized, and for
+/// integer columns [`RowView::int`] allocates nothing at all.
+#[derive(Clone, Copy)]
+pub struct RowView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> RowView<'a> {
+    /// Wrap encoded row bytes.
+    pub fn new(bytes: &'a [u8]) -> RowView<'a> {
+        RowView { bytes }
+    }
+
+    /// The raw encoded bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    fn offset_of(&self, col: usize) -> Result<usize> {
+        let mut off = 0usize;
+        for _ in 0..col {
+            let tag = *self
+                .bytes
+                .get(off)
+                .ok_or_else(|| Error::Corrupt("row too short for column".into()))?;
+            off += 1;
+            match tag {
+                TAG_INT => off += 8,
+                TAG_STR => {
+                    let len = self
+                        .bytes
+                        .get(off..off + 2)
+                        .map(|b| u16::from_le_bytes([b[0], b[1]]) as usize)
+                        .ok_or_else(|| Error::Corrupt("row too short for str len".into()))?;
+                    off += 2 + len;
+                }
+                t => return Err(Error::Corrupt(format!("unknown value tag {t:#x}"))),
+            }
+        }
+        Ok(off)
+    }
+
+    /// Decode the value of column `col`.
+    pub fn value(&self, col: usize) -> Result<Value> {
+        let off = self.offset_of(col)?;
+        let mut rest = &self.bytes[off..];
+        decode_value(&mut rest)
+    }
+
+    /// Fast path: column `col` as an integer without allocating.
+    pub fn int(&self, col: usize) -> Result<i64> {
+        let off = self.offset_of(col)?;
+        match self.bytes.get(off) {
+            Some(&TAG_INT) => {
+                let b = self
+                    .bytes
+                    .get(off + 1..off + 9)
+                    .ok_or_else(|| Error::Corrupt("truncated int column".into()))?;
+                Ok(i64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+            }
+            Some(_) => Err(Error::TypeMismatch("column is not INT".into())),
+            None => Err(Error::Corrupt("row too short".into())),
+        }
+    }
+
+    /// Decode every value.
+    pub fn decode_all(&self) -> Result<Vec<Value>> {
+        decode_row(self.bytes)
+    }
+}
+
+// --- Memcomparable key codec -------------------------------------------
+
+const KEY_TAG_INT: u8 = 0x10;
+const KEY_TAG_STR: u8 = 0x20;
+
+/// Append the memcomparable encoding of one value to `out`.
+pub fn encode_key_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.put_u8(KEY_TAG_INT);
+            // Flip the sign bit so two's-complement order becomes
+            // unsigned byte order, then big-endian for memcmp.
+            out.put_u64((*i as u64) ^ (1u64 << 63));
+        }
+        Value::Str(s) => {
+            out.put_u8(KEY_TAG_STR);
+            for &b in s.as_bytes() {
+                if b == 0x00 {
+                    out.put_u8(0x00);
+                    out.put_u8(0xFF);
+                } else {
+                    out.put_u8(b);
+                }
+            }
+            out.put_u8(0x00);
+            out.put_u8(0x00);
+        }
+    }
+}
+
+/// Memcomparable encoding of a value tuple.
+///
+/// Guarantees: `encode_key(a) < encode_key(b)` (byte order) iff `a < b`
+/// (tuple order), and `encode_key(&t[..k])` is a byte-prefix of
+/// `encode_key(t)`.
+pub fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 9);
+    for v in values {
+        encode_key_value(v, &mut out);
+    }
+    out
+}
+
+/// Decode a memcomparable key back into values.
+pub fn decode_key(mut bytes: &[u8]) -> Result<Vec<Value>> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        match bytes[0] {
+            KEY_TAG_INT => {
+                let b = bytes
+                    .get(1..9)
+                    .ok_or_else(|| Error::Corrupt("truncated int key".into()))?;
+                let raw = u64::from_be_bytes(b.try_into().expect("slice is 8 bytes"));
+                out.push(Value::Int((raw ^ (1u64 << 63)) as i64));
+                bytes = &bytes[9..];
+            }
+            KEY_TAG_STR => {
+                bytes = &bytes[1..];
+                let mut s = Vec::new();
+                loop {
+                    match bytes {
+                        [0x00, 0x00, rest @ ..] => {
+                            bytes = rest;
+                            break;
+                        }
+                        [0x00, 0xFF, rest @ ..] => {
+                            s.push(0x00);
+                            bytes = rest;
+                        }
+                        [b, rest @ ..] => {
+                            s.push(*b);
+                            bytes = rest;
+                        }
+                        [] => return Err(Error::Corrupt("unterminated string key".into())),
+                    }
+                }
+                out.push(Value::Str(String::from_utf8(s).map_err(|_| {
+                    Error::Corrupt("key string is not UTF-8".into())
+                })?));
+            }
+            t => return Err(Error::Corrupt(format!("unknown key tag {t:#x}"))),
+        }
+    }
+    Ok(out)
+}
+
+// --- Rid codec ----------------------------------------------------------
+
+/// Byte length of an encoded [`Rid`].
+pub const RID_LEN: usize = 6;
+
+/// Append the order-preserving 6-byte encoding of `rid`.
+pub fn encode_rid(rid: Rid, out: &mut Vec<u8>) {
+    out.put_u32(rid.page.raw());
+    out.put_u16(rid.slot);
+}
+
+/// Decode a 6-byte rid.
+pub fn decode_rid(bytes: &[u8]) -> Result<Rid> {
+    if bytes.len() < RID_LEN {
+        return Err(Error::Corrupt("truncated rid".into()));
+    }
+    let page = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
+    let slot = u16::from_be_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    Ok(Rid::new(PageId(page), slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let row = vec![iv(-5), Value::from("héllo"), iv(i64::MAX), Value::from("")];
+        let mut bytes = Vec::new();
+        encode_row(&row, &mut bytes);
+        assert_eq!(decode_row(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn row_view_projects_columns() {
+        let row = vec![iv(10), Value::from("abc"), iv(30)];
+        let mut bytes = Vec::new();
+        encode_row(&row, &mut bytes);
+        let view = RowView::new(&bytes);
+        assert_eq!(view.int(0).unwrap(), 10);
+        assert_eq!(view.value(1).unwrap(), Value::from("abc"));
+        assert_eq!(view.int(2).unwrap(), 30);
+        assert!(view.int(1).is_err(), "str column is not int");
+        assert!(view.value(3).is_err(), "out of range column");
+        assert_eq!(view.decode_all().unwrap(), row);
+    }
+
+    #[test]
+    fn corrupt_rows_error_cleanly() {
+        assert!(decode_row(&[0x01, 0x00]).is_err()); // short int
+        assert!(decode_row(&[0x99]).is_err()); // bad tag
+        assert!(decode_row(&[0x02, 0x05, 0x00, b'a']).is_err()); // short str
+    }
+
+    #[test]
+    fn int_keys_order_preserving() {
+        let samples = [i64::MIN, -1_000_000, -1, 0, 1, 42, 500_000, i64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                let ka = encode_key(&[iv(a)]);
+                let kb = encode_key(&[iv(b)]);
+                assert_eq!(a.cmp(&b), ka.cmp(&kb), "order mismatch for {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn str_keys_order_preserving_with_nuls() {
+        let samples = ["", "a", "a\0", "a\0b", "a!", "ab", "b", "ba"];
+        for a in samples {
+            for b in samples {
+                let ka = encode_key(&[Value::from(a)]);
+                let kb = encode_key(&[Value::from(b)]);
+                assert_eq!(a.cmp(b), ka.cmp(&kb), "order mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_key_prefix_property() {
+        let full = encode_key(&[iv(7), Value::from("x")]);
+        let prefix = encode_key(&[iv(7)]);
+        assert!(full.starts_with(&prefix));
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic() {
+        let k = |a: i64, b: i64| encode_key(&[iv(a), iv(b)]);
+        assert!(k(1, 9) < k(2, 0));
+        assert!(k(2, 0) < k(2, 1));
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let tuple = vec![iv(-3), Value::from("a\0b"), iv(99)];
+        assert_eq!(decode_key(&encode_key(&tuple)).unwrap(), tuple);
+    }
+
+    #[test]
+    fn rid_roundtrip_and_order() {
+        let a = Rid::new(PageId(1), 65535);
+        let b = Rid::new(PageId(2), 0);
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        encode_rid(a, &mut ea);
+        encode_rid(b, &mut eb);
+        assert_eq!(decode_rid(&ea).unwrap(), a);
+        assert!(ea < eb, "rid encoding must preserve order");
+        assert!(decode_rid(&[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Instrumented in-memory storage engine.
+//!
+//! This crate is the substrate that stands in for the paper's
+//! SQL Server 2005 installation: a paged storage manager whose *logical
+//! page I/O counts* drive both the measured execution costs (Figure 3)
+//! and the what-if cost model's estimates.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`Pager`] — fixed-size (8 KiB) pages with atomic read/write
+//!   counters; every page access anywhere in the system is accounted
+//!   here, which is what makes measured costs deterministic.
+//! * [`BufferPool`] — an LRU cache in front of a pager that distinguishes
+//!   *logical* accesses from *physical* fetches (hit/miss statistics).
+//! * slotted pages ([`slotted`]) — variable-length record layout used by
+//!   heap pages.
+//! * [`codec`] — row serialization and an order-preserving
+//!   ("memcomparable") key encoding, so B+-tree pages can compare keys
+//!   with plain `memcmp`.
+//! * [`HeapFile`] — unordered tuple storage with record ids.
+//! * [`BTree`] — a paged B+-tree over memcomparable keys supporting
+//!   point seeks, ordered range cursors, full leaf scans (for index-only
+//!   plans), incremental inserts with node splits, deletes, and sorted
+//!   bulk loading (used by `CREATE INDEX`).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod slotted;
+
+mod btree;
+mod heap;
+mod pager;
+mod pool;
+
+pub use btree::{BTree, BTreeCursor};
+pub use heap::{HeapFile, HeapScan};
+pub use pager::{IoStats, Page, Pager, PAGE_SIZE};
+pub use pool::BufferPool;

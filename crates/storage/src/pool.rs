@@ -1,0 +1,165 @@
+use crate::pager::{Page, Pager};
+use cdpd_types::{PageId, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An LRU buffer pool in front of a [`Pager`].
+///
+/// The pager counts *logical* reads — the deterministic quantity the
+/// cost model predicts. The buffer pool adds the second axis a real
+/// system has: which of those logical reads would have touched storage
+/// ("physical" fetches, i.e. pool misses). The executor reads through
+/// the pool so experiments can report both numbers.
+///
+/// Eviction is strict LRU over page fetches, implemented as a clock on a
+/// monotonically increasing access stamp. Writes invalidate the cached
+/// copy so the next read re-fetches (write-through, drop-on-write); this
+/// keeps the pool trivially coherent with copy-on-write pages.
+pub struct BufferPool {
+    pager: Arc<Pager>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct PoolInner {
+    /// page -> (cached page, last-access stamp)
+    map: HashMap<u32, (Page, u64)>,
+    clock: u64,
+}
+
+impl BufferPool {
+    /// A pool caching at most `capacity` pages of `pager`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(pager: Arc<Pager>, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool {
+            pager,
+            capacity,
+            inner: Mutex::new(PoolInner { map: HashMap::new(), clock: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Read a page through the cache. A hit does *not* touch the pager
+    /// (so it is neither a logical nor a physical read there); callers
+    /// who want logical-read accounting should count at their own level
+    /// or read the pager directly.
+    pub fn read(&self, id: PageId) -> Result<Page> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some((page, last)) = inner.map.get_mut(&id.raw()) {
+            *last = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page.clone());
+        }
+        drop(inner);
+        let page = self.pager.read(id)?;
+        let mut inner = self.inner.lock();
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id.raw()) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, t))| *t) {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(id.raw(), (page.clone(), stamp));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(page)
+    }
+
+    /// Invalidate a cached page (call after writing through the pager).
+    pub fn invalidate(&self, id: PageId) {
+        self.inner.lock().map.remove(&id.raw());
+    }
+
+    /// Drop all cached pages (e.g. after a bulk load).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// `(hits, misses)` since construction. Misses are physical fetches.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of pages currently cached.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u32, cap: usize) -> (Arc<Pager>, BufferPool) {
+        let pager = Arc::new(Pager::new());
+        for _ in 0..n {
+            pager.allocate();
+        }
+        let pool = BufferPool::new(pager.clone(), cap);
+        (pager, pool)
+    }
+
+    #[test]
+    fn hit_does_not_touch_pager() {
+        let (pager, pool) = setup(1, 4);
+        pool.read(PageId(0)).unwrap();
+        let before = pager.stats();
+        pool.read(PageId(0)).unwrap();
+        assert_eq!(pager.stats().delta(before).reads, 0);
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (_pager, pool) = setup(3, 2);
+        pool.read(PageId(0)).unwrap(); // miss
+        pool.read(PageId(1)).unwrap(); // miss
+        pool.read(PageId(0)).unwrap(); // hit; 1 is now LRU
+        pool.read(PageId(2)).unwrap(); // miss, evicts 1
+        pool.read(PageId(0)).unwrap(); // hit
+        pool.read(PageId(1)).unwrap(); // miss (was evicted)
+        assert_eq!(pool.stats(), (2, 4));
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let (pager, pool) = setup(1, 4);
+        pool.read(PageId(0)).unwrap();
+        pager.update(PageId(0), |b| b[0] = 42).unwrap();
+        pool.invalidate(PageId(0));
+        let page = pool.read(PageId(0)).unwrap();
+        assert_eq!(page[0], 42);
+        assert_eq!(pool.stats(), (0, 2));
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let (_pager, pool) = setup(2, 4);
+        pool.read(PageId(0)).unwrap();
+        pool.read(PageId(1)).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let pager = Arc::new(Pager::new());
+        BufferPool::new(pager, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: the paged B+-tree must behave exactly like an
+//! in-memory ordered map over `(values, rid)` keys, under arbitrary
+//! interleavings of inserts and deletes, and seeks must match the
+//! model's range queries.
+
+use cdpd_storage::codec::decode_key;
+use cdpd_storage::{BTree, Pager};
+use cdpd_types::{PageId, Rid, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64, u32),
+    Delete(i64, u32),
+    Seek(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0i64..200, 0u32..8).prop_map(|(k, r)| Op::Insert(k, r)),
+        1 => (0i64..200, 0u32..8).prop_map(|(k, r)| Op::Delete(k, r)),
+        // Deletes targeting the pre-populated rid range of the
+        // pre-split variant (hits separator keys).
+        1 => (0i64..200, 100u32..108).prop_map(|(k, r)| Op::Delete(k, r)),
+        1 => (0i64..220).prop_map(Op::Seek),
+    ]
+}
+
+fn tree_entries(tree: &BTree) -> Vec<(i64, Rid)> {
+    let mut out = Vec::new();
+    let mut cur = tree.scan_all().unwrap();
+    while let Some((k, rid)) = cur.next_entry().unwrap() {
+        let vals = decode_key(k).unwrap();
+        out.push((vals[0].as_int().unwrap(), rid));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_ordered_set_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, r) => {
+                    let res = tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0));
+                    if model.insert((k, r)) {
+                        prop_assert!(res.is_ok());
+                    } else {
+                        prop_assert!(res.is_err(), "duplicate must be rejected");
+                    }
+                }
+                Op::Delete(k, r) => {
+                    let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
+                    prop_assert_eq!(removed, model.remove(&(k, r)));
+                }
+                Op::Seek(k) => {
+                    let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
+                    let got = cur
+                        .next_entry()
+                        .unwrap()
+                        .map(|(key, rid)| {
+                            (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw())
+                        });
+                    let want = model.range((k, 0)..).next().copied();
+                    prop_assert_eq!(got, want, "seek({}) diverged from model", k);
+                }
+            }
+        }
+
+        // Final full-scan equivalence.
+        let got = tree_entries(&tree);
+        let want: Vec<(i64, Rid)> = model
+            .iter()
+            .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tree.entry_count() as usize, model.len());
+    }
+
+    #[test]
+    fn matches_model_on_presplit_tree(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        // Same model test, but starting from a tree big enough to have
+        // split (multi-level), so separator-boundary behaviour is
+        // exercised — a descent bug here once survived the small-tree
+        // variant above.
+        let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+        for i in 0..1500i64 {
+            let (k, r) = (i % 200, (i / 200) as u32 + 100);
+            tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
+            model.insert((k, r));
+        }
+        assert!(tree.height() >= 2, "pre-population must split");
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, r) => {
+                    let res = tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0));
+                    if model.insert((k, r)) {
+                        prop_assert!(res.is_ok());
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::Delete(k, r) => {
+                    let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
+                    prop_assert_eq!(removed, model.remove(&(k, r)));
+                }
+                Op::Seek(k) => {
+                    let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
+                    let got = cur
+                        .next_entry()
+                        .unwrap()
+                        .map(|(key, rid)| {
+                            (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw())
+                        });
+                    let want = model.range((k, 0)..).next().copied();
+                    prop_assert_eq!(got, want, "seek({}) diverged from model", k);
+                }
+            }
+        }
+        let got = tree_entries(&tree);
+        let want: Vec<(i64, Rid)> = model
+            .iter()
+            .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_matches_model(keys in prop::collection::btree_set((0i64..100_000, 0u32..4), 0..2000)) {
+        let entries: Vec<(Vec<Value>, Rid)> = keys
+            .iter()
+            .map(|&(k, r)| (vec![Value::Int(k)], Rid::new(PageId(r), 0)))
+            .collect();
+        let tree = BTree::bulk_load(Arc::new(Pager::new()), entries).unwrap();
+        let got = tree_entries(&tree);
+        let want: Vec<(i64, Rid)> = keys
+            .iter()
+            .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn composite_keys_scan_in_tuple_order(
+        pairs in prop::collection::btree_set((0i64..50, 0i64..50), 0..500)
+    ) {
+        let entries: Vec<(Vec<Value>, Rid)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                (vec![Value::Int(a), Value::Int(b)], Rid::new(PageId(i as u32), 0))
+            })
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+        let tree = BTree::bulk_load(Arc::new(Pager::new()), sorted).unwrap();
+        let mut cur = tree.scan_all().unwrap();
+        let mut prev: Option<Vec<Value>> = None;
+        let mut n = 0;
+        while let Some((k, _)) = cur.next_entry().unwrap() {
+            let vals = decode_key(k).unwrap();
+            if let Some(p) = &prev {
+                prop_assert!(p <= &vals, "scan out of order");
+            }
+            prev = Some(vals);
+            n += 1;
+        }
+        prop_assert_eq!(n, pairs.len());
+    }
+}

@@ -1,0 +1,171 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Fixed-point cost unit used throughout the workspace.
+///
+/// One *logical page I/O* equals [`Cost::IO_SCALE`] raw units, so CPU
+/// terms smaller than a page read can still be expressed without
+/// resorting to floating point. Using an integer keeps costs totally
+/// ordered (`Ord`), hashable, and bit-for-bit deterministic across
+/// platforms — all three properties are load-bearing for the shortest
+/// path and path-ranking algorithms, which sort and deduplicate by cost.
+///
+/// Arithmetic saturates rather than wrapping: an "infinite" cost (e.g. a
+/// configuration that violates the space bound) is modelled as
+/// [`Cost::MAX`] and must stay maximal under addition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+    /// Saturation point; used as "infinity" for infeasible choices.
+    pub const MAX: Cost = Cost(u64::MAX);
+    /// Raw units per logical page I/O (fixed-point scale).
+    pub const IO_SCALE: u64 = 1024;
+
+    /// Cost of `pages` logical page I/Os.
+    pub const fn from_ios(pages: u64) -> Cost {
+        Cost(pages.saturating_mul(Self::IO_SCALE))
+    }
+
+    /// Cost from raw fixed-point units.
+    pub const fn from_raw(raw: u64) -> Cost {
+        Cost(raw)
+    }
+
+    /// Raw fixed-point units.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// This cost expressed in logical page I/Os (rounded down).
+    pub const fn ios(self) -> u64 {
+        self.0 / Self::IO_SCALE
+    }
+
+    /// This cost as a floating-point number of page I/Os (for reporting).
+    pub fn as_f64_ios(self) -> f64 {
+        self.0 as f64 / Self::IO_SCALE as f64
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub const fn saturating_sub(self, rhs: Cost) -> Cost {
+        Cost(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply this cost by an integer weight (e.g. a statement that
+    /// occurs `w` times in a summarized workload block), saturating.
+    pub const fn scale(self, w: u64) -> Cost {
+        Cost(self.0.saturating_mul(w))
+    }
+
+    /// True if this cost is the "infinite" sentinel.
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, rhs: Cost) -> Cost {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<u64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: u64) -> Cost {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "Cost(∞)")
+        } else {
+            write!(f, "Cost({:.3} IOs)", self.as_f64_ios())
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.1}", self.as_f64_ios())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_roundtrip() {
+        let c = Cost::from_ios(12_500);
+        assert_eq!(c.ios(), 12_500);
+        assert_eq!(c.raw(), 12_500 * Cost::IO_SCALE);
+    }
+
+    #[test]
+    fn saturation_preserves_infinity() {
+        let inf = Cost::MAX;
+        assert!(inf.is_infinite());
+        assert!((inf + Cost::from_ios(5)).is_infinite());
+        assert!(inf.scale(3).is_infinite());
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        let a = Cost::from_ios(1);
+        let b = Cost::from_ios(2);
+        assert!(a < b);
+        let total: Cost = [a, b, a].into_iter().sum();
+        assert_eq!(total, Cost::from_ios(4));
+    }
+
+    #[test]
+    fn sub_clamps_at_zero() {
+        assert_eq!(Cost::from_ios(1) - Cost::from_ios(5), Cost::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cost::from_ios(3).to_string(), "3.0");
+        assert_eq!(Cost::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn scale_by_weight() {
+        assert_eq!(Cost::from_ios(10) * 3, Cost::from_ios(30));
+    }
+}

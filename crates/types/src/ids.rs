@@ -1,0 +1,119 @@
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric identifier.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+            /// The identifier as a `usize`, for direct slice indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a table within a [`crate::Schema`]-bearing catalog.
+    TableId,
+    u32,
+    "t"
+);
+id_type!(
+    /// Zero-based position of a column within its table's schema.
+    ColumnId,
+    u16,
+    "c"
+);
+id_type!(
+    /// Identifies a (candidate or materialized) index.
+    IndexId,
+    u32,
+    "ix"
+);
+id_type!(
+    /// Identifies a page within a pager / file.
+    PageId,
+    u32,
+    "p"
+);
+
+/// A record identifier: physical address of a heap tuple.
+///
+/// `Rid`s order first by page then by slot, which is also physical scan
+/// order; B+-tree entries use the `Rid` as a key tiebreaker so duplicate
+/// index keys stay deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rid {
+    /// Heap page containing the tuple.
+    pub page: PageId,
+    /// Slot number within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a record id from page and slot.
+    pub const fn new(page: PageId, slot: u16) -> Rid {
+        Rid { page, slot }
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}:{})", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_basics() {
+        let t = TableId::from(7);
+        assert_eq!(t.raw(), 7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(format!("{t}"), "t7");
+        assert_eq!(format!("{t:?}"), "t7");
+    }
+
+    #[test]
+    fn rid_orders_by_page_then_slot() {
+        let a = Rid::new(PageId(1), 9);
+        let b = Rid::new(PageId(2), 0);
+        let c = Rid::new(PageId(2), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ColumnId(3), "c");
+        assert_eq!(m[&ColumnId(3)], "c");
+    }
+}

@@ -1,0 +1,163 @@
+use crate::{ColumnId, Value, ValueType};
+use std::fmt;
+
+/// Definition of a single column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnDef {
+    /// Column name (unique within the table, case-sensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> ColumnDef {
+        ColumnDef { name: name.into(), ty }
+    }
+
+    /// An `INT` column.
+    pub fn int(name: impl Into<String>) -> ColumnDef {
+        ColumnDef::new(name, ValueType::Int)
+    }
+
+    /// A `TEXT` column.
+    pub fn text(name: impl Into<String>) -> ColumnDef {
+        ColumnDef::new(name, ValueType::Str)
+    }
+}
+
+/// An ordered list of column definitions describing a table's rows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name — schemas are built by library
+    /// code from validated DDL, so this is a programming error.
+    pub fn new(columns: Vec<ColumnDef>) -> Schema {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        Schema { columns }
+    }
+
+    /// The column definitions in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Resolve a column name to its position.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ColumnId(i as u16))
+    }
+
+    /// The definition of column `id`.
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnDef> {
+        self.columns.get(id.index())
+    }
+
+    /// Check that `row` matches this schema (arity and types).
+    pub fn validates(&self, row: &[Value]) -> bool {
+        row.len() == self.columns.len()
+            && row
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, c)| v.value_type() == c.ty)
+    }
+
+    /// Upper bound on the encoded byte length of a row of this schema,
+    /// assuming strings of at most `max_str` bytes. Used by the page
+    /// layout to size slots.
+    pub fn max_row_len(&self, max_str: usize) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c.ty {
+                ValueType::Int => 9,
+                ValueType::Str => 3 + max_str,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = abcd();
+        assert_eq!(s.column_id("c"), Some(ColumnId(2)));
+        assert_eq!(s.column_id("z"), None);
+        assert_eq!(s.column(ColumnId(0)).unwrap().name, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn rejects_duplicate_names() {
+        Schema::new(vec![ColumnDef::int("a"), ColumnDef::int("a")]);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = abcd();
+        let ok: Vec<Value> = (0..4).map(Value::Int).collect();
+        assert!(s.validates(&ok));
+        assert!(!s.validates(&ok[..3]));
+        let bad = vec![
+            Value::Int(1),
+            Value::from("x"),
+            Value::Int(3),
+            Value::Int(4),
+        ];
+        assert!(!s.validates(&bad));
+    }
+
+    #[test]
+    fn display_and_max_len() {
+        let s = Schema::new(vec![ColumnDef::int("a"), ColumnDef::text("t")]);
+        assert_eq!(s.to_string(), "(a INT, t TEXT)");
+        assert_eq!(s.max_row_len(10), 9 + 13);
+    }
+}

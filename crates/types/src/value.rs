@@ -1,0 +1,158 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The data types storable in a column.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "INT"),
+            ValueType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A single column value.
+///
+/// Values of different types never compare equal and have a fixed
+/// cross-type order (`Int < Str`) so that composite index keys remain
+/// totally ordered even if a schema is mistyped; well-typed code never
+/// relies on the cross-type branch.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Number of bytes this value occupies in the on-page row encoding
+    /// (tag byte + payload; strings carry a u16 length prefix).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Int(_) => 1 + 8,
+            Value::Str(s) => 1 + 2 + s.len(),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").value_type(), ValueType::Str);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![
+            Value::from("b"),
+            Value::Int(10),
+            Value::from("a"),
+            Value::Int(-3),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Value::Int(-3),
+                Value::Int(10),
+                Value::from("a"),
+                Value::from("b")
+            ]
+        );
+    }
+
+    #[test]
+    fn encoded_len_matches_layout() {
+        assert_eq!(Value::Int(0).encoded_len(), 9);
+        assert_eq!(Value::from("abc").encoded_len(), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+    }
+}

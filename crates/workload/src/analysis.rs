@@ -1,0 +1,255 @@
+//! Trace analysis: detect workload shifts and grade them major/minor —
+//! §2's "choose k from domain knowledge" turned into measurement, and a
+//! cost-model-free complement to `cdpd-core`'s k-selection sweeps.
+//!
+//! The pipeline:
+//!
+//! 1. [`window_profiles`] — summarize each window of the trace as a
+//!    distribution over statement shapes (which column is predicated,
+//!    read vs write);
+//! 2. [`shift_scores`] — L1 distance between consecutive windows'
+//!    distributions (0 = identical mix, 2 = disjoint mixes);
+//! 3. [`detect_shifts`] — threshold the scores against a noise floor
+//!    and, when the significant shifts split into clearly separated
+//!    magnitude clusters (W1's minor A↔B at ≈0.6 vs major A↔C at
+//!    ≈1.2), grade them;
+//! 4. [`suggest_k_from_trace`] — the budget the paper's rule of thumb
+//!    would pick: the number of *major* shifts when a major/minor
+//!    hierarchy exists, otherwise the number of significant shifts.
+
+use crate::trace::Trace;
+use cdpd_sql::Dml;
+use cdpd_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A window's statement-shape distribution: fraction of statements per
+/// shape key (predicate column + read/write kind).
+#[derive(Clone, PartialEq, Debug)]
+pub struct WindowProfile {
+    /// `shape → fraction` (fractions sum to ~1).
+    pub fractions: BTreeMap<String, f64>,
+}
+
+impl WindowProfile {
+    /// L1 distance between two profiles, in `[0, 2]`.
+    pub fn l1(&self, other: &WindowProfile) -> f64 {
+        let keys: std::collections::BTreeSet<&String> =
+            self.fractions.keys().chain(other.fractions.keys()).collect();
+        keys.into_iter()
+            .map(|k| {
+                (self.fractions.get(k).copied().unwrap_or(0.0)
+                    - other.fractions.get(k).copied().unwrap_or(0.0))
+                .abs()
+            })
+            .sum()
+    }
+}
+
+/// The shape key of one statement: statement kind plus predicate
+/// column(s) — the features the advisor's cost model keys on.
+fn shape(stmt: &Dml) -> String {
+    let kind = match stmt {
+        Dml::Select(_) => "r",
+        Dml::Update(_) => "u",
+        Dml::Delete(_) => "d",
+    };
+    let mut cols: Vec<&str> = stmt.conditions().iter().map(|c| c.column()).collect();
+    cols.sort_unstable();
+    format!("{kind}:{}", cols.join(","))
+}
+
+/// Per-window statement-shape distributions.
+pub fn window_profiles(trace: &Trace, window_len: usize) -> Result<Vec<WindowProfile>> {
+    if window_len == 0 {
+        return Err(Error::InvalidArgument("window_len must be positive".into()));
+    }
+    let stmts = trace.statements();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < stmts.len() {
+        let end = (start + window_len).min(stmts.len());
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for stmt in &stmts[start..end] {
+            *counts.entry(shape(stmt)).or_insert(0) += 1;
+        }
+        let n = (end - start) as f64;
+        out.push(WindowProfile {
+            fractions: counts.into_iter().map(|(k, c)| (k, c as f64 / n)).collect(),
+        });
+        start = end;
+    }
+    Ok(out)
+}
+
+/// `scores[i]` = L1 distance between windows `i` and `i + 1`.
+pub fn shift_scores(profiles: &[WindowProfile]) -> Vec<f64> {
+    profiles.windows(2).map(|w| w[0].l1(&w[1])).collect()
+}
+
+/// One detected shift.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shift {
+    /// The shift happens *entering* window `window` (1-based boundary
+    /// `window - 1 → window`).
+    pub window: usize,
+    /// L1 magnitude of the distribution change.
+    pub magnitude: f64,
+    /// True if graded as a major shift.
+    pub major: bool,
+}
+
+/// Absolute noise floor: same-mix windows differ by sampling noise
+/// only; anything below this is not a shift.
+pub const NOISE_FLOOR: f64 = 0.15;
+/// Minimum ratio between magnitude-cluster means to declare a
+/// major/minor hierarchy.
+pub const SEPARATION_RATIO: f64 = 1.5;
+
+/// Detect and grade shifts. Scores below [`NOISE_FLOOR`] are sampling
+/// noise. When the remaining magnitudes split into two clusters whose
+/// means differ by at least [`SEPARATION_RATIO`], the upper cluster is
+/// graded major; otherwise no hierarchy exists and every significant
+/// shift is graded major (all shifts are equally "the trend").
+pub fn detect_shifts(profiles: &[WindowProfile]) -> Vec<Shift> {
+    let scores = shift_scores(profiles);
+    let significant: Vec<(usize, f64)> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > NOISE_FLOOR)
+        .map(|(i, &s)| (i + 1, s))
+        .collect();
+    if significant.is_empty() {
+        return Vec::new();
+    }
+    // 1-D two-means on the magnitudes, initialized at min/max.
+    let mags: Vec<f64> = significant.iter().map(|&(_, s)| s).collect();
+    let (mut lo, mut hi) = (
+        mags.iter().cloned().fold(f64::INFINITY, f64::min),
+        mags.iter().cloned().fold(0.0f64, f64::max),
+    );
+    for _ in 0..32 {
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0u32, 0.0, 0u32);
+        for &m in &mags {
+            if (m - lo).abs() <= (m - hi).abs() {
+                lo_sum += m;
+                lo_n += 1;
+            } else {
+                hi_sum += m;
+                hi_n += 1;
+            }
+        }
+        let new_lo = if lo_n > 0 { lo_sum / lo_n as f64 } else { lo };
+        let new_hi = if hi_n > 0 { hi_sum / hi_n as f64 } else { hi };
+        if (new_lo - lo).abs() < 1e-12 && (new_hi - hi).abs() < 1e-12 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    let hierarchical = hi > lo * SEPARATION_RATIO;
+    significant
+        .into_iter()
+        .map(|(window, magnitude)| Shift {
+            window,
+            magnitude,
+            major: !hierarchical || (magnitude - hi).abs() < (magnitude - lo).abs(),
+        })
+        .collect()
+}
+
+/// The paper's §2 rule of thumb, measured: *"choose a value of k equal
+/// to … the number of anticipated fluctuations"* — here, the number of
+/// major shifts detected in the trace.
+pub fn suggest_k_from_trace(trace: &Trace, window_len: usize) -> Result<usize> {
+    let profiles = window_profiles(trace, window_len)?;
+    Ok(detect_shifts(&profiles).iter().filter(|s| s.major).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, paper, QueryMix, WorkloadSpec};
+
+    fn trace_of(spec: &WorkloadSpec) -> Trace {
+        generate(spec, 5)
+    }
+
+    #[test]
+    fn w1_has_two_major_shifts() {
+        let params = paper::PaperParams { domain: 2_000, ..Default::default() };
+        let trace = generate(&paper::w1_with(&params), 5);
+        let profiles = window_profiles(&trace, 500).unwrap();
+        assert_eq!(profiles.len(), 30);
+        let shifts = detect_shifts(&profiles);
+        let majors: Vec<usize> =
+            shifts.iter().filter(|s| s.major).map(|s| s.window).collect();
+        assert_eq!(majors, vec![10, 20], "{shifts:?}");
+        // Minor shifts are detected but graded minor.
+        let minors = shifts.iter().filter(|s| !s.major).count();
+        assert!(minors >= 10, "{shifts:?}");
+        assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 2);
+    }
+
+    #[test]
+    fn w2_and_w3_also_suggest_two() {
+        let params = paper::PaperParams { domain: 2_000, ..Default::default() };
+        for spec in [paper::w2_with(&params), paper::w3_with(&params)] {
+            let trace = trace_of(&spec);
+            assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 2, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn stable_workload_suggests_zero() {
+        let spec = WorkloadSpec::new(
+            "t",
+            2_000,
+            500,
+            vec![QueryMix::paper_a(); 12],
+        )
+        .unwrap();
+        let trace = trace_of(&spec);
+        assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 0);
+    }
+
+    #[test]
+    fn flat_hierarchy_counts_every_shift() {
+        // Only A↔B alternation: no major/minor structure, so every
+        // shift is the trend and the budget covers them all.
+        let mut windows = Vec::new();
+        for i in 0..8 {
+            windows.push(if i % 2 == 0 { QueryMix::paper_a() } else { QueryMix::paper_b() });
+        }
+        let spec = WorkloadSpec::new("t", 2_000, 500, windows).unwrap();
+        let trace = trace_of(&spec);
+        assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 7);
+    }
+
+    #[test]
+    fn profiles_separate_reads_and_writes() {
+        use crate::Template;
+        let read = QueryMix::new("r", &[("a", 1)]).unwrap();
+        let write = QueryMix::with_templates(
+            "w",
+            vec![(
+                Template::Update { set_column: "b".into(), where_column: "a".into() },
+                1,
+            )],
+        )
+        .unwrap();
+        let spec = WorkloadSpec::new("t", 100, 50, vec![read, write]).unwrap();
+        let trace = trace_of(&spec);
+        let profiles = window_profiles(&trace, 50).unwrap();
+        // Same predicate column, different kind: full L1 distance.
+        assert!(profiles[0].l1(&profiles[1]) > 1.9);
+        assert_eq!(suggest_k_from_trace(&trace, 50).unwrap(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let trace = Trace::from_selects("t", vec![cdpd_sql::SelectStmt::point("t", "a", 1)]);
+        assert!(window_profiles(&trace, 0).is_err());
+        assert_eq!(suggest_k_from_trace(&trace, 10).unwrap(), 0);
+        assert!(detect_shifts(&[]).is_empty());
+    }
+}

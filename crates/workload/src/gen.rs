@@ -1,0 +1,61 @@
+use crate::spec::WorkloadSpec;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generate a concrete statement trace from a spec, deterministically:
+/// the same `(spec, seed)` always yields byte-identical traces, which is
+/// what makes every experiment in the bench harness reproducible.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut statements = Vec::with_capacity(spec.total_queries());
+    for mix in &spec.windows {
+        for _ in 0..spec.window_len {
+            statements.push(mix.sample(&mut rng, &spec.table, spec.domain));
+        }
+    }
+    Trace::new(spec.table.clone(), statements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::QueryMix;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            "t",
+            1000,
+            100,
+            vec![QueryMix::paper_a(), QueryMix::paper_c()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = small_spec();
+        let t1 = generate(&spec, 42);
+        let t2 = generate(&spec, 42);
+        let t3 = generate(&spec, 43);
+        assert_eq!(t1.statements(), t2.statements());
+        assert_ne!(t1.statements(), t3.statements());
+    }
+
+    #[test]
+    fn windows_use_their_mix() {
+        let spec = small_spec();
+        let trace = generate(&spec, 1);
+        assert_eq!(trace.len(), 200);
+        // First window is mix A: no more than a handful of c/d queries
+        // would be c-heavy; second window is mix C: mostly c/d.
+        let heavy_cd = |range: std::ops::Range<usize>| {
+            trace.statements()[range]
+                .iter()
+                .filter(|s| matches!(s.conditions()[0].column(), "c" | "d"))
+                .count()
+        };
+        assert!(heavy_cd(0..100) < 40);
+        assert!(heavy_cd(100..200) > 60);
+    }
+}

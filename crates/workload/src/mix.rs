@@ -1,0 +1,270 @@
+use cdpd_sql::{Condition, DeleteStmt, Dml, SelectStmt, UpdateStmt};
+use cdpd_types::{Error, Result, Value};
+use rand::Rng;
+use std::fmt;
+
+/// One statement template a mix can draw: the paper's point query, or
+/// the write templates that make Definition 1's "queries *and updates*"
+/// concrete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Template {
+    /// `SELECT col FROM t WHERE col = <v>` — the paper's template.
+    Point {
+        /// Queried (and predicated) column.
+        column: String,
+    },
+    /// `UPDATE t SET set_column = <v1> WHERE where_column = <v2>`.
+    Update {
+        /// Column written.
+        set_column: String,
+        /// Column predicated on.
+        where_column: String,
+    },
+    /// `DELETE FROM t WHERE where_column = <v>` followed logically by a
+    /// compensating insert is *not* modelled; deletes shrink the table,
+    /// so keep their weight low in long workloads.
+    Delete {
+        /// Column predicated on.
+        where_column: String,
+    },
+}
+
+impl Template {
+    fn sample<R: Rng>(&self, rng: &mut R, table: &str, domain: i64) -> Dml {
+        let v = rng.gen_range(0..domain.max(1));
+        match self {
+            Template::Point { column } => Dml::Select(SelectStmt::point(table, column, v)),
+            Template::Update { set_column, where_column } => {
+                let nv = rng.gen_range(0..domain.max(1));
+                Dml::Update(UpdateStmt {
+                    table: table.to_owned(),
+                    set: vec![(set_column.clone(), Value::Int(nv))],
+                    conditions: vec![Condition::Eq {
+                        column: where_column.clone(),
+                        value: Value::Int(v),
+                    }],
+                })
+            }
+            Template::Delete { where_column } => Dml::Delete(DeleteStmt {
+                table: table.to_owned(),
+                conditions: vec![Condition::Eq {
+                    column: where_column.clone(),
+                    value: Value::Int(v),
+                }],
+            }),
+        }
+    }
+}
+
+/// A weighted distribution over statement templates: each draw picks a
+/// template by weight and fills its literals uniformly over the value
+/// domain.
+///
+/// Table 1 of the paper defines four point-query mixes over columns
+/// `a`–`d`; they are available as [`QueryMix::paper_a`] through
+/// [`QueryMix::paper_d`]. [`QueryMix::with_templates`] builds mixes
+/// containing updates and deletes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryMix {
+    /// Display name (e.g. `"A"`).
+    pub name: String,
+    /// `(template, weight)` pairs; weights are relative (need not sum
+    /// to any particular total).
+    pub templates: Vec<(Template, u32)>,
+}
+
+impl QueryMix {
+    /// Build a point-query mix (the paper's shape); weights must not
+    /// all be zero.
+    pub fn new(name: impl Into<String>, weights: &[(&str, u32)]) -> Result<QueryMix> {
+        Self::with_templates(
+            name,
+            weights
+                .iter()
+                .map(|(c, w)| (Template::Point { column: (*c).to_owned() }, *w))
+                .collect(),
+        )
+    }
+
+    /// Build a mix from arbitrary templates.
+    pub fn with_templates(
+        name: impl Into<String>,
+        templates: Vec<(Template, u32)>,
+    ) -> Result<QueryMix> {
+        let total: u64 = templates.iter().map(|(_, w)| *w as u64).sum();
+        if total == 0 {
+            return Err(Error::InvalidArgument("query mix has zero total weight".into()));
+        }
+        Ok(QueryMix { name: name.into(), templates })
+    }
+
+    /// Table 1, Query Mix A: 55% a, 25% b, 10% c, 10% d.
+    pub fn paper_a() -> QueryMix {
+        QueryMix::new("A", &[("a", 55), ("b", 25), ("c", 10), ("d", 10)])
+            .expect("static weights are valid")
+    }
+
+    /// Table 1, Query Mix B: 25% a, 55% b, 10% c, 10% d.
+    pub fn paper_b() -> QueryMix {
+        QueryMix::new("B", &[("a", 25), ("b", 55), ("c", 10), ("d", 10)])
+            .expect("static weights are valid")
+    }
+
+    /// Table 1, Query Mix C: 10% a, 10% b, 55% c, 25% d.
+    pub fn paper_c() -> QueryMix {
+        QueryMix::new("C", &[("a", 10), ("b", 10), ("c", 55), ("d", 25)])
+            .expect("static weights are valid")
+    }
+
+    /// Table 1, Query Mix D: 10% a, 10% b, 25% c, 55% d.
+    pub fn paper_d() -> QueryMix {
+        QueryMix::new("D", &[("a", 10), ("b", 10), ("c", 25), ("d", 55)])
+            .expect("static weights are valid")
+    }
+
+    /// All four Table 1 mixes, in order.
+    pub fn paper_mixes() -> [QueryMix; 4] {
+        [Self::paper_a(), Self::paper_b(), Self::paper_c(), Self::paper_d()]
+    }
+
+    /// Draw one statement against `table` with values uniform in
+    /// `[0, domain)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R, table: &str, domain: i64) -> Dml {
+        let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        let template = self
+            .templates
+            .iter()
+            .find_map(|(t, w)| {
+                if pick < *w as u64 {
+                    Some(t)
+                } else {
+                    pick -= *w as u64;
+                    None
+                }
+            })
+            .expect("total weight > 0");
+        template.sample(rng, table, domain)
+    }
+
+    /// The weight of point queries on `column`, as a fraction of the
+    /// total (the Table 1 reporting convention).
+    pub fn fraction(&self, column: &str) -> f64 {
+        let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
+        self.templates
+            .iter()
+            .find(|(t, _)| matches!(t, Template::Point { column: c } if c == column))
+            .map_or(0.0, |(_, w)| *w as f64 / total as f64)
+    }
+
+    /// Fraction of draws that are writes (updates or deletes).
+    pub fn write_fraction(&self) -> f64 {
+        let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
+        let writes: u64 = self
+            .templates
+            .iter()
+            .filter(|(t, _)| !matches!(t, Template::Point { .. }))
+            .map(|(_, w)| *w as u64)
+            .sum();
+        writes as f64 / total as f64
+    }
+}
+
+impl fmt::Display for QueryMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_mixes_match_table1() {
+        let a = QueryMix::paper_a();
+        assert_eq!(a.fraction("a"), 0.55);
+        assert_eq!(a.fraction("b"), 0.25);
+        assert_eq!(a.fraction("c"), 0.10);
+        assert_eq!(a.fraction("d"), 0.10);
+        assert_eq!(a.fraction("z"), 0.0);
+        let c = QueryMix::paper_c();
+        assert_eq!(c.fraction("c"), 0.55);
+        assert_eq!(c.fraction("d"), 0.25);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let mix = QueryMix::paper_a();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            let q = mix.sample(&mut rng, "t", 500_000);
+            let col = q.conditions()[0].column().to_owned();
+            *counts.entry(col).or_insert(0u32) += 1;
+        }
+        let frac = |c: &str| *counts.get(c).unwrap() as f64 / 10_000.0;
+        assert!((frac("a") - 0.55).abs() < 0.03);
+        assert!((frac("b") - 0.25).abs() < 0.03);
+        assert!((frac("c") - 0.10).abs() < 0.02);
+        assert!((frac("d") - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn sampled_values_in_domain() {
+        let mix = QueryMix::paper_b();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let q = mix.sample(&mut rng, "t", 100);
+            match &q.conditions()[0] {
+                cdpd_sql::Condition::Eq { value, .. } => {
+                    let v = value.as_int().unwrap();
+                    assert!((0..100).contains(&v));
+                }
+                other => panic!("unexpected condition {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weights_rejected() {
+        assert!(QueryMix::new("Z", &[("a", 0)]).is_err());
+        assert!(QueryMix::with_templates("Z", vec![]).is_err());
+    }
+
+    #[test]
+    fn write_templates_sample_correctly() {
+        let mix = QueryMix::with_templates(
+            "etl",
+            vec![
+                (Template::Point { column: "a".into() }, 20),
+                (
+                    Template::Update { set_column: "b".into(), where_column: "a".into() },
+                    70,
+                ),
+                (Template::Delete { where_column: "c".into() }, 10),
+            ],
+        )
+        .unwrap();
+        assert!((mix.write_fraction() - 0.8).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut writes = 0;
+        for _ in 0..1000 {
+            let stmt = mix.sample(&mut rng, "t", 50);
+            if stmt.is_write() {
+                writes += 1;
+            }
+            match &stmt {
+                Dml::Select(s) => assert_eq!(s.conditions[0].column(), "a"),
+                Dml::Update(u) => {
+                    assert_eq!(u.set[0].0, "b");
+                    assert_eq!(u.conditions[0].column(), "a");
+                }
+                Dml::Delete(d) => assert_eq!(d.conditions[0].column(), "c"),
+            }
+        }
+        assert!((700..900).contains(&writes), "got {writes}");
+    }
+}

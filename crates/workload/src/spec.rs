@@ -1,0 +1,83 @@
+use crate::mix::QueryMix;
+use cdpd_types::{Error, Result};
+
+/// A phase-structured workload: a sequence of fixed-length windows,
+/// each drawing queries from one [`QueryMix`].
+///
+/// This is the paper's workload shape: *phases* separated by major
+/// shifts, *minor shifts* alternating mixes within a phase. A spec is
+/// purely declarative; [`crate::generate`] turns it into a concrete
+/// statement [`crate::Trace`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadSpec {
+    /// Target table.
+    pub table: String,
+    /// Predicate value domain `[0, domain)`.
+    pub domain: i64,
+    /// Queries per window.
+    pub window_len: usize,
+    /// One mix per window.
+    pub windows: Vec<QueryMix>,
+}
+
+impl WorkloadSpec {
+    /// Build a spec; validates that it is non-degenerate.
+    pub fn new(
+        table: impl Into<String>,
+        domain: i64,
+        window_len: usize,
+        windows: Vec<QueryMix>,
+    ) -> Result<WorkloadSpec> {
+        if window_len == 0 {
+            return Err(Error::InvalidArgument("window_len must be positive".into()));
+        }
+        if domain <= 0 {
+            return Err(Error::InvalidArgument("domain must be positive".into()));
+        }
+        if windows.is_empty() {
+            return Err(Error::InvalidArgument("workload needs at least one window".into()));
+        }
+        Ok(WorkloadSpec { table: table.into(), domain, window_len, windows })
+    }
+
+    /// Total number of queries this spec generates.
+    pub fn total_queries(&self) -> usize {
+        self.window_len * self.windows.len()
+    }
+
+    /// Number of windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The mix names per window (for tables like the paper's Table 2).
+    pub fn window_labels(&self) -> Vec<&str> {
+        self.windows.iter().map(|m| m.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let spec = WorkloadSpec::new(
+            "t",
+            1000,
+            500,
+            vec![QueryMix::paper_a(), QueryMix::paper_b()],
+        )
+        .unwrap();
+        assert_eq!(spec.total_queries(), 1000);
+        assert_eq!(spec.window_count(), 2);
+        assert_eq!(spec.window_labels(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        assert!(WorkloadSpec::new("t", 1000, 0, vec![QueryMix::paper_a()]).is_err());
+        assert!(WorkloadSpec::new("t", 0, 10, vec![QueryMix::paper_a()]).is_err());
+        assert!(WorkloadSpec::new("t", 1000, 10, vec![]).is_err());
+    }
+}

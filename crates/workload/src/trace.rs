@@ -1,0 +1,193 @@
+use cdpd_sql::{Dml, SelectStmt, Statement};
+use cdpd_types::{Error, Result};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A recorded workload: an ordered sequence of statements against one
+/// table — the advisor's input per the paper's problem definition
+/// (*"we are given, in advance, a description of the database system
+/// workload consisting of a sequence of queries and updates"*).
+///
+/// Persistence format is plain SQL, one statement per line: traces are
+/// diffable, editable, and round-trip through the `cdpd-sql` parser
+/// (no bespoke binary format to document or version).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    table: String,
+    statements: Vec<Dml>,
+}
+
+impl Trace {
+    /// Build a trace. Statements must all target `table`.
+    pub fn new(table: impl Into<String>, statements: Vec<Dml>) -> Trace {
+        let table = table.into();
+        debug_assert!(statements.iter().all(|s| s.table() == table));
+        Trace { table, statements }
+    }
+
+    /// Convenience: build a read-only trace from queries.
+    pub fn from_selects(table: impl Into<String>, selects: Vec<SelectStmt>) -> Trace {
+        Trace::new(table, selects.into_iter().map(Dml::Select).collect())
+    }
+
+    /// The traced table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The statement sequence.
+    pub fn statements(&self) -> &[Dml] {
+        &self.statements
+    }
+
+    /// Fraction of statements that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.statements.is_empty() {
+            return 0.0;
+        }
+        self.statements.iter().filter(|s| s.is_write()).count() as f64
+            / self.statements.len() as f64
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Write the trace as SQL text, one statement per line.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut out = BufWriter::new(file);
+        for stmt in &self.statements {
+            writeln!(out, "{stmt};")?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Read a trace back from SQL text.
+    ///
+    /// # Errors
+    /// Fails if any line is not a `SELECT`, or statements target more
+    /// than one table.
+    pub fn load(path: &Path) -> Result<Trace> {
+        let file = std::fs::File::open(path)?;
+        let mut statements = Vec::new();
+        let mut table: Option<String> = None;
+        let mut line = String::new();
+        let mut reader = BufReader::new(file);
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with("--") {
+                continue;
+            }
+            let stmt: Dml = match cdpd_sql::parse(trimmed)? {
+                Statement::Select(s) => Dml::Select(s),
+                Statement::Update(u) => Dml::Update(u),
+                Statement::Delete(d) => Dml::Delete(d),
+                other => {
+                    return Err(Error::InvalidArgument(format!(
+                        "trace line {lineno} is not a workload statement (DML): {other}"
+                    )))
+                }
+            };
+            match &table {
+                None => table = Some(stmt.table().to_owned()),
+                Some(t) if *t != stmt.table() => {
+                    return Err(Error::InvalidArgument(format!(
+                        "trace mixes tables {t} and {} (line {lineno})",
+                        stmt.table()
+                    )))
+                }
+                Some(_) => {}
+            }
+            statements.push(stmt);
+        }
+        let table = table.ok_or_else(|| Error::InvalidArgument("empty trace file".into()))?;
+        Ok(Trace { table, statements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let upd = match cdpd_sql::parse("UPDATE t SET b = 9 WHERE a = 2").unwrap() {
+            Statement::Update(u) => Dml::Update(u),
+            _ => unreachable!(),
+        };
+        Trace::new(
+            "t",
+            vec![
+                SelectStmt::point("t", "a", 1).into(),
+                upd,
+                SelectStmt::point("t", "a", 3).into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn write_fraction_counts_dml() {
+        let t = sample_trace();
+        assert!((t.write_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(Trace::from_selects("t", vec![]).write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("cdpd_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.sql");
+        let trace = sample_trace();
+        trace.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(trace, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_skips_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("cdpd_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("commented.sql");
+        std::fs::write(
+            &path,
+            "-- header\n\nSELECT a FROM t WHERE a = 1;\n\n-- tail\nSELECT b FROM t WHERE b = 2;\n",
+        )
+        .unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_ddl_and_mixed_tables() {
+        let dir = std::env::temp_dir().join("cdpd_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ddl = dir.join("ddl.sql");
+        std::fs::write(&ddl, "DROP INDEX i;\n").unwrap();
+        assert!(Trace::load(&ddl).is_err());
+        let mixed = dir.join("mixed.sql");
+        std::fs::write(&mixed, "SELECT a FROM t WHERE a = 1;\nSELECT a FROM u WHERE a = 1;\n")
+            .unwrap();
+        assert!(Trace::load(&mixed).is_err());
+        let empty = dir.join("empty.sql");
+        std::fs::write(&empty, "-- nothing\n").unwrap();
+        assert!(Trace::load(&empty).is_err());
+        for p in [ddl, mixed, empty] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The §7 deployment loop, end to end:
+//!
+//! > *"Design alerters periodically check the quality of the existing
+//! > physical configuration … Within our framework, we might rely on
+//! > these technologies to trigger an off-line dynamic optimizer such
+//! > as the one presented here."*
+//!
+//! A live system executes statements; an [`Alerter`](cdpd::Alerter)
+//! watches the recent window. When the workload drifts and the current
+//! design deteriorates, the alert fires, carrying the recent trace —
+//! which is fed straight to the offline advisor, whose recommendation
+//! is applied with online DDL. Rinse, repeat.
+//!
+//! ```sh
+//! cargo run --release --example alerter_loop
+//! ```
+
+use cdpd::engine::{Database, IndexSpec};
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd::workload::{generate, QueryMix, WorkloadSpec};
+use cdpd::{Advisor, AdvisorOptions, Alerter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: i64 = 30_000;
+const CHECK_EVERY: usize = 200;
+
+fn main() -> cdpd::types::Result<()> {
+    let domain = ROWS / 5;
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )?;
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..ROWS {
+        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        db.insert("t", &row)?;
+    }
+    db.analyze("t")?;
+    // Start with a design tuned for the morning workload.
+    db.create_index(&IndexSpec::new("t", &["a"]))?;
+    println!("initial design: I(a)\n");
+
+    // The day's workload drifts: a-heavy, then c-heavy, then b-heavy.
+    let spec = WorkloadSpec::new(
+        "t",
+        domain,
+        400,
+        vec![
+            QueryMix::new("morning", &[("a", 80), ("b", 20)])?,
+            QueryMix::new("midday", &[("c", 80), ("d", 20)])?,
+            QueryMix::new("evening", &[("b", 80), ("a", 20)])?,
+        ],
+    )?;
+    let day = generate(&spec, 99);
+
+    let candidates: Vec<IndexSpec> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|c| IndexSpec::new("t", &[*c]))
+        .collect();
+    let mut alerter = Alerter::new(&db, "t", candidates, 150, 0.5)?;
+
+    let mut alerts = 0;
+    for (i, stmt) in day.statements().iter().enumerate() {
+        db.execute_dml(stmt)?;
+        alerter.observe(stmt);
+
+        if (i + 1) % CHECK_EVERY != 0 {
+            continue;
+        }
+        if let Some(alert) = alerter.check(&db)? {
+            alerts += 1;
+            println!(
+                "statement {:>5}: ALERT — current design {:.0}% worse than achievable",
+                i + 1,
+                alert.degradation * 100.0
+            );
+            // The §7 loop: feed the alert's trace to the offline
+            // advisor and apply its (here: static, k = 0) answer.
+            let rec = Advisor::new(&db, "t")
+                .options(AdvisorOptions {
+                    k: Some(0),
+                    window_len: alert.recent_trace.len(),
+                    max_structures_per_config: Some(1),
+                    ..Default::default()
+                })
+                .recommend(&alert.recent_trace)?;
+            let specs = rec.specs_at(0);
+            let report = db.apply_configuration("t", &specs)?;
+            println!(
+                "                 re-tuned: +{:?} -{:?} ({} I/Os)",
+                report.created, report.dropped, report.io.total()
+            );
+        }
+    }
+    println!(
+        "\nday finished: {} statements, {alerts} alert-triggered re-tunings",
+        day.len()
+    );
+    println!(
+        "final design: {:?}",
+        db.index_specs("t")?
+            .iter()
+            .map(IndexSpec::display_short)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Answering the paper's open question §8 — "how to choose an
+//! appropriate change constraint (k)?" — with the cost-curve extension:
+//! sweep k, plot constrained-optimal cost against it, and take the knee.
+//!
+//! For W1 (two major shifts) the knee lands at k = 2 without any domain
+//! knowledge about the workload's phase structure.
+//!
+//! ```sh
+//! cargo run --release --example pick_k
+//! ```
+
+use cdpd::core::{enumerate_configs, kselect, MemoOracle, Problem};
+use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd::workload::{generate, paper, summarize};
+use cdpd::EngineOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: i64 = 30_000;
+const WINDOW: usize = 250;
+
+fn main() -> cdpd::types::Result<()> {
+    let domain = ROWS / 5;
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )?;
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..ROWS {
+        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        db.insert("t", &row)?;
+    }
+    db.analyze("t")?;
+
+    let params = paper::PaperParams { table: "t".into(), domain, window_len: WINDOW };
+    let trace = generate(&paper::w1_with(&params), 42);
+    let workload = summarize(&trace, WINDOW)?;
+    let structures: Vec<IndexSpec> = vec![
+        IndexSpec::new("t", &["a"]),
+        IndexSpec::new("t", &["b"]),
+        IndexSpec::new("t", &["c"]),
+        IndexSpec::new("t", &["d"]),
+        IndexSpec::new("t", &["a", "b"]),
+        IndexSpec::new("t", &["c", "d"]),
+    ];
+
+    let oracle = MemoOracle::new(EngineOracle::new(
+        WhatIfEngine::snapshot(&db, "t")?,
+        structures,
+        &workload,
+    )?);
+    let problem = Problem::paper_experiment();
+    let candidates = enumerate_configs(&oracle, None, Some(1))?;
+
+    let k_max = 10;
+    let curve = kselect::cost_curve(&oracle, &problem, &candidates, k_max)?;
+
+    println!("constrained-optimal cost vs change budget k (workload W1):\n");
+    let max = curve[0].cost.raw() as f64;
+    for p in &curve {
+        let bar = "█".repeat((60.0 * p.cost.raw() as f64 / max) as usize);
+        println!("k={:<2} {:>12} I/Os  {bar}", p.k, p.cost.to_string());
+    }
+
+    let knee = kselect::suggest_k_elbow(&curve).expect("curve is non-empty");
+    println!(
+        "\nknee of the curve: k = {knee}  \
+         (W1 has exactly {knee} major shifts — the §2 rule of thumb, derived from data)"
+    );
+    let tol = kselect::suggest_k(&curve, 0.10);
+    println!("within-10%-of-floor rule suggests: k = {tol:?}");
+
+    // Third opinion, and the most principled: cross-validation against
+    // perturbed tomorrows (re-sampled literals + out-of-phase drift).
+    let spec = paper::w1_with(&params);
+    let advice = cdpd::suggest_k_robust(
+        &db,
+        &spec,
+        &cdpd::KAdviceOptions {
+            structures: Some(structures_vec()),
+            k_max,
+            ..Default::default()
+        },
+    )?;
+    println!("cross-validated (train W1, hold out perturbed variants): k = {}", advice.k);
+
+    // Fourth opinion, needing no cost model at all: changepoint
+    // detection on the trace's per-window statement profiles.
+    let from_trace = cdpd::workload::analysis::suggest_k_from_trace(&trace, WINDOW)?;
+    println!("trace-side shift detection (no cost model): k = {from_trace}");
+    println!("\n{:>3} {:>14} {:>16}", "k", "train cost", "holdout cost");
+    for p in &advice.curve {
+        println!("{:>3} {:>14} {:>16}", p.k, p.train_cost.to_string(), p.mean_test_cost.to_string());
+    }
+    Ok(())
+}
+
+fn structures_vec() -> Vec<IndexSpec> {
+    vec![
+        IndexSpec::new("t", &["a"]),
+        IndexSpec::new("t", &["b"]),
+        IndexSpec::new("t", &["c"]),
+        IndexSpec::new("t", &["d"]),
+        IndexSpec::new("t", &["a", "b"]),
+        IndexSpec::new("t", &["c", "d"]),
+    ]
+}

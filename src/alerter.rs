@@ -1,0 +1,278 @@
+//! A lightweight *design alerter* — the §7 deployment story.
+//!
+//! The paper positions its advisor as an **off-line** optimizer and
+//! points at alerters for the missing trigger:
+//!
+//! > *"Design alerters periodically check the quality of the existing
+//! > physical configuration and send an alert to the database
+//! > administrators if the quality appears to be deteriorating. Within
+//! > our framework, we might rely on these technologies to trigger an
+//! > off-line dynamic optimizer such as the one presented here."*
+//!
+//! [`Alerter`] implements that loop: it observes recently executed
+//! statements in a sliding window, and on [`Alerter::check`] compares
+//! the what-if cost of the window under the *current* configuration
+//! against the best candidate configuration. When the current design
+//! is more than `threshold` worse, it raises an [`Alert`] whose payload
+//! is exactly what the offline advisor needs next: the recent trace.
+//!
+//! The check is deliberately cheap (a handful of what-if estimates over
+//! the *summarized* window — no solving), in the spirit of Bruno &
+//! Chaudhuri's "lightweight physical design alerter".
+
+use cdpd_core::{Config, CostOracle, MemoOracle};
+use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
+use cdpd_sql::Dml;
+use cdpd_types::{Cost, Error, Result};
+use cdpd_workload::{summarize, Trace};
+use std::collections::VecDeque;
+
+/// Raised when the current design has deteriorated past the threshold.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// Estimated window cost under the current configuration.
+    pub current_cost: Cost,
+    /// Estimated window cost under the best candidate configuration.
+    pub best_cost: Cost,
+    /// The candidate configuration that would be best *right now*
+    /// (a hint, not a recommendation — run the advisor for one).
+    pub better_config: Vec<IndexSpec>,
+    /// `current/best − 1`, e.g. `0.8` = 80% worse than achievable.
+    pub degradation: f64,
+    /// The observed statements, ready to feed to the offline advisor.
+    pub recent_trace: Trace,
+}
+
+/// Sliding-window quality monitor for one table's physical design.
+///
+/// [`Alerter::check`] snapshots fresh statistics each time (the data
+/// may have changed since construction); the constructor's snapshot
+/// exists only to validate the candidate structures eagerly.
+pub struct Alerter {
+    table: String,
+    candidates: Vec<IndexSpec>,
+    window: VecDeque<Dml>,
+    capacity: usize,
+    threshold: f64,
+}
+
+impl Alerter {
+    /// Monitor `table`, comparing against `candidates` (e.g. the same
+    /// structure list the advisor uses), alerting when the current
+    /// design is `threshold` (fractional, e.g. `0.5` = 50%) worse than
+    /// the best candidate over the last `capacity` statements.
+    pub fn new(
+        db: &Database,
+        table: &str,
+        candidates: Vec<IndexSpec>,
+        capacity: usize,
+        threshold: f64,
+    ) -> Result<Alerter> {
+        if capacity == 0 {
+            return Err(Error::InvalidArgument("alerter window must be positive".into()));
+        }
+        if candidates.is_empty() {
+            return Err(Error::InvalidArgument("alerter needs candidate structures".into()));
+        }
+        let whatif = WhatIfEngine::snapshot(db, table)?;
+        for spec in &candidates {
+            whatif.shape(spec)?;
+        }
+        Ok(Alerter {
+            table: table.to_owned(),
+            candidates,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            threshold,
+        })
+    }
+
+    /// Record one executed statement.
+    pub fn observe(&mut self, stmt: &Dml) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(stmt.clone());
+    }
+
+    /// Number of statements currently in the window.
+    pub fn observed(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Compare the current configuration against the best ≤1-index
+    /// candidate configuration over the observed window. Returns an
+    /// alert if the current design is more than `threshold` worse;
+    /// `None` while the window is empty or the design holds up.
+    pub fn check(&self, db: &Database) -> Result<Option<Alert>> {
+        if self.window.is_empty() {
+            return Ok(None);
+        }
+        let trace = Trace::new(
+            self.table.clone(),
+            self.window.iter().cloned().collect(),
+        );
+        let summarized = summarize(&trace, self.window.len())?;
+
+        // One oracle over candidates + current design's structures.
+        let mut structures = self.candidates.clone();
+        let current_specs = db.index_specs(&self.table)?;
+        for spec in &current_specs {
+            if !structures.contains(spec) {
+                structures.push(spec.clone());
+            }
+        }
+        let whatif = WhatIfEngine::snapshot(db, &self.table)?;
+        let oracle = MemoOracle::new(crate::EngineOracle::new(whatif, structures, &summarized)?);
+        let current = oracle
+            .inner()
+            .config_of(&current_specs)
+            .expect("current specs were appended to the structure list");
+        let current_cost = oracle.exec(0, current);
+
+        // Cheap sweep: empty + each single candidate (the alerter's job
+        // is detection, not optimization).
+        let mut best = (Config::EMPTY, oracle.exec(0, Config::EMPTY));
+        for i in 0..self.candidates.len() {
+            let cfg = Config::single(i);
+            let cost = oracle.exec(0, cfg);
+            if cost < best.1 {
+                best = (cfg, cost);
+            }
+        }
+        let (best_config, best_cost) = best;
+        let degradation = if best_cost.raw() == 0 {
+            0.0
+        } else {
+            current_cost.raw() as f64 / best_cost.raw() as f64 - 1.0
+        };
+        if degradation <= self.threshold {
+            return Ok(None);
+        }
+        Ok(Some(Alert {
+            current_cost,
+            best_cost,
+            better_config: oracle.inner().specs_of(best_config),
+            degradation,
+            recent_trace: trace,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpd_sql::SelectStmt;
+    use cdpd_types::{ColumnDef, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn db_with(rows: i64, index_on: Option<&str>) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::int("a"),
+                ColumnDef::int("b"),
+                ColumnDef::int("c"),
+                ColumnDef::int("d"),
+            ]),
+        )
+        .unwrap();
+        let domain = rows / 5;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..rows {
+            let row: Vec<Value> =
+                (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+            db.insert("t", &row).unwrap();
+        }
+        db.analyze("t").unwrap();
+        if let Some(col) = index_on {
+            db.create_index(&IndexSpec::new("t", &[col])).unwrap();
+        }
+        db
+    }
+
+    fn candidates() -> Vec<IndexSpec> {
+        ["a", "b", "c", "d"]
+            .iter()
+            .map(|c| IndexSpec::new("t", &[*c]))
+            .collect()
+    }
+
+    #[test]
+    fn quiet_while_design_matches_workload() {
+        let db = db_with(10_000, Some("a"));
+        let mut alerter = Alerter::new(&db, "t", candidates(), 100, 0.5).unwrap();
+        assert!(alerter.check(&db).unwrap().is_none(), "empty window is quiet");
+        for i in 0..100 {
+            alerter.observe(&SelectStmt::point("t", "a", i).into());
+        }
+        assert_eq!(alerter.observed(), 100);
+        assert!(alerter.check(&db).unwrap().is_none(), "I(a) serves a-queries");
+    }
+
+    #[test]
+    fn alerts_when_workload_shifts_away() {
+        let db = db_with(10_000, Some("a"));
+        let mut alerter = Alerter::new(&db, "t", candidates(), 100, 0.5).unwrap();
+        // The workload has moved to column c: I(a) is now useless.
+        for i in 0..100 {
+            alerter.observe(&SelectStmt::point("t", "c", i).into());
+        }
+        let alert = alerter.check(&db).unwrap().expect("must alert");
+        assert!(alert.degradation > 0.5, "{alert:?}");
+        assert_eq!(alert.better_config, vec![IndexSpec::new("t", &["c"])]);
+        assert_eq!(alert.recent_trace.len(), 100);
+        assert!(alert.current_cost > alert.best_cost);
+    }
+
+    #[test]
+    fn window_slides() {
+        let db = db_with(5_000, Some("a"));
+        let mut alerter = Alerter::new(&db, "t", candidates(), 50, 0.5).unwrap();
+        // Old c-queries age out as fresh a-queries arrive.
+        for i in 0..50 {
+            alerter.observe(&SelectStmt::point("t", "c", i).into());
+        }
+        assert!(alerter.check(&db).unwrap().is_some());
+        for i in 0..50 {
+            alerter.observe(&SelectStmt::point("t", "a", i).into());
+        }
+        assert_eq!(alerter.observed(), 50);
+        assert!(alerter.check(&db).unwrap().is_none(), "window fully replaced");
+    }
+
+    #[test]
+    fn alert_trace_feeds_the_advisor() {
+        let db = db_with(10_000, Some("a"));
+        let mut alerter = Alerter::new(&db, "t", candidates(), 60, 0.5).unwrap();
+        for i in 0..60 {
+            alerter.observe(&SelectStmt::point("t", "c", i).into());
+        }
+        let alert = alerter.check(&db).unwrap().expect("must alert");
+        // The §7 loop: alert → run the offline advisor on the trace.
+        let rec = crate::Advisor::new(&db, "t")
+            .options(crate::AdvisorOptions {
+                k: Some(1),
+                window_len: 30,
+                max_structures_per_config: Some(1),
+                ..Default::default()
+            })
+            .recommend(&alert.recent_trace)
+            .unwrap();
+        let specs = rec.specs_at(0);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].columns, vec!["c".to_owned()]);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let db = db_with(1_000, None);
+        assert!(Alerter::new(&db, "t", candidates(), 0, 0.5).is_err());
+        assert!(Alerter::new(&db, "t", vec![], 10, 0.5).is_err());
+        assert!(Alerter::new(&db, "missing", candidates(), 10, 0.5).is_err());
+        let bad = vec![IndexSpec::new("t", &["nope"])];
+        assert!(Alerter::new(&db, "t", bad, 10, 0.5).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! # cdpd — Constrained Dynamic Physical Database Design
+//!
+//! A full reproduction of *Voigt, Salem, Lehner: "Constrained Dynamic
+//! Physical Database Design"* (ICDE Workshops 2008), from the storage
+//! engine up:
+//!
+//! * [`storage`] — pager, heap files, B+-trees with I/O accounting;
+//! * [`sql`] — the query dialect of the paper's workloads;
+//! * [`engine`] — executor, statistics, cost model, and the *what-if*
+//!   optimizer design advisors are built on;
+//! * [`workload`] — the paper's query mixes, workload generators, and
+//!   trace summarization;
+//! * [`core`] — the constrained dynamic design algorithms themselves
+//!   (sequence graphs, k-aware graphs, merging, ranking, hybrid);
+//! * this crate — the glue: [`EngineOracle`] adapts the what-if engine
+//!   to the solver-facing [`core::CostOracle`] trait,
+//!   [`candidate_indexes`] derives candidate structures from a trace,
+//!   [`Advisor`] is the one-call API, and [`replay`] executes a
+//!   workload under a recommended design schedule, measuring real I/O.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cdpd::{Advisor, AdvisorOptions};
+//! use cdpd_engine::Database;
+//! use cdpd_workload::{generate, paper};
+//!
+//! let mut db = Database::new();
+//! // ... create and load the table, then db.analyze("t") ...
+//! let trace = generate(&paper::w1(), 42);
+//! let rec = Advisor::new(&db, "t")
+//!     .options(AdvisorOptions { k: Some(2), ..Default::default() })
+//!     .recommend(&trace)
+//!     .unwrap();
+//! for (window, indexes) in rec.segment_specs() {
+//!     println!("windows {window:?}: {indexes:?}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cdpd_core as core;
+pub use cdpd_engine as engine;
+pub use cdpd_graph as graph;
+pub use cdpd_sql as sql;
+pub use cdpd_storage as storage;
+pub use cdpd_types as types;
+pub use cdpd_workload as workload;
+
+mod advisor;
+pub mod alerter;
+pub mod kadvice;
+mod candidates;
+mod oracle;
+pub mod replay;
+
+pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
+pub use alerter::{Alert, Alerter};
+pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};
+pub use candidates::candidate_indexes;
+pub use oracle::EngineOracle;

@@ -1,0 +1,257 @@
+use cdpd_core::{Config, CostOracle};
+use cdpd_engine::{IndexSpec, WhatIfEngine};
+use cdpd_sql::Dml;
+use cdpd_types::{Cost, Error, Result};
+use cdpd_workload::SummarizedWorkload;
+
+/// Adapts the engine's [`WhatIfEngine`] to the solver-facing
+/// [`CostOracle`] trait.
+///
+/// A [`Config`] bit `i` means "candidate structure `structures[i]` is
+/// materialized". `EXEC(stage, C)` is the weighted sum of what-if
+/// estimates for the stage's summarized statements under that index
+/// set; `TRANS`/`SIZE` delegate to the what-if engine's build/drop/size
+/// estimates.
+///
+/// The oracle performs no caching itself: wrap it in
+/// [`cdpd_core::MemoOracle`] before handing it to a solver (the solvers
+/// probe the same `(stage, config)` pairs many times).
+pub struct EngineOracle {
+    whatif: WhatIfEngine,
+    structures: Vec<IndexSpec>,
+    /// Per stage: `(statement, multiplicity)`.
+    blocks: Vec<Vec<(Dml, u64)>>,
+}
+
+impl EngineOracle {
+    /// Build an oracle for `workload` over candidate `structures`.
+    ///
+    /// Validates everything up front — structures resolvable against
+    /// the schema, statements on the oracle's table, `m ≤ 64` — so the
+    /// trait methods (which cannot return errors) cannot fail later.
+    pub fn new(
+        whatif: WhatIfEngine,
+        structures: Vec<IndexSpec>,
+        workload: &SummarizedWorkload,
+    ) -> Result<EngineOracle> {
+        if structures.len() > 64 {
+            return Err(Error::InvalidArgument(format!(
+                "{} candidate structures exceed the 64-structure configuration encoding",
+                structures.len()
+            )));
+        }
+        if workload.is_empty() {
+            return Err(Error::InvalidArgument("workload has no blocks".into()));
+        }
+        if workload.table != whatif.table() {
+            return Err(Error::InvalidArgument(format!(
+                "workload is on table {}, what-if oracle on {}",
+                workload.table,
+                whatif.table()
+            )));
+        }
+        for spec in &structures {
+            whatif.shape(spec)?; // validates table + columns
+        }
+        let blocks: Vec<Vec<(Dml, u64)>> = workload
+            .blocks
+            .iter()
+            .map(|b| {
+                b.weighted
+                    .iter()
+                    .map(|w| (w.statement.clone(), w.count))
+                    .collect()
+            })
+            .collect();
+        // Probe every statement once under the empty configuration so
+        // unknown columns and type mismatches surface now.
+        for block in &blocks {
+            for (stmt, _) in block {
+                whatif.dml_cost(stmt, &[])?;
+            }
+        }
+        Ok(EngineOracle { whatif, structures, blocks })
+    }
+
+    /// The candidate structure list (bit order of [`Config`]).
+    pub fn structures(&self) -> &[IndexSpec] {
+        &self.structures
+    }
+
+    /// The index specs present in `config`, in bit order.
+    pub fn specs_of(&self, config: Config) -> Vec<IndexSpec> {
+        config
+            .structures()
+            .map(|i| self.structures[i].clone())
+            .collect()
+    }
+
+    /// The configuration encoding exactly `specs`, if every spec is a
+    /// known candidate structure.
+    pub fn config_of(&self, specs: &[IndexSpec]) -> Option<Config> {
+        let mut config = Config::EMPTY;
+        for spec in specs {
+            let i = self.structures.iter().position(|s| s == spec)?;
+            config = config.with(i);
+        }
+        Some(config)
+    }
+
+    /// The underlying what-if engine.
+    pub fn whatif(&self) -> &WhatIfEngine {
+        &self.whatif
+    }
+}
+
+impl CostOracle for EngineOracle {
+    fn n_stages(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.structures.len()
+    }
+
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        let specs = self.specs_of(config);
+        self.blocks[stage]
+            .iter()
+            .map(|(stmt, count)| {
+                self.whatif
+                    .dml_cost(stmt, &specs)
+                    .expect("constructor validated statements and structures")
+                    .scale(*count)
+            })
+            .sum()
+    }
+
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        self.whatif
+            .trans_cost(&self.specs_of(from), &self.specs_of(to))
+            .expect("constructor validated structures")
+    }
+
+    fn size(&self, config: Config) -> u64 {
+        self.whatif
+            .config_size_pages(&self.specs_of(config))
+            .expect("constructor validated structures")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpd_engine::Database;
+    use cdpd_types::{ColumnDef, Schema, Value};
+    use cdpd_workload::{generate, paper, summarize};
+
+    fn test_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::int("a"),
+                ColumnDef::int("b"),
+                ColumnDef::int("c"),
+                ColumnDef::int("d"),
+            ]),
+        )
+        .unwrap();
+        let dom = rows / 5;
+        for i in 0..rows {
+            let h = |k: i64| Value::Int((i * 2654435761 * (k + 1)).rem_euclid(dom));
+            db.insert("t", &[h(0), h(1), h(2), h(3)]).unwrap();
+        }
+        db.analyze("t").unwrap();
+        db
+    }
+
+    fn paper_structures() -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::new("t", &["a"]),
+            IndexSpec::new("t", &["b"]),
+            IndexSpec::new("t", &["c"]),
+            IndexSpec::new("t", &["d"]),
+            IndexSpec::new("t", &["a", "b"]),
+            IndexSpec::new("t", &["c", "d"]),
+        ]
+    }
+
+    fn oracle(rows: i64) -> EngineOracle {
+        let db = test_db(rows);
+        let params = paper::PaperParams { domain: rows / 5, window_len: 100, ..Default::default() };
+        let trace = generate(&paper::w1_with(&params), 11);
+        let workload = summarize(&trace, 100).unwrap();
+        EngineOracle::new(
+            WhatIfEngine::snapshot(&db, "t").unwrap(),
+            paper_structures(),
+            &workload,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_match_workload() {
+        let o = oracle(10_000);
+        assert_eq!(o.n_stages(), 30);
+        assert_eq!(o.n_structures(), 6);
+    }
+
+    #[test]
+    fn spec_config_roundtrip() {
+        let o = oracle(5_000);
+        let config = Config::EMPTY.with(1).with(4);
+        let specs = o.specs_of(config);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(o.config_of(&specs), Some(config));
+        assert_eq!(o.config_of(&[IndexSpec::new("t", &["z"])]), None);
+        assert_eq!(o.config_of(&[]), Some(Config::EMPTY));
+    }
+
+    #[test]
+    fn exec_improves_with_relevant_index() {
+        let o = oracle(10_000);
+        // Stage 0 of W1 is mix A (a-heavy): I(a,b) must help a lot.
+        let empty = o.exec(0, Config::EMPTY);
+        let with_ab = o.exec(0, Config::single(4));
+        assert!(with_ab.raw() * 2 < empty.raw(), "{with_ab} !<< {empty}");
+        // An index on c helps mix A only a little.
+        let with_c = o.exec(0, Config::single(2));
+        assert!(with_c > with_ab);
+    }
+
+    #[test]
+    fn trans_and_size_delegate() {
+        let o = oracle(5_000);
+        assert_eq!(o.trans(Config::EMPTY, Config::EMPTY), Cost::ZERO);
+        assert!(o.trans(Config::EMPTY, Config::single(0)).ios() > 10);
+        assert_eq!(o.size(Config::EMPTY), 0);
+        assert!(o.size(Config::single(4)) > o.size(Config::single(0)));
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let db = test_db(1_000);
+        let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
+        let trace = generate(
+            &paper::w1_with(&paper::PaperParams {
+                domain: 200,
+                window_len: 10,
+                ..Default::default()
+            }),
+            1,
+        );
+        let workload = summarize(&trace, 10).unwrap();
+        // Unknown column in a structure.
+        let bad = vec![IndexSpec::new("t", &["nope"])];
+        assert!(EngineOracle::new(whatif, bad, &workload).is_err());
+        // Wrong table in the workload.
+        let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
+        let other = cdpd_workload::Trace::from_selects(
+            "u",
+            vec![cdpd_sql::SelectStmt::point("u", "a", 1)],
+        );
+        let other_sum = summarize(&other, 10).unwrap();
+        assert!(EngineOracle::new(whatif, vec![], &other_sum).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Execute a workload under a design schedule, measuring real I/O.
+//!
+//! This is how Figure 3 is reproduced: the recommended schedule is
+//! *actually applied* — indexes built and dropped at the recommended
+//! points via online DDL — and every trace statement executed, with the
+//! pager counting logical page I/O for both execution and transitions.
+
+use crate::advisor::Recommendation;
+use cdpd_engine::{Database, IndexSpec};
+use cdpd_types::{Error, Result};
+use cdpd_workload::Trace;
+use std::time::{Duration, Instant};
+
+/// Measured outcome of one stage (window) of a replay.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Logical I/O spent changing the design before this window.
+    pub trans_io: u64,
+    /// Logical I/O spent executing the window's statements.
+    pub exec_io: u64,
+    /// Indexes created entering this window.
+    pub created: Vec<String>,
+    /// Indexes dropped entering this window.
+    pub dropped: Vec<String>,
+}
+
+/// Measured outcome of a full replay.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Per-window measurements.
+    pub stages: Vec<StageReport>,
+    /// Logical I/O of the closing transition (when the schedule pins a
+    /// final configuration).
+    pub final_trans_io: u64,
+    /// Wall-clock time of the whole replay.
+    pub wall: Duration,
+    /// Statements executed.
+    pub statements: u64,
+    /// Total matched/affected rows across all statements. For
+    /// *read-only* traces this is a design-independent checksum
+    /// (identical across schedules); traces with writes mutate the
+    /// database, so replays are only comparable across freshly loaded
+    /// databases.
+    pub row_checksum: u64,
+}
+
+impl ReplayReport {
+    /// Total execution I/O.
+    pub fn exec_io(&self) -> u64 {
+        self.stages.iter().map(|s| s.exec_io).sum()
+    }
+
+    /// Total transition I/O (including the closing transition).
+    pub fn trans_io(&self) -> u64 {
+        self.stages.iter().map(|s| s.trans_io).sum::<u64>() + self.final_trans_io
+    }
+
+    /// Total measured I/O — the Figure 3 quantity.
+    pub fn total_io(&self) -> u64 {
+        self.exec_io() + self.trans_io()
+    }
+}
+
+/// Replay `trace` against `db`, applying `stage_specs[i]` before window
+/// `i` (windows are `window_len` statements). `final_specs` pins the
+/// configuration restored after the run, like the paper's "final
+/// configuration empty".
+///
+/// The trace is windowed exactly like the advisor summarized it, so a
+/// schedule recommended from one trace can be replayed against a
+/// *different* trace of the same length — that is the Figure 3
+/// experiment (W1's designs replayed on W2 and W3).
+pub fn replay(
+    db: &mut Database,
+    trace: &Trace,
+    window_len: usize,
+    stage_specs: &[Vec<IndexSpec>],
+    final_specs: Option<&[IndexSpec]>,
+) -> Result<ReplayReport> {
+    if window_len == 0 {
+        return Err(Error::InvalidArgument("window_len must be positive".into()));
+    }
+    let expected = trace.len().div_ceil(window_len);
+    if stage_specs.len() != expected {
+        return Err(Error::InvalidArgument(format!(
+            "schedule has {} stages, trace windows into {expected}",
+            stage_specs.len()
+        )));
+    }
+    let start = Instant::now();
+    let table = trace.table().to_owned();
+    let mut stages = Vec::with_capacity(stage_specs.len());
+    let mut statements = 0u64;
+    let mut row_checksum = 0u64;
+
+    for (i, specs) in stage_specs.iter().enumerate() {
+        let ddl = db.apply_configuration(&table, specs)?;
+        let mut exec_io = 0u64;
+        let lo = i * window_len;
+        let hi = ((i + 1) * window_len).min(trace.len());
+        for stmt in &trace.statements()[lo..hi] {
+            let r = db.execute_dml(stmt)?;
+            exec_io += r.io.total();
+            row_checksum += r.count;
+            statements += 1;
+        }
+        stages.push(StageReport {
+            trans_io: ddl.io.total(),
+            exec_io,
+            created: ddl.created,
+            dropped: ddl.dropped,
+        });
+    }
+
+    let final_trans_io = match final_specs {
+        Some(specs) => db.apply_configuration(&table, specs)?.io.total(),
+        None => 0,
+    };
+
+    Ok(ReplayReport {
+        stages,
+        final_trans_io,
+        wall: start.elapsed(),
+        statements,
+        row_checksum,
+    })
+}
+
+/// Replay a trace under an advisor [`Recommendation`].
+pub fn replay_recommendation(
+    db: &mut Database,
+    trace: &Trace,
+    rec: &Recommendation,
+) -> Result<ReplayReport> {
+    let final_specs: Option<Vec<IndexSpec>> = rec.problem.final_config.map(|f| {
+        f.structures().map(|i| rec.structures[i].clone()).collect()
+    });
+    replay(
+        db,
+        trace,
+        rec.window_len,
+        &rec.stage_specs(),
+        final_specs.as_deref(),
+    )
+}

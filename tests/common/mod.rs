@@ -1,0 +1,59 @@
+//! Shared scaffolding for the paper-scenario integration tests: a
+//! scaled-down version of the paper's experimental database (one table,
+//! four uniform integer columns, ~5 rows per distinct value) plus the
+//! hand-picked candidate structures of §6.1.
+
+use cdpd::engine::{Database, IndexSpec};
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd::workload::paper::PaperParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows : domain ratio matching the paper (2.5M rows over 500k values).
+pub const ROWS_PER_VALUE: i64 = 5;
+
+/// Build and analyze the experimental table at a given scale.
+pub fn paper_database(rows: i64, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )
+    .expect("fresh database");
+    let domain = rows / ROWS_PER_VALUE;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rows {
+        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        db.insert("t", &row).expect("row matches schema");
+    }
+    db.analyze("t").expect("table exists");
+    db
+}
+
+/// Workload parameters scaled to the same database.
+#[allow(dead_code)] // each integration-test binary uses a subset
+pub fn paper_params(rows: i64, window_len: usize) -> PaperParams {
+    PaperParams {
+        table: "t".into(),
+        domain: rows / ROWS_PER_VALUE,
+        window_len,
+    }
+}
+
+/// The §6.1 design space: I(a), I(b), I(c), I(d), I(a,b), I(c,d).
+#[allow(dead_code)] // each integration-test binary uses a subset
+pub fn paper_structures() -> Vec<IndexSpec> {
+    vec![
+        IndexSpec::new("t", &["a"]),
+        IndexSpec::new("t", &["b"]),
+        IndexSpec::new("t", &["c"]),
+        IndexSpec::new("t", &["d"]),
+        IndexSpec::new("t", &["a", "b"]),
+        IndexSpec::new("t", &["c", "d"]),
+    ]
+}

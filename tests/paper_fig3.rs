@@ -1,0 +1,132 @@
+//! Reproduction of the paper's Figure 3 at test scale: execute W1, W2,
+//! and W3 under both the unconstrained and the `k = 2` designs that
+//! were recommended *from W1*, measuring logical I/O.
+//!
+//! Expected orderings (paper, Fig. 3, relative execution times):
+//! * W1 runs somewhat slower under the constrained design (paper: 14%);
+//! * W2 and W3 run *faster* under the constrained design than under the
+//!   unconstrained one (paper: 59% and 30% slower unconstrained),
+//!   because the unconstrained design is overfit to W1's minor shifts.
+
+mod common;
+
+use cdpd::replay::{replay, replay_recommendation};
+use cdpd::workload::{generate, paper, Trace};
+use cdpd::{Advisor, AdvisorOptions, Algorithm, Recommendation};
+use common::{paper_database, paper_params, paper_structures};
+
+const ROWS: i64 = 12_000;
+const WINDOW: usize = 60;
+
+fn recommend(db: &cdpd::engine::Database, trace: &Trace, k: Option<usize>) -> Recommendation {
+    Advisor::new(db, "t")
+        .options(AdvisorOptions {
+            k,
+            window_len: WINDOW,
+            structures: Some(paper_structures()),
+            max_structures_per_config: Some(1),
+            end_empty: true,
+            algorithm: Algorithm::KAware,
+            ..Default::default()
+        })
+        .recommend(trace)
+        .expect("advisor runs")
+}
+
+#[test]
+fn fig3_orderings_hold() {
+    let mut db = paper_database(ROWS, 7);
+    let params = paper_params(ROWS, WINDOW);
+    let w1 = generate(&paper::w1_with(&params), 42);
+    let w2 = generate(&paper::w2_with(&params), 43);
+    let w3 = generate(&paper::w3_with(&params), 44);
+
+    let unc = recommend(&db, &w1, None);
+    let k2 = recommend(&db, &w1, Some(2));
+    assert_eq!(k2.schedule.changes, 2);
+
+    // Replay each workload under each W1-derived schedule. The paper's
+    // Figure 3 measures wall time; logical I/O is our deterministic
+    // time proxy (same engine, same plans).
+    let mut io = std::collections::HashMap::new();
+    let mut checksums = std::collections::HashMap::new();
+    for (wname, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
+        for (dname, rec) in [("unc", &unc), ("k2", &k2)] {
+            let report = replay_recommendation(&mut db, trace, rec).expect("replay runs");
+            io.insert((wname, dname), report.total_io());
+            checksums.insert((wname, dname, trace.len()), report.row_checksum);
+            // A workload's result rows must not depend on the design.
+            let prev = checksums
+                .entry((wname, "ref", trace.len()))
+                .or_insert(report.row_checksum);
+            assert_eq!(*prev, report.row_checksum, "{wname} under {dname}");
+        }
+    }
+
+    let g = |w: &str, d: &str| *io.get(&(w, d)).unwrap() as f64;
+
+    // W1: unconstrained is optimal for it; constrained somewhat slower.
+    assert!(
+        g("W1", "k2") > g("W1", "unc"),
+        "W1: constrained must cost more ({} vs {})",
+        g("W1", "k2"),
+        g("W1", "unc")
+    );
+    let w1_gap = g("W1", "k2") / g("W1", "unc");
+    assert!(w1_gap < 1.5, "W1 gap should be moderate, got {w1_gap:.2}");
+
+    // W2 and W3: the W1-overfit unconstrained design loses to the
+    // constrained one.
+    for w in ["W2", "W3"] {
+        assert!(
+            g(w, "unc") > g(w, "k2"),
+            "{w}: unconstrained should be slower ({} vs {})",
+            g(w, "unc"),
+            g(w, "k2")
+        );
+    }
+
+    // Directional magnitude check against the paper's bars: the W2 gap
+    // (out-of-phase alternation every window) exceeds the W1 gap.
+    let w2_gap = g("W2", "unc") / g("W2", "k2");
+    assert!(
+        w2_gap > w1_gap * 0.9,
+        "W2 overfit penalty ({w2_gap:.2}) should rival W1's constrained gap ({w1_gap:.2})"
+    );
+}
+
+#[test]
+fn replay_validates_inputs() {
+    let mut db = paper_database(2_000, 9);
+    let params = paper_params(2_000, 50);
+    let spec = paper::w1_with(&paper::PaperParams { window_len: 50, ..params });
+    let trace = generate(&spec, 1);
+    // Wrong stage count.
+    let err = replay(&mut db, &trace, 50, &[vec![]], None).unwrap_err();
+    assert!(err.to_string().contains("stages"), "{err}");
+    // Zero window.
+    assert!(replay(&mut db, &trace, 0, &[], None).is_err());
+}
+
+#[test]
+fn transitions_happen_where_the_schedule_says() {
+    let mut db = paper_database(5_000, 3);
+    let params = paper_params(5_000, WINDOW);
+    let trace = generate(&paper::w1_with(&params), 5);
+    let rec = recommend(&db, &trace, Some(2));
+    let report = replay_recommendation(&mut db, &trace, &rec).unwrap();
+    let change_windows: Vec<usize> = report
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.created.is_empty() || !s.dropped.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        change_windows,
+        vec![0, 10, 20],
+        "initial build + the two major shifts"
+    );
+    assert!(report.final_trans_io > 0, "closing drop to the empty design");
+    assert_eq!(report.statements as usize, trace.len());
+}

@@ -1,0 +1,159 @@
+//! Reproduction of the paper's Table 2 at test scale: the recommended
+//! dynamic designs for workload W1, unconstrained (`k = ∞`) and
+//! constrained (`k = 2`).
+//!
+//! Expected shapes (paper, Table 2):
+//! * unconstrained — tracks every minor shift: `I(a,b)` during mix-A
+//!   windows, `I(b)` during mix-B windows, `I(c,d)` during C, `I(d)`
+//!   during D;
+//! * `k = 2` — tracks only the major shifts: `I(a,b)` for phase 1,
+//!   `I(c,d)` for phase 2, `I(a,b)` for phase 3.
+
+mod common;
+
+use cdpd::workload::{generate, paper};
+use cdpd::{Advisor, AdvisorOptions, Algorithm};
+use common::{paper_database, paper_params, paper_structures};
+
+const ROWS: i64 = 30_000;
+const WINDOW: usize = 200;
+
+fn advisor_options(k: Option<usize>) -> AdvisorOptions {
+    AdvisorOptions {
+        k,
+        window_len: WINDOW,
+        structures: Some(paper_structures()),
+        max_structures_per_config: Some(1), // the paper's ≤1-index regime
+        end_empty: true,
+        algorithm: Algorithm::KAware,
+        ..Default::default()
+    }
+}
+
+/// The paper-style name of the index recommended for window `w`.
+fn design_label(rec: &cdpd::Recommendation, w: usize) -> String {
+    let specs = rec.specs_at(w);
+    match specs.as_slice() {
+        [] => "-".to_owned(),
+        [one] => one.display_short(),
+        many => many.iter().map(|s| s.display_short()).collect::<Vec<_>>().join("+"),
+    }
+}
+
+#[test]
+fn table2_unconstrained_tracks_minor_shifts() {
+    let db = paper_database(ROWS, 1);
+    let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 42);
+    let rec = Advisor::new(&db, "t")
+        .options(advisor_options(None))
+        .recommend(&trace)
+        .expect("advisor runs");
+
+    for (w, mix) in paper::W1_PATTERN.iter().enumerate() {
+        let got = design_label(&rec, w);
+        let want = match mix {
+            'A' => "I(a,b)",
+            'B' => "I(b)",
+            'C' => "I(c,d)",
+            'D' => "I(d)",
+            _ => unreachable!(),
+        };
+        assert_eq!(got, want, "window {w} (mix {mix}): {}", rec.describe());
+    }
+}
+
+#[test]
+fn table2_k2_tracks_major_shifts_only() {
+    let db = paper_database(ROWS, 1);
+    let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 42);
+    let rec = Advisor::new(&db, "t")
+        .options(advisor_options(Some(2)))
+        .recommend(&trace)
+        .expect("advisor runs");
+
+    assert_eq!(rec.schedule.changes, 2, "{}", rec.describe());
+    let segments = rec.segment_specs();
+    assert_eq!(segments.len(), 3, "{}", rec.describe());
+    assert_eq!(segments[0].0, 0..10, "phase 1 covers windows 0..10");
+    assert_eq!(segments[1].0, 10..20);
+    assert_eq!(segments[2].0, 20..30);
+    assert_eq!(design_label(&rec, 0), "I(a,b)");
+    assert_eq!(design_label(&rec, 10), "I(c,d)");
+    assert_eq!(design_label(&rec, 20), "I(a,b)");
+}
+
+#[test]
+fn constrained_is_costlier_than_unconstrained_on_w1() {
+    // Table 2's closing observation: the unconstrained design is by
+    // definition optimal for W1; the k=2 design is suboptimal for W1
+    // (the paper measured it 14% slower).
+    let db = paper_database(ROWS, 1);
+    let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 42);
+    let unc = Advisor::new(&db, "t")
+        .options(advisor_options(None))
+        .recommend(&trace)
+        .unwrap();
+    let k2 = Advisor::new(&db, "t")
+        .options(advisor_options(Some(2)))
+        .recommend(&trace)
+        .unwrap();
+    assert!(
+        k2.schedule.total_cost() > unc.schedule.total_cost(),
+        "k2 {} vs unconstrained {}",
+        k2.schedule.total_cost(),
+        unc.schedule.total_cost()
+    );
+    // ... but within a modest factor (the paper's gap was 14%).
+    let ratio =
+        k2.schedule.total_cost().raw() as f64 / unc.schedule.total_cost().raw() as f64;
+    assert!(ratio < 1.6, "estimated gap should stay moderate, got {ratio:.2}");
+}
+
+#[test]
+fn all_constrained_algorithms_agree_or_bound_the_optimum() {
+    let db = paper_database(ROWS, 1);
+    let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 42);
+    let solve = |alg: Algorithm| {
+        Advisor::new(&db, "t")
+            .options(AdvisorOptions { algorithm: alg, ..advisor_options(Some(2)) })
+            .recommend(&trace)
+            .unwrap()
+    };
+    let optimal = solve(Algorithm::KAware);
+    // §5's caveat, observed for real: at k = 2 an enormous number of
+    // cheaper many-change designs precede the first 2-change one, so
+    // path ranking exhausts any practical budget on this instance. The
+    // anytime-optimal claim is exercised at small scale in cdpd-core's
+    // unit and property tests; here we assert the documented failure
+    // mode (and that it is reported as such, enabling hybrid fallback).
+    let ranked = Advisor::new(&db, "t")
+        .options(AdvisorOptions {
+            algorithm: Algorithm::Ranking { max_paths: 20_000 },
+            ..advisor_options(Some(2))
+        })
+        .recommend(&trace);
+    let err = ranked.expect_err("k=2 ranking must exhaust a small budget here");
+    assert!(err.to_string().contains("budget"), "{err}");
+
+    for alg in [Algorithm::Merging, Algorithm::Hybrid] {
+        let s = solve(alg);
+        assert!(s.schedule.changes <= 2, "{alg:?}");
+        assert!(
+            s.schedule.total_cost() >= optimal.schedule.total_cost(),
+            "{alg:?} cannot beat the optimum over the same candidates"
+        );
+        let ratio = s.schedule.total_cost().raw() as f64
+            / optimal.schedule.total_cost().raw() as f64;
+        assert!(ratio < 1.25, "{alg:?} is near-optimal here, got {ratio:.3}");
+    }
+
+    // Greedy derives its own candidate set (not limited to the paper's
+    // ≤1-index regime), so it may legitimately land on either side of
+    // the restricted optimum — it only has to respect the budget and
+    // stay in the same ballpark.
+    let g = solve(Algorithm::Greedy);
+    assert!(g.schedule.changes <= 2);
+    let ratio =
+        g.schedule.total_cost().raw() as f64 / optimal.schedule.total_cost().raw() as f64;
+    assert!((0.4..1.6).contains(&ratio), "greedy ratio {ratio:.3}");
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Hermetic CI: the whole workspace must build, test, and run its
+# experiment binaries offline with an empty cargo registry, and no
+# Cargo.toml may reintroduce an external (registry) dependency.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== dependency guard: workspace must stay zero-dependency =="
+# Every dependency of every workspace member must itself be a workspace
+# member (a path crate). cargo metadata resolves the full graph, so a
+# registry dependency anywhere — including dev- and build-deps — fails.
+mkdir -p target
+cargo metadata --format-version 1 --offline > target/ci-metadata.json
+python3 - target/ci-metadata.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    meta = json.load(f)
+members = {pkg["id"] for pkg in meta["packages"] if pkg["source"] is None}
+external = [pkg for pkg in meta["packages"] if pkg["source"] is not None]
+if external:
+    for pkg in external:
+        print(f"external crate in dependency graph: {pkg['name']} {pkg['version']} ({pkg['source']})")
+    sys.exit(1)
+for pkg in meta["packages"]:
+    for dep in pkg["dependencies"]:
+        if dep.get("path") is None:
+            print(f"{pkg['name']}: dependency `{dep['name']}` is not a path dependency")
+            sys.exit(1)
+print(f"ok: {len(members)} path crates, zero external dependencies")
+EOF
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== benches + examples compile (offline) =="
+cargo build --offline --workspace --benches --examples
+
+echo "== table1 regenerates =="
+cargo run --release --offline -p cdpd-bench --bin table1
+
+echo "== ci.sh: all green =="

@@ -4,7 +4,8 @@
 
 use cdpd::storage::{BTree, Pager};
 use cdpd::types::{PageId, Rid, Value};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cdpd_testkit::bench::{BenchmarkId, Criterion};
+use cdpd_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 use std::sync::Arc;
 

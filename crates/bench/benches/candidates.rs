@@ -9,7 +9,8 @@
 
 use cdpd_core::{enumerate_configs, greedy, kaware, Problem, SyntheticOracle};
 use cdpd_types::Cost;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cdpd_testkit::bench::{BenchmarkId, Criterion};
+use cdpd_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn c(io: u64) -> Cost {

@@ -7,7 +7,8 @@ use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd::sql::SelectStmt;
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd_bench::{build_database, paper_structures, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cdpd_testkit::bench::Criterion;
+use cdpd_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const ROWS: i64 = 50_000;

@@ -11,7 +11,8 @@ use cdpd_core::{
     SyntheticOracle,
 };
 use cdpd_types::Cost;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cdpd_testkit::bench::{BenchmarkId, Criterion};
+use cdpd_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn c(io: u64) -> Cost {

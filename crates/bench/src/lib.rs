@@ -8,8 +8,7 @@
 use cdpd::engine::{Database, IndexSpec};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::paper::PaperParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 /// Rows per distinct column value (paper: 2.5M rows / 500k values).
 pub const ROWS_PER_VALUE: i64 = 5;
@@ -95,7 +94,7 @@ pub fn build_database(scale: &Scale) -> Database {
     )
     .expect("fresh database");
     let domain = scale.domain();
-    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xD1B2_54A3);
+    let mut rng = Prng::seed_from_u64(scale.seed ^ 0xD1B2_54A3);
     for _ in 0..scale.rows {
         let row: Vec<Value> =
             (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();

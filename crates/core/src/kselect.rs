@@ -43,15 +43,19 @@ pub fn cost_curve<O: CostOracle + Sync>(
 ) -> Result<Vec<KCurvePoint>> {
     let mut results: Vec<Option<Result<KCurvePoint>>> = Vec::new();
     results.resize_with(k_max + 1, || None);
-    crossbeam::thread::scope(|scope| {
-        for (k, slot) in results.iter_mut().enumerate() {
-            scope.spawn(move |_| {
-                *slot = Some(kaware::solve(oracle, problem, candidates, k).map(|s| {
-                    KCurvePoint { k, cost: s.total_cost(), changes: s.changes }
-                }));
-            });
-        }
-    })
+    // std::thread::scope re-raises worker panics after joining; catch
+    // them so a poisoned solve surfaces as an error, not an abort.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for (k, slot) in results.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(kaware::solve(oracle, problem, candidates, k).map(|s| {
+                        KCurvePoint { k, cost: s.total_cost(), changes: s.changes }
+                    }));
+                });
+            }
+        });
+    }))
     .map_err(|_| Error::InvalidArgument("k-sweep worker panicked".into()))?;
     results
         .into_iter()

@@ -4,11 +4,12 @@
 //! than optimal, and budgets behave monotonically.
 
 use cdpd_core::{
-    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config, Problem,
-    Schedule, SyntheticOracle,
+    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config as SolverConfig,
+    Problem, Schedule, SyntheticOracle,
 };
+use cdpd_testkit::prop::{any_bool, any_u8, vec_of, Config};
+use cdpd_testkit::props;
 use cdpd_types::Cost;
-use proptest::prelude::*;
 
 /// A random instance: n stages, m structures, cost tables from the
 /// supplied byte vectors (consumed cyclically).
@@ -40,7 +41,7 @@ fn instance(
 fn brute_force_best(
     oracle: &SyntheticOracle,
     problem: &Problem,
-    cands: &[Config],
+    cands: &[SolverConfig],
     n: usize,
     k: usize,
 ) -> Option<Cost> {
@@ -48,7 +49,7 @@ fn brute_force_best(
     let total = cands.len().pow(n as u32);
     for code in 0..total {
         let mut c = code;
-        let configs: Vec<Config> = (0..n)
+        let configs: Vec<SolverConfig> = (0..n)
             .map(|_| {
                 let pick = cands[c % cands.len()];
                 c /= cands.len();
@@ -63,102 +64,98 @@ fn brute_force_best(
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    config: Config::with_cases(32);
 
-    #[test]
     fn kaware_matches_brute_force(
         n in 2usize..5,
         m in 1usize..3,
         k in 0usize..4,
-        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
-        build_seed in prop::collection::vec(any::<u8>(), 1..8),
-        count_initial in any::<bool>(),
-        pin_final in any::<bool>(),
+        exec_seed in vec_of(any_u8(), 8..64),
+        build_seed in vec_of(any_u8(), 1..8),
+        count_initial in any_bool(),
+        pin_final in any_bool(),
     ) {
-        let o = instance(n, m, &exec_seed, &build_seed);
+        let o = instance(*n, *m, exec_seed, build_seed);
         let p = Problem {
-            count_initial_change: count_initial,
-            final_config: pin_final.then_some(Config::EMPTY),
+            count_initial_change: *count_initial,
+            final_config: pin_final.then_some(SolverConfig::EMPTY),
             ..Problem::default()
         };
         let cands = enumerate_configs(&o, None, None).unwrap();
-        let brute = brute_force_best(&o, &p, &cands, n, k);
-        match kaware::solve(&o, &p, &cands, k) {
+        let brute = brute_force_best(&o, &p, &cands, *n, *k);
+        match kaware::solve(&o, &p, &cands, *k) {
             Ok(s) => {
-                s.validate(&o, &p, Some(k)).unwrap();
-                prop_assert_eq!(Some(s.total_cost()), brute);
+                s.validate(&o, &p, Some(*k)).unwrap();
+                assert_eq!(Some(s.total_cost()), brute);
             }
-            Err(_) => prop_assert_eq!(brute, None),
+            Err(_) => assert_eq!(brute, None),
         }
     }
 
-    #[test]
     fn ranking_agrees_with_kaware(
         n in 2usize..5,
         m in 1usize..3,
         k in 0usize..3,
-        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
-        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+        exec_seed in vec_of(any_u8(), 8..64),
+        build_seed in vec_of(any_u8(), 1..8),
     ) {
-        let o = instance(n, m, &exec_seed, &build_seed);
+        let o = instance(*n, *m, exec_seed, build_seed);
         let p = Problem::default();
         let cands = enumerate_configs(&o, None, None).unwrap();
-        let graph = kaware::solve(&o, &p, &cands, k);
-        let rank = ranking::solve(&o, &p, &cands, k, 5_000_000);
+        let graph = kaware::solve(&o, &p, &cands, *k);
+        let rank = ranking::solve(&o, &p, &cands, *k, 5_000_000);
         match (graph, rank) {
-            (Ok(g), Ok(r)) => prop_assert_eq!(g.total_cost(), r.total_cost()),
+            (Ok(g), Ok(r)) => assert_eq!(g.total_cost(), r.total_cost()),
             (Err(_), Err(_)) => {}
-            (g, r) => prop_assert!(false, "solvers disagree on feasibility: {g:?} vs {r:?}"),
+            (g, r) => panic!("solvers disagree on feasibility: {g:?} vs {r:?}"),
         }
     }
 
-    #[test]
     fn heuristics_are_feasible_and_not_better_than_optimal(
         n in 2usize..6,
         m in 1usize..3,
         k in 0usize..3,
-        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
-        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+        exec_seed in vec_of(any_u8(), 8..64),
+        build_seed in vec_of(any_u8(), 1..8),
     ) {
-        let o = instance(n, m, &exec_seed, &build_seed);
+        let o = instance(*n, *m, exec_seed, build_seed);
         let p = Problem::default();
         let cands = enumerate_configs(&o, None, None).unwrap();
-        let optimal = kaware::solve(&o, &p, &cands, k).unwrap();
+        let optimal = kaware::solve(&o, &p, &cands, *k).unwrap();
 
-        let merged = merging::solve(&o, &p, &cands, k).unwrap();
-        merged.validate(&o, &p, Some(k)).unwrap();
-        prop_assert!(merged.total_cost() >= optimal.total_cost());
+        let merged = merging::solve(&o, &p, &cands, *k).unwrap();
+        merged.validate(&o, &p, Some(*k)).unwrap();
+        assert!(merged.total_cost() >= optimal.total_cost());
 
-        let hyb = hybrid::solve(&o, &p, &cands, k).unwrap();
-        hyb.schedule.validate(&o, &p, Some(k)).unwrap();
-        prop_assert!(hyb.schedule.total_cost() >= optimal.total_cost());
+        let hyb = hybrid::solve(&o, &p, &cands, *k).unwrap();
+        hyb.schedule.validate(&o, &p, Some(*k)).unwrap();
+        assert!(hyb.schedule.total_cost() >= optimal.total_cost());
 
-        let g = greedy::solve(&o, &p, k).unwrap();
-        g.validate(&o, &p, Some(k)).unwrap();
-        prop_assert!(g.total_cost() >= optimal.total_cost());
+        let g = greedy::solve(&o, &p, *k).unwrap();
+        g.validate(&o, &p, Some(*k)).unwrap();
+        assert!(g.total_cost() >= optimal.total_cost());
     }
 
-    #[test]
     fn budget_monotonicity_and_convergence(
         n in 2usize..6,
         m in 1usize..3,
-        exec_seed in prop::collection::vec(any::<u8>(), 8..64),
-        build_seed in prop::collection::vec(any::<u8>(), 1..8),
+        exec_seed in vec_of(any_u8(), 8..64),
+        build_seed in vec_of(any_u8(), 1..8),
     ) {
-        let o = instance(n, m, &exec_seed, &build_seed);
+        let o = instance(*n, *m, exec_seed, build_seed);
         let p = Problem::default();
         let cands = enumerate_configs(&o, None, None).unwrap();
         let unconstrained = seqgraph::solve(&o, &p, &cands).unwrap();
         let mut prev: Option<Cost> = None;
-        for k in 0..=n {
+        for k in 0..=*n {
             let s = kaware::solve(&o, &p, &cands, k).unwrap();
             if let Some(pc) = prev {
-                prop_assert!(s.total_cost() <= pc, "budget k={k} made things worse");
+                assert!(s.total_cost() <= pc, "budget k={k} made things worse");
             }
             prev = Some(s.total_cost());
         }
-        prop_assert_eq!(prev.unwrap(), unconstrained.total_cost(),
+        assert_eq!(prev.unwrap(), unconstrained.total_cost(),
             "at k = n the constraint is vacuous");
     }
 }

@@ -10,8 +10,9 @@
 
 use cdpd_engine::{Database, IndexSpec};
 use cdpd_sql::{parse, Statement};
+use cdpd_testkit::prop::{any_bool, vec_of, Config, Just, Strategy};
+use cdpd_testkit::{one_of, props};
 use cdpd_types::{ColumnDef, Schema, Value};
-use proptest::prelude::*;
 
 fn build_dbs(rows: &[(i64, i64, i64)]) -> (Database, Database) {
     let schema = || {
@@ -38,27 +39,30 @@ fn build_dbs(rows: &[(i64, i64, i64)]) -> (Database, Database) {
     (plain, indexed)
 }
 
+fn col() -> impl Strategy<Value = &'static str> {
+    one_of![Just("a"), Just("b"), Just("c")]
+}
+
 /// Random SQL statements over columns a, b, c with values in 0..30.
 fn stmt_strategy() -> impl Strategy<Value = String> {
-    let col = prop_oneof![Just("a"), Just("b"), Just("c")];
-    let val = 0i64..30;
-    prop_oneof![
+    let val = || 0i64..30;
+    one_of![
         // Point queries with varying projections.
-        (col.clone(), col.clone(), val.clone()).prop_map(|(p, w, v)| format!(
+        (col(), col(), val()).prop_map(|(p, w, v)| format!(
             "SELECT {p} FROM t WHERE {w} = {v}"
         )),
-        (col.clone(), val.clone()).prop_map(|(w, v)| format!(
+        (col(), val()).prop_map(|(w, v)| format!(
             "SELECT * FROM t WHERE {w} = {v}"
         )),
-        (col.clone(), val.clone()).prop_map(|(w, v)| format!(
+        (col(), val()).prop_map(|(w, v)| format!(
             "SELECT COUNT(*) FROM t WHERE {w} >= {v}"
         )),
         // Ranges and conjunctions.
-        (col.clone(), val.clone(), val.clone()).prop_map(|(w, lo, hi)| {
+        (col(), val(), val()).prop_map(|(w, lo, hi)| {
             let (lo, hi) = (lo.min(hi), lo.max(hi));
             format!("SELECT {w} FROM t WHERE {w} BETWEEN {lo} AND {hi}")
         }),
-        (col.clone(), col.clone(), val.clone(), val.clone()).prop_map(
+        (col(), col(), val(), val()).prop_map(
             |(w1, w2, v1, v2)| {
                 if w1 == w2 {
                     format!("SELECT a, b FROM t WHERE {w1} = {v1}")
@@ -68,22 +72,22 @@ fn stmt_strategy() -> impl Strategy<Value = String> {
             }
         ),
         // Aggregates (incl. the IndexExtremum path: no predicate).
-        (prop_oneof![Just("SUM"), Just("MIN"), Just("MAX"), Just("AVG")], col.clone())
+        (one_of![Just("SUM"), Just("MIN"), Just("MAX"), Just("AVG")], col())
             .prop_map(|(f, c)| format!("SELECT {f}({c}) FROM t")),
-        (prop_oneof![Just("SUM"), Just("MIN"), Just("MAX")], col.clone(), col.clone(), val.clone())
+        (one_of![Just("SUM"), Just("MIN"), Just("MAX")], col(), col(), val())
             .prop_map(|(f, p, w, v)| format!("SELECT {f}({p}) FROM t WHERE {w} = {v}")),
         // ORDER BY / LIMIT.
-        (col.clone(), col.clone(), val.clone(), any::<bool>(), 0u64..10).prop_map(
+        (col(), col(), val(), any_bool(), 0u64..10).prop_map(
             |(p, o, v, desc, lim)| format!(
                 "SELECT {p} FROM t WHERE {p} >= {v} ORDER BY {o}{} LIMIT {lim}",
                 if desc { " DESC" } else { "" }
             )
         ),
         // Writes, applied to both databases.
-        (col.clone(), col.clone(), val.clone(), val.clone()).prop_map(|(s, w, nv, v)| {
+        (col(), col(), val(), val()).prop_map(|(s, w, nv, v)| {
             format!("UPDATE t SET {s} = {nv} WHERE {w} = {v}")
         }),
-        (col, val).prop_map(|(w, v)| format!("DELETE FROM t WHERE {w} = {v}")),
+        (col(), val()).prop_map(|(w, v)| format!("DELETE FROM t WHERE {w} = {v}")),
     ]
 }
 
@@ -94,42 +98,53 @@ fn normalized_rows(r: &cdpd_engine::QueryResult) -> Option<Vec<Vec<Value>>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn indexed_and_plain_databases_agree(
-        rows in prop::collection::vec((0i64..30, 0i64..30, 0i64..30), 0..200),
-        stmts in prop::collection::vec(stmt_strategy(), 1..25),
-    ) {
-        let (mut plain, mut indexed) = build_dbs(&rows);
-        for (i, sql) in stmts.iter().enumerate() {
-            let a = plain.execute_sql(sql).unwrap();
-            let b = indexed.execute_sql(sql).unwrap();
-            prop_assert_eq!(a.count, b.count, "stmt {}: {} (plans {} vs {})", i, sql, a.plan, b.plan);
-            prop_assert_eq!(
-                a.aggregate.clone(),
-                b.aggregate.clone(),
-                "stmt {}: {} (plans {} vs {})", i, sql, a.plan, b.plan
-            );
-            // Row sets must match; ordering is only comparable when an
-            // ORDER BY pins it (then compare verbatim).
-            let is_ordered = match parse(sql).unwrap() {
-                Statement::Select(s) => s.order_by.is_some() && s.limit.is_none(),
-                _ => false,
-            };
-            if is_ordered {
-                // With duplicates in the order column the tie order is
-                // unspecified; compare the ordered projection of the
-                // order column only via sorted full rows.
-                prop_assert_eq!(normalized_rows(&a), normalized_rows(&b), "stmt {}: {}", i, sql);
-            } else {
-                prop_assert_eq!(normalized_rows(&a), normalized_rows(&b), "stmt {}: {}", i, sql);
-            }
+fn check_agreement(rows: &[(i64, i64, i64)], stmts: &[String]) {
+    let (mut plain, mut indexed) = build_dbs(rows);
+    for (i, sql) in stmts.iter().enumerate() {
+        let a = plain.execute_sql(sql).unwrap();
+        let b = indexed.execute_sql(sql).unwrap();
+        assert_eq!(a.count, b.count, "stmt {i}: {sql} (plans {} vs {})", a.plan, b.plan);
+        assert_eq!(
+            a.aggregate, b.aggregate,
+            "stmt {i}: {sql} (plans {} vs {})",
+            a.plan, b.plan
+        );
+        // Row sets must match; ordering is only comparable when an
+        // ORDER BY pins it (then compare verbatim).
+        let is_ordered = match parse(sql).unwrap() {
+            Statement::Select(s) => s.order_by.is_some() && s.limit.is_none(),
+            _ => false,
+        };
+        if is_ordered {
+            // With duplicates in the order column the tie order is
+            // unspecified; compare the ordered projection of the
+            // order column only via sorted full rows.
+            assert_eq!(normalized_rows(&a), normalized_rows(&b), "stmt {i}: {sql}");
+        } else {
+            assert_eq!(normalized_rows(&a), normalized_rows(&b), "stmt {i}: {sql}");
         }
-        // Final state equivalence after all the writes.
-        let a = plain.execute_sql("SELECT * FROM t").unwrap();
-        let b = indexed.execute_sql("SELECT * FROM t").unwrap();
-        prop_assert_eq!(normalized_rows(&a), normalized_rows(&b), "final table state");
     }
+    // Final state equivalence after all the writes.
+    let a = plain.execute_sql("SELECT * FROM t").unwrap();
+    let b = indexed.execute_sql("SELECT * FROM t").unwrap();
+    assert_eq!(normalized_rows(&a), normalized_rows(&b), "final table state");
+}
+
+props! {
+    config: Config::with_cases(24);
+
+    fn indexed_and_plain_databases_agree(
+        rows in vec_of((0i64..30, 0i64..30, 0i64..30), 0..200),
+        stmts in vec_of(stmt_strategy(), 1..25),
+    ) {
+        check_agreement(rows, stmts);
+    }
+}
+
+/// Ported from the retired `differential_prop.proptest-regressions`
+/// file: the minimal counterexample proptest once shrank to — an
+/// extremum aggregate over duplicate rows.
+#[test]
+fn regression_min_aggregate_over_duplicate_rows() {
+    check_agreement(&[(0, 0, 0), (0, 0, 0)], &["SELECT MIN(a) FROM t".to_owned()]);
 }

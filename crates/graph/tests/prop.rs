@@ -3,8 +3,9 @@
 //! advisor's sequence graphs).
 
 use cdpd_graph::{yen, Dag, NodeId, PathRanking};
+use cdpd_testkit::prop::{vec_of, Config};
+use cdpd_testkit::props;
 use cdpd_types::Cost;
-use proptest::prelude::*;
 
 /// Build a staged DAG: `stages` columns of `width` nodes, fully
 /// connected stage-to-stage, plus single source and target nodes.
@@ -58,67 +59,63 @@ fn brute_force_costs(g: &Dag<(usize, usize)>, src: NodeId, tgt: NodeId) -> Vec<u
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    config: Config::with_cases(64);
 
-    #[test]
     fn shortest_path_matches_brute_force(
         stages in 1usize..5,
         width in 1usize..4,
-        node_w in prop::collection::vec(0u64..1000, 4..40),
-        edge_w in prop::collection::vec(0u64..1000, 4..40),
+        node_w in vec_of(0u64..1000, 4..40),
+        edge_w in vec_of(0u64..1000, 4..40),
     ) {
-        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let (g, s, t) = staged_dag(*stages, *width, node_w, edge_w);
         let brute = brute_force_costs(&g, s, t);
         let sp = g.shortest_path(s, t).expect("staged dag is connected");
-        prop_assert_eq!(sp.cost.ios(), brute[0]);
+        assert_eq!(sp.cost.ios(), brute[0]);
     }
 
-    #[test]
     fn ranking_enumerates_exactly_all_paths_in_order(
         stages in 1usize..4,
         width in 1usize..4,
-        node_w in prop::collection::vec(0u64..1000, 4..40),
-        edge_w in prop::collection::vec(0u64..1000, 4..40),
+        node_w in vec_of(0u64..1000, 4..40),
+        edge_w in vec_of(0u64..1000, 4..40),
     ) {
-        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let (g, s, t) = staged_dag(*stages, *width, node_w, edge_w);
         let brute = brute_force_costs(&g, s, t);
         let ranked: Vec<u64> =
             PathRanking::new(&g, s, t).map(|p| p.cost.ios()).collect();
-        prop_assert_eq!(&ranked, &brute, "ranking must yield every path, sorted");
+        assert_eq!(&ranked, &brute, "ranking must yield every path, sorted");
     }
 
-    #[test]
     fn yen_agrees_with_astar_ranking(
         stages in 1usize..4,
         width in 1usize..4,
-        node_w in prop::collection::vec(0u64..1000, 4..40),
-        edge_w in prop::collection::vec(0u64..1000, 4..40),
+        node_w in vec_of(0u64..1000, 4..40),
+        edge_w in vec_of(0u64..1000, 4..40),
         k in 1usize..12,
     ) {
-        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let (g, s, t) = staged_dag(*stages, *width, node_w, edge_w);
         let astar: Vec<u64> = PathRanking::new(&g, s, t)
-            .take(k)
+            .take(*k)
             .map(|p| p.cost.ios())
             .collect();
-        let via_yen: Vec<u64> = yen::k_shortest(&g, s, t, k)
+        let via_yen: Vec<u64> = yen::k_shortest(&g, s, t, *k)
             .into_iter()
             .map(|p| p.cost.ios())
             .collect();
-        prop_assert_eq!(via_yen, astar, "two independent rankers must agree");
+        assert_eq!(via_yen, astar, "two independent rankers must agree");
     }
 
-    #[test]
     fn ranked_paths_are_valid_paths(
         stages in 1usize..4,
         width in 1usize..4,
-        node_w in prop::collection::vec(0u64..1000, 4..40),
-        edge_w in prop::collection::vec(0u64..1000, 4..40),
+        node_w in vec_of(0u64..1000, 4..40),
+        edge_w in vec_of(0u64..1000, 4..40),
     ) {
-        let (g, s, t) = staged_dag(stages, width, &node_w, &edge_w);
+        let (g, s, t) = staged_dag(*stages, *width, node_w, edge_w);
         for p in PathRanking::new(&g, s, t).take(10) {
-            prop_assert_eq!(p.nodes[0], s);
-            prop_assert_eq!(*p.nodes.last().unwrap(), t);
+            assert_eq!(p.nodes[0], s);
+            assert_eq!(*p.nodes.last().unwrap(), t);
             // Every consecutive pair must be an actual edge, and the
             // stated cost must equal the recomputed cost.
             let mut cost = g.node_weight(p.nodes[0]);
@@ -135,7 +132,7 @@ proptest! {
             }
             // Recomputed cost may use the min parallel edge; ranked cost
             // can't be below it.
-            prop_assert!(p.cost >= cost);
+            assert!(p.cost >= cost);
         }
     }
 }

@@ -16,7 +16,6 @@
 //!   `a` value. Integers are tagged and offset-flipped big-endian;
 //!   strings are `0x00`-escaped and double-zero terminated.
 
-use bytes::{Buf, BufMut};
 use cdpd_types::{Error, PageId, Result, Rid, Value};
 
 const TAG_INT: u8 = 0x01;
@@ -29,13 +28,14 @@ pub fn encode_row(values: &[Value], out: &mut Vec<u8>) {
     for v in values {
         match v {
             Value::Int(i) => {
-                out.put_u8(TAG_INT);
-                out.put_i64_le(*i);
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
             }
             Value::Str(s) => {
-                out.put_u8(TAG_STR);
-                out.put_u16_le(u16::try_from(s.len()).expect("string too long for row codec"));
-                out.put_slice(s.as_bytes());
+                out.push(TAG_STR);
+                let len = u16::try_from(s.len()).expect("string too long for row codec");
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
             }
         }
     }
@@ -44,35 +44,37 @@ pub fn encode_row(values: &[Value], out: &mut Vec<u8>) {
 /// Decode a full row.
 pub fn decode_row(mut bytes: &[u8]) -> Result<Vec<Value>> {
     let mut out = Vec::new();
-    while bytes.has_remaining() {
+    while !bytes.is_empty() {
         out.push(decode_value(&mut bytes)?);
     }
     Ok(out)
 }
 
 fn decode_value(bytes: &mut &[u8]) -> Result<Value> {
-    if !bytes.has_remaining() {
-        return Err(Error::Corrupt("truncated row: missing tag".into()));
-    }
-    match bytes.get_u8() {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| Error::Corrupt("truncated row: missing tag".into()))?;
+    *bytes = rest;
+    match tag {
         TAG_INT => {
-            if bytes.remaining() < 8 {
-                return Err(Error::Corrupt("truncated row: short int".into()));
-            }
-            Ok(Value::Int(bytes.get_i64_le()))
+            let (head, rest) = bytes
+                .split_first_chunk::<8>()
+                .ok_or_else(|| Error::Corrupt("truncated row: short int".into()))?;
+            *bytes = rest;
+            Ok(Value::Int(i64::from_le_bytes(*head)))
         }
         TAG_STR => {
-            if bytes.remaining() < 2 {
-                return Err(Error::Corrupt("truncated row: short str len".into()));
-            }
-            let len = bytes.get_u16_le() as usize;
-            if bytes.remaining() < len {
+            let (head, rest) = bytes
+                .split_first_chunk::<2>()
+                .ok_or_else(|| Error::Corrupt("truncated row: short str len".into()))?;
+            let len = u16::from_le_bytes(*head) as usize;
+            if rest.len() < len {
                 return Err(Error::Corrupt("truncated row: short str body".into()));
             }
-            let s = std::str::from_utf8(&bytes[..len])
+            let s = std::str::from_utf8(&rest[..len])
                 .map_err(|_| Error::Corrupt("row string is not UTF-8".into()))?
                 .to_owned();
-            bytes.advance(len);
+            *bytes = &rest[len..];
             Ok(Value::Str(s))
         }
         tag => Err(Error::Corrupt(format!("unknown value tag {tag:#x}"))),
@@ -162,23 +164,21 @@ const KEY_TAG_STR: u8 = 0x20;
 pub fn encode_key_value(v: &Value, out: &mut Vec<u8>) {
     match v {
         Value::Int(i) => {
-            out.put_u8(KEY_TAG_INT);
+            out.push(KEY_TAG_INT);
             // Flip the sign bit so two's-complement order becomes
             // unsigned byte order, then big-endian for memcmp.
-            out.put_u64((*i as u64) ^ (1u64 << 63));
+            out.extend_from_slice(&(((*i as u64) ^ (1u64 << 63)).to_be_bytes()));
         }
         Value::Str(s) => {
-            out.put_u8(KEY_TAG_STR);
+            out.push(KEY_TAG_STR);
             for &b in s.as_bytes() {
                 if b == 0x00 {
-                    out.put_u8(0x00);
-                    out.put_u8(0xFF);
+                    out.extend_from_slice(&[0x00, 0xFF]);
                 } else {
-                    out.put_u8(b);
+                    out.push(b);
                 }
             }
-            out.put_u8(0x00);
-            out.put_u8(0x00);
+            out.extend_from_slice(&[0x00, 0x00]);
         }
     }
 }
@@ -246,8 +246,8 @@ pub const RID_LEN: usize = 6;
 
 /// Append the order-preserving 6-byte encoding of `rid`.
 pub fn encode_rid(rid: Rid, out: &mut Vec<u8>) {
-    out.put_u32(rid.page.raw());
-    out.put_u16(rid.slot);
+    out.extend_from_slice(&rid.page.raw().to_be_bytes());
+    out.extend_from_slice(&rid.slot.to_be_bytes());
 }
 
 /// Decode a 6-byte rid.

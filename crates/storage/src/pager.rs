@@ -1,5 +1,5 @@
 use cdpd_types::{Error, PageId, Result};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -90,12 +90,12 @@ impl Pager {
     /// when one is available.
     pub fn allocate(&self) -> PageId {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        if let Some(id) = self.free.lock().pop() {
-            let mut pages = self.pages.lock();
+        if let Some(id) = self.free.lock().expect("pager lock poisoned").pop() {
+            let mut pages = self.pages.lock().expect("pager lock poisoned");
             pages[id.index()] = blank_page();
             return id;
         }
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().expect("pager lock poisoned");
         let id = PageId(u32::try_from(pages.len()).expect("page count exceeds u32"));
         pages.push(blank_page());
         id
@@ -105,8 +105,8 @@ impl Pager {
     /// caller must guarantee nothing references them any more; the
     /// bytes are zeroed on reuse, not on free.
     pub fn free(&self, ids: &[PageId]) {
-        let page_count = self.pages.lock().len();
-        let mut free = self.free.lock();
+        let page_count = self.pages.lock().expect("pager lock poisoned").len();
+        let mut free = self.free.lock().expect("pager lock poisoned");
         for &id in ids {
             debug_assert!(id.index() < page_count, "freeing unallocated page {id}");
             debug_assert!(!free.contains(&id), "double free of page {id}");
@@ -116,12 +116,12 @@ impl Pager {
 
     /// Number of pages currently on the free list.
     pub fn free_count(&self) -> u64 {
-        self.free.lock().len() as u64
+        self.free.lock().expect("pager lock poisoned").len() as u64
     }
 
     /// Read a page (counted as one logical read).
     pub fn read(&self, id: PageId) -> Result<Page> {
-        let pages = self.pages.lock();
+        let pages = self.pages.lock().expect("pager lock poisoned");
         let page = pages
             .get(id.index())
             .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?
@@ -132,7 +132,7 @@ impl Pager {
 
     /// Replace a page's contents (counted as one logical write).
     pub fn write(&self, id: PageId, page: Page) -> Result<()> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().expect("pager lock poisoned");
         let slot = pages
             .get_mut(id.index())
             .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?;
@@ -147,7 +147,7 @@ impl Pager {
     /// cloned before mutation, so outstanding [`Page`] handles never see
     /// torn updates.
     pub fn update<R>(&self, id: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> Result<R> {
-        let mut pages = self.pages.lock();
+        let mut pages = self.pages.lock().expect("pager lock poisoned");
         let slot = pages
             .get_mut(id.index())
             .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?;
@@ -160,7 +160,7 @@ impl Pager {
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u64 {
-        self.pages.lock().len() as u64
+        self.pages.lock().expect("pager lock poisoned").len() as u64
     }
 
     /// Snapshot of the I/O counters.

@@ -1,6 +1,6 @@
 use crate::pager::{Page, Pager};
 use cdpd_types::{PageId, Result};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -57,7 +57,7 @@ impl BufferPool {
     /// who want logical-read accounting should count at their own level
     /// or read the pager directly.
     pub fn read(&self, id: PageId) -> Result<Page> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
         inner.clock += 1;
         let stamp = inner.clock;
         if let Some((page, last)) = inner.map.get_mut(&id.raw()) {
@@ -67,7 +67,7 @@ impl BufferPool {
         }
         drop(inner);
         let page = self.pager.read(id)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&id.raw()) {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, t))| *t) {
@@ -81,12 +81,12 @@ impl BufferPool {
 
     /// Invalidate a cached page (call after writing through the pager).
     pub fn invalidate(&self, id: PageId) {
-        self.inner.lock().map.remove(&id.raw());
+        self.inner.lock().expect("pool lock poisoned").map.remove(&id.raw());
     }
 
     /// Drop all cached pages (e.g. after a bulk load).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        self.inner.lock().expect("pool lock poisoned").map.clear();
     }
 
     /// `(hits, misses)` since construction. Misses are physical fetches.
@@ -96,7 +96,7 @@ impl BufferPool {
 
     /// Number of pages currently cached.
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().expect("pool lock poisoned").map.len()
     }
 }
 

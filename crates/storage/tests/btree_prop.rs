@@ -5,8 +5,9 @@
 
 use cdpd_storage::codec::decode_key;
 use cdpd_storage::{BTree, Pager};
+use cdpd_testkit::prop::{btree_set_of, vec_of, Config, Strategy};
+use cdpd_testkit::{one_of, props};
 use cdpd_types::{PageId, Rid, Value};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -18,7 +19,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
+    one_of![
         3 => (0i64..200, 0u32..8).prop_map(|(k, r)| Op::Insert(k, r)),
         1 => (0i64..200, 0u32..8).prop_map(|(k, r)| Op::Delete(k, r)),
         // Deletes targeting the pre-populated rid range of the
@@ -38,54 +39,54 @@ fn tree_entries(tree: &BTree) -> Vec<(i64, Rid)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn matches_ordered_set_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
-        let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
-        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
-
-        for op in &ops {
-            match *op {
-                Op::Insert(k, r) => {
-                    let res = tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0));
-                    if model.insert((k, r)) {
-                        prop_assert!(res.is_ok());
-                    } else {
-                        prop_assert!(res.is_err(), "duplicate must be rejected");
-                    }
-                }
-                Op::Delete(k, r) => {
-                    let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
-                    prop_assert_eq!(removed, model.remove(&(k, r)));
-                }
-                Op::Seek(k) => {
-                    let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
-                    let got = cur
-                        .next_entry()
-                        .unwrap()
-                        .map(|(key, rid)| {
-                            (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw())
-                        });
-                    let want = model.range((k, 0)..).next().copied();
-                    prop_assert_eq!(got, want, "seek({}) diverged from model", k);
+/// Apply `ops` to both the tree and the model, checking each step.
+fn run_ops(tree: &mut BTree, model: &mut BTreeSet<(i64, u32)>, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Insert(k, r) => {
+                let res = tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0));
+                if model.insert((k, r)) {
+                    assert!(res.is_ok());
+                } else {
+                    assert!(res.is_err(), "duplicate must be rejected");
                 }
             }
+            Op::Delete(k, r) => {
+                let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
+                assert_eq!(removed, model.remove(&(k, r)));
+            }
+            Op::Seek(k) => {
+                let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
+                let got = cur
+                    .next_entry()
+                    .unwrap()
+                    .map(|(key, rid)| (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw()));
+                let want = model.range((k, 0)..).next().copied();
+                assert_eq!(got, want, "seek({k}) diverged from model");
+            }
         }
+    }
+}
 
-        // Final full-scan equivalence.
-        let got = tree_entries(&tree);
-        let want: Vec<(i64, Rid)> = model
-            .iter()
-            .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
-            .collect();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(tree.entry_count() as usize, model.len());
+fn assert_matches_model(tree: &BTree, model: &BTreeSet<(i64, u32)>) {
+    let got = tree_entries(tree);
+    let want: Vec<(i64, Rid)> =
+        model.iter().map(|&(k, r)| (k, Rid::new(PageId(r), 0))).collect();
+    assert_eq!(got, want);
+}
+
+props! {
+    config: Config::with_cases(48);
+
+    fn matches_ordered_set_model(ops in vec_of(op_strategy(), 1..300)) {
+        let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+        run_ops(&mut tree, &mut model, ops);
+        assert_matches_model(&tree, &model);
+        assert_eq!(tree.entry_count() as usize, model.len());
     }
 
-    #[test]
-    fn matches_model_on_presplit_tree(ops in prop::collection::vec(op_strategy(), 1..200)) {
+    fn matches_model_on_presplit_tree(ops in vec_of(op_strategy(), 1..200)) {
         // Same model test, but starting from a tree big enough to have
         // split (multi-level), so separator-boundary behaviour is
         // exercised — a descent bug here once survived the small-tree
@@ -98,44 +99,11 @@ proptest! {
             model.insert((k, r));
         }
         assert!(tree.height() >= 2, "pre-population must split");
-
-        for op in &ops {
-            match *op {
-                Op::Insert(k, r) => {
-                    let res = tree.insert(&[Value::Int(k)], Rid::new(PageId(r), 0));
-                    if model.insert((k, r)) {
-                        prop_assert!(res.is_ok());
-                    } else {
-                        prop_assert!(res.is_err());
-                    }
-                }
-                Op::Delete(k, r) => {
-                    let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
-                    prop_assert_eq!(removed, model.remove(&(k, r)));
-                }
-                Op::Seek(k) => {
-                    let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
-                    let got = cur
-                        .next_entry()
-                        .unwrap()
-                        .map(|(key, rid)| {
-                            (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw())
-                        });
-                    let want = model.range((k, 0)..).next().copied();
-                    prop_assert_eq!(got, want, "seek({}) diverged from model", k);
-                }
-            }
-        }
-        let got = tree_entries(&tree);
-        let want: Vec<(i64, Rid)> = model
-            .iter()
-            .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
-            .collect();
-        prop_assert_eq!(got, want);
+        run_ops(&mut tree, &mut model, ops);
+        assert_matches_model(&tree, &model);
     }
 
-    #[test]
-    fn bulk_load_matches_model(keys in prop::collection::btree_set((0i64..100_000, 0u32..4), 0..2000)) {
+    fn bulk_load_matches_model(keys in btree_set_of((0i64..100_000, 0u32..4), 0..2000)) {
         let entries: Vec<(Vec<Value>, Rid)> = keys
             .iter()
             .map(|&(k, r)| (vec![Value::Int(k)], Rid::new(PageId(r), 0)))
@@ -146,12 +114,11 @@ proptest! {
             .iter()
             .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
 
-    #[test]
     fn composite_keys_scan_in_tuple_order(
-        pairs in prop::collection::btree_set((0i64..50, 0i64..50), 0..500)
+        pairs in btree_set_of((0i64..50, 0i64..50), 0..500),
     ) {
         let entries: Vec<(Vec<Value>, Rid)> = pairs
             .iter()
@@ -169,11 +136,11 @@ proptest! {
         while let Some((k, _)) = cur.next_entry().unwrap() {
             let vals = decode_key(k).unwrap();
             if let Some(p) = &prev {
-                prop_assert!(p <= &vals, "scan out of order");
+                assert!(p <= &vals, "scan out of order");
             }
             prev = Some(vals);
             n += 1;
         }
-        prop_assert_eq!(n, pairs.len());
+        assert_eq!(n, pairs.len());
     }
 }

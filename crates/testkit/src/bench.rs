@@ -1,0 +1,299 @@
+//! Micro-benchmarking: warmup, timed samples, median/p95 report — a
+//! minimal criterion replacement keeping the familiar bench layout:
+//!
+//! ```ignore
+//! use cdpd_testkit::bench::{BenchmarkId, Criterion};
+//! use cdpd_testkit::{criterion_group, criterion_main};
+//!
+//! fn bench_foo(criterion: &mut Criterion) {
+//!     let mut group = criterion.benchmark_group("foo");
+//!     group.bench_function("fast_path", |b| b.iter(|| work()));
+//!     group.finish();
+//! }
+//! criterion_group!(benches, bench_foo);
+//! criterion_main!(benches);
+//! ```
+//!
+//! Each benchmark warms up, picks an iteration count targeting a fixed
+//! per-sample duration, then records `sample_size` samples of mean
+//! ns/iteration. The report prints median and p95; when
+//! `CDPD_BENCH_JSON_DIR` is set, each group also writes
+//! `BENCH_<group>.json` there, so repeated runs build a trajectory.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const WARMUP_NANOS: u64 = 30_000_000; // 30 ms
+const SAMPLE_TARGET_NANOS: u64 = 10_000_000; // 10 ms
+
+/// Top-level bench context; one per process, passed to every bench fn.
+pub struct Criterion {
+    json_dir: Option<PathBuf>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            json_dir: std::env::var_os("CDPD_BENCH_JSON_DIR").map(PathBuf::from),
+            default_sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default sample count groups start with (builder-style,
+    /// for `criterion_group!`'s `config = ...` form).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name, sample_size, results: Vec::new() }
+    }
+}
+
+/// A parameterized benchmark name: `BenchmarkId::new("solve", k)`
+/// renders as `solve/k`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { name: name.to_owned() }
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter across samples.
+    pub p95_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<Stats>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (default 15).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        self.run(id.name, f);
+    }
+
+    /// Run one benchmark with an input value (criterion-compatible
+    /// shape; the input is simply passed through to the closure).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id.name, |b| f(b, input));
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { mode: Mode::Warmup, samples: Vec::new(), iters: 1 };
+        f(&mut bencher); // warmup + calibration
+        bencher.mode = Mode::Measure(self.sample_size);
+        bencher.samples.clear();
+        f(&mut bencher);
+        let stats = bencher.stats(&id);
+        println!(
+            "{:<44} median {:>12}  p95 {:>12}  ({} samples × {} iters)",
+            format!("{}/{}", self.name, stats.id),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push(stats);
+    }
+
+    /// Write the group's JSON report (if configured). Dropping the
+    /// group without calling `finish` does the same.
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        let Some(dir) = self.criterion.json_dir.clone() else { return };
+        if self.results.is_empty() {
+            return;
+        }
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.name.replace('/', "_")));
+        let mut json = String::from("[\n");
+        for (i, s) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"group\": {:?}, \"id\": {:?}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                self.name,
+                s.id,
+                s.median_ns,
+                s.p95_ns,
+                s.samples,
+                s.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("]\n");
+        if std::fs::write(&path, json).is_err() {
+            eprintln!("warning: could not write {}", path.display());
+        }
+    }
+}
+
+enum Mode {
+    Warmup,
+    Measure(usize),
+}
+
+/// Passed to every benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure a closure. The closure's return value is passed through
+    /// [`std::hint::black_box`] so the computation is not optimized out.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Warmup => {
+                // Run for the warmup budget, counting iterations to
+                // calibrate how many fit in one sample.
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                loop {
+                    std::hint::black_box(f());
+                    iters += 1;
+                    let elapsed = start.elapsed().as_nanos() as u64;
+                    if elapsed >= WARMUP_NANOS {
+                        let per_iter = (elapsed / iters).max(1);
+                        self.iters = (SAMPLE_TARGET_NANOS / per_iter).clamp(1, 1_000_000);
+                        break;
+                    }
+                }
+            }
+            Mode::Measure(samples) => {
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..self.iters {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed().as_nanos() as f64;
+                    self.samples.push(elapsed / self.iters as f64);
+                }
+            }
+        }
+    }
+
+    fn stats(&self, id: &str) -> Stats {
+        let mut sorted = self.samples.clone();
+        assert!(!sorted.is_empty(), "benchmark closure never called Bencher::iter");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = sorted[sorted.len() / 2];
+        let p95 = sorted[((sorted.len() - 1) as f64 * 0.95) as usize];
+        Stats {
+            id: id.to_owned(),
+            median_ns: median,
+            p95_ns: p95,
+            samples: sorted.len(),
+            iters_per_sample: self.iters,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collect bench functions into one runnable group, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::bench::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_sane_stats() {
+        let mut bencher = Bencher { mode: Mode::Measure(8), samples: Vec::new(), iters: 100 };
+        bencher.iter(|| std::hint::black_box((0..50u64).sum::<u64>()));
+        let stats = bencher.stats("sum");
+        assert_eq!(stats.samples, 8);
+        assert!(stats.median_ns > 0.0);
+        assert!(stats.p95_ns >= stats.median_ns);
+    }
+}

@@ -1,0 +1,856 @@
+//! Property-based testing: composable generators, deterministic case
+//! seeds, greedy input shrinking, and failure-seed persistence.
+//!
+//! The shape mirrors proptest where it matters to a test author:
+//!
+//! ```ignore
+//! cdpd_testkit::props! {
+//!     config: Config::with_cases(64);
+//!     fn reverse_is_involutive(v in vec_of(0i64..100, 0..50)) {
+//!         let mut r = v.clone();
+//!         r.reverse();
+//!         r.reverse();
+//!         assert_eq!(&r, v);
+//!     }
+//! }
+//! ```
+//!
+//! Differences from proptest, by design:
+//!
+//! * Case seeds are **deterministic** (derived from the test name) so a
+//!   hermetic build always tests the same inputs; set `CDPD_PROP_SEED`
+//!   to explore a different stream, `CDPD_PROP_CASES` to change volume.
+//! * Shrinking is value-based and greedy: [`Strategy::shrink`] proposes
+//!   smaller candidates, the runner keeps any that still fail. Mapped
+//!   strategies ([`Strategy::prop_map`]) don't shrink through the map,
+//!   but containers shrink their *structure* regardless, which is what
+//!   minimizes operation sequences in practice.
+//! * Failing case seeds persist to `tests/regressions/<test>.seeds`
+//!   (the in-tree analogue of `*.proptest-regressions`) and replay
+//!   before any new cases on the next run.
+
+use crate::rng::{splitmix64, Prng};
+use std::fmt::Debug;
+use std::io::Write as _;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+// --- Strategy ----------------------------------------------------------
+
+/// A generator of test inputs, with optional shrinking.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Clone + Debug;
+
+    /// Produce one input from the RNG stream.
+    fn generate(&self, rng: &mut Prng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidate inputs. The runner re-tests
+    /// each candidate and recurses on any that still fails; returning
+    /// an empty list ends shrinking at `value`.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform generated values (shrinking does not pass through the
+    /// map; containers above a map still shrink their structure).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition ([`OneOf`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut Prng) -> V;
+    fn shrink_dyn(&self, value: &V) -> Vec<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut Prng) -> S::Value {
+        self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Prng) -> V {
+        self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink_dyn(value)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut Prng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The constant strategy: always yields its value.
+#[derive(Clone, Debug)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone + Debug> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut Prng) -> V {
+        self.0.clone()
+    }
+}
+
+// --- Integer / bool strategies -----------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $u:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Shrink toward the lower bound: lo, halfway, v - 1.
+                let span = (*value as $u).wrapping_sub(self.start as $u);
+                let mut out = Vec::new();
+                for s in [0, span / 2, span.saturating_sub(1)] {
+                    let v = (self.start as $u).wrapping_add(s) as $t;
+                    if v != *value && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+impl_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Any `i64`, shrinking toward zero.
+pub fn any_i64() -> AnyI64 {
+    AnyI64
+}
+
+/// See [`any_i64`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyI64;
+
+impl Strategy for AnyI64 {
+    type Value = i64;
+    fn generate(&self, rng: &mut Prng) -> i64 {
+        rng.next_u64() as i64
+    }
+    fn shrink(&self, value: &i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        for v in [0, value / 2, value - value.signum()] {
+            if v != *value && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Any `u8`, shrinking toward zero.
+pub fn any_u8() -> AnyU8 {
+    AnyU8
+}
+
+/// See [`any_u8`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyU8;
+
+impl Strategy for AnyU8 {
+    type Value = u8;
+    fn generate(&self, rng: &mut Prng) -> u8 {
+        (rng.next_u64() & 0xFF) as u8
+    }
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2, v - 1],
+        }
+    }
+}
+
+/// Either boolean, shrinking `true → false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+/// See [`any_bool`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut Prng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value { vec![false] } else { Vec::new() }
+    }
+}
+
+// --- Tuples ------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut Prng) -> Self::Value {
+                ( $(self.$idx.generate(rng),)+ )
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+// --- Containers --------------------------------------------------------
+
+/// `Vec`s of `elem` with a length drawn from `len`.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "vec_of needs a non-empty length range");
+    VecOf { elem, len }
+}
+
+/// See [`vec_of`].
+pub struct VecOf<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Prng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let n = value.len();
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Structural shrinks first: big truncations, then single
+        // removals (keeping >= the length floor).
+        if n > min {
+            let keep = min.max(n / 2);
+            if keep < n {
+                out.push(value[..keep].to_vec());
+                out.push(value[n - keep..].to_vec());
+            }
+            for i in 0..n.min(256) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Then element-wise shrinks.
+        for i in 0..n.min(64) {
+            for candidate in self.elem.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// `BTreeSet`s of `elem` with a size drawn from `size`. Generation
+/// re-draws on collision (bounded attempts), so sparse domains may
+/// yield fewer than the drawn size.
+pub fn btree_set_of<S>(elem: S, size: Range<usize>) -> BTreeSetOf<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "btree_set_of needs a non-empty size range");
+    BTreeSetOf { elem, size }
+}
+
+/// See [`btree_set_of`].
+pub struct BTreeSetOf<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetOf<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = std::collections::BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut Prng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut out = std::collections::BTreeSet::new();
+        let mut attempts = target * 8 + 32;
+        while out.len() < target && attempts > 0 {
+            out.insert(self.elem.generate(rng));
+            attempts -= 1;
+        }
+        out
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let min = self.size.start;
+        let mut out = Vec::new();
+        if value.len() > min {
+            for e in value.iter().take(256) {
+                let mut v = value.clone();
+                v.remove(e);
+                out.push(v);
+            }
+        }
+        for e in value.iter().take(64) {
+            for candidate in self.elem.shrink(e) {
+                if !value.contains(&candidate) {
+                    let mut v = value.clone();
+                    v.remove(e);
+                    v.insert(candidate);
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `Option`s of `inner`: `Some` with probability 0.9, shrinking
+/// `Some(v) → None` first, then through `v`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionOf<S> {
+    OptionOf { inner }
+}
+
+/// See [`option_of`].
+pub struct OptionOf<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionOf<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut Prng) -> Option<S::Value> {
+        if rng.gen_bool(0.9) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(self.inner.shrink(v).into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+// --- Choice ------------------------------------------------------------
+
+/// Weighted choice among strategies producing one value type. Usually
+/// built with the [`one_of!`](crate::one_of) macro.
+pub struct OneOf<V> {
+    variants: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: Clone + Debug> OneOf<V> {
+    /// A weighted union of `variants` (weights are relative).
+    ///
+    /// # Panics
+    /// Panics if `variants` is empty or all weights are zero.
+    pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> OneOf<V> {
+        let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "one_of needs at least one positive weight");
+        OneOf { variants }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut Prng) -> V {
+        let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.variants {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick < total")
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // Which variant produced `value` is unknown; pool every
+        // variant's proposals (the runner re-tests each one anyway).
+        self.variants.iter().flat_map(|(_, s)| s.shrink(value)).collect()
+    }
+}
+
+/// Weighted (or unweighted) choice among strategies of one value type:
+/// `one_of![3 => a, 1 => b]` or `one_of![a, b, c]`.
+#[macro_export]
+macro_rules! one_of {
+    ( $( $w:literal => $s:expr ),+ $(,)? ) => {
+        $crate::prop::OneOf::new(vec![ $( ($w, $crate::prop::Strategy::boxed($s)) ),+ ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::prop::OneOf::new(vec![ $( (1u32, $crate::prop::Strategy::boxed($s)) ),+ ])
+    };
+}
+
+// --- Strings -----------------------------------------------------------
+
+/// Strings of chars drawn uniformly from `charset`, with a length drawn
+/// from `len`. Shrinks by truncating toward the length floor and by
+/// replacing chars with the first charset char.
+pub fn string_of(charset: &str, len: Range<usize>) -> StringOf {
+    assert!(!charset.is_empty(), "string_of needs a non-empty charset");
+    assert!(len.start < len.end, "string_of needs a non-empty length range");
+    StringOf { chars: charset.chars().collect(), len }
+}
+
+/// See [`string_of`].
+pub struct StringOf {
+    chars: Vec<char>,
+    len: Range<usize>,
+}
+
+impl Strategy for StringOf {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Prng) -> String {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.chars[rng.gen_range(0..self.chars.len())]).collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let n = chars.len();
+        let min = self.len.start;
+        let mut out = Vec::new();
+        if n > min {
+            out.push(chars[..min].iter().collect());
+            out.push(chars[..min.max(n / 2)].iter().collect());
+            out.push(chars[..n - 1].iter().collect());
+        }
+        let simplest = self.chars[0];
+        for i in 0..n.min(16) {
+            if chars[i] != simplest {
+                let mut c = chars.clone();
+                c[i] = simplest;
+                out.push(c.iter().collect());
+            }
+        }
+        out.retain(|s| s != value);
+        out.dedup();
+        out
+    }
+}
+
+/// Arbitrary strings (printable ASCII, controls, SQL-ish specials, and
+/// a sample of multi-byte code points) — fuzzing input for parsers.
+/// Shrinks by truncation.
+pub fn string_any(len: Range<usize>) -> AnyString {
+    assert!(len.start < len.end, "string_any needs a non-empty length range");
+    AnyString { len }
+}
+
+/// See [`string_any`].
+pub struct AnyString {
+    len: Range<usize>,
+}
+
+const UNUSUAL_CHARS: &[char] =
+    &['\0', '\t', '\n', '\r', '\u{1B}', '\'', '"', '\\', '%', '_', ';', 'é', 'λ', '中', '🦀', '\u{FFFD}'];
+
+impl Strategy for AnyString {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Prng) -> String {
+        let n = rng.gen_range(self.len.clone());
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.75) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ASCII")
+                } else {
+                    UNUSUAL_CHARS[rng.gen_range(0..UNUSUAL_CHARS.len())]
+                }
+            })
+            .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let n = chars.len();
+        let min = self.len.start;
+        let mut out: Vec<String> = Vec::new();
+        if n > min {
+            out.push(chars[..min].iter().collect());
+            out.push(chars[..min.max(n / 2)].iter().collect());
+            out.push(chars[..n - 1].iter().collect());
+        }
+        out.retain(|s| s != value);
+        out.dedup();
+        out
+    }
+}
+
+// --- Runner ------------------------------------------------------------
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run (after any persisted regressions).
+    /// The `CDPD_PROP_CASES` environment variable overrides this.
+    pub cases: u32,
+    /// Cap on shrink candidates *tested* after a failure.
+    pub max_shrink_steps: u32,
+    /// Base seed for the case stream. `None` derives a stable seed from
+    /// the test name; `CDPD_PROP_SEED` overrides either.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64, max_shrink_steps: 2048, seed: None }
+    }
+}
+
+impl Config {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("CDPD_PROP_CASES") {
+            Ok(v) => v.parse().expect("CDPD_PROP_CASES must be a u32"),
+            Err(_) => self.cases,
+        }
+    }
+
+    fn base_seed(&self, name: &str) -> u64 {
+        if let Ok(v) = std::env::var("CDPD_PROP_SEED") {
+            let v = v.trim().trim_start_matches("0x");
+            return u64::from_str_radix(v, 16)
+                .or_else(|_| v.parse())
+                .expect("CDPD_PROP_SEED must be a u64 (decimal or 0x-hex)");
+        }
+        self.seed.unwrap_or_else(|| fnv1a(name.as_bytes()))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A property failure, fully shrunk.
+#[derive(Debug)]
+pub struct Failure {
+    /// Seed of the failing case (replayable via the regressions file).
+    pub seed: u64,
+    /// How many random cases ran before the failure (`None` when the
+    /// failure came from a persisted regression seed).
+    pub case: Option<u32>,
+    /// `Debug` rendering of the minimal failing input.
+    pub minimal: String,
+    /// Panic message of the minimal failing input.
+    pub message: String,
+    /// Shrink candidates tested.
+    pub shrink_steps: u32,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Run a property, returning the shrunk failure instead of panicking.
+/// [`check`] is the panicking wrapper every test goes through; this
+/// entry point exists so the harness can test itself.
+pub fn check_quiet<S: Strategy>(
+    name: &str,
+    regressions: Option<&Path>,
+    config: &Config,
+    strategy: S,
+    test: impl Fn(&S::Value),
+) -> Result<(), Failure> {
+    let run = |value: &S::Value| -> Result<(), String> {
+        catch_unwind(AssertUnwindSafe(|| test(value))).map_err(panic_message)
+    };
+
+    let fail = |seed: u64, case: Option<u32>, first_msg: String| -> Failure {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut current = strategy.generate(&mut rng);
+        let mut message = first_msg;
+        let mut steps = 0u32;
+        'shrinking: loop {
+            for candidate in strategy.shrink(&current) {
+                if steps >= config.max_shrink_steps {
+                    break 'shrinking;
+                }
+                steps += 1;
+                if let Err(msg) = run(&candidate) {
+                    current = candidate;
+                    message = msg;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        Failure {
+            seed,
+            case,
+            minimal: format!("{current:#?}"),
+            message,
+            shrink_steps: steps,
+        }
+    };
+
+    // Replay persisted failure seeds first.
+    if let Some(path) = regressions {
+        for seed in read_regression_seeds(path) {
+            let mut rng = Prng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            if let Err(msg) = run(&value) {
+                return Err(fail(seed, None, msg));
+            }
+        }
+    }
+
+    let base = config.base_seed(name);
+    for case in 0..config.effective_cases() {
+        let mut derive = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = splitmix64(&mut derive);
+        let mut rng = Prng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = run(&value) {
+            let failure = fail(seed, Some(case), msg);
+            if let Some(path) = regressions {
+                persist_regression_seed(path, name, &failure);
+            }
+            return Err(failure);
+        }
+    }
+    Ok(())
+}
+
+/// Run a property test: replay persisted regression seeds, then
+/// `config.cases` random cases; on failure, shrink, persist the seed,
+/// and panic with the minimal input. Use via [`props!`](crate::props).
+pub fn check<S: Strategy>(
+    name: &str,
+    regressions: Option<&Path>,
+    config: &Config,
+    strategy: S,
+    test: impl Fn(&S::Value),
+) {
+    if let Err(f) = check_quiet(name, regressions, config, strategy, test) {
+        let provenance = match f.case {
+            Some(case) => format!("case {case}"),
+            None => "persisted regression seed".to_owned(),
+        };
+        panic!(
+            "property `{name}` failed ({provenance}, seed {seed:#018x}, {steps} shrink steps)\n\
+             minimal input: {minimal}\n\
+             failure: {message}",
+            seed = f.seed,
+            steps = f.shrink_steps,
+            minimal = f.minimal,
+            message = f.message,
+        );
+    }
+}
+
+fn read_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("seed = 0x")?;
+            let hex = rest.split_whitespace().next()?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_regression_seed(path: &Path, name: &str, failure: &Failure) {
+    let exists = path.exists();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        eprintln!("warning: could not persist failure seed to {}", path.display());
+        return;
+    };
+    let mut minimal_one_line = failure.minimal.replace('\n', " ");
+    minimal_one_line.truncate(160);
+    if !exists {
+        let _ = writeln!(
+            file,
+            "# cdpd-testkit failure seeds for `{name}`.\n\
+             # One `seed = 0x<hex>` per line; replayed before new cases on every run.\n\
+             # Check this file in so everyone re-runs the saved cases."
+        );
+    }
+    let _ = writeln!(file, "seed = {:#018x} # shrinks to {}", failure.seed, minimal_one_line);
+}
+
+/// Define property tests. Each `fn` becomes a `#[test]` that draws its
+/// arguments from the given strategies via [`check`], with failure
+/// seeds persisted under `tests/regressions/` of the invoking crate.
+///
+/// ```ignore
+/// cdpd_testkit::props! {
+///     config: Config::default();
+///     fn addition_commutes(a in any_i64(), b in any_i64()) {
+///         assert_eq!(a.wrapping_add(*b), b.wrapping_add(*a));
+///     }
+/// }
+/// ```
+///
+/// Arguments are bound by reference (`a: &i64` above) — deref scalars
+/// where needed.
+#[macro_export]
+macro_rules! props {
+    (
+        config: $cfg:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$attr])*
+            #[test]
+            fn $name() {
+                let config: $crate::prop::Config = $cfg;
+                let strategy = ( $($strat,)+ );
+                let path = ::std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("tests")
+                    .join("regressions")
+                    .join(concat!(module_path!(), ".", stringify!($name), ".seeds"));
+                $crate::prop::check(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    Some(path.as_path()),
+                    &config,
+                    strategy,
+                    |&( $(ref $arg,)+ )| $body,
+                );
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_stable() {
+        let strat = vec_of(0i64..1000, 1..20);
+        let a = strat.generate(&mut Prng::seed_from_u64(99));
+        let b = strat.generate(&mut Prng::seed_from_u64(99));
+        let c = strat.generate(&mut Prng::seed_from_u64(100));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds virtually never collide");
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let cfg = Config::with_cases(50);
+        check_quiet("t::pass", None, &cfg, (0i64..100, 0i64..100), |&(a, b)| {
+            assert_eq!(a + b, b + a);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let cfg = Config::with_cases(200);
+        check_quiet("t::bounds", None, &cfg, (5u32..17,), |&(v,)| {
+            assert!((5..17).contains(&v));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn one_of_macro_generates_all_variants() {
+        let strat = one_of![2 => 0i64..10, 1 => 100i64..110];
+        let mut rng = Prng::seed_from_u64(7);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            if v < 100 { lo += 1 } else { hi += 1 }
+        }
+        assert!(lo > 80 && hi > 20, "lo {lo} hi {hi}");
+    }
+}

@@ -1,13 +1,12 @@
 use crate::spec::WorkloadSpec;
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cdpd_testkit::Prng;
 
 /// Generate a concrete statement trace from a spec, deterministically:
 /// the same `(spec, seed)` always yields byte-identical traces, which is
 /// what makes every experiment in the bench harness reproducible.
 pub fn generate(spec: &WorkloadSpec, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut statements = Vec::with_capacity(spec.total_queries());
     for mix in &spec.windows {
         for _ in 0..spec.window_len {

@@ -1,6 +1,6 @@
 use cdpd_sql::{Condition, DeleteStmt, Dml, SelectStmt, UpdateStmt};
 use cdpd_types::{Error, Result, Value};
-use rand::Rng;
+use cdpd_testkit::Prng;
 use std::fmt;
 
 /// One statement template a mix can draw: the paper's point query, or
@@ -30,7 +30,7 @@ pub enum Template {
 }
 
 impl Template {
-    fn sample<R: Rng>(&self, rng: &mut R, table: &str, domain: i64) -> Dml {
+    fn sample(&self, rng: &mut Prng, table: &str, domain: i64) -> Dml {
         let v = rng.gen_range(0..domain.max(1));
         match self {
             Template::Point { column } => Dml::Select(SelectStmt::point(table, column, v)),
@@ -129,7 +129,7 @@ impl QueryMix {
 
     /// Draw one statement against `table` with values uniform in
     /// `[0, domain)`.
-    pub fn sample<R: Rng>(&self, rng: &mut R, table: &str, domain: i64) -> Dml {
+    pub fn sample(&self, rng: &mut Prng, table: &str, domain: i64) -> Dml {
         let total: u64 = self.templates.iter().map(|(_, w)| *w as u64).sum();
         let mut pick = rng.gen_range(0..total);
         let template = self
@@ -179,8 +179,7 @@ impl fmt::Display for QueryMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cdpd_testkit::Prng;
 
     #[test]
     fn paper_mixes_match_table1() {
@@ -198,7 +197,7 @@ mod tests {
     #[test]
     fn sampling_respects_weights() {
         let mix = QueryMix::paper_a();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..10_000 {
             let q = mix.sample(&mut rng, "t", 500_000);
@@ -215,7 +214,7 @@ mod tests {
     #[test]
     fn sampled_values_in_domain() {
         let mix = QueryMix::paper_b();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         for _ in 0..100 {
             let q = mix.sample(&mut rng, "t", 100);
             match &q.conditions()[0] {
@@ -249,7 +248,7 @@ mod tests {
         )
         .unwrap();
         assert!((mix.write_fraction() - 0.8).abs() < 1e-9);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(2);
         let mut writes = 0;
         for _ in 0..1000 {
             let stmt = mix.sample(&mut rng, "t", 50);

@@ -11,8 +11,7 @@ use cdpd::engine::{Database, IndexSpec};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, paper};
 use cdpd::{Advisor, AdvisorOptions, Algorithm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 use std::time::Instant;
 
 const ROWS: i64 = 30_000;
@@ -31,7 +30,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("d"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Prng::seed_from_u64(5);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row)?;

@@ -19,8 +19,7 @@ use cdpd::engine::{Database, IndexSpec};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, QueryMix, WorkloadSpec};
 use cdpd::{Advisor, AdvisorOptions, Alerter};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 const ROWS: i64 = 30_000;
 const CHECK_EVERY: usize = 200;
@@ -37,7 +36,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("d"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Prng::seed_from_u64(23);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row)?;

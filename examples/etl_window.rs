@@ -23,8 +23,7 @@ use cdpd::replay::{replay, replay_recommendation};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, QueryMix, Template, WorkloadSpec};
 use cdpd::{Advisor, AdvisorOptions, Algorithm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 const ROWS: i64 = 30_000;
 const WINDOW: usize = 150;
@@ -41,7 +40,7 @@ fn load_accounts(seed: u64) -> cdpd::types::Result<Database> {
             ColumnDef::int("flags"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("accounts", &row)?;

@@ -14,8 +14,7 @@ use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, paper, summarize};
 use cdpd::EngineOracle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 const ROWS: i64 = 30_000;
 const WINDOW: usize = 250;
@@ -32,7 +31,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("d"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Prng::seed_from_u64(17);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row)?;

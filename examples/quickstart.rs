@@ -10,8 +10,7 @@ use cdpd::replay::replay_recommendation;
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, paper};
 use cdpd::{Advisor, AdvisorOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 fn main() -> cdpd::types::Result<()> {
     // 1. A table in the shape of the paper's experiments: four integer
@@ -28,7 +27,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("d"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Prng::seed_from_u64(7);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row)?;

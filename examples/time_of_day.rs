@@ -20,8 +20,7 @@ use cdpd::engine::Database;
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, QueryMix, Trace, WorkloadSpec};
 use cdpd::{Advisor, AdvisorOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 fn build_day_trace(domain: i64) -> Trace {
     let mix = |name: &str, dominant: &str, secondary: &str| {
@@ -72,7 +71,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("amount"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Prng::seed_from_u64(3);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("orders", &row)?;

@@ -16,8 +16,7 @@ use cdpd::replay::replay_recommendation;
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, paper};
 use cdpd::{Advisor, AdvisorOptions, Algorithm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 const ROWS: i64 = 25_000;
 const WINDOW: usize = 100;
@@ -34,7 +33,7 @@ fn main() -> cdpd::types::Result<()> {
             ColumnDef::int("d"),
         ]),
     )?;
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Prng::seed_from_u64(11);
     for _ in 0..ROWS {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row)?;

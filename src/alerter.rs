@@ -164,8 +164,7 @@ mod tests {
     use super::*;
     use cdpd_sql::SelectStmt;
     use cdpd_types::{ColumnDef, Schema, Value};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cdpd_testkit::Prng;
 
     fn db_with(rows: i64, index_on: Option<&str>) -> Database {
         let mut db = Database::new();
@@ -180,7 +179,7 @@ mod tests {
         )
         .unwrap();
         let domain = rows / 5;
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Prng::seed_from_u64(9);
         for _ in 0..rows {
             let row: Vec<Value> =
                 (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();

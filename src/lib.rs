@@ -44,6 +44,7 @@ pub use cdpd_engine as engine;
 pub use cdpd_graph as graph;
 pub use cdpd_sql as sql;
 pub use cdpd_storage as storage;
+pub use cdpd_testkit as testkit;
 pub use cdpd_types as types;
 pub use cdpd_workload as workload;
 

@@ -6,8 +6,7 @@
 use cdpd::engine::{Database, IndexSpec};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::paper::PaperParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdpd_testkit::Prng;
 
 /// Rows : domain ratio matching the paper (2.5M rows over 500k values).
 pub const ROWS_PER_VALUE: i64 = 5;
@@ -26,7 +25,7 @@ pub fn paper_database(rows: i64, seed: u64) -> Database {
     )
     .expect("fresh database");
     let domain = rows / ROWS_PER_VALUE;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     for _ in 0..rows {
         let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
         db.insert("t", &row).expect("row matches schema");

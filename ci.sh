@@ -30,6 +30,12 @@ for pkg in meta["packages"]:
 print(f"ok: {len(members)} path crates, zero external dependencies")
 EOF
 
+echo "== format check =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -41,5 +47,8 @@ cargo build --offline --workspace --benches --examples
 
 echo "== table1 regenerates =="
 cargo run --release --offline -p cdpd-bench --bin table1
+
+echo "== oracle layer beats the seed memo path =="
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench oracle
 
 echo "== ci.sh: all green =="

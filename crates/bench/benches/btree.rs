@@ -11,7 +11,12 @@ use std::sync::Arc;
 
 fn entries(n: i64) -> Vec<(Vec<Value>, Rid)> {
     (0..n)
-        .map(|i| (vec![Value::Int(i)], Rid::new(PageId((i / 200) as u32), (i % 200) as u16)))
+        .map(|i| {
+            (
+                vec![Value::Int(i)],
+                Rid::new(PageId((i / 200) as u32), (i % 200) as u16),
+            )
+        })
         .collect()
 }
 
@@ -21,9 +26,7 @@ fn bench_build(criterion: &mut Criterion) {
     for n in [10_000i64, 100_000] {
         let sorted = entries(n);
         group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
-            b.iter(|| {
-                BTree::bulk_load(Arc::new(Pager::new()), black_box(sorted.clone())).unwrap()
-            })
+            b.iter(|| BTree::bulk_load(Arc::new(Pager::new()), black_box(sorted.clone())).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             b.iter(|| {

@@ -8,9 +8,9 @@
 //! keeps working far past the point where full enumeration blows up.
 
 use cdpd_core::{enumerate_configs, greedy, kaware, Problem, SyntheticOracle};
-use cdpd_types::Cost;
 use cdpd_testkit::bench::{BenchmarkId, Criterion};
 use cdpd_testkit::{criterion_group, criterion_main};
+use cdpd_types::Cost;
 use std::hint::black_box;
 
 fn c(io: u64) -> Cost {
@@ -47,13 +47,9 @@ fn bench_candidate_strategies(criterion: &mut Criterion) {
         let o = oracle(N, m);
         let problem = Problem::paper_experiment();
         let full = enumerate_configs(&o, None, None).expect("m <= 20");
-        group.bench_with_input(
-            BenchmarkId::new("full_enumeration", m),
-            &m,
-            |b, _| {
-                b.iter(|| kaware::solve(&o, &problem, black_box(&full), K).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_enumeration", m), &m, |b, _| {
+            b.iter(|| kaware::solve(&o, &problem, black_box(&full), K).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("greedy_restricted", m), &m, |b, _| {
             b.iter(|| greedy::solve(&o, &problem, black_box(K)).unwrap())
         });

@@ -14,10 +14,16 @@ use std::hint::black_box;
 const ROWS: i64 = 50_000;
 
 fn db_with_indexes() -> Database {
-    let scale = Scale { rows: ROWS, window_len: 500, seed: 5 };
+    let scale = Scale {
+        rows: ROWS,
+        window_len: 500,
+        seed: 5,
+    };
     let mut db = build_database(&scale);
-    db.create_index(&IndexSpec::new("t", &["a", "b"])).expect("builds");
-    db.create_index(&IndexSpec::new("t", &["c"])).expect("builds");
+    db.create_index(&IndexSpec::new("t", &["a", "b"]))
+        .expect("builds");
+    db.create_index(&IndexSpec::new("t", &["c"]))
+        .expect("builds");
     db
 }
 
@@ -47,17 +53,29 @@ fn bench_access_paths(criterion: &mut Criterion) {
 /// What-if estimation throughput: one EXEC estimate = one planner run
 /// over hypothetical index shapes.
 fn bench_whatif(criterion: &mut Criterion) {
-    let scale = Scale { rows: ROWS, window_len: 500, seed: 5 };
+    let scale = Scale {
+        rows: ROWS,
+        window_len: 500,
+        seed: 5,
+    };
     let db = build_database(&scale);
     let whatif = WhatIfEngine::snapshot(&db, "t").expect("analyzed");
     let structures = paper_structures();
     let q = SelectStmt::point("t", "b", 123);
     let mut group = criterion.benchmark_group("whatif");
     group.bench_function("exec_cost_6_indexes", |b| {
-        b.iter(|| whatif.exec_cost(black_box(&q), black_box(&structures)).unwrap())
+        b.iter(|| {
+            whatif
+                .exec_cost(black_box(&q), black_box(&structures))
+                .unwrap()
+        })
     });
     group.bench_function("trans_cost", |b| {
-        b.iter(|| whatif.trans_cost(black_box(&structures[..2]), black_box(&structures[2..])).unwrap())
+        b.iter(|| {
+            whatif
+                .trans_cost(black_box(&structures[..2]), black_box(&structures[2..]))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -75,7 +93,8 @@ fn bench_ddl(criterion: &mut Criterion) {
         )
         .unwrap();
         for i in 0..10_000i64 {
-            db.insert("t", &[Value::Int(i % 2_000), Value::Int(i)]).unwrap();
+            db.insert("t", &[Value::Int(i % 2_000), Value::Int(i)])
+                .unwrap();
         }
         db.analyze("t").unwrap();
         let spec = IndexSpec::new("t", &["a"]);

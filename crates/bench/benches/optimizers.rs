@@ -7,12 +7,11 @@
 //! fluctuations, `m` structures, ≤1-structure configurations.
 
 use cdpd_core::{
-    enumerate_configs, hybrid, kaware, merging, ranking, seqgraph, Config, Problem,
-    SyntheticOracle,
+    enumerate_configs, hybrid, kaware, merging, ranking, seqgraph, Config, Problem, SyntheticOracle,
 };
-use cdpd_types::Cost;
 use cdpd_testkit::bench::{BenchmarkId, Criterion};
 use cdpd_testkit::{criterion_group, criterion_main};
+use cdpd_types::Cost;
 use std::hint::black_box;
 
 fn c(io: u64) -> Cost {
@@ -92,7 +91,9 @@ fn bench_vs_n(criterion: &mut Criterion) {
 /// graph on the same point for comparison.
 fn bench_ranking_easy(criterion: &mut Criterion) {
     let (oracle, problem, candidates) = instance(60);
-    let l = seqgraph::solve(&oracle, &problem, &candidates).unwrap().changes;
+    let l = seqgraph::solve(&oracle, &problem, &candidates)
+        .unwrap()
+        .changes;
     let k = l.saturating_sub(1);
     let mut group = criterion.benchmark_group("ranking_near_l");
     group.bench_function("ranking", |b| {

@@ -42,8 +42,14 @@ fn main() {
         algorithm: Algorithm::KAware,
         ..Default::default()
     };
-    let unc = Advisor::new(&db, "t").options(opts(None)).recommend(&w1).expect("advisor");
-    let k2 = Advisor::new(&db, "t").options(opts(Some(2))).recommend(&w1).expect("advisor");
+    let unc = Advisor::new(&db, "t")
+        .options(opts(None))
+        .recommend(&w1)
+        .expect("advisor");
+    let k2 = Advisor::new(&db, "t")
+        .options(opts(Some(2)))
+        .recommend(&w1)
+        .expect("advisor");
 
     let mut results: Vec<(&str, &str, u64, std::time::Duration)> = Vec::new();
     for (wname, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
@@ -62,7 +68,10 @@ fn main() {
 
     println!("\nFigure 3: Relative Execution Times of Different Workloads");
     println!("Under Constrained and Unconstrained W1 Designs");
-    println!("({} rows, measured logical I/O, relative to W1/unconstrained)\n", scale.rows);
+    println!(
+        "({} rows, measured logical I/O, relative to W1/unconstrained)\n",
+        scale.rows
+    );
     println!(
         "{:<4} {:<14} {:>14} {:>10} {:>12}  bar",
         "wkld", "design", "total I/O", "relative", "wall"

@@ -22,9 +22,7 @@
 //! cargo run --release -p cdpd-bench --bin fig4 [--rows N]
 //! ```
 
-use cdpd::core::{
-    enumerate_configs, kaware, merging, seqgraph, CostOracle, MemoOracle, Problem,
-};
+use cdpd::core::{enumerate_configs, kaware, merging, seqgraph, CostOracle, Problem};
 use cdpd::engine::WhatIfEngine;
 use cdpd::workload::{generate, paper, summarize};
 use cdpd::EngineOracle;
@@ -55,14 +53,13 @@ fn main() {
     let stage_len = (scale.window_len / 10).max(1);
     let workload = summarize(&trace, stage_len).expect("summarize");
 
-    let oracle = MemoOracle::new(
-        EngineOracle::new(
-            WhatIfEngine::snapshot(&db, "t").expect("analyzed"),
-            paper_structures(),
-            &workload,
-        )
-        .expect("valid oracle"),
-    );
+    let oracle = EngineOracle::new(
+        WhatIfEngine::snapshot(&db, "t").expect("analyzed"),
+        paper_structures(),
+        &workload,
+    )
+    .expect("valid oracle")
+    .into_shared();
     let problem = Problem::paper_experiment();
     // The paper's ≤1-index configuration regime (7 configurations).
     let candidates = enumerate_configs(&oracle, None, Some(1)).expect("m is small");
@@ -73,8 +70,7 @@ fn main() {
     );
 
     // Warm the what-if cache completely, then time pure solver work.
-    let unconstrained =
-        seqgraph::solve(&oracle, &problem, &candidates).expect("feasible");
+    let unconstrained = seqgraph::solve(&oracle, &problem, &candidates).expect("feasible");
     let l = unconstrained.changes;
     eprintln!("unconstrained optimum uses l = {l} changes");
 
@@ -102,8 +98,7 @@ fn main() {
             kaware::solve(&oracle, &problem, &candidates, k).expect("feasible")
         });
         let t_merge = time_it(5, || {
-            merging::refine(&oracle, &problem, &candidates, k, &unconstrained)
-                .expect("feasible")
+            merging::refine(&oracle, &problem, &candidates, k, &unconstrained).expect("feasible")
         });
         let rel = |t: Duration| 100.0 * t.as_secs_f64() / t_unconstrained.as_secs_f64();
         if crossover.is_none() && t_merge < t_graph {
@@ -133,4 +128,5 @@ fn main() {
         "paper expectation: graph runtime grows ~linearly with k; merging \
          runtime falls as k grows (fewer steps from l down to k)."
     );
+    eprintln!("\noracle instrumentation: {}", oracle.stats_snapshot());
 }

@@ -15,7 +15,10 @@ fn main() {
     let cols = ["a", "b", "c", "d"];
 
     println!("Table 1: Workload Query Mixes (specified)\n");
-    println!("{:<14} {:>6} {:>6} {:>6} {:>6}", "Queried <col>", "a", "b", "c", "d");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6}",
+        "Queried <col>", "a", "b", "c", "d"
+    );
     for mix in &mixes {
         print!("Query Mix {:<4}", mix.name);
         for col in cols {
@@ -25,10 +28,12 @@ fn main() {
     }
 
     println!("\nEmpirical check (10,000 generated queries per mix):\n");
-    println!("{:<14} {:>6} {:>6} {:>6} {:>6}", "Queried <col>", "a", "b", "c", "d");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6}",
+        "Queried <col>", "a", "b", "c", "d"
+    );
     for mix in &mixes {
-        let spec = WorkloadSpec::new("t", 500_000, 10_000, vec![mix.clone()])
-            .expect("valid spec");
+        let spec = WorkloadSpec::new("t", 500_000, 10_000, vec![mix.clone()]).expect("valid spec");
         let trace = generate(&spec, 42);
         let mut counts = [0u32; 4];
         for stmt in trace.statements() {

@@ -46,12 +46,22 @@ fn main() {
         algorithm: Algorithm::KAware,
         ..Default::default()
     };
-    let unc = Advisor::new(&db, "t").options(opts(None)).recommend(&w1).expect("advisor");
-    let k2 = Advisor::new(&db, "t").options(opts(Some(2))).recommend(&w1).expect("advisor");
+    let unc = Advisor::new(&db, "t")
+        .options(opts(None))
+        .recommend(&w1)
+        .expect("advisor");
+    let k2 = Advisor::new(&db, "t")
+        .options(opts(Some(2)))
+        .recommend(&w1)
+        .expect("advisor");
 
     let w = scale.window_len;
     println!("Table 2: Dynamic Workloads and Physical Designs");
-    println!("(window = {w} queries, {} rows, domain {})\n", scale.rows, scale.domain());
+    println!(
+        "(window = {w} queries, {} rows, domain {})\n",
+        scale.rows,
+        scale.domain()
+    );
     println!(
         "{:>15} | {:^4} | {:^8} | {:^8} | {:^4} | {:^4}",
         "query number", "W1", "k = inf", "k = 2", "W2", "W3"

@@ -28,14 +28,22 @@ impl Default for Scale {
     fn default() -> Self {
         // Default scale keeps every regenerator under ~a minute in
         // release mode while preserving all the paper's cost orderings.
-        Scale { rows: 100_000, window_len: 500, seed: 42 }
+        Scale {
+            rows: 100_000,
+            window_len: 500,
+            seed: 42,
+        }
     }
 }
 
 impl Scale {
     /// The paper's scale: 2.5M rows, 500-query windows.
     pub fn paper() -> Scale {
-        Scale { rows: 2_500_000, window_len: 500, seed: 42 }
+        Scale {
+            rows: 2_500_000,
+            window_len: 500,
+            seed: 42,
+        }
     }
 
     /// Parse `--rows N`, `--window N`, `--seed N`, `--full` from argv.
@@ -96,8 +104,9 @@ pub fn build_database(scale: &Scale) -> Database {
     let domain = scale.domain();
     let mut rng = Prng::seed_from_u64(scale.seed ^ 0xD1B2_54A3);
     for _ in 0..scale.rows {
-        let row: Vec<Value> =
-            (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row).expect("row matches schema");
     }
     db.analyze("t").expect("table exists");
@@ -129,7 +138,11 @@ mod tests {
 
     #[test]
     fn database_builds_at_small_scale() {
-        let s = Scale { rows: 2_000, window_len: 50, seed: 1 };
+        let s = Scale {
+            rows: 2_000,
+            window_len: 50,
+            seed: 1,
+        };
         let db = build_database(&s);
         let stats = db.stats("t").unwrap().unwrap();
         assert_eq!(stats.row_count, 2_000);

@@ -55,6 +55,12 @@ impl Config {
         Config(self.0 | other.0)
     }
 
+    /// Set intersection (the projection primitive of the oracle layer:
+    /// `exec(i, c)` only depends on `c.intersect(mask[i])`).
+    pub const fn intersect(self, other: Config) -> Config {
+        Config(self.0 & other.0)
+    }
+
     /// Structures in `self` but not `other` (what must be built to go
     /// from `other` to `self`).
     pub const fn minus(self, other: Config) -> Config {
@@ -163,6 +169,8 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.without(0), Config::single(3));
         assert_eq!(c.union(Config::single(1)).len(), 3);
+        assert_eq!(c.intersect(Config::single(3)), Config::single(3));
+        assert_eq!(c.intersect(Config::single(1)), Config::EMPTY);
         assert_eq!(c.minus(Config::single(3)), Config::single(0));
         assert!(Config::single(3).is_subset_of(c));
         assert!(!c.is_subset_of(Config::single(3)));

@@ -82,7 +82,7 @@ mod tests {
         SyntheticOracle::from_fn(
             n,
             m,
-            |stage, cfg| {
+            move |stage, cfg| {
                 let want = (stage * m) / n;
                 let width_penalty = 50 * (cfg.len().saturating_sub(1)) as u64;
                 if cfg.contains(want) {
@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn space_bound_limits_candidates() {
         let o = single_winner(6, 3);
-        let p = Problem { space_bound: Some(0), ..Problem::default() };
+        let p = Problem {
+            space_bound: Some(0),
+            ..Problem::default()
+        };
         let cands = candidates(&o, &p);
         assert!(cands.iter().all(|c| c.is_empty()), "{cands:?}");
         let s = solve(&o, &p, 2).unwrap();

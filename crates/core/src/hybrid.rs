@@ -73,10 +73,16 @@ pub fn solve_with_switch(
     let l = unconstrained.changes as f64;
     if (k as f64) >= switch_fraction * l {
         let schedule = merging::refine(oracle, problem, candidates, k, &unconstrained)?;
-        Ok(HybridOutcome { schedule, strategy: Strategy::Merging })
+        Ok(HybridOutcome {
+            schedule,
+            strategy: Strategy::Merging,
+        })
     } else {
         let schedule = kaware::solve(oracle, problem, candidates, k)?;
-        Ok(HybridOutcome { schedule, strategy: Strategy::KAwareGraph })
+        Ok(HybridOutcome {
+            schedule,
+            strategy: Strategy::KAwareGraph,
+        })
     }
 }
 
@@ -95,7 +101,7 @@ mod tests {
         SyntheticOracle::from_fn(
             n,
             m,
-            |stage, cfg| {
+            move |stage, cfg| {
                 let preferred = (stage * m) / n;
                 let minor = (preferred + 1) % m;
                 let want = if stage % 2 == 1 { minor } else { preferred };

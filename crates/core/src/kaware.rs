@@ -32,8 +32,7 @@ pub fn solve(
 
     // Node ids per (stage, candidate, layer); source first so edges are
     // forward in insertion order.
-    let mut dag: Dag<Option<(usize, usize)>> =
-        Dag::with_capacity(n * ncand * layers + 2);
+    let mut dag: Dag<Option<(usize, usize)>> = Dag::with_capacity(n * ncand * layers + 2);
     let source = dag.add_node(None, Cost::ZERO);
     // nodes[stage][cand][layer]
     let mut nodes: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(n);
@@ -41,8 +40,9 @@ pub fn solve(
         let mut per_cand = Vec::with_capacity(ncand);
         for (ci, &cfg) in candidates.iter().enumerate() {
             let exec = oracle.exec(stage, cfg);
-            let per_layer: Vec<NodeId> =
-                (0..layers).map(|_| dag.add_node(Some((stage, ci)), exec)).collect();
+            let per_layer: Vec<NodeId> = (0..layers)
+                .map(|_| dag.add_node(Some((stage, ci)), exec))
+                .collect();
             per_cand.push(per_layer);
         }
         nodes.push(per_cand);
@@ -52,11 +52,19 @@ pub fn solve(
     // Source edges: entering `C_1 = c` lands on layer 0, unless the
     // initial build counts as a change (strict Definition 1 mode).
     for (ci, &cfg) in candidates.iter().enumerate() {
-        let layer = if cfg != problem.initial && problem.count_initial_change { 1 } else { 0 };
+        let layer = if cfg != problem.initial && problem.count_initial_change {
+            1
+        } else {
+            0
+        };
         if layer >= layers {
             continue; // k = 0 in strict mode: only the initial config enters
         }
-        dag.add_edge(source, nodes[0][ci][layer], oracle.trans(problem.initial, cfg));
+        dag.add_edge(
+            source,
+            nodes[0][ci][layer],
+            oracle.trans(problem.initial, cfg),
+        );
     }
 
     // Stage-to-stage edges.
@@ -106,8 +114,15 @@ pub fn solve(
         .filter_map(|&node| dag.payload(node).map(|(_, ci)| candidates[ci]))
         .collect();
     let schedule = Schedule::evaluate(oracle, problem, configs);
-    debug_assert_eq!(schedule.total_cost(), sp.cost, "graph and evaluator disagree");
-    debug_assert!(schedule.changes <= k, "layering must enforce the change budget");
+    debug_assert_eq!(
+        schedule.total_cost(),
+        sp.cost,
+        "graph and evaluator disagree"
+    );
+    debug_assert!(
+        schedule.changes <= k,
+        "layering must enforce the change budget"
+    );
     Ok(schedule)
 }
 
@@ -206,9 +221,7 @@ mod tests {
                         for d in idx.clone() {
                             let cfgs = vec![cands[a], cands[b], cands[cc], cands[d]];
                             let s = Schedule::evaluate(&o, &p, cfgs);
-                            if s.changes <= k
-                                && best.is_none_or(|x| s.total_cost() < x)
-                            {
+                            if s.changes <= k && best.is_none_or(|x| s.total_cost() < x) {
                                 best = Some(s.total_cost());
                             }
                         }
@@ -232,7 +245,10 @@ mod tests {
     #[test]
     fn strict_mode_charges_the_initial_build() {
         let o = phased_oracle();
-        let p = Problem { count_initial_change: true, ..Problem::default() };
+        let p = Problem {
+            count_initial_change: true,
+            ..Problem::default()
+        };
         let cands = enumerate_configs(&o, None, Some(1)).unwrap();
         // k = 0 in strict mode: must stay in the (empty) initial config.
         let s = solve(&o, &p, &cands, 0).unwrap();
@@ -240,13 +256,7 @@ mod tests {
         // k = 1 buys exactly the initial build.
         let s = solve(&o, &p, &cands, 1).unwrap();
         assert!(s.changes <= 1);
-        let loose = solve(
-            &o,
-            &Problem::default(),
-            &cands,
-            1,
-        )
-        .unwrap();
+        let loose = solve(&o, &Problem::default(), &cands, 1).unwrap();
         assert!(
             loose.total_cost() <= s.total_cost(),
             "strict counting can only restrict"

@@ -18,7 +18,8 @@
 
 use crate::config::Config;
 use crate::kaware;
-use crate::problem::{CostOracle, Problem};
+use crate::oracle::SharedOracle;
+use crate::problem::Problem;
 use crate::schedule::Schedule;
 use cdpd_types::{Cost, Error, Result};
 
@@ -35,7 +36,11 @@ pub struct KCurvePoint {
 
 /// Constrained-optimal cost for each `k ∈ 0..=k_max`, solved in
 /// parallel across budgets.
-pub fn cost_curve<O: CostOracle + Sync>(
+///
+/// Like every parallel sweep in this module, the oracle bound is the
+/// unified [`SharedOracle`] (`CostOracle + Sync`) — any oracle built
+/// through the `crate::oracle` layer qualifies.
+pub fn cost_curve<O: SharedOracle>(
     oracle: &O,
     problem: &Problem,
     candidates: &[Config],
@@ -49,9 +54,14 @@ pub fn cost_curve<O: CostOracle + Sync>(
         std::thread::scope(|scope| {
             for (k, slot) in results.iter_mut().enumerate() {
                 scope.spawn(move || {
-                    *slot = Some(kaware::solve(oracle, problem, candidates, k).map(|s| {
-                        KCurvePoint { k, cost: s.total_cost(), changes: s.changes }
-                    }));
+                    *slot =
+                        Some(
+                            kaware::solve(oracle, problem, candidates, k).map(|s| KCurvePoint {
+                                k,
+                                cost: s.total_cost(),
+                                changes: s.changes,
+                            }),
+                        );
                 });
             }
         });
@@ -131,48 +141,67 @@ pub struct RobustPoint {
 /// traces captured on other days). Training cost decreases
 /// monotonically with `k` — held-out cost does not, and its minimum is
 /// the `k` that generalizes.
-pub fn robust_curve<O: CostOracle>(
+///
+/// Budgets are solved in parallel, like [`cost_curve`] — the two
+/// sweeps share the [`SharedOracle`] bound (holdouts included, since
+/// every worker re-costs on them).
+pub fn robust_curve<O: SharedOracle>(
     train: &O,
-    holdouts: &[&dyn CostOracle],
+    holdouts: &[&dyn SharedOracle],
     problem: &Problem,
     candidates: &[Config],
     k_max: usize,
 ) -> Result<Vec<RobustPoint>> {
     if holdouts.is_empty() {
-        return Err(Error::InvalidArgument("robust_curve needs held-out workloads".into()));
+        return Err(Error::InvalidArgument(
+            "robust_curve needs held-out workloads".into(),
+        ));
     }
-    let mut out = Vec::with_capacity(k_max + 1);
-    for k in 0..=k_max {
-        let schedule = kaware::solve(train, problem, candidates, k)?;
-        let mut total: u128 = 0;
-        for oracle in holdouts {
-            if oracle.n_stages() != train.n_stages() {
-                return Err(Error::InvalidArgument(
-                    "held-out workload has a different stage count".into(),
-                ));
-            }
-            let s = Schedule::evaluate(*oracle, problem, schedule.configs.clone());
-            total += s.total_cost().raw() as u128;
+    for oracle in holdouts {
+        if oracle.n_stages() != train.n_stages() {
+            return Err(Error::InvalidArgument(
+                "held-out workload has a different stage count".into(),
+            ));
         }
-        let mean = (total / holdouts.len() as u128) as u64;
-        out.push(RobustPoint {
-            k,
-            train_cost: schedule.total_cost(),
-            mean_test_cost: Cost::from_raw(mean),
-        });
     }
-    Ok(out)
+    let mut results: Vec<Option<Result<RobustPoint>>> = Vec::new();
+    results.resize_with(k_max + 1, || None);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|scope| {
+            for (k, slot) in results.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(
+                        kaware::solve(train, problem, candidates, k).map(|schedule| {
+                            let mut total: u128 = 0;
+                            for oracle in holdouts {
+                                let s =
+                                    Schedule::evaluate(*oracle, problem, schedule.configs.clone());
+                                total += s.total_cost().raw() as u128;
+                            }
+                            let mean = (total / holdouts.len() as u128) as u64;
+                            RobustPoint {
+                                k,
+                                train_cost: schedule.total_cost(),
+                                mean_test_cost: Cost::from_raw(mean),
+                            }
+                        }),
+                    );
+                });
+            }
+        });
+    }))
+    .map_err(|_| Error::InvalidArgument("robust k-sweep worker panicked".into()))?;
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
 }
 
 /// The budget minimizing held-out cost (smallest such `k` on ties).
 pub fn suggest_robust_k(curve: &[RobustPoint]) -> Option<usize> {
     curve
         .iter()
-        .min_by(|a, b| {
-            a.mean_test_cost
-                .cmp(&b.mean_test_cost)
-                .then(a.k.cmp(&b.k))
-        })
+        .min_by(|a, b| a.mean_test_cost.cmp(&b.mean_test_cost).then(a.k.cmp(&b.k)))
         .map(|p| p.k)
 }
 
@@ -199,7 +228,11 @@ mod tests {
                 let preferred = if phase == 1 { 1 } else { 0 };
                 // Minor fluctuation mildly prefers structure 2.
                 if cfg.contains(preferred) {
-                    if minor { c(60) } else { c(40) }
+                    if minor {
+                        c(60)
+                    } else {
+                        c(40)
+                    }
                 } else if minor && cfg.contains(2) {
                     c(50)
                 } else {
@@ -241,13 +274,29 @@ mod tests {
     fn suggest_k_edge_cases() {
         assert_eq!(suggest_k(&[], 0.1), None);
         let flat = [
-            KCurvePoint { k: 0, cost: c(100), changes: 0 },
-            KCurvePoint { k: 1, cost: c(100), changes: 0 },
+            KCurvePoint {
+                k: 0,
+                cost: c(100),
+                changes: 0,
+            },
+            KCurvePoint {
+                k: 1,
+                cost: c(100),
+                changes: 0,
+            },
         ];
         assert_eq!(suggest_k(&flat, 0.0), Some(0), "flat curve ⇒ k = 0");
         let steep = [
-            KCurvePoint { k: 0, cost: c(1000), changes: 0 },
-            KCurvePoint { k: 1, cost: c(100), changes: 1 },
+            KCurvePoint {
+                k: 0,
+                cost: c(1000),
+                changes: 0,
+            },
+            KCurvePoint {
+                k: 1,
+                cost: c(100),
+                changes: 1,
+            },
         ];
         assert_eq!(suggest_k(&steep, 0.5), Some(1));
     }
@@ -255,7 +304,11 @@ mod tests {
     #[test]
     fn elbow_detection() {
         // Big drop at k = 2, slow tail after.
-        let mk = |k: usize, cost: u64| KCurvePoint { k, cost: c(cost), changes: k };
+        let mk = |k: usize, cost: u64| KCurvePoint {
+            k,
+            cost: c(cost),
+            changes: k,
+        };
         let curve = [
             mk(0, 1000),
             mk(1, 990),
@@ -311,8 +364,7 @@ mod tests {
         let holdout = fluctuating(0);
         let p = Problem::paper_experiment();
         let cands = enumerate_configs(&train, None, Some(1)).unwrap();
-        let curve =
-            robust_curve(&train, &[&holdout as &dyn CostOracle], &p, &cands, 10).unwrap();
+        let curve = robust_curve(&train, &[&holdout as &dyn SharedOracle], &p, &cands, 10).unwrap();
         // Training cost is non-increasing in k ...
         for w in curve.windows(2) {
             assert!(w[1].train_cost <= w[0].train_cost);
@@ -337,7 +389,7 @@ mod tests {
         assert!(robust_curve(&train, &[], &p, &cands, 3).is_err());
         let short = SyntheticOracle::from_fn(5, 3, |_, _| c(1), vec![c(1); 3], c(1), vec![1; 3]);
         assert!(
-            robust_curve(&train, &[&short as &dyn CostOracle], &p, &cands, 3).is_err(),
+            robust_curve(&train, &[&short as &dyn SharedOracle], &p, &cands, 3).is_err(),
             "stage-count mismatch must be rejected"
         );
         assert_eq!(suggest_robust_k(&[]), None);

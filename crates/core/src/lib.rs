@@ -24,9 +24,12 @@
 //!
 //! The crate is engine-agnostic: solvers consume a [`CostOracle`]
 //! (`EXEC`/`TRANS`/`SIZE` for bitmask [`Config`]s over a candidate
-//! structure list). The `cdpd` facade crate adapts the storage engine's
-//! what-if optimizer to this trait; [`SyntheticOracle`] provides
-//! table-driven costs for tests and benchmarks.
+//! structure list). Every solver probe funnels through the [`oracle`]
+//! layer — relevance projection, sharded memoization or up-front dense
+//! materialization, and instrumentation. The `cdpd` facade crate
+//! adapts the storage engine's what-if optimizer to these traits;
+//! [`SyntheticOracle`] provides table-driven costs for tests and
+//! benchmarks (built on the same dense layer).
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod hybrid;
 pub mod kaware;
 pub mod kselect;
 pub mod merging;
+pub mod oracle;
 mod problem;
 pub mod ranking;
 pub mod report;
@@ -43,5 +47,11 @@ mod schedule;
 pub mod seqgraph;
 
 pub use config::{enumerate_configs, Config};
-pub use problem::{CostOracle, MemoOracle, Problem, SyntheticOracle};
+#[allow(deprecated)]
+pub use oracle::MemoOracle;
+pub use oracle::{
+    DenseOracle, OracleStats, OracleStatsSnapshot, ProjectableOracle, ProjectedOracle,
+    RelevanceMask, SharedOracle, Unprojected,
+};
+pub use problem::{CostOracle, Problem, SyntheticOracle};
 pub use schedule::Schedule;

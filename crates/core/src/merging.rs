@@ -34,8 +34,7 @@ struct Run {
 fn changes_of(runs: &[Run], problem: &Problem) -> usize {
     let boundary = runs.len().saturating_sub(1);
     let initial = usize::from(
-        problem.count_initial_change
-            && runs.first().is_some_and(|r| r.config != problem.initial),
+        problem.count_initial_change && runs.first().is_some_and(|r| r.config != problem.initial),
     );
     boundary + initial
 }
@@ -84,16 +83,19 @@ pub fn refine(
 
         let mut best: Option<(i128, usize, Config)> = None;
         for i in 0..runs.len() - 1 {
-            let prev_cfg = if i == 0 { problem.initial } else { runs[i - 1].config };
+            let prev_cfg = if i == 0 {
+                problem.initial
+            } else {
+                runs[i - 1].config
+            };
             let next_cfg = if i + 2 < runs.len() {
                 Some(runs[i + 2].config)
             } else {
                 problem.final_config
             };
             let (left, right) = (&runs[i], &runs[i + 1]);
-            let trans_out = |cfg: Config| -> Cost {
-                next_cfg.map_or(Cost::ZERO, |nx| oracle.trans(cfg, nx))
-            };
+            let trans_out =
+                |cfg: Config| -> Cost { next_cfg.map_or(Cost::ZERO, |nx| oracle.trans(cfg, nx)) };
             let old_cost = oracle.trans(prev_cfg, left.config)
                 + exec_range(oracle, left.stages.clone(), left.config)
                 + oracle.trans(left.config, right.config)
@@ -177,7 +179,7 @@ mod tests {
             3,
             1,
             |stage, cfg| match (stage, cfg.contains(0)) {
-                (1, true) => c(10),  // the middle query loves the index
+                (1, true) => c(10), // the middle query loves the index
                 (1, false) => c(500),
                 (_, true) => c(100), // outer queries mildly dislike it
                 (_, false) => c(50),
@@ -200,14 +202,16 @@ mod tests {
         merged.validate(&o, &p, Some(1)).unwrap();
         // Merging (∅,{IX}) or ({IX},∅) into one config: with the index
         // everywhere, cost = 20 + 100+10+100 + ... vs without = 50+500+50.
-        assert!(merged.total_cost() < Schedule::evaluate(&o, &p, vec![Config::EMPTY; 3]).total_cost());
+        assert!(
+            merged.total_cost() < Schedule::evaluate(&o, &p, vec![Config::EMPTY; 3]).total_cost()
+        );
     }
 
     fn phased(n: usize, m: usize) -> SyntheticOracle {
         SyntheticOracle::from_fn(
             n,
             m,
-            |stage, cfg| {
+            move |stage, cfg| {
                 let preferred = (stage * m) / n;
                 let minor = (preferred + 1) % m;
                 let want = if stage % 2 == 1 { minor } else { preferred };
@@ -266,7 +270,7 @@ mod tests {
         let o = SyntheticOracle::from_fn(
             3,
             2,
-            |stage, cfg| {
+            move |stage, cfg| {
                 if stage == 1 && cfg.contains(1) {
                     c(5)
                 } else if cfg.contains(0) {
@@ -292,7 +296,10 @@ mod tests {
     #[test]
     fn strict_mode_k0_falls_back_to_initial() {
         let o = phased(4, 2);
-        let p = Problem { count_initial_change: true, ..Problem::default() };
+        let p = Problem {
+            count_initial_change: true,
+            ..Problem::default()
+        };
         let cands = enumerate_configs(&o, None, Some(1)).unwrap();
         let s = solve(&o, &p, &cands, 0).unwrap();
         assert_eq!(s.changes, 0);

@@ -1,0 +1,931 @@
+//! The unified cost path: every solver probe of `EXEC`/`SIZE` funnels
+//! through this module instead of ad-hoc per-caller memo tables.
+//!
+//! The layer stacks three ideas:
+//!
+//! 1. **Relevance projection** (CoPhy's observation): a statement's
+//!    cost depends only on the candidate structures the planner could
+//!    actually use for it. An oracle that knows its per-stage
+//!    [`RelevanceMask`] — and, finer, its per-*part* masks, where a
+//!    part is a group of statements sharing one mask — lets the layer
+//!    rewrite `exec(i, c)` as `Σ_p exec_part(i, p, c ∩ mask[i][p])`,
+//!    so distinct full configurations share cache entries.
+//! 2. **Caching**: [`ProjectedOracle`] memoizes projected part costs in
+//!    sharded hash maps; [`DenseOracle`] goes further and materializes
+//!    each part's full projected cost table up front with a
+//!    `std::thread::scope` fan-out, leaving lock-free `Vec<Cost>` reads
+//!    on the solver's hot path (with a size-capped fallback to the
+//!    sharded memo when a part's mask is too wide to tabulate).
+//! 3. **Instrumentation**: one [`OracleStats`] bundle of atomic
+//!    counters is threaded from the raw what-if engine through the
+//!    caching layer, so facades can report how many engine cost calls a
+//!    solve actually issued versus how many were served projected.
+//!
+//! Correctness of the rewrite rests on two facts. Costs are saturating
+//! non-negative fixed-point integers, so a saturating sum is
+//! independent of summand order and grouping (`cdpd-types` proves this
+//! in its tests): splitting a stage's statement block into parts cannot
+//! change the total. And a structure outside a statement's mask
+//! generates no candidate access path and no maintenance charge for it,
+//! so adding or removing that structure leaves the statement's plan —
+//! hence its cost — untouched; projecting it away is exact, not an
+//! approximation. The differential property suite
+//! (`tests/oracle_prop.rs`) checks both ends against the raw engine.
+
+use crate::config::Config;
+use crate::problem::CostOracle;
+use cdpd_types::Cost;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A [`CostOracle`] that is shareable across solver worker threads.
+///
+/// This is the unified bound every solver entry point uses (previously
+/// `cost_curve` demanded `O: CostOracle + Sync` while `robust_curve`
+/// asked for bare `CostOracle` — the drift this trait removes). It is
+/// blanket-implemented, object-safe (`&dyn SharedOracle` works for
+/// holdout lists), and carries no methods of its own.
+pub trait SharedOracle: CostOracle + Sync {}
+
+impl<T: CostOracle + Sync + ?Sized> SharedOracle for T {}
+
+// ---------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------
+
+/// Shared atomic counters for one oracle pipeline.
+///
+/// Create one `Arc<OracleStats>`, attach it to the raw engine adapter
+/// *and* the caching layer (that is what `into_shared`/`into_dense` on
+/// `EngineOracle` do), and read a coherent [`OracleStatsSnapshot`] at
+/// any point. All counters are monotone; ordering is `Relaxed` because
+/// they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct OracleStats {
+    exec_requests: AtomicU64,
+    raw_exec_evals: AtomicU64,
+    whatif_calls: AtomicU64,
+    projected_hits: AtomicU64,
+    dense_build_nanos: AtomicU64,
+    bytes_resident: AtomicU64,
+}
+
+impl OracleStats {
+    /// A fresh, shareable counter bundle.
+    pub fn shared() -> Arc<OracleStats> {
+        Arc::new(OracleStats::default())
+    }
+
+    /// One solver-visible `exec(stage, config)` request.
+    pub fn record_exec_request(&self) {
+        self.exec_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One projected part cost served from a cache or dense table.
+    pub fn record_projected_hit(&self) {
+        self.projected_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One miss that fell through to the inner oracle's `exec_part`.
+    pub fn record_raw_eval(&self) {
+        self.raw_exec_evals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` inner evaluations at once (dense table builds).
+    pub fn record_raw_evals(&self, n: u64) {
+        self.raw_exec_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` underlying what-if engine cost calls (per-statement).
+    pub fn record_whatif_calls(&self, n: u64) {
+        self.whatif_calls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Wall time spent materializing dense tables.
+    pub fn record_dense_build_nanos(&self, nanos: u64) {
+        self.dense_build_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// `n` more bytes resident in dense tables.
+    pub fn record_bytes_resident(&self, n: u64) {
+        self.bytes_resident.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> OracleStatsSnapshot {
+        OracleStatsSnapshot {
+            exec_requests: self.exec_requests.load(Ordering::Relaxed),
+            raw_exec_evals: self.raw_exec_evals.load(Ordering::Relaxed),
+            whatif_calls: self.whatif_calls.load(Ordering::Relaxed),
+            projected_hits: self.projected_hits.load(Ordering::Relaxed),
+            dense_build_nanos: self.dense_build_nanos.load(Ordering::Relaxed),
+            bytes_resident: self.bytes_resident.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`OracleStats`], safe to store in results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStatsSnapshot {
+    /// Solver-visible `exec(stage, config)` requests.
+    pub exec_requests: u64,
+    /// Projected part evaluations that reached the inner oracle.
+    pub raw_exec_evals: u64,
+    /// Per-statement what-if engine cost calls issued (zero for
+    /// oracles with no engine underneath, e.g. synthetic ones).
+    pub whatif_calls: u64,
+    /// Projected part costs served from a cache or dense table.
+    pub projected_hits: u64,
+    /// Nanoseconds spent materializing dense tables.
+    pub dense_build_nanos: u64,
+    /// Bytes resident in dense cost tables.
+    pub bytes_resident: u64,
+}
+
+impl std::fmt::Display for OracleStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.raw_exec_evals + self.projected_hits;
+        let hit_pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * self.projected_hits as f64 / total as f64
+        };
+        write!(
+            f,
+            "{} exec requests, {} raw evals, {} projected hits ({:.1}%), \
+             {} what-if calls, dense build {:.2} ms, {:.1} KiB resident",
+            self.exec_requests,
+            self.raw_exec_evals,
+            self.projected_hits,
+            hit_pct,
+            self.whatif_calls,
+            self.dense_build_nanos as f64 / 1e6,
+            self.bytes_resident as f64 / 1024.0,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relevance
+// ---------------------------------------------------------------------
+
+/// The configuration covering every structure, for `m` structures.
+fn full_mask(n_structures: usize) -> Config {
+    assert!(n_structures <= 64, "structure count exceeds Config width");
+    if n_structures == 64 {
+        Config::from_bits(u64::MAX)
+    } else {
+        Config::from_bits((1u64 << n_structures) - 1)
+    }
+}
+
+/// Per-stage masks of the structures that can affect each stage's cost.
+///
+/// `exec(i, c) == exec(i, c ∩ stage(i))` for any config `c` — the
+/// contract that makes projection exact. A mask of all ones is always
+/// sound (it projects nothing away).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelevanceMask {
+    masks: Vec<Config>,
+}
+
+impl RelevanceMask {
+    /// Build from explicit per-stage masks.
+    pub fn new(masks: Vec<Config>) -> RelevanceMask {
+        RelevanceMask { masks }
+    }
+
+    /// The trivial (project-nothing) mask: all structures relevant to
+    /// every stage.
+    pub fn full(n_stages: usize, n_structures: usize) -> RelevanceMask {
+        RelevanceMask {
+            masks: vec![full_mask(n_structures); n_stages],
+        }
+    }
+
+    /// The mask for `stage`.
+    pub fn stage(&self, stage: usize) -> Config {
+        self.masks[stage]
+    }
+
+    /// Project `config` onto `stage`'s relevant structures.
+    pub fn project(&self, stage: usize, config: Config) -> Config {
+        config.intersect(self.masks[stage])
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True if there are no stages.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The widest stage mask, in structures.
+    pub fn max_width(&self) -> usize {
+        self.masks.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+}
+
+/// An oracle that can expose the relevance structure of its stages.
+///
+/// The default implementation is always sound: one part per stage whose
+/// mask covers every structure (projection becomes the identity).
+/// Engine-backed oracles override all four methods to split each
+/// stage's statement block into *parts* — groups of statements sharing
+/// one relevance mask — which is what unlocks cache sharing across
+/// distinct full configurations.
+///
+/// # Contract
+///
+/// For every stage `i` and config `c`:
+///
+/// * `exec(i, c) == Σ_p exec_part(i, p, c ∩ part_mask(i, p))` — the
+///   part decomposition is exact (saturating sums are grouping-
+///   independent, so any partition of the statement block qualifies);
+/// * `exec_part(i, p, c)` may assume the caller already projected `c`
+///   onto `part_mask(i, p)`, and must depend only on that projection;
+/// * `relevance_mask(i)` is the union of the stage's part masks.
+pub trait ProjectableOracle: CostOracle {
+    /// Structures that can affect `stage`'s cost.
+    fn relevance_mask(&self, _stage: usize) -> Config {
+        full_mask(self.n_structures())
+    }
+
+    /// Number of equal-mask statement groups within `stage`.
+    fn n_parts(&self, _stage: usize) -> usize {
+        1
+    }
+
+    /// Structures that can affect `part`'s statements.
+    fn part_mask(&self, stage: usize, _part: usize) -> Config {
+        self.relevance_mask(stage)
+    }
+
+    /// `EXEC` restricted to one part's statements. `config` is the
+    /// caller-projected sub-configuration.
+    fn exec_part(&self, stage: usize, _part: usize, config: Config) -> Cost {
+        self.exec(stage, config)
+    }
+}
+
+/// Adapter stripping an oracle's relevance info: single full-mask part
+/// per stage, so a [`ProjectedOracle`] over it degenerates to exactly
+/// the seed `MemoOracle` behavior — one cache entry per distinct
+/// `(stage, full config)`. Exists for baselines and differential tests.
+pub struct Unprojected<O>(pub O);
+
+impl<O: CostOracle> CostOracle for Unprojected<O> {
+    fn n_stages(&self) -> usize {
+        self.0.n_stages()
+    }
+    fn n_structures(&self) -> usize {
+        self.0.n_structures()
+    }
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        self.0.exec(stage, config)
+    }
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        self.0.trans(from, to)
+    }
+    fn size(&self, config: Config) -> u64 {
+        self.0.size(config)
+    }
+}
+
+impl<O: CostOracle> ProjectableOracle for Unprojected<O> {}
+
+// ---------------------------------------------------------------------
+// Sharded memo
+// ---------------------------------------------------------------------
+
+const SHARDS: usize = 16;
+
+/// A fixed-shard concurrent memo table. Values must be cheap to copy;
+/// racing computations of the same key are benign because oracles are
+/// pure (both writers insert the same value).
+struct Sharded<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Eq + std::hash::Hash, V: Copy> Sharded<K, V> {
+    fn new() -> Sharded<K, V> {
+        Sharded {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, h: u64) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    fn get(&self, h: u64, key: &K) -> Option<V> {
+        self.shard(h)
+            .lock()
+            .expect("oracle cache lock")
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, h: u64, key: K, value: V) {
+        self.shard(h)
+            .lock()
+            .expect("oracle cache lock")
+            .insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("oracle cache lock").len())
+            .sum()
+    }
+}
+
+/// Fibonacci-style mixer choosing a shard from a two-word key. Not a
+/// general hash: it only needs to spread (stage, bits) pairs evenly.
+fn shard_hash(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x ^= x >> 32;
+    x
+}
+
+fn part_key(stage: usize, part: usize) -> u64 {
+    ((stage as u64) << 24) | part as u64
+}
+
+// ---------------------------------------------------------------------
+// ProjectedOracle
+// ---------------------------------------------------------------------
+
+/// The sharded-memo caching layer: rewrites `exec(i, c)` to a sum of
+/// per-part lookups keyed by the *projected* sub-configuration
+/// `c ∩ part_mask`, so distinct full configs that agree on a part's
+/// relevant structures share one cache entry. `trans` is not cached
+/// (engine transition costs are already a cheap set difference);
+/// `size` is memoized per config.
+///
+/// Over an oracle with no relevance info (the [`ProjectableOracle`]
+/// defaults, or [`Unprojected`]) this behaves exactly like the seed
+/// `MemoOracle`, which is why that name survives as a deprecated alias.
+pub struct ProjectedOracle<O> {
+    inner: O,
+    stats: Arc<OracleStats>,
+    exec_cache: Sharded<(u64, u64), Cost>,
+    size_cache: Sharded<u64, u64>,
+}
+
+impl<O: ProjectableOracle> ProjectedOracle<O> {
+    /// Wrap `inner` with a fresh stats bundle.
+    pub fn new(inner: O) -> ProjectedOracle<O> {
+        ProjectedOracle::with_stats(inner, OracleStats::shared())
+    }
+
+    /// Wrap `inner`, recording into an existing `stats` bundle (share
+    /// it with the raw engine adapter to also capture what-if calls).
+    pub fn with_stats(inner: O, stats: Arc<OracleStats>) -> ProjectedOracle<O> {
+        ProjectedOracle {
+            inner,
+            stats,
+            exec_cache: Sharded::new(),
+            size_cache: Sharded::new(),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// The shared stats bundle.
+    pub fn stats(&self) -> &Arc<OracleStats> {
+        &self.stats
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats_snapshot(&self) -> OracleStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of distinct projected part evaluations cached so far
+    /// (the seed `MemoOracle` reported distinct `(stage, config)`
+    /// pairs; with relevance info the unit is finer: `(stage, part,
+    /// projected config)`).
+    pub fn exec_evaluations(&self) -> usize {
+        self.exec_cache.len()
+    }
+}
+
+impl<O: ProjectableOracle> CostOracle for ProjectedOracle<O> {
+    fn n_stages(&self) -> usize {
+        self.inner.n_stages()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.inner.n_structures()
+    }
+
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        self.stats.record_exec_request();
+        let mut total = Cost::ZERO;
+        for part in 0..self.inner.n_parts(stage) {
+            let projected = config.intersect(self.inner.part_mask(stage, part));
+            let key = (part_key(stage, part), projected.bits());
+            let h = shard_hash(key.0, key.1);
+            if let Some(c) = self.exec_cache.get(h, &key) {
+                self.stats.record_projected_hit();
+                total += c;
+                continue;
+            }
+            let c = self.inner.exec_part(stage, part, projected);
+            self.stats.record_raw_eval();
+            self.exec_cache.insert(h, key, c);
+            total += c;
+        }
+        total
+    }
+
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        self.inner.trans(from, to)
+    }
+
+    fn size(&self, config: Config) -> u64 {
+        let key = config.bits();
+        let h = shard_hash(key, 0x5153);
+        if let Some(s) = self.size_cache.get(h, &key) {
+            return s;
+        }
+        let s = self.inner.size(config);
+        self.size_cache.insert(h, key, s);
+        s
+    }
+}
+
+/// The seed memoizing wrapper, now an alias for the unified layer.
+#[deprecated(
+    since = "0.2.0",
+    note = "MemoOracle is now ProjectedOracle, the unified oracle layer; \
+            use ProjectedOracle::new (or EngineOracle::into_shared)"
+)]
+pub type MemoOracle<O> = ProjectedOracle<O>;
+
+// ---------------------------------------------------------------------
+// DenseOracle
+// ---------------------------------------------------------------------
+
+/// Widest part mask (in structures) that [`DenseOracle`] will tabulate;
+/// wider parts fall back to the sharded memo. `2^12` costs × 8 bytes =
+/// 32 KiB per part at the cap.
+pub const DENSE_MAX_BITS: usize = 12;
+
+struct DensePart {
+    mask: Config,
+    /// `table[compress(c.bits, mask)]`, present iff the mask fits the
+    /// width cap.
+    table: Option<Vec<Cost>>,
+}
+
+/// Up-front materialization of every part's projected cost table.
+///
+/// Construction fans out over chunks of stages with
+/// `std::thread::scope` (each worker owns a disjoint slice, so the
+/// build is deterministic and lock-free); afterwards the solver hot
+/// path is a pure `Vec<Cost>` index — no locks, no hashing. Parts
+/// whose mask is wider than `max_bits` are not tabulated and served
+/// through a sharded memo instead (the size-capped fallback).
+pub struct DenseOracle<O> {
+    inner: O,
+    stats: Arc<OracleStats>,
+    stages: Vec<Vec<DensePart>>,
+    overflow: Sharded<(u64, u64), Cost>,
+    size_cache: Sharded<u64, u64>,
+}
+
+impl<O: ProjectableOracle + Sync> DenseOracle<O> {
+    /// Materialize with the default width cap ([`DENSE_MAX_BITS`]).
+    pub fn new(inner: O) -> DenseOracle<O> {
+        DenseOracle::with_stats(inner, OracleStats::shared(), DENSE_MAX_BITS)
+    }
+
+    /// Materialize, recording into `stats`, tabulating parts up to
+    /// `max_bits` mask width (`max_bits = 0` disables tabulation
+    /// entirely, leaving a pure sharded-memo oracle).
+    pub fn with_stats(inner: O, stats: Arc<OracleStats>, max_bits: usize) -> DenseOracle<O> {
+        let started = Instant::now();
+        let n_stages = inner.n_stages();
+        let mut stages: Vec<Vec<DensePart>> = (0..n_stages)
+            .map(|s| {
+                (0..inner.n_parts(s))
+                    .map(|p| DensePart {
+                        mask: inner.part_mask(s, p),
+                        table: None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .clamp(1, 16);
+        let chunk = n_stages.div_ceil(workers.max(1)).max(1);
+        let inner_ref = &inner;
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk_slice) in stages.chunks_mut(chunk).enumerate() {
+                let base = chunk_idx * chunk;
+                scope.spawn(move || {
+                    for (off, parts) in chunk_slice.iter_mut().enumerate() {
+                        let stage = base + off;
+                        for (p, part) in parts.iter_mut().enumerate() {
+                            let width = part.mask.len();
+                            if width > max_bits {
+                                continue;
+                            }
+                            let mask = part.mask;
+                            let table = (0..1u64 << width)
+                                .map(|code| inner_ref.exec_part(stage, p, expand(code, mask)))
+                                .collect();
+                            part.table = Some(table);
+                        }
+                    }
+                });
+            }
+        });
+
+        let entries: u64 = stages
+            .iter()
+            .flatten()
+            .filter_map(|p| p.table.as_ref())
+            .map(|t| t.len() as u64)
+            .sum();
+        stats.record_dense_build_nanos(started.elapsed().as_nanos() as u64);
+        stats.record_bytes_resident(entries * std::mem::size_of::<Cost>() as u64);
+        stats.record_raw_evals(entries);
+        DenseOracle {
+            inner,
+            stats,
+            stages,
+            overflow: Sharded::new(),
+            size_cache: Sharded::new(),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The shared stats bundle.
+    pub fn stats(&self) -> &Arc<OracleStats> {
+        &self.stats
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats_snapshot(&self) -> OracleStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// True if every part of every stage was tabulated (no part fell
+    /// back to memo mode).
+    pub fn is_fully_dense(&self) -> bool {
+        self.stages.iter().flatten().all(|p| p.table.is_some())
+    }
+}
+
+impl<O: ProjectableOracle + Sync> CostOracle for DenseOracle<O> {
+    fn n_stages(&self) -> usize {
+        self.inner.n_stages()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.inner.n_structures()
+    }
+
+    fn exec(&self, stage: usize, config: Config) -> Cost {
+        self.stats.record_exec_request();
+        let mut total = Cost::ZERO;
+        for (p, part) in self.stages[stage].iter().enumerate() {
+            let projected = config.intersect(part.mask);
+            if let Some(table) = &part.table {
+                self.stats.record_projected_hit();
+                total += table[compress(projected.bits(), part.mask.bits()) as usize];
+                continue;
+            }
+            // Fallback: this part's mask was too wide to tabulate.
+            let key = (part_key(stage, p), projected.bits());
+            let h = shard_hash(key.0, key.1);
+            if let Some(c) = self.overflow.get(h, &key) {
+                self.stats.record_projected_hit();
+                total += c;
+                continue;
+            }
+            let c = self.inner.exec_part(stage, p, projected);
+            self.stats.record_raw_eval();
+            self.overflow.insert(h, key, c);
+            total += c;
+        }
+        total
+    }
+
+    fn trans(&self, from: Config, to: Config) -> Cost {
+        self.inner.trans(from, to)
+    }
+
+    fn size(&self, config: Config) -> u64 {
+        let key = config.bits();
+        let h = shard_hash(key, 0x5153);
+        if let Some(s) = self.size_cache.get(h, &key) {
+            return s;
+        }
+        let s = self.inner.size(config);
+        self.size_cache.insert(h, key, s);
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit gathering (software PEXT/PDEP over a mask)
+// ---------------------------------------------------------------------
+
+/// Gather the bits of `bits` selected by `mask` into a compact code:
+/// the i-th set bit of `mask` becomes bit i of the result. Inverse of
+/// [`expand`]. Fast path: a mask of the low `w` bits is the identity.
+fn compress(bits: u64, mask: u64) -> u64 {
+    let bits = bits & mask;
+    if mask & mask.wrapping_add(1) == 0 {
+        return bits; // mask is 0..w contiguous from bit 0
+    }
+    let mut out = 0u64;
+    let mut m = mask;
+    let mut j = 0;
+    while m != 0 {
+        let i = m.trailing_zeros();
+        out |= ((bits >> i) & 1) << j;
+        j += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+/// Scatter the low bits of `code` to the set positions of `mask`:
+/// bit i of `code` lands on the i-th set bit of `mask`.
+fn expand(code: u64, mask: Config) -> Config {
+    let mbits = mask.bits();
+    if mbits & mbits.wrapping_add(1) == 0 {
+        return Config::from_bits(code & mbits);
+    }
+    let mut out = 0u64;
+    let mut m = mbits;
+    let mut j = 0;
+    while m != 0 {
+        let i = m.trailing_zeros();
+        out |= ((code >> j) & 1) << i;
+        j += 1;
+        m &= m - 1;
+    }
+    Config::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SyntheticOracle;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// A hand-rolled projectable oracle: two parts per stage with masks
+    /// {0,1} and {2}, exec = per-part affine functions, so projection
+    /// effects are observable.
+    struct TwoPart {
+        n_stages: usize,
+        evals: AtomicU64,
+    }
+
+    impl CostOracle for TwoPart {
+        fn n_stages(&self) -> usize {
+            self.n_stages
+        }
+        fn n_structures(&self) -> usize {
+            4 // structure 3 is relevant to nothing
+        }
+        fn exec(&self, stage: usize, config: Config) -> Cost {
+            self.exec_part(stage, 0, config.intersect(Config::from_bits(0b0011)))
+                + self.exec_part(stage, 1, config.intersect(Config::from_bits(0b0100)))
+        }
+        fn trans(&self, from: Config, to: Config) -> Cost {
+            c(10).scale(to.minus(from).len() as u64)
+        }
+        fn size(&self, config: Config) -> u64 {
+            config.len() as u64 * 7
+        }
+    }
+
+    impl ProjectableOracle for TwoPart {
+        fn relevance_mask(&self, _stage: usize) -> Config {
+            Config::from_bits(0b0111)
+        }
+        fn n_parts(&self, _stage: usize) -> usize {
+            2
+        }
+        fn part_mask(&self, _stage: usize, part: usize) -> Config {
+            [Config::from_bits(0b0011), Config::from_bits(0b0100)][part]
+        }
+        fn exec_part(&self, stage: usize, part: usize, config: Config) -> Cost {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            c(1000 + 100 * stage as u64 + 10 * part as u64 + config.bits())
+        }
+    }
+
+    fn two_part() -> TwoPart {
+        TwoPart {
+            n_stages: 3,
+            evals: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn compress_expand_roundtrip() {
+        for mask in [0b1u64, 0b1010, 0b1101_0110, u64::MAX >> 50, 0b111] {
+            let m = Config::from_bits(mask);
+            for code in 0..(1u64 << m.len()) {
+                let cfg = expand(code, m);
+                assert!(cfg.is_subset_of(m));
+                assert_eq!(
+                    compress(cfg.bits(), mask),
+                    code,
+                    "mask={mask:b} code={code}"
+                );
+            }
+        }
+        // Irrelevant bits outside the mask are ignored.
+        assert_eq!(compress(0b1111, 0b0101), compress(0b0101, 0b0101));
+    }
+
+    #[test]
+    fn relevance_mask_projects() {
+        let m = RelevanceMask::new(vec![Config::from_bits(0b011), Config::from_bits(0b110)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.max_width(), 2);
+        assert_eq!(
+            m.project(0, Config::from_bits(0b111)),
+            Config::from_bits(0b011)
+        );
+        assert_eq!(
+            m.project(1, Config::from_bits(0b101)),
+            Config::from_bits(0b100)
+        );
+        let full = RelevanceMask::full(2, 64);
+        assert_eq!(full.stage(0), Config::from_bits(u64::MAX));
+    }
+
+    #[test]
+    fn projected_shares_entries_across_full_configs() {
+        let o = ProjectedOracle::new(two_part());
+        // Configs 0b1000 and 0b0000 agree on every part mask.
+        let a = o.exec(0, Config::from_bits(0b1000));
+        let b = o.exec(0, Config::EMPTY);
+        assert_eq!(a, b);
+        assert_eq!(
+            o.exec_evaluations(),
+            2,
+            "two parts, one projected entry each"
+        );
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), 2);
+        let snap = o.stats_snapshot();
+        assert_eq!(snap.exec_requests, 2);
+        assert_eq!(snap.raw_exec_evals, 2);
+        assert_eq!(snap.projected_hits, 2);
+    }
+
+    #[test]
+    fn projected_matches_raw() {
+        let raw = two_part();
+        let o = ProjectedOracle::new(two_part());
+        for stage in 0..3 {
+            for bits in 0..16u64 {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(
+                    o.exec(stage, cfg),
+                    raw.exec(stage, cfg),
+                    "EXEC({stage},{cfg})"
+                );
+            }
+        }
+        for bits in 0..16u64 {
+            let cfg = Config::from_bits(bits);
+            assert_eq!(o.size(cfg), raw.size(cfg));
+            assert_eq!(o.trans(Config::EMPTY, cfg), raw.trans(Config::EMPTY, cfg));
+        }
+        // 3 stages × (4 + 2) distinct projected part configs.
+        assert_eq!(o.exec_evaluations(), 18);
+    }
+
+    #[test]
+    fn dense_matches_raw_and_reads_lock_free() {
+        let raw = two_part();
+        let o = DenseOracle::new(two_part());
+        assert!(o.is_fully_dense());
+        // Tables were built eagerly: 3 stages × (2^2 + 2^1) entries.
+        assert_eq!(o.stats_snapshot().raw_exec_evals, 18);
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), 18);
+        for stage in 0..3 {
+            for bits in 0..16u64 {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(
+                    o.exec(stage, cfg),
+                    raw.exec(stage, cfg),
+                    "EXEC({stage},{cfg})"
+                );
+            }
+        }
+        // No post-build inner evaluations: all reads hit the tables.
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), 18);
+        assert!(o.stats_snapshot().bytes_resident > 0);
+        assert!(o.stats_snapshot().dense_build_nanos > 0);
+    }
+
+    #[test]
+    fn dense_width_cap_falls_back_to_memo() {
+        let o = DenseOracle::with_stats(two_part(), OracleStats::shared(), 1);
+        assert!(!o.is_fully_dense(), "the 2-wide part must overflow");
+        // Only the 1-wide part {2} was tabulated: 3 stages × 2 entries.
+        assert_eq!(o.stats_snapshot().raw_exec_evals, 6);
+        let raw = two_part();
+        for stage in 0..3 {
+            for bits in 0..16u64 {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(
+                    o.exec(stage, cfg),
+                    raw.exec(stage, cfg),
+                    "EXEC({stage},{cfg})"
+                );
+            }
+        }
+        // Overflow memo: 3 stages × 4 projected configs of part {0,1}.
+        assert_eq!(o.stats_snapshot().raw_exec_evals, 6 + 12);
+        // Re-probing adds nothing.
+        o.exec(0, Config::from_bits(0b11));
+        assert_eq!(o.stats_snapshot().raw_exec_evals, 18);
+    }
+
+    #[test]
+    fn unprojected_restores_seed_memo_granularity() {
+        let o = ProjectedOracle::new(Unprojected(two_part()));
+        o.exec(0, Config::from_bits(0b1000));
+        o.exec(0, Config::EMPTY);
+        // Without relevance info these configs are distinct cache keys.
+        assert_eq!(o.exec_evaluations(), 2);
+        o.exec(0, Config::from_bits(0b1000));
+        assert_eq!(o.exec_evaluations(), 2, "repeat probe is a hit");
+    }
+
+    #[test]
+    fn deprecated_alias_still_works() {
+        #[allow(deprecated)]
+        let o: MemoOracle<TwoPart> = MemoOracle::new(two_part());
+        assert_eq!(o.exec(0, Config::EMPTY), two_part().exec(0, Config::EMPTY));
+    }
+
+    #[test]
+    fn shared_oracle_is_object_safe_and_unified() {
+        let o = SyntheticOracle::from_fn(
+            2,
+            2,
+            |s, cfg| c(10 + s as u64 + cfg.len() as u64),
+            vec![c(1), c(2)],
+            c(1),
+            vec![1, 2],
+        );
+        let as_dyn: &dyn SharedOracle = &o;
+        assert_eq!(as_dyn.exec(0, Config::EMPTY), c(10));
+        fn takes_shared<O: SharedOracle>(o: &O) -> usize {
+            o.n_stages()
+        }
+        assert_eq!(takes_shared(&o), 2);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let stats = OracleStats::default();
+        stats.record_exec_request();
+        stats.record_raw_eval();
+        stats.record_projected_hit();
+        stats.record_whatif_calls(5);
+        let line = stats.snapshot().to_string();
+        assert!(line.contains("1 exec requests"), "{line}");
+        assert!(line.contains("(50.0%)"), "{line}");
+        assert!(line.contains("5 what-if calls"), "{line}");
+    }
+}

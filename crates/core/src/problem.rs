@@ -1,7 +1,6 @@
 use crate::config::Config;
+use crate::oracle::{DenseOracle, OracleStats, ProjectableOracle};
 use cdpd_types::Cost;
-use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// The `EXEC` / `TRANS` / `SIZE` cost oracle of the paper's §2.
 ///
@@ -76,51 +75,24 @@ impl Problem {
     }
 }
 
-/// A table-driven oracle for tests, simulations, and benchmarks.
-///
-/// `EXEC` is materialized as a dense `[stage][config.bits]` matrix (so
-/// `m` must stay small); `TRANS` is per-structure build costs plus a
-/// flat drop cost; `SIZE` is additive over per-structure sizes.
-pub struct SyntheticOracle {
+/// The closure-backed inner oracle [`SyntheticOracle`] materializes.
+/// `TRANS` is per-structure build costs plus a flat drop cost; `SIZE`
+/// is additive over per-structure sizes. Relevance info is the trivial
+/// default (one full-mask part per stage), which makes the dense layer
+/// tabulate the complete `[stage][config]` matrix — exactly the table
+/// the seed implementation kept by hand.
+struct FnOracle {
+    n_stages: usize,
     n_structures: usize,
-    exec: Vec<Vec<Cost>>,
+    exec: Box<dyn Fn(usize, Config) -> Cost + Send + Sync>,
     build: Vec<Cost>,
     drop_cost: Cost,
     sizes: Vec<u64>,
 }
 
-impl SyntheticOracle {
-    /// Materialize an oracle from a cost function.
-    ///
-    /// # Panics
-    /// Panics if `n_structures > 16` (the dense matrix would explode)
-    /// or the `build`/`sizes` vectors have the wrong length.
-    pub fn from_fn(
-        n_stages: usize,
-        n_structures: usize,
-        exec: impl Fn(usize, Config) -> Cost,
-        build: Vec<Cost>,
-        drop_cost: Cost,
-        sizes: Vec<u64>,
-    ) -> SyntheticOracle {
-        assert!(n_structures <= 16, "synthetic oracle caps m at 16");
-        assert_eq!(build.len(), n_structures);
-        assert_eq!(sizes.len(), n_structures);
-        let configs = 1usize << n_structures;
-        let exec = (0..n_stages)
-            .map(|s| {
-                (0..configs)
-                    .map(|bits| exec(s, Config::from_bits(bits as u64)))
-                    .collect()
-            })
-            .collect();
-        SyntheticOracle { n_structures, exec, build, drop_cost, sizes }
-    }
-}
-
-impl CostOracle for SyntheticOracle {
+impl CostOracle for FnOracle {
     fn n_stages(&self) -> usize {
-        self.exec.len()
+        self.n_stages
     }
 
     fn n_structures(&self) -> usize {
@@ -128,7 +100,7 @@ impl CostOracle for SyntheticOracle {
     }
 
     fn exec(&self, stage: usize, config: Config) -> Cost {
-        self.exec[stage][config.bits() as usize]
+        (self.exec)(stage, config)
     }
 
     fn trans(&self, from: Config, to: Config) -> Cost {
@@ -147,76 +119,79 @@ impl CostOracle for SyntheticOracle {
     }
 }
 
-/// A memoizing wrapper: caches `exec` and `size` results, which is what
-/// makes engine-backed oracles affordable inside the solvers (the same
-/// `(stage, config)` pair is probed by every algorithm, repeatedly).
+impl ProjectableOracle for FnOracle {}
+
+/// A table-driven oracle for tests, simulations, and benchmarks.
 ///
-/// `trans` is not cached: engine transition costs are already cheap to
-/// compute (set difference over per-structure costs).
-pub struct MemoOracle<O> {
-    inner: O,
-    exec_cache: Mutex<HashMap<(usize, u64), Cost>>,
-    size_cache: Mutex<HashMap<u64, u64>>,
+/// Built on the production [`DenseOracle`] layer: `EXEC` is
+/// materialized up front as per-stage dense cost tables (so `m` must
+/// stay small), which means every test and simulation exercises the
+/// same cache path the engine-backed advisor uses.
+pub struct SyntheticOracle {
+    dense: DenseOracle<FnOracle>,
 }
 
-impl<O: CostOracle> MemoOracle<O> {
-    /// Wrap `inner`.
-    pub fn new(inner: O) -> MemoOracle<O> {
-        MemoOracle {
-            inner,
-            exec_cache: Mutex::new(HashMap::new()),
-            size_cache: Mutex::new(HashMap::new()),
+impl SyntheticOracle {
+    /// Materialize an oracle from a cost function.
+    ///
+    /// # Panics
+    /// Panics if `n_structures > 16` (the dense matrix would explode)
+    /// or the `build`/`sizes` vectors have the wrong length.
+    pub fn from_fn(
+        n_stages: usize,
+        n_structures: usize,
+        exec: impl Fn(usize, Config) -> Cost + Send + Sync + 'static,
+        build: Vec<Cost>,
+        drop_cost: Cost,
+        sizes: Vec<u64>,
+    ) -> SyntheticOracle {
+        assert!(n_structures <= 16, "synthetic oracle caps m at 16");
+        assert_eq!(build.len(), n_structures);
+        assert_eq!(sizes.len(), n_structures);
+        let inner = FnOracle {
+            n_stages,
+            n_structures,
+            exec: Box::new(exec),
+            build,
+            drop_cost,
+            sizes,
+        };
+        // Width cap 16 ≥ m guarantees full tabulation — the dense
+        // layer's memo fallback is never taken here.
+        SyntheticOracle {
+            dense: DenseOracle::with_stats(inner, OracleStats::shared(), 16),
         }
     }
-
-    /// The wrapped oracle.
-    pub fn inner(&self) -> &O {
-        &self.inner
-    }
-
-    /// Number of distinct `(stage, config)` exec evaluations so far.
-    pub fn exec_evaluations(&self) -> usize {
-        self.exec_cache.lock().expect("cache lock").len()
-    }
 }
 
-impl<O: CostOracle> CostOracle for MemoOracle<O> {
+impl CostOracle for SyntheticOracle {
     fn n_stages(&self) -> usize {
-        self.inner.n_stages()
+        self.dense.n_stages()
     }
 
     fn n_structures(&self) -> usize {
-        self.inner.n_structures()
+        self.dense.n_structures()
     }
 
     fn exec(&self, stage: usize, config: Config) -> Cost {
-        let key = (stage, config.bits());
-        if let Some(&c) = self.exec_cache.lock().expect("cache lock").get(&key) {
-            return c;
-        }
-        let c = self.inner.exec(stage, config);
-        self.exec_cache.lock().expect("cache lock").insert(key, c);
-        c
+        self.dense.exec(stage, config)
     }
 
     fn trans(&self, from: Config, to: Config) -> Cost {
-        self.inner.trans(from, to)
+        self.dense.trans(from, to)
     }
 
     fn size(&self, config: Config) -> u64 {
-        let key = config.bits();
-        if let Some(&s) = self.size_cache.lock().expect("cache lock").get(&key) {
-            return s;
-        }
-        let s = self.inner.size(config);
-        self.size_cache.lock().expect("cache lock").insert(key, s);
-        s
+        self.dense.size(config)
     }
 }
+
+impl ProjectableOracle for SyntheticOracle {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::ProjectedOracle;
 
     fn c(io: u64) -> Cost {
         Cost::from_ios(io)
@@ -243,6 +218,22 @@ mod tests {
     }
 
     #[test]
+    fn synthetic_is_fully_materialized() {
+        // 3 stages × 2^2 configs, tabulated at construction; probing
+        // afterwards adds no inner evaluations.
+        let o = oracle();
+        let before = o.dense.stats_snapshot();
+        assert_eq!(before.raw_exec_evals, 12);
+        for stage in 0..3 {
+            for bits in 0..4u64 {
+                o.exec(stage, Config::from_bits(bits));
+            }
+        }
+        assert_eq!(o.dense.stats_snapshot().raw_exec_evals, 12);
+        assert!(o.dense.is_fully_dense());
+    }
+
+    #[test]
     fn synthetic_trans_builds_and_drops() {
         let o = oracle();
         let e = Config::EMPTY;
@@ -265,7 +256,10 @@ mod tests {
     #[test]
     fn problem_fits_space_bound() {
         let o = oracle();
-        let p = Problem { space_bound: Some(15), ..Problem::default() };
+        let p = Problem {
+            space_bound: Some(15),
+            ..Problem::default()
+        };
         assert!(p.fits(&o, Config::single(0)));
         assert!(!p.fits(&o, Config::single(1)));
         let unbounded = Problem::default();
@@ -273,8 +267,8 @@ mod tests {
     }
 
     #[test]
-    fn memo_caches_exec() {
-        let o = MemoOracle::new(oracle());
+    fn projected_layer_caches_exec_over_synthetic() {
+        let o = ProjectedOracle::new(oracle());
         assert_eq!(o.exec_evaluations(), 0);
         let a = o.exec(1, Config::single(0));
         let b = o.exec(1, Config::single(0));

@@ -65,7 +65,12 @@ pub fn solve_with_stats(
         if changes <= k {
             let schedule = Schedule::evaluate(oracle, problem, configs);
             debug_assert_eq!(schedule.total_cost(), path.cost);
-            return Ok((schedule, RankingStats { paths_ranked: ranked }));
+            return Ok((
+                schedule,
+                RankingStats {
+                    paths_ranked: ranked,
+                },
+            ));
         }
     }
     Err(Error::Infeasible(format!(
@@ -101,7 +106,7 @@ mod tests {
         SyntheticOracle::from_fn(
             n,
             m,
-            |stage, cfg| {
+            move |stage, cfg| {
                 let preferred = (stage * m) / n;
                 let minor = (preferred + 1) % m;
                 let want = if stage % 2 == 1 { minor } else { preferred };
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     fn change_counting_respects_strict_mode() {
         let p_loose = Problem::default();
-        let p_strict = Problem { count_initial_change: true, ..Problem::default() };
+        let p_strict = Problem {
+            count_initial_change: true,
+            ..Problem::default()
+        };
         let cfgs = vec![Config::single(0), Config::single(0), Config::single(1)];
         assert_eq!(count_changes(&p_loose, &cfgs), 1);
         assert_eq!(count_changes(&p_strict, &cfgs), 2);

@@ -39,7 +39,12 @@ impl Schedule {
         if let Some(f) = problem.final_config {
             trans_cost += oracle.trans(prev, f);
         }
-        Schedule { configs, exec_cost, trans_cost, changes }
+        Schedule {
+            configs,
+            exec_cost,
+            trans_cost,
+            changes,
+        }
     }
 
     /// `exec_cost + trans_cost` — the paper's sequence execution cost.
@@ -181,7 +186,10 @@ mod tests {
         assert_eq!(loose.changes, 0);
         let strict = Schedule::evaluate(
             &o,
-            &Problem { count_initial_change: true, ..Problem::default() },
+            &Problem {
+                count_initial_change: true,
+                ..Problem::default()
+            },
             vec![s0, s0],
         );
         assert_eq!(strict.changes, 1);
@@ -190,7 +198,10 @@ mod tests {
     #[test]
     fn final_config_adds_closing_trans() {
         let o = oracle();
-        let p = Problem { final_config: Some(Config::EMPTY), ..Problem::default() };
+        let p = Problem {
+            final_config: Some(Config::EMPTY),
+            ..Problem::default()
+        };
         let s0 = Config::single(0);
         let sched = Schedule::evaluate(&o, &p, vec![s0, s0]);
         assert_eq!(sched.trans_cost, c(30 + 1), "build + closing drop");
@@ -215,7 +226,10 @@ mod tests {
     #[test]
     fn validate_catches_violations() {
         let o = oracle();
-        let p = Problem { space_bound: Some(5), ..Problem::default() };
+        let p = Problem {
+            space_bound: Some(5),
+            ..Problem::default()
+        };
         let s0 = Config::single(0);
         let s1 = Config::single(1); // size 7 > bound 5
         let good = Schedule::evaluate(&o, &p, vec![s0; 4]);

@@ -51,11 +51,7 @@ pub(crate) fn usable_candidates(
 }
 
 /// Build the (unconstrained) sequence graph over `candidates`.
-pub(crate) fn build(
-    oracle: &dyn CostOracle,
-    problem: &Problem,
-    candidates: &[Config],
-) -> SeqGraph {
+pub(crate) fn build(oracle: &dyn CostOracle, problem: &Problem, candidates: &[Config]) -> SeqGraph {
     let n = oracle.n_stages();
     let mut dag = Dag::with_capacity(n * candidates.len() + 2);
     let source = dag.add_node(None, Cost::ZERO);
@@ -117,7 +113,11 @@ pub fn solve(
         .ok_or_else(|| Error::Infeasible("sequence graph has no finite-cost path".into()))?;
     let configs = path_to_configs(&graph, &candidates, &sp.nodes);
     let schedule = Schedule::evaluate(oracle, problem, configs);
-    debug_assert_eq!(schedule.total_cost(), sp.cost, "graph and evaluator disagree");
+    debug_assert_eq!(
+        schedule.total_cost(),
+        sp.cost,
+        "graph and evaluator disagree"
+    );
     Ok(schedule)
 }
 
@@ -178,7 +178,10 @@ mod tests {
             c(2),
             vec![1, 1],
         );
-        let p = Problem { final_config: Some(Config::EMPTY), ..Problem::default() };
+        let p = Problem {
+            final_config: Some(Config::EMPTY),
+            ..Problem::default()
+        };
         let cands = enumerate_configs(&o, None, None).unwrap();
         let got = solve(&o, &p, &cands).unwrap();
 
@@ -188,7 +191,10 @@ mod tests {
             for &b in &cands {
                 for &d in &cands {
                     let s = Schedule::evaluate(&o, &p, vec![a, b, d]);
-                    if best.as_ref().is_none_or(|x| s.total_cost() < x.total_cost()) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|x| s.total_cost() < x.total_cost())
+                    {
                         best = Some(s);
                     }
                 }
@@ -207,7 +213,10 @@ mod tests {
             c(1),
             vec![1, 100],
         );
-        let p = Problem { space_bound: Some(10), ..Problem::default() };
+        let p = Problem {
+            space_bound: Some(10),
+            ..Problem::default()
+        };
         let cands = enumerate_configs(&o, None, None).unwrap();
         let s = solve(&o, &p, &cands).unwrap();
         assert!(
@@ -220,7 +229,10 @@ mod tests {
     #[test]
     fn infeasible_inputs_error() {
         let o = alternating_oracle(2, 5);
-        let p = Problem { space_bound: Some(0), ..Problem::default() };
+        let p = Problem {
+            space_bound: Some(0),
+            ..Problem::default()
+        };
         // Only the empty config fits; that is still feasible.
         let cands = enumerate_configs(&o, None, None).unwrap();
         assert!(solve(&o, &p, &cands).is_ok());

@@ -13,12 +13,7 @@ use cdpd_types::Cost;
 
 /// A random instance: n stages, m structures, cost tables from the
 /// supplied byte vectors (consumed cyclically).
-fn instance(
-    n: usize,
-    m: usize,
-    exec_seed: &[u8],
-    build_seed: &[u8],
-) -> SyntheticOracle {
+fn instance(n: usize, m: usize, exec_seed: &[u8], build_seed: &[u8]) -> SyntheticOracle {
     let exec: Vec<u64> = exec_seed.iter().map(|&b| 1 + b as u64).collect();
     let build: Vec<Cost> = (0..m)
         .map(|i| Cost::from_ios(1 + build_seed[i % build_seed.len()] as u64))

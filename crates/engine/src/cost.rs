@@ -62,7 +62,11 @@ impl CostModel {
     pub fn estimate_shape(stats: &TableStats, cols: &[ColumnId]) -> IndexShape {
         let rows = stats.row_count;
         if rows == 0 {
-            return IndexShape { leaf_pages: 1, height: 1, total_pages: 1 };
+            return IndexShape {
+                leaf_pages: 1,
+                height: 1,
+                total_pages: 1,
+            };
         }
         let entry = Self::key_width(stats, cols) + Self::LEAF_ENTRY_OVERHEAD;
         let leaf_cap = (PAGE_SIZE as f64 * Self::FILL / entry).max(1.0);
@@ -148,7 +152,9 @@ impl CostModel {
     /// Maintenance cost of an `UPDATE` touching ~`rows` rows for one
     /// index: affected indexes pay a delete + insert per row.
     pub fn update_maintenance(shape: IndexShape, rows: f64) -> Cost {
-        Self::index_entry_op(shape).scale(2).scale(rows.ceil() as u64)
+        Self::index_entry_op(shape)
+            .scale(2)
+            .scale(rows.ceil() as u64)
     }
 
     /// Maintenance cost of a `DELETE` touching ~`rows` rows for one
@@ -169,7 +175,12 @@ mod tests {
         let mut b = StatsBuilder::new(4, rows);
         for i in 0..rows as i64 {
             let v = (i * 2654435761) % 500_000;
-            b.add_row(&[Value::Int(v), Value::Int(v / 2), Value::Int(v / 3), Value::Int(v / 4)]);
+            b.add_row(&[
+                Value::Int(v),
+                Value::Int(v / 2),
+                Value::Int(v / 3),
+                Value::Int(v / 4),
+            ]);
         }
         // ~200 rows/page (36 encoded bytes + 4 slot bytes).
         b.finish(rows / 200)
@@ -259,7 +270,14 @@ mod tests {
     fn empty_table_has_minimal_shape() {
         let stats = StatsBuilder::new(2, 0).finish(0);
         let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
-        assert_eq!(shape, IndexShape { leaf_pages: 1, height: 1, total_pages: 1 });
+        assert_eq!(
+            shape,
+            IndexShape {
+                leaf_pages: 1,
+                height: 1,
+                total_pages: 1
+            }
+        );
         assert_eq!(CostModel::seq_scan(&stats).ios(), 1);
     }
 }

@@ -224,9 +224,14 @@ impl Database {
         }
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         let btree = BTree::bulk_load(pager, entries)?;
-        entry
-            .indexes
-            .insert(name.clone(), IndexEntry { spec: spec.clone(), columns, btree });
+        entry.indexes.insert(
+            name.clone(),
+            IndexEntry {
+                spec: spec.clone(),
+                columns,
+                btree,
+            },
+        );
         Ok(DdlReport {
             io: self.pager.stats().delta(before),
             created: vec![name],
@@ -311,14 +316,20 @@ impl Database {
     fn run_select(&self, stmt: &SelectStmt, materialize: bool) -> Result<QueryResult> {
         let entry = self.table(&stmt.table)?;
         let stats = entry.stats.as_ref().ok_or_else(|| {
-            Error::InvalidArgument(format!("table {} has no statistics; run analyze()", stmt.table))
+            Error::InvalidArgument(format!(
+                "table {} has no statistics; run analyze()",
+                stmt.table
+            ))
         })?;
         let infos = Self::index_infos(entry);
         let planner = Planner::new(&entry.schema, stats, &infos);
         let planned: PlannedQuery = planner.plan(stmt)?;
         let before = self.pager.stats();
-        let ExecOutcome { count, rows, aggregate } =
-            exec::execute(entry, &planner, &planned, materialize)?;
+        let ExecOutcome {
+            count,
+            rows,
+            aggregate,
+        } = exec::execute(entry, &planner, &planned, materialize)?;
         Ok(QueryResult {
             count,
             rows,
@@ -344,7 +355,10 @@ impl Database {
     pub fn explain(&self, stmt: &SelectStmt) -> Result<String> {
         let entry = self.table(&stmt.table)?;
         let stats = entry.stats.as_ref().ok_or_else(|| {
-            Error::InvalidArgument(format!("table {} has no statistics; run analyze()", stmt.table))
+            Error::InvalidArgument(format!(
+                "table {} has no statistics; run analyze()",
+                stmt.table
+            ))
         })?;
         let infos = Self::index_infos(entry);
         let planner = Planner::new(&entry.schema, stats, &infos);
@@ -367,10 +381,7 @@ impl Database {
     /// Locate the rows a write statement affects, using the cost-based
     /// access path. Returns rids plus the plan (fully materialized
     /// before mutation — no Halloween hazard).
-    fn locate_write(
-        &self,
-        stmt: &Dml,
-    ) -> Result<(Vec<Rid>, crate::planner::PlannedWrite)> {
+    fn locate_write(&self, stmt: &Dml) -> Result<(Vec<Rid>, crate::planner::PlannedWrite)> {
         let entry = self.table(stmt.table())?;
         let stats = entry.stats.as_ref().ok_or_else(|| {
             Error::InvalidArgument(format!(
@@ -503,10 +514,7 @@ impl Database {
             // advisory and the canonical name is reported back in the
             // plan string. DROP INDEX takes the canonical name.
             Statement::CreateIndex { table, columns, .. } => {
-                let spec = IndexSpec {
-                    table,
-                    columns,
-                };
+                let spec = IndexSpec { table, columns };
                 let report = self.create_index(&spec)?;
                 Ok(QueryResult {
                     count: 0,
@@ -594,8 +602,11 @@ mod tests {
         let mut db = Database::new();
         db.create_table("t", abcd_schema()).unwrap();
         db.execute_sql("INSERT INTO t VALUES (1, 2, 3, 4)").unwrap();
-        db.insert("t", &[Value::Int(5), Value::Int(6), Value::Int(7), Value::Int(8)])
-            .unwrap();
+        db.insert(
+            "t",
+            &[Value::Int(5), Value::Int(6), Value::Int(7), Value::Int(8)],
+        )
+        .unwrap();
         db.analyze("t").unwrap();
         let r = db.execute_sql("SELECT b FROM t WHERE a = 5").unwrap();
         assert_eq!(r.count, 1);
@@ -659,7 +670,12 @@ mod tests {
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         db.insert(
             "t",
-            &[Value::Int(424242), Value::Int(0), Value::Int(0), Value::Int(0)],
+            &[
+                Value::Int(424242),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+            ],
         )
         .unwrap();
         // Stats are stale (424242 unseen), but execution must find it.
@@ -674,16 +690,21 @@ mod tests {
         let a = IndexSpec::new("t", &["a"]);
         let cd = IndexSpec::new("t", &["c", "d"]);
         let b = IndexSpec::new("t", &["b"]);
-        db.apply_configuration("t", &[a.clone(), cd.clone()]).unwrap();
+        db.apply_configuration("t", &[a.clone(), cd.clone()])
+            .unwrap();
         assert!(db.has_index(&a) && db.has_index(&cd));
 
-        let report = db.apply_configuration("t", &[a.clone(), b.clone()]).unwrap();
+        let report = db
+            .apply_configuration("t", &[a.clone(), b.clone()])
+            .unwrap();
         assert_eq!(report.dropped, vec![cd.name()]);
         assert_eq!(report.created, vec![b.name()]);
         assert!(db.has_index(&b) && !db.has_index(&cd));
 
         // No-op transition costs nothing.
-        let report = db.apply_configuration("t", &[a.clone(), b.clone()]).unwrap();
+        let report = db
+            .apply_configuration("t", &[a.clone(), b.clone()])
+            .unwrap();
         assert_eq!(report.io.total(), 0);
         assert!(report.created.is_empty() && report.dropped.is_empty());
     }
@@ -708,8 +729,10 @@ mod tests {
         db.create_index(&a).unwrap();
         let after_first = db.page_count();
         for _ in 0..5 {
-            db.apply_configuration("t", std::slice::from_ref(&b)).unwrap();
-            db.apply_configuration("t", std::slice::from_ref(&a)).unwrap();
+            db.apply_configuration("t", std::slice::from_ref(&b))
+                .unwrap();
+            db.apply_configuration("t", std::slice::from_ref(&a))
+                .unwrap();
         }
         // Ten rebuilds later the footprint must not have grown by more
         // than one transient index worth of pages.
@@ -755,17 +778,26 @@ mod tests {
         let mut db = load_db(5_000, 500);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         db.create_index(&IndexSpec::new("t", &["b"])).unwrap();
-        let before = db.execute_sql("SELECT COUNT(*) FROM t WHERE a = 123").unwrap().count;
+        let before = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE a = 123")
+            .unwrap()
+            .count;
         assert!(before > 0);
-        let upd = db.execute_sql("UPDATE t SET b = 999999 WHERE a = 123").unwrap();
+        let upd = db
+            .execute_sql("UPDATE t SET b = 999999 WHERE a = 123")
+            .unwrap();
         assert_eq!(upd.count, before);
         assert!(upd.plan.starts_with("Update via IndexSeek"), "{}", upd.plan);
         // The b-index must now find the rows under the new value.
-        let hit = db.execute_sql("SELECT COUNT(*) FROM t WHERE b = 999999").unwrap();
+        let hit = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE b = 999999")
+            .unwrap();
         assert!(hit.plan.contains("IndexSeek"), "{}", hit.plan);
         assert_eq!(hit.count, before);
         // And the a-index is unchanged (a untouched).
-        let again = db.execute_sql("SELECT COUNT(*) FROM t WHERE a = 123").unwrap();
+        let again = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(again.count, before);
     }
 
@@ -773,19 +805,28 @@ mod tests {
     fn delete_executes_and_maintains_indexes() {
         let mut db = load_db(5_000, 500);
         db.create_index(&IndexSpec::new("t", &["c"])).unwrap();
-        let victims = db.execute_sql("SELECT COUNT(*) FROM t WHERE c = 77").unwrap().count;
+        let victims = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE c = 77")
+            .unwrap()
+            .count;
         assert!(victims > 0);
         let del = db.execute_sql("DELETE FROM t WHERE c = 77").unwrap();
         assert_eq!(del.count, victims);
         assert_eq!(
-            db.execute_sql("SELECT COUNT(*) FROM t WHERE c = 77").unwrap().count,
+            db.execute_sql("SELECT COUNT(*) FROM t WHERE c = 77")
+                .unwrap()
+                .count,
             0
         );
         // Index and heap agree after the delete.
-        let via_index = db.execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0").unwrap();
+        let via_index = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0")
+            .unwrap();
         let mut db2 = load_db(5_000, 500);
         db2.execute_sql("DELETE FROM t WHERE c = 77").unwrap();
-        let via_scan = db2.execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0").unwrap();
+        let via_scan = db2
+            .execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0")
+            .unwrap();
         assert_eq!(via_index.count, via_scan.count);
     }
 
@@ -814,7 +855,9 @@ mod tests {
         let r = db.execute_sql("UPDATE t SET a = 42").unwrap();
         assert_eq!(r.count, 1_000);
         assert_eq!(
-            db.execute_sql("SELECT COUNT(*) FROM t WHERE a = 42").unwrap().count,
+            db.execute_sql("SELECT COUNT(*) FROM t WHERE a = 42")
+                .unwrap()
+                .count,
             1_000
         );
     }
@@ -828,13 +871,19 @@ mod tests {
         let est = r.est_cost.ios().max(1) as f64;
         let meas = r.io.total().max(1) as f64;
         let ratio = est.max(meas) / est.min(meas);
-        assert!(ratio < 3.0, "estimate {est} vs measured {meas} ({})", r.plan);
+        assert!(
+            ratio < 3.0,
+            "estimate {est} vs measured {meas} ({})",
+            r.plan
+        );
     }
 
     #[test]
     fn count_star_and_star_queries() {
         let mut db = load_db(2_000, 100);
-        let r = db.execute_sql("SELECT COUNT(*) FROM t WHERE a = 5").unwrap();
+        let r = db
+            .execute_sql("SELECT COUNT(*) FROM t WHERE a = 5")
+            .unwrap();
         assert!(r.count > 0);
         assert!(r.rows.is_none());
         let r = db.execute_sql("SELECT * FROM t WHERE a = 5").unwrap();
@@ -856,15 +905,18 @@ mod tests {
         assert_eq!(results.len(), 4);
         db.analyze("s").unwrap();
         let results = db
-            .execute_script(
-                "CREATE INDEX i_x ON s (x); SELECT SUM(y) FROM s WHERE x >= 2;",
-            )
+            .execute_script("CREATE INDEX i_x ON s (x); SELECT SUM(y) FROM s WHERE x >= 2;")
             .unwrap();
-        assert!(results[0].plan.contains("ix_s_x"), "canonical name reported");
+        assert!(
+            results[0].plan.contains("ix_s_x"),
+            "canonical name reported"
+        );
         assert_eq!(results[1].aggregate, Some(Value::Int(50)));
         // First error aborts, earlier statements stay applied (drop
         // uses the canonical name).
-        let err = db.execute_script("DROP INDEX ix_s_x; DROP INDEX nope;").unwrap_err();
+        let err = db
+            .execute_script("DROP INDEX ix_s_x; DROP INDEX nope;")
+            .unwrap_err();
         assert!(err.to_string().contains("nope"), "{err}");
         assert!(!db.has_index(&IndexSpec::new("s", &["x"])));
     }
@@ -882,18 +934,28 @@ mod tests {
             .collect();
         assert!(!vals.is_empty());
 
-        let sum = db.execute_sql("SELECT SUM(b) FROM t WHERE a = 123").unwrap();
+        let sum = db
+            .execute_sql("SELECT SUM(b) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(sum.aggregate, Some(Value::Int(vals.iter().sum())));
-        let min = db.execute_sql("SELECT MIN(b) FROM t WHERE a = 123").unwrap();
+        let min = db
+            .execute_sql("SELECT MIN(b) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(min.aggregate, Some(Value::Int(*vals.iter().min().unwrap())));
-        let max = db.execute_sql("SELECT MAX(b) FROM t WHERE a = 123").unwrap();
+        let max = db
+            .execute_sql("SELECT MAX(b) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(max.aggregate, Some(Value::Int(*vals.iter().max().unwrap())));
-        let avg = db.execute_sql("SELECT AVG(b) FROM t WHERE a = 123").unwrap();
+        let avg = db
+            .execute_sql("SELECT AVG(b) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(
             avg.aggregate,
             Some(Value::Int(vals.iter().sum::<i64>() / vals.len() as i64))
         );
-        let count = db.execute_sql("SELECT COUNT(b) FROM t WHERE a = 123").unwrap();
+        let count = db
+            .execute_sql("SELECT COUNT(b) FROM t WHERE a = 123")
+            .unwrap();
         assert_eq!(count.aggregate, Some(Value::Int(vals.len() as i64)));
     }
 
@@ -903,13 +965,22 @@ mod tests {
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         // Brute-force extremes via a scan on another column path.
         let all = db.execute_sql("SELECT a FROM t").unwrap();
-        let vals: Vec<i64> = all.rows.unwrap().iter().map(|r| r[0].as_int().unwrap()).collect();
+        let vals: Vec<i64> = all
+            .rows
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
         let (lo, hi) = (*vals.iter().min().unwrap(), *vals.iter().max().unwrap());
 
         let min = db.execute_sql("SELECT MIN(a) FROM t").unwrap();
         assert!(min.plan.contains("IndexExtremum"), "{}", min.plan);
         assert_eq!(min.aggregate, Some(Value::Int(lo)));
-        assert!(min.io.total() < 10, "O(height) reads, got {}", min.io.total());
+        assert!(
+            min.io.total() < 10,
+            "O(height) reads, got {}",
+            min.io.total()
+        );
 
         let max = db.execute_sql("SELECT MAX(a) FROM t").unwrap();
         assert!(max.plan.contains("IndexExtremum"), "{}", max.plan);
@@ -926,7 +997,12 @@ mod tests {
         let r = db
             .execute_sql("SELECT a FROM t WHERE b = 77 ORDER BY a")
             .unwrap();
-        let got: Vec<i64> = r.rows.unwrap().iter().map(|x| x[0].as_int().unwrap()).collect();
+        let got: Vec<i64> = r
+            .rows
+            .unwrap()
+            .iter()
+            .map(|x| x[0].as_int().unwrap())
+            .collect();
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(got, sorted, "ascending order");
@@ -935,7 +1011,12 @@ mod tests {
         let r = db
             .execute_sql("SELECT a FROM t WHERE b = 77 ORDER BY a DESC LIMIT 2")
             .unwrap();
-        let desc: Vec<i64> = r.rows.unwrap().iter().map(|x| x[0].as_int().unwrap()).collect();
+        let desc: Vec<i64> = r
+            .rows
+            .unwrap()
+            .iter()
+            .map(|x| x[0].as_int().unwrap())
+            .collect();
         assert_eq!(desc.len(), 2);
         assert_eq!(desc[0], *sorted.last().unwrap());
         assert!(desc[0] >= desc[1]);
@@ -954,8 +1035,12 @@ mod tests {
         let r2 = db
             .execute_sql("SELECT a FROM t WHERE b = 77 ORDER BY a")
             .unwrap();
-        let got2: Vec<i64> =
-            r2.rows.unwrap().iter().map(|x| x[0].as_int().unwrap()).collect();
+        let got2: Vec<i64> = r2
+            .rows
+            .unwrap()
+            .iter()
+            .map(|x| x[0].as_int().unwrap())
+            .collect();
         assert_eq!(got2, sorted);
     }
 

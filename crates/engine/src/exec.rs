@@ -43,16 +43,26 @@ pub(crate) fn execute(
     let materialize = (materialize || need_rows) && !planned.count_only;
     let mut outcome = match &planned.plan {
         Plan::SeqScan => seq_scan(table, planned, materialize)?,
-        Plan::IndexSeek { index, eq_prefix, covering } => {
+        Plan::IndexSeek {
+            index,
+            eq_prefix,
+            covering,
+        } => {
             let probe = planner.seek_probe(planned, *index, *eq_prefix);
-            index_seek(table, planned, planner, *index, &probe, *covering, materialize)?
+            index_seek(
+                table,
+                planned,
+                planner,
+                *index,
+                &probe,
+                *covering,
+                materialize,
+            )?
         }
         Plan::IndexRange { index, covering } => {
             index_range(table, planned, planner, *index, *covering, materialize)?
         }
-        Plan::IndexOnlyScan { index } => {
-            index_only(table, planned, planner, *index, materialize)?
-        }
+        Plan::IndexOnlyScan { index } => index_only(table, planned, planner, *index, materialize)?,
         Plan::IndexExtremum { .. } => unreachable!("handled above"),
     };
 
@@ -117,9 +127,9 @@ fn fold_aggregate(func: AggFunc, rows: Vec<Vec<Value>>) -> Result<Value> {
             let mut sum: i64 = 0;
             let mut n: i64 = 0;
             for v in values {
-                let i = v.as_int().ok_or_else(|| {
-                    Error::TypeMismatch("SUM/AVG need an integer column".into())
-                })?;
+                let i = v
+                    .as_int()
+                    .ok_or_else(|| Error::TypeMismatch("SUM/AVG need an integer column".into()))?;
                 sum = sum.wrapping_add(i);
                 n += 1;
             }
@@ -155,10 +165,18 @@ fn index_extremum(
     };
     // For aggregate queries `count` is the number of rows aggregated,
     // matching the fold-based paths.
-    Ok(ExecOutcome { count: entry.btree.entry_count(), rows: None, aggregate })
+    Ok(ExecOutcome {
+        count: entry.btree.entry_count(),
+        rows: None,
+        aggregate,
+    })
 }
 
-fn index_entry<'t>(table: &'t TableEntry, planner: &Planner<'_>, index: usize) -> Result<&'t IndexEntry> {
+fn index_entry<'t>(
+    table: &'t TableEntry,
+    planner: &Planner<'_>,
+    index: usize,
+) -> Result<&'t IndexEntry> {
     let name = &planner.indexes()[index].name;
     table
         .indexes
@@ -172,7 +190,9 @@ fn index_entry<'t>(table: &'t TableEntry, planner: &Planner<'_>, index: usize) -
 fn output_columns(table: &TableEntry, planned: &PlannedQuery) -> Vec<ColumnId> {
     let mut cols = match &planned.projection {
         Some(cols) => cols.clone(),
-        None => (0..table.schema.len()).map(|i| ColumnId(i as u16)).collect(),
+        None => (0..table.schema.len())
+            .map(|i| ColumnId(i as u16))
+            .collect(),
     };
     if let Some((col, _)) = planned.order_by {
         if !cols.contains(&col) {
@@ -224,9 +244,9 @@ impl KeyMatcher {
         skip_prefix: usize,
     ) -> KeyMatcher {
         let cols = &planner.indexes()[index].columns;
-        let all_int = cols.iter().all(|c| {
-            table.schema.column(*c).map(|d| d.ty) == Some(ValueType::Int)
-        });
+        let all_int = cols
+            .iter()
+            .all(|c| table.schema.column(*c).map(|d| d.ty) == Some(ValueType::Int));
         let mut checks = Vec::new();
         for bc in &planned.conditions {
             if let Some(pos) = cols.iter().position(|c| *c == bc.column) {
@@ -308,11 +328,7 @@ fn project_key(
 
 // --- Access paths --------------------------------------------------------
 
-fn seq_scan(
-    table: &TableEntry,
-    planned: &PlannedQuery,
-    materialize: bool,
-) -> Result<ExecOutcome> {
+fn seq_scan(table: &TableEntry, planned: &PlannedQuery, materialize: bool) -> Result<ExecOutcome> {
     let out_cols = output_columns(table, planned);
     let mut count = 0u64;
     let mut rows = materialize.then(Vec::new);
@@ -325,7 +341,11 @@ fn seq_scan(
             }
         }
     }
-    Ok(ExecOutcome { count, rows, aggregate: None })
+    Ok(ExecOutcome {
+        count,
+        rows,
+        aggregate: None,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -353,7 +373,12 @@ fn index_seek(
             if matcher.matches(key)? {
                 count += 1;
                 if let Some(rows) = &mut rows {
-                    rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+                    rows.push(project_key(
+                        key,
+                        &entry.columns,
+                        &out_cols,
+                        matcher.all_int,
+                    )?);
                 }
             }
         } else {
@@ -367,7 +392,11 @@ fn index_seek(
             }
         }
     }
-    Ok(ExecOutcome { count, rows, aggregate: None })
+    Ok(ExecOutcome {
+        count,
+        rows,
+        aggregate: None,
+    })
 }
 
 fn index_range(
@@ -385,7 +414,13 @@ fn index_range(
         .iter()
         .find(|c| c.column == leading && matches!(c.condition, Condition::Range { .. }))
         .ok_or_else(|| Error::Corrupt("range plan without range condition".into()))?;
-    let Condition::Range { lo, hi, hi_inclusive, .. } = &range.condition else {
+    let Condition::Range {
+        lo,
+        hi,
+        hi_inclusive,
+        ..
+    } = &range.condition
+    else {
         unreachable!()
     };
     let matcher = KeyMatcher::new(table, planner, planned, index, 0);
@@ -416,7 +451,12 @@ fn index_range(
             if matcher.matches(key)? {
                 count += 1;
                 if let Some(rows) = &mut rows {
-                    rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+                    rows.push(project_key(
+                        key,
+                        &entry.columns,
+                        &out_cols,
+                        matcher.all_int,
+                    )?);
                 }
             }
         } else {
@@ -432,7 +472,11 @@ fn index_range(
             }
         }
     }
-    Ok(ExecOutcome { count, rows, aggregate: None })
+    Ok(ExecOutcome {
+        count,
+        rows,
+        aggregate: None,
+    })
 }
 
 fn index_only(
@@ -452,13 +496,21 @@ fn index_only(
         if matcher.matches(key)? {
             count += 1;
             if let Some(rows) = &mut rows {
-                rows.push(project_key(key, &entry.columns, &out_cols, matcher.all_int)?);
+                rows.push(project_key(
+                    key,
+                    &entry.columns,
+                    &out_cols,
+                    matcher.all_int,
+                )?);
             }
         }
     }
-    Ok(ExecOutcome { count, rows, aggregate: None })
+    Ok(ExecOutcome {
+        count,
+        rows,
+        aggregate: None,
+    })
 }
-
 
 /// Collect the rids of every row matching `planned`'s predicate, using
 /// the planned access path. This is the locate phase of UPDATE/DELETE:
@@ -479,7 +531,11 @@ pub(crate) fn collect_rids(
                 }
             }
         }
-        Plan::IndexSeek { index, eq_prefix, covering } => {
+        Plan::IndexSeek {
+            index,
+            eq_prefix,
+            covering,
+        } => {
             let entry = index_entry(table, planner, *index)?;
             let probe = planner.seek_probe(planned, *index, *eq_prefix);
             let probe_bytes = encode_key(&probe);
@@ -509,7 +565,13 @@ pub(crate) fn collect_rids(
                 .iter()
                 .find(|c| c.column == leading && matches!(c.condition, Condition::Range { .. }))
                 .ok_or_else(|| Error::Corrupt("range plan without range condition".into()))?;
-            let Condition::Range { lo, hi, hi_inclusive, .. } = &range.condition else {
+            let Condition::Range {
+                lo,
+                hi,
+                hi_inclusive,
+                ..
+            } = &range.condition
+            else {
                 unreachable!()
             };
             let matcher = KeyMatcher::new(table, planner, planned, *index, 0);

@@ -31,10 +31,10 @@ mod stats;
 mod whatif;
 
 pub use catalog::IndexSpec;
-pub use exec::ExecOutcome;
-pub use planner::{BoundCondition, IndexInfo, PlannedWrite, PlannerFlags};
 pub use cost::{CostModel, IndexShape};
 pub use db::{Database, DdlReport, QueryResult};
+pub use exec::ExecOutcome;
+pub use planner::{BoundCondition, IndexInfo, PlannedWrite, PlannerFlags};
 pub use planner::{Plan, PlannedQuery, Planner};
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use whatif::WhatIfEngine;

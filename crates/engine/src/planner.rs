@@ -118,7 +118,10 @@ impl PlannedQuery {
                 if *covering { ", covering" } else { "" }
             ),
             Plan::IndexOnlyScan { .. } => {
-                format!("IndexOnlyScan({})", self.index_name.as_deref().unwrap_or("?"))
+                format!(
+                    "IndexOnlyScan({})",
+                    self.index_name.as_deref().unwrap_or("?")
+                )
             }
             Plan::IndexExtremum { max, .. } => format!(
                 "IndexExtremum({}, {})",
@@ -176,7 +179,11 @@ pub struct PlannerFlags {
 
 impl Default for PlannerFlags {
     fn default() -> Self {
-        PlannerFlags { index_only_scans: true, range_scans: true, covering_seeks: true }
+        PlannerFlags {
+            index_only_scans: true,
+            range_scans: true,
+            covering_seeks: true,
+        }
     }
 }
 
@@ -191,7 +198,12 @@ pub struct Planner<'a> {
 impl<'a> Planner<'a> {
     /// Plan against `schema`/`stats` with `indexes` assumed available.
     pub fn new(schema: &'a Schema, stats: &'a TableStats, indexes: &'a [IndexInfo]) -> Planner<'a> {
-        Planner { schema, stats, indexes, flags: PlannerFlags::default() }
+        Planner {
+            schema,
+            stats,
+            indexes,
+            flags: PlannerFlags::default(),
+        }
     }
 
     /// Planner with non-default access-path flags (ablations).
@@ -201,7 +213,12 @@ impl<'a> Planner<'a> {
         indexes: &'a [IndexInfo],
         flags: PlannerFlags,
     ) -> Planner<'a> {
-        Planner { schema, stats, indexes, flags }
+        Planner {
+            schema,
+            stats,
+            indexes,
+            flags,
+        }
     }
 
     /// Resolve and validate the statement, then pick the cheapest path.
@@ -225,19 +242,7 @@ impl<'a> Planner<'a> {
         }
 
         // Columns the plan must produce (projection + predicate).
-        let needed: Option<Vec<ColumnId>> = match (&projection, count_only) {
-            (Some(proj), _) => {
-                let mut v = proj.clone();
-                for c in &conditions {
-                    if !v.contains(&c.column) {
-                        v.push(c.column);
-                    }
-                }
-                Some(v)
-            }
-            (None, true) => Some(conditions.iter().map(|c| c.column).collect()),
-            (None, false) => None, // SELECT *
-        };
+        let needed = Self::needed_columns(&conditions, &projection, count_only);
 
         let est_rows = self.estimate_rows(&conditions);
         let mut best: Option<(Cost, u32, Plan, Option<String>)> = None;
@@ -262,7 +267,10 @@ impl<'a> Planner<'a> {
                         consider(
                             Cost::from_ios(info.shape.height as u64),
                             0,
-                            Plan::IndexExtremum { index: i, max: func == AggFunc::Max },
+                            Plan::IndexExtremum {
+                                index: i,
+                                max: func == AggFunc::Max,
+                            },
                             Some(info.name.clone()),
                         );
                     }
@@ -271,16 +279,7 @@ impl<'a> Planner<'a> {
         }
 
         for (i, info) in self.indexes.iter().enumerate() {
-            let covering = self.flags.covering_seeks
-                && match &needed {
-                    Some(cols) => cols.iter().all(|c| info.columns.contains(c)),
-                    None => self
-                        .schema
-                        .columns()
-                        .iter()
-                        .enumerate()
-                        .all(|(j, _)| info.columns.contains(&ColumnId(j as u16))),
-                };
+            let covering = self.flags.covering_seeks && self.covers(info, &needed);
 
             // Longest leading prefix bound by equality.
             let eq_prefix = info
@@ -299,7 +298,11 @@ impl<'a> Planner<'a> {
                 consider(
                     cost,
                     0,
-                    Plan::IndexSeek { index: i, eq_prefix, covering },
+                    Plan::IndexSeek {
+                        index: i,
+                        eq_prefix,
+                        covering,
+                    },
                     Some(info.name.clone()),
                 );
                 continue;
@@ -307,20 +310,26 @@ impl<'a> Planner<'a> {
 
             // Range on the leading key column?
             let leading = info.columns[0];
-            let range = conditions.iter().find(|c| {
-                c.column == leading && matches!(c.condition, Condition::Range { .. })
-            });
+            let range = conditions
+                .iter()
+                .find(|c| c.column == leading && matches!(c.condition, Condition::Range { .. }));
             if let Some(bc) = range.filter(|_| self.flags.range_scans) {
-                if let Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } = &bc.condition
+                if let Condition::Range {
+                    lo,
+                    lo_inclusive,
+                    hi,
+                    hi_inclusive,
+                    ..
+                } = &bc.condition
                 {
-                    let frac = self
-                        .stats
-                        .column(leading)
-                        .histogram
-                        .range_selectivity(lo.as_ref(), *lo_inclusive, hi.as_ref(), *hi_inclusive);
+                    let frac = self.stats.column(leading).histogram.range_selectivity(
+                        lo.as_ref(),
+                        *lo_inclusive,
+                        hi.as_ref(),
+                        *hi_inclusive,
+                    );
                     let rows = self.stats.row_count as f64 * frac;
-                    let cost =
-                        CostModel::index_range(self.stats, info.shape, frac, rows, covering);
+                    let cost = CostModel::index_range(self.stats, info.shape, frac, rows, covering);
                     consider(
                         cost,
                         1,
@@ -333,7 +342,12 @@ impl<'a> Planner<'a> {
 
             if covering && self.flags.index_only_scans {
                 let cost = CostModel::index_only_scan(info.shape);
-                consider(cost, 2, Plan::IndexOnlyScan { index: i }, Some(info.name.clone()));
+                consider(
+                    cost,
+                    2,
+                    Plan::IndexOnlyScan { index: i },
+                    Some(info.name.clone()),
+                );
             }
         }
 
@@ -449,7 +463,139 @@ impl<'a> Planner<'a> {
                 CostModel::delete_maintenance(shape, rows)
             };
         }
-        Ok(PlannedWrite { find, est_total, maintained, is_update })
+        Ok(PlannedWrite {
+            find,
+            est_total,
+            maintained,
+            is_update,
+        })
+    }
+
+    /// Columns the plan must produce: projection + predicate columns,
+    /// or `None` for `SELECT *` (every column).
+    fn needed_columns(
+        conditions: &[BoundCondition],
+        projection: &Option<Vec<ColumnId>>,
+        count_only: bool,
+    ) -> Option<Vec<ColumnId>> {
+        match (projection, count_only) {
+            (Some(proj), _) => {
+                let mut v = proj.clone();
+                for c in conditions {
+                    if !v.contains(&c.column) {
+                        v.push(c.column);
+                    }
+                }
+                Some(v)
+            }
+            (None, true) => Some(conditions.iter().map(|c| c.column).collect()),
+            (None, false) => None, // SELECT *
+        }
+    }
+
+    /// True if `info` holds every column in `needed` (`None` = all).
+    fn covers(&self, info: &IndexInfo, needed: &Option<Vec<ColumnId>>) -> bool {
+        match needed {
+            Some(cols) => cols.iter().all(|c| info.columns.contains(c)),
+            None => self
+                .schema
+                .columns()
+                .iter()
+                .enumerate()
+                .all(|(j, _)| info.columns.contains(&ColumnId(j as u16))),
+        }
+    }
+
+    /// Which indexes are *relevant* to `stmt`: `relevant[i]` is true
+    /// iff index `i` can change the statement's estimated cost.
+    ///
+    /// An index only enters [`Planner::plan`]'s search when it
+    /// generates a candidate access path, and each candidate's cost
+    /// depends solely on that index (shape + key columns), the table
+    /// statistics, and the statement — never on which *other* indexes
+    /// exist. The chosen cost is a minimum over per-index candidates
+    /// plus the always-present seq scan, so dropping a non-candidate
+    /// index leaves the minimum untouched: relevance here is exact,
+    /// not heuristic. Writes additionally charge per-row maintenance,
+    /// which makes every maintained index relevant. This is what the
+    /// oracle layer's configuration projection is built on.
+    ///
+    /// # Errors
+    /// Propagates binding errors (unknown columns, type mismatches) —
+    /// the same statements [`Planner::plan`]/[`Planner::plan_write`]
+    /// reject.
+    pub fn relevant_indexes(&self, stmt: &Dml) -> Result<Vec<bool>> {
+        match stmt {
+            Dml::Select(s) => self.relevant_for_select(s),
+            Dml::Delete(_) => {
+                // Deletes maintain every index: all relevant.
+                Ok(vec![true; self.indexes.len()])
+            }
+            Dml::Update(u) => {
+                let set_cols = u
+                    .set
+                    .iter()
+                    .map(|(name, _)| {
+                        self.schema
+                            .column_id(name)
+                            .ok_or_else(|| Error::NotFound(format!("column {name}")))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                // The locate phase plans this statement (see plan_write).
+                let find_stmt = SelectStmt {
+                    projection: Projection::CountStar,
+                    table: stmt.table().to_owned(),
+                    conditions: stmt.conditions().to_vec(),
+                    order_by: None,
+                    limit: None,
+                };
+                let mut relevant = self.relevant_for_select(&find_stmt)?;
+                for (r, info) in relevant.iter_mut().zip(self.indexes) {
+                    *r = *r || info.columns.iter().any(|c| set_cols.contains(c));
+                }
+                Ok(relevant)
+            }
+        }
+    }
+
+    /// [`Planner::relevant_indexes`] for queries: true iff the index
+    /// generates at least one candidate in [`Planner::plan`]'s search
+    /// (seek, range, index-only scan, or extremum read) — mirrors the
+    /// candidate-generation conditions there exactly, flags included.
+    fn relevant_for_select(&self, stmt: &SelectStmt) -> Result<Vec<bool>> {
+        let conditions = self.bind_conditions(stmt)?;
+        let (projection, count_only, aggregate) = self.bind_projection(stmt)?;
+        let needed = Self::needed_columns(&conditions, &projection, count_only);
+        let extremum_col = match aggregate {
+            Some((AggFunc::Min | AggFunc::Max, col)) if conditions.is_empty() => Some(col),
+            _ => None,
+        };
+        Ok(self
+            .indexes
+            .iter()
+            .map(|info| {
+                let leading = info.columns[0];
+                if extremum_col == Some(leading) {
+                    return true;
+                }
+                let eq_lead = conditions
+                    .iter()
+                    .any(|c| c.column == leading && matches!(c.condition, Condition::Eq { .. }));
+                if eq_lead {
+                    return true;
+                }
+                let range_lead = self.flags.range_scans
+                    && conditions.iter().any(|c| {
+                        c.column == leading && matches!(c.condition, Condition::Range { .. })
+                    });
+                if range_lead {
+                    return true;
+                }
+                self.flags.index_only_scans
+                    && self.flags.covering_seeks
+                    && self.covers(info, &needed)
+            })
+            .collect())
     }
 
     fn bind_conditions(&self, stmt: &SelectStmt) -> Result<Vec<BoundCondition>> {
@@ -475,7 +621,10 @@ impl<'a> Planner<'a> {
                         ty = ty
                     )));
                 }
-                Ok(BoundCondition { column, condition: cond.clone() })
+                Ok(BoundCondition {
+                    column,
+                    condition: cond.clone(),
+                })
             })
             .collect()
     }
@@ -511,11 +660,18 @@ impl<'a> Planner<'a> {
         for bc in conditions {
             sel *= match &bc.condition {
                 Condition::Eq { .. } => self.stats.column(bc.column).eq_selectivity(),
-                Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } => self
-                    .stats
-                    .column(bc.column)
-                    .histogram
-                    .range_selectivity(lo.as_ref(), *lo_inclusive, hi.as_ref(), *hi_inclusive),
+                Condition::Range {
+                    lo,
+                    lo_inclusive,
+                    hi,
+                    hi_inclusive,
+                    ..
+                } => self.stats.column(bc.column).histogram.range_selectivity(
+                    lo.as_ref(),
+                    *lo_inclusive,
+                    hi.as_ref(),
+                    *hi_inclusive,
+                ),
             };
         }
         self.stats.row_count as f64 * sel
@@ -532,12 +688,7 @@ impl<'a> Planner<'a> {
     }
 
     /// The probe values for an [`Plan::IndexSeek`], in key order.
-    pub fn seek_probe(
-        &self,
-        planned: &PlannedQuery,
-        index: usize,
-        eq_prefix: usize,
-    ) -> Vec<Value> {
+    pub fn seek_probe(&self, planned: &PlannedQuery, index: usize, eq_prefix: usize) -> Vec<Value> {
         self.indexes[index].columns[..eq_prefix]
             .iter()
             .map(|col| {
@@ -574,7 +725,12 @@ mod tests {
         let mut b = StatsBuilder::new(4, rows);
         for i in 0..rows as i64 {
             let v = (i * 2654435761) % 50_000;
-            b.add_row(&[Value::Int(v), Value::Int(v / 2), Value::Int(v / 3), Value::Int(v / 4)]);
+            b.add_row(&[
+                Value::Int(v),
+                Value::Int(v / 2),
+                Value::Int(v / 3),
+                Value::Int(v / 4),
+            ]);
         }
         b.finish((rows / 200).max(1))
     }
@@ -610,7 +766,14 @@ mod tests {
         let idx = [info("ix_a", &[0], &st)];
         let p = plan_sql("SELECT a FROM t WHERE a = 5", &sc, &st, &idx);
         assert!(
-            matches!(p.plan, Plan::IndexSeek { index: 0, eq_prefix: 1, covering: true }),
+            matches!(
+                p.plan,
+                Plan::IndexSeek {
+                    index: 0,
+                    eq_prefix: 1,
+                    covering: true
+                }
+            ),
             "{:?}",
             p.plan
         );
@@ -632,7 +795,11 @@ mod tests {
         let (sc, st) = (schema(), stats(100_000));
         let idx = [info("ix_ab", &[0, 1], &st)];
         let p = plan_sql("SELECT b FROM t WHERE b = 5", &sc, &st, &idx);
-        assert!(matches!(p.plan, Plan::IndexOnlyScan { index: 0 }), "{:?}", p.plan);
+        assert!(
+            matches!(p.plan, Plan::IndexOnlyScan { index: 0 }),
+            "{:?}",
+            p.plan
+        );
         assert!(p.est_cost < CostModel::seq_scan(&st));
     }
 
@@ -649,15 +816,34 @@ mod tests {
         let (sc, st) = (schema(), stats(100_000));
         let idx = [info("ix_a", &[0], &st)];
         let p = plan_sql("SELECT a FROM t WHERE a BETWEEN 10 AND 20", &sc, &st, &idx);
-        assert!(matches!(p.plan, Plan::IndexRange { index: 0, covering: true }), "{:?}", p.plan);
+        assert!(
+            matches!(
+                p.plan,
+                Plan::IndexRange {
+                    index: 0,
+                    covering: true
+                }
+            ),
+            "{:?}",
+            p.plan
+        );
     }
 
     #[test]
     fn wide_non_covering_range_falls_back_to_scan() {
         let (sc, st) = (schema(), stats(100_000));
         let idx = [info("ix_a", &[0], &st)];
-        let p = plan_sql("SELECT d FROM t WHERE a BETWEEN 0 AND 49000", &sc, &st, &idx);
-        assert_eq!(p.plan, Plan::SeqScan, "fetching half the table via rids must lose");
+        let p = plan_sql(
+            "SELECT d FROM t WHERE a BETWEEN 0 AND 49000",
+            &sc,
+            &st,
+            &idx,
+        );
+        assert_eq!(
+            p.plan,
+            Plan::SeqScan,
+            "fetching half the table via rids must lose"
+        );
     }
 
     #[test]
@@ -714,7 +900,11 @@ mod tests {
         // Only ix_bc contains the SET column b.
         assert_eq!(p.maintained, vec![1]);
         // The locate phase uses the index on a.
-        assert!(matches!(p.find.plan, Plan::IndexSeek { index: 0, .. }), "{:?}", p.find.plan);
+        assert!(
+            matches!(p.find.plan, Plan::IndexSeek { index: 0, .. }),
+            "{:?}",
+            p.find.plan
+        );
         assert!(p.est_total > p.find.est_cost);
 
         let del = match cdpd_sql::parse("DELETE FROM t WHERE a = 5").unwrap() {
@@ -778,9 +968,18 @@ mod tests {
         let p = Planner::new(&sc, &st, &idx).plan(&stmt).unwrap();
         assert!(matches!(p.plan, Plan::IndexOnlyScan { .. }));
         // Ablated: the index cannot serve the b-query at all.
-        let flags = PlannerFlags { index_only_scans: false, ..Default::default() };
-        let p = Planner::with_flags(&sc, &st, &idx, flags).plan(&stmt).unwrap();
-        assert_eq!(p.plan, Plan::SeqScan, "without covering scans I(a,b) is useless for b");
+        let flags = PlannerFlags {
+            index_only_scans: false,
+            ..Default::default()
+        };
+        let p = Planner::with_flags(&sc, &st, &idx, flags)
+            .plan(&stmt)
+            .unwrap();
+        assert_eq!(
+            p.plan,
+            Plan::SeqScan,
+            "without covering scans I(a,b) is useless for b"
+        );
 
         // covering_seeks off: seeks still chosen but pay heap fetches.
         let stmt = match parse("SELECT a FROM t WHERE a = 5").unwrap() {
@@ -788,9 +987,20 @@ mod tests {
             _ => unreachable!(),
         };
         let with_cover = Planner::new(&sc, &st, &idx).plan(&stmt).unwrap();
-        let flags = PlannerFlags { covering_seeks: false, ..Default::default() };
-        let without = Planner::with_flags(&sc, &st, &idx, flags).plan(&stmt).unwrap();
-        assert!(matches!(without.plan, Plan::IndexSeek { covering: false, .. }));
+        let flags = PlannerFlags {
+            covering_seeks: false,
+            ..Default::default()
+        };
+        let without = Planner::with_flags(&sc, &st, &idx, flags)
+            .plan(&stmt)
+            .unwrap();
+        assert!(matches!(
+            without.plan,
+            Plan::IndexSeek {
+                covering: false,
+                ..
+            }
+        ));
         assert!(without.est_cost > with_cover.est_cost);
 
         // range_scans off: BETWEEN falls back to a scan.
@@ -799,16 +1009,113 @@ mod tests {
             _ => unreachable!(),
         };
         let idx_a = [info("ix_a", &[0], &st)];
-        let flags = PlannerFlags { range_scans: false, ..Default::default() };
-        let p = Planner::with_flags(&sc, &st, &idx_a, flags).plan(&stmt).unwrap();
+        let flags = PlannerFlags {
+            range_scans: false,
+            ..Default::default()
+        };
+        let p = Planner::with_flags(&sc, &st, &idx_a, flags)
+            .plan(&stmt)
+            .unwrap();
         // Without range scans the planner falls back to a covering
         // index-only scan (still cheaper than the heap); with that off
         // too, only the seq scan remains.
         assert!(matches!(p.plan, Plan::IndexOnlyScan { .. }), "{:?}", p.plan);
-        let flags =
-            PlannerFlags { range_scans: false, index_only_scans: false, ..Default::default() };
-        let p = Planner::with_flags(&sc, &st, &idx_a, flags).plan(&stmt).unwrap();
+        let flags = PlannerFlags {
+            range_scans: false,
+            index_only_scans: false,
+            ..Default::default()
+        };
+        let p = Planner::with_flags(&sc, &st, &idx_a, flags)
+            .plan(&stmt)
+            .unwrap();
         assert_eq!(p.plan, Plan::SeqScan);
+    }
+
+    fn dml(sql: &str) -> Dml {
+        match cdpd_sql::parse(sql).unwrap() {
+            cdpd_sql::Statement::Select(s) => Dml::Select(s),
+            cdpd_sql::Statement::Update(u) => Dml::Update(u),
+            cdpd_sql::Statement::Delete(d) => Dml::Delete(d),
+            _ => panic!("not a dml"),
+        }
+    }
+
+    #[test]
+    fn relevance_mirrors_candidate_generation() {
+        let (sc, st) = (schema(), stats(100_000));
+        // I(a), I(b), I(a,b), I(c,d) — the interesting shapes.
+        let idx = [
+            info("ix_a", &[0], &st),
+            info("ix_b", &[1], &st),
+            info("ix_ab", &[0, 1], &st),
+            info("ix_cd", &[2, 3], &st),
+        ];
+        let planner = Planner::new(&sc, &st, &idx);
+        let rel = |sql: &str| planner.relevant_indexes(&dml(sql)).unwrap();
+
+        // Point query on a: seek on I(a)/I(a,b); I(b) neither seeks
+        // nor covers {a}; I(c,d) is fully inert.
+        assert_eq!(
+            rel("SELECT a FROM t WHERE a = 5"),
+            vec![true, false, true, false]
+        );
+        // Point query on b: seek on I(b), covering scan on I(a,b).
+        assert_eq!(
+            rel("SELECT b FROM t WHERE b = 5"),
+            vec![false, true, true, false]
+        );
+        // Range on a: range scan on I(a)/I(a,b).
+        assert_eq!(
+            rel("SELECT a FROM t WHERE a BETWEEN 10 AND 20"),
+            vec![true, false, true, false]
+        );
+        // SELECT * covers nothing short of the full schema: only the
+        // seek on a remains.
+        assert_eq!(
+            rel("SELECT * FROM t WHERE a = 5"),
+            vec![true, false, true, false]
+        );
+        // Updates: locate via a, maintain indexes whose keys contain b.
+        assert_eq!(
+            rel("UPDATE t SET b = 7 WHERE a = 5"),
+            vec![true, true, true, false]
+        );
+        // Deletes maintain everything.
+        assert_eq!(rel("DELETE FROM t WHERE a = 5"), vec![true; 4]);
+        // Binding errors propagate, as in plan().
+        assert!(planner.relevant_indexes(&dml("SELECT z FROM t")).is_err());
+    }
+
+    #[test]
+    fn relevance_respects_flags_and_aggregates() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_b", &[1], &st), info("ix_ab", &[0, 1], &st)];
+        let q = dml("SELECT b FROM t WHERE b = 5");
+        // Default: I(a,b) is relevant through the covering scan...
+        let planner = Planner::new(&sc, &st, &idx);
+        assert_eq!(planner.relevant_indexes(&q).unwrap(), vec![true, true]);
+        // ...and ablating index-only scans makes it inert, exactly as
+        // plan() stops generating the candidate.
+        let flags = PlannerFlags {
+            index_only_scans: false,
+            ..Default::default()
+        };
+        let planner = Planner::with_flags(&sc, &st, &idx, flags);
+        assert_eq!(planner.relevant_indexes(&q).unwrap(), vec![true, false]);
+
+        // Unpredicated MIN reads one end of a leading-a index; I(b)
+        // can't serve it, I(a,b) also covers the single-column scan.
+        let idx = [
+            info("ix_b", &[1], &st),
+            info("ix_ab", &[0, 1], &st),
+            info("ix_a", &[0], &st),
+        ];
+        let planner = Planner::new(&sc, &st, &idx);
+        let agg = dml("SELECT MIN(a) FROM t");
+        assert_eq!(
+            planner.relevant_indexes(&agg).unwrap(),
+            vec![false, true, true]
+        );
     }
 
     #[test]
@@ -817,7 +1124,10 @@ mod tests {
         let idx = [info("ix_ab", &[0, 1], &st)];
         let p = plan_sql("SELECT COUNT(*) FROM t WHERE a = 7", &sc, &st, &idx);
         assert!(p.count_only);
-        if let Plan::IndexSeek { index, eq_prefix, .. } = p.plan {
+        if let Plan::IndexSeek {
+            index, eq_prefix, ..
+        } = p.plan
+        {
             let planner = Planner::new(&sc, &st, &idx);
             let probe = planner.seek_probe(&p, index, eq_prefix);
             assert_eq!(probe, vec![Value::Int(7)]);

@@ -26,7 +26,11 @@ impl Histogram {
     pub fn build(mut sample: Vec<Value>, buckets: usize) -> Histogram {
         assert!(buckets > 0, "histogram needs at least one bucket");
         if sample.is_empty() {
-            return Histogram { bounds: Vec::new(), cum: Vec::new(), min: None };
+            return Histogram {
+                bounds: Vec::new(),
+                cum: Vec::new(),
+                min: None,
+            };
         }
         sample.sort();
         let n = sample.len();
@@ -216,7 +220,11 @@ impl StatsBuilder {
         TableStats {
             row_count: rows,
             heap_pages,
-            avg_row_width: if rows == 0 { 0.0 } else { self.bytes as f64 / rows as f64 },
+            avg_row_width: if rows == 0 {
+                0.0
+            } else {
+                self.bytes as f64 / rows as f64
+            },
             columns: self
                 .cols
                 .into_iter()

@@ -37,12 +37,20 @@ impl WhatIfEngine {
                 Error::InvalidArgument(format!("table {table} has no statistics; run analyze()"))
             })?
             .clone();
-        Ok(WhatIfEngine { table: table.to_owned(), schema, stats })
+        Ok(WhatIfEngine {
+            table: table.to_owned(),
+            schema,
+            stats,
+        })
     }
 
     /// Build directly from parts (tests, simulations).
     pub fn from_parts(table: impl Into<String>, schema: Schema, stats: TableStats) -> WhatIfEngine {
-        WhatIfEngine { table: table.into(), schema, stats }
+        WhatIfEngine {
+            table: table.into(),
+            schema,
+            stats,
+        }
     }
 
     /// The table this oracle describes.
@@ -133,6 +141,43 @@ impl WhatIfEngine {
         }
     }
 
+    /// Which of `structures` are *relevant* to `stmt` — can change its
+    /// estimated cost under any configuration drawn from `structures`.
+    /// Bit `i` of the returned mask corresponds to `structures[i]`.
+    ///
+    /// Exactness comes from the planner (see
+    /// `Planner::relevant_indexes`): an index outside the mask
+    /// generates no candidate access path and no maintenance charge
+    /// for `stmt`, so adding or removing it cannot move the min-cost
+    /// plan. The oracle layer uses these masks to project
+    /// configurations before costing.
+    ///
+    /// # Errors
+    /// `structures` must fit in a 64-bit mask, belong to this table,
+    /// and name real columns; `stmt` must bind against the schema.
+    pub fn relevant_structures(&self, stmt: &Dml, structures: &[IndexSpec]) -> Result<u64> {
+        if structures.len() > 64 {
+            return Err(Error::InvalidArgument(format!(
+                "{} candidate structures exceed the 64-bit relevance mask",
+                structures.len()
+            )));
+        }
+        if stmt.table() != self.table {
+            return Err(Error::InvalidArgument(format!(
+                "statement is on table {}, oracle is for {}",
+                stmt.table(),
+                self.table
+            )));
+        }
+        let infos = self.infos(structures)?;
+        let planner = Planner::new(&self.schema, &self.stats, &infos);
+        let relevant = planner.relevant_indexes(stmt)?;
+        Ok(relevant
+            .iter()
+            .enumerate()
+            .fold(0u64, |mask, (i, &r)| if r { mask | (1 << i) } else { mask }))
+    }
+
     fn infos(&self, config: &[IndexSpec]) -> Result<Vec<IndexInfo>> {
         config
             .iter()
@@ -200,7 +245,8 @@ mod tests {
     #[test]
     fn snapshot_requires_stats() {
         let mut db = Database::new();
-        db.create_table("t", Schema::new(vec![ColumnDef::int("a")])).unwrap();
+        db.create_table("t", Schema::new(vec![ColumnDef::int("a")]))
+            .unwrap();
         assert!(WhatIfEngine::snapshot(&db, "t").is_err());
         db.analyze("t").unwrap();
         assert!(WhatIfEngine::snapshot(&db, "t").is_ok());
@@ -316,9 +362,73 @@ mod tests {
         let d_bare = w.dml_cost(&del, &empty).unwrap();
         let d_ab = w.dml_cost(&del, &iab).unwrap();
         let _ = (d_bare, d_ab); // locate savings vs maintenance can go either way
-        // Select delegation matches exec_cost.
+                                // Select delegation matches exec_cost.
         let q = Dml::Select(SelectStmt::point("t", "a", 7));
-        assert_eq!(w.dml_cost(&q, &ia).unwrap(), w.exec_cost(&SelectStmt::point("t", "a", 7), &ia).unwrap());
+        assert_eq!(
+            w.dml_cost(&q, &ia).unwrap(),
+            w.exec_cost(&SelectStmt::point("t", "a", 7), &ia).unwrap()
+        );
+    }
+
+    #[test]
+    fn relevance_projection_is_exact() {
+        // The guarantee the oracle layer's projection rests on: for any
+        // statement and any configuration C drawn from the candidate
+        // set, cost(stmt, C) == cost(stmt, C ∩ mask(stmt)).
+        let db = paper_db(20_000);
+        let w = WhatIfEngine::snapshot(&db, "t").unwrap();
+        let structures = [
+            spec(&["a"]),
+            spec(&["b"]),
+            spec(&["c"]),
+            spec(&["d"]),
+            spec(&["a", "b"]),
+            spec(&["c", "d"]),
+        ];
+        let stmts: Vec<Dml> = vec![
+            Dml::Select(SelectStmt::point("t", "a", 7)),
+            Dml::Select(SelectStmt::point("t", "c", 7)),
+            match cdpd_sql::parse("SELECT b FROM t WHERE b BETWEEN 5 AND 9").unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                _ => unreachable!(),
+            },
+            match cdpd_sql::parse("UPDATE t SET b = 1 WHERE a = 7").unwrap() {
+                cdpd_sql::Statement::Update(u) => Dml::Update(u),
+                _ => unreachable!(),
+            },
+            match cdpd_sql::parse("DELETE FROM t WHERE d = 3").unwrap() {
+                cdpd_sql::Statement::Delete(d) => Dml::Delete(d),
+                _ => unreachable!(),
+            },
+        ];
+        let specs_of = |bits: u64| -> Vec<IndexSpec> {
+            structures
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (bits >> i) & 1 == 1)
+                .map(|(_, s)| s.clone())
+                .collect()
+        };
+        for stmt in &stmts {
+            let mask = w.relevant_structures(stmt, &structures).unwrap();
+            let mut projection_bit = false;
+            for bits in 0..(1u64 << structures.len()) {
+                let full = w.dml_cost(stmt, &specs_of(bits)).unwrap();
+                let projected = w.dml_cost(stmt, &specs_of(bits & mask)).unwrap();
+                assert_eq!(full, projected, "stmt {stmt} bits {bits:b} mask {mask:b}");
+                projection_bit |= bits & mask != bits;
+            }
+            // Every statement here has at least one irrelevant
+            // structure except the delete (which maintains all six).
+            if !matches!(stmt, Dml::Delete(_)) {
+                assert!(projection_bit, "mask {mask:b} projected nothing for {stmt}");
+            }
+        }
+        // Mask width validation.
+        let too_many: Vec<IndexSpec> = (0..65).map(|_| spec(&["a"])).collect();
+        assert!(w
+            .relevant_structures(&Dml::Select(SelectStmt::point("t", "a", 1)), &too_many)
+            .is_err());
     }
 
     #[test]
@@ -343,7 +453,8 @@ mod tests {
         let two = w.index_size_pages(&spec(&["a", "b"])).unwrap();
         assert!(two > one);
         assert_eq!(
-            w.config_size_pages(&[spec(&["a"]), spec(&["a", "b"])]).unwrap(),
+            w.config_size_pages(&[spec(&["a"]), spec(&["a", "b"])])
+                .unwrap(),
             one + two
         );
         assert_eq!(w.config_size_pages(&[]).unwrap(), 0);

@@ -34,8 +34,12 @@ fn build_dbs(rows: &[(i64, i64, i64)]) -> (Database, Database) {
     plain.analyze("t").unwrap();
     indexed.analyze("t").unwrap();
     indexed.create_index(&IndexSpec::new("t", &["a"])).unwrap();
-    indexed.create_index(&IndexSpec::new("t", &["b", "c"])).unwrap();
-    indexed.create_index(&IndexSpec::new("t", &["c", "a", "b"])).unwrap();
+    indexed
+        .create_index(&IndexSpec::new("t", &["b", "c"]))
+        .unwrap();
+    indexed
+        .create_index(&IndexSpec::new("t", &["c", "a", "b"]))
+        .unwrap();
     (plain, indexed)
 }
 
@@ -48,45 +52,42 @@ fn stmt_strategy() -> impl Strategy<Value = String> {
     let val = || 0i64..30;
     one_of![
         // Point queries with varying projections.
-        (col(), col(), val()).prop_map(|(p, w, v)| format!(
-            "SELECT {p} FROM t WHERE {w} = {v}"
-        )),
-        (col(), val()).prop_map(|(w, v)| format!(
-            "SELECT * FROM t WHERE {w} = {v}"
-        )),
-        (col(), val()).prop_map(|(w, v)| format!(
-            "SELECT COUNT(*) FROM t WHERE {w} >= {v}"
-        )),
+        (col(), col(), val()).prop_map(|(p, w, v)| format!("SELECT {p} FROM t WHERE {w} = {v}")),
+        (col(), val()).prop_map(|(w, v)| format!("SELECT * FROM t WHERE {w} = {v}")),
+        (col(), val()).prop_map(|(w, v)| format!("SELECT COUNT(*) FROM t WHERE {w} >= {v}")),
         // Ranges and conjunctions.
         (col(), val(), val()).prop_map(|(w, lo, hi)| {
             let (lo, hi) = (lo.min(hi), lo.max(hi));
             format!("SELECT {w} FROM t WHERE {w} BETWEEN {lo} AND {hi}")
         }),
-        (col(), col(), val(), val()).prop_map(
-            |(w1, w2, v1, v2)| {
-                if w1 == w2 {
-                    format!("SELECT a, b FROM t WHERE {w1} = {v1}")
-                } else {
-                    format!("SELECT a, b FROM t WHERE {w1} = {v1} AND {w2} < {v2}")
-                }
+        (col(), col(), val(), val()).prop_map(|(w1, w2, v1, v2)| {
+            if w1 == w2 {
+                format!("SELECT a, b FROM t WHERE {w1} = {v1}")
+            } else {
+                format!("SELECT a, b FROM t WHERE {w1} = {v1} AND {w2} < {v2}")
             }
-        ),
+        }),
         // Aggregates (incl. the IndexExtremum path: no predicate).
-        (one_of![Just("SUM"), Just("MIN"), Just("MAX"), Just("AVG")], col())
+        (
+            one_of![Just("SUM"), Just("MIN"), Just("MAX"), Just("AVG")],
+            col()
+        )
             .prop_map(|(f, c)| format!("SELECT {f}({c}) FROM t")),
-        (one_of![Just("SUM"), Just("MIN"), Just("MAX")], col(), col(), val())
+        (
+            one_of![Just("SUM"), Just("MIN"), Just("MAX")],
+            col(),
+            col(),
+            val()
+        )
             .prop_map(|(f, p, w, v)| format!("SELECT {f}({p}) FROM t WHERE {w} = {v}")),
         // ORDER BY / LIMIT.
-        (col(), col(), val(), any_bool(), 0u64..10).prop_map(
-            |(p, o, v, desc, lim)| format!(
-                "SELECT {p} FROM t WHERE {p} >= {v} ORDER BY {o}{} LIMIT {lim}",
-                if desc { " DESC" } else { "" }
-            )
-        ),
+        (col(), col(), val(), any_bool(), 0u64..10).prop_map(|(p, o, v, desc, lim)| format!(
+            "SELECT {p} FROM t WHERE {p} >= {v} ORDER BY {o}{} LIMIT {lim}",
+            if desc { " DESC" } else { "" }
+        )),
         // Writes, applied to both databases.
-        (col(), col(), val(), val()).prop_map(|(s, w, nv, v)| {
-            format!("UPDATE t SET {s} = {nv} WHERE {w} = {v}")
-        }),
+        (col(), col(), val(), val())
+            .prop_map(|(s, w, nv, v)| { format!("UPDATE t SET {s} = {nv} WHERE {w} = {v}") }),
         (col(), val()).prop_map(|(w, v)| format!("DELETE FROM t WHERE {w} = {v}")),
     ]
 }
@@ -103,7 +104,11 @@ fn check_agreement(rows: &[(i64, i64, i64)], stmts: &[String]) {
     for (i, sql) in stmts.iter().enumerate() {
         let a = plain.execute_sql(sql).unwrap();
         let b = indexed.execute_sql(sql).unwrap();
-        assert_eq!(a.count, b.count, "stmt {i}: {sql} (plans {} vs {})", a.plan, b.plan);
+        assert_eq!(
+            a.count, b.count,
+            "stmt {i}: {sql} (plans {} vs {})",
+            a.plan, b.plan
+        );
         assert_eq!(
             a.aggregate, b.aggregate,
             "stmt {i}: {sql} (plans {} vs {})",
@@ -127,7 +132,11 @@ fn check_agreement(rows: &[(i64, i64, i64)], stmts: &[String]) {
     // Final state equivalence after all the writes.
     let a = plain.execute_sql("SELECT * FROM t").unwrap();
     let b = indexed.execute_sql("SELECT * FROM t").unwrap();
-    assert_eq!(normalized_rows(&a), normalized_rows(&b), "final table state");
+    assert_eq!(
+        normalized_rows(&a),
+        normalized_rows(&b),
+        "final table state"
+    );
 }
 
 props! {
@@ -146,5 +155,8 @@ props! {
 /// extremum aggregate over duplicate rows.
 #[test]
 fn regression_min_aggregate_over_duplicate_rows() {
-    check_agreement(&[(0, 0, 0), (0, 0, 0)], &["SELECT MIN(a) FROM t".to_owned()]);
+    check_agreement(
+        &[(0, 0, 0), (0, 0, 0)],
+        &["SELECT MIN(a) FROM t".to_owned()],
+    );
 }

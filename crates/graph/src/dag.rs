@@ -45,7 +45,10 @@ pub struct Dag<N> {
 
 impl<N> Default for Dag<N> {
     fn default() -> Self {
-        Dag { nodes: Vec::new(), edge_count: 0 }
+        Dag {
+            nodes: Vec::new(),
+            edge_count: 0,
+        }
     }
 }
 
@@ -66,13 +69,21 @@ impl<N> Dag<N> {
 
     /// An empty DAG with room for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        Dag { nodes: Vec::with_capacity(nodes), edge_count: 0 }
+        Dag {
+            nodes: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
     }
 
     /// Add a node with the given payload and weight; returns its id.
     pub fn add_node(&mut self, payload: N, weight: Cost) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
-        self.nodes.push(Node { payload, weight, out: Vec::new(), inc: Vec::new() });
+        self.nodes.push(Node {
+            payload,
+            weight,
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
         id
     }
 

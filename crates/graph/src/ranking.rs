@@ -95,11 +95,19 @@ impl<'g, N> PathRanking<'g, N> {
                 heap.push(Frontier {
                     f: g.saturating_add(h),
                     g,
-                    tail: Rc::new(Cons { node: source, prev: None }),
+                    tail: Rc::new(Cons {
+                        node: source,
+                        prev: None,
+                    }),
                 });
             }
         }
-        PathRanking { dag, target, to_target, heap }
+        PathRanking {
+            dag,
+            target,
+            to_target,
+            heap,
+        }
     }
 
     /// Number of partial paths currently on the frontier (diagnostics).
@@ -118,11 +126,18 @@ impl<N> Iterator for PathRanking<'_, N> {
             }
             let node = tail.node;
             if node == self.target {
-                return Some(RankedPath { cost: g, nodes: Cons::unwind(&tail) });
+                return Some(RankedPath {
+                    cost: g,
+                    nodes: Cons::unwind(&tail),
+                });
             }
             for &(to, ew) in self.dag.out_edges(node) {
-                let Some(h) = self.to_target[to.index()] else { continue };
-                let g2 = g.saturating_add(ew).saturating_add(self.dag.node_weight(to));
+                let Some(h) = self.to_target[to.index()] else {
+                    continue;
+                };
+                let g2 = g
+                    .saturating_add(ew)
+                    .saturating_add(self.dag.node_weight(to));
                 let f2 = g2.saturating_add(h);
                 if f2.is_infinite() {
                     continue;
@@ -130,7 +145,10 @@ impl<N> Iterator for PathRanking<'_, N> {
                 self.heap.push(Frontier {
                     f: f2,
                     g: g2,
-                    tail: Rc::new(Cons { node: to, prev: Some(tail.clone()) }),
+                    tail: Rc::new(Cons {
+                        node: to,
+                        prev: Some(tail.clone()),
+                    }),
                 });
             }
         }

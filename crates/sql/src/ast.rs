@@ -97,7 +97,13 @@ impl Condition {
     pub fn matches(&self, v: &Value) -> bool {
         match self {
             Condition::Eq { value, .. } => v == value,
-            Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } => {
+            Condition::Range {
+                lo,
+                lo_inclusive,
+                hi,
+                hi_inclusive,
+                ..
+            } => {
                 if let Some(lo) = lo {
                     if v < lo || (v == lo && !lo_inclusive) {
                         return false;
@@ -145,7 +151,10 @@ impl SelectStmt {
         SelectStmt {
             projection: Projection::Columns(vec![column.clone()]),
             table: table.into(),
-            conditions: vec![Condition::Eq { column, value: Value::Int(v) }],
+            conditions: vec![Condition::Eq {
+                column,
+                value: Value::Int(v),
+            }],
             order_by: None,
             limit: None,
         }
@@ -154,7 +163,9 @@ impl SelectStmt {
     /// Every column name the statement touches (projection + predicate),
     /// or `None` if it reads all columns (`SELECT *`).
     pub fn referenced_columns(&self) -> Option<Vec<&str>> {
-        let mut cols: Vec<&str> = self.projection.referenced_columns()?
+        let mut cols: Vec<&str> = self
+            .projection
+            .referenced_columns()?
             .iter()
             .map(String::as_str)
             .collect();
@@ -343,7 +354,13 @@ impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Condition::Eq { column, value } => write!(f, "{column} = {value}"),
-            Condition::Range { column, lo, lo_inclusive, hi, hi_inclusive } => {
+            Condition::Range {
+                column,
+                lo,
+                lo_inclusive,
+                hi,
+                hi_inclusive,
+            } => {
                 match (lo, hi) {
                     (Some(lo), Some(hi)) if *lo_inclusive && *hi_inclusive => {
                         write!(f, "{column} BETWEEN {lo} AND {hi}")
@@ -379,7 +396,12 @@ impl fmt::Display for SelectStmt {
             write!(f, " {} {c}", if i == 0 { "WHERE" } else { "AND" })?;
         }
         if let Some(ob) = &self.order_by {
-            write!(f, " ORDER BY {}{}", ob.column, if ob.desc { " DESC" } else { "" })?;
+            write!(
+                f,
+                " ORDER BY {}{}",
+                ob.column,
+                if ob.desc { " DESC" } else { "" }
+            )?;
         }
         if let Some(limit) = self.limit {
             write!(f, " LIMIT {limit}")?;
@@ -404,7 +426,11 @@ impl fmt::Display for Statement {
                 }
                 write!(f, ")")
             }
-            Statement::CreateIndex { name, table, columns } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 write!(f, "CREATE INDEX {name} ON {table} ({})", columns.join(", "))
             }
             Statement::DropIndex { name } => write!(f, "DROP INDEX {name}"),
@@ -434,7 +460,10 @@ mod tests {
 
     #[test]
     fn condition_matches_eq() {
-        let c = Condition::Eq { column: "a".into(), value: Value::Int(5) };
+        let c = Condition::Eq {
+            column: "a".into(),
+            value: Value::Int(5),
+        };
         assert!(c.matches(&Value::Int(5)));
         assert!(!c.matches(&Value::Int(6)));
     }
@@ -468,8 +497,14 @@ mod tests {
         let s = SelectStmt {
             projection: Projection::Columns(vec!["a".into()]),
             table: "t".into(),
-            conditions: vec![Condition::Eq { column: "b".into(), value: Value::Int(1) }],
-            order_by: Some(OrderBy { column: "d".into(), desc: false }),
+            conditions: vec![Condition::Eq {
+                column: "b".into(),
+                value: Value::Int(1),
+            }],
+            order_by: Some(OrderBy {
+                column: "d".into(),
+                desc: false,
+            }),
             limit: None,
         };
         assert_eq!(s.referenced_columns().unwrap(), vec!["a", "b", "d"]);
@@ -484,7 +519,10 @@ mod tests {
         let count = SelectStmt {
             projection: Projection::CountStar,
             table: "t".into(),
-            conditions: vec![Condition::Eq { column: "c".into(), value: Value::Int(9) }],
+            conditions: vec![Condition::Eq {
+                column: "c".into(),
+                value: Value::Int(9),
+            }],
             order_by: None,
             limit: None,
         };
@@ -496,7 +534,10 @@ mod tests {
         let u = UpdateStmt {
             table: "t".into(),
             set: vec![("a".into(), Value::Int(1))],
-            conditions: vec![Condition::Eq { column: "b".into(), value: Value::Int(2) }],
+            conditions: vec![Condition::Eq {
+                column: "b".into(),
+                value: Value::Int(2),
+            }],
         };
         assert_eq!(u.written_columns(), vec!["a"]);
         let dml: Dml = u.clone().into();
@@ -505,7 +546,11 @@ mod tests {
         assert!(dml.is_write());
         assert_eq!(dml.to_string(), "UPDATE t SET a = 1 WHERE b = 2");
 
-        let d: Dml = DeleteStmt { table: "t".into(), conditions: vec![] }.into();
+        let d: Dml = DeleteStmt {
+            table: "t".into(),
+            conditions: vec![],
+        }
+        .into();
         assert_eq!(d.to_string(), "DELETE FROM t");
         assert!(d.is_write());
 
@@ -522,7 +567,10 @@ mod tests {
         };
         assert_eq!(ci.to_string(), "CREATE INDEX i_ab ON t (a, b)");
         assert_eq!(
-            Statement::DropIndex { name: "i_ab".into() }.to_string(),
+            Statement::DropIndex {
+                name: "i_ab".into()
+            }
+            .to_string(),
             "DROP INDEX i_ab"
         );
     }

@@ -74,7 +74,10 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Lex `src`.
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lex the whole input into a vector.
@@ -97,7 +100,9 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let start = self.pos;
-        let Some(b) = self.peek() else { return Ok(None) };
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
         let kind = match b {
             b',' => {
                 self.pos += 1;
@@ -167,9 +172,7 @@ impl<'a> Lexer<'a> {
                             s.push(ch);
                             self.pos += ch.len_utf8();
                         }
-                        None => {
-                            return Err(Error::parse(start, "unterminated string literal"))
-                        }
+                        None => return Err(Error::parse(start, "unterminated string literal")),
                     }
                 }
                 TokenKind::Str(s)
@@ -178,8 +181,8 @@ impl<'a> Lexer<'a> {
                 while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("digits are ASCII");
+                let text =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
                 let v: i64 = text
                     .parse()
                     .map_err(|_| Error::parse(start, format!("integer out of range: {text}")))?;
@@ -189,8 +192,8 @@ impl<'a> Lexer<'a> {
                 while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ident bytes are ASCII");
+                let text =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("ident bytes are ASCII");
                 TokenKind::Ident(text.to_owned())
             }
             other => {
@@ -200,7 +203,10 @@ impl<'a> Lexer<'a> {
                 ))
             }
         };
-        Ok(Some(Token { kind, offset: start }))
+        Ok(Some(Token {
+            kind,
+            offset: start,
+        }))
     }
 }
 
@@ -209,7 +215,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -34,6 +34,8 @@ mod ast;
 mod lexer;
 mod parser;
 
-pub use ast::{AggFunc, Condition, DeleteStmt, Dml, OrderBy, Projection, SelectStmt, Statement, UpdateStmt};
+pub use ast::{
+    AggFunc, Condition, DeleteStmt, Dml, OrderBy, Projection, SelectStmt, Statement, UpdateStmt,
+};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse, parse_many};

@@ -1,4 +1,6 @@
-use crate::ast::{AggFunc, Condition, DeleteStmt, OrderBy, Projection, SelectStmt, Statement, UpdateStmt};
+use crate::ast::{
+    AggFunc, Condition, DeleteStmt, OrderBy, Projection, SelectStmt, Statement, UpdateStmt,
+};
 use crate::lexer::{Lexer, Token, TokenKind};
 use cdpd_types::{Error, Result, Value, ValueType};
 
@@ -32,7 +34,11 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser> {
-        Ok(Parser { tokens: Lexer::tokenize(src)?, pos: 0, src_len: src.len() })
+        Ok(Parser {
+            tokens: Lexer::tokenize(src)?,
+            pos: 0,
+            src_len: src.len(),
+        })
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -96,7 +102,10 @@ impl Parser {
         if self.at_end() {
             Ok(())
         } else {
-            Err(Error::parse(self.offset(), "trailing input after statement"))
+            Err(Error::parse(
+                self.offset(),
+                "trailing input after statement",
+            ))
         }
     }
 
@@ -168,9 +177,7 @@ impl Parser {
             ]
             .into_iter()
             .find(|(kw, _)| s.eq_ignore_ascii_case(kw))
-            .filter(|_| {
-                self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
-            });
+            .filter(|_| self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen));
             if let Some((_, func)) = agg {
                 self.pos += 2;
                 if self.eat(&TokenKind::Star) {
@@ -220,16 +227,23 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { projection, table, conditions, order_by, limit })
+        Ok(SelectStmt {
+            projection,
+            table,
+            conditions,
+            order_by,
+            limit,
+        })
     }
 
     fn condition(&mut self) -> Result<Condition> {
         let column = self.ident("column name")?;
         let off = self.offset();
         match self.bump() {
-            Some(TokenKind::Eq) => {
-                Ok(Condition::Eq { column, value: self.literal()? })
-            }
+            Some(TokenKind::Eq) => Ok(Condition::Eq {
+                column,
+                value: self.literal()?,
+            }),
             Some(TokenKind::Lt) => Ok(Condition::Range {
                 column,
                 lo: None,
@@ -308,7 +322,11 @@ impl Parser {
             columns.push(self.ident("column name")?);
         }
         self.expect(&TokenKind::RParen, ")")?;
-        Ok(Statement::CreateIndex { name, table, columns })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
     }
 
     fn where_clause(&mut self) -> Result<Vec<Condition>> {
@@ -335,7 +353,11 @@ impl Parser {
             }
         }
         let conditions = self.where_clause()?;
-        Ok(Statement::Update(UpdateStmt { table, set, conditions }))
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            set,
+            conditions,
+        }))
     }
 
     fn delete(&mut self) -> Result<Statement> {
@@ -365,7 +387,14 @@ impl Parser {
 fn fold_ranges(conds: Vec<Condition>) -> Vec<Condition> {
     let mut out: Vec<Condition> = Vec::with_capacity(conds.len());
     'next: for c in conds {
-        if let Condition::Range { column, lo, lo_inclusive, hi, hi_inclusive } = &c {
+        if let Condition::Range {
+            column,
+            lo,
+            lo_inclusive,
+            hi,
+            hi_inclusive,
+        } = &c
+        {
             for prev in &mut out {
                 if let Condition::Range {
                     column: pc,
@@ -415,7 +444,10 @@ mod tests {
     #[test]
     fn parses_multi_column_and_conjunction() {
         let s = sel("select a, b from t where a = 5 and b between 1 and 10");
-        assert_eq!(s.projection, Projection::Columns(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            s.projection,
+            Projection::Columns(vec!["a".into(), "b".into()])
+        );
         assert_eq!(s.conditions.len(), 2);
         assert_eq!(s.order_by, None);
         assert_eq!(s.limit, None);
@@ -426,7 +458,10 @@ mod tests {
         assert_eq!(sel("SELECT * FROM t").projection, Projection::Star);
         let s = sel("SELECT COUNT(*) FROM t WHERE c >= 100");
         assert_eq!(s.projection, Projection::CountStar);
-        assert!(matches!(&s.conditions[0], Condition::Range { lo: Some(_), .. }));
+        assert!(matches!(
+            &s.conditions[0],
+            Condition::Range { lo: Some(_), .. }
+        ));
     }
 
     #[test]
@@ -434,7 +469,13 @@ mod tests {
         let s = sel("SELECT a FROM t WHERE a > 1 AND a <= 9");
         assert_eq!(s.conditions.len(), 1);
         match &s.conditions[0] {
-            Condition::Range { lo, lo_inclusive, hi, hi_inclusive, .. } => {
+            Condition::Range {
+                lo,
+                lo_inclusive,
+                hi,
+                hi_inclusive,
+                ..
+            } => {
                 assert_eq!(lo, &Some(Value::Int(1)));
                 assert!(!lo_inclusive);
                 assert_eq!(hi, &Some(Value::Int(9)));
@@ -449,7 +490,10 @@ mod tests {
         let s = sel("SELECT a FROM t WHERE a = -5");
         assert_eq!(
             s.conditions[0],
-            Condition::Eq { column: "a".into(), value: Value::Int(-5) }
+            Condition::Eq {
+                column: "a".into(),
+                value: Value::Int(-5)
+            }
         );
     }
 
@@ -482,17 +526,38 @@ mod tests {
     #[test]
     fn parses_aggregates_order_by_limit() {
         let s = sel("SELECT SUM(b) FROM t WHERE a = 5");
-        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Sum, "b".into()));
+        assert_eq!(
+            s.projection,
+            Projection::Aggregate(AggFunc::Sum, "b".into())
+        );
         let s = sel("SELECT MAX(a) FROM t");
-        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Max, "a".into()));
+        assert_eq!(
+            s.projection,
+            Projection::Aggregate(AggFunc::Max, "a".into())
+        );
         let s = sel("SELECT COUNT(b) FROM t");
-        assert_eq!(s.projection, Projection::Aggregate(AggFunc::Count, "b".into()));
+        assert_eq!(
+            s.projection,
+            Projection::Aggregate(AggFunc::Count, "b".into())
+        );
 
         let s = sel("SELECT a, b FROM t WHERE a >= 5 ORDER BY b DESC LIMIT 10");
-        assert_eq!(s.order_by, Some(OrderBy { column: "b".into(), desc: true }));
+        assert_eq!(
+            s.order_by,
+            Some(OrderBy {
+                column: "b".into(),
+                desc: true
+            })
+        );
         assert_eq!(s.limit, Some(10));
         let s = sel("SELECT a FROM t ORDER BY a ASC");
-        assert_eq!(s.order_by, Some(OrderBy { column: "a".into(), desc: false }));
+        assert_eq!(
+            s.order_by,
+            Some(OrderBy {
+                column: "a".into(),
+                desc: false
+            })
+        );
 
         for bad in [
             "SELECT SUM(*) FROM t",
@@ -512,7 +577,10 @@ mod tests {
                 table: "t".into(),
                 set: vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(-2))],
                 conditions: vec![
-                    Condition::Eq { column: "c".into(), value: Value::Int(3) },
+                    Condition::Eq {
+                        column: "c".into(),
+                        value: Value::Int(3)
+                    },
                     Condition::Range {
                         column: "d".into(),
                         lo: Some(Value::Int(4)),
@@ -527,12 +595,24 @@ mod tests {
             parse("DELETE FROM t WHERE a = 1").unwrap(),
             Statement::Delete(DeleteStmt {
                 table: "t".into(),
-                conditions: vec![Condition::Eq { column: "a".into(), value: Value::Int(1) }],
+                conditions: vec![Condition::Eq {
+                    column: "a".into(),
+                    value: Value::Int(1)
+                }],
             })
         );
         // Unpredicated delete (full truncate) parses too.
-        assert!(matches!(parse("DELETE FROM t").unwrap(), Statement::Delete(_)));
-        for bad in ["UPDATE t", "UPDATE t SET", "UPDATE t SET a", "DELETE t", "DELETE FROM"] {
+        assert!(matches!(
+            parse("DELETE FROM t").unwrap(),
+            Statement::Delete(_)
+        ));
+        for bad in [
+            "UPDATE t",
+            "UPDATE t SET",
+            "UPDATE t SET a",
+            "DELETE t",
+            "DELETE FROM",
+        ] {
             assert!(parse(bad).is_err(), "should reject: {bad}");
         }
     }
@@ -586,7 +666,10 @@ mod tests {
             let ast = parse(s).unwrap();
             let printed = ast.to_string();
             let reparsed = parse(&printed).unwrap();
-            assert_eq!(ast, reparsed, "round-trip failed for {s} (printed: {printed})");
+            assert_eq!(
+                ast, reparsed,
+                "round-trip failed for {s} (printed: {printed})"
+            );
         }
     }
 }

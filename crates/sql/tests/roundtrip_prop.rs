@@ -13,9 +13,9 @@ use cdpd_types::Value;
 /// for reasons unrelated to the printer).
 fn ident() -> impl Strategy<Value = String> {
     const KEYWORDS: &[&str] = &[
-        "select", "from", "where", "and", "or", "not", "between", "order", "by", "limit",
-        "update", "set", "delete", "insert", "into", "values", "count", "sum", "min", "max",
-        "avg", "asc", "desc", "null",
+        "select", "from", "where", "and", "or", "not", "between", "order", "by", "limit", "update",
+        "set", "delete", "insert", "into", "values", "count", "sum", "min", "max", "avg", "asc",
+        "desc", "null",
     ];
     (
         string_of("abcdefghijklmnopqrstuvwxyz", 1..2),
@@ -146,7 +146,11 @@ fn statement() -> impl Strategy<Value = Statement> {
             .prop_map(|(table, mut set, conditions)| {
                 let mut seen = std::collections::HashSet::new();
                 set.retain(|(c, _)| seen.insert(c.clone()));
-                Statement::Update(UpdateStmt { table, set, conditions })
+                Statement::Update(UpdateStmt {
+                    table,
+                    set,
+                    conditions,
+                })
             }),
         (ident(), distinct_conditions(3))
             .prop_map(|(table, conditions)| Statement::Delete(DeleteStmt { table, conditions })),

@@ -157,9 +157,19 @@ impl BTree {
     /// Create an empty tree (a single empty leaf) on `pager`.
     pub fn create(pager: Arc<Pager>) -> Result<BTree> {
         let root = pager.allocate();
-        let leaf = OwnedNode::Leaf { entries: Vec::new(), next: None };
+        let leaf = OwnedNode::Leaf {
+            entries: Vec::new(),
+            next: None,
+        };
         pager.write(root, Arc::new(leaf.encode()))?;
-        Ok(BTree { pager, root, height: 1, pages: vec![root], leaf_count: 1, entry_count: 0 })
+        Ok(BTree {
+            pager,
+            root,
+            height: 1,
+            pages: vec![root],
+            leaf_count: 1,
+            entry_count: 0,
+        })
     }
 
     /// Build a tree from entries **sorted by `(values, rid)`**.
@@ -184,27 +194,29 @@ impl BTree {
         let mut leaf_count = 0u64;
         let mut prev_key: Option<Vec<u8>> = None;
 
-        let flush =
-            |cur: &mut Vec<Vec<u8>>, leaves: &mut Vec<(Vec<u8>, PageId)>| -> Result<()> {
-                if cur.is_empty() {
-                    return Ok(());
+        let flush = |cur: &mut Vec<Vec<u8>>, leaves: &mut Vec<(Vec<u8>, PageId)>| -> Result<()> {
+            if cur.is_empty() {
+                return Ok(());
+            }
+            let pid = pager.allocate();
+            let first = cur[0].clone();
+            // Chain the previous leaf to this one.
+            if let Some(&(_, prev_pid)) = leaves.last() {
+                let prev = pager.read(prev_pid)?;
+                let mut node = OwnedNode::decode(&prev)?;
+                if let OwnedNode::Leaf { next, .. } = &mut node {
+                    *next = Some(pid);
                 }
-                let pid = pager.allocate();
-                let first = cur[0].clone();
-                // Chain the previous leaf to this one.
-                if let Some(&(_, prev_pid)) = leaves.last() {
-                    let prev = pager.read(prev_pid)?;
-                    let mut node = OwnedNode::decode(&prev)?;
-                    if let OwnedNode::Leaf { next, .. } = &mut node {
-                        *next = Some(pid);
-                    }
-                    pager.write(prev_pid, Arc::new(node.encode()))?;
-                }
-                let node = OwnedNode::Leaf { entries: std::mem::take(cur), next: None };
-                pager.write(pid, Arc::new(node.encode()))?;
-                leaves.push((first, pid));
-                Ok(())
+                pager.write(prev_pid, Arc::new(node.encode()))?;
+            }
+            let node = OwnedNode::Leaf {
+                entries: std::mem::take(cur),
+                next: None,
             };
+            pager.write(pid, Arc::new(node.encode()))?;
+            leaves.push((first, pid));
+            Ok(())
+        };
 
         for (values, rid) in entries {
             let key = full_key(&values, rid);
@@ -326,7 +338,9 @@ impl BTree {
         }
 
         // Split the leaf: left keeps the first half, right gets the rest.
-        let OwnedNode::Leaf { entries, next } = node else { unreachable!() };
+        let OwnedNode::Leaf { entries, next } = node else {
+            unreachable!()
+        };
         let mid = entries.len() / 2;
         let mut left_entries = entries;
         let right_entries = left_entries.split_off(mid);
@@ -334,8 +348,14 @@ impl BTree {
         let right_pid = self.pager.allocate();
         self.pages.push(right_pid);
         self.leaf_count += 1;
-        let right = OwnedNode::Leaf { entries: right_entries, next };
-        let left = OwnedNode::Leaf { entries: left_entries, next: Some(right_pid) };
+        let right = OwnedNode::Leaf {
+            entries: right_entries,
+            next,
+        };
+        let left = OwnedNode::Leaf {
+            entries: left_entries,
+            next: Some(right_pid),
+        };
         self.pager.write(right_pid, Arc::new(right.encode()))?;
         self.pager.write(pid, Arc::new(left.encode()))?;
 
@@ -361,7 +381,9 @@ impl BTree {
                 self.pager.write(pid, Arc::new(node.encode()))?;
                 return Ok(());
             }
-            let OwnedNode::Internal { keys, children } = node else { unreachable!() };
+            let OwnedNode::Internal { keys, children } = node else {
+                unreachable!()
+            };
             let mid = keys.len() / 2;
             // keys[mid] moves up; left keeps [..mid], right gets [mid+1..].
             let mut lk = keys;
@@ -373,17 +395,34 @@ impl BTree {
             self.pages.push(right_pid);
             self.pager.write(
                 right_pid,
-                Arc::new(OwnedNode::Internal { keys: rk, children: rc }.encode()),
+                Arc::new(
+                    OwnedNode::Internal {
+                        keys: rk,
+                        children: rc,
+                    }
+                    .encode(),
+                ),
             )?;
-            self.pager
-                .write(pid, Arc::new(OwnedNode::Internal { keys: lk, children: lc }.encode()))?;
+            self.pager.write(
+                pid,
+                Arc::new(
+                    OwnedNode::Internal {
+                        keys: lk,
+                        children: lc,
+                    }
+                    .encode(),
+                ),
+            )?;
             sep = up;
             right = right_pid;
         }
         // Root split: grow the tree.
         let new_root = self.pager.allocate();
         self.pages.push(new_root);
-        let node = OwnedNode::Internal { keys: vec![sep], children: vec![self.root, right] };
+        let node = OwnedNode::Internal {
+            keys: vec![sep],
+            children: vec![self.root, right],
+        };
         self.pager.write(new_root, Arc::new(node.encode()))?;
         self.root = new_root;
         self.height += 1;
@@ -401,7 +440,9 @@ impl BTree {
             match page[0] {
                 LEAF => {
                     let mut node = OwnedNode::decode(&page)?;
-                    let OwnedNode::Leaf { entries, .. } = &mut node else { unreachable!() };
+                    let OwnedNode::Leaf { entries, .. } = &mut node else {
+                        unreachable!()
+                    };
                     let pos = entries.partition_point(|e| e.as_slice() < key.as_slice());
                     if entries.get(pos).is_some_and(|e| *e == key) {
                         entries.remove(pos);
@@ -697,7 +738,10 @@ mod tests {
         let mut tree = BTree::create(Arc::new(Pager::new())).unwrap();
         tree.insert(&iv(4), rid(1)).unwrap();
         tree.insert(&iv(4), rid(2)).unwrap();
-        assert!(tree.insert(&iv(4), rid(2)).is_err(), "same (key,rid) rejected");
+        assert!(
+            tree.insert(&iv(4), rid(2)).is_err(),
+            "same (key,rid) rejected"
+        );
         assert_eq!(tree.entry_count(), 2);
     }
 
@@ -725,11 +769,17 @@ mod tests {
         // Exact hit.
         let mut c = tree.seek(&iv(40)).unwrap();
         let (k, _) = c.next_entry().unwrap().unwrap();
-        assert_eq!(crate::codec::decode_key(k).unwrap()[0].as_int().unwrap(), 40);
+        assert_eq!(
+            crate::codec::decode_key(k).unwrap()[0].as_int().unwrap(),
+            40
+        );
         // Between keys: lands on next.
         let mut c = tree.seek(&iv(41)).unwrap();
         let (k, _) = c.next_entry().unwrap().unwrap();
-        assert_eq!(crate::codec::decode_key(k).unwrap()[0].as_int().unwrap(), 42);
+        assert_eq!(
+            crate::codec::decode_key(k).unwrap()[0].as_int().unwrap(),
+            42
+        );
         // Past the end.
         let mut c = tree.seek(&iv(1000)).unwrap();
         assert!(c.next_entry().unwrap().is_none());
@@ -741,7 +791,8 @@ mod tests {
         let mut n = 0;
         for a in 0..50i64 {
             for b in 0..4i64 {
-                tree.insert(&[Value::Int(a), Value::Int(b)], rid(n)).unwrap();
+                tree.insert(&[Value::Int(a), Value::Int(b)], rid(n))
+                    .unwrap();
                 n += 1;
             }
         }
@@ -859,7 +910,10 @@ mod tests {
         // "Update" every entry: move it to a new key, like index
         // maintenance does.
         for i in 0..n {
-            assert!(tree.delete(&iv(i % 500), rid(i as u32)).unwrap(), "entry {i}");
+            assert!(
+                tree.delete(&iv(i % 500), rid(i as u32)).unwrap(),
+                "entry {i}"
+            );
             tree.insert(&iv((i % 500) + 1000), rid(i as u32)).unwrap();
         }
         assert_eq!(tree.entry_count() as i64, n);
@@ -894,7 +948,11 @@ mod tests {
         let mut c = tree.seek(&iv(10_000)).unwrap();
         c.next_entry().unwrap().unwrap();
         let reads = pager.stats().delta(before).reads;
-        assert_eq!(reads, tree.height() as u64, "descent reads one page per level");
+        assert_eq!(
+            reads,
+            tree.height() as u64,
+            "descent reads one page per level"
+        );
     }
 
     #[test]

@@ -229,9 +229,10 @@ pub fn decode_key(mut bytes: &[u8]) -> Result<Vec<Value>> {
                         [] => return Err(Error::Corrupt("unterminated string key".into())),
                     }
                 }
-                out.push(Value::Str(String::from_utf8(s).map_err(|_| {
-                    Error::Corrupt("key string is not UTF-8".into())
-                })?));
+                out.push(Value::Str(
+                    String::from_utf8(s)
+                        .map_err(|_| Error::Corrupt("key string is not UTF-8".into()))?,
+                ));
             }
             t => return Err(Error::Corrupt(format!("unknown key tag {t:#x}"))),
         }

@@ -20,7 +20,11 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap on `pager`.
     pub fn create(pager: Arc<Pager>) -> HeapFile {
-        HeapFile { pager, pages: Vec::new(), row_count: 0 }
+        HeapFile {
+            pager,
+            pages: Vec::new(),
+            row_count: 0,
+        }
     }
 
     /// Insert an encoded row, returning its record id.
@@ -72,7 +76,9 @@ impl HeapFile {
 
     /// Delete one row. Returns true if it existed.
     pub fn delete(&mut self, rid: Rid) -> Result<bool> {
-        let deleted = self.pager.update(rid.page, |buf| slotted::delete(buf, rid.slot))?;
+        let deleted = self
+            .pager
+            .update(rid.page, |buf| slotted::delete(buf, rid.slot))?;
         if deleted {
             self.row_count -= 1;
         }
@@ -144,11 +150,9 @@ impl HeapScan<'_> {
                     let pid = self.heap.pages[self.page_idx];
                     // Re-borrow through self.current to give the view the
                     // full lifetime of &mut self's borrow.
-                    let bytes = slotted::get(
-                        self.current.as_ref().expect("page pinned above"),
-                        slot,
-                    )
-                    .expect("slot checked live");
+                    let bytes =
+                        slotted::get(self.current.as_ref().expect("page pinned above"), slot)
+                            .expect("slot checked live");
                     return Ok(Some((Rid::new(pid, slot), RowView::new(bytes))));
                 }
             }
@@ -177,7 +181,10 @@ mod tests {
         let rid = heap.insert(&row_bytes(&[1, 2, 3, 4])).unwrap();
         let bytes = heap.fetch(rid).unwrap();
         let row = decode_row(&bytes).unwrap();
-        assert_eq!(row, vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]);
+        assert_eq!(
+            row,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use cdpd_types::{Error, PageId, Result};
-use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Size of a page in bytes. 8 KiB matches the SQL Server page size used
 /// in the paper's experiments, so page-count arithmetic (≈200 rows per
@@ -197,7 +197,14 @@ mod tests {
         pager.read(id).unwrap();
         pager.update(id, |b| b[1] = 7).unwrap();
         let d = pager.stats().delta(before);
-        assert_eq!(d, IoStats { reads: 3, writes: 1, allocs: 0 });
+        assert_eq!(
+            d,
+            IoStats {
+                reads: 3,
+                writes: 1,
+                allocs: 0
+            }
+        );
         assert_eq!(d.total(), 4);
     }
 

@@ -1,9 +1,9 @@
 use crate::pager::{Page, Pager};
 use cdpd_types::{PageId, Result};
-use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// An LRU buffer pool in front of a [`Pager`].
 ///
@@ -41,7 +41,10 @@ impl BufferPool {
         BufferPool {
             pager,
             capacity,
-            inner: Mutex::new(PoolInner { map: HashMap::new(), clock: 0 }),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -81,7 +84,11 @@ impl BufferPool {
 
     /// Invalidate a cached page (call after writing through the pager).
     pub fn invalidate(&self, id: PageId) {
-        self.inner.lock().expect("pool lock poisoned").map.remove(&id.raw());
+        self.inner
+            .lock()
+            .expect("pool lock poisoned")
+            .map
+            .remove(&id.raw());
     }
 
     /// Drop all cached pages (e.g. after a bulk load).
@@ -91,7 +98,10 @@ impl BufferPool {
 
     /// `(hits, misses)` since construction. Misses are physical fetches.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of pages currently cached.

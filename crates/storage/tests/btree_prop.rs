@@ -52,15 +52,19 @@ fn run_ops(tree: &mut BTree, model: &mut BTreeSet<(i64, u32)>, ops: &[Op]) {
                 }
             }
             Op::Delete(k, r) => {
-                let removed = tree.delete(&[Value::Int(k)], Rid::new(PageId(r), 0)).unwrap();
+                let removed = tree
+                    .delete(&[Value::Int(k)], Rid::new(PageId(r), 0))
+                    .unwrap();
                 assert_eq!(removed, model.remove(&(k, r)));
             }
             Op::Seek(k) => {
                 let mut cur = tree.seek(&[Value::Int(k)]).unwrap();
-                let got = cur
-                    .next_entry()
-                    .unwrap()
-                    .map(|(key, rid)| (decode_key(key).unwrap()[0].as_int().unwrap(), rid.page.raw()));
+                let got = cur.next_entry().unwrap().map(|(key, rid)| {
+                    (
+                        decode_key(key).unwrap()[0].as_int().unwrap(),
+                        rid.page.raw(),
+                    )
+                });
                 let want = model.range((k, 0)..).next().copied();
                 assert_eq!(got, want, "seek({k}) diverged from model");
             }
@@ -70,8 +74,10 @@ fn run_ops(tree: &mut BTree, model: &mut BTreeSet<(i64, u32)>, ops: &[Op]) {
 
 fn assert_matches_model(tree: &BTree, model: &BTreeSet<(i64, u32)>) {
     let got = tree_entries(tree);
-    let want: Vec<(i64, Rid)> =
-        model.iter().map(|&(k, r)| (k, Rid::new(PageId(r), 0))).collect();
+    let want: Vec<(i64, Rid)> = model
+        .iter()
+        .map(|&(k, r)| (k, Rid::new(PageId(r), 0)))
+        .collect();
     assert_eq!(got, want);
 }
 

@@ -55,7 +55,13 @@ impl Criterion {
         let name = name.into();
         println!("\n== {name} ==");
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name, sample_size, results: Vec::new() }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size,
+            results: Vec::new(),
+            metrics: Vec::new(),
+        }
     }
 }
 
@@ -68,13 +74,17 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark id `function/parameter`.
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> BenchmarkId {
-        BenchmarkId { name: name.to_owned() }
+        BenchmarkId {
+            name: name.to_owned(),
+        }
     }
 }
 
@@ -99,6 +109,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     results: Vec<Stats>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -126,7 +137,11 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
-        let mut bencher = Bencher { mode: Mode::Warmup, samples: Vec::new(), iters: 1 };
+        let mut bencher = Bencher {
+            mode: Mode::Warmup,
+            samples: Vec::new(),
+            iters: 1,
+        };
         f(&mut bencher); // warmup + calibration
         bencher.mode = Mode::Measure(self.sample_size);
         bencher.samples.clear();
@@ -143,6 +158,21 @@ impl BenchmarkGroup<'_> {
         self.results.push(stats);
     }
 
+    /// Record a scalar, non-timing metric (a counter, a byte count, a
+    /// ratio) alongside the group's timing results. Metrics print with
+    /// the report and land in the JSON file as
+    /// `{"group", "id", "metric"}` records, so trajectories can track
+    /// work counts as well as durations.
+    pub fn metric(&mut self, id: impl Into<String>, value: f64) {
+        let id = id.into();
+        println!(
+            "{:<44} metric {:>14}",
+            format!("{}/{}", self.name, id),
+            fmt_metric(value)
+        );
+        self.metrics.push((id, value));
+    }
+
     /// Write the group's JSON report (if configured). Dropping the
     /// group without calling `finish` does the same.
     pub fn finish(self) {}
@@ -150,28 +180,33 @@ impl BenchmarkGroup<'_> {
 
 impl Drop for BenchmarkGroup<'_> {
     fn drop(&mut self) {
-        let Some(dir) = self.criterion.json_dir.clone() else { return };
-        if self.results.is_empty() {
+        let Some(dir) = self.criterion.json_dir.clone() else {
+            return;
+        };
+        if self.results.is_empty() && self.metrics.is_empty() {
             return;
         }
         if std::fs::create_dir_all(&dir).is_err() {
             return;
         }
         let path = dir.join(format!("BENCH_{}.json", self.name.replace('/', "_")));
-        let mut json = String::from("[\n");
-        for (i, s) in self.results.iter().enumerate() {
-            json.push_str(&format!(
-                "  {{\"group\": {:?}, \"id\": {:?}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
-                self.name,
-                s.id,
-                s.median_ns,
-                s.p95_ns,
-                s.samples,
-                s.iters_per_sample,
-                if i + 1 < self.results.len() { "," } else { "" },
-            ));
-        }
-        json.push_str("]\n");
+        let mut records: Vec<String> = self
+            .results
+            .iter()
+            .map(|s| {
+                format!(
+                    "  {{\"group\": {:?}, \"id\": {:?}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                    self.name, s.id, s.median_ns, s.p95_ns, s.samples, s.iters_per_sample,
+                )
+            })
+            .collect();
+        records.extend(self.metrics.iter().map(|(id, value)| {
+            format!(
+                "  {{\"group\": {:?}, \"id\": {:?}, \"metric\": {value}}}",
+                self.name, id
+            )
+        }));
+        let json = format!("[\n{}\n]\n", records.join(",\n"));
         if std::fs::write(&path, json).is_err() {
             eprintln!("warning: could not write {}", path.display());
         }
@@ -227,7 +262,10 @@ impl Bencher {
 
     fn stats(&self, id: &str) -> Stats {
         let mut sorted = self.samples.clone();
-        assert!(!sorted.is_empty(), "benchmark closure never called Bencher::iter");
+        assert!(
+            !sorted.is_empty(),
+            "benchmark closure never called Bencher::iter"
+        );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
         let median = sorted[sorted.len() / 2];
         let p95 = sorted[((sorted.len() - 1) as f64 * 0.95) as usize];
@@ -238,6 +276,14 @@ impl Bencher {
             samples: sorted.len(),
             iters_per_sample: self.iters,
         }
+    }
+}
+
+fn fmt_metric(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.3}")
     }
 }
 
@@ -289,7 +335,11 @@ mod tests {
 
     #[test]
     fn measure_produces_sane_stats() {
-        let mut bencher = Bencher { mode: Mode::Measure(8), samples: Vec::new(), iters: 100 };
+        let mut bencher = Bencher {
+            mode: Mode::Measure(8),
+            samples: Vec::new(),
+            iters: 100,
+        };
         bencher.iter(|| std::hint::black_box((0..50u64).sum::<u64>()));
         let stats = bencher.stats("sum");
         assert_eq!(stats.samples, 8);

@@ -221,7 +221,11 @@ impl Strategy for AnyBool {
         rng.next_u64() & 1 == 1
     }
     fn shrink(&self, value: &bool) -> Vec<bool> {
-        if *value { vec![false] } else { Vec::new() }
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -317,7 +321,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    assert!(size.start < size.end, "btree_set_of needs a non-empty size range");
+    assert!(
+        size.start < size.end,
+        "btree_set_of needs a non-empty size range"
+    );
     BTreeSetOf { elem, size }
 }
 
@@ -439,7 +446,10 @@ impl<V: Clone + Debug> Strategy for OneOf<V> {
     fn shrink(&self, value: &V) -> Vec<V> {
         // Which variant produced `value` is unknown; pool every
         // variant's proposals (the runner re-tests each one anyway).
-        self.variants.iter().flat_map(|(_, s)| s.shrink(value)).collect()
+        self.variants
+            .iter()
+            .flat_map(|(_, s)| s.shrink(value))
+            .collect()
     }
 }
 
@@ -462,8 +472,14 @@ macro_rules! one_of {
 /// replacing chars with the first charset char.
 pub fn string_of(charset: &str, len: Range<usize>) -> StringOf {
     assert!(!charset.is_empty(), "string_of needs a non-empty charset");
-    assert!(len.start < len.end, "string_of needs a non-empty length range");
-    StringOf { chars: charset.chars().collect(), len }
+    assert!(
+        len.start < len.end,
+        "string_of needs a non-empty length range"
+    );
+    StringOf {
+        chars: charset.chars().collect(),
+        len,
+    }
 }
 
 /// See [`string_of`].
@@ -477,7 +493,9 @@ impl Strategy for StringOf {
 
     fn generate(&self, rng: &mut Prng) -> String {
         let n = rng.gen_range(self.len.clone());
-        (0..n).map(|_| self.chars[rng.gen_range(0..self.chars.len())]).collect()
+        (0..n)
+            .map(|_| self.chars[rng.gen_range(0..self.chars.len())])
+            .collect()
     }
 
     fn shrink(&self, value: &String) -> Vec<String> {
@@ -508,7 +526,10 @@ impl Strategy for StringOf {
 /// a sample of multi-byte code points) — fuzzing input for parsers.
 /// Shrinks by truncation.
 pub fn string_any(len: Range<usize>) -> AnyString {
-    assert!(len.start < len.end, "string_any needs a non-empty length range");
+    assert!(
+        len.start < len.end,
+        "string_any needs a non-empty length range"
+    );
     AnyString { len }
 }
 
@@ -517,8 +538,10 @@ pub struct AnyString {
     len: Range<usize>,
 }
 
-const UNUSUAL_CHARS: &[char] =
-    &['\0', '\t', '\n', '\r', '\u{1B}', '\'', '"', '\\', '%', '_', ';', 'é', 'λ', '中', '🦀', '\u{FFFD}'];
+const UNUSUAL_CHARS: &[char] = &[
+    '\0', '\t', '\n', '\r', '\u{1B}', '\'', '"', '\\', '%', '_', ';', 'é', 'λ', '中', '🦀',
+    '\u{FFFD}',
+];
 
 impl Strategy for AnyString {
     type Value = String;
@@ -569,14 +592,21 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Config {
-        Config { cases: 64, max_shrink_steps: 2048, seed: None }
+        Config {
+            cases: 64,
+            max_shrink_steps: 2048,
+            seed: None,
+        }
     }
 }
 
 impl Config {
     /// A config running `cases` random cases.
     pub fn with_cases(cases: u32) -> Config {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 
     fn effective_cases(&self) -> u32 {
@@ -747,8 +777,15 @@ fn persist_regression_seed(path: &Path, name: &str, failure: &Failure) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
-        eprintln!("warning: could not persist failure seed to {}", path.display());
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        eprintln!(
+            "warning: could not persist failure seed to {}",
+            path.display()
+        );
         return;
     };
     let mut minimal_one_line = failure.minimal.replace('\n', " ");
@@ -761,7 +798,11 @@ fn persist_regression_seed(path: &Path, name: &str, failure: &Failure) {
              # Check this file in so everyone re-runs the saved cases."
         );
     }
-    let _ = writeln!(file, "seed = {:#018x} # shrinks to {}", failure.seed, minimal_one_line);
+    let _ = writeln!(
+        file,
+        "seed = {:#018x} # shrinks to {}",
+        failure.seed, minimal_one_line
+    );
 }
 
 /// Define property tests. Each `fn` becomes a `#[test]` that draws its
@@ -849,7 +890,11 @@ mod tests {
         let (mut lo, mut hi) = (0, 0);
         for _ in 0..200 {
             let v = strat.generate(&mut rng);
-            if v < 100 { lo += 1 } else { hi += 1 }
+            if v < 100 {
+                lo += 1
+            } else {
+                hi += 1
+            }
         }
         assert!(lo > 80 && hi > 20, "lo {lo} hi {hi}");
     }

@@ -36,7 +36,14 @@ impl Prng {
     /// convention, so known-answer vectors apply).
     pub fn seed_from_u64(seed: u64) -> Prng {
         let mut sm = seed;
-        Prng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        Prng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
     /// Next 64 uniformly random bits.

@@ -3,7 +3,7 @@
 //! seed persistence + replay, and a bench smoke test (including the
 //! JSON report).
 
-use cdpd_testkit::prop::{self, vec_of, Config, Strategy};
+use cdpd_testkit::prop::{self, vec_of, Config};
 use cdpd_testkit::props;
 use cdpd_testkit::Prng;
 use std::path::PathBuf;
@@ -88,10 +88,19 @@ fn shrinker_converges_to_minimal_counterexample() {
         .trim_end_matches(']')
         .split(',')
         .filter(|s| !s.trim().is_empty())
-        .map(|s| s.trim().parse().expect("minimal must be a Vec<i64> debug string"))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("minimal must be a Vec<i64> debug string")
+        })
         .collect();
     elems.sort_unstable();
-    assert_eq!(elems, vec![0, 0, 50], "not fully shrunk: {}", failure.minimal);
+    assert_eq!(
+        elems,
+        vec![0, 0, 50],
+        "not fully shrunk: {}",
+        failure.minimal
+    );
     assert!(failure.shrink_steps > 0);
 }
 
@@ -119,7 +128,10 @@ fn failure_seeds_persist_and_replay() {
     let replayed = prop::check_quiet("selftest::persist", Some(&path), &cfg, strategy(), test)
         .expect_err("replay must fail");
     assert_eq!(replayed.seed, first.seed);
-    assert_eq!(replayed.case, None, "failure must come from the persisted seed");
+    assert_eq!(
+        replayed.case, None,
+        "failure must come from the persisted seed"
+    );
     let _ = std::fs::remove_file(&path);
 }
 
@@ -130,9 +142,15 @@ fn case_stream_is_deterministic() {
     let collect = || {
         let seen = std::sync::Mutex::new(Vec::new());
         let cfg = Config::with_cases(10);
-        prop::check_quiet("selftest::stream", None, &cfg, vec_of(0i64..1000, 1..20), |v| {
-            seen.lock().unwrap().push(v.clone());
-        })
+        prop::check_quiet(
+            "selftest::stream",
+            None,
+            &cfg,
+            vec_of(0i64..1000, 1..20),
+            |v| {
+                seen.lock().unwrap().push(v.clone());
+            },
+        )
         .unwrap();
         seen.into_inner().unwrap()
     };

@@ -40,7 +40,10 @@ pub enum Error {
 impl Error {
     /// Shorthand for a parse error.
     pub fn parse(offset: usize, message: impl Into<String>) -> Error {
-        Error::Parse { offset, message: message.into() }
+        Error::Parse {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

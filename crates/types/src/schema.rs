@@ -13,7 +13,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ValueType) -> ColumnDef {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// An `INT` column.

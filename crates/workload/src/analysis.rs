@@ -33,8 +33,11 @@ pub struct WindowProfile {
 impl WindowProfile {
     /// L1 distance between two profiles, in `[0, 2]`.
     pub fn l1(&self, other: &WindowProfile) -> f64 {
-        let keys: std::collections::BTreeSet<&String> =
-            self.fractions.keys().chain(other.fractions.keys()).collect();
+        let keys: std::collections::BTreeSet<&String> = self
+            .fractions
+            .keys()
+            .chain(other.fractions.keys())
+            .collect();
         keys.into_iter()
             .map(|k| {
                 (self.fractions.get(k).copied().unwrap_or(0.0)
@@ -179,13 +182,19 @@ mod tests {
 
     #[test]
     fn w1_has_two_major_shifts() {
-        let params = paper::PaperParams { domain: 2_000, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 2_000,
+            ..Default::default()
+        };
         let trace = generate(&paper::w1_with(&params), 5);
         let profiles = window_profiles(&trace, 500).unwrap();
         assert_eq!(profiles.len(), 30);
         let shifts = detect_shifts(&profiles);
-        let majors: Vec<usize> =
-            shifts.iter().filter(|s| s.major).map(|s| s.window).collect();
+        let majors: Vec<usize> = shifts
+            .iter()
+            .filter(|s| s.major)
+            .map(|s| s.window)
+            .collect();
         assert_eq!(majors, vec![10, 20], "{shifts:?}");
         // Minor shifts are detected but graded minor.
         let minors = shifts.iter().filter(|s| !s.major).count();
@@ -195,7 +204,10 @@ mod tests {
 
     #[test]
     fn w2_and_w3_also_suggest_two() {
-        let params = paper::PaperParams { domain: 2_000, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 2_000,
+            ..Default::default()
+        };
         for spec in [paper::w2_with(&params), paper::w3_with(&params)] {
             let trace = trace_of(&spec);
             assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 2, "{spec:?}");
@@ -204,13 +216,7 @@ mod tests {
 
     #[test]
     fn stable_workload_suggests_zero() {
-        let spec = WorkloadSpec::new(
-            "t",
-            2_000,
-            500,
-            vec![QueryMix::paper_a(); 12],
-        )
-        .unwrap();
+        let spec = WorkloadSpec::new("t", 2_000, 500, vec![QueryMix::paper_a(); 12]).unwrap();
         let trace = trace_of(&spec);
         assert_eq!(suggest_k_from_trace(&trace, 500).unwrap(), 0);
     }
@@ -221,7 +227,11 @@ mod tests {
         // shift is the trend and the budget covers them all.
         let mut windows = Vec::new();
         for i in 0..8 {
-            windows.push(if i % 2 == 0 { QueryMix::paper_a() } else { QueryMix::paper_b() });
+            windows.push(if i % 2 == 0 {
+                QueryMix::paper_a()
+            } else {
+                QueryMix::paper_b()
+            });
         }
         let spec = WorkloadSpec::new("t", 2_000, 500, windows).unwrap();
         let trace = trace_of(&spec);
@@ -235,7 +245,10 @@ mod tests {
         let write = QueryMix::with_templates(
             "w",
             vec![(
-                Template::Update { set_column: "b".into(), where_column: "a".into() },
+                Template::Update {
+                    set_column: "b".into(),
+                    where_column: "a".into(),
+                },
                 1,
             )],
         )

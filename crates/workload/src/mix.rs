@@ -1,6 +1,6 @@
 use cdpd_sql::{Condition, DeleteStmt, Dml, SelectStmt, UpdateStmt};
-use cdpd_types::{Error, Result, Value};
 use cdpd_testkit::Prng;
+use cdpd_types::{Error, Result, Value};
 use std::fmt;
 
 /// One statement template a mix can draw: the paper's point query, or
@@ -34,7 +34,10 @@ impl Template {
         let v = rng.gen_range(0..domain.max(1));
         match self {
             Template::Point { column } => Dml::Select(SelectStmt::point(table, column, v)),
-            Template::Update { set_column, where_column } => {
+            Template::Update {
+                set_column,
+                where_column,
+            } => {
                 let nv = rng.gen_range(0..domain.max(1));
                 Dml::Update(UpdateStmt {
                     table: table.to_owned(),
@@ -81,7 +84,14 @@ impl QueryMix {
             name,
             weights
                 .iter()
-                .map(|(c, w)| (Template::Point { column: (*c).to_owned() }, *w))
+                .map(|(c, w)| {
+                    (
+                        Template::Point {
+                            column: (*c).to_owned(),
+                        },
+                        *w,
+                    )
+                })
                 .collect(),
         )
     }
@@ -93,9 +103,14 @@ impl QueryMix {
     ) -> Result<QueryMix> {
         let total: u64 = templates.iter().map(|(_, w)| *w as u64).sum();
         if total == 0 {
-            return Err(Error::InvalidArgument("query mix has zero total weight".into()));
+            return Err(Error::InvalidArgument(
+                "query mix has zero total weight".into(),
+            ));
         }
-        Ok(QueryMix { name: name.into(), templates })
+        Ok(QueryMix {
+            name: name.into(),
+            templates,
+        })
     }
 
     /// Table 1, Query Mix A: 55% a, 25% b, 10% c, 10% d.
@@ -124,7 +139,12 @@ impl QueryMix {
 
     /// All four Table 1 mixes, in order.
     pub fn paper_mixes() -> [QueryMix; 4] {
-        [Self::paper_a(), Self::paper_b(), Self::paper_c(), Self::paper_d()]
+        [
+            Self::paper_a(),
+            Self::paper_b(),
+            Self::paper_c(),
+            Self::paper_d(),
+        ]
     }
 
     /// Draw one statement against `table` with values uniform in
@@ -240,10 +260,18 @@ mod tests {
             vec![
                 (Template::Point { column: "a".into() }, 20),
                 (
-                    Template::Update { set_column: "b".into(), where_column: "a".into() },
+                    Template::Update {
+                        set_column: "b".into(),
+                        where_column: "a".into(),
+                    },
                     70,
                 ),
-                (Template::Delete { where_column: "c".into() }, 10),
+                (
+                    Template::Delete {
+                        where_column: "c".into(),
+                    },
+                    10,
+                ),
             ],
         )
         .unwrap();

@@ -29,7 +29,11 @@ pub struct PaperParams {
 
 impl Default for PaperParams {
     fn default() -> Self {
-        PaperParams { table: "t".into(), domain: 500_000, window_len: 500 }
+        PaperParams {
+            table: "t".into(),
+            domain: 500_000,
+            window_len: 500,
+        }
     }
 }
 
@@ -45,8 +49,13 @@ fn from_pattern(params: &PaperParams, pattern: &[char]) -> WorkloadSpec {
             other => unreachable!("unknown mix {other}"),
         })
         .collect();
-    WorkloadSpec::new(params.table.clone(), params.domain, params.window_len, windows)
-        .expect("paper patterns are valid")
+    WorkloadSpec::new(
+        params.table.clone(),
+        params.domain,
+        params.window_len,
+        windows,
+    )
+    .expect("paper patterns are valid")
 }
 
 /// The 30-window mix pattern of W1 (Table 2, column `W1`).
@@ -58,16 +67,14 @@ pub const W1_PATTERN: [char; 30] = [
 
 /// The 30-window mix pattern of W2 (minor shifts every window).
 pub const W2_PATTERN: [char; 30] = [
-    'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B',
-    'C', 'D', 'C', 'D', 'C', 'D', 'C', 'D', 'C', 'D',
-    'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B',
+    'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B', 'C', 'D', 'C', 'D', 'C', 'D', 'C', 'D', 'C',
+    'D', 'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B', 'A', 'B',
 ];
 
 /// The 30-window mix pattern of W3 (W1 with minor shifts out of phase).
 pub const W3_PATTERN: [char; 30] = [
-    'B', 'B', 'A', 'A', 'B', 'B', 'A', 'A', 'B', 'B',
-    'D', 'D', 'C', 'C', 'D', 'D', 'C', 'C', 'D', 'D',
-    'B', 'B', 'A', 'A', 'B', 'B', 'A', 'A', 'B', 'B',
+    'B', 'B', 'A', 'A', 'B', 'B', 'A', 'A', 'B', 'B', 'D', 'D', 'C', 'C', 'D', 'D', 'C', 'C', 'D',
+    'D', 'B', 'B', 'A', 'A', 'B', 'B', 'A', 'A', 'B', 'B',
 ];
 
 /// Workload W1 at paper scale.
@@ -144,7 +151,11 @@ mod tests {
 
     #[test]
     fn custom_scale() {
-        let p = PaperParams { table: "orders".into(), domain: 1000, window_len: 50 };
+        let p = PaperParams {
+            table: "orders".into(),
+            domain: 1000,
+            window_len: 50,
+        };
         let spec = w1_with(&p);
         assert_eq!(spec.table, "orders");
         assert_eq!(spec.total_queries(), 1500);

@@ -35,9 +35,16 @@ impl WorkloadSpec {
             return Err(Error::InvalidArgument("domain must be positive".into()));
         }
         if windows.is_empty() {
-            return Err(Error::InvalidArgument("workload needs at least one window".into()));
+            return Err(Error::InvalidArgument(
+                "workload needs at least one window".into(),
+            ));
         }
-        Ok(WorkloadSpec { table: table.into(), domain, window_len, windows })
+        Ok(WorkloadSpec {
+            table: table.into(),
+            domain,
+            window_len,
+            windows,
+        })
     }
 
     /// Total number of queries this spec generates.

@@ -105,16 +105,29 @@ pub fn summarize(trace: &Trace, window_len: usize) -> Result<SummarizedWorkload>
                     Some(&i) => order[i].count += 1,
                     None => {
                         by_sig.insert(sig, order.len());
-                        order.push(WeightedStatement { statement: stmt.clone(), count: 1 });
+                        order.push(WeightedStatement {
+                            statement: stmt.clone(),
+                            count: 1,
+                        });
                     }
                 },
-                None => order.push(WeightedStatement { statement: stmt.clone(), count: 1 }),
+                None => order.push(WeightedStatement {
+                    statement: stmt.clone(),
+                    count: 1,
+                }),
             }
         }
-        blocks.push(Block { start, len: end - start, weighted: order });
+        blocks.push(Block {
+            start,
+            len: end - start,
+            weighted: order,
+        });
         start = end;
     }
-    Ok(SummarizedWorkload { table: trace.table().to_owned(), blocks })
+    Ok(SummarizedWorkload {
+        table: trace.table().to_owned(),
+        blocks,
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +137,10 @@ mod tests {
 
     #[test]
     fn paper_workload_compresses_to_30_blocks() {
-        let params = paper::PaperParams { domain: 1000, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 1000,
+            ..Default::default()
+        };
         let trace = generate(&paper::w1_with(&params), 7);
         let sum = summarize(&trace, 500).unwrap();
         assert_eq!(sum.len(), 30);
@@ -142,7 +158,10 @@ mod tests {
 
     #[test]
     fn weights_reflect_mix() {
-        let params = paper::PaperParams { domain: 1000, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 1000,
+            ..Default::default()
+        };
         let trace = generate(&paper::w1_with(&params), 7);
         let sum = summarize(&trace, 500).unwrap();
         // First window of W1 is mix A: the dominant group targets `a`.
@@ -156,7 +175,9 @@ mod tests {
     fn ragged_tail_window() {
         let trace = Trace::from_selects(
             "t",
-            (0..7).map(|i| cdpd_sql::SelectStmt::point("t", "a", i)).collect(),
+            (0..7)
+                .map(|i| cdpd_sql::SelectStmt::point("t", "a", i))
+                .collect(),
         );
         let sum = summarize(&trace, 3).unwrap();
         assert_eq!(sum.len(), 3);
@@ -186,8 +207,7 @@ mod tests {
     #[test]
     fn updates_group_by_set_and_where_columns() {
         let u = |set: &str, wh: &str, v: i64| -> Dml {
-            match cdpd_sql::parse(&format!("UPDATE t SET {set} = {v} WHERE {wh} = {v}")).unwrap()
-            {
+            match cdpd_sql::parse(&format!("UPDATE t SET {set} = {v} WHERE {wh} = {v}")).unwrap() {
                 cdpd_sql::Statement::Update(u) => Dml::Update(u),
                 _ => unreachable!(),
             }

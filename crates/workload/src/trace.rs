@@ -180,8 +180,11 @@ mod tests {
         std::fs::write(&ddl, "DROP INDEX i;\n").unwrap();
         assert!(Trace::load(&ddl).is_err());
         let mixed = dir.join("mixed.sql");
-        std::fs::write(&mixed, "SELECT a FROM t WHERE a = 1;\nSELECT a FROM u WHERE a = 1;\n")
-            .unwrap();
+        std::fs::write(
+            &mixed,
+            "SELECT a FROM t WHERE a = 1;\nSELECT a FROM u WHERE a = 1;\n",
+        )
+        .unwrap();
         assert!(Trace::load(&mixed).is_err());
         let empty = dir.join("empty.sql");
         std::fs::write(&empty, "-- nothing\n").unwrap();

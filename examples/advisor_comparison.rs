@@ -32,12 +32,18 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(5);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row)?;
     }
     db.analyze("t")?;
 
-    let params = paper::PaperParams { table: "t".into(), domain, window_len: WINDOW };
+    let params = paper::PaperParams {
+        table: "t".into(),
+        domain,
+        window_len: WINDOW,
+    };
     let trace = generate(&paper::w1_with(&params), 42);
     let structures: Vec<IndexSpec> = vec![
         IndexSpec::new("t", &["a"]),
@@ -52,12 +58,18 @@ fn main() -> cdpd::types::Result<()> {
         ("k-aware graph (§3, optimal)", Algorithm::KAware),
         ("merging (§4.2, heuristic)", Algorithm::Merging),
         ("greedy-seq (§4.1, heuristic)", Algorithm::Greedy),
-        ("ranking (§5, anytime optimal)", Algorithm::Ranking { max_paths: 50_000 }),
+        (
+            "ranking (§5, anytime optimal)",
+            Algorithm::Ranking { max_paths: 50_000 },
+        ),
         ("hybrid (§6.4)", Algorithm::Hybrid),
     ];
 
     println!("constrained design for W1, k = {K}:\n");
-    println!("{:<32} {:>14} {:>8} {:>12}", "solver", "est. cost", "changes", "runtime");
+    println!(
+        "{:<32} {:>14} {:>8} {:>12}",
+        "solver", "est. cost", "changes", "runtime"
+    );
     for (name, alg) in algorithms {
         let start = Instant::now();
         let result = Advisor::new(&db, "t")

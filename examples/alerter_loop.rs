@@ -38,7 +38,9 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(23);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row)?;
     }
     db.analyze("t")?;
@@ -94,7 +96,9 @@ fn main() -> cdpd::types::Result<()> {
             let report = db.apply_configuration("t", &specs)?;
             println!(
                 "                 re-tuned: +{:?} -{:?} ({} I/Os)",
-                report.created, report.dropped, report.io.total()
+                report.created,
+                report.dropped,
+                report.io.total()
             );
         }
     }

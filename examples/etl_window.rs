@@ -42,7 +42,9 @@ fn load_accounts(seed: u64) -> cdpd::types::Result<Database> {
     )?;
     let mut rng = Prng::seed_from_u64(seed);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("accounts", &row)?;
     }
     db.analyze("accounts")?;
@@ -62,7 +64,12 @@ fn day_with_etl() -> cdpd::workload::Trace {
                 },
                 85,
             ),
-            (Template::Point { column: "account_id".into() }, 15),
+            (
+                Template::Point {
+                    column: "account_id".into(),
+                },
+                15,
+            ),
         ],
     )
     .expect("weights");
@@ -107,8 +114,7 @@ fn main() -> cdpd::types::Result<()> {
 
     let mut db_static = load_accounts(7)?;
     let stages = trace.len().div_ceil(WINDOW);
-    let static_specs =
-        vec![vec![IndexSpec::new("accounts", &["balance"])]; stages];
+    let static_specs = vec![vec![IndexSpec::new("accounts", &["balance"])]; stages];
     let pinned = replay(&mut db_static, &trace, WINDOW, &static_specs, None)?;
 
     println!("measured I/O over the whole day:");

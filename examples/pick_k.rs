@@ -9,7 +9,7 @@
 //! cargo run --release --example pick_k
 //! ```
 
-use cdpd::core::{enumerate_configs, kselect, MemoOracle, Problem};
+use cdpd::core::{enumerate_configs, kselect, Problem};
 use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd::types::{ColumnDef, Schema, Value};
 use cdpd::workload::{generate, paper, summarize};
@@ -33,12 +33,18 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(17);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row)?;
     }
     db.analyze("t")?;
 
-    let params = paper::PaperParams { table: "t".into(), domain, window_len: WINDOW };
+    let params = paper::PaperParams {
+        table: "t".into(),
+        domain,
+        window_len: WINDOW,
+    };
     let trace = generate(&paper::w1_with(&params), 42);
     let workload = summarize(&trace, WINDOW)?;
     let structures: Vec<IndexSpec> = vec![
@@ -50,11 +56,8 @@ fn main() -> cdpd::types::Result<()> {
         IndexSpec::new("t", &["c", "d"]),
     ];
 
-    let oracle = MemoOracle::new(EngineOracle::new(
-        WhatIfEngine::snapshot(&db, "t")?,
-        structures,
-        &workload,
-    )?);
+    let oracle =
+        EngineOracle::new(WhatIfEngine::snapshot(&db, "t")?, structures, &workload)?.into_shared();
     let problem = Problem::paper_experiment();
     let candidates = enumerate_configs(&oracle, None, Some(1))?;
 
@@ -88,7 +91,10 @@ fn main() -> cdpd::types::Result<()> {
             ..Default::default()
         },
     )?;
-    println!("cross-validated (train W1, hold out perturbed variants): k = {}", advice.k);
+    println!(
+        "cross-validated (train W1, hold out perturbed variants): k = {}",
+        advice.k
+    );
 
     // Fourth opinion, needing no cost model at all: changepoint
     // detection on the trace's per-window statement profiles.
@@ -96,8 +102,15 @@ fn main() -> cdpd::types::Result<()> {
     println!("trace-side shift detection (no cost model): k = {from_trace}");
     println!("\n{:>3} {:>14} {:>16}", "k", "train cost", "holdout cost");
     for p in &advice.curve {
-        println!("{:>3} {:>14} {:>16}", p.k, p.train_cost.to_string(), p.mean_test_cost.to_string());
+        println!(
+            "{:>3} {:>14} {:>16}",
+            p.k,
+            p.train_cost.to_string(),
+            p.mean_test_cost.to_string()
+        );
     }
+    println!("\ncost-curve oracle: {}", oracle.stats_snapshot());
+    println!("k-sweep train oracle: {}", advice.oracle_stats);
     Ok(())
 }
 

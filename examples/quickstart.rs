@@ -29,23 +29,38 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(7);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row)?;
     }
     db.analyze("t")?;
     println!("loaded {ROWS} rows ({} pages)", db.page_count());
 
     // 2. A workload trace: the paper's W1 (three phases, minor shifts).
-    let params = paper::PaperParams { domain, window_len: 250, ..Default::default() };
+    let params = paper::PaperParams {
+        domain,
+        window_len: 250,
+        ..Default::default()
+    };
     let trace = generate(&paper::w1_with(&params), 42);
-    println!("trace: {} statements, e.g. `{}`", trace.len(), trace.statements()[0]);
+    println!(
+        "trace: {} statements, e.g. `{}`",
+        trace.len(),
+        trace.statements()[0]
+    );
 
     // 3. Recommend a dynamic design with at most k = 2 changes. The
     //    advisor derives candidate indexes from the trace, costs them
     //    with the engine's what-if optimizer, and solves the k-aware
     //    sequence graph.
     let rec = Advisor::new(&db, "t")
-        .options(AdvisorOptions { k: Some(2), window_len: 250, end_empty: true, ..Default::default() })
+        .options(AdvisorOptions {
+            k: Some(2),
+            window_len: 250,
+            end_empty: true,
+            ..Default::default()
+        })
         .recommend(&trace)?;
     println!("\nrecommended design:\n{}", rec.describe());
 

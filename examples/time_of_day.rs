@@ -30,7 +30,12 @@ fn build_day_trace(domain: i64) -> Trace {
             .collect();
         QueryMix::new(
             name,
-            &[(dominant, 55), (secondary, 25), (others[0], 10), (others[1], 10)],
+            &[
+                (dominant, 55),
+                (secondary, 25),
+                (others[0], 10),
+                (others[1], 10),
+            ],
         )
         .expect("weights")
     };
@@ -46,13 +51,25 @@ fn build_day_trace(domain: i64) -> Trace {
     // Morning (8 windows), lunchtime burst (4), evening batch (6).
     let mut windows = Vec::new();
     for i in 0..8 {
-        windows.push(if i % 2 == 0 { morning_a.clone() } else { morning_b.clone() });
+        windows.push(if i % 2 == 0 {
+            morning_a.clone()
+        } else {
+            morning_b.clone()
+        });
     }
     for i in 0..4 {
-        windows.push(if i % 2 == 0 { lunch_a.clone() } else { lunch_b.clone() });
+        windows.push(if i % 2 == 0 {
+            lunch_a.clone()
+        } else {
+            lunch_b.clone()
+        });
     }
     for i in 0..6 {
-        windows.push(if i % 2 == 0 { evening_a.clone() } else { evening_b.clone() });
+        windows.push(if i % 2 == 0 {
+            evening_a.clone()
+        } else {
+            evening_b.clone()
+        });
     }
     let spec = WorkloadSpec::new("orders", domain, 200, windows).expect("valid spec");
     generate(&spec, 99)
@@ -73,23 +90,41 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(3);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("orders", &row)?;
     }
     db.analyze("orders")?;
 
     let trace = build_day_trace(domain);
-    println!("one business day: {} queries in {} windows\n", trace.len(), 18);
+    println!(
+        "one business day: {} queries in {} windows\n",
+        trace.len(),
+        18
+    );
 
     // Unconstrained: fits every fluctuation of this particular day.
     let unconstrained = Advisor::new(&db, "orders")
-        .options(AdvisorOptions { window_len: 200, end_empty: true, ..Default::default() })
+        .options(AdvisorOptions {
+            window_len: 200,
+            end_empty: true,
+            ..Default::default()
+        })
         .recommend(&trace)?;
-    println!("unconstrained advisor (overfits the noise):\n{}", unconstrained.describe());
+    println!(
+        "unconstrained advisor (overfits the noise):\n{}",
+        unconstrained.describe()
+    );
 
     // Two anticipated shifts (lunchtime, evening) ⇒ k = 2.
     let k2 = Advisor::new(&db, "orders")
-        .options(AdvisorOptions { k: Some(2), window_len: 200, end_empty: true, ..Default::default() })
+        .options(AdvisorOptions {
+            k: Some(2),
+            window_len: 200,
+            end_empty: true,
+            ..Default::default()
+        })
         .recommend(&trace)?;
     println!("k = 2 advisor (tracks the regimes):\n{}", k2.describe());
 

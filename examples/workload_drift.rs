@@ -35,12 +35,18 @@ fn main() -> cdpd::types::Result<()> {
     )?;
     let mut rng = Prng::seed_from_u64(11);
     for _ in 0..ROWS {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row)?;
     }
     db.analyze("t")?;
 
-    let params = paper::PaperParams { table: "t".into(), domain, window_len: WINDOW };
+    let params = paper::PaperParams {
+        table: "t".into(),
+        domain,
+        window_len: WINDOW,
+    };
     let w1 = generate(&paper::w1_with(&params), 42);
     let w2 = generate(&paper::w2_with(&params), 43);
     let w3 = generate(&paper::w3_with(&params), 44);
@@ -64,7 +70,9 @@ fn main() -> cdpd::types::Result<()> {
         ..Default::default()
     };
     let unconstrained = Advisor::new(&db, "t").options(opts(None)).recommend(&w1)?;
-    let constrained = Advisor::new(&db, "t").options(opts(Some(2))).recommend(&w1)?;
+    let constrained = Advisor::new(&db, "t")
+        .options(opts(Some(2)))
+        .recommend(&w1)?;
     println!("designs recommended from W1:");
     println!("  unconstrained: {}", unconstrained.schedule);
     println!("  k = 2:         {}\n", constrained.schedule);
@@ -72,7 +80,10 @@ fn main() -> cdpd::types::Result<()> {
     // Replay all three workloads under both designs; report measured
     // I/O relative to W1-under-unconstrained, like Figure 3.
     let mut baseline = None;
-    println!("{:<4} {:>16} {:>16} {:>10}", "", "unconstrained", "constrained", "drift");
+    println!(
+        "{:<4} {:>16} {:>16} {:>10}",
+        "", "unconstrained", "constrained", "drift"
+    );
     for (name, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
         let unc_io = replay_recommendation(&mut db, trace, &unconstrained)?.total_io();
         let con_io = replay_recommendation(&mut db, trace, &constrained)?.total_io();
@@ -82,7 +93,11 @@ fn main() -> cdpd::types::Result<()> {
             name,
             100.0 * unc_io as f64 / base - 100.0,
             100.0 * con_io as f64 / base - 100.0,
-            if con_io < unc_io { "constrained wins" } else { "unconstrained wins" }
+            if con_io < unc_io {
+                "constrained wins"
+            } else {
+                "unconstrained wins"
+            }
         );
     }
     println!("\n(percentages are measured I/O relative to W1 under the unconstrained design)");

@@ -1,8 +1,8 @@
 use crate::candidates::candidate_indexes;
 use crate::oracle::EngineOracle;
 use cdpd_core::{
-    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config, MemoOracle,
-    Problem, Schedule,
+    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config,
+    OracleStatsSnapshot, Problem, Schedule,
 };
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd_types::{Error, Result};
@@ -86,6 +86,10 @@ pub struct Recommendation {
     pub problem: Problem,
     /// Strategy the hybrid solver picked, when it ran.
     pub hybrid_strategy: Option<hybrid::Strategy>,
+    /// Cost-oracle instrumentation for the solve: raw what-if calls,
+    /// projected cache hits, and memo residency (see
+    /// [`cdpd_core::OracleStats`]).
+    pub oracle_stats: OracleStatsSnapshot,
 }
 
 impl Recommendation {
@@ -120,11 +124,7 @@ impl Recommendation {
     pub fn render_with(&self, db: &Database, trace: &Trace) -> Result<String> {
         let workload = summarize(trace, self.window_len)?;
         let whatif = WhatIfEngine::snapshot(db, trace.table())?;
-        let oracle = MemoOracle::new(EngineOracle::new(
-            whatif,
-            self.structures.clone(),
-            &workload,
-        )?);
+        let oracle = EngineOracle::new(whatif, self.structures.clone(), &workload)?.into_shared();
         let structures = self.structures.clone();
         let label = move |cfg: cdpd_core::Config| -> String {
             let names: Vec<String> = cfg
@@ -137,7 +137,12 @@ impl Recommendation {
                 names.join(" + ")
             }
         };
-        Ok(cdpd_core::report::render(&oracle, &self.problem, &self.schedule, &label))
+        Ok(cdpd_core::report::render(
+            &oracle,
+            &self.problem,
+            &self.schedule,
+            &label,
+        ))
     }
 
     /// Export the schedule as an annotated DDL script: one block per
@@ -161,10 +166,8 @@ impl Recommendation {
             .map(|i| self.structures[i].clone())
             .collect();
         for (range, specs) in self.segment_specs() {
-            let dropped: Vec<&IndexSpec> =
-                prev.iter().filter(|s| !specs.contains(s)).collect();
-            let created: Vec<&IndexSpec> =
-                specs.iter().filter(|s| !prev.contains(s)).collect();
+            let dropped: Vec<&IndexSpec> = prev.iter().filter(|s| !specs.contains(s)).collect();
+            let created: Vec<&IndexSpec> = specs.iter().filter(|s| !prev.contains(s)).collect();
             if !dropped.is_empty() || !created.is_empty() || range.start == 0 {
                 out.push_str(&format!(
                     "\n-- before window {} (statements {}..{}):\n",
@@ -187,10 +190,11 @@ impl Recommendation {
             prev = specs;
         }
         if let Some(final_cfg) = self.problem.final_config {
-            let fin: Vec<IndexSpec> =
-                final_cfg.structures().map(|i| self.structures[i].clone()).collect();
-            let closing: Vec<&IndexSpec> =
-                prev.iter().filter(|s| !fin.contains(s)).collect();
+            let fin: Vec<IndexSpec> = final_cfg
+                .structures()
+                .map(|i| self.structures[i].clone())
+                .collect();
+            let closing: Vec<&IndexSpec> = prev.iter().filter(|s| !fin.contains(s)).collect();
             if !closing.is_empty() {
                 out.push_str("\n-- after the workload:\n");
                 for spec in closing {
@@ -239,7 +243,11 @@ pub struct Advisor<'db> {
 impl<'db> Advisor<'db> {
     /// An advisor for `table` in `db` with default options.
     pub fn new(db: &'db Database, table: impl Into<String>) -> Advisor<'db> {
-        Advisor { db, table: table.into(), options: AdvisorOptions::default() }
+        Advisor {
+            db,
+            table: table.into(),
+            options: AdvisorOptions::default(),
+        }
     }
 
     /// Replace the options.
@@ -273,7 +281,7 @@ impl<'db> Advisor<'db> {
             }
         }
 
-        let oracle = MemoOracle::new(EngineOracle::new(whatif, structures, &workload)?);
+        let oracle = EngineOracle::new(whatif, structures, &workload)?.into_shared();
         let initial = oracle
             .inner()
             .config_of(&current)
@@ -313,6 +321,7 @@ impl<'db> Advisor<'db> {
             window_len: self.options.window_len,
             problem,
             hybrid_strategy,
+            oracle_stats: oracle.stats_snapshot(),
         })
     }
 }

@@ -20,7 +20,7 @@
 //! the *summarized* window — no solving), in the spirit of Bruno &
 //! Chaudhuri's "lightweight physical design alerter".
 
-use cdpd_core::{Config, CostOracle, MemoOracle};
+use cdpd_core::{Config, CostOracle, OracleStatsSnapshot};
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd_sql::Dml;
 use cdpd_types::{Cost, Error, Result};
@@ -41,6 +41,9 @@ pub struct Alert {
     pub degradation: f64,
     /// The observed statements, ready to feed to the offline advisor.
     pub recent_trace: Trace,
+    /// Cost-oracle instrumentation for the check's cheap sweep (see
+    /// [`cdpd_core::OracleStats`]).
+    pub oracle_stats: OracleStatsSnapshot,
 }
 
 /// Sliding-window quality monitor for one table's physical design.
@@ -69,10 +72,14 @@ impl Alerter {
         threshold: f64,
     ) -> Result<Alerter> {
         if capacity == 0 {
-            return Err(Error::InvalidArgument("alerter window must be positive".into()));
+            return Err(Error::InvalidArgument(
+                "alerter window must be positive".into(),
+            ));
         }
         if candidates.is_empty() {
-            return Err(Error::InvalidArgument("alerter needs candidate structures".into()));
+            return Err(Error::InvalidArgument(
+                "alerter needs candidate structures".into(),
+            ));
         }
         let whatif = WhatIfEngine::snapshot(db, table)?;
         for spec in &candidates {
@@ -108,10 +115,7 @@ impl Alerter {
         if self.window.is_empty() {
             return Ok(None);
         }
-        let trace = Trace::new(
-            self.table.clone(),
-            self.window.iter().cloned().collect(),
-        );
+        let trace = Trace::new(self.table.clone(), self.window.iter().cloned().collect());
         let summarized = summarize(&trace, self.window.len())?;
 
         // One oracle over candidates + current design's structures.
@@ -123,7 +127,7 @@ impl Alerter {
             }
         }
         let whatif = WhatIfEngine::snapshot(db, &self.table)?;
-        let oracle = MemoOracle::new(crate::EngineOracle::new(whatif, structures, &summarized)?);
+        let oracle = crate::EngineOracle::new(whatif, structures, &summarized)?.into_shared();
         let current = oracle
             .inner()
             .config_of(&current_specs)
@@ -155,6 +159,7 @@ impl Alerter {
             better_config: oracle.inner().specs_of(best_config),
             degradation,
             recent_trace: trace,
+            oracle_stats: oracle.stats_snapshot(),
         }))
     }
 }
@@ -163,8 +168,8 @@ impl Alerter {
 mod tests {
     use super::*;
     use cdpd_sql::SelectStmt;
-    use cdpd_types::{ColumnDef, Schema, Value};
     use cdpd_testkit::Prng;
+    use cdpd_types::{ColumnDef, Schema, Value};
 
     fn db_with(rows: i64, index_on: Option<&str>) -> Database {
         let mut db = Database::new();
@@ -181,8 +186,9 @@ mod tests {
         let domain = rows / 5;
         let mut rng = Prng::seed_from_u64(9);
         for _ in 0..rows {
-            let row: Vec<Value> =
-                (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+            let row: Vec<Value> = (0..4)
+                .map(|_| Value::Int(rng.gen_range(0..domain)))
+                .collect();
             db.insert("t", &row).unwrap();
         }
         db.analyze("t").unwrap();
@@ -203,12 +209,18 @@ mod tests {
     fn quiet_while_design_matches_workload() {
         let db = db_with(10_000, Some("a"));
         let mut alerter = Alerter::new(&db, "t", candidates(), 100, 0.5).unwrap();
-        assert!(alerter.check(&db).unwrap().is_none(), "empty window is quiet");
+        assert!(
+            alerter.check(&db).unwrap().is_none(),
+            "empty window is quiet"
+        );
         for i in 0..100 {
             alerter.observe(&SelectStmt::point("t", "a", i).into());
         }
         assert_eq!(alerter.observed(), 100);
-        assert!(alerter.check(&db).unwrap().is_none(), "I(a) serves a-queries");
+        assert!(
+            alerter.check(&db).unwrap().is_none(),
+            "I(a) serves a-queries"
+        );
     }
 
     #[test]
@@ -239,7 +251,10 @@ mod tests {
             alerter.observe(&SelectStmt::point("t", "a", i).into());
         }
         assert_eq!(alerter.observed(), 50);
-        assert!(alerter.check(&db).unwrap().is_none(), "window fully replaced");
+        assert!(
+            alerter.check(&db).unwrap().is_none(),
+            "window fully replaced"
+        );
     }
 
     #[test]

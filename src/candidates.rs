@@ -40,8 +40,7 @@ pub fn candidate_indexes(schema: &Schema, workload: &SummarizedWorkload) -> Resu
         let mut pred_freq: BTreeMap<&str, u64> = BTreeMap::new();
         for w in &block.weighted {
             let stmt = &w.statement;
-            let pred_cols: Vec<&str> =
-                stmt.conditions().iter().map(Condition::column).collect();
+            let pred_cols: Vec<&str> = stmt.conditions().iter().map(Condition::column).collect();
             for col in &pred_cols {
                 if schema.column_id(col).is_none() {
                     return Err(Error::NotFound(format!("column {col} in workload")));
@@ -107,14 +106,21 @@ mod tests {
 
     #[test]
     fn paper_workload_yields_paper_candidates() {
-        let params = paper::PaperParams { domain: 1000, window_len: 200, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 1000,
+            window_len: 200,
+            ..Default::default()
+        };
         let trace = generate(&paper::w1_with(&params), 3);
         let workload = summarize(&trace, 200).unwrap();
         let cands = candidate_indexes(&abcd(), &workload).unwrap();
         let names: Vec<String> = cands.iter().map(|c| c.display_short()).collect();
         // The paper's hand-picked design space must be a subset.
         for want in ["I(a)", "I(b)", "I(c)", "I(d)", "I(a,b)", "I(c,d)"] {
-            assert!(names.iter().any(|n| n == want), "missing {want} in {names:?}");
+            assert!(
+                names.iter().any(|n| n == want),
+                "missing {want} in {names:?}"
+            );
         }
     }
 
@@ -139,12 +145,19 @@ mod tests {
         let cands = candidate_indexes(&abcd(), &workload).unwrap();
         let names: Vec<String> = cands.iter().map(|c| c.display_short()).collect();
         assert!(names.contains(&"I(a)".to_owned()), "{names:?}");
-        assert!(names.contains(&"I(a,b,c)".to_owned()), "covering: {names:?}");
+        assert!(
+            names.contains(&"I(a,b,c)".to_owned()),
+            "covering: {names:?}"
+        );
     }
 
     #[test]
     fn deterministic_order() {
-        let params = paper::PaperParams { domain: 500, window_len: 100, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: 500,
+            window_len: 100,
+            ..Default::default()
+        };
         let trace = generate(&paper::w2_with(&params), 9);
         let workload = summarize(&trace, 100).unwrap();
         let a = candidate_indexes(&abcd(), &workload).unwrap();

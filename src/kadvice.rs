@@ -11,7 +11,9 @@
 
 use crate::candidates::candidate_indexes;
 use crate::oracle::EngineOracle;
-use cdpd_core::{enumerate_configs, kselect, CostOracle, MemoOracle, Problem};
+use cdpd_core::{
+    enumerate_configs, kselect, OracleStatsSnapshot, Problem, ProjectedOracle, SharedOracle,
+};
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd_types::{Error, Result};
 use cdpd_workload::{generate, perturb, summarize, WorkloadSpec};
@@ -59,6 +61,9 @@ pub struct KAdvice {
     pub curve: Vec<kselect::RobustPoint>,
     /// The recommended change budget.
     pub k: usize,
+    /// Instrumentation for the *training* oracle across the whole
+    /// k-sweep (see [`cdpd_core::OracleStats`]).
+    pub oracle_stats: OracleStatsSnapshot,
 }
 
 /// Sweep `k` on a trace generated from `spec`, evaluating each budget's
@@ -80,33 +85,39 @@ pub fn suggest_k_robust(
         Some(s) => s.clone(),
         None => candidate_indexes(db.schema(&spec.table)?, &train_sum)?,
     };
-    let mk_oracle = |trace: &cdpd_workload::Trace| -> Result<MemoOracle<EngineOracle>> {
+    let mk_oracle = |trace: &cdpd_workload::Trace| -> Result<ProjectedOracle<EngineOracle>> {
         let summarized = summarize(trace, spec.window_len)?;
-        Ok(MemoOracle::new(EngineOracle::new(
+        Ok(EngineOracle::new(
             WhatIfEngine::snapshot(db, &spec.table)?,
             structures.clone(),
             &summarized,
-        )?))
+        )?
+        .into_shared())
     };
     let train = mk_oracle(&train_trace)?;
 
-    let mut holdouts: Vec<MemoOracle<EngineOracle>> = Vec::new();
+    let mut holdouts: Vec<ProjectedOracle<EngineOracle>> = Vec::new();
     for i in 0..options.resampled_holdouts {
         holdouts.push(mk_oracle(&generate(spec, options.seed + 1 + i as u64))?);
     }
     for (i, &n) in options.rotations.iter().enumerate() {
         let rotated = perturb::rotate_windows(spec, n);
-        holdouts.push(mk_oracle(&generate(&rotated, options.seed + 101 + i as u64))?);
+        holdouts.push(mk_oracle(&generate(
+            &rotated,
+            options.seed + 101 + i as u64,
+        ))?);
     }
-    let holdout_refs: Vec<&dyn CostOracle> =
-        holdouts.iter().map(|o| o as &dyn CostOracle).collect();
+    let holdout_refs: Vec<&dyn SharedOracle> =
+        holdouts.iter().map(|o| o as &dyn SharedOracle).collect();
 
     let problem = Problem::paper_experiment();
-    let candidates =
-        enumerate_configs(&train, None, options.max_structures_per_config)?;
-    let curve =
-        kselect::robust_curve(&train, &holdout_refs, &problem, &candidates, options.k_max)?;
+    let candidates = enumerate_configs(&train, None, options.max_structures_per_config)?;
+    let curve = kselect::robust_curve(&train, &holdout_refs, &problem, &candidates, options.k_max)?;
     let k = kselect::suggest_robust_k(&curve)
         .ok_or_else(|| Error::Infeasible("empty robustness curve".into()))?;
-    Ok(KAdvice { curve, k })
+    Ok(KAdvice {
+        curve,
+        k,
+        oracle_stats: train.stats_snapshot(),
+    })
 }

@@ -50,13 +50,13 @@ pub use cdpd_workload as workload;
 
 mod advisor;
 pub mod alerter;
-pub mod kadvice;
 mod candidates;
+pub mod kadvice;
 mod oracle;
 pub mod replay;
 
 pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
 pub use alerter::{Alert, Alerter};
-pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};
 pub use candidates::candidate_indexes;
+pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};
 pub use oracle::EngineOracle;

@@ -1,8 +1,20 @@
-use cdpd_core::{Config, CostOracle};
+use cdpd_core::{
+    Config, CostOracle, DenseOracle, OracleStats, ProjectableOracle, ProjectedOracle, RelevanceMask,
+};
 use cdpd_engine::{IndexSpec, WhatIfEngine};
 use cdpd_sql::Dml;
 use cdpd_types::{Cost, Error, Result};
 use cdpd_workload::SummarizedWorkload;
+use std::sync::Arc;
+
+/// A group of statements within one stage that share a relevance mask:
+/// the unit of the oracle layer's projected caching.
+struct Part {
+    /// Structures that can affect these statements' costs.
+    mask: Config,
+    /// `(statement, multiplicity)` members.
+    members: Vec<(Dml, u64)>,
+}
 
 /// Adapts the engine's [`WhatIfEngine`] to the solver-facing
 /// [`CostOracle`] trait.
@@ -13,14 +25,22 @@ use cdpd_workload::SummarizedWorkload;
 /// set; `TRANS`/`SIZE` delegate to the what-if engine's build/drop/size
 /// estimates.
 ///
-/// The oracle performs no caching itself: wrap it in
-/// [`cdpd_core::MemoOracle`] before handing it to a solver (the solvers
-/// probe the same `(stage, config)` pairs many times).
+/// The oracle performs no caching itself, but it *exports relevance*:
+/// at construction it asks the planner which structures can affect
+/// each statement and groups every stage's statements into equal-mask
+/// [`Part`]s, implementing [`ProjectableOracle`]. Hand it to a solver
+/// through [`EngineOracle::into_shared`] (sharded projected memo) or
+/// [`EngineOracle::into_dense`] (up-front dense tables) — both count
+/// raw what-if calls into a shared [`OracleStats`] bundle.
 pub struct EngineOracle {
     whatif: WhatIfEngine,
     structures: Vec<IndexSpec>,
-    /// Per stage: `(statement, multiplicity)`.
-    blocks: Vec<Vec<(Dml, u64)>>,
+    /// Per stage: equal-mask statement groups.
+    parts: Vec<Vec<Part>>,
+    /// Per stage: union of the stage's part masks.
+    stage_masks: Vec<Config>,
+    /// Counts raw what-if cost calls; shared with any wrapping layer.
+    stats: Arc<OracleStats>,
 }
 
 impl EngineOracle {
@@ -53,24 +73,39 @@ impl EngineOracle {
         for spec in &structures {
             whatif.shape(spec)?; // validates table + columns
         }
-        let blocks: Vec<Vec<(Dml, u64)>> = workload
-            .blocks
-            .iter()
-            .map(|b| {
-                b.weighted
-                    .iter()
-                    .map(|w| (w.statement.clone(), w.count))
-                    .collect()
-            })
-            .collect();
         // Probe every statement once under the empty configuration so
-        // unknown columns and type mismatches surface now.
-        for block in &blocks {
-            for (stmt, _) in block {
-                whatif.dml_cost(stmt, &[])?;
+        // unknown columns and type mismatches surface now, and group
+        // each stage's statements by their planner relevance mask.
+        let mut parts: Vec<Vec<Part>> = Vec::with_capacity(workload.blocks.len());
+        let mut stage_masks = Vec::with_capacity(workload.blocks.len());
+        for block in &workload.blocks {
+            let mut stage_parts: Vec<Part> = Vec::new();
+            for w in &block.weighted {
+                whatif.dml_cost(&w.statement, &[])?;
+                let mask =
+                    Config::from_bits(whatif.relevant_structures(&w.statement, &structures)?);
+                match stage_parts.iter_mut().find(|p| p.mask == mask) {
+                    Some(part) => part.members.push((w.statement.clone(), w.count)),
+                    None => stage_parts.push(Part {
+                        mask,
+                        members: vec![(w.statement.clone(), w.count)],
+                    }),
+                }
             }
+            stage_masks.push(
+                stage_parts
+                    .iter()
+                    .fold(Config::EMPTY, |acc, p| acc.union(p.mask)),
+            );
+            parts.push(stage_parts);
         }
-        Ok(EngineOracle { whatif, structures, blocks })
+        Ok(EngineOracle {
+            whatif,
+            structures,
+            parts,
+            stage_masks,
+            stats: OracleStats::shared(),
+        })
     }
 
     /// The candidate structure list (bit order of [`Config`]).
@@ -101,11 +136,51 @@ impl EngineOracle {
     pub fn whatif(&self) -> &WhatIfEngine {
         &self.whatif
     }
+
+    /// The per-stage relevance masks the planner derived for this
+    /// workload (union over each stage's statement masks).
+    pub fn relevance(&self) -> RelevanceMask {
+        RelevanceMask::new(self.stage_masks.clone())
+    }
+
+    /// The stats bundle this oracle counts raw what-if calls into.
+    pub fn stats(&self) -> &Arc<OracleStats> {
+        &self.stats
+    }
+
+    /// Record counters into an existing bundle instead (callers that
+    /// aggregate several oracles, or the `into_*` constructors below).
+    pub fn attach_stats(&mut self, stats: Arc<OracleStats>) {
+        self.stats = stats;
+    }
+
+    /// Wrap in the sharded projected-memo layer, sharing one stats
+    /// bundle between the engine adapter (raw what-if calls) and the
+    /// cache (hits/misses). The standard solver-facing form.
+    pub fn into_shared(mut self) -> ProjectedOracle<EngineOracle> {
+        let stats = OracleStats::shared();
+        self.stats = stats.clone();
+        ProjectedOracle::with_stats(self, stats)
+    }
+
+    /// Materialize dense per-part cost tables up front (parallel
+    /// build; see [`DenseOracle`]), sharing one stats bundle like
+    /// [`EngineOracle::into_shared`].
+    pub fn into_dense(self) -> DenseOracle<EngineOracle> {
+        self.into_dense_capped(cdpd_core::oracle::DENSE_MAX_BITS)
+    }
+
+    /// [`EngineOracle::into_dense`] with an explicit table-width cap.
+    pub fn into_dense_capped(mut self, max_bits: usize) -> DenseOracle<EngineOracle> {
+        let stats = OracleStats::shared();
+        self.stats = stats.clone();
+        DenseOracle::with_stats(self, stats, max_bits)
+    }
 }
 
 impl CostOracle for EngineOracle {
     fn n_stages(&self) -> usize {
-        self.blocks.len()
+        self.parts.len()
     }
 
     fn n_structures(&self) -> usize {
@@ -113,15 +188,13 @@ impl CostOracle for EngineOracle {
     }
 
     fn exec(&self, stage: usize, config: Config) -> Cost {
-        let specs = self.specs_of(config);
-        self.blocks[stage]
-            .iter()
-            .map(|(stmt, count)| {
-                self.whatif
-                    .dml_cost(stmt, &specs)
-                    .expect("constructor validated statements and structures")
-                    .scale(*count)
-            })
+        // Deliberately unprojected: the raw path sums every part under
+        // the full configuration, which keeps this method a reference
+        // implementation the projected/dense layers are differentially
+        // tested against. (Saturating sums are grouping-independent,
+        // so summing part-by-part equals the seed's statement order.)
+        (0..self.parts[stage].len())
+            .map(|p| self.exec_part(stage, p, config))
             .sum()
     }
 
@@ -135,6 +208,35 @@ impl CostOracle for EngineOracle {
         self.whatif
             .config_size_pages(&self.specs_of(config))
             .expect("constructor validated structures")
+    }
+}
+
+impl ProjectableOracle for EngineOracle {
+    fn relevance_mask(&self, stage: usize) -> Config {
+        self.stage_masks[stage]
+    }
+
+    fn n_parts(&self, stage: usize) -> usize {
+        self.parts[stage].len()
+    }
+
+    fn part_mask(&self, stage: usize, part: usize) -> Config {
+        self.parts[stage][part].mask
+    }
+
+    fn exec_part(&self, stage: usize, part: usize, config: Config) -> Cost {
+        let part = &self.parts[stage][part];
+        let specs = self.specs_of(config);
+        self.stats.record_whatif_calls(part.members.len() as u64);
+        part.members
+            .iter()
+            .map(|(stmt, count)| {
+                self.whatif
+                    .dml_cost(stmt, &specs)
+                    .expect("constructor validated statements and structures")
+                    .scale(*count)
+            })
+            .sum()
     }
 }
 
@@ -179,7 +281,11 @@ mod tests {
 
     fn oracle(rows: i64) -> EngineOracle {
         let db = test_db(rows);
-        let params = paper::PaperParams { domain: rows / 5, window_len: 100, ..Default::default() };
+        let params = paper::PaperParams {
+            domain: rows / 5,
+            window_len: 100,
+            ..Default::default()
+        };
         let trace = generate(&paper::w1_with(&params), 11);
         let workload = summarize(&trace, 100).unwrap();
         EngineOracle::new(
@@ -230,6 +336,78 @@ mod tests {
     }
 
     #[test]
+    fn stages_decompose_into_equal_mask_parts() {
+        let o = oracle(10_000);
+        for stage in 0..o.n_stages() {
+            // W1 point-queries every column, so each stage splits into
+            // per-column parts: query on x ⇒ mask {I(x), composites
+            // containing x} — four distinct masks, never one blob.
+            assert!(
+                o.n_parts(stage) >= 4,
+                "stage {stage} has {} parts",
+                o.n_parts(stage)
+            );
+            let union = (0..o.n_parts(stage))
+                .fold(Config::EMPTY, |acc, p| acc.union(o.part_mask(stage, p)));
+            assert_eq!(union, o.relevance_mask(stage));
+            // Parts are strictly narrower than the full structure set.
+            for p in 0..o.n_parts(stage) {
+                assert!(o.part_mask(stage, p).len() < o.n_structures());
+            }
+        }
+        let rel = o.relevance();
+        assert_eq!(rel.len(), o.n_stages());
+    }
+
+    #[test]
+    fn part_decomposition_preserves_exec() {
+        let o = oracle(10_000);
+        for stage in [0, 10, 20] {
+            for bits in [0u64, 0b1, 0b10000, 0b110011, 0b111111] {
+                let cfg = Config::from_bits(bits);
+                let whole = o.exec(stage, cfg);
+                let parts: Cost = (0..o.n_parts(stage))
+                    .map(|p| o.exec_part(stage, p, cfg.intersect(o.part_mask(stage, p))))
+                    .sum();
+                assert_eq!(whole, parts, "stage {stage} cfg {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_and_dense_count_fewer_whatif_calls_than_raw() {
+        let probe = |o: &dyn CostOracle| {
+            for stage in 0..o.n_stages() {
+                for bits in 0..(1u64 << 6) {
+                    o.exec(stage, Config::from_bits(bits));
+                }
+            }
+        };
+        let raw = oracle(5_000);
+        probe(&raw);
+        let raw_calls = raw.stats().snapshot().whatif_calls;
+
+        let shared = oracle(5_000).into_shared();
+        probe(&shared);
+        let shared_calls = shared.stats().snapshot().whatif_calls;
+
+        let dense = oracle(5_000).into_dense();
+        probe(&dense);
+        let dense_calls = dense.stats().snapshot().whatif_calls;
+
+        assert!(shared_calls < raw_calls, "{shared_calls} !< {raw_calls}");
+        assert!(dense_calls < raw_calls, "{dense_calls} !< {raw_calls}");
+        // And the layers agree with the raw reference.
+        for stage in [0, 15, 29] {
+            for bits in [0u64, 0b101, 0b111111] {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(shared.exec(stage, cfg), raw.exec(stage, cfg));
+                assert_eq!(dense.exec(stage, cfg), raw.exec(stage, cfg));
+            }
+        }
+    }
+
+    #[test]
     fn constructor_validates() {
         let db = test_db(1_000);
         let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
@@ -247,10 +425,8 @@ mod tests {
         assert!(EngineOracle::new(whatif, bad, &workload).is_err());
         // Wrong table in the workload.
         let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
-        let other = cdpd_workload::Trace::from_selects(
-            "u",
-            vec![cdpd_sql::SelectStmt::point("u", "a", 1)],
-        );
+        let other =
+            cdpd_workload::Trace::from_selects("u", vec![cdpd_sql::SelectStmt::point("u", "a", 1)]);
         let other_sum = summarize(&other, 10).unwrap();
         assert!(EngineOracle::new(whatif, vec![], &other_sum).is_err());
     }

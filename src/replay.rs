@@ -132,9 +132,10 @@ pub fn replay_recommendation(
     trace: &Trace,
     rec: &Recommendation,
 ) -> Result<ReplayReport> {
-    let final_specs: Option<Vec<IndexSpec>> = rec.problem.final_config.map(|f| {
-        f.structures().map(|i| rec.structures[i].clone()).collect()
-    });
+    let final_specs: Option<Vec<IndexSpec>> = rec
+        .problem
+        .final_config
+        .map(|f| f.structures().map(|i| rec.structures[i].clone()).collect());
     replay(
         db,
         trace,

@@ -5,7 +5,7 @@
 mod common;
 
 use cdpd::core::kselect;
-use cdpd::core::{CostOracle, MemoOracle};
+use cdpd::core::{CostOracle, ProjectableOracle, SharedOracle};
 use cdpd::engine::{IndexSpec, WhatIfEngine};
 use cdpd::workload::{generate, paper, summarize, Trace};
 use cdpd::{candidate_indexes, Advisor, AdvisorOptions, Algorithm, EngineOracle};
@@ -63,8 +63,12 @@ fn space_bound_is_enforced() {
     let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 3);
     let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
     // Bound below any two-column index: only single-column indexes fit.
-    let two_col = whatif.index_size_pages(&IndexSpec::new("t", &["a", "b"])).unwrap();
-    let one_col = whatif.index_size_pages(&IndexSpec::new("t", &["a"])).unwrap();
+    let two_col = whatif
+        .index_size_pages(&IndexSpec::new("t", &["a", "b"]))
+        .unwrap();
+    let one_col = whatif
+        .index_size_pages(&IndexSpec::new("t", &["a"]))
+        .unwrap();
     assert!(one_col < two_col);
     let bound = (one_col + two_col) / 2;
 
@@ -123,10 +127,7 @@ fn starts_from_current_materialized_design() {
 #[test]
 fn trace_roundtrip_preserves_recommendation() {
     let db = paper_database(5_000, 24);
-    let trace = generate(
-        &paper::w1_with(&paper_params(5_000, 50)),
-        5,
-    );
+    let trace = generate(&paper::w1_with(&paper_params(5_000, 50)), 5);
     let dir = std::env::temp_dir().join("cdpd_e2e");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("w1.sql");
@@ -142,8 +143,14 @@ fn trace_roundtrip_preserves_recommendation() {
         algorithm: Algorithm::KAware,
         ..Default::default()
     };
-    let a = Advisor::new(&db, "t").options(opts.clone()).recommend(&trace).unwrap();
-    let b = Advisor::new(&db, "t").options(opts).recommend(&loaded).unwrap();
+    let a = Advisor::new(&db, "t")
+        .options(opts.clone())
+        .recommend(&trace)
+        .unwrap();
+    let b = Advisor::new(&db, "t")
+        .options(opts)
+        .recommend(&loaded)
+        .unwrap();
     assert_eq!(a.schedule, b.schedule);
     std::fs::remove_file(&path).ok();
 }
@@ -156,12 +163,11 @@ fn kselect_suggests_the_major_shift_count() {
     let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 6);
     let workload = summarize(&trace, WINDOW).unwrap();
     let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
-    let oracle = MemoOracle::new(
-        EngineOracle::new(whatif, paper_structures(), &workload).unwrap(),
-    );
+    let oracle = EngineOracle::new(whatif, paper_structures(), &workload)
+        .unwrap()
+        .into_shared();
     let problem = cdpd::core::Problem::paper_experiment();
-    let candidates =
-        cdpd::core::enumerate_configs(&oracle, None, Some(1)).unwrap();
+    let candidates = cdpd::core::enumerate_configs(&oracle, None, Some(1)).unwrap();
     let curve = kselect::cost_curve(&oracle, &problem, &candidates, 8).unwrap();
     for w in curve.windows(2) {
         assert!(w[1].cost <= w[0].cost, "curve must be non-increasing");
@@ -178,29 +184,30 @@ fn robust_k_picks_2_on_w1_with_w2_w3_holdouts() {
     let params = paper_params(ROWS, WINDOW);
     let mk_oracle = |trace: &Trace| {
         let workload = summarize(trace, WINDOW).unwrap();
-        MemoOracle::new(
-            EngineOracle::new(
-                WhatIfEngine::snapshot(&db, "t").unwrap(),
-                paper_structures(),
-                &workload,
-            )
-            .unwrap(),
+        EngineOracle::new(
+            WhatIfEngine::snapshot(&db, "t").unwrap(),
+            paper_structures(),
+            &workload,
         )
+        .unwrap()
+        .into_shared()
     };
     let train = mk_oracle(&generate(&paper::w1_with(&params), 51));
     let h2 = mk_oracle(&generate(&paper::w2_with(&params), 52));
     let h3 = mk_oracle(&generate(&paper::w3_with(&params), 53));
     let problem = cdpd::core::Problem::paper_experiment();
     let candidates = cdpd::core::enumerate_configs(&train, None, Some(1)).unwrap();
-    let holdouts: Vec<&dyn CostOracle> = vec![&h2, &h3];
-    let curve =
-        kselect::robust_curve(&train, &holdouts, &problem, &candidates, 8).unwrap();
+    let holdouts: Vec<&dyn SharedOracle> = vec![&h2, &h3];
+    let curve = kselect::robust_curve(&train, &holdouts, &problem, &candidates, 8).unwrap();
     let k = kselect::suggest_robust_k(&curve).unwrap();
     assert_eq!(k, 2, "{curve:?}");
     // And overfitting (large k) is measurably worse on the holdouts.
     let at2 = curve.iter().find(|p| p.k == 2).unwrap();
     let at8 = curve.iter().find(|p| p.k == 8).unwrap();
-    assert!(at8.train_cost <= at2.train_cost, "train always likes budget");
+    assert!(
+        at8.train_cost <= at2.train_cost,
+        "train always likes budget"
+    );
     assert!(at8.mean_test_cost > at2.mean_test_cost, "holdouts do not");
 }
 
@@ -234,8 +241,14 @@ fn ddl_script_export_parses_and_matches_segments() {
     assert!(script.contains("before window 10"), "{script}");
     assert!(script.contains("before window 20"), "{script}");
     assert!(script.contains("after the workload"), "{script}");
-    assert!(script.contains("CREATE INDEX ix_t_a_b ON t (a, b);"), "{script}");
-    assert!(script.contains("CREATE INDEX ix_t_c_d ON t (c, d);"), "{script}");
+    assert!(
+        script.contains("CREATE INDEX ix_t_a_b ON t (a, b);"),
+        "{script}"
+    );
+    assert!(
+        script.contains("CREATE INDEX ix_t_c_d ON t (c, d);"),
+        "{script}"
+    );
 }
 
 #[test]
@@ -246,7 +259,10 @@ fn per_statement_granularity_matches_agrawal_mode() {
     // per-statement).
     let db = paper_database(8_000, 30);
     let params = paper_params(8_000, 20);
-    let spec = paper::w1_with(&paper::PaperParams { window_len: 10, ..params });
+    let spec = paper::w1_with(&paper::PaperParams {
+        window_len: 10,
+        ..params
+    });
     let trace = generate(&spec, 61); // 300 statements
     let opts = |window| AdvisorOptions {
         k: None,
@@ -257,8 +273,14 @@ fn per_statement_granularity_matches_agrawal_mode() {
         algorithm: Algorithm::KAware,
         ..Default::default()
     };
-    let fine = Advisor::new(&db, "t").options(opts(1)).recommend(&trace).unwrap();
-    let coarse = Advisor::new(&db, "t").options(opts(30)).recommend(&trace).unwrap();
+    let fine = Advisor::new(&db, "t")
+        .options(opts(1))
+        .recommend(&trace)
+        .unwrap();
+    let coarse = Advisor::new(&db, "t")
+        .options(opts(30))
+        .recommend(&trace)
+        .unwrap();
     assert_eq!(fine.schedule.len(), 300);
     assert_eq!(coarse.schedule.len(), 10);
     assert!(
@@ -314,21 +336,35 @@ fn candidate_generation_is_schema_checked() {
 }
 
 #[test]
-fn memoization_bounds_whatif_calls() {
+fn projection_bounds_whatif_calls() {
     let db = paper_database(5_000, 27);
     let trace = generate(&paper::w1_with(&paper_params(5_000, 100)), 7);
     let workload = summarize(&trace, 100).unwrap();
     let whatif = WhatIfEngine::snapshot(&db, "t").unwrap();
-    let oracle = MemoOracle::new(
-        EngineOracle::new(whatif, paper_structures(), &workload).unwrap(),
-    );
+    let oracle = EngineOracle::new(whatif, paper_structures(), &workload)
+        .unwrap()
+        .into_shared();
     let problem = cdpd::core::Problem::paper_experiment();
     let candidates = cdpd::core::enumerate_configs(&oracle, None, Some(1)).unwrap();
     let _ = cdpd::core::kaware::solve(&oracle, &problem, &candidates, 2).unwrap();
-    let evals = oracle.exec_evaluations();
-    let max = oracle.n_stages() * candidates.len();
-    assert!(evals <= max, "{evals} distinct evals > stages×configs = {max}");
-    // Solving again at another k adds no new evaluations.
+    let stats = oracle.stats_snapshot();
+    assert!(stats.whatif_calls > 0, "solver never reached the engine");
+    // Part-level memoization: distinct part evaluations are bounded by
+    // Σ_stage parts(stage) × candidate configs (each part sees at most
+    // one entry per distinct projected candidate).
+    let max: u64 = (0..oracle.n_stages())
+        .map(|s| (oracle.inner().n_parts(s) * candidates.len()) as u64)
+        .sum();
+    assert!(
+        stats.raw_exec_evals <= max,
+        "{} raw part evals > Σ parts×configs = {max}",
+        stats.raw_exec_evals
+    );
+    // Solving again at another k hits only the cache: zero new raw
+    // evaluations, zero new what-if calls, strictly more hits.
     let _ = cdpd::core::kaware::solve(&oracle, &problem, &candidates, 4).unwrap();
-    assert_eq!(oracle.exec_evaluations(), evals);
+    let again = oracle.stats_snapshot();
+    assert_eq!(again.raw_exec_evals, stats.raw_exec_evals);
+    assert_eq!(again.whatif_calls, stats.whatif_calls);
+    assert!(again.projected_hits > stats.projected_hits);
 }

@@ -27,7 +27,9 @@ pub fn paper_database(rows: i64, seed: u64) -> Database {
     let domain = rows / ROWS_PER_VALUE;
     let mut rng = Prng::seed_from_u64(seed);
     for _ in 0..rows {
-        let row: Vec<Value> = (0..4).map(|_| Value::Int(rng.gen_range(0..domain))).collect();
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
         db.insert("t", &row).expect("row matches schema");
     }
     db.analyze("t").expect("table exists");

@@ -17,7 +17,11 @@ const ROWS: i64 = 5_000;
 const WINDOW: usize = 50;
 
 fn small_params() -> PaperParams {
-    PaperParams { table: "t".into(), domain: ROWS / common::ROWS_PER_VALUE, window_len: WINDOW }
+    PaperParams {
+        table: "t".into(),
+        domain: ROWS / common::ROWS_PER_VALUE,
+        window_len: WINDOW,
+    }
 }
 
 /// Render a trace as one SQL-per-line string (the byte-comparable form).
@@ -43,7 +47,11 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 #[test]
 fn same_seed_yields_byte_identical_traces() {
     let params = small_params();
-    for spec in [paper::w1_with(&params), paper::w2_with(&params), paper::w3_with(&params)] {
+    for spec in [
+        paper::w1_with(&params),
+        paper::w2_with(&params),
+        paper::w3_with(&params),
+    ] {
         let a = trace_sql(&spec, 7);
         let b = trace_sql(&spec, 7);
         assert_eq!(a, b, "same (spec, seed) must be byte-identical");
@@ -61,14 +69,21 @@ fn same_seed_yields_byte_identical_traces() {
 fn golden_w1_trace_snapshot() {
     let sql = trace_sql(&paper::w1_with(&small_params()), 42);
     let lines: Vec<&str> = sql.lines().collect();
-    assert_eq!(lines.len(), 30 * WINDOW, "30 windows of {WINDOW} statements");
+    assert_eq!(
+        lines.len(),
+        30 * WINDOW,
+        "30 windows of {WINDOW} statements"
+    );
     let hash = fnv1a(sql.as_bytes());
     let head: Vec<String> = lines.iter().take(3).map(|s| s.to_string()).collect();
     assert_eq!(
         (hash, head),
         (
             GOLDEN_W1_HASH,
-            GOLDEN_W1_HEAD.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+            GOLDEN_W1_HEAD
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
         ),
         "generator output drifted; full first lines: {:?}",
         &lines[..3]
@@ -104,12 +119,20 @@ fn oracle_costs_are_identical_across_instances() {
     assert_eq!(a.n_stages(), b.n_stages());
     for stage in 0..a.n_stages() {
         for &cfg in &candidates {
-            assert_eq!(a.exec(stage, cfg), b.exec(stage, cfg), "EXEC({stage}, {cfg:?})");
+            assert_eq!(
+                a.exec(stage, cfg),
+                b.exec(stage, cfg),
+                "EXEC({stage}, {cfg:?})"
+            );
         }
     }
     for &from in &candidates {
         for &to in &candidates {
-            assert_eq!(a.trans(from, to), b.trans(from, to), "TRANS({from:?}, {to:?})");
+            assert_eq!(
+                a.trans(from, to),
+                b.trans(from, to),
+                "TRANS({from:?}, {to:?})"
+            );
         }
         assert_eq!(a.size(from), b.size(from), "SIZE({from:?})");
     }

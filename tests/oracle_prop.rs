@@ -1,0 +1,127 @@
+//! Property tests for the oracle pipeline: the raw [`EngineOracle`]
+//! (which evaluates *unprojected* configurations, part by part), the
+//! sharded-memo [`cdpd::core::ProjectedOracle`], and the materialized
+//! [`cdpd::core::DenseOracle`] must be bit-identical on EXEC, TRANS,
+//! and SIZE — over random workloads mixing point, range, projection,
+//! aggregate, UPDATE, and DELETE templates, and over random candidate
+//! structure subsets.
+//!
+//! This is the differential argument for the whole layer: projection
+//! (`exec(i, c) = exec(i, c ∩ mask)`) and part decomposition
+//! (`exec = Σ_p exec_part`) are *claims about the planner*, and here
+//! they are checked against the planner itself on every sampled case.
+
+mod common;
+
+use cdpd::core::{Config, CostOracle};
+use cdpd::engine::{Database, IndexSpec, WhatIfEngine};
+use cdpd::sql::Dml;
+use cdpd::workload::{summarize, Trace};
+use cdpd::EngineOracle;
+use cdpd_testkit::prop::Config as PropConfig;
+use cdpd_testkit::{props, Prng};
+use common::paper_database;
+use std::sync::OnceLock;
+
+const ROWS: i64 = 6_000;
+const STAGES: usize = 3;
+const STMTS_PER_STAGE: usize = 6;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| paper_database(ROWS, 77))
+}
+
+/// A design-space pool wider than the paper's six, so subsets exercise
+/// multi-column prefixes and overlapping leading columns.
+fn pool() -> Vec<IndexSpec> {
+    vec![
+        IndexSpec::new("t", &["a"]),
+        IndexSpec::new("t", &["b"]),
+        IndexSpec::new("t", &["c"]),
+        IndexSpec::new("t", &["d"]),
+        IndexSpec::new("t", &["a", "b"]),
+        IndexSpec::new("t", &["c", "d"]),
+        IndexSpec::new("t", &["b", "c"]),
+    ]
+}
+
+fn random_stmt(rng: &mut Prng, domain: i64) -> Dml {
+    let cols = ["a", "b", "c", "d"];
+    let col = cols[rng.gen_range(0..4usize)];
+    let col2 = cols[rng.gen_range(0..4usize)];
+    let v = rng.gen_range(0..domain);
+    let sql = match rng.gen_range(0..8u32) {
+        0 | 1 => format!("SELECT * FROM t WHERE {col} = {v}"),
+        2 => format!("SELECT {col2} FROM t WHERE {col} = {v}"),
+        3 => format!(
+            "SELECT * FROM t WHERE {col} BETWEEN {v} AND {}",
+            v + domain / 20
+        ),
+        4 => format!("SELECT COUNT(*) FROM t WHERE {col} = {v}"),
+        5 => format!("SELECT MIN({col}) FROM t"),
+        6 => format!("UPDATE t SET {col2} = {v} WHERE {col} = {v}"),
+        _ => format!("DELETE FROM t WHERE {col} = {v}"),
+    };
+    match cdpd::sql::parse(&sql).expect("template is valid SQL") {
+        cdpd::sql::Statement::Select(s) => Dml::Select(s),
+        cdpd::sql::Statement::Update(u) => Dml::Update(u),
+        cdpd::sql::Statement::Delete(d) => Dml::Delete(d),
+        _ => unreachable!("templates are DML"),
+    }
+}
+
+props! {
+    config: PropConfig::with_cases(8);
+
+    fn oracle_layers_are_bit_identical(seed in 0u64..1_000_000, subset in 1u64..128) {
+        let db = db();
+        let mut rng = Prng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ subset);
+        let structures: Vec<IndexSpec> = pool()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| subset & (1 << i) != 0)
+            .map(|(_, s)| s)
+            .collect();
+        let m = structures.len();
+
+        let stmts: Vec<Dml> = (0..STAGES * STMTS_PER_STAGE)
+            .map(|_| random_stmt(&mut rng, ROWS / 5))
+            .collect();
+        let workload =
+            summarize(&Trace::new("t", stmts), STMTS_PER_STAGE).expect("aligned windows");
+
+        let mk = || {
+            EngineOracle::new(
+                WhatIfEngine::snapshot(db, "t").expect("analyzed"),
+                structures.clone(),
+                &workload,
+            )
+            .expect("valid oracle")
+        };
+        let raw = mk();
+        let shared = mk().into_shared();
+        let dense = mk().into_dense();
+
+        // EXEC: full sweep of every configuration at every stage.
+        for stage in 0..STAGES {
+            for bits in 0..1u64 << m {
+                let cfg = Config::from_bits(bits);
+                let want = raw.exec(stage, cfg);
+                assert_eq!(want, shared.exec(stage, cfg), "EXEC stage {stage} cfg {cfg:?}");
+                assert_eq!(want, dense.exec(stage, cfg), "EXEC stage {stage} cfg {cfg:?}");
+            }
+        }
+        // TRANS and SIZE: sampled configuration pairs.
+        for _ in 0..24 {
+            let x = Config::from_bits(rng.gen_range(0..1u64 << m));
+            let y = Config::from_bits(rng.gen_range(0..1u64 << m));
+            let t = raw.trans(x, y);
+            assert_eq!(t, shared.trans(x, y), "TRANS {x:?} -> {y:?}");
+            assert_eq!(t, dense.trans(x, y), "TRANS {x:?} -> {y:?}");
+            let s = raw.size(x);
+            assert_eq!(s, shared.size(x), "SIZE {x:?}");
+            assert_eq!(s, dense.size(x), "SIZE {x:?}");
+        }
+    }
+}

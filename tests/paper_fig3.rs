@@ -99,7 +99,10 @@ fn fig3_orderings_hold() {
 fn replay_validates_inputs() {
     let mut db = paper_database(2_000, 9);
     let params = paper_params(2_000, 50);
-    let spec = paper::w1_with(&paper::PaperParams { window_len: 50, ..params });
+    let spec = paper::w1_with(&paper::PaperParams {
+        window_len: 50,
+        ..params
+    });
     let trace = generate(&spec, 1);
     // Wrong stage count.
     let err = replay(&mut db, &trace, 50, &[vec![]], None).unwrap_err();
@@ -127,6 +130,9 @@ fn transitions_happen_where_the_schedule_says() {
         vec![0, 10, 20],
         "initial build + the two major shifts"
     );
-    assert!(report.final_trans_io > 0, "closing drop to the empty design");
+    assert!(
+        report.final_trans_io > 0,
+        "closing drop to the empty design"
+    );
     assert_eq!(report.statements as usize, trace.len());
 }

@@ -36,7 +36,11 @@ fn design_label(rec: &cdpd::Recommendation, w: usize) -> String {
     match specs.as_slice() {
         [] => "-".to_owned(),
         [one] => one.display_short(),
-        many => many.iter().map(|s| s.display_short()).collect::<Vec<_>>().join("+"),
+        many => many
+            .iter()
+            .map(|s| s.display_short())
+            .collect::<Vec<_>>()
+            .join("+"),
     }
 }
 
@@ -104,9 +108,11 @@ fn constrained_is_costlier_than_unconstrained_on_w1() {
         unc.schedule.total_cost()
     );
     // ... but within a modest factor (the paper's gap was 14%).
-    let ratio =
-        k2.schedule.total_cost().raw() as f64 / unc.schedule.total_cost().raw() as f64;
-    assert!(ratio < 1.6, "estimated gap should stay moderate, got {ratio:.2}");
+    let ratio = k2.schedule.total_cost().raw() as f64 / unc.schedule.total_cost().raw() as f64;
+    assert!(
+        ratio < 1.6,
+        "estimated gap should stay moderate, got {ratio:.2}"
+    );
 }
 
 #[test]
@@ -115,7 +121,10 @@ fn all_constrained_algorithms_agree_or_bound_the_optimum() {
     let trace = generate(&paper::w1_with(&paper_params(ROWS, WINDOW)), 42);
     let solve = |alg: Algorithm| {
         Advisor::new(&db, "t")
-            .options(AdvisorOptions { algorithm: alg, ..advisor_options(Some(2)) })
+            .options(AdvisorOptions {
+                algorithm: alg,
+                ..advisor_options(Some(2))
+            })
             .recommend(&trace)
             .unwrap()
     };
@@ -142,8 +151,8 @@ fn all_constrained_algorithms_agree_or_bound_the_optimum() {
             s.schedule.total_cost() >= optimal.schedule.total_cost(),
             "{alg:?} cannot beat the optimum over the same candidates"
         );
-        let ratio = s.schedule.total_cost().raw() as f64
-            / optimal.schedule.total_cost().raw() as f64;
+        let ratio =
+            s.schedule.total_cost().raw() as f64 / optimal.schedule.total_cost().raw() as f64;
         assert!(ratio < 1.25, "{alg:?} is near-optimal here, got {ratio:.3}");
     }
 
@@ -153,7 +162,6 @@ fn all_constrained_algorithms_agree_or_bound_the_optimum() {
     // stay in the same ballpark.
     let g = solve(Algorithm::Greedy);
     assert!(g.schedule.changes <= 2);
-    let ratio =
-        g.schedule.total_cost().raw() as f64 / optimal.schedule.total_cost().raw() as f64;
+    let ratio = g.schedule.total_cost().raw() as f64 / optimal.schedule.total_cost().raw() as f64;
     assert!((0.4..1.6).contains(&ratio), "greedy ratio {ratio:.3}");
 }

@@ -24,7 +24,10 @@ fn etl_workload() -> Trace {
         "etl",
         vec![
             (
-                Template::Update { set_column: "b".into(), where_column: "a".into() },
+                Template::Update {
+                    set_column: "b".into(),
+                    where_column: "a".into(),
+                },
                 85,
             ),
             (Template::Point { column: "a".into() }, 15),

@@ -51,4 +51,36 @@ cargo run --release --offline -p cdpd-bench --bin table1
 echo "== oracle layer beats the seed memo path =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench oracle
 
+echo "== traced quickstart emits valid JSONL =="
+CDPD_TRACE=1 CDPD_TRACE_FILE=target/trace.jsonl \
+  cargo run --release --offline --example quickstart > /dev/null
+python3 - target/trace.jsonl <<'EOF'
+import json, sys
+
+spans = events = 0
+last_ts = -1
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        assert kind in ("span", "event"), f"line {n}: bad type {kind!r}"
+        ts = rec["ts"]
+        assert isinstance(ts, int) and ts >= last_ts, f"line {n}: ts not monotonic"
+        last_ts = ts
+        if kind == "span":
+            spans += 1
+            for field in ("seq", "name", "path", "start_ns", "dur_ns",
+                          "thread", "depth", "attrs", "counters"):
+                assert field in rec, f"line {n}: span record missing {field!r}"
+            assert rec["start_ns"] + rec["dur_ns"] == ts, f"line {n}: timing mismatch"
+        else:
+            events += 1
+            assert isinstance(rec["msg"], str), f"line {n}: event missing msg"
+assert spans > 0, "trace contains no span records"
+print(f"ok: {spans} span + {events} event records, monotonic timestamps")
+EOF
+
+echo "== disabled-tracing overhead stays under budget =="
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench obs
+
 echo "== ci.sh: all green =="

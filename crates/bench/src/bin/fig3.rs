@@ -24,7 +24,7 @@ use cdpd_bench::{build_database, paper_structures, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("building database: {} rows ...", scale.rows);
+    cdpd_obs::event!("building database: {} rows ...", scale.rows);
     let mut db = build_database(&scale);
     let params = scale.params();
 
@@ -32,7 +32,7 @@ fn main() {
     let w2 = generate(&paper::w2_with(&params), scale.seed + 1);
     let w3 = generate(&paper::w3_with(&params), scale.seed + 2);
 
-    eprintln!("recommending designs from W1 ...");
+    cdpd_obs::event!("recommending designs from W1 ...");
     let opts = |k| AdvisorOptions {
         k,
         window_len: scale.window_len,
@@ -54,7 +54,7 @@ fn main() {
     let mut results: Vec<(&str, &str, u64, std::time::Duration)> = Vec::new();
     for (wname, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
         for (dname, rec) in [("unconstrained", &unc), ("constrained", &k2)] {
-            eprintln!("replaying {wname} under the {dname} design ...");
+            cdpd_obs::event!("replaying {wname} under the {dname} design ...");
             let report = replay_recommendation(&mut db, trace, rec).expect("replay");
             results.push((wname, dname, report.total_io(), report.wall));
         }

@@ -44,7 +44,7 @@ fn time_it<R>(repeats: usize, mut f: impl FnMut() -> R) -> Duration {
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("building database: {} rows ...", scale.rows);
+    cdpd_obs::event!("building database: {} rows ...", scale.rows);
     let db = build_database(&scale);
     // W2: minor shifts every pattern window keep the unconstrained
     // optimum busy (l ≈ 29). Summarize at a tenth of the pattern window
@@ -63,7 +63,7 @@ fn main() {
     let problem = Problem::paper_experiment();
     // The paper's ≤1-index configuration regime (7 configurations).
     let candidates = enumerate_configs(&oracle, None, Some(1)).expect("m is small");
-    eprintln!(
+    cdpd_obs::event!(
         "instance: {} stages x {} candidate configurations",
         oracle.n_stages(),
         candidates.len()
@@ -72,12 +72,12 @@ fn main() {
     // Warm the what-if cache completely, then time pure solver work.
     let unconstrained = seqgraph::solve(&oracle, &problem, &candidates).expect("feasible");
     let l = unconstrained.changes;
-    eprintln!("unconstrained optimum uses l = {l} changes");
+    cdpd_obs::event!("unconstrained optimum uses l = {l} changes");
 
     let t_unconstrained = time_it(9, || {
         seqgraph::solve(&oracle, &problem, &candidates).expect("feasible")
     });
-    eprintln!("unconstrained optimizer: {t_unconstrained:?} (baseline = 100%)");
+    cdpd_obs::event!("unconstrained optimizer: {t_unconstrained:?} (baseline = 100%)");
 
     println!("\nFigure 4: Runtimes of Constrained Design Optimizers");
     println!("Relative to Runtime of Unconstrained Design Optimizer");
@@ -128,5 +128,5 @@ fn main() {
         "paper expectation: graph runtime grows ~linearly with k; merging \
          runtime falls as k grows (fewer steps from l down to k)."
     );
-    eprintln!("\noracle instrumentation: {}", oracle.stats_snapshot());
+    cdpd_obs::event!("\noracle instrumentation: {}", oracle.stats_snapshot());
 }

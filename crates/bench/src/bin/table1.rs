@@ -11,6 +11,7 @@
 use cdpd::workload::{generate, QueryMix, WorkloadSpec};
 
 fn main() {
+    let run_span = cdpd_obs::span!("table1.run");
     let mixes = QueryMix::paper_mixes();
     let cols = ["a", "b", "c", "d"];
 
@@ -33,6 +34,7 @@ fn main() {
         "Queried <col>", "a", "b", "c", "d"
     );
     for mix in &mixes {
+        let _span = cdpd_obs::span!("table1.mix", mix = mix.name.as_str());
         let spec = WorkloadSpec::new("t", 500_000, 10_000, vec![mix.clone()]).expect("valid spec");
         let trace = generate(&spec, 42);
         let mut counts = [0u32; 4];
@@ -46,5 +48,10 @@ fn main() {
             print!(" {:>5.1}%", 100.0 * n as f64 / trace.len() as f64);
         }
         println!();
+    }
+
+    drop(run_span);
+    if let Some(profile) = cdpd_obs::profile_since(0) {
+        cdpd_obs::event!("\n{profile}");
     }
 }

@@ -31,11 +31,11 @@ fn design_label(rec: &Recommendation, window: usize) -> String {
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("building database: {} rows ...", scale.rows);
+    cdpd_obs::event!("building database: {} rows ...", scale.rows);
     let db = build_database(&scale);
     let params = scale.params();
 
-    eprintln!("generating workloads and solving ...");
+    cdpd_obs::event!("generating workloads and solving ...");
     let w1 = generate(&paper::w1_with(&params), scale.seed);
     let opts = |k| AdvisorOptions {
         k,

@@ -53,6 +53,7 @@ pub fn candidates(oracle: &dyn CostOracle, problem: &Problem) -> Vec<Config> {
 
 /// Constrained design over the restricted candidate set.
 pub fn solve(oracle: &dyn CostOracle, problem: &Problem, k: usize) -> Result<Schedule> {
+    let _span = cdpd_obs::span!("solve.greedy", k = k);
     let cands = candidates(oracle, problem);
     kaware::solve(oracle, problem, &cands, k)
 }
@@ -60,6 +61,7 @@ pub fn solve(oracle: &dyn CostOracle, problem: &Problem, k: usize) -> Result<Sch
 /// Unconstrained design over the restricted candidate set
 /// (Agrawal et al.'s original GREEDY-SEQ).
 pub fn solve_unconstrained(oracle: &dyn CostOracle, problem: &Problem) -> Result<Schedule> {
+    let _span = cdpd_obs::span!("solve.greedy_unconstrained");
     let cands = candidates(oracle, problem);
     seqgraph::solve(oracle, problem, &cands)
 }

@@ -63,6 +63,7 @@ pub fn solve_with_switch(
     k: usize,
     switch_fraction: f64,
 ) -> Result<HybridOutcome> {
+    let _span = cdpd_obs::span!("solve.hybrid", k = k, candidates = candidates.len());
     let unconstrained = seqgraph::solve(oracle, problem, candidates)?;
     if unconstrained.changes <= k {
         return Ok(HybridOutcome {

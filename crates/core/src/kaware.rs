@@ -25,6 +25,7 @@ pub fn solve(
     candidates: &[Config],
     k: usize,
 ) -> Result<Schedule> {
+    let _span = cdpd_obs::span!("solve.kaware", k = k, candidates = candidates.len());
     let candidates = usable_candidates(oracle, problem, candidates)?;
     let n = oracle.n_stages();
     let ncand = candidates.len();

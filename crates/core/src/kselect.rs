@@ -54,6 +54,8 @@ pub fn cost_curve<O: SharedOracle>(
         std::thread::scope(|scope| {
             for (k, slot) in results.iter_mut().enumerate() {
                 scope.spawn(move || {
+                    let _span = cdpd_obs::span!("kselect.solve_k", k = k);
+                    let started = std::time::Instant::now();
                     *slot =
                         Some(
                             kaware::solve(oracle, problem, candidates, k).map(|s| KCurvePoint {
@@ -62,6 +64,8 @@ pub fn cost_curve<O: SharedOracle>(
                                 changes: s.changes,
                             }),
                         );
+                    cdpd_obs::histogram!("kselect.k_solve_nanos")
+                        .record(started.elapsed().as_nanos() as u64);
                 });
             }
         });
@@ -170,6 +174,8 @@ pub fn robust_curve<O: SharedOracle>(
         std::thread::scope(|scope| {
             for (k, slot) in results.iter_mut().enumerate() {
                 scope.spawn(move || {
+                    let _span = cdpd_obs::span!("kselect.robust_k", k = k);
+                    let started = std::time::Instant::now();
                     *slot = Some(
                         kaware::solve(train, problem, candidates, k).map(|schedule| {
                             let mut total: u128 = 0;
@@ -186,6 +192,8 @@ pub fn robust_curve<O: SharedOracle>(
                             }
                         }),
                     );
+                    cdpd_obs::histogram!("kselect.k_solve_nanos")
+                        .record(started.elapsed().as_nanos() as u64);
                 });
             }
         });

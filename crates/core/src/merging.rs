@@ -154,6 +154,7 @@ pub fn solve(
     candidates: &[Config],
     k: usize,
 ) -> Result<Schedule> {
+    let _span = cdpd_obs::span!("solve.merging", k = k, candidates = candidates.len());
     let unconstrained = seqgraph::solve(oracle, problem, candidates)?;
     if unconstrained.changes <= k {
         return Ok(unconstrained);

@@ -81,39 +81,55 @@ impl OracleStats {
     /// One solver-visible `exec(stage, config)` request.
     pub fn record_exec_request(&self) {
         self.exec_requests.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::counter!("oracle.exec_requests").inc();
     }
 
     /// One projected part cost served from a cache or dense table.
     pub fn record_projected_hit(&self) {
         self.projected_hits.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::counter!("oracle.projected_hits").inc();
     }
 
     /// One miss that fell through to the inner oracle's `exec_part`.
     pub fn record_raw_eval(&self) {
         self.raw_exec_evals.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("oracle.raw_exec_evals").inc();
     }
 
     /// `n` inner evaluations at once (dense table builds).
     pub fn record_raw_evals(&self, n: u64) {
         self.raw_exec_evals.fetch_add(n, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("oracle.raw_exec_evals").add(n);
     }
 
     /// `n` underlying what-if engine cost calls (per-statement).
     pub fn record_whatif_calls(&self, n: u64) {
         self.whatif_calls.fetch_add(n, Ordering::Relaxed);
+        cdpd_obs::counter!("oracle.whatif_calls").add(n);
     }
 
     /// Wall time spent materializing dense tables.
     pub fn record_dense_build_nanos(&self, nanos: u64) {
         self.dense_build_nanos.fetch_add(nanos, Ordering::Relaxed);
+        cdpd_obs::counter!("oracle.dense_build_nanos").add(nanos);
+        cdpd_obs::histogram!("oracle.dense_build_nanos_hist").record(nanos);
     }
 
     /// `n` more bytes resident in dense tables.
     pub fn record_bytes_resident(&self, n: u64) {
         self.bytes_resident.fetch_add(n, Ordering::Relaxed);
+        cdpd_obs::counter!("oracle.bytes_resident").add(n);
+        cdpd_obs::gauge!("oracle.bytes_resident").add(n as i64);
     }
 
     /// A point-in-time copy of every counter.
+    ///
+    /// **Deprecation note:** per-bundle snapshots remain supported as a
+    /// thin compatibility shim, but new code should prefer the
+    /// process-wide registry views —
+    /// [`OracleStatsSnapshot::from_registry`] for these six counters, or
+    /// `cdpd_obs::registry().snapshot()` for everything — which unify
+    /// oracle accounting with pager/pool/solver metrics.
     pub fn snapshot(&self) -> OracleStatsSnapshot {
         OracleStatsSnapshot {
             exec_requests: self.exec_requests.load(Ordering::Relaxed),
@@ -142,6 +158,24 @@ pub struct OracleStatsSnapshot {
     pub dense_build_nanos: u64,
     /// Bytes resident in dense cost tables.
     pub bytes_resident: u64,
+}
+
+impl OracleStatsSnapshot {
+    /// Process-wide totals summed over every [`OracleStats`] bundle,
+    /// read from the `cdpd-obs` metrics registry (`oracle.*` counters).
+    /// This is the registry view that supersedes per-bundle
+    /// [`OracleStats::snapshot`] for whole-process reporting.
+    pub fn from_registry() -> OracleStatsSnapshot {
+        let r = cdpd_obs::registry();
+        OracleStatsSnapshot {
+            exec_requests: r.counter_value("oracle.exec_requests"),
+            raw_exec_evals: r.counter_value("oracle.raw_exec_evals"),
+            whatif_calls: r.counter_value("oracle.whatif_calls"),
+            projected_hits: r.counter_value("oracle.projected_hits"),
+            dense_build_nanos: r.counter_value("oracle.dense_build_nanos"),
+            bytes_resident: r.counter_value("oracle.bytes_resident"),
+        }
+    }
 }
 
 impl std::fmt::Display for OracleStatsSnapshot {
@@ -522,6 +556,11 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
     /// `max_bits` mask width (`max_bits = 0` disables tabulation
     /// entirely, leaving a pure sharded-memo oracle).
     pub fn with_stats(inner: O, stats: Arc<OracleStats>, max_bits: usize) -> DenseOracle<O> {
+        let _span = cdpd_obs::span!(
+            "oracle.dense.build",
+            stages = inner.n_stages(),
+            max_bits = max_bits
+        );
         let started = Instant::now();
         let n_stages = inner.n_stages();
         let mut stages: Vec<Vec<DensePart>> = (0..n_stages)
@@ -544,6 +583,7 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
             for (chunk_idx, chunk_slice) in stages.chunks_mut(chunk).enumerate() {
                 let base = chunk_idx * chunk;
                 scope.spawn(move || {
+                    let _span = cdpd_obs::span!("oracle.dense.build.chunk", chunk = chunk_idx);
                     for (off, parts) in chunk_slice.iter_mut().enumerate() {
                         let stage = base + off;
                         for (p, part) in parts.iter_mut().enumerate() {

@@ -50,6 +50,7 @@ pub fn solve_with_stats(
     k: usize,
     max_paths: usize,
 ) -> Result<(Schedule, RankingStats)> {
+    let _span = cdpd_obs::span!("solve.ranking", k = k, max_paths = max_paths);
     let candidates = seqgraph::usable_candidates(oracle, problem, candidates)?;
     let graph = seqgraph::build(oracle, problem, &candidates);
     let mut ranked = 0usize;

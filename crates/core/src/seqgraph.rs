@@ -105,6 +105,7 @@ pub fn solve(
     problem: &Problem,
     candidates: &[Config],
 ) -> Result<Schedule> {
+    let _span = cdpd_obs::span!("solve.seqgraph", candidates = candidates.len());
     let candidates = usable_candidates(oracle, problem, candidates)?;
     let graph = build(oracle, problem, &candidates);
     let sp = graph

@@ -190,6 +190,7 @@ impl Database {
     /// `CREATE INDEX`: scan → sort → bulk load. The report's `io` is
     /// the measured transition cost of this build.
     pub fn create_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+        let _span = cdpd_obs::span!("ddl.create_index", index = spec.name());
         let before = self.pager.stats();
         let pager = self.pager.clone();
         let entry = self.table_mut(&spec.table)?;
@@ -242,6 +243,7 @@ impl Database {
     /// `DROP INDEX`. Cost model: one catalog write; the tree's pages
     /// return to the free list for reuse by later builds.
     pub fn drop_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+        let _span = cdpd_obs::span!("ddl.drop_index", index = spec.name());
         let before = self.pager.stats();
         let entry = self.table_mut(&spec.table)?;
         let name = spec.name();

@@ -352,6 +352,17 @@ impl<'a> Planner<'a> {
         }
 
         let (est_cost, _, plan, index_name) = best.expect("seq scan is always a candidate");
+        match &plan {
+            Plan::SeqScan => cdpd_obs::counter!("engine.planner.pick.seq_scan").inc(),
+            Plan::IndexSeek { .. } => cdpd_obs::counter!("engine.planner.pick.index_seek").inc(),
+            Plan::IndexRange { .. } => cdpd_obs::counter!("engine.planner.pick.index_range").inc(),
+            Plan::IndexOnlyScan { .. } => {
+                cdpd_obs::counter!("engine.planner.pick.index_only_scan").inc()
+            }
+            Plan::IndexExtremum { .. } => {
+                cdpd_obs::counter!("engine.planner.pick.index_extremum").inc()
+            }
+        }
         // Does the chosen path already emit rows in the requested order?
         // Index cursors run ascending over the key, so an ascending
         // ORDER BY on the index's leading column is free.

@@ -30,6 +30,7 @@ impl WhatIfEngine {
     /// # Errors
     /// The table must exist and have been `ANALYZE`d.
     pub fn snapshot(db: &Database, table: &str) -> Result<WhatIfEngine> {
+        let _span = cdpd_obs::span!("whatif.snapshot");
         let schema = db.schema(table)?.clone();
         let stats = db
             .stats(table)?
@@ -111,6 +112,7 @@ impl WhatIfEngine {
                 stmt.table, self.table
             )));
         }
+        cdpd_obs::tracked_counter!("engine.whatif.calls").inc();
         let infos = self.infos(config)?;
         let planner = Planner::new(&self.schema, &self.stats, &infos);
         Ok(planner.plan(stmt)?.est_cost)
@@ -134,6 +136,7 @@ impl WhatIfEngine {
                         self.table
                     )));
                 }
+                cdpd_obs::tracked_counter!("engine.whatif.calls").inc();
                 let infos = self.infos(config)?;
                 let planner = Planner::new(&self.schema, &self.stats, &infos);
                 Ok(planner.plan_write(stmt)?.est_total)

@@ -1,0 +1,579 @@
+//! Lock-free metrics registry: named counters, gauges, and
+//! log-2-bucketed histograms.
+//!
+//! Handles are `&'static` (leaked once on first registration) so the hot
+//! path is a single relaxed atomic RMW with no locking; the registry's
+//! `RwLock` is only taken on first registration of a name and when
+//! snapshotting. The [`counter!`](crate::counter),
+//! [`gauge!`](crate::gauge) and [`histogram!`](crate::histogram) macros
+//! cache the handle in a per-call-site `OnceLock`, so steady-state cost
+//! is one relaxed atomic load plus the update itself.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing named counter.
+///
+/// *Tracked* counters additionally feed per-thread shadow counts so the
+/// tracing layer can attach counter deltas to spans (see
+/// [`crate::trace`]); the shadow bump only happens while tracing is
+/// enabled, so the disabled-path cost is one relaxed `fetch_add` plus
+/// two relaxed loads.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    tracked: AtomicBool,
+}
+
+impl Counter {
+    fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            tracked: AtomicBool::new(false),
+        }
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if self.tracked.load(Ordering::Relaxed) {
+            crate::trace::note_tracked(self.name, n);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether spans attribute deltas of this counter (see
+    /// [`Registry::counter_tracked`]).
+    pub fn is_tracked(&self) -> bool {
+        self.tracked.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge: a value that can move both ways (e.g. resident pages).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Index of the log-2 bucket covering `v`: bucket 0 holds exactly zero,
+/// bucket `k >= 1` holds `2^(k-1) ..= 2^k - 1`, bucket 64 tops out at
+/// `u64::MAX`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `k` (the value percentiles report).
+pub fn bucket_upper_bound(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+/// A log-2-bucketed histogram of `u64` samples.
+///
+/// Recording is wait-free (three relaxed RMWs); percentile queries run
+/// over a [`HistogramSnapshot`] and report the *upper bound* of the
+/// bucket holding the requested rank, so they over-estimate by at most
+/// 2x — the usual trade for fixed-size lock-free histograms.
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Consistent-enough copy of the current state (buckets are read
+    /// individually with relaxed loads; under concurrent writes the
+    /// snapshot may be mid-update by a few samples, which is fine for
+    /// reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q * count)`-th smallest sample. Returns 0
+    /// for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(k);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map(|(k, _)| bucket_upper_bound(k))
+            .unwrap_or(0)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating), for
+    /// interval reporting over a monotonically growing histogram.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// The process-wide metrics registry.
+///
+/// Obtain it with [`registry()`]; register-or-look-up is locked, but the
+/// returned handles are `&'static` and lock-free to update.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<&'static str, &'static Counter>>,
+    gauges: RwLock<HashMap<&'static str, &'static Gauge>>,
+    histograms: RwLock<HashMap<&'static str, &'static Histogram>>,
+}
+
+fn intern<T>(
+    map: &RwLock<HashMap<&'static str, &'static T>>,
+    name: &'static str,
+    mk: impl FnOnce() -> T,
+) -> &'static T {
+    if let Some(v) = map.read().expect("metrics registry poisoned").get(name) {
+        return v;
+    }
+    let mut w = map.write().expect("metrics registry poisoned");
+    w.entry(name).or_insert_with(|| Box::leak(Box::new(mk())))
+}
+
+impl Registry {
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        intern(&self.counters, name, || Counter::new(name))
+    }
+
+    /// Get or create the counter `name` and mark it *tracked*: spans
+    /// opened while tracing is enabled will attribute its per-thread
+    /// deltas (see [`crate::trace::SpanRecord::counters`]).
+    pub fn counter_tracked(&self, name: &'static str) -> &'static Counter {
+        let c = self.counter(name);
+        c.tracked.store(true, Ordering::Relaxed);
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        intern(&self.gauges, name, || Gauge::new(name))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        intern(&self.histograms, name, || Histogram::new(name))
+    }
+
+    /// Current value of counter `name`, or 0 if it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("metrics registry poisoned")
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, c)| (k.to_string(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, g)| (k.to_string(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide [`Registry`].
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Point-in-time copy of the registry, suitable for diffing around an
+/// operation ([`MetricsSnapshot::delta`]) and attaching to results such
+/// as a `Recommendation`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter-wise and histogram-wise difference `self - earlier`.
+    /// Gauges keep their later value (they are levels, not totals).
+    /// Counters that round to zero are dropped from the delta.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.counter(k));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => h.delta(e),
+                    None => h.clone(),
+                };
+                (d.count > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// True when the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k} = {v} (gauge)")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "{k} = {{n={} mean={:.1} p50<={} p95<={} p99<={}}}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_zero_one_max() {
+        let h = Histogram::new("t");
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.percentile(1.0), u64::MAX);
+        assert_eq!(s.max_bound(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_all_equal_samples() {
+        let h = Histogram::new("t");
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 100_000);
+        // 100 lives in bucket 7 (64..=127); every percentile reports its
+        // upper bound.
+        let b = bucket_upper_bound(bucket_index(100));
+        assert_eq!(b, 127);
+        assert_eq!(s.p50(), b);
+        assert_eq!(s.p95(), b);
+        assert_eq!(s.p99(), b);
+        assert_eq!(s.max_bound(), b);
+        assert!((s.mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let s = Histogram::new("t").snapshot();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.max_bound(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentile_spread() {
+        let h = Histogram::new("t");
+        // 90 samples of 1, 9 samples of ~1000, 1 sample of ~1M.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.p95(), bucket_upper_bound(bucket_index(1000)));
+        assert_eq!(s.p99(), bucket_upper_bound(bucket_index(1000)));
+        assert_eq!(
+            s.percentile(1.0),
+            bucket_upper_bound(bucket_index(1_000_000))
+        );
+    }
+
+    #[test]
+    fn histogram_delta() {
+        let h = Histogram::new("t");
+        h.record(5);
+        let a = h.snapshot();
+        h.record(5);
+        h.record(7);
+        let d = h.snapshot().delta(&a);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 12);
+        assert_eq!(d.buckets[bucket_index(5)], 2);
+    }
+
+    #[test]
+    fn registry_interns_and_snapshots() {
+        let r = Registry::default();
+        let c1 = r.counter("a");
+        let c2 = r.counter("a");
+        assert!(std::ptr::eq(c1, c2));
+        c1.add(3);
+        c2.inc();
+        assert_eq!(r.counter_value("a"), 4);
+        assert_eq!(r.counter_value("missing"), 0);
+        r.gauge("g").set(-7);
+        r.histogram("h").record(9);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 4);
+        assert_eq!(s.gauge("g"), -7);
+        assert_eq!(s.histograms["h"].count, 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_delta_drops_zeroes() {
+        let r = Registry::default();
+        r.counter("x").add(2);
+        r.counter("y").add(1);
+        let before = r.snapshot();
+        r.counter("x").add(5);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("x"), 5);
+        assert!(!d.counters.contains_key("y"));
+        let rendered = d.to_string();
+        assert!(rendered.contains("x = 5"));
+    }
+}

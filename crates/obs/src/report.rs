@@ -1,0 +1,276 @@
+//! Post-hoc span-tree aggregation: fold a batch of [`SpanRecord`]s into
+//! a tree keyed by span *path*, with per-node call counts, total and
+//! self time, and summed tracked-counter deltas, plus a
+//! flamegraph-style indented text rendering.
+
+use crate::trace::{self, SpanRecord};
+use std::collections::BTreeMap;
+
+/// One aggregated node of the span tree (all spans sharing a path).
+#[derive(Clone, Debug)]
+pub struct ProfileNode {
+    /// Span name (last path segment).
+    pub name: String,
+    /// Full slash-joined path.
+    pub path: String,
+    /// Number of spans aggregated into this node.
+    pub count: u64,
+    /// Wall time including children, summed over all spans at this path.
+    pub total_ns: u64,
+    /// Wall time excluding child spans at this path.
+    pub self_ns: u64,
+    /// Tracked-counter deltas summed over all spans at this path
+    /// (inclusive of children — each span's delta already includes its
+    /// children's bumps on the same thread).
+    pub counters: BTreeMap<String, u64>,
+    /// Child nodes, sorted by total time descending.
+    pub children: Vec<ProfileNode>,
+}
+
+/// An aggregated span-tree profile. Spans opened on different threads
+/// with an empty stack become separate roots.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Root nodes, sorted by total time descending.
+    pub roots: Vec<ProfileNode>,
+}
+
+#[derive(Default)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    counters: BTreeMap<String, u64>,
+}
+
+fn parent_path(path: &str) -> Option<&str> {
+    path.rsplit_once('/').map(|(p, _)| p)
+}
+
+/// Aggregate `records` into a [`Profile`].
+pub fn aggregate(records: &[SpanRecord]) -> Profile {
+    let mut by_path: BTreeMap<&str, Agg> = BTreeMap::new();
+    for r in records {
+        let a = by_path.entry(r.path.as_str()).or_default();
+        a.count += 1;
+        a.total_ns += r.dur_ns();
+        for (k, v) in &r.counters {
+            *a.counters.entry((*k).to_string()).or_insert(0) += v;
+        }
+    }
+    // children_total[path] = sum of direct children's total_ns.
+    let mut children_total: BTreeMap<&str, u64> = BTreeMap::new();
+    for (&path, agg) in &by_path {
+        if let Some(parent) = parent_path(path) {
+            *children_total.entry(parent).or_insert(0) += agg.total_ns;
+        }
+    }
+    let mut children_of: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut roots: Vec<&str> = Vec::new();
+    for &path in by_path.keys() {
+        match parent_path(path) {
+            // An orphan (parent fell out of the ring) is shown at the root.
+            Some(parent) if by_path.contains_key(parent) => {
+                children_of.entry(parent).or_default().push(path);
+            }
+            _ => roots.push(path),
+        }
+    }
+    fn build(
+        path: &str,
+        by_path: &BTreeMap<&str, Agg>,
+        children_total: &BTreeMap<&str, u64>,
+        children_of: &BTreeMap<&str, Vec<&str>>,
+    ) -> ProfileNode {
+        let agg = &by_path[path];
+        let kids_ns = children_total.get(path).copied().unwrap_or(0);
+        let mut children: Vec<ProfileNode> = children_of
+            .get(path)
+            .map(|kids| {
+                kids.iter()
+                    .map(|k| build(k, by_path, children_total, children_of))
+                    .collect()
+            })
+            .unwrap_or_default();
+        children.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+        ProfileNode {
+            name: path.rsplit('/').next().unwrap_or(path).to_string(),
+            path: path.to_string(),
+            count: agg.count,
+            total_ns: agg.total_ns,
+            self_ns: agg.total_ns.saturating_sub(kids_ns),
+            counters: agg.counters.clone(),
+            children,
+        }
+    }
+    let mut root_nodes: Vec<ProfileNode> = roots
+        .iter()
+        .map(|r| build(r, &by_path, &children_total, &children_of))
+        .collect();
+    root_nodes.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+    Profile { roots: root_nodes }
+}
+
+impl Profile {
+    /// Total wall time across all roots.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// Look up a node by its full path.
+    pub fn node(&self, path: &str) -> Option<&ProfileNode> {
+        fn find<'a>(nodes: &'a [ProfileNode], path: &str) -> Option<&'a ProfileNode> {
+            for n in nodes {
+                if n.path == path {
+                    return Some(n);
+                }
+                if path.starts_with(n.path.as_str()) {
+                    if let Some(hit) = find(&n.children, path) {
+                        return Some(hit);
+                    }
+                }
+            }
+            None
+        }
+        find(&self.roots, path)
+    }
+
+    /// Flamegraph-style text rendering: one line per path, indented by
+    /// depth, with total/self wall time, call count, percentage of the
+    /// profile total, and any tracked-counter deltas.
+    pub fn render(&self) -> String {
+        let grand = self.total_ns().max(1);
+        let mut out = String::new();
+        out.push_str("span tree profile (total | self | calls | % of run)\n");
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        fn walk(node: &ProfileNode, depth: usize, grand: u64, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            let mut line = format!(
+                "{:>9} {:>9} {:>7}  {:>5.1}%  {}{}",
+                fmt_ns(node.total_ns),
+                fmt_ns(node.self_ns),
+                node.count,
+                100.0 * node.total_ns as f64 / grand as f64,
+                indent,
+                node.name
+            );
+            if !node.counters.is_empty() {
+                let attrs: Vec<String> = node
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                line.push_str(&format!("  [{}]", attrs.join(" ")));
+            }
+            line.push('\n');
+            out.push_str(&line);
+            for c in &node.children {
+                walk(c, depth + 1, grand, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, 0, grand, &mut out);
+        }
+        out
+    }
+}
+
+/// Convenience: when tracing is enabled, aggregate every ring record
+/// whose span *started* at or after `since_ns` (use 0 for "everything
+/// still in the ring") and return the rendered report. Returns `None`
+/// when tracing is disabled or no records match.
+pub fn profile_since(since_ns: u64) -> Option<String> {
+    if !trace::enabled() {
+        return None;
+    }
+    let records: Vec<SpanRecord> = trace::ring()
+        .into_iter()
+        .filter(|r| r.start_ns >= since_ns)
+        .collect();
+    if records.is_empty() {
+        return None;
+    }
+    Some(aggregate(&records).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AttrValue;
+
+    fn rec(
+        name: &'static str,
+        path: &str,
+        start: u64,
+        end: u64,
+        counters: Vec<(&'static str, u64)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            path: path.to_string(),
+            thread: 1,
+            depth: path.matches('/').count(),
+            seq: start,
+            start_ns: start,
+            end_ns: end,
+            attrs: Vec::<(&'static str, AttrValue)>::new(),
+            counters,
+        }
+    }
+
+    #[test]
+    fn aggregates_self_and_total() {
+        let records = vec![
+            rec("child", "root/child", 10, 40, vec![("io.reads", 3)]),
+            rec("child", "root/child", 50, 60, vec![("io.reads", 1)]),
+            rec("other", "root/other", 60, 70, vec![]),
+            rec("root", "root", 0, 100, vec![("io.reads", 4)]),
+        ];
+        let p = aggregate(&records);
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.roots[0];
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.self_ns, 100 - 40 - 10);
+        assert_eq!(root.count, 1);
+        assert_eq!(root.counters["io.reads"], 4);
+        assert_eq!(root.children.len(), 2);
+        // Sorted by total desc: child (40) before other (10).
+        assert_eq!(root.children[0].name, "child");
+        assert_eq!(root.children[0].count, 2);
+        assert_eq!(root.children[0].total_ns, 40);
+        assert_eq!(root.children[0].counters["io.reads"], 4);
+        let hit = p.node("root/other").expect("path lookup");
+        assert_eq!(hit.total_ns, 10);
+        assert_eq!(p.total_ns(), 100);
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        let records = vec![rec("lost", "gone/lost", 0, 5, vec![])];
+        let p = aggregate(&records);
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].path, "gone/lost");
+    }
+
+    #[test]
+    fn render_shows_tree_and_counters() {
+        let records = vec![
+            rec("child", "root/child", 10, 40, vec![("io.reads", 3)]),
+            rec("root", "root", 0, 100, vec![("io.reads", 3)]),
+        ];
+        let text = aggregate(&records).render();
+        assert!(text.contains("root"));
+        assert!(text.contains("  child"), "indented child:\n{text}");
+        assert!(text.contains("[io.reads=3]"));
+        assert!(text.contains("100.0%"));
+    }
+}

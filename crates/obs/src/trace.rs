@@ -1,0 +1,528 @@
+//! Structured tracing: thread-local span stacks, monotonic timing,
+//! per-span tracked-counter deltas, and two sinks — a bounded in-memory
+//! ring and an optional JSONL file.
+//!
+//! Tracing is **off by default** and costs one relaxed atomic load to
+//! check. It is enabled programmatically with [`set_enabled`] or from
+//! the environment (`CDPD_TRACE=1`, optionally `CDPD_TRACE_FILE=path`),
+//! which is consulted lazily on the first [`enabled`] call.
+//!
+//! Span records are emitted at span *close*; the closing timestamp and
+//! sequence number are assigned under the sink lock, so both the ring
+//! and the JSONL file are strictly ordered by `seq` with nondecreasing
+//! `ts`. Because a child span always closes before its parent on the
+//! same thread, per-thread records are well-nested by construction.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Capacity of the in-memory ring sink; older records are dropped.
+pub const RING_CAPACITY: usize = 65_536;
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Is tracing currently enabled? One relaxed atomic load on the fast
+/// path; the first call consults `CDPD_TRACE`/`CDPD_TRACE_FILE`.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_ON => true,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("CDPD_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if on {
+        if let Ok(path) = std::env::var("CDPD_TRACE_FILE") {
+            let _ = set_file_sink(Some(Path::new(&path)));
+        }
+    }
+    // Keep an explicit set_enabled() that raced us.
+    let _ = STATE.compare_exchange(
+        STATE_UNINIT,
+        if on { STATE_ON } else { STATE_OFF },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Turn tracing on or off programmatically (overrides the environment).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Re-read `CDPD_TRACE`/`CDPD_TRACE_FILE` and reapply them, as if the
+/// process were starting fresh. Intended for tests and long-lived
+/// processes that change their environment.
+pub fn reinit_from_env() {
+    STATE.store(STATE_UNINIT, Ordering::Relaxed);
+    let _ = set_file_sink(None);
+    init_from_env();
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (first call). Monotonic.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A span attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<char> for AttrValue {
+    fn from(v: char) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Uint(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> String {
+        match self {
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Uint(v) => v.to_string(),
+            AttrValue::Float(v) if v.is_finite() => v.to_string(),
+            AttrValue::Float(v) => format!("\"{v}\""),
+            AttrValue::Bool(v) => v.to_string(),
+            AttrValue::Str(v) => json_string(v),
+        }
+    }
+}
+
+/// Escape `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A completed span, as stored in the ring sink and serialized to JSONL.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name (the macro's literal).
+    pub name: &'static str,
+    /// Slash-joined path of enclosing span names on this thread.
+    pub path: String,
+    /// Small per-process thread id (not the OS id).
+    pub thread: u64,
+    /// Number of enclosing spans still open when this one closed.
+    pub depth: usize,
+    /// Global close order (assigned under the sink lock).
+    pub seq: u64,
+    /// Open timestamp, ns since the trace epoch.
+    pub start_ns: u64,
+    /// Close timestamp, ns since the trace epoch (assigned under the
+    /// sink lock, so records are ordered by it).
+    pub end_ns: u64,
+    /// Attributes captured at open.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Deltas of *tracked* counters bumped on this thread while the
+    /// span was open (including inside children).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Delta of tracked counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    fn to_jsonl(&self) -> String {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"type\":\"span\"");
+        line.push_str(&format!(",\"seq\":{}", self.seq));
+        line.push_str(&format!(",\"ts\":{}", self.end_ns));
+        line.push_str(&format!(",\"start_ns\":{}", self.start_ns));
+        line.push_str(&format!(",\"dur_ns\":{}", self.dur_ns()));
+        line.push_str(&format!(",\"thread\":{}", self.thread));
+        line.push_str(&format!(",\"depth\":{}", self.depth));
+        line.push_str(&format!(",\"name\":{}", json_string(self.name)));
+        line.push_str(&format!(",\"path\":{}", json_string(&self.path)));
+        line.push_str(",\"attrs\":{");
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}:{}", json_string(k), v.to_json()));
+        }
+        line.push_str("},\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}:{}", json_string(k), v));
+        }
+        line.push_str("}}\n");
+        line
+    }
+}
+
+struct Frame {
+    name: &'static str,
+    path: String,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+    entry_counts: HashMap<&'static str, u64>,
+}
+
+#[derive(Default)]
+struct LocalTrace {
+    id: u64,
+    stack: Vec<Frame>,
+    counts: HashMap<&'static str, u64>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalTrace> = RefCell::new(LocalTrace::default());
+}
+
+/// Bump the per-thread shadow count of tracked counter `name` — called
+/// by [`crate::metrics::Counter::add`] for tracked counters only.
+#[inline]
+pub(crate) fn note_tracked(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        if let Ok(mut l) = l.try_borrow_mut() {
+            *l.counts.entry(name).or_insert(0) += n;
+        }
+    });
+}
+
+fn thread_id(l: &mut LocalTrace) -> u64 {
+    if l.id == 0 {
+        l.id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    }
+    l.id
+}
+
+/// RAII guard for an open span. Create via the
+/// [`span!`](crate::span) macro; the span closes (and its record is
+/// emitted) when the guard drops.
+#[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
+pub struct Span {
+    active: bool,
+}
+
+impl Span {
+    /// A no-op span, returned by `span!` when tracing is disabled.
+    pub fn disabled() -> Span {
+        Span { active: false }
+    }
+
+    /// Open a span on this thread's stack. Prefer the
+    /// [`span!`](crate::span) macro, which skips attribute evaluation
+    /// entirely when tracing is off.
+    pub fn enter(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> Span {
+        let start_ns = now_ns();
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            let path = match l.stack.last() {
+                Some(parent) => format!("{}/{}", parent.path, name),
+                None => name.to_string(),
+            };
+            let entry_counts = l.counts.clone();
+            l.stack.push(Frame {
+                name,
+                path,
+                start_ns,
+                attrs,
+                entry_counts,
+            });
+        });
+        Span { active: true }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let rec = LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            let frame = l.stack.pop()?;
+            let depth = l.stack.len();
+            let mut counters: Vec<(&'static str, u64)> = l
+                .counts
+                .iter()
+                .filter_map(|(&k, &v)| {
+                    let before = frame.entry_counts.get(k).copied().unwrap_or(0);
+                    (v > before).then_some((k, v - before))
+                })
+                .collect();
+            counters.sort_unstable_by_key(|&(k, _)| k);
+            let thread = thread_id(&mut l);
+            Some(SpanRecord {
+                name: frame.name,
+                path: frame.path,
+                thread,
+                depth,
+                seq: 0,
+                start_ns: frame.start_ns,
+                end_ns: 0,
+                attrs: frame.attrs,
+                counters,
+            })
+        });
+        if let Some(rec) = rec {
+            sink_record(rec);
+        }
+    }
+}
+
+struct SinkState {
+    ring: VecDeque<SpanRecord>,
+    file: Option<BufWriter<File>>,
+    seq: u64,
+}
+
+fn sinks() -> &'static Mutex<SinkState> {
+    static SINKS: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    SINKS.get_or_init(|| {
+        Mutex::new(SinkState {
+            ring: VecDeque::new(),
+            file: None,
+            seq: 0,
+        })
+    })
+}
+
+fn sink_record(mut rec: SpanRecord) {
+    let mut s = sinks().lock().expect("trace sink poisoned");
+    rec.end_ns = now_ns();
+    rec.seq = s.seq;
+    s.seq += 1;
+    if let Some(f) = &mut s.file {
+        let _ = f.write_all(rec.to_jsonl().as_bytes());
+        let _ = f.flush();
+    }
+    if s.ring.len() == RING_CAPACITY {
+        s.ring.pop_front();
+    }
+    s.ring.push_back(rec);
+}
+
+/// Install (`Some(path)`, truncating) or remove (`None`) the JSONL file
+/// sink.
+pub fn set_file_sink(path: Option<&Path>) -> io::Result<()> {
+    let file = match path {
+        Some(p) => Some(BufWriter::new(File::create(p)?)),
+        None => None,
+    };
+    let mut s = sinks().lock().expect("trace sink poisoned");
+    if let Some(old) = &mut s.file {
+        let _ = old.flush();
+    }
+    s.file = file;
+    Ok(())
+}
+
+/// Copy of the ring sink's records, oldest first.
+pub fn ring() -> Vec<SpanRecord> {
+    sinks()
+        .lock()
+        .expect("trace sink poisoned")
+        .ring
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Drain the ring sink, returning its records oldest first.
+pub fn drain() -> Vec<SpanRecord> {
+    sinks()
+        .lock()
+        .expect("trace sink poisoned")
+        .ring
+        .drain(..)
+        .collect()
+}
+
+/// Emit a diagnostic event: always printed to stderr (the successor of
+/// scattered `eprintln!`s), and also serialized to the JSONL sink when
+/// tracing is enabled. Prefer the [`event!`](crate::event) macro.
+pub fn emit_event(msg: &str) {
+    eprintln!("{msg}");
+    if !enabled() {
+        return;
+    }
+    let mut s = sinks().lock().expect("trace sink poisoned");
+    let ts = now_ns();
+    let seq = s.seq;
+    s.seq += 1;
+    if let Some(f) = &mut s.file {
+        let line = format!(
+            "{{\"type\":\"event\",\"seq\":{seq},\"ts\":{ts},\"msg\":{}}}\n",
+            json_string(msg)
+        );
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3i32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(3u64), AttrValue::Uint(3));
+        assert_eq!(AttrValue::from(3usize), AttrValue::Uint(3));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+        assert_eq!(AttrValue::from("s"), AttrValue::Str("s".into()));
+        assert_eq!(AttrValue::from('w'), AttrValue::Str("w".into()));
+        assert_eq!(AttrValue::Float(1.5).to_json(), "1.5");
+        assert_eq!(AttrValue::Str("q\"".into()).to_json(), "\"q\\\"\"");
+    }
+
+    #[test]
+    fn span_record_jsonl_shape() {
+        let rec = SpanRecord {
+            name: "solve.greedy",
+            path: "advisor.recommend/solve.greedy".to_string(),
+            thread: 1,
+            depth: 1,
+            seq: 7,
+            start_ns: 10,
+            end_ns: 25,
+            attrs: vec![("k", AttrValue::Uint(4))],
+            counters: vec![("storage.pager.reads", 12)],
+        };
+        let line = rec.to_jsonl();
+        assert!(line.starts_with("{\"type\":\"span\",\"seq\":7,\"ts\":25"));
+        assert!(line.contains("\"dur_ns\":15"));
+        assert!(line.contains("\"attrs\":{\"k\":4}"));
+        assert!(line.contains("\"counters\":{\"storage.pager.reads\":12}"));
+        assert!(line.ends_with("}}\n"));
+        assert_eq!(rec.counter("storage.pager.reads"), 12);
+        assert_eq!(rec.counter("absent"), 0);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -186,6 +186,7 @@ impl BTree {
     where
         I: IntoIterator<Item = (Vec<Value>, Rid)>,
     {
+        let _span = cdpd_obs::span!("btree.bulk_load");
         let budget = PAGE_SIZE * FILL_NUM / FILL_DEN;
         let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
         let mut cur: Vec<Vec<u8>> = Vec::new();
@@ -282,6 +283,8 @@ impl BTree {
             height += 1;
         }
 
+        cdpd_obs::counter!("storage.btree.bulk_loads").inc();
+        cdpd_obs::counter!("storage.btree.bulk_load_pages").add(pages.len() as u64);
         Ok(BTree {
             pager,
             root: level[0].1,

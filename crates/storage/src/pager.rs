@@ -38,6 +38,19 @@ pub struct IoStats {
 }
 
 impl IoStats {
+    /// Process-wide totals, summed over every pager instance, read from
+    /// the `cdpd-obs` metrics registry (counters `storage.pager.reads`
+    /// / `.writes` / `.allocs`). Per-instance [`Pager::stats`] remains
+    /// the scoped view; this is the registry view of the same ledger.
+    pub fn global() -> IoStats {
+        let r = cdpd_obs::registry();
+        IoStats {
+            reads: r.counter_value("storage.pager.reads"),
+            writes: r.counter_value("storage.pager.writes"),
+            allocs: r.counter_value("storage.pager.allocs"),
+        }
+    }
+
     /// Counter increase from `earlier` to `self`.
     pub fn delta(self, earlier: IoStats) -> IoStats {
         IoStats {
@@ -90,6 +103,7 @@ impl Pager {
     /// when one is available.
     pub fn allocate(&self) -> PageId {
         self.allocs.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("storage.pager.allocs").inc();
         if let Some(id) = self.free.lock().expect("pager lock poisoned").pop() {
             let mut pages = self.pages.lock().expect("pager lock poisoned");
             pages[id.index()] = blank_page();
@@ -127,6 +141,7 @@ impl Pager {
             .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?
             .clone();
         self.reads.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("storage.pager.reads").inc();
         Ok(page)
     }
 
@@ -138,6 +153,7 @@ impl Pager {
             .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?;
         *slot = page;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("storage.pager.writes").inc();
         Ok(())
     }
 
@@ -155,6 +171,8 @@ impl Pager {
         let r = f(buf);
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::tracked_counter!("storage.pager.reads").inc();
+        cdpd_obs::tracked_counter!("storage.pager.writes").inc();
         Ok(r)
     }
 

@@ -66,6 +66,7 @@ impl BufferPool {
         if let Some((page, last)) = inner.map.get_mut(&id.raw()) {
             *last = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cdpd_obs::counter!("storage.pool.hits").inc();
             return Ok(page.clone());
         }
         drop(inner);
@@ -75,10 +76,13 @@ impl BufferPool {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, t))| *t) {
                 inner.map.remove(&victim);
+                cdpd_obs::counter!("storage.pool.evictions").inc();
             }
         }
         inner.map.insert(id.raw(), (page.clone(), stamp));
+        cdpd_obs::gauge!("storage.pool.resident").set(inner.map.len() as i64);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cdpd_obs::counter!("storage.pool.misses").inc();
         Ok(page)
     }
 

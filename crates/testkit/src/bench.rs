@@ -208,7 +208,7 @@ impl Drop for BenchmarkGroup<'_> {
         }));
         let json = format!("[\n{}\n]\n", records.join(",\n"));
         if std::fs::write(&path, json).is_err() {
-            eprintln!("warning: could not write {}", path.display());
+            cdpd_obs::event!("warning: could not write {}", path.display());
         }
     }
 }

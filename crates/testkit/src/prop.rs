@@ -782,7 +782,7 @@ fn persist_regression_seed(path: &Path, name: &str, failure: &Failure) {
         .append(true)
         .open(path)
     else {
-        eprintln!(
+        cdpd_obs::event!(
             "warning: could not persist failure seed to {}",
             path.display()
         );

@@ -95,9 +95,9 @@ fn main() -> cdpd::types::Result<()> {
             let specs = rec.specs_at(0);
             let report = db.apply_configuration("t", &specs)?;
             println!(
-                "                 re-tuned: +{:?} -{:?} ({} I/Os)",
-                report.created,
-                report.dropped,
+                "                 re-tuned: +[{}] -[{}] ({} I/Os)",
+                report.created.join(", "),
+                report.dropped.join(", "),
                 report.io.total()
             );
         }
@@ -107,11 +107,12 @@ fn main() -> cdpd::types::Result<()> {
         day.len()
     );
     println!(
-        "final design: {:?}",
+        "final design: [{}]",
         db.index_specs("t")?
             .iter()
             .map(IndexSpec::display_short)
             .collect::<Vec<_>>()
+            .join(", ")
     );
     Ok(())
 }

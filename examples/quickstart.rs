@@ -13,6 +13,10 @@ use cdpd::{Advisor, AdvisorOptions};
 use cdpd_testkit::Prng;
 
 fn main() -> cdpd::types::Result<()> {
+    // Set CDPD_TRACE=1 (and optionally CDPD_TRACE_FILE=trace.jsonl) to
+    // capture a span profile of the whole run; it prints at the end.
+    let run_span = cdpd::obs::span!("quickstart.run");
+
     // 1. A table in the shape of the paper's experiments: four integer
     //    columns, uniformly random values, ~5 rows per distinct value.
     const ROWS: i64 = 50_000;
@@ -68,11 +72,17 @@ fn main() -> cdpd::types::Result<()> {
     //    indexes exactly where the schedule says, and measure I/O.
     let report = replay_recommendation(&mut db, &trace, &rec)?;
     println!(
-        "replayed {} statements: {} exec I/Os + {} transition I/Os (wall {:?})",
+        "replayed {} statements: {} exec I/Os + {} transition I/Os (wall {:.1} ms)",
         report.statements,
         report.exec_io(),
         report.trans_io(),
-        report.wall
+        report.wall.as_secs_f64() * 1e3,
     );
+
+    // 5. With tracing on, render the span-tree profile of the run.
+    drop(run_span);
+    if let Some(profile) = cdpd::obs::profile_since(0) {
+        println!("\nspan profile (CDPD_TRACE=1):\n{profile}");
+    }
     Ok(())
 }

@@ -5,6 +5,7 @@ use cdpd_core::{
     OracleStatsSnapshot, Problem, Schedule,
 };
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
+use cdpd_obs::MetricsSnapshot;
 use cdpd_types::{Error, Result};
 use cdpd_workload::{summarize, Trace};
 use std::ops::Range;
@@ -90,6 +91,13 @@ pub struct Recommendation {
     /// projected cache hits, and memo residency (see
     /// [`cdpd_core::OracleStats`]).
     pub oracle_stats: OracleStatsSnapshot,
+    /// Process-wide metrics delta over this `recommend` call (what-if
+    /// calls, planner picks, pager I/O, solver timings — everything the
+    /// `cdpd-obs` registry saw).
+    pub metrics: MetricsSnapshot,
+    /// Rendered span-tree profile of the call, present when tracing was
+    /// enabled (`CDPD_TRACE=1` or `cdpd_obs::trace::set_enabled(true)`).
+    pub profile: Option<String>,
 }
 
 impl Recommendation {
@@ -265,6 +273,9 @@ impl<'db> Advisor<'db> {
                 self.table
             )));
         }
+        let metrics_before = cdpd_obs::registry().snapshot();
+        let started_ns = cdpd_obs::trace::now_ns();
+        let span = cdpd_obs::span!("advisor.recommend", statements = trace.len());
         let workload = summarize(trace, self.options.window_len)?;
         let whatif = WhatIfEngine::snapshot(self.db, &self.table)?;
 
@@ -315,6 +326,10 @@ impl<'db> Advisor<'db> {
         };
         schedule.validate(&oracle, &problem, self.options.k)?;
 
+        // Close the span before rendering so the recommend record itself
+        // lands in the ring and the profile covers the whole call.
+        drop(span);
+        let profile = cdpd_obs::profile_since(started_ns);
         Ok(Recommendation {
             schedule,
             structures: oracle.inner().structures().to_vec(),
@@ -322,6 +337,8 @@ impl<'db> Advisor<'db> {
             problem,
             hybrid_strategy,
             oracle_stats: oracle.stats_snapshot(),
+            metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
+            profile,
         })
     }
 }

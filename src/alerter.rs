@@ -44,6 +44,10 @@ pub struct Alert {
     /// Cost-oracle instrumentation for the check's cheap sweep (see
     /// [`cdpd_core::OracleStats`]).
     pub oracle_stats: OracleStatsSnapshot,
+    /// Process-wide metrics delta over the [`Alerter::check`] call.
+    pub metrics: cdpd_obs::MetricsSnapshot,
+    /// Rendered span-tree profile of the check, when tracing is on.
+    pub profile: Option<String>,
 }
 
 /// Sliding-window quality monitor for one table's physical design.
@@ -115,6 +119,9 @@ impl Alerter {
         if self.window.is_empty() {
             return Ok(None);
         }
+        let metrics_before = cdpd_obs::registry().snapshot();
+        let started_ns = cdpd_obs::trace::now_ns();
+        let span = cdpd_obs::span!("alerter.check", window = self.window.len());
         let trace = Trace::new(self.table.clone(), self.window.iter().cloned().collect());
         let summarized = summarize(&trace, self.window.len())?;
 
@@ -153,6 +160,7 @@ impl Alerter {
         if degradation <= self.threshold {
             return Ok(None);
         }
+        drop(span);
         Ok(Some(Alert {
             current_cost,
             best_cost,
@@ -160,6 +168,8 @@ impl Alerter {
             degradation,
             recent_trace: trace,
             oracle_stats: oracle.stats_snapshot(),
+            metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
+            profile: cdpd_obs::profile_since(started_ns),
         }))
     }
 }

@@ -64,6 +64,10 @@ pub struct KAdvice {
     /// Instrumentation for the *training* oracle across the whole
     /// k-sweep (see [`cdpd_core::OracleStats`]).
     pub oracle_stats: OracleStatsSnapshot,
+    /// Process-wide metrics delta over the [`suggest_k_robust`] call.
+    pub metrics: cdpd_obs::MetricsSnapshot,
+    /// Rendered span-tree profile of the sweep, when tracing is on.
+    pub profile: Option<String>,
 }
 
 /// Sweep `k` on a trace generated from `spec`, evaluating each budget's
@@ -79,6 +83,9 @@ pub fn suggest_k_robust(
             "need at least one holdout (resampled or rotated)".into(),
         ));
     }
+    let metrics_before = cdpd_obs::registry().snapshot();
+    let started_ns = cdpd_obs::trace::now_ns();
+    let span = cdpd_obs::span!("kadvice.suggest_k_robust", k_max = options.k_max);
     let train_trace = generate(spec, options.seed);
     let train_sum = summarize(&train_trace, spec.window_len)?;
     let structures = match &options.structures {
@@ -115,9 +122,12 @@ pub fn suggest_k_robust(
     let curve = kselect::robust_curve(&train, &holdout_refs, &problem, &candidates, options.k_max)?;
     let k = kselect::suggest_robust_k(&curve)
         .ok_or_else(|| Error::Infeasible("empty robustness curve".into()))?;
+    drop(span);
     Ok(KAdvice {
         curve,
         k,
         oracle_stats: train.stats_snapshot(),
+        metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
+        profile: cdpd_obs::profile_since(started_ns),
     })
 }

@@ -42,6 +42,7 @@
 pub use cdpd_core as core;
 pub use cdpd_engine as engine;
 pub use cdpd_graph as graph;
+pub use cdpd_obs as obs;
 pub use cdpd_sql as sql;
 pub use cdpd_storage as storage;
 pub use cdpd_testkit as testkit;
@@ -58,5 +59,7 @@ pub mod replay;
 pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
 pub use alerter::{Alert, Alerter};
 pub use candidates::candidate_indexes;
+pub use cdpd_core::OracleStatsSnapshot;
+pub use cdpd_obs::MetricsSnapshot;
 pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};
 pub use oracle::EngineOracle;

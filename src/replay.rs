@@ -87,6 +87,7 @@ pub fn replay(
             stage_specs.len()
         )));
     }
+    let _span = cdpd_obs::span!("replay.run", stages = stage_specs.len());
     let start = Instant::now();
     let table = trace.table().to_owned();
     let mut stages = Vec::with_capacity(stage_specs.len());
@@ -94,15 +95,21 @@ pub fn replay(
     let mut row_checksum = 0u64;
 
     for (i, specs) in stage_specs.iter().enumerate() {
-        let ddl = db.apply_configuration(&table, specs)?;
+        let ddl = {
+            let _span = cdpd_obs::span!("replay.transition", stage = i);
+            db.apply_configuration(&table, specs)?
+        };
         let mut exec_io = 0u64;
         let lo = i * window_len;
         let hi = ((i + 1) * window_len).min(trace.len());
-        for stmt in &trace.statements()[lo..hi] {
-            let r = db.execute_dml(stmt)?;
-            exec_io += r.io.total();
-            row_checksum += r.count;
-            statements += 1;
+        {
+            let _span = cdpd_obs::span!("replay.window", stage = i, statements = hi - lo);
+            for stmt in &trace.statements()[lo..hi] {
+                let r = db.execute_dml(stmt)?;
+                exec_io += r.io.total();
+                row_checksum += r.count;
+                statements += 1;
+            }
         }
         stages.push(StageReport {
             trans_io: ddl.io.total(),

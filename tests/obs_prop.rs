@@ -1,0 +1,113 @@
+//! Property test for the tracing layer's concurrency contract: span
+//! records produced by N threads building random span trees are
+//! well-nested *per thread* (every non-root record closes inside an
+//! enclosing record with the parent path and covering interval), and
+//! the tracked-counter deltas attributed to the per-thread root spans
+//! sum exactly to the global registry delta — attribution neither
+//! loses nor double-counts work, no matter how the threads interleave.
+
+use cdpd_obs::SpanRecord;
+use cdpd_testkit::prop::Config as PropConfig;
+use cdpd_testkit::{props, Prng};
+
+const ALPHA: &str = "test.obs.alpha";
+const BETA: &str = "test.obs.beta";
+
+/// Build a random span tree, bumping tracked counters at every node.
+/// Returns the per-counter totals this subtree bumped.
+fn random_tree(rng: &mut Prng, depth: usize) -> (u64, u64) {
+    let a = rng.gen_range(0..4u64);
+    let b = rng.gen_range(0..3u64);
+    cdpd_obs::tracked_counter!("test.obs.alpha").add(a);
+    if b > 0 {
+        cdpd_obs::tracked_counter!("test.obs.beta").add(b);
+    }
+    let (mut ta, mut tb) = (a, b);
+    if depth < 3 {
+        for child in 0..rng.gen_range(0..3u64) {
+            let _span = cdpd_obs::span!("obsprop.node", child = child, depth = depth);
+            let (ca, cb) = random_tree(rng, depth + 1);
+            ta += ca;
+            tb += cb;
+        }
+    }
+    (ta, tb)
+}
+
+props! {
+    config: PropConfig::with_cases(12);
+
+    fn concurrent_span_trees_nest_and_reconcile(seed in 0u64..1_000_000, threads in 2u64..6) {
+        let (seed, threads) = (*seed, *threads);
+        // Tracing state is process-global; this is the only test in the
+        // binary, and property cases run sequentially.
+        cdpd_obs::trace::drain();
+        cdpd_obs::trace::set_enabled(true);
+        let before = cdpd_obs::registry().snapshot();
+        let t0 = cdpd_obs::trace::now_ns();
+
+        let mut expected = (0u64, 0u64);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut rng =
+                            Prng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ t);
+                        let _root = cdpd_obs::span!("obsprop.root", t = t);
+                        random_tree(&mut rng, 0)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (a, b) = h.join().expect("worker");
+                expected.0 += a;
+                expected.1 += b;
+            }
+        });
+
+        cdpd_obs::trace::set_enabled(false);
+        let delta = cdpd_obs::registry().snapshot().delta(&before);
+        let records: Vec<SpanRecord> = cdpd_obs::trace::drain()
+            .into_iter()
+            .filter(|r| r.start_ns >= t0)
+            .collect();
+
+        // One root per thread, each named obsprop.root at depth 0.
+        let roots: Vec<&SpanRecord> = records.iter().filter(|r| r.depth == 0).collect();
+        assert_eq!(roots.len() as u64, threads, "one root span per thread");
+        assert!(roots.iter().all(|r| r.name == "obsprop.root"));
+
+        // Well-nestedness, thread by thread: every non-root record has
+        // an enclosing record on the same thread whose path is its
+        // parent path and whose interval covers it.
+        for r in &records {
+            if r.depth == 0 {
+                assert_eq!(r.path, r.name, "roots have bare paths");
+                continue;
+            }
+            let parent_path = r.path.rsplit_once('/').expect("non-root has a parent").0;
+            assert!(
+                records.iter().any(|p| {
+                    p.thread == r.thread
+                        && p.depth == r.depth - 1
+                        && p.path == parent_path
+                        && p.start_ns <= r.start_ns
+                        && p.end_ns >= r.end_ns
+                        && p.seq > r.seq
+                }),
+                "no enclosing span for {} (thread {}, depth {})",
+                r.path,
+                r.thread,
+                r.depth
+            );
+        }
+
+        // Attribution: the root spans' tracked deltas sum to both the
+        // workers' ground truth and the global registry delta.
+        for (name, want) in [(ALPHA, expected.0), (BETA, expected.1)] {
+            let attributed: u64 = roots.iter().map(|r| r.counter(name)).sum();
+            assert_eq!(attributed, want, "{name}: roots != worker ground truth");
+            assert_eq!(delta.counter(name), want, "{name}: registry != ground truth");
+        }
+    }
+}

@@ -51,6 +51,15 @@ cargo run --release --offline -p cdpd-bench --bin table1
 echo "== oracle layer beats the seed memo path =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench oracle
 
+echo "== online pipeline is bit-identical to batch =="
+cargo test -q --offline -p cdpd --test online_equiv
+
+echo "== warm re-solve beats cold rebuild (>=2x, asserted in-bench) =="
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench online
+
+echo "== docs build clean =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 echo "== traced quickstart emits valid JSONL =="
 CDPD_TRACE=1 CDPD_TRACE_FILE=target/trace.jsonl \
   cargo run --release --offline --example quickstart > /dev/null

@@ -34,8 +34,15 @@ impl Config {
     }
 
     /// Whether `structure` is in this configuration.
+    ///
+    /// Panics on `structure >= 64`, like every other index-taking
+    /// method here — an out-of-range index is a caller bug (the
+    /// candidate list can never exceed the bitmask width), and
+    /// silently answering `false` would let it masquerade as an
+    /// absent structure.
     pub const fn contains(self, structure: usize) -> bool {
-        structure < 64 && (self.0 >> structure) & 1 == 1
+        assert!(structure < 64, "structure index out of range");
+        (self.0 >> structure) & 1 == 1
     }
 
     /// This configuration plus `structure`.

@@ -127,6 +127,54 @@ pub fn solve(
     Ok(schedule)
 }
 
+/// Optimal design with at most `k` *total* changes whose first
+/// `prefix.len()` stages are pinned to an already-committed prefix —
+/// the warm-start entry point for rolling re-solves.
+///
+/// The changes the prefix already spent (counted exactly as
+/// [`Schedule::evaluate`] counts them) are deducted from `k`; the
+/// suffix is solved under the remaining budget, starting from the
+/// prefix's last configuration, with the boundary change counted. Errs
+/// with [`Error::Infeasible`] when the prefix alone exceeds `k`. With
+/// an empty prefix this is exactly [`solve`]; the result is always a
+/// full `n`-stage schedule under the original `problem`.
+pub fn solve_with_prefix(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+    k: usize,
+    prefix: &[Config],
+) -> Result<Schedule> {
+    if prefix.is_empty() {
+        return solve(oracle, problem, candidates, k);
+    }
+    let _span = cdpd_obs::span!("solve.kaware.warm", k = k, prefix = prefix.len());
+    crate::warm::check_prefix(oracle, problem, prefix)?;
+    let used = crate::warm::prefix_changes(problem, prefix);
+    let Some(remaining) = k.checked_sub(used) else {
+        return Err(Error::Infeasible(format!(
+            "committed prefix already uses {used} changes, over the budget of {k}"
+        )));
+    };
+    if prefix.len() == oracle.n_stages() {
+        return Ok(Schedule::evaluate(oracle, problem, prefix.to_vec()));
+    }
+    let suffix = crate::warm::SuffixOracle {
+        inner: oracle,
+        start: prefix.len(),
+    };
+    let sub = crate::warm::suffix_problem(problem, prefix);
+    let tail = solve(&suffix, &sub, candidates, remaining)?;
+    let mut configs = prefix.to_vec();
+    configs.extend(tail.configs);
+    let schedule = Schedule::evaluate(oracle, problem, configs);
+    debug_assert!(
+        schedule.changes <= k,
+        "prefix + suffix must respect the total budget"
+    );
+    Ok(schedule)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +310,62 @@ mod tests {
             loose.total_cost() <= s.total_cost(),
             "strict counting can only restrict"
         );
+    }
+
+    #[test]
+    fn warm_prefix_of_the_optimum_reproduces_the_optimum() {
+        let o = phased_oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        for k in 0..4 {
+            let cold = solve(&o, &p, &cands, k).unwrap();
+            for split in 0..=o.n_stages() {
+                let warm = solve_with_prefix(&o, &p, &cands, k, &cold.configs[..split]).unwrap();
+                assert_eq!(warm.total_cost(), cold.total_cost(), "k={k} split={split}");
+                warm.validate(&o, &p, Some(k)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn warm_budget_deducts_prefix_spending() {
+        let o = phased_oracle();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        // empty → {0} → {1}: one counted change (the stage-0 build is
+        // free under the paper's default counting).
+        let prefix = vec![
+            Config::from_bits(0b001),
+            Config::from_bits(0b001),
+            Config::from_bits(0b010),
+        ];
+        // Budget 0 < 1 spent: infeasible.
+        assert!(solve_with_prefix(&o, &p, &cands, 0, &prefix).is_err());
+        // Budget 1: the suffix must freeze on the prefix's last config.
+        let s = solve_with_prefix(&o, &p, &cands, 1, &prefix).unwrap();
+        assert_eq!(s.changes, 1);
+        assert!(s.configs[2..]
+            .iter()
+            .all(|cfg| *cfg == Config::from_bits(0b010)));
+        // Budget 2: one more change is allowed, and it can only help.
+        let s2 = solve_with_prefix(&o, &p, &cands, 2, &prefix).unwrap();
+        assert!(s2.changes <= 2);
+        assert!(s2.total_cost() <= s.total_cost());
+    }
+
+    #[test]
+    fn warm_strict_mode_charges_the_prefix_initial_build() {
+        let o = phased_oracle();
+        let p = Problem {
+            count_initial_change: true,
+            ..Problem::default()
+        };
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        // Strict counting: building {0} at stage 0 is one change.
+        let prefix = vec![Config::from_bits(0b001)];
+        assert!(solve_with_prefix(&o, &p, &cands, 0, &prefix).is_err());
+        let s = solve_with_prefix(&o, &p, &cands, 1, &prefix).unwrap();
+        s.validate(&o, &p, Some(1)).unwrap();
     }
 
     #[test]

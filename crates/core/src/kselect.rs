@@ -46,7 +46,27 @@ pub fn cost_curve<O: SharedOracle>(
     candidates: &[Config],
     k_max: usize,
 ) -> Result<Vec<KCurvePoint>> {
-    let mut results: Vec<Option<Result<KCurvePoint>>> = Vec::new();
+    cost_curve_with_prefix(oracle, problem, candidates, k_max, &[])
+}
+
+/// [`cost_curve`] with the first `prefix.len()` stages pinned to an
+/// already-committed prefix — the rolling-budget sweep an online
+/// advisor runs when its horizon grows (each budget is a warm
+/// [`kaware::solve_with_prefix`], so a shared memoizing oracle serves
+/// most probes from cache).
+///
+/// Budgets smaller than the changes the prefix already spent are
+/// infeasible by construction and *omitted* from the returned curve
+/// (the curve then starts at the spent-change count); any other error
+/// is propagated. An empty prefix reproduces [`cost_curve`] exactly.
+pub fn cost_curve_with_prefix<O: SharedOracle>(
+    oracle: &O,
+    problem: &Problem,
+    candidates: &[Config],
+    k_max: usize,
+    prefix: &[Config],
+) -> Result<Vec<KCurvePoint>> {
+    let mut results: Vec<Option<Result<Option<KCurvePoint>>>> = Vec::new();
     results.resize_with(k_max + 1, || None);
     // std::thread::scope re-raises worker panics after joining; catch
     // them so a poisoned solve surfaces as an error, not an abort.
@@ -56,14 +76,18 @@ pub fn cost_curve<O: SharedOracle>(
                 scope.spawn(move || {
                     let _span = cdpd_obs::span!("kselect.solve_k", k = k);
                     let started = std::time::Instant::now();
-                    *slot =
-                        Some(
-                            kaware::solve(oracle, problem, candidates, k).map(|s| KCurvePoint {
-                                k,
-                                cost: s.total_cost(),
-                                changes: s.changes,
-                            }),
-                        );
+                    let solved = kaware::solve_with_prefix(oracle, problem, candidates, k, prefix);
+                    *slot = Some(match solved {
+                        Ok(s) => Ok(Some(KCurvePoint {
+                            k,
+                            cost: s.total_cost(),
+                            changes: s.changes,
+                        })),
+                        // The committed prefix outspends this budget:
+                        // skip the point rather than poisoning the sweep.
+                        Err(Error::Infeasible(_)) if !prefix.is_empty() => Ok(None),
+                        Err(e) => Err(e),
+                    });
                     cdpd_obs::histogram!("kselect.k_solve_nanos")
                         .record(started.elapsed().as_nanos() as u64);
                 });
@@ -71,10 +95,13 @@ pub fn cost_curve<O: SharedOracle>(
         });
     }))
     .map_err(|_| Error::InvalidArgument("k-sweep worker panicked".into()))?;
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled by its worker"))
-        .collect()
+    let mut curve = Vec::with_capacity(k_max + 1);
+    for r in results {
+        if let Some(point) = r.expect("every slot filled by its worker")? {
+            curve.push(point);
+        }
+    }
+    Ok(curve)
 }
 
 /// The knee of a cost curve: the smallest `k` whose cost is within
@@ -401,6 +428,45 @@ mod tests {
             "stage-count mismatch must be rejected"
         );
         assert_eq!(suggest_robust_k(&[]), None);
+    }
+
+    #[test]
+    fn prefix_curve_starts_at_spent_changes_and_matches_cold_optima() {
+        let o = w1_like();
+        let p = Problem::paper_experiment();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        // Commit the cold k=4 optimum's first 15 stages, then sweep.
+        let cold = kaware::solve(&o, &p, &cands, 4).unwrap();
+        let prefix = &cold.configs[..15];
+        let spent = {
+            let mut n = 0;
+            let mut prev = p.initial;
+            for (stage, &cfg) in prefix.iter().enumerate() {
+                // Mirror Schedule::evaluate: the stage-0 build is free
+                // unless count_initial_change (false here).
+                if cfg != prev && stage > 0 {
+                    n += 1;
+                }
+                prev = cfg;
+            }
+            n
+        };
+        let curve = cost_curve_with_prefix(&o, &p, &cands, 8, prefix).unwrap();
+        // Budgets below the prefix's spending are omitted.
+        assert_eq!(curve.first().unwrap().k, spent);
+        assert_eq!(curve.last().unwrap().k, 8);
+        for point in &curve {
+            let warm = kaware::solve_with_prefix(&o, &p, &cands, point.k, prefix).unwrap();
+            assert_eq!(warm.total_cost(), point.cost, "k={}", point.k);
+        }
+        // At the committed solve's own budget, the warm curve touches
+        // the cold optimum (the prefix came from that very schedule).
+        let at4 = curve.iter().find(|pt| pt.k == 4).unwrap();
+        assert_eq!(at4.cost, cold.total_cost());
+        // Empty prefix reproduces the plain sweep.
+        let plain = cost_curve(&o, &p, &cands, 5).unwrap();
+        let empty = cost_curve_with_prefix(&o, &p, &cands, 5, &[]).unwrap();
+        assert_eq!(plain, empty);
     }
 
     #[test]

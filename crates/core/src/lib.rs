@@ -45,10 +45,9 @@ pub mod ranking;
 pub mod report;
 mod schedule;
 pub mod seqgraph;
+mod warm;
 
 pub use config::{enumerate_configs, Config};
-#[allow(deprecated)]
-pub use oracle::MemoOracle;
 pub use oracle::{
     DenseOracle, OracleStats, OracleStatsSnapshot, ProjectableOracle, ProjectedOracle,
     RelevanceMask, SharedOracle, Unprojected,

@@ -121,23 +121,20 @@ impl OracleStats {
         cdpd_obs::counter!("oracle.bytes_resident").add(n);
         cdpd_obs::gauge!("oracle.bytes_resident").add(n as i64);
     }
+}
 
-    /// A point-in-time copy of every counter.
-    ///
-    /// **Deprecation note:** per-bundle snapshots remain supported as a
-    /// thin compatibility shim, but new code should prefer the
-    /// process-wide registry views —
-    /// [`OracleStatsSnapshot::from_registry`] for these six counters, or
-    /// `cdpd_obs::registry().snapshot()` for everything — which unify
-    /// oracle accounting with pager/pool/solver metrics.
-    pub fn snapshot(&self) -> OracleStatsSnapshot {
+impl From<&OracleStats> for OracleStatsSnapshot {
+    /// A point-in-time copy of every counter in one bundle. For
+    /// process-wide totals across bundles, prefer
+    /// [`OracleStatsSnapshot::from_registry`].
+    fn from(stats: &OracleStats) -> OracleStatsSnapshot {
         OracleStatsSnapshot {
-            exec_requests: self.exec_requests.load(Ordering::Relaxed),
-            raw_exec_evals: self.raw_exec_evals.load(Ordering::Relaxed),
-            whatif_calls: self.whatif_calls.load(Ordering::Relaxed),
-            projected_hits: self.projected_hits.load(Ordering::Relaxed),
-            dense_build_nanos: self.dense_build_nanos.load(Ordering::Relaxed),
-            bytes_resident: self.bytes_resident.load(Ordering::Relaxed),
+            exec_requests: stats.exec_requests.load(Ordering::Relaxed),
+            raw_exec_evals: stats.raw_exec_evals.load(Ordering::Relaxed),
+            whatif_calls: stats.whatif_calls.load(Ordering::Relaxed),
+            projected_hits: stats.projected_hits.load(Ordering::Relaxed),
+            dense_build_nanos: stats.dense_build_nanos.load(Ordering::Relaxed),
+            bytes_resident: stats.bytes_resident.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,8 +160,8 @@ pub struct OracleStatsSnapshot {
 impl OracleStatsSnapshot {
     /// Process-wide totals summed over every [`OracleStats`] bundle,
     /// read from the `cdpd-obs` metrics registry (`oracle.*` counters).
-    /// This is the registry view that supersedes per-bundle
-    /// [`OracleStats::snapshot`] for whole-process reporting.
+    /// This is the registry view to use for whole-process reporting;
+    /// `OracleStatsSnapshot::from(&stats)` copies one bundle.
     pub fn from_registry() -> OracleStatsSnapshot {
         let r = cdpd_obs::registry();
         OracleStatsSnapshot {
@@ -378,6 +375,24 @@ impl<K: Eq + std::hash::Hash, V: Copy> Sharded<K, V> {
             .map(|s| s.lock().expect("oracle cache lock").len())
             .sum()
     }
+
+    /// Keep only entries whose key satisfies `keep`; returns the number
+    /// of evicted entries.
+    fn retain(&self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("oracle cache lock");
+            let before = map.len();
+            map.retain(|k, _| keep(k));
+            evicted += before - map.len();
+        }
+        evicted
+    }
+
+    /// Drop every entry; returns the number of evicted entries.
+    fn clear(&self) -> usize {
+        self.retain(|_| false)
+    }
 }
 
 /// Fibonacci-style mixer choosing a shard from a two-word key. Not a
@@ -407,7 +422,7 @@ fn part_key(stage: usize, part: usize) -> u64 {
 ///
 /// Over an oracle with no relevance info (the [`ProjectableOracle`]
 /// defaults, or [`Unprojected`]) this behaves exactly like the seed
-/// `MemoOracle`, which is why that name survives as a deprecated alias.
+/// `MemoOracle` did: one cache entry per distinct `(stage, config)`.
 pub struct ProjectedOracle<O> {
     inner: O,
     stats: Arc<OracleStats>,
@@ -437,6 +452,16 @@ impl<O: ProjectableOracle> ProjectedOracle<O> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped oracle, for in-place growth (e.g.
+    /// appending stages for a new window). The memo is keyed by
+    /// `(stage, part)`, so *appending* stages leaves every cached entry
+    /// valid — that is the warm-start contract. Callers that mutate
+    /// *existing* stages must follow up with [`Self::retain_parts`] /
+    /// [`Self::invalidate_sizes`] to evict what changed.
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
     /// Unwrap.
     pub fn into_inner(self) -> O {
         self.inner
@@ -449,7 +474,7 @@ impl<O: ProjectableOracle> ProjectedOracle<O> {
 
     /// A point-in-time copy of the counters.
     pub fn stats_snapshot(&self) -> OracleStatsSnapshot {
-        self.stats.snapshot()
+        OracleStatsSnapshot::from(&*self.stats)
     }
 
     /// Number of distinct projected part evaluations cached so far
@@ -458,6 +483,31 @@ impl<O: ProjectableOracle> ProjectedOracle<O> {
     /// projected config)`).
     pub fn exec_evaluations(&self) -> usize {
         self.exec_cache.len()
+    }
+
+    /// Warm-start invalidation: keep only memo entries for the
+    /// `(stage, part)` pairs `keep` accepts, evicting the rest (e.g.
+    /// the stages whose statistics a DML batch changed). Returns the
+    /// number of evicted entries. Entries for untouched stages stay
+    /// warm across the re-solve — the point of the online pipeline.
+    pub fn retain_parts(&self, mut keep: impl FnMut(usize, usize) -> bool) -> usize {
+        let evicted = self.exec_cache.retain(|&(sp, _bits)| {
+            let stage = (sp >> 24) as usize;
+            let part = (sp & 0x00FF_FFFF) as usize;
+            keep(stage, part)
+        });
+        if evicted > 0 {
+            cdpd_obs::counter!("oracle.memo_evictions").add(evicted as u64);
+        }
+        evicted
+    }
+
+    /// Drop every memoized `size(config)` entry. Needed when the
+    /// underlying statistics change (structure sizes are derived from
+    /// table statistics, not per-stage costs, so `retain_parts` cannot
+    /// reach them). Returns the number of evicted entries.
+    pub fn invalidate_sizes(&self) -> usize {
+        self.size_cache.clear()
     }
 }
 
@@ -506,14 +556,6 @@ impl<O: ProjectableOracle> CostOracle for ProjectedOracle<O> {
     }
 }
 
-/// The seed memoizing wrapper, now an alias for the unified layer.
-#[deprecated(
-    since = "0.2.0",
-    note = "MemoOracle is now ProjectedOracle, the unified oracle layer; \
-            use ProjectedOracle::new (or EngineOracle::into_shared)"
-)]
-pub type MemoOracle<O> = ProjectedOracle<O>;
-
 // ---------------------------------------------------------------------
 // DenseOracle
 // ---------------------------------------------------------------------
@@ -542,8 +584,70 @@ pub struct DenseOracle<O> {
     inner: O,
     stats: Arc<OracleStats>,
     stages: Vec<Vec<DensePart>>,
+    max_bits: usize,
     overflow: Sharded<(u64, u64), Cost>,
     size_cache: Sharded<u64, u64>,
+}
+
+/// Materialize dense part tables for `count` stages starting at
+/// `first_stage`, fanning the evaluation out over a `thread::scope`
+/// (each worker owns a disjoint slice, so the build is deterministic
+/// and lock-free). Shared by the constructor (`first_stage = 0`) and
+/// [`DenseOracle::extend`] (appended suffix only).
+fn build_stage_tables<O: ProjectableOracle + Sync>(
+    inner: &O,
+    first_stage: usize,
+    count: usize,
+    max_bits: usize,
+) -> Vec<Vec<DensePart>> {
+    let mut stages: Vec<Vec<DensePart>> = (0..count)
+        .map(|off| {
+            let s = first_stage + off;
+            (0..inner.n_parts(s))
+                .map(|p| DensePart {
+                    mask: inner.part_mask(s, p),
+                    table: None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .clamp(1, 16);
+    let chunk = count.div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk_slice) in stages.chunks_mut(chunk).enumerate() {
+            let base = first_stage + chunk_idx * chunk;
+            scope.spawn(move || {
+                let _span = cdpd_obs::span!("oracle.dense.build.chunk", chunk = chunk_idx);
+                for (off, parts) in chunk_slice.iter_mut().enumerate() {
+                    let stage = base + off;
+                    for (p, part) in parts.iter_mut().enumerate() {
+                        let width = part.mask.len();
+                        if width > max_bits {
+                            continue;
+                        }
+                        let mask = part.mask;
+                        let table = (0..1u64 << width)
+                            .map(|code| inner.exec_part(stage, p, expand(code, mask)))
+                            .collect();
+                        part.table = Some(table);
+                    }
+                }
+            });
+        }
+    });
+    stages
+}
+
+fn table_entries(stages: &[Vec<DensePart>]) -> u64 {
+    stages
+        .iter()
+        .flatten()
+        .filter_map(|p| p.table.as_ref())
+        .map(|t| t.len() as u64)
+        .sum()
 }
 
 impl<O: ProjectableOracle + Sync> DenseOracle<O> {
@@ -563,51 +667,8 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
         );
         let started = Instant::now();
         let n_stages = inner.n_stages();
-        let mut stages: Vec<Vec<DensePart>> = (0..n_stages)
-            .map(|s| {
-                (0..inner.n_parts(s))
-                    .map(|p| DensePart {
-                        mask: inner.part_mask(s, p),
-                        table: None,
-                    })
-                    .collect()
-            })
-            .collect();
-
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .clamp(1, 16);
-        let chunk = n_stages.div_ceil(workers.max(1)).max(1);
-        let inner_ref = &inner;
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk_slice) in stages.chunks_mut(chunk).enumerate() {
-                let base = chunk_idx * chunk;
-                scope.spawn(move || {
-                    let _span = cdpd_obs::span!("oracle.dense.build.chunk", chunk = chunk_idx);
-                    for (off, parts) in chunk_slice.iter_mut().enumerate() {
-                        let stage = base + off;
-                        for (p, part) in parts.iter_mut().enumerate() {
-                            let width = part.mask.len();
-                            if width > max_bits {
-                                continue;
-                            }
-                            let mask = part.mask;
-                            let table = (0..1u64 << width)
-                                .map(|code| inner_ref.exec_part(stage, p, expand(code, mask)))
-                                .collect();
-                            part.table = Some(table);
-                        }
-                    }
-                });
-            }
-        });
-
-        let entries: u64 = stages
-            .iter()
-            .flatten()
-            .filter_map(|p| p.table.as_ref())
-            .map(|t| t.len() as u64)
-            .sum();
+        let stages = build_stage_tables(&inner, 0, n_stages, max_bits);
+        let entries = table_entries(&stages);
         stats.record_dense_build_nanos(started.elapsed().as_nanos() as u64);
         stats.record_bytes_resident(entries * std::mem::size_of::<Cost>() as u64);
         stats.record_raw_evals(entries);
@@ -615,6 +676,7 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
             inner,
             stats,
             stages,
+            max_bits,
             overflow: Sharded::new(),
             size_cache: Sharded::new(),
         }
@@ -625,6 +687,43 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped oracle, for in-place growth. Dense
+    /// tables are indexed by stage, so *appending* stages leaves every
+    /// existing table valid — call [`Self::extend`] afterwards to
+    /// materialize tables for the new suffix. Mutating existing stages
+    /// would silently desynchronize the tables; rebuild instead.
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
+    /// Materialize tables for stages the inner oracle gained since this
+    /// wrapper was built (grow it through [`Self::inner_mut`], then call
+    /// this). Existing stage tables and overflow-memo entries stay warm;
+    /// only the appended suffix is evaluated. Returns the number of
+    /// stages added.
+    pub fn extend(&mut self) -> usize {
+        let built = self.stages.len();
+        let now = self.inner.n_stages();
+        assert!(
+            now >= built,
+            "inner oracle lost stages under a DenseOracle ({built} -> {now})"
+        );
+        if now == built {
+            return 0;
+        }
+        let _span = cdpd_obs::span!("oracle.dense.extend", from = built, to = now);
+        let started = Instant::now();
+        let new_stages = build_stage_tables(&self.inner, built, now - built, self.max_bits);
+        let entries = table_entries(&new_stages);
+        self.stages.extend(new_stages);
+        self.stats
+            .record_dense_build_nanos(started.elapsed().as_nanos() as u64);
+        self.stats
+            .record_bytes_resident(entries * std::mem::size_of::<Cost>() as u64);
+        self.stats.record_raw_evals(entries);
+        now - built
+    }
+
     /// The shared stats bundle.
     pub fn stats(&self) -> &Arc<OracleStats> {
         &self.stats
@@ -632,7 +731,7 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
 
     /// A point-in-time copy of the counters.
     pub fn stats_snapshot(&self) -> OracleStatsSnapshot {
-        self.stats.snapshot()
+        OracleStatsSnapshot::from(&*self.stats)
     }
 
     /// True if every part of every stage was tabulated (no part fell
@@ -932,10 +1031,64 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_alias_still_works() {
-        #[allow(deprecated)]
-        let o: MemoOracle<TwoPart> = MemoOracle::new(two_part());
-        assert_eq!(o.exec(0, Config::EMPTY), two_part().exec(0, Config::EMPTY));
+    fn retain_parts_evicts_only_named_stages() {
+        let o = ProjectedOracle::new(two_part());
+        for stage in 0..3 {
+            o.exec(stage, Config::from_bits(0b011));
+        }
+        assert_eq!(o.exec_evaluations(), 6, "3 stages × 2 parts");
+        // Invalidate stage 1 only (a DML batch touched its statements).
+        let evicted = o.retain_parts(|stage, _part| stage != 1);
+        assert_eq!(evicted, 2);
+        assert_eq!(o.exec_evaluations(), 4);
+        let before = o.inner().evals.load(Ordering::Relaxed);
+        // Warm stages re-probe without inner evaluations...
+        o.exec(0, Config::from_bits(0b011));
+        o.exec(2, Config::from_bits(0b011));
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), before);
+        // ...the evicted stage goes back to the inner oracle.
+        o.exec(1, Config::from_bits(0b011));
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), before + 2);
+    }
+
+    #[test]
+    fn size_cache_invalidation() {
+        let o = ProjectedOracle::new(two_part());
+        assert_eq!(o.size(Config::from_bits(0b11)), 14);
+        assert_eq!(o.invalidate_sizes(), 1);
+        assert_eq!(o.invalidate_sizes(), 0, "second clear finds nothing");
+        assert_eq!(o.size(Config::from_bits(0b11)), 14);
+    }
+
+    #[test]
+    fn dense_extend_appends_stages_without_rebuilding() {
+        let mut o = DenseOracle::new(two_part());
+        assert_eq!(o.n_stages(), 3);
+        let built = o.inner().evals.load(Ordering::Relaxed);
+        assert_eq!(o.extend(), 0, "nothing appended yet");
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), built);
+        // Grow the inner oracle by two stages, then extend.
+        o.inner_mut().n_stages = 5;
+        assert_eq!(o.extend(), 2);
+        assert!(o.is_fully_dense());
+        // Only the new stages were evaluated: 2 stages × (2^2 + 2^1).
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), built + 12);
+        let raw = TwoPart {
+            n_stages: 5,
+            evals: AtomicU64::new(0),
+        };
+        for stage in 0..5 {
+            for bits in 0..16u64 {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(
+                    o.exec(stage, cfg),
+                    raw.exec(stage, cfg),
+                    "EXEC({stage},{cfg})"
+                );
+            }
+        }
+        // Reads after extend never touch the inner oracle.
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), built + 12);
     }
 
     #[test]
@@ -963,7 +1116,7 @@ mod tests {
         stats.record_raw_eval();
         stats.record_projected_hit();
         stats.record_whatif_calls(5);
-        let line = stats.snapshot().to_string();
+        let line = OracleStatsSnapshot::from(&stats).to_string();
         assert!(line.contains("1 exec requests"), "{line}");
         assert!(line.contains("(50.0%)"), "{line}");
         assert!(line.contains("5 what-if calls"), "{line}");

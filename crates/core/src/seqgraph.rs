@@ -122,6 +122,47 @@ pub fn solve(
     Ok(schedule)
 }
 
+/// Optimal unconstrained design whose first `prefix.len()` stages are
+/// pinned to an already-committed prefix — the warm-start entry point.
+/// Extending the horizon by one window re-solves only the suffix
+/// (`O((n − p)·|cands|²)` graph work) from the prefix's last
+/// configuration, instead of rebuilding the whole sequence graph; when
+/// the oracle is a shared memoizing layer, suffix probes that earlier
+/// solves already evaluated are cache hits.
+///
+/// With an empty prefix this is exactly [`solve`]. The result is a
+/// full `n`-stage [`Schedule`] evaluated under the original `problem`,
+/// directly comparable to a cold solve — and by the principle of
+/// optimality, optimal among all schedules sharing the prefix.
+pub fn solve_with_prefix(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+    prefix: &[Config],
+) -> Result<Schedule> {
+    if prefix.is_empty() {
+        return solve(oracle, problem, candidates);
+    }
+    let _span = cdpd_obs::span!(
+        "solve.seqgraph.warm",
+        prefix = prefix.len(),
+        candidates = candidates.len()
+    );
+    crate::warm::check_prefix(oracle, problem, prefix)?;
+    if prefix.len() == oracle.n_stages() {
+        return Ok(Schedule::evaluate(oracle, problem, prefix.to_vec()));
+    }
+    let suffix = crate::warm::SuffixOracle {
+        inner: oracle,
+        start: prefix.len(),
+    };
+    let sub = crate::warm::suffix_problem(problem, prefix);
+    let tail = solve(&suffix, &sub, candidates)?;
+    let mut configs = prefix.to_vec();
+    configs.extend(tail.configs);
+    Ok(Schedule::evaluate(oracle, problem, configs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +266,59 @@ mod tests {
             "structure 1 violates the bound: {s}"
         );
         s.validate(&o, &p, None).unwrap();
+    }
+
+    #[test]
+    fn warm_prefix_of_the_optimum_reproduces_the_optimum() {
+        // Principle of optimality: pin any prefix of the cold optimum
+        // and the warm solve must land on the same total cost.
+        let o = alternating_oracle(6, 30);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let cold = solve(&o, &p, &cands).unwrap();
+        for split in 0..=o.n_stages() {
+            let warm = solve_with_prefix(&o, &p, &cands, &cold.configs[..split]).unwrap();
+            assert_eq!(warm.total_cost(), cold.total_cost(), "split={split}");
+            assert_eq!(warm.configs[..split], cold.configs[..split]);
+            assert_eq!(warm.configs.len(), o.n_stages());
+            warm.validate(&o, &p, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_solve_respects_a_suboptimal_commitment() {
+        // A deliberately bad committed prefix: the warm solve optimizes
+        // the suffix but must keep the prefix and charge its costs.
+        let o = alternating_oracle(4, 5);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let bad = Config::EMPTY; // cheap under nothing
+        let warm = solve_with_prefix(&o, &p, &cands, &[bad]).unwrap();
+        assert_eq!(warm.configs[0], bad);
+        let cold = solve(&o, &p, &cands).unwrap();
+        assert!(warm.total_cost() >= cold.total_cost());
+        // The suffix is still optimal among schedules starting [bad, ..].
+        for &b in &cands {
+            for &cc in &cands {
+                for &d in &cands {
+                    let s = Schedule::evaluate(&o, &p, vec![bad, b, cc, d]);
+                    assert!(warm.total_cost() <= s.total_cost());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_prefix_input_validation() {
+        let o = alternating_oracle(3, 5);
+        let p = Problem::default();
+        let cands = enumerate_configs(&o, None, Some(1)).unwrap();
+        let too_long = vec![Config::EMPTY; 4];
+        assert!(solve_with_prefix(&o, &p, &cands, &too_long).is_err());
+        // Full-length prefix: nothing left to solve, just evaluate.
+        let full = vec![Config::from_bits(1); 3];
+        let s = solve_with_prefix(&o, &p, &cands, &full).unwrap();
+        assert_eq!(s.configs, full);
     }
 
     #[test]

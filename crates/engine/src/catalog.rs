@@ -58,6 +58,9 @@ pub(crate) struct TableEntry {
     pub(crate) schema: Schema,
     pub(crate) heap: HeapFile,
     pub(crate) stats: Option<crate::stats::TableStats>,
+    /// Retained analyze state, folded forward under DML so statistics
+    /// refresh without re-scanning (seeded by `ANALYZE`).
+    pub(crate) maintainer: Option<crate::stats::StatsMaintainer>,
     /// Indexes keyed by canonical name, iterated in name order so
     /// planning is deterministic.
     pub(crate) indexes: std::collections::BTreeMap<String, IndexEntry>,

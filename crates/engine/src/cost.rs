@@ -167,12 +167,12 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::StatsBuilder;
+    use crate::stats::StatsMaintainer;
     use cdpd_types::Value;
 
     /// Stats resembling the paper's table: 4 int columns, uniform.
     fn paper_stats(rows: u64) -> TableStats {
-        let mut b = StatsBuilder::new(4, rows);
+        let mut b = StatsMaintainer::new(4, rows);
         for i in 0..rows as i64 {
             let v = (i * 2654435761) % 500_000;
             b.add_row(&[
@@ -183,7 +183,7 @@ mod tests {
             ]);
         }
         // ~200 rows/page (36 encoded bytes + 4 slot bytes).
-        b.finish(rows / 200)
+        b.snapshot(rows / 200)
     }
 
     fn cols(ids: &[u16]) -> Vec<ColumnId> {
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn empty_table_has_minimal_shape() {
-        let stats = StatsBuilder::new(2, 0).finish(0);
+        let stats = StatsMaintainer::new(2, 0).snapshot(0);
         let shape = CostModel::estimate_shape(&stats, &cols(&[0]));
         assert_eq!(
             shape,

@@ -36,5 +36,5 @@ pub use db::{Database, DdlReport, QueryResult};
 pub use exec::ExecOutcome;
 pub use planner::{BoundCondition, IndexInfo, PlannedWrite, PlannerFlags};
 pub use planner::{Plan, PlannedQuery, Planner};
-pub use stats::{ColumnStats, Histogram, TableStats};
+pub use stats::{ColumnStats, Histogram, StatsRefresh, TableStats};
 pub use whatif::WhatIfEngine;

@@ -719,7 +719,7 @@ impl<'a> Planner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::StatsBuilder;
+    use crate::stats::StatsMaintainer;
     use cdpd_sql::parse;
     use cdpd_types::{ColumnDef, Value};
 
@@ -733,7 +733,7 @@ mod tests {
     }
 
     fn stats(rows: u64) -> TableStats {
-        let mut b = StatsBuilder::new(4, rows);
+        let mut b = StatsMaintainer::new(4, rows);
         for i in 0..rows as i64 {
             let v = (i * 2654435761) % 50_000;
             b.add_row(&[
@@ -743,7 +743,7 @@ mod tests {
                 Value::Int(v / 4),
             ]);
         }
-        b.finish((rows / 200).max(1))
+        b.snapshot((rows / 200).max(1))
     }
 
     fn info(name: &str, cols: &[u16], stats: &TableStats) -> IndexInfo {

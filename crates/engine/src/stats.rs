@@ -158,13 +158,51 @@ impl TableStats {
     }
 }
 
-/// Incrementally accumulates statistics during an analyze scan.
-pub(crate) struct StatsBuilder {
+/// Which statistics changed in a [`refresh`](crate::Database::refresh_stats).
+///
+/// The oracle layer uses this to invalidate only the memo entries whose
+/// relevance masks intersect the changed columns instead of discarding
+/// everything after every DML batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsRefresh {
+    /// True when the table's row or page count moved — row count scales
+    /// every cost estimate, so callers must treat *all* cached costs as
+    /// stale.
+    pub rows_changed: bool,
+    /// Columns whose per-column statistics were rebuilt, in id order.
+    /// Empty together with `rows_changed == false` means the refresh
+    /// was a no-op (no DML since the last refresh).
+    pub changed_columns: Vec<ColumnId>,
+}
+
+impl StatsRefresh {
+    /// True when nothing changed since the last refresh.
+    pub fn is_noop(&self) -> bool {
+        !self.rows_changed && self.changed_columns.is_empty()
+    }
+}
+
+/// Accumulates statistics during an analyze scan and *maintains* them
+/// under subsequent DML, so statistics can be refreshed per batch in
+/// O(sample size) instead of re-scanning the heap.
+///
+/// Maintenance is deliberately one-sided where exactness would require
+/// a scan: distinct counts, min/max, and the histogram sample only ever
+/// *gain* values (deletes leave them as stale upper bounds — the
+/// standard engineering trade-off incremental ANALYZE makes). Row and
+/// byte counts are exact.
+pub(crate) struct StatsMaintainer {
     rows: u64,
     bytes: u64,
     /// Per column: distinct hash set, min, max, sample.
     cols: Vec<ColBuilder>,
     stride: u64,
+    /// Sampling clock for updated values (inserts use the row counter).
+    update_events: u64,
+    /// Per-column dirty flags since the last snapshot.
+    dirty: Vec<bool>,
+    /// Row/byte counts moved since the last snapshot.
+    rows_dirty: bool,
 }
 
 struct ColBuilder {
@@ -175,12 +213,27 @@ struct ColBuilder {
     width_sum: u64,
 }
 
+impl ColBuilder {
+    fn absorb(&mut self, v: &Value, sampled: bool) {
+        self.distinct.insert(v.clone());
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+        if sampled {
+            self.sample.push(v.clone());
+        }
+    }
+}
+
 pub(crate) const HISTOGRAM_BUCKETS: usize = 64;
 const SAMPLE_TARGET: u64 = 20_000;
 
-impl StatsBuilder {
-    pub(crate) fn new(n_columns: usize, expected_rows: u64) -> StatsBuilder {
-        StatsBuilder {
+impl StatsMaintainer {
+    pub(crate) fn new(n_columns: usize, expected_rows: u64) -> StatsMaintainer {
+        StatsMaintainer {
             rows: 0,
             bytes: 0,
             cols: (0..n_columns)
@@ -193,29 +246,83 @@ impl StatsBuilder {
                 })
                 .collect(),
             stride: (expected_rows / SAMPLE_TARGET).max(1),
+            update_events: 0,
+            dirty: vec![false; n_columns],
+            rows_dirty: false,
         }
     }
 
     pub(crate) fn add_row(&mut self, values: &[Value]) {
         let sampled = self.rows.is_multiple_of(self.stride);
         self.rows += 1;
-        for (cb, v) in self.cols.iter_mut().zip(values) {
-            self.bytes += v.encoded_len() as u64;
-            cb.width_sum += v.encoded_len() as u64;
-            cb.distinct.insert(v.clone());
-            if cb.min.as_ref().is_none_or(|m| v < m) {
-                cb.min = Some(v.clone());
-            }
-            if cb.max.as_ref().is_none_or(|m| v > m) {
-                cb.max = Some(v.clone());
-            }
-            if sampled {
-                cb.sample.push(v.clone());
-            }
+        self.rows_dirty = true;
+        for ((cb, v), dirty) in self.cols.iter_mut().zip(values).zip(&mut self.dirty) {
+            let w = v.encoded_len() as u64;
+            self.bytes += w;
+            cb.width_sum += w;
+            cb.absorb(v, sampled);
+            *dirty = true;
         }
     }
 
-    pub(crate) fn finish(self, heap_pages: u64) -> TableStats {
+    /// Fold one executed UPDATE into the statistics: only the columns
+    /// whose value actually changed are touched (and marked dirty).
+    pub(crate) fn update_row(&mut self, old: &[Value], new: &[Value]) {
+        let sampled = self.update_events.is_multiple_of(self.stride);
+        self.update_events += 1;
+        for (i, (o, n)) in old.iter().zip(new).enumerate() {
+            if o == n {
+                continue;
+            }
+            let cb = &mut self.cols[i];
+            let (ow, nw) = (o.encoded_len() as u64, n.encoded_len() as u64);
+            self.bytes = self.bytes + nw - ow;
+            cb.width_sum = cb.width_sum + nw - ow;
+            cb.absorb(n, sampled);
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Fold one executed DELETE into the statistics. Distinct counts,
+    /// bounds, and samples keep the deleted values (stale upper
+    /// bounds); row and byte counts shrink exactly.
+    pub(crate) fn delete_row(&mut self, values: &[Value]) {
+        self.rows = self.rows.saturating_sub(1);
+        self.rows_dirty = true;
+        for ((cb, v), dirty) in self.cols.iter_mut().zip(values).zip(&mut self.dirty) {
+            let w = v.encoded_len() as u64;
+            self.bytes = self.bytes.saturating_sub(w);
+            cb.width_sum = cb.width_sum.saturating_sub(w);
+            *dirty = true;
+        }
+    }
+
+    /// True if any DML has been folded in since the last
+    /// [`take_refresh`](StatsMaintainer::take_refresh).
+    pub(crate) fn is_dirty(&self) -> bool {
+        self.rows_dirty || self.dirty.iter().any(|&d| d)
+    }
+
+    /// Consume the dirty flags, reporting what changed.
+    pub(crate) fn take_refresh(&mut self) -> StatsRefresh {
+        let refresh = StatsRefresh {
+            rows_changed: self.rows_dirty,
+            changed_columns: self
+                .dirty
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d)
+                .map(|(i, _)| ColumnId(i as u16))
+                .collect(),
+        };
+        self.rows_dirty = false;
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        refresh
+    }
+
+    /// Materialize [`TableStats`] from the retained state: O(sample)
+    /// histogram rebuilds, no heap scan.
+    pub(crate) fn snapshot(&self, heap_pages: u64) -> TableStats {
         let rows = self.rows;
         TableStats {
             row_count: rows,
@@ -227,12 +334,12 @@ impl StatsBuilder {
             },
             columns: self
                 .cols
-                .into_iter()
+                .iter()
                 .map(|cb| ColumnStats {
                     distinct: cb.distinct.len() as u64,
-                    min: cb.min,
-                    max: cb.max,
-                    histogram: Histogram::build(cb.sample, HISTOGRAM_BUCKETS),
+                    min: cb.min.clone(),
+                    max: cb.max.clone(),
+                    histogram: Histogram::build(cb.sample.clone(), HISTOGRAM_BUCKETS),
                     avg_width: if rows == 0 {
                         0.0
                     } else {
@@ -294,11 +401,11 @@ mod tests {
 
     #[test]
     fn builder_computes_exact_distinct_and_bounds() {
-        let mut b = StatsBuilder::new(2, 100);
+        let mut b = StatsMaintainer::new(2, 100);
         for i in 0..100i64 {
             b.add_row(&[iv(i % 10), iv(i)]);
         }
-        let stats = b.finish(7);
+        let stats = b.snapshot(7);
         assert_eq!(stats.row_count, 100);
         assert_eq!(stats.heap_pages, 7);
         assert_eq!(stats.columns[0].distinct, 10);
@@ -312,10 +419,53 @@ mod tests {
 
     #[test]
     fn builder_handles_empty_table() {
-        let b = StatsBuilder::new(1, 0);
-        let stats = b.finish(0);
+        let b = StatsMaintainer::new(1, 0);
+        let stats = b.snapshot(0);
         assert_eq!(stats.row_count, 0);
         assert_eq!(stats.columns[0].distinct, 0);
         assert_eq!(stats.columns[0].eq_selectivity(), 0.0);
+    }
+
+    #[test]
+    fn maintainer_folds_dml_without_rescans() {
+        let mut m = StatsMaintainer::new(2, 100);
+        for i in 0..100i64 {
+            m.add_row(&[iv(i % 10), iv(i)]);
+        }
+        // The analyze scan itself marks everything dirty; drain it.
+        let seed = m.take_refresh();
+        assert!(seed.rows_changed);
+        assert_eq!(seed.changed_columns.len(), 2);
+        assert!(!m.is_dirty());
+        assert!(m.take_refresh().is_noop());
+
+        // An update touching only column 1 dirties only column 1.
+        m.update_row(&[iv(3), iv(50)], &[iv(3), iv(5000)]);
+        let r = m.take_refresh();
+        assert!(!r.rows_changed);
+        assert_eq!(r.changed_columns, vec![cdpd_types::ColumnId(1)]);
+        let stats = m.snapshot(7);
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.columns[1].max, Some(iv(5000)), "max extends");
+        assert_eq!(stats.columns[1].distinct, 101, "new value counted");
+        assert_eq!(stats.columns[0].distinct, 10, "untouched column intact");
+
+        // A no-op update (old == new everywhere) dirties nothing.
+        m.update_row(&[iv(3), iv(7)], &[iv(3), iv(7)]);
+        assert!(!m.is_dirty());
+
+        // Deletes shrink the exact counters and dirty everything.
+        m.delete_row(&[iv(3), iv(50)]);
+        let r = m.take_refresh();
+        assert!(r.rows_changed);
+        assert_eq!(r.changed_columns.len(), 2);
+        assert_eq!(m.snapshot(7).row_count, 99);
+
+        // Inserts grow them back.
+        m.add_row(&[iv(11), iv(200)]);
+        let stats = m.snapshot(7);
+        assert_eq!(stats.row_count, 100);
+        assert_eq!(stats.columns[0].distinct, 11);
+        assert_eq!(stats.columns[0].max, Some(iv(11)));
     }
 }

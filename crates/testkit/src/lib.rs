@@ -14,7 +14,7 @@
 //!   `CDPD_PROP_CASES`, and failure-seed persistence in
 //!   `tests/regressions/*.seeds` files (the in-tree analogue of
 //!   proptest's `*.proptest-regressions`).
-//! * [`bench`] — a minimal criterion replacement (warmup, timed samples,
+//! * [`mod@bench`] — a minimal criterion replacement (warmup, timed samples,
 //!   median/p95 report, optional JSON output via `CDPD_BENCH_JSON_DIR`)
 //!   keeping the `criterion_group!`/`criterion_main!` bench layout.
 

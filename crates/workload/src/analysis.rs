@@ -50,7 +50,7 @@ impl WindowProfile {
 
 /// The shape key of one statement: statement kind plus predicate
 /// column(s) — the features the advisor's cost model keys on.
-fn shape(stmt: &Dml) -> String {
+pub(crate) fn shape(stmt: &Dml) -> String {
     let kind = match stmt {
         Dml::Select(_) => "r",
         Dml::Update(_) => "u",
@@ -117,7 +117,16 @@ pub const SEPARATION_RATIO: f64 = 1.5;
 /// graded major; otherwise no hierarchy exists and every significant
 /// shift is graded major (all shifts are equally "the trend").
 pub fn detect_shifts(profiles: &[WindowProfile]) -> Vec<Shift> {
-    let scores = shift_scores(profiles);
+    grade_scores(&shift_scores(profiles))
+}
+
+/// Grade a boundary-score sequence into [`Shift`]s. `scores[i]` is the
+/// L1 distance across the boundary entering window `i + 1`, exactly as
+/// produced by [`shift_scores`]. This is the shared back half of
+/// [`detect_shifts`]; the streaming detector
+/// (`stream::OnlineShiftDetector`) feeds it incrementally computed
+/// scores, so online and batch verdicts agree by construction.
+pub fn grade_scores(scores: &[f64]) -> Vec<Shift> {
     let significant: Vec<(usize, f64)> = scores
         .iter()
         .enumerate()

@@ -18,6 +18,10 @@
 //! * [`summarize`] — compresses a trace into weighted statement blocks
 //!   per window, the granularity at which the design advisor solves
 //!   (the paper's designs in Table 2 are per-500-query windows).
+//! * [`stream`] — the online counterpart: [`StatementStream`] builds
+//!   the same blocks and profiles one statement at a time, and
+//!   [`OnlineShiftDetector`] reproduces batch shift verdicts from a
+//!   live feed (bit-identical to the batch pipeline, by test).
 
 #![warn(missing_docs)]
 
@@ -27,11 +31,13 @@ mod mix;
 pub mod paper;
 pub mod perturb;
 mod spec;
+pub mod stream;
 mod summarize;
 mod trace;
 
 pub use gen::generate;
 pub use mix::{QueryMix, Template};
 pub use spec::WorkloadSpec;
+pub use stream::{stream_trace, OnlineShiftDetector, StatementStream};
 pub use summarize::{summarize, Block, SummarizedWorkload, WeightedStatement};
 pub use trace::Trace;

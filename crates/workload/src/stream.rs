@@ -1,0 +1,457 @@
+//! Streaming ingestion: the online counterpart of
+//! [`summarize`](crate::summarize::summarize) and
+//! [`analysis`](crate::analysis).
+//!
+//! The batch pipeline takes a complete [`Trace`] and windows it after
+//! the fact. A live advisor sees one statement at a time, so this
+//! module maintains the *same* artifacts incrementally:
+//!
+//! * [`StatementStream`] — pushes statements one by one, building each
+//!   window's weighted [`Block`] and shape [`WindowProfile`] as the
+//!   statements arrive (O(1) amortized per statement), with an optional
+//!   sliding-window capacity bound;
+//! * [`OnlineShiftDetector`] — consumes sealed profiles and maintains
+//!   boundary scores, grading them with the exact
+//!   [`grade_scores`] logic the batch
+//!   [`detect_shifts`](crate::analysis::detect_shifts) uses.
+//!
+//! **Batch equivalence** is the design invariant, proven by test: after
+//! pushing a whole trace through an *unbounded* stream,
+//! [`StatementStream::summarized`] is bit-identical to
+//! [`summarize`](crate::summarize::summarize)`(trace, window_len)`,
+//! [`StatementStream::profiles`]
+//! equals [`window_profiles`](crate::analysis::window_profiles), and
+//! the detector's final verdicts equal `detect_shifts`. Everything the
+//! online advisor builds on top inherits its batch-equivalence claim
+//! from these three identities.
+
+use crate::analysis::{grade_scores, shape, Shift, WindowProfile};
+use crate::summarize::cost_signature;
+use crate::summarize::{Block, SummarizedWorkload, WeightedStatement};
+use crate::trace::Trace;
+use cdpd_sql::Dml;
+use cdpd_types::{Error, Result};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// In-progress state of the window currently being filled.
+#[derive(Clone, Debug, Default)]
+struct OpenWindow {
+    /// Deduplicated weighted statements, in first-seen order — the same
+    /// representation `summarize` builds per block.
+    order: Vec<WeightedStatement>,
+    /// `cost_signature → index into order` for O(1) merging.
+    by_sig: HashMap<String, usize>,
+    /// Shape counts for the window profile.
+    shapes: BTreeMap<String, u64>,
+    /// Raw statements in the window so far.
+    len: usize,
+}
+
+impl OpenWindow {
+    fn push(&mut self, stmt: &Dml) {
+        match cost_signature(stmt) {
+            Some(sig) => match self.by_sig.get(&sig) {
+                Some(&i) => self.order[i].count += 1,
+                None => {
+                    self.by_sig.insert(sig, self.order.len());
+                    self.order.push(WeightedStatement {
+                        statement: stmt.clone(),
+                        count: 1,
+                    });
+                }
+            },
+            None => self.order.push(WeightedStatement {
+                statement: stmt.clone(),
+                count: 1,
+            }),
+        }
+        *self.shapes.entry(shape(stmt)).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    fn block(&self, start: usize) -> Block {
+        Block {
+            start,
+            len: self.len,
+            weighted: self.order.clone(),
+        }
+    }
+
+    fn profile(&self) -> WindowProfile {
+        let n = self.len as f64;
+        WindowProfile {
+            fractions: self
+                .shapes
+                .iter()
+                .map(|(k, &c)| (k.clone(), c as f64 / n))
+                .collect(),
+        }
+    }
+}
+
+/// A sliding window over a statement stream, maintaining per-window
+/// weighted blocks and shape profiles incrementally.
+///
+/// With `max_windows = None` (unbounded) the stream retains every
+/// sealed window and reproduces the batch pipeline exactly; with a
+/// capacity, the oldest windows are evicted and [`StatementStream::evicted`]
+/// (`StatementStream::evicted`) counts them. Block `start` offsets are
+/// always absolute trace positions, so evicting history never renumbers
+/// what remains.
+#[derive(Clone, Debug)]
+pub struct StatementStream {
+    table: String,
+    window_len: usize,
+    max_windows: Option<usize>,
+    sealed: VecDeque<Block>,
+    profiles: VecDeque<WindowProfile>,
+    evicted: usize,
+    pushed: usize,
+    open: OpenWindow,
+}
+
+impl StatementStream {
+    /// An unbounded stream over statements for `table`, windowed every
+    /// `window_len` statements.
+    ///
+    /// # Errors
+    /// `window_len` must be positive.
+    pub fn new(table: impl Into<String>, window_len: usize) -> Result<StatementStream> {
+        StatementStream::with_capacity(table, window_len, None)
+    }
+
+    /// A stream retaining at most `max_windows` sealed windows
+    /// (`None` = unbounded).
+    ///
+    /// # Errors
+    /// `window_len` must be positive, and `max_windows`, when given,
+    /// non-zero.
+    pub fn with_capacity(
+        table: impl Into<String>,
+        window_len: usize,
+        max_windows: Option<usize>,
+    ) -> Result<StatementStream> {
+        if window_len == 0 {
+            return Err(Error::InvalidArgument("window_len must be positive".into()));
+        }
+        if max_windows == Some(0) {
+            return Err(Error::InvalidArgument(
+                "max_windows must be non-zero (use None for unbounded)".into(),
+            ));
+        }
+        Ok(StatementStream {
+            table: table.into(),
+            window_len,
+            max_windows,
+            sealed: VecDeque::new(),
+            profiles: VecDeque::new(),
+            evicted: 0,
+            pushed: 0,
+            open: OpenWindow::default(),
+        })
+    }
+
+    /// The target table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The window length, in raw statements.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Total raw statements pushed so far.
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Number of sealed windows currently retained.
+    pub fn windows_sealed(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Number of sealed windows evicted to honor the capacity bound.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Ingest one statement. Returns `Some(window_index)` when this
+    /// statement completes a window (indices are absolute: the first
+    /// window is 0 even after eviction).
+    ///
+    /// # Errors
+    /// The statement must target this stream's table.
+    pub fn push(&mut self, stmt: &Dml) -> Result<Option<usize>> {
+        if stmt.table() != self.table {
+            return Err(Error::InvalidArgument(format!(
+                "statement is on table {}, stream is for {}",
+                stmt.table(),
+                self.table
+            )));
+        }
+        cdpd_obs::counter!("workload.stream.statements").inc();
+        self.open.push(stmt);
+        self.pushed += 1;
+        if self.open.len == self.window_len {
+            Ok(Some(self.seal()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Ingest a batch of statements, returning the indices of every
+    /// window sealed along the way.
+    ///
+    /// # Errors
+    /// Every statement must target this stream's table; ingestion stops
+    /// at the first mismatch.
+    pub fn push_all<'a>(&mut self, stmts: impl IntoIterator<Item = &'a Dml>) -> Result<Vec<usize>> {
+        let mut sealed = Vec::new();
+        for stmt in stmts {
+            if let Some(i) = self.push(stmt)? {
+                sealed.push(i);
+            }
+        }
+        Ok(sealed)
+    }
+
+    fn seal(&mut self) -> usize {
+        let index = self.evicted + self.sealed.len();
+        let start = self.pushed - self.open.len;
+        let _span = cdpd_obs::span!("stream.seal", window = index, statements = self.open.len);
+        let open = std::mem::take(&mut self.open);
+        self.sealed.push_back(open.block(start));
+        self.profiles.push_back(open.profile());
+        if let Some(cap) = self.max_windows {
+            while self.sealed.len() > cap {
+                self.sealed.pop_front();
+                self.profiles.pop_front();
+                self.evicted += 1;
+                cdpd_obs::counter!("workload.stream.evicted").inc();
+            }
+        }
+        index
+    }
+
+    /// The retained sealed blocks, oldest first.
+    pub fn sealed_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.sealed.iter()
+    }
+
+    /// The most recently sealed block and its profile, if any window
+    /// has sealed and is still retained.
+    pub fn last_sealed(&self) -> Option<(&Block, &WindowProfile)> {
+        self.sealed.back().zip(self.profiles.back())
+    }
+
+    /// The retained windows as a [`SummarizedWorkload`], including the
+    /// open partial window (batch `summarize` also emits a ragged tail
+    /// block). For an unbounded stream fed a complete trace this is
+    /// bit-identical to [`summarize`](crate::summarize::summarize)`(trace, window_len)`.
+    pub fn summarized(&self) -> SummarizedWorkload {
+        let mut blocks: Vec<Block> = self.sealed.iter().cloned().collect();
+        if self.open.len > 0 {
+            blocks.push(self.open.block(self.pushed - self.open.len));
+        }
+        SummarizedWorkload {
+            table: self.table.clone(),
+            blocks,
+        }
+    }
+
+    /// The retained window profiles, including the open partial window
+    /// — the streaming counterpart of
+    /// [`window_profiles`](crate::analysis::window_profiles).
+    pub fn profiles(&self) -> Vec<WindowProfile> {
+        let mut out: Vec<WindowProfile> = self.profiles.iter().cloned().collect();
+        if self.open.len > 0 {
+            out.push(self.open.profile());
+        }
+        out
+    }
+}
+
+/// Feed a whole trace through a fresh unbounded stream — the batch
+/// entry point expressed as a replay, used by equivalence tests and as
+/// a convenience for offline callers migrating to the streaming API.
+///
+/// # Errors
+/// Same conditions as [`StatementStream::new`] and
+/// [`StatementStream::push`].
+pub fn stream_trace(trace: &Trace, window_len: usize) -> Result<StatementStream> {
+    let mut stream = StatementStream::new(trace.table(), window_len)?;
+    stream.push_all(trace.statements())?;
+    Ok(stream)
+}
+
+/// Online shift detection: consumes sealed [`WindowProfile`]s one at a
+/// time, maintains the boundary-score sequence incrementally, and
+/// grades it with the same two-means logic as the batch
+/// [`detect_shifts`](crate::analysis::detect_shifts).
+///
+/// Grading is a *global* judgement over all scores seen so far, so a
+/// shift's major/minor verdict can be revised as later windows arrive
+/// (the clusters move). The final verdicts — after every window has
+/// been observed — equal the batch function's output exactly, because
+/// both call [`grade_scores`] on the same score sequence.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineShiftDetector {
+    last: Option<WindowProfile>,
+    scores: Vec<f64>,
+}
+
+impl OnlineShiftDetector {
+    /// A detector that has seen no windows.
+    pub fn new() -> OnlineShiftDetector {
+        OnlineShiftDetector::default()
+    }
+
+    /// Observe the next sealed window's profile. Returns the L1
+    /// boundary score against the previous window (`None` for the
+    /// first window — there is no boundary yet).
+    pub fn observe(&mut self, profile: &WindowProfile) -> Option<f64> {
+        let score = self.last.as_ref().map(|prev| prev.l1(profile));
+        if let Some(s) = score {
+            self.scores.push(s);
+        }
+        self.last = Some(profile.clone());
+        score
+    }
+
+    /// The boundary scores seen so far (`scores()[i]` is the boundary
+    /// entering window `i + 1`).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Current shift verdicts over everything observed so far.
+    pub fn shifts(&self) -> Vec<Shift> {
+        grade_scores(&self.scores)
+    }
+
+    /// Number of shifts currently graded major — the online counterpart
+    /// of [`suggest_k_from_trace`](crate::analysis::suggest_k_from_trace).
+    pub fn suggested_k(&self) -> usize {
+        self.shifts().iter().filter(|s| s.major).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{detect_shifts, window_profiles};
+    use crate::summarize::summarize;
+    use crate::{generate, paper};
+
+    fn w1_trace() -> Trace {
+        let params = paper::PaperParams {
+            domain: 1_000,
+            ..Default::default()
+        };
+        generate(&paper::w1_with(&params), 7)
+    }
+
+    #[test]
+    fn unbounded_stream_matches_batch_summarize() {
+        let trace = w1_trace();
+        let stream = stream_trace(&trace, 500).unwrap();
+        assert_eq!(stream.summarized(), summarize(&trace, 500).unwrap());
+        assert_eq!(stream.profiles(), window_profiles(&trace, 500).unwrap());
+        assert_eq!(stream.windows_sealed(), 30);
+        assert_eq!(stream.evicted(), 0);
+    }
+
+    #[test]
+    fn partial_tail_matches_batch() {
+        let trace = w1_trace();
+        // 700 does not divide 15_000: the open window must surface as a
+        // ragged tail block exactly like batch summarize's.
+        let stream = stream_trace(&trace, 700).unwrap();
+        assert_eq!(stream.summarized(), summarize(&trace, 700).unwrap());
+        assert_eq!(stream.profiles(), window_profiles(&trace, 700).unwrap());
+    }
+
+    #[test]
+    fn online_detector_matches_batch_verdicts() {
+        let trace = w1_trace();
+        let profiles = window_profiles(&trace, 500).unwrap();
+        let mut det = OnlineShiftDetector::new();
+        for p in &profiles {
+            det.observe(p);
+        }
+        assert_eq!(det.shifts(), detect_shifts(&profiles));
+        assert_eq!(det.suggested_k(), 2);
+    }
+
+    #[test]
+    fn detector_streams_with_the_stream() {
+        // Wire detector to stream seals: same verdicts as batch.
+        let trace = w1_trace();
+        let mut stream = StatementStream::new("t", 500).unwrap();
+        let mut det = OnlineShiftDetector::new();
+        for stmt in trace.statements() {
+            if stream.push(stmt).unwrap().is_some() {
+                let (_, profile) = stream.last_sealed().unwrap();
+                det.observe(profile);
+            }
+        }
+        let batch = detect_shifts(&window_profiles(&trace, 500).unwrap());
+        assert_eq!(det.shifts(), batch);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let trace = w1_trace();
+        let mut stream = StatementStream::with_capacity("t", 500, Some(4)).unwrap();
+        stream.push_all(trace.statements()).unwrap();
+        assert_eq!(stream.windows_sealed(), 4);
+        assert_eq!(stream.evicted(), 26);
+        // Retained blocks are the newest four, with absolute offsets.
+        let batch = summarize(&trace, 500).unwrap();
+        let retained: Vec<_> = stream.sealed_blocks().cloned().collect();
+        assert_eq!(retained, batch.blocks[26..]);
+        assert_eq!(stream.len(), trace.len());
+    }
+
+    #[test]
+    fn push_returns_sealed_window_indices() {
+        let mut stream = StatementStream::new("t", 2).unwrap();
+        let q = |v| Dml::Select(cdpd_sql::SelectStmt::point("t", "a", v));
+        assert_eq!(stream.push(&q(1)).unwrap(), None);
+        assert_eq!(stream.push(&q(2)).unwrap(), Some(0));
+        assert_eq!(stream.push(&q(3)).unwrap(), None);
+        assert_eq!(stream.push(&q(4)).unwrap(), Some(1));
+        assert!(!stream.is_empty() && stream.len() == 4);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        assert!(StatementStream::new("t", 0).is_err());
+        assert!(StatementStream::with_capacity("t", 5, Some(0)).is_err());
+        let mut stream = StatementStream::new("t", 5).unwrap();
+        let wrong = Dml::Select(cdpd_sql::SelectStmt::point("u", "a", 1));
+        assert!(stream.push(&wrong).is_err());
+    }
+
+    #[test]
+    fn detector_first_window_scores_nothing() {
+        let mut det = OnlineShiftDetector::new();
+        let p = WindowProfile {
+            fractions: [("r:a".to_string(), 1.0)].into_iter().collect(),
+        };
+        assert_eq!(det.observe(&p), None);
+        assert!(det.scores().is_empty());
+        assert!(det.shifts().is_empty());
+        let q = WindowProfile {
+            fractions: [("r:b".to_string(), 1.0)].into_iter().collect(),
+        };
+        assert_eq!(det.observe(&q), Some(2.0));
+        assert_eq!(det.suggested_k(), 1);
+    }
+}

@@ -56,7 +56,7 @@ impl SummarizedWorkload {
 /// is `1/distinct`, independent of the literal), so they can share one
 /// what-if call. Queries with range predicates have value-dependent
 /// selectivity and stay singleton groups.
-fn cost_signature(stmt: &Dml) -> Option<String> {
+pub(crate) fn cost_signature(stmt: &Dml) -> Option<String> {
     let mut sig = format!("{}|", stmt.table());
     match stmt {
         Dml::Select(s) => sig.push_str(&format!("S{:?}|", s.projection)),

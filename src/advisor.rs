@@ -273,72 +273,87 @@ impl<'db> Advisor<'db> {
                 self.table
             )));
         }
-        let metrics_before = cdpd_obs::registry().snapshot();
-        let started_ns = cdpd_obs::trace::now_ns();
-        let span = cdpd_obs::span!("advisor.recommend", statements = trace.len());
         let workload = summarize(trace, self.options.window_len)?;
-        let whatif = WhatIfEngine::snapshot(self.db, &self.table)?;
-
-        // Candidate structures: explicit or derived; the currently
-        // materialized indexes must be representable (they are C_0).
-        let mut structures = match &self.options.structures {
-            Some(s) => s.clone(),
-            None => candidate_indexes(whatif.schema(), &workload)?,
-        };
-        let current = self.db.index_specs(&self.table)?;
-        for spec in &current {
-            if !structures.contains(spec) {
-                structures.push(spec.clone());
-            }
-        }
-
-        let oracle = EngineOracle::new(whatif, structures, &workload)?.into_shared();
-        let initial = oracle
-            .inner()
-            .config_of(&current)
-            .expect("current indexes were added to the structure list");
-        let problem = Problem {
-            initial,
-            final_config: self.options.end_empty.then_some(Config::EMPTY),
-            space_bound: self.options.space_bound_pages,
-            count_initial_change: self.options.count_initial_change,
-        };
-        let candidates = enumerate_configs(
-            &oracle,
-            self.options.space_bound_pages,
-            self.options.max_structures_per_config,
-        )?;
-
-        let mut hybrid_strategy = None;
-        let schedule = match (self.options.k, self.options.algorithm) {
-            (None, _) => seqgraph::solve(&oracle, &problem, &candidates)?,
-            (Some(k), Algorithm::KAware) => kaware::solve(&oracle, &problem, &candidates, k)?,
-            (Some(k), Algorithm::Merging) => merging::solve(&oracle, &problem, &candidates, k)?,
-            (Some(k), Algorithm::Ranking { max_paths }) => {
-                ranking::solve(&oracle, &problem, &candidates, k, max_paths)?
-            }
-            (Some(k), Algorithm::Greedy) => greedy::solve(&oracle, &problem, k)?,
-            (Some(k), Algorithm::Hybrid) => {
-                let out = hybrid::solve(&oracle, &problem, &candidates, k)?;
-                hybrid_strategy = Some(out.strategy);
-                out.schedule
-            }
-        };
-        schedule.validate(&oracle, &problem, self.options.k)?;
-
-        // Close the span before rendering so the recommend record itself
-        // lands in the ring and the profile covers the whole call.
-        drop(span);
-        let profile = cdpd_obs::profile_since(started_ns);
-        Ok(Recommendation {
-            schedule,
-            structures: oracle.inner().structures().to_vec(),
-            window_len: self.options.window_len,
-            problem,
-            hybrid_strategy,
-            oracle_stats: oracle.stats_snapshot(),
-            metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
-            profile,
-        })
+        recommend_for_workload(self.db, &self.table, &self.options, &workload)
     }
+}
+
+/// The batch pipeline behind [`Advisor::recommend`], factored over an
+/// already-summarized workload so [`crate::OnlineAdvisor::finish`] can
+/// run the *identical* code path on its streamed summary — that shared
+/// body is what makes the online/batch equivalence claim structural
+/// rather than coincidental.
+pub(crate) fn recommend_for_workload(
+    db: &Database,
+    table: &str,
+    options: &AdvisorOptions,
+    workload: &cdpd_workload::SummarizedWorkload,
+) -> Result<Recommendation> {
+    let metrics_before = cdpd_obs::registry().snapshot();
+    let started_ns = cdpd_obs::trace::now_ns();
+    let statements: usize = workload.blocks.iter().map(|b| b.len).sum();
+    let span = cdpd_obs::span!("advisor.recommend", statements = statements);
+    let whatif = WhatIfEngine::snapshot(db, table)?;
+
+    // Candidate structures: explicit or derived; the currently
+    // materialized indexes must be representable (they are C_0).
+    let mut structures = match &options.structures {
+        Some(s) => s.clone(),
+        None => candidate_indexes(whatif.schema(), workload)?.0,
+    };
+    let current = db.index_specs(table)?;
+    for spec in &current {
+        if !structures.contains(spec) {
+            structures.push(spec.clone());
+        }
+    }
+
+    let oracle = EngineOracle::new(whatif, structures, workload)?.into_shared();
+    let initial = oracle
+        .inner()
+        .config_of(&current)
+        .expect("current indexes were added to the structure list");
+    let problem = Problem {
+        initial,
+        final_config: options.end_empty.then_some(Config::EMPTY),
+        space_bound: options.space_bound_pages,
+        count_initial_change: options.count_initial_change,
+    };
+    let candidates = enumerate_configs(
+        &oracle,
+        options.space_bound_pages,
+        options.max_structures_per_config,
+    )?;
+
+    let mut hybrid_strategy = None;
+    let schedule = match (options.k, options.algorithm) {
+        (None, _) => seqgraph::solve(&oracle, &problem, &candidates)?,
+        (Some(k), Algorithm::KAware) => kaware::solve(&oracle, &problem, &candidates, k)?,
+        (Some(k), Algorithm::Merging) => merging::solve(&oracle, &problem, &candidates, k)?,
+        (Some(k), Algorithm::Ranking { max_paths }) => {
+            ranking::solve(&oracle, &problem, &candidates, k, max_paths)?
+        }
+        (Some(k), Algorithm::Greedy) => greedy::solve(&oracle, &problem, k)?,
+        (Some(k), Algorithm::Hybrid) => {
+            let out = hybrid::solve(&oracle, &problem, &candidates, k)?;
+            hybrid_strategy = Some(out.strategy);
+            out.schedule
+        }
+    };
+    schedule.validate(&oracle, &problem, options.k)?;
+
+    // Close the span before rendering so the recommend record itself
+    // lands in the ring and the profile covers the whole call.
+    drop(span);
+    let profile = cdpd_obs::profile_since(started_ns);
+    Ok(Recommendation {
+        schedule,
+        structures: oracle.inner().structures().to_vec(),
+        window_len: options.window_len,
+        problem,
+        hybrid_strategy,
+        oracle_stats: oracle.stats_snapshot(),
+        metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
+        profile,
+    })
 }

@@ -26,8 +26,14 @@ use std::collections::BTreeMap;
 ///
 /// Results are deduplicated, restricted to columns that exist in
 /// `schema`, and capped at 64 (the configuration encoding width) with
-/// the most frequently useful candidates kept first.
-pub fn candidate_indexes(schema: &Schema, workload: &SummarizedWorkload) -> Result<Vec<IndexSpec>> {
+/// the most frequently useful candidates kept first. The second return
+/// is the number of ranked candidates *dropped* by that cap — `0`
+/// whenever the workload motivates at most 64 — so callers can surface
+/// the truncation instead of silently narrowing the design space.
+pub fn candidate_indexes(
+    schema: &Schema,
+    workload: &SummarizedWorkload,
+) -> Result<(Vec<IndexSpec>, usize)> {
     let table = &workload.table;
     // candidate -> how many weighted statements motivated it
     let mut scored: BTreeMap<IndexSpec, u64> = BTreeMap::new();
@@ -82,11 +88,19 @@ pub fn candidate_indexes(schema: &Schema, workload: &SummarizedWorkload) -> Resu
 
     let mut ranked: Vec<(IndexSpec, u64)> = scored.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    ranked.truncate(64);
+    let dropped = ranked.len().saturating_sub(64);
+    if dropped > 0 {
+        cdpd_obs::event!(
+            "candidate_indexes: {} candidates exceed the 64-structure \
+             configuration encoding; dropping the {dropped} least useful",
+            ranked.len()
+        );
+        ranked.truncate(64);
+    }
     // Stable, readable order for the final list: by name.
     let mut out: Vec<IndexSpec> = ranked.into_iter().map(|(s, _)| s).collect();
     out.sort();
-    Ok(out)
+    Ok((out, dropped))
 }
 
 #[cfg(test)]
@@ -113,7 +127,8 @@ mod tests {
         };
         let trace = generate(&paper::w1_with(&params), 3);
         let workload = summarize(&trace, 200).unwrap();
-        let cands = candidate_indexes(&abcd(), &workload).unwrap();
+        let (cands, dropped) = candidate_indexes(&abcd(), &workload).unwrap();
+        assert_eq!(dropped, 0, "four columns cannot motivate > 64 candidates");
         let names: Vec<String> = cands.iter().map(|c| c.display_short()).collect();
         // The paper's hand-picked design space must be a subset.
         for want in ["I(a)", "I(b)", "I(c)", "I(d)", "I(a,b)", "I(c,d)"] {
@@ -142,7 +157,7 @@ mod tests {
         };
         let trace = cdpd_workload::Trace::new("t", vec![stmt]);
         let workload = summarize(&trace, 10).unwrap();
-        let cands = candidate_indexes(&abcd(), &workload).unwrap();
+        let (cands, _) = candidate_indexes(&abcd(), &workload).unwrap();
         let names: Vec<String> = cands.iter().map(|c| c.display_short()).collect();
         assert!(names.contains(&"I(a)".to_owned()), "{names:?}");
         assert!(
@@ -163,6 +178,38 @@ mod tests {
         let a = candidate_indexes(&abcd(), &workload).unwrap();
         let b = candidate_indexes(&abcd(), &workload).unwrap();
         assert_eq!(a, b);
-        assert!(a.len() <= 64);
+        assert!(a.0.len() <= 64);
+    }
+
+    #[test]
+    fn overflowing_candidate_pool_is_ranked_and_truncated() {
+        // A 40-column schema with two-column queries motivates far more
+        // than 64 candidates (predicate + covering + merged per block);
+        // the generator must keep the hottest 64 and report the rest
+        // dropped instead of overflowing the Config encoding downstream.
+        let cols: Vec<String> = (0..40).map(|i| format!("c{i:02}")).collect();
+        let schema = Schema::new(cols.iter().map(|c| ColumnDef::int(c.as_str())).collect());
+        let mut stmts = Vec::new();
+        for i in 0..40usize {
+            let j = (i + 1) % 40;
+            let sql = format!("SELECT {} FROM t WHERE {} = 1", cols[j], cols[i]);
+            let stmt = match cdpd_sql::parse(&sql).unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                _ => unreachable!(),
+            };
+            // Distinct weights so the ranking has a strict order.
+            for _ in 0..=(i % 7) {
+                stmts.push(stmt.clone());
+            }
+        }
+        let trace = cdpd_workload::Trace::new("t", stmts);
+        let workload = summarize(&trace, 50).unwrap();
+        let (cands, dropped) = candidate_indexes(&schema, &workload).unwrap();
+        assert_eq!(cands.len(), 64, "capped at the Config encoding width");
+        assert!(dropped > 0, "this pool must overflow");
+        // The output stays usable downstream: every index fits a bit.
+        for (i, _) in cands.iter().enumerate() {
+            let _ = cdpd_core::Config::single(i);
+        }
     }
 }

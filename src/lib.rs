@@ -15,7 +15,9 @@
 //! * this crate — the glue: [`EngineOracle`] adapts the what-if engine
 //!   to the solver-facing [`core::CostOracle`] trait,
 //!   [`candidate_indexes`] derives candidate structures from a trace,
-//!   [`Advisor`] is the one-call API, and [`replay`] executes a
+//!   [`Advisor`] is the one-call API, [`OnlineAdvisor`] is its
+//!   streaming counterpart (ingest statements, get design-change
+//!   decisions at every window seal), and [`replay`] executes a
 //!   workload under a recommended design schedule, measuring real I/O.
 //!
 //! ## Quickstart
@@ -53,6 +55,7 @@ mod advisor;
 pub mod alerter;
 mod candidates;
 pub mod kadvice;
+pub mod online;
 mod oracle;
 pub mod replay;
 
@@ -62,4 +65,5 @@ pub use candidates::candidate_indexes;
 pub use cdpd_core::OracleStatsSnapshot;
 pub use cdpd_obs::MetricsSnapshot;
 pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};
+pub use online::{OnlineAdvisor, OnlineDecision, OnlineOptions};
 pub use oracle::EngineOracle;

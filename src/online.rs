@@ -1,0 +1,760 @@
+//! The online advisory pipeline: statements in, design decisions out.
+//!
+//! [`crate::Advisor`] is the paper's **off-line** optimizer — full
+//! trace in, schedule out, everything rebuilt from scratch per call.
+//! [`OnlineAdvisor`] is the same optimizer run as a *session*: it
+//! consumes one statement at a time, maintains the sliding window
+//! ([`cdpd_workload::StatementStream`]), watches for workload shifts
+//! ([`cdpd_workload::OnlineShiftDetector`]), extends its cost oracle by
+//! one stage per sealed window ([`EngineOracle::append_block`] under a
+//! warm [`ProjectedOracle`] memo), and re-solves with the committed
+//! prefix pinned ([`cdpd_core::kaware::solve_with_prefix`]) under a
+//! rolling change budget `k` — so each boundary costs suffix work, not
+//! an O(n) cold solve.
+//!
+//! The §7 *design alerter* is folded into the same loop: every sealed
+//! window is scored for degradation (live design vs best single
+//! candidate, the exact [`crate::Alerter`] check), the signal rides on
+//! every [`OnlineDecision`], and [`OnlineOptions::resolve_threshold`]
+//! can gate re-solving on it.
+//!
+//! **Batch equivalence** is the anchor invariant, proven by test
+//! (`tests/online_equiv.rs`): with an unbounded window,
+//! [`OnlineAdvisor::finish`] routes the streamed summary — itself
+//! bit-identical to batch summarization — through the *same* pipeline
+//! body as [`crate::Advisor::recommend`], so the final recommendation
+//! is bit-identical to the batch one. The per-window decisions are the
+//! online approximation (no hindsight past the sealed window); the
+//! finish-time commit is the batch answer.
+
+use crate::advisor::{recommend_for_workload, AdvisorOptions, Recommendation};
+use crate::candidates::candidate_indexes;
+use crate::oracle::EngineOracle;
+use cdpd_core::{
+    enumerate_configs, kaware, seqgraph, Config, CostOracle, Problem, ProjectedOracle,
+};
+use cdpd_engine::{Database, IndexSpec, StatsRefresh, WhatIfEngine};
+use cdpd_sql::Dml;
+use cdpd_types::{Error, Result};
+use cdpd_workload::{Block, OnlineShiftDetector, StatementStream};
+
+/// Tuning knobs for [`OnlineAdvisor`].
+#[derive(Clone, Debug, Default)]
+pub struct OnlineOptions {
+    /// The batch options the session optimizes under. `window_len`
+    /// sets the stream's window; `k` is the rolling change budget over
+    /// the retained horizon; `structures: None` derives candidates
+    /// incrementally from sealed windows. The online loop always
+    /// re-solves with the exact warm-start solvers (sequence graph /
+    /// k-aware graph); `algorithm` is honored by
+    /// [`OnlineAdvisor::finish`], which runs the full batch pipeline.
+    pub advisor: AdvisorOptions,
+    /// Fold of the §7 alerter into the loop: when `Some(t)`, a sealed
+    /// window triggers a re-solve only if it ran more than `t`
+    /// (fractional, e.g. `0.5` = 50%) worse under the live design than
+    /// under the best single candidate; `None` re-solves at every
+    /// window boundary.
+    pub resolve_threshold: Option<f64>,
+    /// Retain at most this many sealed windows (`None` = unbounded —
+    /// required for batch equivalence). Bounding the window bounds
+    /// memory and solve horizon, at the price of rebuilding the oracle
+    /// when old windows are evicted (stage indices shift, so the warm
+    /// memo cannot be kept).
+    pub max_windows: Option<usize>,
+}
+
+/// One design-change decision, emitted per sealed window.
+#[derive(Clone, Debug)]
+pub struct OnlineDecision {
+    /// Absolute index of the window whose sealing produced this
+    /// decision (the first window is 0, even after eviction).
+    pub window: usize,
+    /// The configuration committed for that window.
+    pub config: Config,
+    /// `config` resolved to index specs — what a driver applies.
+    pub specs: Vec<IndexSpec>,
+    /// Whether `config` differs from the previously committed one.
+    pub changed: bool,
+    /// The alerter signal for the sealed window: live-design cost over
+    /// best-single-candidate cost, minus one (`0.8` = 80% worse).
+    pub degradation: f64,
+    /// Whether a re-solve ran (`false` when
+    /// [`OnlineOptions::resolve_threshold`] gated it off and the live
+    /// design was carried forward).
+    pub resolved: bool,
+    /// Wall-clock nanoseconds the re-solve took (0 when not resolved).
+    pub solve_nanos: u64,
+    /// Changes the committed schedule has spent within the retained
+    /// horizon, counted as [`cdpd_core::Schedule`] counts them.
+    pub changes_used: usize,
+    /// The shift detector's current suggestion for `k` (number of
+    /// major shifts observed so far).
+    pub suggested_k: usize,
+}
+
+/// A streaming advisory session over one table. See the module docs
+/// for the pipeline; see [`crate::replay::drive`] for a driver that
+/// executes statements and applies decisions.
+pub struct OnlineAdvisor {
+    table: String,
+    options: OnlineOptions,
+    stream: StatementStream,
+    detector: OnlineShiftDetector,
+    /// Candidate vocabulary (bit order of every [`Config`] here).
+    /// Append-only, so committed configs and memo entries stay valid
+    /// as it grows.
+    structures: Vec<IndexSpec>,
+    /// Whether the vocabulary is derived from the stream (as opposed
+    /// to fixed by [`AdvisorOptions::structures`]).
+    derived: bool,
+    /// Candidates dropped because the vocabulary hit the 64-bit cap.
+    dropped_structures: usize,
+    /// Warm cost oracle over the retained sealed windows.
+    oracle: Option<ProjectedOracle<EngineOracle>>,
+    /// Absolute window index of the oracle's stage 0.
+    oracle_first: usize,
+    /// `true` while the next seal must rebuild the oracle instead of
+    /// appending (vocabulary grew or windows were evicted).
+    rebuild: bool,
+    /// The design live before window 0 (the table's indexes at
+    /// construction).
+    initial: Config,
+    /// One committed configuration per sealed window, absolute index.
+    committed: Vec<Config>,
+    decisions: Vec<OnlineDecision>,
+    resolves: usize,
+    rebuilds: usize,
+}
+
+impl OnlineAdvisor {
+    /// Open a session for `table`. The table's current indexes become
+    /// the initial configuration (they are `C_0`) and join the
+    /// candidate vocabulary.
+    pub fn new(db: &Database, table: impl Into<String>, options: OnlineOptions) -> Result<Self> {
+        let table = table.into();
+        let stream = StatementStream::with_capacity(
+            &table,
+            options.advisor.window_len,
+            options.max_windows,
+        )?;
+        let derived = options.advisor.structures.is_none();
+        let mut structures = options.advisor.structures.clone().unwrap_or_default();
+        let current = db.index_specs(&table)?;
+        for spec in &current {
+            if !structures.contains(spec) {
+                structures.push(spec.clone());
+            }
+        }
+        if structures.len() > 64 {
+            return Err(Error::InvalidArgument(format!(
+                "{} candidate structures exceed the 64-structure configuration encoding",
+                structures.len()
+            )));
+        }
+        // Validate the vocabulary eagerly, like the batch advisor.
+        let whatif = WhatIfEngine::snapshot(db, &table)?;
+        for spec in &structures {
+            whatif.shape(spec)?;
+        }
+        let mut initial = Config::EMPTY;
+        for spec in &current {
+            let i = structures
+                .iter()
+                .position(|s| s == spec)
+                .expect("current specs were appended to the vocabulary");
+            initial = initial.with(i);
+        }
+        Ok(OnlineAdvisor {
+            table,
+            options,
+            stream,
+            detector: OnlineShiftDetector::new(),
+            structures,
+            derived,
+            dropped_structures: 0,
+            oracle: None,
+            oracle_first: 0,
+            rebuild: false,
+            initial,
+            committed: Vec::new(),
+            decisions: Vec::new(),
+            resolves: 0,
+            rebuilds: 0,
+        })
+    }
+
+    /// The target table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Statements per window (the seal cadence).
+    pub fn window_len(&self) -> usize {
+        self.options.advisor.window_len
+    }
+
+    /// Total statements ingested.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// True if nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// Whether the next [`OnlineAdvisor::ingest`] will seal a window
+    /// (and therefore run the seal pipeline). Drivers use this to fold
+    /// pending statistics deltas in *before* the re-solve.
+    pub fn next_seals(&self) -> bool {
+        (self.stream.len() + 1).is_multiple_of(self.options.advisor.window_len)
+    }
+
+    /// Decisions emitted so far, one per sealed window.
+    pub fn decisions(&self) -> &[OnlineDecision] {
+        &self.decisions
+    }
+
+    /// The committed configuration sequence (absolute window indices).
+    pub fn committed(&self) -> &[Config] {
+        &self.committed
+    }
+
+    /// The design the session currently holds live: the last committed
+    /// configuration, resolved to specs.
+    pub fn live_specs(&self) -> Vec<IndexSpec> {
+        let cfg = self.committed.last().copied().unwrap_or(self.initial);
+        cfg.structures()
+            .map(|i| self.structures[i].clone())
+            .collect()
+    }
+
+    /// The candidate vocabulary accumulated so far.
+    pub fn structures(&self) -> &[IndexSpec] {
+        &self.structures
+    }
+
+    /// Candidates discarded because the vocabulary hit the 64-bit cap.
+    pub fn dropped_structures(&self) -> usize {
+        self.dropped_structures
+    }
+
+    /// Warm re-solves run so far.
+    pub fn resolves(&self) -> usize {
+        self.resolves
+    }
+
+    /// Cold oracle rebuilds forced by vocabulary growth or eviction.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// The shift detector's current suggestion for the change budget.
+    pub fn suggested_k(&self) -> usize {
+        self.detector.suggested_k()
+    }
+
+    /// Ingest one observed statement. Returns a decision when this
+    /// statement seals a window.
+    ///
+    /// # Errors
+    /// The statement must target this session's table and validate
+    /// against the schema; solver errors (e.g. an infeasible space
+    /// bound) propagate.
+    pub fn ingest(&mut self, db: &Database, stmt: &Dml) -> Result<Option<OnlineDecision>> {
+        let evicted_before = self.stream.evicted();
+        let Some(window) = self.stream.push(stmt)? else {
+            return Ok(None);
+        };
+        let _span = cdpd_obs::span!("online.seal", window = window);
+        if self.stream.evicted() != evicted_before {
+            // Stage indices shifted under the oracle: memo unusable.
+            self.rebuild = true;
+        }
+        let (block, profile) = self
+            .stream
+            .last_sealed()
+            .map(|(b, p)| (b.clone(), p.clone()))
+            .expect("push just sealed this window");
+        self.detector.observe(&profile);
+        if self.derived {
+            self.extend_vocabulary(db, &block)?;
+        }
+        self.sync_oracle(db, &block)?;
+        let decision = self.decide(window)?;
+        self.decisions.push(decision.clone());
+        Ok(Some(decision))
+    }
+
+    /// Ingest a batch, returning every decision made along the way.
+    ///
+    /// # Errors
+    /// Same conditions as [`OnlineAdvisor::ingest`]; ingestion stops at
+    /// the first failure.
+    pub fn ingest_all<'a>(
+        &mut self,
+        db: &Database,
+        stmts: impl IntoIterator<Item = &'a Dml>,
+    ) -> Result<Vec<OnlineDecision>> {
+        let mut out = Vec::new();
+        for stmt in stmts {
+            if let Some(d) = self.ingest(db, stmt)? {
+                out.push(d);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fold a statistics refresh (from
+    /// [`Database::refresh_stats`](cdpd_engine::Database::refresh_stats))
+    /// into the warm oracle: swap in a fresh what-if snapshot and evict
+    /// exactly the memo entries the delta can have moved — every part
+    /// when row counts changed, only parts predicating on the changed
+    /// columns otherwise. Returns the number of evicted memo entries.
+    ///
+    /// The part decomposition and relevance masks survive (they depend
+    /// on statement shapes and structure columns, not statistics), so
+    /// this is the "invalidate only the affected masks" half of the
+    /// delta-stats story.
+    pub fn note_stats_refresh(&mut self, db: &Database, refresh: &StatsRefresh) -> Result<usize> {
+        if refresh.is_noop() {
+            return Ok(0);
+        }
+        let Some(oracle) = self.oracle.as_mut() else {
+            return Ok(0); // next build snapshots fresh stats anyway
+        };
+        oracle
+            .inner_mut()
+            .refresh_whatif(WhatIfEngine::snapshot(db, &self.table)?)?;
+        let oracle = self.oracle.as_ref().expect("just updated");
+        let evicted = if refresh.rows_changed {
+            // Row-count changes move every selectivity and page count.
+            oracle.invalidate_sizes();
+            oracle.retain_parts(|_, _| false)
+        } else {
+            let schema = db.schema(&self.table)?;
+            let changed: Vec<String> = refresh
+                .changed_columns
+                .iter()
+                .filter_map(|&id| schema.column(id).map(|c| c.name.clone()))
+                .collect();
+            oracle
+                .retain_parts(|stage, part| !oracle.inner().part_references(stage, part, &changed))
+        };
+        cdpd_obs::counter!("online.stats_refreshes").inc();
+        Ok(evicted)
+    }
+
+    /// Final-stage commit: run the *batch* pipeline (the exact body of
+    /// [`crate::Advisor::recommend`]) over everything the stream
+    /// retains, including the open partial window. With an unbounded
+    /// window this is bit-identical to the batch recommendation for the
+    /// full trace; with a bounded window it covers the retained suffix.
+    ///
+    /// # Errors
+    /// At least one statement must have been ingested; batch pipeline
+    /// errors propagate.
+    pub fn finish(&self, db: &Database) -> Result<Recommendation> {
+        if self.stream.is_empty() {
+            return Err(Error::InvalidArgument(
+                "no statements ingested; nothing to recommend".into(),
+            ));
+        }
+        recommend_for_workload(
+            db,
+            &self.table,
+            &self.options.advisor,
+            &self.stream.summarized(),
+        )
+    }
+
+    /// Grow the vocabulary with candidates motivated by the sealed
+    /// block, keeping existing bit positions stable.
+    fn extend_vocabulary(&mut self, db: &Database, block: &Block) -> Result<()> {
+        let one = cdpd_workload::SummarizedWorkload {
+            table: self.table.clone(),
+            blocks: vec![block.clone()],
+        };
+        let (fresh, _) = candidate_indexes(db.schema(&self.table)?, &one)?;
+        let mut dropped_now = 0;
+        for spec in fresh {
+            if self.structures.contains(&spec) {
+                continue;
+            }
+            if self.structures.len() == 64 {
+                dropped_now += 1;
+                continue;
+            }
+            self.structures.push(spec);
+            self.rebuild = true;
+        }
+        if dropped_now > 0 {
+            self.dropped_structures += dropped_now;
+            cdpd_obs::counter!("online.structures_dropped").add(dropped_now as u64);
+            cdpd_obs::event!(
+                "online advisor: vocabulary at the 64-structure cap; \
+                 dropped {dropped_now} new candidates ({} total)",
+                self.dropped_structures
+            );
+        }
+        Ok(())
+    }
+
+    /// Bring the oracle up to date with the just-sealed window: append
+    /// the block to the warm oracle when possible, rebuild cold when
+    /// the vocabulary grew or windows were evicted.
+    fn sync_oracle(&mut self, db: &Database, block: &Block) -> Result<()> {
+        if !self.rebuild {
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.inner_mut().append_block(block)?;
+                return Ok(());
+            }
+        }
+        let _span = cdpd_obs::span!("online.rebuild", windows = self.stream.windows_sealed());
+        // Right after a seal the open window is empty, so summarized()
+        // is exactly the retained sealed blocks.
+        let workload = self.stream.summarized();
+        let engine = EngineOracle::new(
+            WhatIfEngine::snapshot(db, &self.table)?,
+            self.structures.clone(),
+            &workload,
+        )?;
+        self.oracle = Some(engine.into_shared());
+        self.oracle_first = self.stream.evicted();
+        self.rebuild = false;
+        self.rebuilds += 1;
+        cdpd_obs::counter!("online.rebuilds").inc();
+        Ok(())
+    }
+
+    /// The alerter check + (possibly gated) warm re-solve for the
+    /// just-sealed window, committing its configuration.
+    fn decide(&mut self, window: usize) -> Result<OnlineDecision> {
+        let oracle = self.oracle.as_ref().expect("sync_oracle ran");
+        let stage = oracle.n_stages() - 1;
+        let live = self.committed.last().copied().unwrap_or(self.initial);
+
+        // Folded alerter: live design vs best single candidate on the
+        // sealed window (detection, not optimization — see Alerter).
+        let live_cost = oracle.exec(stage, live);
+        let mut best = oracle.exec(stage, Config::EMPTY);
+        for i in 0..self.structures.len() {
+            best = best.min(oracle.exec(stage, Config::single(i)));
+        }
+        let degradation = if best.raw() == 0 {
+            0.0
+        } else {
+            live_cost.raw() as f64 / best.raw() as f64 - 1.0
+        };
+        let tripped = match self.options.resolve_threshold {
+            None => true,
+            // Always solve the first window: there is no committed
+            // design yet to carry forward.
+            Some(t) => degradation > t || self.committed.is_empty(),
+        };
+        if tripped && self.options.resolve_threshold.is_some() {
+            cdpd_obs::counter!("online.alerts").inc();
+        }
+
+        let horizon = self.problem_over_horizon();
+        let prefix: Vec<Config> = self.committed[self.oracle_first..].to_vec();
+        let (config, solve_nanos) = if tripped {
+            let started = std::time::Instant::now();
+            let candidates = enumerate_configs(
+                oracle,
+                self.options.advisor.space_bound_pages,
+                self.options.advisor.max_structures_per_config,
+            )?;
+            let schedule = match self.options.advisor.k {
+                None => seqgraph::solve_with_prefix(oracle, &horizon, &candidates, &prefix)?,
+                Some(k) => kaware::solve_with_prefix(oracle, &horizon, &candidates, k, &prefix)?,
+            };
+            let nanos = started.elapsed().as_nanos() as u64;
+            cdpd_obs::histogram!("online.resolve_ns").record(nanos);
+            cdpd_obs::counter!("online.resolves").inc();
+            self.resolves += 1;
+            (schedule.configs[prefix.len()], nanos)
+        } else {
+            (live, 0)
+        };
+        self.committed.push(config);
+
+        // Changes spent within the horizon, counted like Schedule does.
+        let mut changes_used = 0;
+        let mut prev = horizon.initial;
+        for (s, &cfg) in self.committed[self.oracle_first..].iter().enumerate() {
+            if cfg != prev && (s > 0 || horizon.count_initial_change) {
+                changes_used += 1;
+            }
+            prev = cfg;
+        }
+
+        Ok(OnlineDecision {
+            window,
+            config,
+            specs: config
+                .structures()
+                .map(|i| self.structures[i].clone())
+                .collect(),
+            changed: config != live,
+            degradation,
+            resolved: tripped,
+            solve_nanos,
+            changes_used,
+            suggested_k: self.detector.suggested_k(),
+        })
+    }
+
+    /// The problem over the retained horizon. Its initial config is
+    /// whatever design entered the first retained window; with an
+    /// unbounded window that is the construction-time design and the
+    /// budget semantics match the batch problem exactly. The final
+    /// config is never pinned mid-session (`end_empty` applies at
+    /// [`OnlineAdvisor::finish`] — tearing down indexes between
+    /// windows because the *eventual* end is empty would be absurd).
+    fn problem_over_horizon(&self) -> Problem {
+        let initial = if self.oracle_first == 0 {
+            self.initial
+        } else {
+            self.committed[self.oracle_first - 1]
+        };
+        Problem {
+            initial,
+            final_config: None,
+            space_bound: self.options.advisor.space_bound_pages,
+            count_initial_change: self.options.advisor.count_initial_change
+                && self.oracle_first == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpd_sql::SelectStmt;
+    use cdpd_testkit::Prng;
+    use cdpd_types::{ColumnDef, Schema, Value};
+
+    fn db_with(rows: i64, index_on: Option<&str>) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::int("a"),
+                ColumnDef::int("b"),
+                ColumnDef::int("c"),
+                ColumnDef::int("d"),
+            ]),
+        )
+        .unwrap();
+        let domain = rows / 5;
+        let mut rng = Prng::seed_from_u64(17);
+        for _ in 0..rows {
+            let row: Vec<Value> = (0..4)
+                .map(|_| Value::Int(rng.gen_range(0..domain)))
+                .collect();
+            db.insert("t", &row).unwrap();
+        }
+        db.analyze("t").unwrap();
+        if let Some(col) = index_on {
+            db.create_index(&IndexSpec::new("t", &[col])).unwrap();
+        }
+        db
+    }
+
+    fn opts(window_len: usize, k: Option<usize>) -> OnlineOptions {
+        OnlineOptions {
+            advisor: AdvisorOptions {
+                k,
+                window_len,
+                max_structures_per_config: Some(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn q(col: &str, v: i64) -> Dml {
+        SelectStmt::point("t", col, v).into()
+    }
+
+    #[test]
+    fn decisions_fire_per_window_and_track_the_workload() {
+        let db = db_with(10_000, None);
+        let mut adv = OnlineAdvisor::new(&db, "t", opts(50, Some(4))).unwrap();
+        assert!(adv.is_empty());
+        // Two a-heavy windows, then two c-heavy windows.
+        let mut decisions = Vec::new();
+        for i in 0..200 {
+            let col = if i < 100 { "a" } else { "c" };
+            assert_eq!(adv.next_seals(), (adv.len() + 1).is_multiple_of(50));
+            if let Some(d) = adv.ingest(&db, &q(col, i % 100)).unwrap() {
+                decisions.push(d);
+            }
+        }
+        assert_eq!(decisions.len(), 4);
+        assert_eq!(adv.decisions().len(), 4);
+        assert_eq!(adv.committed().len(), 4);
+        assert_eq!(adv.len(), 200);
+        // The committed design follows the shift: a-serving early,
+        // c-serving late.
+        let early = &decisions[0].specs;
+        let late = &decisions[3].specs;
+        assert!(
+            early.iter().any(|s| s.columns.contains(&"a".to_owned())),
+            "{early:?}"
+        );
+        assert!(
+            late.iter().any(|s| s.columns.contains(&"c".to_owned())),
+            "{late:?}"
+        );
+        assert!(decisions.iter().all(|d| d.resolved));
+        assert_eq!(adv.resolves(), 4);
+        // The warm path appends stages; rebuilds happen only when the
+        // derived vocabulary grows (at most once per new column mix).
+        assert!(adv.rebuilds() <= 2, "{} rebuilds", adv.rebuilds());
+        assert_eq!(adv.live_specs(), decisions[3].specs);
+    }
+
+    #[test]
+    fn resolve_threshold_gates_resolves_on_degradation() {
+        let db = db_with(10_000, None);
+        let mut adv = OnlineAdvisor::new(
+            &db,
+            "t",
+            OnlineOptions {
+                resolve_threshold: Some(0.5),
+                ..opts(50, Some(4))
+            },
+        )
+        .unwrap();
+        // Window 0 always solves; windows 1-2 repeat the same workload,
+        // so the live design holds and no re-solve runs; window 3
+        // shifts hard and must trip the alerter.
+        for i in 0..150 {
+            adv.ingest(&db, &q("a", i % 40)).unwrap();
+        }
+        for i in 0..50 {
+            adv.ingest(&db, &q("c", i % 40)).unwrap();
+        }
+        let d = adv.decisions();
+        assert_eq!(d.len(), 4);
+        assert!(d[0].resolved, "first window must solve");
+        assert!(!d[1].resolved && !d[2].resolved, "steady state holds");
+        assert!(d[1].degradation <= 0.5);
+        assert!(d[3].resolved, "shift must trip the alerter");
+        assert!(d[3].degradation > 0.5, "{}", d[3].degradation);
+        assert!(d[3].changed);
+        assert_eq!(adv.resolves(), 2);
+    }
+
+    #[test]
+    fn rolling_budget_is_respected_across_the_session() {
+        let db = db_with(10_000, None);
+        let mut adv = OnlineAdvisor::new(&db, "t", opts(40, Some(1))).unwrap();
+        // Three shifts but budget for one change after the free initial
+        // build: the committed schedule can change at most once more.
+        for (w, col) in ["a", "b", "c", "d"].iter().enumerate() {
+            for i in 0..40 {
+                adv.ingest(&db, &q(col, (w as i64 * 40 + i) % 100)).unwrap();
+            }
+        }
+        let committed = adv.committed();
+        assert_eq!(committed.len(), 4);
+        let mut changes = 0;
+        for s in 1..committed.len() {
+            if committed[s] != committed[s - 1] {
+                changes += 1;
+            }
+        }
+        assert!(changes <= 1, "budget 1 exceeded: {committed:?}");
+        assert!(adv.decisions().iter().all(|d| d.changes_used <= 1));
+    }
+
+    #[test]
+    fn current_indexes_are_the_initial_config() {
+        let db = db_with(5_000, Some("d"));
+        let mut adv = OnlineAdvisor::new(&db, "t", opts(30, Some(2))).unwrap();
+        assert_eq!(adv.live_specs(), vec![IndexSpec::new("t", &["d"])]);
+        for i in 0..30 {
+            adv.ingest(&db, &q("d", i)).unwrap();
+        }
+        // The d-workload keeps the existing index: no change spent.
+        let d = &adv.decisions()[0];
+        assert!(!d.changed, "{d:?}");
+        assert_eq!(d.changes_used, 0);
+    }
+
+    #[test]
+    fn bounded_window_evicts_and_rebuilds() {
+        let db = db_with(5_000, None);
+        let mut adv = OnlineAdvisor::new(
+            &db,
+            "t",
+            OnlineOptions {
+                max_windows: Some(2),
+                ..opts(25, Some(3))
+            },
+        )
+        .unwrap();
+        for i in 0..100 {
+            adv.ingest(&db, &q("b", i % 50)).unwrap();
+        }
+        assert_eq!(adv.decisions().len(), 4);
+        assert_eq!(adv.committed().len(), 4, "commits are never evicted");
+        // Windows 2 and 3 sealed after evictions: each forces a rebuild
+        // (plus the initial cold build at window 0).
+        assert_eq!(adv.rebuilds(), 3);
+    }
+
+    #[test]
+    fn stats_refresh_evicts_changed_parts_only() {
+        let mut db = db_with(8_000, None);
+        let mut adv = OnlineAdvisor::new(&db, "t", opts(40, None)).unwrap();
+        for i in 0..40 {
+            adv.ingest(&db, &q("a", i)).unwrap();
+        }
+        for i in 0..40 {
+            adv.ingest(&db, &q("b", i)).unwrap();
+        }
+        // No pending deltas: refresh is a no-op.
+        let refresh = db.refresh_stats("t").unwrap();
+        assert!(refresh.is_noop());
+        assert_eq!(adv.note_stats_refresh(&db, &refresh).unwrap(), 0);
+        // Mutate column b heavily, then fold the delta: only b-parts
+        // (and parts whose statements predicate b) may be evicted.
+        for i in 0..400 {
+            let sql = format!("UPDATE t SET b = {} WHERE b = {}", i % 7, i % 50);
+            let stmt = match cdpd_sql::parse(&sql).unwrap() {
+                cdpd_sql::Statement::Update(u) => Dml::Update(u),
+                _ => unreachable!(),
+            };
+            db.execute_dml(&stmt).unwrap();
+        }
+        let refresh = db.refresh_stats("t").unwrap();
+        assert!(!refresh.is_noop());
+        let evicted = adv.note_stats_refresh(&db, &refresh).unwrap();
+        assert!(evicted > 0, "warm memo had b-dependent entries");
+        // The session keeps working after the eviction.
+        for i in 0..40 {
+            adv.ingest(&db, &q("b", i)).unwrap();
+        }
+        assert_eq!(adv.decisions().len(), 3);
+    }
+
+    #[test]
+    fn finish_requires_statements_and_validates() {
+        let db = db_with(2_000, None);
+        let adv = OnlineAdvisor::new(&db, "t", opts(10, None)).unwrap();
+        assert!(adv.finish(&db).is_err());
+        assert!(OnlineAdvisor::new(&db, "missing", opts(10, None)).is_err());
+        let bad = OnlineOptions {
+            advisor: AdvisorOptions {
+                structures: Some(vec![IndexSpec::new("t", &["nope"])]),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(OnlineAdvisor::new(&db, "t", bad).is_err());
+    }
+}

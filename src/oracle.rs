@@ -28,7 +28,7 @@ struct Part {
 /// The oracle performs no caching itself, but it *exports relevance*:
 /// at construction it asks the planner which structures can affect
 /// each statement and groups every stage's statements into equal-mask
-/// [`Part`]s, implementing [`ProjectableOracle`]. Hand it to a solver
+/// parts, implementing [`ProjectableOracle`]. Hand it to a solver
 /// through [`EngineOracle::into_shared`] (sharded projected memo) or
 /// [`EngineOracle::into_dense`] (up-front dense tables) — both count
 /// raw what-if calls into a shared [`OracleStats`] bundle.
@@ -105,6 +105,84 @@ impl EngineOracle {
             parts,
             stage_masks,
             stats: OracleStats::shared(),
+        })
+    }
+
+    /// Append one workload block as a new stage, without touching the
+    /// existing stages: the streaming counterpart of the constructor's
+    /// per-block loop. Stage indices of everything already built are
+    /// stable, so a wrapping [`ProjectedOracle`] keeps every memo entry
+    /// for earlier stages warm across the extension.
+    ///
+    /// # Errors
+    /// Same per-statement validation as [`EngineOracle::new`].
+    pub fn append_block(&mut self, block: &cdpd_workload::Block) -> Result<()> {
+        let _span = cdpd_obs::span!(
+            "oracle.engine.append_block",
+            stage = self.parts.len(),
+            statements = block.len
+        );
+        let mut stage_parts: Vec<Part> = Vec::new();
+        for w in &block.weighted {
+            self.whatif.dml_cost(&w.statement, &[])?;
+            let mask = Config::from_bits(
+                self.whatif
+                    .relevant_structures(&w.statement, &self.structures)?,
+            );
+            match stage_parts.iter_mut().find(|p| p.mask == mask) {
+                Some(part) => part.members.push((w.statement.clone(), w.count)),
+                None => stage_parts.push(Part {
+                    mask,
+                    members: vec![(w.statement.clone(), w.count)],
+                }),
+            }
+        }
+        self.stage_masks.push(
+            stage_parts
+                .iter()
+                .fold(Config::EMPTY, |acc, p| acc.union(p.mask)),
+        );
+        self.parts.push(stage_parts);
+        Ok(())
+    }
+
+    /// Swap in a fresh what-if snapshot (same table, same structures)
+    /// after a statistics refresh, keeping parts and relevance masks:
+    /// which structures *can* affect a statement depends only on its
+    /// shape and the structure columns, not on the statistics, so the
+    /// part decomposition survives a stats change — only the cached
+    /// *costs* go stale, and which of those to evict is exactly what
+    /// [`EngineOracle::part_references`] answers.
+    ///
+    /// # Errors
+    /// The new snapshot must be over the same table and resolve every
+    /// candidate structure.
+    pub fn refresh_whatif(&mut self, whatif: WhatIfEngine) -> Result<()> {
+        if whatif.table() != self.whatif.table() {
+            return Err(Error::InvalidArgument(format!(
+                "refresh snapshot is on table {}, oracle on {}",
+                whatif.table(),
+                self.whatif.table()
+            )));
+        }
+        for spec in &self.structures {
+            whatif.shape(spec)?;
+        }
+        self.whatif = whatif;
+        Ok(())
+    }
+
+    /// Whether any statement of `(stage, part)` predicates on one of
+    /// `columns` — the staleness test for delta-maintained statistics:
+    /// a histogram refresh on those columns can only move the costs of
+    /// parts this returns `true` for (plan *choice* depends on the
+    /// configuration, not the statistics, so predicate columns are the
+    /// whole dependency).
+    pub fn part_references(&self, stage: usize, part: usize, columns: &[String]) -> bool {
+        self.parts[stage][part].members.iter().any(|(stmt, _)| {
+            stmt.conditions()
+                .iter()
+                .any(|c| columns.iter().any(|col| col == c.column()))
         })
     }
 
@@ -385,15 +463,15 @@ mod tests {
         };
         let raw = oracle(5_000);
         probe(&raw);
-        let raw_calls = raw.stats().snapshot().whatif_calls;
+        let raw_calls = cdpd_core::OracleStatsSnapshot::from(&**raw.stats()).whatif_calls;
 
         let shared = oracle(5_000).into_shared();
         probe(&shared);
-        let shared_calls = shared.stats().snapshot().whatif_calls;
+        let shared_calls = shared.stats_snapshot().whatif_calls;
 
         let dense = oracle(5_000).into_dense();
         probe(&dense);
-        let dense_calls = dense.stats().snapshot().whatif_calls;
+        let dense_calls = dense.stats_snapshot().whatif_calls;
 
         assert!(shared_calls < raw_calls, "{shared_calls} !< {raw_calls}");
         assert!(dense_calls < raw_calls, "{dense_calls} !< {raw_calls}");
@@ -405,6 +483,73 @@ mod tests {
                 assert_eq!(dense.exec(stage, cfg), raw.exec(stage, cfg));
             }
         }
+    }
+
+    #[test]
+    fn append_block_matches_batch_construction() {
+        let db = test_db(5_000);
+        let params = paper::PaperParams {
+            domain: 1_000,
+            window_len: 100,
+            ..Default::default()
+        };
+        let trace = generate(&paper::w1_with(&params), 11);
+        let workload = summarize(&trace, 100).unwrap();
+        let batch = EngineOracle::new(
+            WhatIfEngine::snapshot(&db, "t").unwrap(),
+            paper_structures(),
+            &workload,
+        )
+        .unwrap();
+        // Construct over the first block, then stream in the rest.
+        let head = cdpd_workload::SummarizedWorkload {
+            table: workload.table.clone(),
+            blocks: vec![workload.blocks[0].clone()],
+        };
+        let mut inc = EngineOracle::new(
+            WhatIfEngine::snapshot(&db, "t").unwrap(),
+            paper_structures(),
+            &head,
+        )
+        .unwrap();
+        for block in &workload.blocks[1..] {
+            inc.append_block(block).unwrap();
+        }
+        assert_eq!(inc.n_stages(), batch.n_stages());
+        for stage in 0..batch.n_stages() {
+            assert_eq!(inc.n_parts(stage), batch.n_parts(stage));
+            assert_eq!(inc.relevance_mask(stage), batch.relevance_mask(stage));
+            for bits in [0u64, 0b1, 0b10110, 0b111111] {
+                let cfg = Config::from_bits(bits);
+                assert_eq!(inc.exec(stage, cfg), batch.exec(stage, cfg));
+            }
+        }
+        // Appending an invalid statement fails without corrupting state.
+        let stages_before = inc.n_stages();
+        let bad = cdpd_workload::summarize(
+            &cdpd_workload::Trace::from_selects(
+                "t",
+                vec![cdpd_sql::SelectStmt::point("t", "nope", 1)],
+            ),
+            10,
+        )
+        .unwrap();
+        assert!(inc.append_block(&bad.blocks[0]).is_err());
+        assert_eq!(inc.n_stages(), stages_before);
+    }
+
+    #[test]
+    fn part_references_tracks_predicate_columns() {
+        let o = oracle(5_000);
+        let a = vec!["a".to_owned()];
+        let z = vec!["z".to_owned()];
+        // W1 queries every column in every window: some part must
+        // predicate on `a`, and none on an unknown column.
+        let hits = (0..o.n_parts(0))
+            .filter(|&p| o.part_references(0, p, &a))
+            .count();
+        assert!(hits >= 1);
+        assert!((0..o.n_parts(0)).all(|p| !o.part_references(0, p, &z)));
     }
 
     #[test]

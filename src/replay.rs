@@ -1,18 +1,24 @@
 //! Execute a workload under a design schedule, measuring real I/O.
 //!
-//! This is how Figure 3 is reproduced: the recommended schedule is
-//! *actually applied* — indexes built and dropped at the recommended
-//! points via online DDL — and every trace statement executed, with the
-//! pager counting logical page I/O for both execution and transitions.
+//! Two drivers share one window-execution core:
+//!
+//! * [`replay`] — the batch form (Figure 3): a *precomputed* schedule
+//!   is applied window by window via online DDL, and every trace
+//!   statement executed with the pager counting logical page I/O;
+//! * [`drive`] — the online form: statements are executed and fed to
+//!   an [`OnlineAdvisor`] one at a time, its design decisions applied
+//!   as they are emitted, and its delta statistics folded in at every
+//!   window boundary. The schedule is *discovered en route*.
 
 use crate::advisor::Recommendation;
+use crate::online::OnlineAdvisor;
 use cdpd_engine::{Database, IndexSpec};
 use cdpd_types::{Error, Result};
 use cdpd_workload::Trace;
 use std::time::{Duration, Instant};
 
 /// Measured outcome of one stage (window) of a replay.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct StageReport {
     /// Logical I/O spent changing the design before this window.
     pub trans_io: u64,
@@ -61,6 +67,26 @@ impl ReplayReport {
     }
 }
 
+/// Execute window `stage` (`lo..hi` of the trace), returning
+/// `(exec_io, rows, statements)` — the core both drivers run.
+fn execute_window(
+    db: &mut Database,
+    trace: &Trace,
+    stage: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<(u64, u64, u64)> {
+    let _span = cdpd_obs::span!("replay.window", stage = stage, statements = hi - lo);
+    let mut exec_io = 0u64;
+    let mut rows = 0u64;
+    for stmt in &trace.statements()[lo..hi] {
+        let r = db.execute_dml(stmt)?;
+        exec_io += r.io.total();
+        rows += r.count;
+    }
+    Ok((exec_io, rows, (hi - lo) as u64))
+}
+
 /// Replay `trace` against `db`, applying `stage_specs[i]` before window
 /// `i` (windows are `window_len` statements). `final_specs` pins the
 /// configuration restored after the run, like the paper's "final
@@ -99,18 +125,11 @@ pub fn replay(
             let _span = cdpd_obs::span!("replay.transition", stage = i);
             db.apply_configuration(&table, specs)?
         };
-        let mut exec_io = 0u64;
         let lo = i * window_len;
         let hi = ((i + 1) * window_len).min(trace.len());
-        {
-            let _span = cdpd_obs::span!("replay.window", stage = i, statements = hi - lo);
-            for stmt in &trace.statements()[lo..hi] {
-                let r = db.execute_dml(stmt)?;
-                exec_io += r.io.total();
-                row_checksum += r.count;
-                statements += 1;
-            }
-        }
+        let (exec_io, rows, stmts) = execute_window(db, trace, i, lo, hi)?;
+        row_checksum += rows;
+        statements += stmts;
         stages.push(StageReport {
             trans_io: ddl.io.total(),
             exec_io,
@@ -150,4 +169,99 @@ pub fn replay_recommendation(
         &rec.stage_specs(),
         final_specs.as_deref(),
     )
+}
+
+/// Online replay: the thin driver over [`OnlineAdvisor`]. Each window
+/// is executed under the currently live design, then fed to the
+/// advisor statement by statement (with the window's statistics deltas
+/// folded in first, so the seal-time re-solve sees fresh stats); the
+/// decision the seal emits is applied entering the *next* window — the
+/// online loop has no hindsight, which is exactly the difference
+/// between this driver and [`replay`] of a batch recommendation.
+///
+/// The advisor's decision log stays on `advisor` ([`OnlineAdvisor::decisions`]),
+/// and a final [`OnlineAdvisor::finish`] gives the batch-quality
+/// hindsight recommendation for the whole observed trace.
+///
+/// # Errors
+/// The trace must target the advisor's table; execution, ingestion,
+/// and solver errors propagate.
+pub fn drive(
+    db: &mut Database,
+    trace: &Trace,
+    advisor: &mut OnlineAdvisor,
+) -> Result<ReplayReport> {
+    if trace.table() != advisor.table() {
+        return Err(Error::InvalidArgument(format!(
+            "trace is on table {}, advisor on {}",
+            trace.table(),
+            advisor.table()
+        )));
+    }
+    run_online(db, trace, advisor)
+}
+
+fn run_online(
+    db: &mut Database,
+    trace: &Trace,
+    advisor: &mut OnlineAdvisor,
+) -> Result<ReplayReport> {
+    let _span = cdpd_obs::span!("replay.drive", statements = trace.len());
+    let start = Instant::now();
+    let table = trace.table().to_owned();
+    let window_len = advisor.window_len();
+    let windows = trace.len().div_ceil(window_len);
+    let mut stages = Vec::with_capacity(windows);
+    let mut statements = 0u64;
+    let mut row_checksum = 0u64;
+    let mut pending: Option<cdpd_engine::DdlReport> = None;
+
+    for w in 0..windows {
+        let ddl = pending.take();
+        let lo = w * window_len;
+        let hi = ((w + 1) * window_len).min(trace.len());
+        let (exec_io, rows, stmts) = execute_window(db, trace, w, lo, hi)?;
+        row_checksum += rows;
+        statements += stmts;
+
+        // Fold this window's statistics deltas before the advisor
+        // seals it, so the re-solve prices the post-write table.
+        let refresh = db.refresh_stats(&table)?;
+        advisor.note_stats_refresh(db, &refresh)?;
+
+        let mut decision = None;
+        for stmt in &trace.statements()[lo..hi] {
+            if let Some(d) = advisor.ingest(db, stmt)? {
+                decision = Some(d);
+            }
+        }
+
+        stages.push(match ddl {
+            Some(ddl) => StageReport {
+                trans_io: ddl.io.total(),
+                exec_io,
+                created: ddl.created,
+                dropped: ddl.dropped,
+            },
+            None => StageReport {
+                exec_io,
+                ..StageReport::default()
+            },
+        });
+
+        if let Some(d) = decision {
+            if w + 1 < windows && d.changed {
+                let _span = cdpd_obs::span!("replay.transition", stage = w + 1);
+                pending = Some(db.apply_configuration(&table, &d.specs)?);
+            }
+        }
+    }
+
+    Ok(ReplayReport {
+        stages,
+        final_trans_io: 0,
+        wall: start.elapsed(),
+        statements,
+        row_checksum,
+    })
 }

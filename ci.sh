@@ -57,6 +57,58 @@ cargo test -q --offline -p cdpd --test online_equiv
 echo "== warm re-solve beats cold rebuild (>=2x, asserted in-bench) =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench online
 
+echo "== concurrency stress: parallel replay bit-identical, 8 seeds x {1,2,8} threads =="
+# Each run crosses thread counts {1, 2, 8} against the serial baseline
+# in-process (tests/parallel_equiv.rs); CDPD_SEED varies the traces.
+for seed in 7 41 97 1234 4242 7777 90210 424242; do
+  echo "-- seed $seed --"
+  CDPD_SEED="$seed" cargo test -q --offline -p cdpd --test parallel_equiv
+done
+
+echo "== storage bench: parallel read-path scaling (asserted in-bench) =="
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench storage
+
+echo "== bench diff: fresh vs committed metrics (>25% regression fails) =="
+python3 - <<'EOF'
+import json, subprocess, sys
+
+# Gate the metrics the benches assert on (higher is better). Raw
+# timings vary too much across hosts to diff; throughput ratios and
+# single-host throughput are stable enough for a 25% band. Files whose
+# committed run came from a host with a different core count are
+# skipped: scaling ratios are not comparable across core counts.
+GATED = {
+    "BENCH_storage.json": ["read/threads_1_stmts_per_sec", "read/scaling_x8"],
+}
+failed = False
+for path, gated in GATED.items():
+    show = subprocess.run(
+        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
+    )
+    if show.returncode != 0:
+        print(f"{path}: no committed baseline yet, skipping")
+        continue
+    old = {r["id"]: r["metric"] for r in json.loads(show.stdout) if "metric" in r}
+    with open(path) as f:
+        new = {r["id"]: r["metric"] for r in json.load(f) if "metric" in r}
+    if old.get("host_cores") != new.get("host_cores"):
+        print(f"{path}: committed baseline is from a {old.get('host_cores')}-core "
+              f"host, this is a {new.get('host_cores')}-core host; skipping")
+        continue
+    for m in gated:
+        if m not in old or m not in new:
+            print(f"{path}: {m}: missing (committed={m in old}, fresh={m in new})")
+            failed = True
+            continue
+        ratio = new[m] / old[m] if old[m] else 1.0
+        verdict = "REGRESSION" if ratio < 0.75 else "ok"
+        failed = failed or ratio < 0.75
+        print(f"{path}: {m}: {old[m]:.3f} -> {new[m]:.3f} ({ratio:.2f}x) {verdict}")
+if failed:
+    sys.exit(1)
+print("ok: no gated bench metric regressed by more than 25%")
+EOF
+
 echo "== docs build clean =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 

@@ -51,13 +51,16 @@ pub(crate) struct IndexEntry {
     pub(crate) btree: BTree,
 }
 
-/// A table in the catalog.
+/// A table in the catalog. Schema and statistics are behind `Arc` so a
+/// statement (or a what-if snapshot) can share them without copying;
+/// statistics are replaced wholesale on refresh, never mutated, so a
+/// held `Arc` is a stable snapshot.
 pub(crate) struct TableEntry {
     #[allow(dead_code)]
     pub(crate) id: TableId,
-    pub(crate) schema: Schema,
+    pub(crate) schema: std::sync::Arc<Schema>,
     pub(crate) heap: HeapFile,
-    pub(crate) stats: Option<crate::stats::TableStats>,
+    pub(crate) stats: Option<std::sync::Arc<crate::stats::TableStats>>,
     /// Retained analyze state, folded forward under DML so statistics
     /// refresh without re-scanning (seeded by `ANALYZE`).
     pub(crate) maintainer: Option<crate::stats::StatsMaintainer>,

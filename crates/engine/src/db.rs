@@ -4,10 +4,11 @@ use crate::exec::{self, ExecOutcome};
 use crate::planner::{IndexInfo, PlannedQuery, Planner};
 use crate::stats::{StatsMaintainer, StatsRefresh, TableStats};
 use cdpd_sql::{DeleteStmt, Dml, SelectStmt, Statement, UpdateStmt};
-use cdpd_storage::{codec, BTree, HeapFile, IoStats, Pager};
+use cdpd_storage::{codec, BTree, HeapFile, IoStats, Pager, ThreadIoScope};
 use cdpd_types::{ColumnId, Error, Result, Rid, Schema, TableId, Value};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Result of one executed query: output plus measured cost.
 #[derive(Clone, Debug)]
@@ -46,10 +47,29 @@ pub struct DdlReport {
 /// `DROP INDEX` returns the tree's pages to the pager's free list, so
 /// a long replay that builds and drops indexes at every design change
 /// stays at a bounded footprint.
+///
+/// # Concurrency model
+///
+/// The database is **single-writer / multi-reader** at statement
+/// granularity, enforced at compile time: every read path (`query`,
+/// `query_count`, [`Database::execute_select`], `explain`,
+/// [`crate::WhatIfEngine::snapshot`]) takes `&self`, every mutation
+/// (`execute_dml` writes, DDL, `refresh_stats`) takes `&mut self`, so
+/// `&Database` can be shared across a `std::thread::scope` and any
+/// number of threads may execute reads concurrently — against the
+/// lock-striped pager below — while writes always have the catalog to
+/// themselves. Internally the catalog is `RwLock`-striped
+/// (`RwLock<BTreeMap>` of `Arc<RwLock<TableEntry>>`) and each
+/// statement read-locks its table entry for its whole duration, which
+/// is what makes the read surface `&self` and gives snapshot-stable
+/// schema/stats/index views per statement. Per-statement I/O is
+/// measured with a [`ThreadIoScope`] (not a global-counter delta), so
+/// [`QueryResult::io`] stays exact under any interleaving and parallel
+/// per-statement costs sum bit-identically to a serial replay.
 pub struct Database {
     pager: Arc<Pager>,
-    tables: BTreeMap<String, TableEntry>,
-    next_table_id: u32,
+    tables: RwLock<BTreeMap<String, Arc<RwLock<TableEntry>>>>,
+    next_table_id: AtomicU32,
 }
 
 impl Default for Database {
@@ -63,8 +83,8 @@ impl Database {
     pub fn new() -> Database {
         Database {
             pager: Arc::new(Pager::new()),
-            tables: BTreeMap::new(),
-            next_table_id: 0,
+            tables: RwLock::new(BTreeMap::new()),
+            next_table_id: AtomicU32::new(0),
         }
     }
 
@@ -78,52 +98,63 @@ impl Database {
         self.pager.page_count()
     }
 
-    fn table(&self, name: &str) -> Result<&TableEntry> {
+    fn table(&self, name: &str) -> Result<Arc<RwLock<TableEntry>>> {
         self.tables
+            .read()
+            .expect("catalog lock poisoned")
             .get(name)
+            .cloned()
             .ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
-    fn table_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    fn read_entry(entry: &RwLock<TableEntry>) -> RwLockReadGuard<'_, TableEntry> {
+        entry.read().expect("table lock poisoned")
+    }
+
+    fn write_entry(entry: &RwLock<TableEntry>) -> RwLockWriteGuard<'_, TableEntry> {
+        entry.write().expect("table lock poisoned")
     }
 
     /// Create a table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
-        if self.tables.contains_key(name) {
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(name) {
             return Err(Error::AlreadyExists(format!("table {name}")));
         }
-        let id = TableId(self.next_table_id);
-        self.next_table_id += 1;
-        self.tables.insert(
+        let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
+        tables.insert(
             name.to_owned(),
-            TableEntry {
+            Arc::new(RwLock::new(TableEntry {
                 id,
-                schema,
+                schema: Arc::new(schema),
                 heap: HeapFile::create(self.pager.clone()),
                 stats: None,
                 maintainer: None,
                 indexes: BTreeMap::new(),
-            },
+            })),
         );
         Ok(())
     }
 
-    /// The schema of `table`.
-    pub fn schema(&self, table: &str) -> Result<&Schema> {
-        Ok(&self.table(table)?.schema)
+    /// The schema of `table` (shared, cheap to clone).
+    pub fn schema(&self, table: &str) -> Result<Arc<Schema>> {
+        let entry = self.table(table)?;
+        let guard = Self::read_entry(&entry);
+        Ok(guard.schema.clone())
     }
 
-    /// Statistics for `table`, if `ANALYZE` has run.
-    pub fn stats(&self, table: &str) -> Result<Option<&TableStats>> {
-        Ok(self.table(table)?.stats.as_ref())
+    /// Statistics for `table`, if `ANALYZE` has run (shared, cheap to
+    /// clone).
+    pub fn stats(&self, table: &str) -> Result<Option<Arc<TableStats>>> {
+        let entry = self.table(table)?;
+        let guard = Self::read_entry(&entry);
+        Ok(guard.stats.clone())
     }
 
     /// Insert one row, maintaining all indexes.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<Rid> {
-        let entry = self.table_mut(table)?;
+        let entry = self.table(table)?;
+        let entry = &mut *Self::write_entry(&entry);
         if !entry.schema.validates(values) {
             return Err(Error::TypeMismatch(format!(
                 "row does not match schema of {table}"
@@ -164,9 +195,10 @@ impl Database {
     /// accumulated state is retained as a stats maintainer so later
     /// DML can be folded in and [`Database::refresh_stats`] can rebuild
     /// statistics without another scan.
-    pub fn analyze(&mut self, table: &str) -> Result<&TableStats> {
+    pub fn analyze(&mut self, table: &str) -> Result<Arc<TableStats>> {
         let _span = cdpd_obs::span!("engine.analyze", table = table);
-        let entry = self.table_mut(table)?;
+        let entry = self.table(table)?;
+        let entry = &mut *Self::write_entry(&entry);
         let mut maintainer = StatsMaintainer::new(entry.schema.len(), entry.heap.row_count());
         {
             let mut scan = entry.heap.scan();
@@ -175,9 +207,10 @@ impl Database {
             }
         }
         maintainer.take_refresh(); // the scan itself is not pending DML
-        entry.stats = Some(maintainer.snapshot(entry.heap.page_count()));
+        let stats = Arc::new(maintainer.snapshot(entry.heap.page_count()));
+        entry.stats = Some(stats.clone());
         entry.maintainer = Some(maintainer);
-        Ok(entry.stats.as_ref().expect("just set"))
+        Ok(stats)
     }
 
     /// Rebuild `table`'s statistics from the retained analyze state —
@@ -188,7 +221,8 @@ impl Database {
     /// # Errors
     /// The table must exist and have been `ANALYZE`d at least once.
     pub fn refresh_stats(&mut self, table: &str) -> Result<StatsRefresh> {
-        let entry = self.table_mut(table)?;
+        let entry = self.table(table)?;
+        let entry = &mut *Self::write_entry(&entry);
         let Some(maintainer) = entry.maintainer.as_mut() else {
             return Err(Error::InvalidArgument(format!(
                 "table {table} has no statistics; run analyze()"
@@ -200,38 +234,34 @@ impl Database {
         let _span = cdpd_obs::span!("engine.refresh_stats", table = table);
         cdpd_obs::counter!("engine.stats.refreshes").inc();
         let refresh = maintainer.take_refresh();
-        entry.stats = Some(maintainer.snapshot(entry.heap.page_count()));
+        entry.stats = Some(Arc::new(maintainer.snapshot(entry.heap.page_count())));
         Ok(refresh)
     }
 
     /// The materialized index specs on `table`, in name order.
     pub fn index_specs(&self, table: &str) -> Result<Vec<IndexSpec>> {
-        Ok(self
-            .table(table)?
-            .indexes
-            .values()
-            .map(|e| e.spec.clone())
-            .collect())
+        let entry = self.table(table)?;
+        let guard = Self::read_entry(&entry);
+        Ok(guard.indexes.values().map(|e| e.spec.clone()).collect())
     }
 
     /// Whether `spec` is materialized.
     pub fn has_index(&self, spec: &IndexSpec) -> bool {
-        self.tables
-            .get(&spec.table)
-            .is_some_and(|t| t.indexes.contains_key(&spec.name()))
+        self.table(&spec.table)
+            .is_ok_and(|t| Self::read_entry(&t).indexes.contains_key(&spec.name()))
     }
 
-    /// `CREATE INDEX`: scan → sort → bulk load. The report's `io` is
-    /// the measured transition cost of this build.
-    pub fn create_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
-        let _span = cdpd_obs::span!("ddl.create_index", index = spec.name());
-        let before = self.pager.stats();
-        let pager = self.pager.clone();
-        let entry = self.table_mut(&spec.table)?;
-        let name = spec.name();
-        if entry.indexes.contains_key(&name) {
-            return Err(Error::AlreadyExists(format!("index {name}")));
-        }
+    /// Scan → sort → bulk-load one index over `entry`'s heap, without
+    /// touching the catalog. Needs only a *read* view of the table, so
+    /// concurrent builds of different indexes can share one read guard.
+    /// Returns the resolved key columns, the loaded tree, and the
+    /// build's measured I/O (scoped to this thread).
+    fn build_index(
+        pager: &Arc<Pager>,
+        entry: &TableEntry,
+        spec: &IndexSpec,
+    ) -> Result<(Vec<ColumnId>, BTree, IoStats)> {
+        let scope = ThreadIoScope::start();
         let columns: Vec<ColumnId> = spec
             .columns
             .iter()
@@ -258,7 +288,21 @@ impl Database {
             }
         }
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-        let btree = BTree::bulk_load(pager, entries)?;
+        let btree = BTree::bulk_load(pager.clone(), entries)?;
+        Ok((columns, btree, scope.delta()))
+    }
+
+    /// `CREATE INDEX`: scan → sort → bulk load. The report's `io` is
+    /// the measured transition cost of this build.
+    pub fn create_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+        let _span = cdpd_obs::span!("ddl.create_index", index = spec.name());
+        let entry = self.table(&spec.table)?;
+        let entry = &mut *Self::write_entry(&entry);
+        let name = spec.name();
+        if entry.indexes.contains_key(&name) {
+            return Err(Error::AlreadyExists(format!("index {name}")));
+        }
+        let (columns, btree, io) = Self::build_index(&self.pager, entry, spec)?;
         entry.indexes.insert(
             name.clone(),
             IndexEntry {
@@ -268,7 +312,7 @@ impl Database {
             },
         );
         Ok(DdlReport {
-            io: self.pager.stats().delta(before),
+            io,
             created: vec![name],
             dropped: Vec::new(),
         })
@@ -278,8 +322,9 @@ impl Database {
     /// return to the free list for reuse by later builds.
     pub fn drop_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
         let _span = cdpd_obs::span!("ddl.drop_index", index = spec.name());
-        let before = self.pager.stats();
-        let entry = self.table_mut(&spec.table)?;
+        let scope = ThreadIoScope::start();
+        let entry = self.table(&spec.table)?;
+        let entry = &mut *Self::write_entry(&entry);
         let name = spec.name();
         let Some(dropped) = entry.indexes.remove(&name) else {
             return Err(Error::NotFound(format!("index {name}")));
@@ -291,7 +336,7 @@ impl Database {
             self.pager.update(cdpd_types::PageId(0), |_| ())?;
         }
         Ok(DdlReport {
-            io: self.pager.stats().delta(before),
+            io: scope.delta(),
             created: Vec::new(),
             dropped: vec![name],
         })
@@ -300,7 +345,33 @@ impl Database {
     /// Morph `table`'s index set into exactly `target`: drop what is no
     /// longer wanted, build what is missing. Returns the combined
     /// measured transition cost — the real-world `TRANS(C_i, C_j)`.
+    ///
+    /// Builds run serially; use
+    /// [`Database::apply_configuration_with`] to build missing indexes
+    /// concurrently.
     pub fn apply_configuration(&mut self, table: &str, target: &[IndexSpec]) -> Result<DdlReport> {
+        self.apply_configuration_with(table, target, 1)
+    }
+
+    /// [`Database::apply_configuration`] with up to `threads` concurrent
+    /// index builds.
+    ///
+    /// Drops are applied first, serially (each is one catalog touch).
+    /// Missing indexes are then built concurrently: every build needs
+    /// only a shared read view of the heap, so worker threads scan and
+    /// bulk-load in parallel against the lock-striped pager, and the
+    /// finished trees are installed into the catalog serially in
+    /// `target` order. The report is deterministic regardless of
+    /// `threads`: `created`/`dropped` orders follow `target`/name
+    /// order, and each build's I/O is measured on its own thread
+    /// ([`ThreadIoScope`]) so the summed transition cost is
+    /// bit-identical to a serial application.
+    pub fn apply_configuration_with(
+        &mut self,
+        table: &str,
+        target: &[IndexSpec],
+        threads: usize,
+    ) -> Result<DdlReport> {
         for spec in target {
             if spec.table != table {
                 return Err(Error::InvalidArgument(format!(
@@ -320,14 +391,46 @@ impl Database {
                 report.dropped.extend(r.dropped);
             }
         }
-        for spec in target {
-            if !current.contains(spec) {
+        let missing: Vec<&IndexSpec> = target.iter().filter(|s| !current.contains(s)).collect();
+        if missing.len() <= 1 || threads <= 1 {
+            for spec in missing {
                 let r = self.create_index(spec)?;
                 report.io.reads += r.io.reads;
                 report.io.writes += r.io.writes;
                 report.io.allocs += r.io.allocs;
                 report.created.extend(r.created);
             }
+            return Ok(report);
+        }
+        let entry = self.table(table)?;
+        let built = {
+            let entry = Self::read_entry(&entry);
+            for spec in &missing {
+                if entry.indexes.contains_key(&spec.name()) {
+                    return Err(Error::AlreadyExists(format!("index {}", spec.name())));
+                }
+            }
+            let pager = &self.pager;
+            let entry = &*entry;
+            crate::par::parallel_map(missing.len(), threads, |i| {
+                let _span = cdpd_obs::span!("ddl.create_index", index = missing[i].name());
+                Self::build_index(pager, entry, missing[i])
+            })?
+        };
+        let entry = &mut *Self::write_entry(&entry);
+        for (spec, (columns, btree, io)) in missing.iter().zip(built) {
+            entry.indexes.insert(
+                spec.name(),
+                IndexEntry {
+                    spec: (*spec).clone(),
+                    columns,
+                    btree,
+                },
+            );
+            report.io.reads += io.reads;
+            report.io.writes += io.writes;
+            report.io.allocs += io.allocs;
+            report.created.push(spec.name());
         }
         Ok(report)
     }
@@ -349,9 +452,15 @@ impl Database {
             .collect()
     }
 
-    fn run_select(&self, stmt: &SelectStmt, materialize: bool) -> Result<QueryResult> {
+    /// Execute a query on the shareable read surface: `&self`, so any
+    /// number of threads may call this concurrently (each statement
+    /// read-locks its table entry and measures its own I/O via a
+    /// [`ThreadIoScope`]). `materialize` selects between returning rows
+    /// and counting matches.
+    pub fn execute_select(&self, stmt: &SelectStmt, materialize: bool) -> Result<QueryResult> {
         let entry = self.table(&stmt.table)?;
-        let stats = entry.stats.as_ref().ok_or_else(|| {
+        let entry = &*Self::read_entry(&entry);
+        let stats = entry.stats.as_deref().ok_or_else(|| {
             Error::InvalidArgument(format!(
                 "table {} has no statistics; run analyze()",
                 stmt.table
@@ -360,7 +469,7 @@ impl Database {
         let infos = Self::index_infos(entry);
         let planner = Planner::new(&entry.schema, stats, &infos);
         let planned: PlannedQuery = planner.plan(stmt)?;
-        let before = self.pager.stats();
+        let scope = ThreadIoScope::start();
         let ExecOutcome {
             count,
             rows,
@@ -370,7 +479,7 @@ impl Database {
             count,
             rows,
             aggregate,
-            io: self.pager.stats().delta(before),
+            io: scope.delta(),
             est_cost: planned.est_cost,
             plan: planned.describe(),
         })
@@ -378,19 +487,20 @@ impl Database {
 
     /// Execute a query, materializing result rows.
     pub fn query(&self, stmt: &SelectStmt) -> Result<QueryResult> {
-        self.run_select(stmt, true)
+        self.execute_select(stmt, true)
     }
 
     /// Execute a query counting matches only (workload replay: all cost,
     /// no result materialization).
     pub fn query_count(&self, stmt: &SelectStmt) -> Result<QueryResult> {
-        self.run_select(stmt, false)
+        self.execute_select(stmt, false)
     }
 
     /// Plan a query without executing it.
     pub fn explain(&self, stmt: &SelectStmt) -> Result<String> {
         let entry = self.table(&stmt.table)?;
-        let stats = entry.stats.as_ref().ok_or_else(|| {
+        let entry = &*Self::read_entry(&entry);
+        let stats = entry.stats.as_deref().ok_or_else(|| {
             Error::InvalidArgument(format!(
                 "table {} has no statistics; run analyze()",
                 stmt.table
@@ -417,9 +527,11 @@ impl Database {
     /// Locate the rows a write statement affects, using the cost-based
     /// access path. Returns rids plus the plan (fully materialized
     /// before mutation — no Halloween hazard).
-    fn locate_write(&self, stmt: &Dml) -> Result<(Vec<Rid>, crate::planner::PlannedWrite)> {
-        let entry = self.table(stmt.table())?;
-        let stats = entry.stats.as_ref().ok_or_else(|| {
+    fn locate_write(
+        entry: &TableEntry,
+        stmt: &Dml,
+    ) -> Result<(Vec<Rid>, crate::planner::PlannedWrite)> {
+        let stats = entry.stats.as_deref().ok_or_else(|| {
             Error::InvalidArgument(format!(
                 "table {} has no statistics; run analyze()",
                 stmt.table()
@@ -433,10 +545,11 @@ impl Database {
     }
 
     fn run_update(&mut self, stmt: &UpdateStmt) -> Result<QueryResult> {
-        let before = self.pager.stats();
+        let scope = ThreadIoScope::start();
         let dml = Dml::Update(stmt.clone());
-        let (rids, planned) = self.locate_write(&dml)?;
-        let entry = self.table_mut(&stmt.table)?;
+        let entry = self.table(&stmt.table)?;
+        let entry = &mut *Self::write_entry(&entry);
+        let (rids, planned) = Self::locate_write(entry, &dml)?;
         let set: Vec<(ColumnId, Value)> = stmt
             .set
             .iter()
@@ -483,17 +596,18 @@ impl Database {
             count,
             rows: None,
             aggregate: None,
-            io: self.pager.stats().delta(before),
+            io: scope.delta(),
             est_cost: planned.est_total,
             plan: planned.describe(),
         })
     }
 
     fn run_delete(&mut self, stmt: &DeleteStmt) -> Result<QueryResult> {
-        let before = self.pager.stats();
+        let scope = ThreadIoScope::start();
         let dml = Dml::Delete(stmt.clone());
-        let (rids, planned) = self.locate_write(&dml)?;
-        let entry = self.table_mut(&stmt.table)?;
+        let entry = self.table(&stmt.table)?;
+        let entry = &mut *Self::write_entry(&entry);
+        let (rids, planned) = Self::locate_write(entry, &dml)?;
         let count = rids.len() as u64;
         for rid in rids {
             let old_bytes = entry.heap.fetch(rid)?;
@@ -515,7 +629,7 @@ impl Database {
             count,
             rows: None,
             aggregate: None,
-            io: self.pager.stats().delta(before),
+            io: scope.delta(),
             est_cost: planned.est_total,
             plan: planned.describe(),
         })
@@ -524,11 +638,45 @@ impl Database {
     /// Parse and execute a `;`-separated SQL script, returning one
     /// result per statement. Execution stops at the first error
     /// (statements already executed stay applied — no transactions).
+    /// Errors are tagged with the zero-based statement index (`parse`
+    /// errors by the `;` count before the failing offset), so a failure
+    /// in a multi-statement script is attributable even when scripts
+    /// are replayed out of band.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
-        cdpd_sql::parse_many(sql)?
+        let stmts = cdpd_sql::parse_many(sql).map_err(|e| {
+            if let Error::Parse { offset, .. } = e {
+                let index = sql[..offset.min(sql.len())].matches(';').count();
+                Self::tag_statement(e, index)
+            } else {
+                e
+            }
+        })?;
+        stmts
             .into_iter()
-            .map(|stmt| self.execute_statement(stmt))
+            .enumerate()
+            .map(|(i, stmt)| {
+                self.execute_statement(stmt)
+                    .map_err(|e| Self::tag_statement(e, i))
+            })
             .collect()
+    }
+
+    /// Prefix an error's message with the index of the script statement
+    /// that produced it.
+    fn tag_statement(err: Error, index: usize) -> Error {
+        let tag = |m: String| format!("statement {index}: {m}");
+        match err {
+            Error::Parse { offset, message } => Error::Parse {
+                offset,
+                message: tag(message),
+            },
+            Error::NotFound(m) => Error::NotFound(tag(m)),
+            Error::AlreadyExists(m) => Error::AlreadyExists(tag(m)),
+            Error::TypeMismatch(m) => Error::TypeMismatch(tag(m)),
+            Error::InvalidArgument(m) => Error::InvalidArgument(tag(m)),
+            Error::Corrupt(m) => Error::Corrupt(tag(m)),
+            other => other,
+        }
     }
 
     /// Parse and execute one SQL statement.
@@ -570,10 +718,16 @@ impl Database {
             Statement::DropIndex { name } => {
                 let spec = self
                     .tables
+                    .read()
+                    .expect("catalog lock poisoned")
                     .values()
-                    .flat_map(|t| t.indexes.values())
-                    .find(|e| e.spec.name() == name)
-                    .map(|e| e.spec.clone())
+                    .find_map(|t| {
+                        Self::read_entry(t)
+                            .indexes
+                            .values()
+                            .find(|e| e.spec.name() == name)
+                            .map(|e| e.spec.clone())
+                    })
                     .ok_or_else(|| Error::NotFound(format!("index {name}")))?;
                 let report = self.drop_index(&spec)?;
                 Ok(QueryResult {
@@ -1053,6 +1207,37 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("nope"), "{err}");
         assert!(!db.has_index(&IndexSpec::new("s", &["x"])));
+        // Execution errors name the zero-based failing statement.
+        assert!(err.to_string().contains("statement 1:"), "{err}");
+    }
+
+    #[test]
+    fn execute_script_errors_report_statement_index() {
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE s (x INT, y INT);").unwrap();
+        db.analyze("s").unwrap();
+        // Parse errors are attributed by the `;` count before the
+        // failing offset — here the third statement (index 2).
+        let err = db
+            .execute_script(
+                "INSERT INTO s VALUES (1, 10); INSERT INTO s VALUES (2, 20); SELEC x FROM s;",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::Parse { message, .. } if message.starts_with("statement 2:")),
+            "{err}"
+        );
+        // Nothing ran: parsing fails the whole script up front.
+        let count = db.execute_sql("SELECT x FROM s WHERE x >= 0").unwrap();
+        assert_eq!(count.count, 0);
+        // Type errors during execution carry their index too.
+        let err = db
+            .execute_script("INSERT INTO s VALUES (1, 10); INSERT INTO s VALUES (2);")
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::TypeMismatch(m) if m.starts_with("statement 1:")),
+            "{err}"
+        );
     }
 
     #[test]

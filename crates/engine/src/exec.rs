@@ -6,6 +6,12 @@
 //! [`RowView`] column extraction, and index scans evaluate them by
 //! decoding fixed-width integer segments straight out of the
 //! memcomparable key bytes.
+//!
+//! Execution borrows the [`TableEntry`] immutably, so it is part of
+//! the engine's shared read surface: any number of statements may
+//! execute concurrently against one entry (each under its own
+//! `ThreadIoScope`, so per-statement I/O attribution survives the
+//! interleaving).
 
 use crate::catalog::{IndexEntry, TableEntry};
 use crate::planner::{BoundCondition, Plan, PlannedQuery, Planner};

@@ -26,6 +26,7 @@ mod catalog;
 mod cost;
 mod db;
 mod exec;
+pub mod par;
 mod planner;
 mod stats;
 mod whatif;
@@ -34,6 +35,7 @@ pub use catalog::IndexSpec;
 pub use cost::{CostModel, IndexShape};
 pub use db::{Database, DdlReport, QueryResult};
 pub use exec::ExecOutcome;
+pub use par::{default_threads, parallel_map};
 pub use planner::{BoundCondition, IndexInfo, PlannedWrite, PlannerFlags};
 pub use planner::{Plan, PlannedQuery, Planner};
 pub use stats::{ColumnStats, Histogram, StatsRefresh, TableStats};

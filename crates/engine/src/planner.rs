@@ -6,6 +6,11 @@
 //! what-if structures. `Database` plans against its materialized
 //! indexes; [`crate::WhatIfEngine`] plans against estimated shapes.
 //! One planner, two callers — that is the what-if interface.
+//!
+//! Planning is a pure function of the schema, the statistics snapshot,
+//! and the assumed index shapes — no interior mutability — so
+//! concurrent statements plan freely against one shared
+//! `Arc<TableStats>` without synchronization.
 
 use crate::cost::{CostModel, IndexShape};
 use crate::stats::TableStats;

@@ -5,6 +5,13 @@
 //! the analyze scan — affordable in-memory, and it removes one source
 //! of estimation noise the paper's SQL Server setup had), min/max, and
 //! an equi-depth histogram over a strided sample for range selectivity.
+//!
+//! Catalog entries hold a built [`TableStats`] behind an `Arc` and
+//! replace it *wholesale* on refresh — never mutate it in place — so a
+//! held `Arc<TableStats>` (e.g. inside a `WhatIfEngine` snapshot or a
+//! concurrent planner run) is a stable point-in-time view. Keep it
+//! that way: any future incremental maintenance must build a new value
+//! and swap it.
 
 use cdpd_types::{ColumnId, Value};
 

@@ -16,28 +16,33 @@ use crate::planner::{IndexInfo, Planner};
 use crate::stats::TableStats;
 use cdpd_sql::{Dml, SelectStmt};
 use cdpd_types::{ColumnId, Cost, Error, Result, Schema};
+use std::sync::Arc;
 
 /// Snapshot-based what-if cost oracle for one table.
+///
+/// Schema and statistics are shared via `Arc` with the engine's
+/// catalog, so a snapshot is two refcount bumps — cheap enough to take
+/// per window in the online pipeline. Statistics objects are replaced
+/// wholesale on `refresh_stats`/`analyze`, never mutated in place, so
+/// the snapshot stays immutable even as the database moves on.
 pub struct WhatIfEngine {
     table: String,
-    schema: Schema,
-    stats: TableStats,
+    schema: Arc<Schema>,
+    stats: Arc<TableStats>,
 }
 
 impl WhatIfEngine {
-    /// Snapshot `table`'s schema and statistics from `db`.
+    /// Snapshot `table`'s schema and statistics from `db` (cheap: the
+    /// snapshot shares them with the catalog, no copies).
     ///
     /// # Errors
     /// The table must exist and have been `ANALYZE`d.
     pub fn snapshot(db: &Database, table: &str) -> Result<WhatIfEngine> {
         let _span = cdpd_obs::span!("whatif.snapshot");
-        let schema = db.schema(table)?.clone();
-        let stats = db
-            .stats(table)?
-            .ok_or_else(|| {
-                Error::InvalidArgument(format!("table {table} has no statistics; run analyze()"))
-            })?
-            .clone();
+        let schema = db.schema(table)?;
+        let stats = db.stats(table)?.ok_or_else(|| {
+            Error::InvalidArgument(format!("table {table} has no statistics; run analyze()"))
+        })?;
         Ok(WhatIfEngine {
             table: table.to_owned(),
             schema,
@@ -45,12 +50,17 @@ impl WhatIfEngine {
         })
     }
 
-    /// Build directly from parts (tests, simulations).
-    pub fn from_parts(table: impl Into<String>, schema: Schema, stats: TableStats) -> WhatIfEngine {
+    /// Build directly from parts (tests, simulations). Accepts plain
+    /// values or pre-shared `Arc`s.
+    pub fn from_parts(
+        table: impl Into<String>,
+        schema: impl Into<Arc<Schema>>,
+        stats: impl Into<Arc<TableStats>>,
+    ) -> WhatIfEngine {
         WhatIfEngine {
             table: table.into(),
-            schema,
-            stats,
+            schema: schema.into(),
+            stats: stats.into(),
         }
     }
 

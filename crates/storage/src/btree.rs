@@ -11,6 +11,11 @@ use std::sync::Arc;
 /// a composite index `I(a,b)` with just `a = 7`) lands on the first
 /// matching entry with no duplicate-handling special cases.
 ///
+/// Like the heap, every read operation takes `&self` over the
+/// lock-striped pager — concurrent seeks and scans on one tree never
+/// block each other — while structural mutation (`insert`/`delete`)
+/// requires `&mut self`.
+///
 /// Supported operations: point/prefix [`BTree::seek`], full leftmost
 /// scans ([`BTree::scan_all`], used by index-only plans), incremental
 /// [`BTree::insert`] with node splits, [`BTree::delete`] (tombstone-free

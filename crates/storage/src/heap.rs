@@ -11,6 +11,13 @@ use std::sync::Arc;
 /// and allocate a new one when full, so a freshly loaded heap is dense —
 /// its page count is the full-scan cost, exactly the quantity the cost
 /// model's `EXEC` estimate for a sequential scan uses.
+///
+/// All read paths ([`HeapFile::scan`], [`HeapFile::fetch`]) take
+/// `&self` and go through the lock-striped pager, so any number of
+/// threads may scan one heap concurrently (pages are copy-on-write
+/// `Arc`s — a reader holds an immutable snapshot of each page it
+/// touches); mutation stays `&mut self`, single-writer by the borrow
+/// checker.
 pub struct HeapFile {
     pager: Arc<Pager>,
     pages: Vec<PageId>,

@@ -7,11 +7,15 @@
 //!
 //! Layers, bottom to top:
 //!
-//! * [`Pager`] — fixed-size (8 KiB) pages with atomic read/write
-//!   counters; every page access anywhere in the system is accounted
-//!   here, which is what makes measured costs deterministic.
-//! * [`BufferPool`] — an LRU cache in front of a pager that distinguishes
-//!   *logical* accesses from *physical* fetches (hit/miss statistics).
+//! * [`Pager`] — fixed-size (8 KiB) pages behind a lock-striped page
+//!   table ([`PAGER_SHARDS`] stripes, per-stripe free lists) with an
+//!   exact atomic I/O ledger; every page access anywhere in the system
+//!   is accounted here, which is what makes measured costs
+//!   deterministic. [`ThreadIoScope`] attributes I/O to the current
+//!   thread so per-statement accounting stays exact under concurrency.
+//! * [`BufferPool`] — per-stripe LRU caches in front of a pager that
+//!   distinguish *logical* accesses from *physical* fetches (hit/miss
+//!   statistics).
 //! * slotted pages ([`slotted`]) — variable-length record layout used by
 //!   heap pages.
 //! * [`codec`] — row serialization and an order-preserving
@@ -35,5 +39,5 @@ mod pool;
 
 pub use btree::{BTree, BTreeCursor};
 pub use heap::{HeapFile, HeapScan};
-pub use pager::{IoStats, Page, Pager, PAGE_SIZE};
+pub use pager::{IoStats, Page, Pager, ThreadIoScope, PAGER_SHARDS, PAGE_SIZE};
 pub use pool::BufferPool;

@@ -1,13 +1,32 @@
 use cdpd_types::{Error, PageId, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Size of a page in bytes. 8 KiB matches the SQL Server page size used
 /// in the paper's experiments, so page-count arithmetic (≈200 rows per
 /// heap page at 2.5 M rows ⇒ ≈12.5 k heap pages) lines up with the
 /// magnitudes the paper's cost ratios imply.
 pub const PAGE_SIZE: usize = 8192;
+
+/// Number of lock stripes in the page table (power of two). Page `p`
+/// lives in stripe `p mod SHARDS`, so sequentially allocated pages —
+/// a heap chain, a bulk-loaded index — spread round-robin across
+/// stripes and concurrent scans/seeks on different pages almost never
+/// contend on the same lock.
+pub const PAGER_SHARDS: usize = 16;
+const SHARD_MASK: u32 = (PAGER_SHARDS as u32) - 1;
+const SHARD_BITS: u32 = PAGER_SHARDS.trailing_zeros();
+
+#[inline]
+fn shard_of(id: PageId) -> usize {
+    (id.raw() & SHARD_MASK) as usize
+}
+
+#[inline]
+fn slot_of(id: PageId) -> usize {
+    (id.raw() >> SHARD_BITS) as usize
+}
 
 /// An immutable snapshot of one page's bytes.
 ///
@@ -26,7 +45,10 @@ fn blank_page() -> Page {
 /// `reads`/`writes` are *logical* page accesses — the quantity the
 /// paper's cost model predicts and the quantity we report in the
 /// Figure 3 reproduction. Subtracting two snapshots ([`IoStats::delta`])
-/// scopes the counters to one query or one index build.
+/// scopes the counters to one query or one index build — but only while
+/// a single thread is driving the pager. Under concurrent execution use
+/// a [`ThreadIoScope`], which counts exactly the accesses performed by
+/// the current thread.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct IoStats {
     /// Logical page reads.
@@ -66,16 +88,105 @@ impl IoStats {
     }
 }
 
+thread_local! {
+    /// Per-thread logical-I/O ledger, incremented in lockstep with every
+    /// pager's atomic counters. One statement executes entirely on one
+    /// thread, so a [`ThreadIoScope`] around it measures exactly that
+    /// statement's I/O even while sibling threads hammer the same pager.
+    static THREAD_IO: Cell<IoStats> = const {
+        Cell::new(IoStats {
+            reads: 0,
+            writes: 0,
+            allocs: 0,
+        })
+    };
+}
+
+#[inline]
+fn note_thread_io(reads: u64, writes: u64, allocs: u64) {
+    THREAD_IO.with(|c| {
+        let mut v = c.get();
+        v.reads += reads;
+        v.writes += writes;
+        v.allocs += allocs;
+        c.set(v);
+    });
+}
+
+/// Measures the logical I/O performed **by the current thread** between
+/// [`ThreadIoScope::start`] and [`ThreadIoScope::delta`].
+///
+/// This is the concurrency-safe replacement for diffing a pager's
+/// global [`Pager::stats`] around a statement: global deltas conflate
+/// the work of every concurrently executing thread, while the
+/// thread-local ledger attributes each access to the thread that made
+/// it. Per-pager atomics, the `cdpd-obs` tracked counters, and the
+/// thread-local ledger are all incremented at the same call sites, so
+/// summing per-thread deltas over a partition of the work reproduces
+/// the global ledger exactly.
+///
+/// Scopes cover *all* pager instances touched by the thread; execution
+/// paths that interleave two pagers within one scope see the sum.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadIoScope {
+    start: IoStats,
+}
+
+impl ThreadIoScope {
+    /// Begin measuring at the thread's current ledger position.
+    pub fn start() -> ThreadIoScope {
+        ThreadIoScope {
+            start: THREAD_IO.with(Cell::get),
+        }
+    }
+
+    /// I/O performed by this thread since [`ThreadIoScope::start`].
+    pub fn delta(&self) -> IoStats {
+        THREAD_IO.with(Cell::get).delta(self.start)
+    }
+}
+
+/// One lock stripe of the page table: a slice of the page array plus
+/// the stripe's free list. Stripe `s` holds pages `s, s+16, s+32, …` at
+/// slots `0, 1, 2, …`.
+struct PageShard {
+    pages: RwLock<Vec<Page>>,
+    free: Mutex<Vec<PageId>>,
+}
+
+impl PageShard {
+    fn new() -> PageShard {
+        PageShard {
+            pages: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+}
+
 /// The page store: allocates, reads, and writes fixed-size pages, and
 /// counts every access.
 ///
-/// All methods take `&self`; the page table is behind a mutex and the
-/// counters are atomics, so a `Pager` can be shared (`Arc<Pager>`)
-/// between a table's heap file and all of its indexes — mirroring one
-/// database file holding many objects, with one I/O ledger.
+/// All methods take `&self`. The page table is **lock-striped**:
+/// [`PAGER_SHARDS`] stripes each guard `1/SHARDS` of the pages behind
+/// their own `RwLock`, with per-stripe free lists, so concurrent reads
+/// of different pages proceed in parallel (reads of pages in the same
+/// stripe still share a read lock, which `RwLock` grants concurrently).
+/// The I/O ledger is kept in atomics and stays *exact* under any
+/// interleaving; a `Pager` can be shared (`Arc<Pager>`) between a
+/// table's heap file and all of its indexes — mirroring one database
+/// file holding many objects, with one ledger.
+///
+/// Page ids are dense (`0, 1, 2, …` in allocation order) regardless of
+/// striping; [`Pager::free`] returns pages to their stripe's free list
+/// and [`Pager::allocate`] reuses free pages (scanning stripes in index
+/// order) before growing the table, so repeated index build/drop cycles
+/// keep a bounded footprint.
 pub struct Pager {
-    pages: Mutex<Vec<Page>>,
-    free: Mutex<Vec<PageId>>,
+    shards: [PageShard; PAGER_SHARDS],
+    /// Next fresh page id; also the dense page count.
+    next: AtomicU32,
+    /// Total pages on all free lists (fast-path gate for reuse).
+    free_len: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     allocs: AtomicU64,
@@ -91,8 +202,9 @@ impl Pager {
     /// An empty pager.
     pub fn new() -> Pager {
         Pager {
-            pages: Mutex::new(Vec::new()),
-            free: Mutex::new(Vec::new()),
+            shards: std::array::from_fn(|_| PageShard::new()),
+            next: AtomicU32::new(0),
+            free_len: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             allocs: AtomicU64::new(0),
@@ -100,18 +212,36 @@ impl Pager {
     }
 
     /// Allocate a zeroed page and return its id, reusing a freed page
-    /// when one is available.
+    /// when one is available (stripes are scanned in index order, each
+    /// stripe's list popped LIFO).
     pub fn allocate(&self) -> PageId {
         self.allocs.fetch_add(1, Ordering::Relaxed);
+        note_thread_io(0, 0, 1);
         cdpd_obs::tracked_counter!("storage.pager.allocs").inc();
-        if let Some(id) = self.free.lock().expect("pager lock poisoned").pop() {
-            let mut pages = self.pages.lock().expect("pager lock poisoned");
-            pages[id.index()] = blank_page();
-            return id;
+        if self.free_len.load(Ordering::Acquire) > 0 {
+            for shard in &self.shards {
+                let popped = shard.free.lock().expect("pager lock poisoned").pop();
+                if let Some(id) = popped {
+                    self.free_len.fetch_sub(1, Ordering::Release);
+                    let mut pages = shard.pages.write().expect("pager lock poisoned");
+                    pages[slot_of(id)] = blank_page();
+                    return id;
+                }
+            }
         }
-        let mut pages = self.pages.lock().expect("pager lock poisoned");
-        let id = PageId(u32::try_from(pages.len()).expect("page count exceeds u32"));
-        pages.push(blank_page());
+        let raw = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(raw != u32::MAX, "page count exceeds u32");
+        let id = PageId(raw);
+        let mut pages = self.shards[shard_of(id)]
+            .pages
+            .write()
+            .expect("pager lock poisoned");
+        let slot = slot_of(id);
+        if pages.len() <= slot {
+            pages.resize_with(slot + 1, blank_page);
+        } else {
+            pages[slot] = blank_page();
+        }
         id
     }
 
@@ -119,40 +249,61 @@ impl Pager {
     /// caller must guarantee nothing references them any more; the
     /// bytes are zeroed on reuse, not on free.
     pub fn free(&self, ids: &[PageId]) {
-        let page_count = self.pages.lock().expect("pager lock poisoned").len();
-        let mut free = self.free.lock().expect("pager lock poisoned");
+        let page_count = self.next.load(Ordering::Relaxed);
         for &id in ids {
-            debug_assert!(id.index() < page_count, "freeing unallocated page {id}");
+            debug_assert!(id.raw() < page_count, "freeing unallocated page {id}");
+            let mut free = self.shards[shard_of(id)]
+                .free
+                .lock()
+                .expect("pager lock poisoned");
             debug_assert!(!free.contains(&id), "double free of page {id}");
             free.push(id);
+            self.free_len.fetch_add(1, Ordering::Release);
         }
     }
 
-    /// Number of pages currently on the free list.
+    /// Number of pages currently on the free lists.
     pub fn free_count(&self) -> u64 {
-        self.free.lock().expect("pager lock poisoned").len() as u64
+        self.free_len.load(Ordering::Acquire)
+    }
+
+    fn out_of_range(id: PageId) -> Error {
+        Error::Corrupt(format!("page {id} out of range"))
     }
 
     /// Read a page (counted as one logical read).
     pub fn read(&self, id: PageId) -> Result<Page> {
-        let pages = self.pages.lock().expect("pager lock poisoned");
-        let page = pages
-            .get(id.index())
-            .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?
-            .clone();
+        let page = self.shards[shard_of(id)]
+            .pages
+            .read()
+            .expect("pager lock poisoned")
+            .get(slot_of(id))
+            .cloned()
+            .ok_or_else(|| Self::out_of_range(id))?;
+        if id.raw() >= self.next.load(Ordering::Relaxed) {
+            return Err(Self::out_of_range(id));
+        }
         self.reads.fetch_add(1, Ordering::Relaxed);
+        note_thread_io(1, 0, 0);
         cdpd_obs::tracked_counter!("storage.pager.reads").inc();
         Ok(page)
     }
 
     /// Replace a page's contents (counted as one logical write).
     pub fn write(&self, id: PageId, page: Page) -> Result<()> {
-        let mut pages = self.pages.lock().expect("pager lock poisoned");
+        if id.raw() >= self.next.load(Ordering::Relaxed) {
+            return Err(Self::out_of_range(id));
+        }
+        let mut pages = self.shards[shard_of(id)]
+            .pages
+            .write()
+            .expect("pager lock poisoned");
         let slot = pages
-            .get_mut(id.index())
-            .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?;
+            .get_mut(slot_of(id))
+            .ok_or_else(|| Self::out_of_range(id))?;
         *slot = page;
         self.writes.fetch_add(1, Ordering::Relaxed);
+        note_thread_io(0, 1, 0);
         cdpd_obs::tracked_counter!("storage.pager.writes").inc();
         Ok(())
     }
@@ -163,22 +314,29 @@ impl Pager {
     /// cloned before mutation, so outstanding [`Page`] handles never see
     /// torn updates.
     pub fn update<R>(&self, id: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> Result<R> {
-        let mut pages = self.pages.lock().expect("pager lock poisoned");
+        if id.raw() >= self.next.load(Ordering::Relaxed) {
+            return Err(Self::out_of_range(id));
+        }
+        let mut pages = self.shards[shard_of(id)]
+            .pages
+            .write()
+            .expect("pager lock poisoned");
         let slot = pages
-            .get_mut(id.index())
-            .ok_or_else(|| Error::Corrupt(format!("page {id} out of range")))?;
+            .get_mut(slot_of(id))
+            .ok_or_else(|| Self::out_of_range(id))?;
         let buf = Arc::make_mut(slot);
         let r = f(buf);
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.writes.fetch_add(1, Ordering::Relaxed);
+        note_thread_io(1, 1, 0);
         cdpd_obs::tracked_counter!("storage.pager.reads").inc();
         cdpd_obs::tracked_counter!("storage.pager.writes").inc();
         Ok(r)
     }
 
-    /// Number of allocated pages.
+    /// Number of allocated pages (live + free-listed; ids are dense).
     pub fn page_count(&self) -> u64 {
-        self.pages.lock().expect("pager lock poisoned").len() as u64
+        self.next.load(Ordering::Relaxed) as u64
     }
 
     /// Snapshot of the I/O counters.
@@ -227,6 +385,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_scope_tracks_this_thread_only() {
+        let pager = Arc::new(Pager::new());
+        let id = pager.allocate();
+        let scope = ThreadIoScope::start();
+        pager.read(id).unwrap();
+        pager.update(id, |b| b[0] = 1).unwrap();
+        // A sibling thread's I/O must not leak into this scope.
+        let sibling = pager.clone();
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                sibling.read(id).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            scope.delta(),
+            IoStats {
+                reads: 2,
+                writes: 1,
+                allocs: 0
+            }
+        );
+    }
+
+    #[test]
     fn update_is_copy_on_write() {
         let pager = Pager::new();
         let id = pager.allocate();
@@ -266,5 +450,57 @@ mod tests {
         assert_eq!(pager.free_count(), 0);
         assert_eq!(pager.page_count(), 2);
         let _ = b;
+    }
+
+    #[test]
+    fn cross_stripe_frees_all_reused_before_growth() {
+        let pager = Pager::new();
+        // Allocate enough pages to populate several stripes.
+        let ids: Vec<PageId> = (0..PAGER_SHARDS as u32 * 3)
+            .map(|_| pager.allocate())
+            .collect();
+        let grown = pager.page_count();
+        // Free a scattering of pages across stripes, then re-allocate
+        // exactly that many: every one must come from a free list.
+        let victims: Vec<PageId> = ids.iter().copied().step_by(5).collect();
+        pager.free(&victims);
+        assert_eq!(pager.free_count(), victims.len() as u64);
+        for _ in &victims {
+            pager.allocate();
+        }
+        assert_eq!(pager.free_count(), 0);
+        assert_eq!(pager.page_count(), grown, "no growth while pages are free");
+    }
+
+    #[test]
+    fn concurrent_reads_and_allocs_keep_exact_ledger() {
+        let pager = Arc::new(Pager::new());
+        let seed: Vec<PageId> = (0..64).map(|_| pager.allocate()).collect();
+        let before = pager.stats();
+        const THREADS: u64 = 8;
+        const READS: u64 = 500;
+        const ALLOCS: u64 = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let pager = &pager;
+                let seed = &seed;
+                s.spawn(move || {
+                    let scope = ThreadIoScope::start();
+                    for i in 0..READS {
+                        pager.read(seed[((t * 31 + i) % 64) as usize]).unwrap();
+                    }
+                    for _ in 0..ALLOCS {
+                        pager.allocate();
+                    }
+                    let d = scope.delta();
+                    assert_eq!(d.reads, READS);
+                    assert_eq!(d.allocs, ALLOCS);
+                });
+            }
+        });
+        let d = pager.stats().delta(before);
+        assert_eq!(d.reads, THREADS * READS, "no read lost or double-counted");
+        assert_eq!(d.allocs, THREADS * ALLOCS);
+        assert_eq!(pager.page_count(), 64 + THREADS * ALLOCS);
     }
 }

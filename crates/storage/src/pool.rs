@@ -1,4 +1,4 @@
-use crate::pager::{Page, Pager};
+use crate::pager::{Page, Pager, PAGER_SHARDS};
 use cdpd_types::{PageId, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,26 +13,45 @@ use std::sync::Mutex;
 /// ("physical" fetches, i.e. pool misses). The executor reads through
 /// the pool so experiments can report both numbers.
 ///
-/// Eviction is strict LRU over page fetches, implemented as a clock on a
-/// monotonically increasing access stamp. Writes invalidate the cached
-/// copy so the next read re-fetches (write-through, drop-on-write); this
-/// keeps the pool trivially coherent with copy-on-write pages.
+/// The pool is **sharded into per-stripe LRUs** using the same
+/// page-to-stripe mapping as the pager ([`PAGER_SHARDS`] stripes,
+/// `page mod SHARDS`), so concurrent readers of different pages contend
+/// on neither the pager's page-table locks nor the pool's. Capacity is
+/// split evenly across stripes (each stripe gets at least one slot) and
+/// eviction is strict LRU *within a stripe*, implemented as a clock on
+/// a per-stripe access stamp. Because sequentially allocated pages
+/// spread round-robin over stripes, a working set that fits the total
+/// capacity still fits the per-stripe capacities for the scan and
+/// index-probe patterns the executor produces.
+///
+/// Writes invalidate the cached copy so the next read re-fetches
+/// (write-through, drop-on-write); this keeps the pool trivially
+/// coherent with copy-on-write pages.
 pub struct BufferPool {
     pager: Arc<Pager>,
-    capacity: usize,
-    inner: Mutex<PoolInner>,
+    /// Per-stripe capacity in pages.
+    stripe_capacity: usize,
+    stripes: [Mutex<PoolStripe>; PAGER_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-struct PoolInner {
+#[derive(Default)]
+struct PoolStripe {
     /// page -> (cached page, last-access stamp)
     map: HashMap<u32, (Page, u64)>,
     clock: u64,
 }
 
+#[inline]
+fn stripe_of(id: PageId) -> usize {
+    (id.raw() as usize) % PAGER_SHARDS
+}
+
 impl BufferPool {
-    /// A pool caching at most `capacity` pages of `pager`.
+    /// A pool caching at most `capacity` pages of `pager` in aggregate.
+    /// Capacity is divided evenly across the [`PAGER_SHARDS`] stripes,
+    /// rounding up so every stripe holds at least one page.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
@@ -40,11 +59,8 @@ impl BufferPool {
         assert!(capacity > 0, "buffer pool capacity must be positive");
         BufferPool {
             pager,
-            capacity,
-            inner: Mutex::new(PoolInner {
-                map: HashMap::new(),
-                clock: 0,
-            }),
+            stripe_capacity: capacity.div_ceil(PAGER_SHARDS).max(1),
+            stripes: std::array::from_fn(|_| Mutex::new(PoolStripe::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -55,12 +71,18 @@ impl BufferPool {
         &self.pager
     }
 
+    /// Maximum pages cached per stripe.
+    pub fn stripe_capacity(&self) -> usize {
+        self.stripe_capacity
+    }
+
     /// Read a page through the cache. A hit does *not* touch the pager
     /// (so it is neither a logical nor a physical read there); callers
     /// who want logical-read accounting should count at their own level
     /// or read the pager directly.
     pub fn read(&self, id: PageId) -> Result<Page> {
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let stripe = &self.stripes[stripe_of(id)];
+        let mut inner = stripe.lock().expect("pool lock poisoned");
         inner.clock += 1;
         let stamp = inner.clock;
         if let Some((page, last)) = inner.map.get_mut(&id.raw()) {
@@ -71,16 +93,20 @@ impl BufferPool {
         }
         drop(inner);
         let page = self.pager.read(id)?;
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id.raw()) {
-            // Evict the least recently used entry.
+        let mut inner = stripe.lock().expect("pool lock poisoned");
+        let mut delta = 1i64;
+        if inner.map.len() >= self.stripe_capacity && !inner.map.contains_key(&id.raw()) {
+            // Evict the stripe's least recently used entry.
             if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, t))| *t) {
                 inner.map.remove(&victim);
                 cdpd_obs::counter!("storage.pool.evictions").inc();
+                delta -= 1;
             }
         }
-        inner.map.insert(id.raw(), (page.clone(), stamp));
-        cdpd_obs::gauge!("storage.pool.resident").set(inner.map.len() as i64);
+        if inner.map.insert(id.raw(), (page.clone(), stamp)).is_some() {
+            delta -= 1;
+        }
+        cdpd_obs::gauge!("storage.pool.resident").add(delta);
         self.misses.fetch_add(1, Ordering::Relaxed);
         cdpd_obs::counter!("storage.pool.misses").inc();
         Ok(page)
@@ -88,16 +114,25 @@ impl BufferPool {
 
     /// Invalidate a cached page (call after writing through the pager).
     pub fn invalidate(&self, id: PageId) {
-        self.inner
+        let removed = self.stripes[stripe_of(id)]
             .lock()
             .expect("pool lock poisoned")
             .map
             .remove(&id.raw());
+        if removed.is_some() {
+            cdpd_obs::gauge!("storage.pool.resident").add(-1);
+        }
     }
 
     /// Drop all cached pages (e.g. after a bulk load).
     pub fn clear(&self) {
-        self.inner.lock().expect("pool lock poisoned").map.clear();
+        let mut dropped = 0i64;
+        for stripe in &self.stripes {
+            let mut inner = stripe.lock().expect("pool lock poisoned");
+            dropped += inner.map.len() as i64;
+            inner.map.clear();
+        }
+        cdpd_obs::gauge!("storage.pool.resident").add(-dropped);
     }
 
     /// `(hits, misses)` since construction. Misses are physical fetches.
@@ -108,9 +143,12 @@ impl BufferPool {
         )
     }
 
-    /// Number of pages currently cached.
+    /// Number of pages currently cached across all stripes.
     pub fn resident(&self) -> usize {
-        self.inner.lock().expect("pool lock poisoned").map.len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("pool lock poisoned").map.len())
+            .sum()
     }
 }
 
@@ -127,6 +165,13 @@ mod tests {
         (pager, pool)
     }
 
+    /// Page ids `0`, `SHARDS`, `2·SHARDS` all land in stripe 0, so LRU
+    /// behaviour within one stripe is observable exactly as it was for
+    /// the old single-lock pool.
+    fn same_stripe(k: u32) -> PageId {
+        PageId(k * PAGER_SHARDS as u32)
+    }
+
     #[test]
     fn hit_does_not_touch_pager() {
         let (pager, pool) = setup(1, 4);
@@ -138,16 +183,34 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_least_recently_used() {
-        let (_pager, pool) = setup(3, 2);
-        pool.read(PageId(0)).unwrap(); // miss
-        pool.read(PageId(1)).unwrap(); // miss
-        pool.read(PageId(0)).unwrap(); // hit; 1 is now LRU
-        pool.read(PageId(2)).unwrap(); // miss, evicts 1
-        pool.read(PageId(0)).unwrap(); // hit
-        pool.read(PageId(1)).unwrap(); // miss (was evicted)
+    fn lru_evicts_least_recently_used_within_stripe() {
+        // Capacity 2·SHARDS gives each stripe exactly 2 slots; all three
+        // pages below share stripe 0.
+        let (_pager, pool) = setup(3 * PAGER_SHARDS as u32, 2 * PAGER_SHARDS);
+        assert_eq!(pool.stripe_capacity(), 2);
+        pool.read(same_stripe(0)).unwrap(); // miss
+        pool.read(same_stripe(1)).unwrap(); // miss
+        pool.read(same_stripe(0)).unwrap(); // hit; page 16 is now LRU
+        pool.read(same_stripe(2)).unwrap(); // miss, evicts 16
+        pool.read(same_stripe(0)).unwrap(); // hit
+        pool.read(same_stripe(1)).unwrap(); // miss (was evicted)
         assert_eq!(pool.stats(), (2, 4));
         assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn stripes_do_not_evict_each_other() {
+        // Aggregate capacity SHARDS ⇒ one slot per stripe. Pages 0..SHARDS
+        // each land in a distinct stripe, so all of them stay resident.
+        let (_pager, pool) = setup(PAGER_SHARDS as u32, PAGER_SHARDS);
+        for p in 0..PAGER_SHARDS as u32 {
+            pool.read(PageId(p)).unwrap();
+        }
+        for p in 0..PAGER_SHARDS as u32 {
+            pool.read(PageId(p)).unwrap();
+        }
+        assert_eq!(pool.stats(), (PAGER_SHARDS as u64, PAGER_SHARDS as u64));
+        assert_eq!(pool.resident(), PAGER_SHARDS);
     }
 
     #[test]
@@ -168,6 +231,28 @@ mod tests {
         pool.read(PageId(1)).unwrap();
         pool.clear();
         assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn concurrent_reads_are_coherent() {
+        let (pager, pool) = setup(64, 32);
+        for p in 0..64u32 {
+            pager.update(PageId(p), |b| b[0] = p as u8).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..400u32 {
+                        let id = PageId((t * 17 + i) % 64);
+                        let page = pool.read(id).unwrap();
+                        assert_eq!(page[0], id.raw() as u8);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits + misses, 4 * 400);
     }
 
     #[test]

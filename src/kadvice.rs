@@ -90,7 +90,10 @@ pub fn suggest_k_robust(
     let train_sum = summarize(&train_trace, spec.window_len)?;
     let structures = match &options.structures {
         Some(s) => s.clone(),
-        None => candidate_indexes(db.schema(&spec.table)?, &train_sum)?.0,
+        None => {
+            let schema = db.schema(&spec.table)?;
+            candidate_indexes(&schema, &train_sum)?.0
+        }
     };
     let mk_oracle = |trace: &cdpd_workload::Trace| -> Result<ProjectedOracle<EngineOracle>> {
         let summarized = summarize(trace, spec.window_len)?;

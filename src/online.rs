@@ -375,7 +375,8 @@ impl OnlineAdvisor {
             table: self.table.clone(),
             blocks: vec![block.clone()],
         };
-        let (fresh, _) = candidate_indexes(db.schema(&self.table)?, &one)?;
+        let schema = db.schema(&self.table)?;
+        let (fresh, _) = candidate_indexes(&schema, &one)?;
         let mut dropped_now = 0;
         for spec in fresh {
             if self.structures.contains(&spec) {

@@ -9,10 +9,22 @@
 //!   an [`OnlineAdvisor`] one at a time, its design decisions applied
 //!   as they are emitted, and its delta statistics folded in at every
 //!   window boundary. The schedule is *discovered en route*.
+//!
+//! Both drivers execute each window's *read statements* across a
+//! std-only scoped worker pool ([`cdpd_engine::parallel_map`]): a
+//! window is partitioned at its writes into maximal runs of
+//! consecutive `SELECT`s, each run fans out over the engine's `&self`
+//! read surface, and every write runs serially at its original
+//! sequence position. Reads commute (their only side effects are I/O
+//! counters, measured per-thread), so the parallel replay is
+//! **bit-identical** to the serial one: same `QueryResult`s, same
+//! per-window EXEC/TRANS sums, same final schedule — property-tested
+//! in `tests/parallel_equiv.rs` across seeds and thread counts.
 
 use crate::advisor::Recommendation;
 use crate::online::OnlineAdvisor;
-use cdpd_engine::{Database, IndexSpec};
+use cdpd_engine::{default_threads, parallel_map, Database, IndexSpec};
+use cdpd_sql::Dml;
 use cdpd_types::{Error, Result};
 use cdpd_workload::Trace;
 use std::time::{Duration, Instant};
@@ -67,22 +79,54 @@ impl ReplayReport {
     }
 }
 
-/// Execute window `stage` (`lo..hi` of the trace), returning
-/// `(exec_io, rows, statements)` — the core both drivers run.
+/// Execute window `stage` (`lo..hi` of the trace) with up to `threads`
+/// concurrent readers, returning `(exec_io, rows, statements)` — the
+/// core both drivers run.
+///
+/// The window is split at its writes: each maximal run of consecutive
+/// `SELECT`s executes across the scoped worker pool against `&db`
+/// (single-writer/multi-reader — the engine's read surface is
+/// `&self`), while every `UPDATE`/`DELETE` runs serially at its
+/// original sequence position, so writes observe exactly the state a
+/// serial replay would give them and later reads observe the writes.
+/// Per-statement I/O comes from thread-local scopes, so the summed
+/// `exec_io` is bit-identical to a serial run at any thread count.
 fn execute_window(
     db: &mut Database,
     trace: &Trace,
     stage: usize,
     lo: usize,
     hi: usize,
+    threads: usize,
 ) -> Result<(u64, u64, u64)> {
     let _span = cdpd_obs::span!("replay.window", stage = stage, statements = hi - lo);
+    let stmts = &trace.statements()[lo..hi];
     let mut exec_io = 0u64;
     let mut rows = 0u64;
-    for stmt in &trace.statements()[lo..hi] {
-        let r = db.execute_dml(stmt)?;
-        exec_io += r.io.total();
-        rows += r.count;
+    let mut i = 0;
+    while i < stmts.len() {
+        if matches!(stmts[i], Dml::Select(_)) {
+            let mut j = i + 1;
+            while j < stmts.len() && matches!(stmts[j], Dml::Select(_)) {
+                j += 1;
+            }
+            let run = &stmts[i..j];
+            let shared: &Database = db;
+            let results = parallel_map(run.len(), threads, |k| match &run[k] {
+                Dml::Select(s) => shared.query_count(s),
+                _ => unreachable!("run contains only selects"),
+            })?;
+            for r in results {
+                exec_io += r.io.total();
+                rows += r.count;
+            }
+            i = j;
+        } else {
+            let r = db.execute_dml(&stmts[i])?;
+            exec_io += r.io.total();
+            rows += r.count;
+            i += 1;
+        }
     }
     Ok((exec_io, rows, (hi - lo) as u64))
 }
@@ -102,6 +146,29 @@ pub fn replay(
     window_len: usize,
     stage_specs: &[Vec<IndexSpec>],
     final_specs: Option<&[IndexSpec]>,
+) -> Result<ReplayReport> {
+    replay_with(
+        db,
+        trace,
+        window_len,
+        stage_specs,
+        final_specs,
+        default_threads(),
+    )
+}
+
+/// [`replay`] with an explicit worker-thread count for window reads
+/// and concurrent index builds. `threads == 1` is the serial replay;
+/// any `threads` produces a bit-identical [`ReplayReport`]
+/// (thread-count knob: the `CDPD_THREADS` environment variable drives
+/// the default).
+pub fn replay_with(
+    db: &mut Database,
+    trace: &Trace,
+    window_len: usize,
+    stage_specs: &[Vec<IndexSpec>],
+    final_specs: Option<&[IndexSpec]>,
+    threads: usize,
 ) -> Result<ReplayReport> {
     if window_len == 0 {
         return Err(Error::InvalidArgument("window_len must be positive".into()));
@@ -123,11 +190,11 @@ pub fn replay(
     for (i, specs) in stage_specs.iter().enumerate() {
         let ddl = {
             let _span = cdpd_obs::span!("replay.transition", stage = i);
-            db.apply_configuration(&table, specs)?
+            db.apply_configuration_with(&table, specs, threads)?
         };
         let lo = i * window_len;
         let hi = ((i + 1) * window_len).min(trace.len());
-        let (exec_io, rows, stmts) = execute_window(db, trace, i, lo, hi)?;
+        let (exec_io, rows, stmts) = execute_window(db, trace, i, lo, hi, threads)?;
         row_checksum += rows;
         statements += stmts;
         stages.push(StageReport {
@@ -139,7 +206,10 @@ pub fn replay(
     }
 
     let final_trans_io = match final_specs {
-        Some(specs) => db.apply_configuration(&table, specs)?.io.total(),
+        Some(specs) => db
+            .apply_configuration_with(&table, specs, threads)?
+            .io
+            .total(),
         None => 0,
     };
 
@@ -191,6 +261,18 @@ pub fn drive(
     trace: &Trace,
     advisor: &mut OnlineAdvisor,
 ) -> Result<ReplayReport> {
+    drive_with(db, trace, advisor, default_threads())
+}
+
+/// [`drive`] with an explicit worker-thread count for window reads and
+/// concurrent index builds. `threads == 1` is the serial online loop;
+/// any `threads` produces bit-identical decisions and reports.
+pub fn drive_with(
+    db: &mut Database,
+    trace: &Trace,
+    advisor: &mut OnlineAdvisor,
+    threads: usize,
+) -> Result<ReplayReport> {
     if trace.table() != advisor.table() {
         return Err(Error::InvalidArgument(format!(
             "trace is on table {}, advisor on {}",
@@ -198,13 +280,14 @@ pub fn drive(
             advisor.table()
         )));
     }
-    run_online(db, trace, advisor)
+    run_online(db, trace, advisor, threads)
 }
 
 fn run_online(
     db: &mut Database,
     trace: &Trace,
     advisor: &mut OnlineAdvisor,
+    threads: usize,
 ) -> Result<ReplayReport> {
     let _span = cdpd_obs::span!("replay.drive", statements = trace.len());
     let start = Instant::now();
@@ -220,7 +303,7 @@ fn run_online(
         let ddl = pending.take();
         let lo = w * window_len;
         let hi = ((w + 1) * window_len).min(trace.len());
-        let (exec_io, rows, stmts) = execute_window(db, trace, w, lo, hi)?;
+        let (exec_io, rows, stmts) = execute_window(db, trace, w, lo, hi, threads)?;
         row_checksum += rows;
         statements += stmts;
 
@@ -252,7 +335,7 @@ fn run_online(
         if let Some(d) = decision {
             if w + 1 < windows && d.changed {
                 let _span = cdpd_obs::span!("replay.transition", stage = w + 1);
-                pending = Some(db.apply_configuration(&table, &d.specs)?);
+                pending = Some(db.apply_configuration_with(&table, &d.specs, threads)?);
             }
         }
     }

@@ -328,7 +328,7 @@ fn candidate_generation_is_schema_checked() {
     let db = paper_database(2_000, 26);
     let trace = Trace::from_selects("t", vec![cdpd::sql::SelectStmt::point("t", "a", 1)]);
     let workload = summarize(&trace, 10).unwrap();
-    let (cands, dropped) = candidate_indexes(db.schema("t").unwrap(), &workload).unwrap();
+    let (cands, dropped) = candidate_indexes(&db.schema("t").unwrap(), &workload).unwrap();
     assert!(cands.iter().all(|c| c.table == "t"));
     assert_eq!(dropped, 0);
     // Advisor rejects traces for other tables.

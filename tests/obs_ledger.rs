@@ -1,0 +1,88 @@
+//! Obs/ledger reconciliation under concurrency (companion to
+//! `tests/obs_prop.rs`): the per-pager atomic counters and the
+//! `cdpd-obs` global tracked counters (`storage.pager.reads` /
+//! `.writes` / `.allocs`, surfaced as [`IoStats::global`]) are
+//! incremented at the same call sites, so when **multiple pagers race
+//! on multiple threads** the sum of per-pager deltas must equal the
+//! registry delta *exactly* — not eventually, not approximately.
+//!
+//! This test owns its binary: exact global-counter equality requires
+//! that no sibling test races the registry mid-measurement.
+
+use cdpd::storage::{IoStats, Pager, ThreadIoScope, PAGE_SIZE};
+use cdpd::types::PageId;
+use std::sync::Arc;
+
+#[test]
+fn racing_pagers_reconcile_with_global_tracked_counters() {
+    const PAGERS: usize = 3;
+    const THREADS_PER_PAGER: u64 = 4;
+    const OPS: u64 = 400;
+
+    let pagers: Vec<Arc<Pager>> = (0..PAGERS).map(|_| Arc::new(Pager::new())).collect();
+    for pager in &pagers {
+        for _ in 0..32 {
+            pager.allocate();
+        }
+    }
+
+    let global_before = IoStats::global();
+    let before: Vec<IoStats> = pagers.iter().map(|p| p.stats()).collect();
+
+    std::thread::scope(|s| {
+        for (pi, pager) in pagers.iter().enumerate() {
+            for t in 0..THREADS_PER_PAGER {
+                let pager = Arc::clone(pager);
+                s.spawn(move || {
+                    let scope = ThreadIoScope::start();
+                    let mut expected = IoStats::default();
+                    for i in 0..OPS {
+                        let id = PageId(((pi as u64 * 7 + t * 13 + i) % 32) as u32);
+                        match i % 4 {
+                            0 | 1 => {
+                                pager.read(id).unwrap();
+                                expected.reads += 1;
+                            }
+                            2 => {
+                                pager.write(id, Arc::new([t as u8; PAGE_SIZE])).unwrap();
+                                expected.writes += 1;
+                            }
+                            _ => {
+                                pager.update(id, |b| b[0] = b[0].wrapping_add(1)).unwrap();
+                                expected.reads += 1;
+                                expected.writes += 1;
+                            }
+                        }
+                    }
+                    // Thread-local scopes attribute exactly this
+                    // thread's accesses, even while 11 sibling threads
+                    // hammer the same counters.
+                    assert_eq!(scope.delta(), expected);
+                });
+            }
+        }
+    });
+
+    let global_delta = IoStats::global().delta(global_before);
+    let mut summed = IoStats::default();
+    for (pager, b) in pagers.iter().zip(&before) {
+        let d = pager.stats().delta(*b);
+        summed.reads += d.reads;
+        summed.writes += d.writes;
+        summed.allocs += d.allocs;
+    }
+
+    assert_eq!(
+        summed, global_delta,
+        "per-pager ledgers and the obs registry must agree exactly"
+    );
+    // Cross-check the absolute volumes so a double-count on both sides
+    // cannot cancel out.
+    let total_threads = PAGERS as u64 * THREADS_PER_PAGER;
+    assert_eq!(
+        summed.reads,
+        total_threads * OPS / 2 + total_threads * OPS / 4
+    );
+    assert_eq!(summed.writes, total_threads * OPS / 2);
+    assert_eq!(summed.allocs, 0);
+}

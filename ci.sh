@@ -65,20 +65,39 @@ for seed in 7 41 97 1234 4242 7777 90210 424242; do
   CDPD_SEED="$seed" cargo test -q --offline -p cdpd --test parallel_equiv
 done
 
-echo "== storage bench: parallel read-path scaling (asserted in-bench) =="
+echo "== recovery gate: kill-at-any-point crash matrix =="
+# The full suite first (fixed 8-seed x 50-kill-point sweep, advisor
+# warm-resume, restore strictness), then the shrinking property re-run
+# under a fixed seed matrix so CI replays the same crash schedules on
+# every host.
+cargo test -q --offline -p cdpd --test recovery_prop
+for seed in 0x5eed 0xc0ffee 0xdecade; do
+  echo "-- prop seed $seed --"
+  CDPD_PROP_SEED="$seed" CDPD_PROP_CASES=8 cargo test -q --offline -p cdpd \
+    --test recovery_prop kill_at_any_point_recovers_to_committed_prefix
+done
+
+echo "== storage bench: read scaling + WAL/checkpoint/recovery (asserted in-bench) =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench storage
 
-echo "== bench diff: fresh vs committed metrics (>25% regression fails) =="
+echo "== bench diff: fresh vs committed metrics (per-metric regression floors) =="
 python3 - <<'EOF'
 import json, subprocess, sys
 
-# Gate the metrics the benches assert on (higher is better). Raw
-# timings vary too much across hosts to diff; throughput ratios and
-# single-host throughput are stable enough for a 25% band. Files whose
-# committed run came from a host with a different core count are
-# skipped: scaling ratios are not comparable across core counts.
+# Gate the metrics the benches assert on (higher is better), each with
+# its own minimum fresh/committed ratio. Raw timings vary too much
+# across hosts to diff; read throughput and scaling ratios are stable
+# enough for a 25% band, while WAL commit throughput swings ~2x
+# run-to-run on 1-core CI containers, so its band only catches
+# order-of-magnitude collapses. Files whose committed run came from a
+# host with a different core count are skipped: scaling ratios are not
+# comparable across core counts.
 GATED = {
-    "BENCH_storage.json": ["read/threads_1_stmts_per_sec", "read/scaling_x8"],
+    "BENCH_storage.json": {
+        "read/threads_1_stmts_per_sec": 0.75,
+        "read/scaling_x8": 0.75,
+        "wal/commits_per_sec": 0.30,
+    },
 }
 failed = False
 for path, gated in GATED.items():
@@ -95,18 +114,22 @@ for path, gated in GATED.items():
         print(f"{path}: committed baseline is from a {old.get('host_cores')}-core "
               f"host, this is a {new.get('host_cores')}-core host; skipping")
         continue
-    for m in gated:
-        if m not in old or m not in new:
-            print(f"{path}: {m}: missing (committed={m in old}, fresh={m in new})")
+    for m, floor in gated.items():
+        if m not in new:
+            print(f"{path}: {m}: missing from the fresh run")
             failed = True
             continue
+        if m not in old:
+            print(f"{path}: {m}: new metric, no committed baseline yet, skipping")
+            continue
         ratio = new[m] / old[m] if old[m] else 1.0
-        verdict = "REGRESSION" if ratio < 0.75 else "ok"
-        failed = failed or ratio < 0.75
-        print(f"{path}: {m}: {old[m]:.3f} -> {new[m]:.3f} ({ratio:.2f}x) {verdict}")
+        verdict = "REGRESSION" if ratio < floor else "ok"
+        failed = failed or ratio < floor
+        print(f"{path}: {m}: {old[m]:.3f} -> {new[m]:.3f} "
+              f"({ratio:.2f}x, floor {floor}) {verdict}")
 if failed:
     sys.exit(1)
-print("ok: no gated bench metric regressed by more than 25%")
+print("ok: no gated bench metric regressed past its floor")
 EOF
 
 echo "== docs build clean =="
@@ -143,5 +166,18 @@ EOF
 
 echo "== disabled-tracing overhead stays under budget =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench obs
+
+echo "== tmpdir hygiene: tests must not leak files into the workspace =="
+# Disk-backed tests create their stores under the OS tempdir and clean
+# up after themselves; anything untracked left inside the repo after a
+# full run (stray db dirs, leaked WALs, bench droppings) is a bug.
+# Regenerated BENCH_*.json files are tracked, so they do not trip this.
+stray="$(git ls-files --others --exclude-standard)"
+if [ -n "$stray" ]; then
+  echo "untracked files leaked into the workspace:"
+  echo "$stray"
+  exit 1
+fi
+echo "ok: working tree holds no untracked files"
 
 echo "== ci.sh: all green =="

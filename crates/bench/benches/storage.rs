@@ -19,10 +19,16 @@
 //!   committed `BENCH_access_paths.json` timings.
 //! * **striped pager scaling** — raw `Pager::read` fan-out below the
 //!   engine, isolating the shard layer from planner/B-tree work.
+//! * **durable tier** — WAL commit throughput over a 100k-commit log
+//!   (every 10th commit logging a dirty page), checkpoint latency for
+//!   the accumulated dirty set, and cold recovery time replaying that
+//!   same 100k-transaction WAL. Recovery is verified in-bench: the
+//!   reopened pager must land on the exact committed sequence and
+//!   app-meta the writer reached.
 
 use cdpd::engine::{parallel_map, Database, IndexSpec};
 use cdpd::sql::SelectStmt;
-use cdpd::storage::Pager;
+use cdpd::storage::{DurableOptions, MemVfs, Pager};
 use cdpd_bench::{build_database, Scale};
 use cdpd_testkit::bench::Criterion;
 use cdpd_testkit::{criterion_group, criterion_main};
@@ -100,6 +106,90 @@ fn pager_scaling() -> f64 {
     t1 as f64 / t8 as f64
 }
 
+/// Durable-tier measurements over a `MemVfs` (isolating the WAL /
+/// checkpoint / recovery code paths from disk variance): commit
+/// throughput, checkpoint latency, and cold recovery over a
+/// 100k-transaction log.
+struct DurableMetrics {
+    commits_per_sec: f64,
+    append_mib_per_sec: f64,
+    checkpoint_ms: f64,
+    recovery_ms: f64,
+}
+
+fn durable_metrics() -> DurableMetrics {
+    const COMMITS: u64 = 100_000;
+    const PAGES: usize = 1_024;
+    let opts = DurableOptions {
+        cache_pages: 0,
+        group_commit: 16,
+        checkpoint_wal_bytes: 0, // explicit checkpoints only
+    };
+    let vfs = MemVfs::new();
+    let open = Pager::open_durable(std::sync::Arc::new(vfs.clone()), opts.clone())
+        .expect("fresh durable pager");
+    let pager = open.pager;
+    let ids: Vec<_> = (0..PAGES).map(|_| pager.allocate()).collect();
+    pager.commit(b"init").expect("commits");
+    pager.checkpoint().expect("checkpoints");
+
+    // The 100k-statement log: every commit carries app meta, every
+    // 10th also logs a dirty page image.
+    let start = Instant::now();
+    for i in 0..COMMITS {
+        if i % 10 == 0 {
+            pager
+                .update(ids[(i / 10) as usize % PAGES], |b| {
+                    b[0] = b[0].wrapping_add(1)
+                })
+                .expect("updates");
+        }
+        pager.commit(&i.to_le_bytes()).expect("commits");
+    }
+    let append_s = start.elapsed().as_secs_f64();
+    let wal_bytes = pager.wal_bytes();
+    let final_seq = pager.committed_seq();
+
+    // Freeze the surviving bytes *before* checkpointing, so recovery
+    // is measured against the full 100k-transaction WAL.
+    let frozen = MemVfs::new();
+    for name in ["data", "sums", "wal", "hdr.0", "hdr.1"] {
+        if let Some(bytes) = vfs.snapshot(name) {
+            frozen.overwrite(name, bytes);
+        }
+    }
+
+    let start = Instant::now();
+    pager.checkpoint().expect("checkpoints");
+    let checkpoint_s = start.elapsed().as_secs_f64();
+    assert!(
+        pager.wal_bytes() < wal_bytes,
+        "checkpoint must truncate the WAL ({wal_bytes} -> {} bytes)",
+        pager.wal_bytes()
+    );
+
+    let start = Instant::now();
+    let recovered =
+        Pager::open_durable(std::sync::Arc::new(frozen), opts).expect("recovery over the full WAL");
+    let recovery_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        recovered.committed_seq, final_seq,
+        "recovery lands on the writer's seq"
+    );
+    assert_eq!(
+        recovered.app_meta,
+        (COMMITS - 1).to_le_bytes(),
+        "recovery yields the last committed app meta"
+    );
+
+    DurableMetrics {
+        commits_per_sec: COMMITS as f64 / append_s,
+        append_mib_per_sec: wal_bytes as f64 / (1024.0 * 1024.0) / append_s,
+        checkpoint_ms: checkpoint_s * 1e3,
+        recovery_ms: recovery_s * 1e3,
+    }
+}
+
 fn bench_storage(criterion: &mut Criterion) {
     let db = db_with_indexes();
     let batch = read_batch();
@@ -151,6 +241,7 @@ fn bench_storage(criterion: &mut Criterion) {
     }
 
     let pager_x8 = pager_scaling();
+    let durable = durable_metrics();
 
     let mut group = criterion.benchmark_group("storage");
     group.sample_size(10);
@@ -159,6 +250,10 @@ fn bench_storage(criterion: &mut Criterion) {
     group.metric("read/threads_8_stmts_per_sec", per_sec(t8_ns));
     group.metric("read/scaling_x8", scaling);
     group.metric("pager/scaling_x8", pager_x8);
+    group.metric("wal/commits_per_sec", durable.commits_per_sec);
+    group.metric("wal/append_mib_per_sec", durable.append_mib_per_sec);
+    group.metric("checkpoint/latency_ms", durable.checkpoint_ms);
+    group.metric("recovery/ms_100k_commits", durable.recovery_ms);
     group.metric("host_cores", cores as f64);
     group.bench_function("batch_reads/threads_1", |b| {
         b.iter(|| run_batch(&db, &batch, 1))

@@ -67,9 +67,12 @@ pub struct DdlReport {
 /// [`QueryResult::io`] stays exact under any interleaving and parallel
 /// per-statement costs sum bit-identically to a serial replay.
 pub struct Database {
-    pager: Arc<Pager>,
-    tables: RwLock<BTreeMap<String, Arc<RwLock<TableEntry>>>>,
-    next_table_id: AtomicU32,
+    pub(crate) pager: Arc<Pager>,
+    pub(crate) tables: RwLock<BTreeMap<String, Arc<RwLock<TableEntry>>>>,
+    pub(crate) next_table_id: AtomicU32,
+    /// Opaque application state (the advisory layer's warm state),
+    /// persisted with the catalog on every durable commit.
+    pub(crate) app_state: RwLock<Vec<u8>>,
 }
 
 impl Default for Database {
@@ -79,13 +82,97 @@ impl Default for Database {
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty in-memory database (no durability; mutations are lost
+    /// on drop). Use [`Database::open`] for a durable one.
     pub fn new() -> Database {
         Database {
             pager: Arc::new(Pager::new()),
             tables: RwLock::new(BTreeMap::new()),
             next_table_id: AtomicU32::new(0),
+            app_state: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Open (creating if absent) a durable database rooted at directory
+    /// `dir`, recovering to the newest committed state: the write-ahead
+    /// log is replayed past the last checkpoint, the committed catalog
+    /// is decoded, and every table, index, and statistics object is
+    /// re-attached exactly as the last successful commit left it.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        let vfs = cdpd_storage::DiskVfs::new(dir.as_ref())?;
+        Self::open_with_vfs(Arc::new(vfs), cdpd_storage::DurableOptions::default())
+    }
+
+    /// [`Database::open`] over an explicit VFS (e.g. [`cdpd_storage::MemVfs`]
+    /// for tests, or a fault-injecting wrapper) with tuning knobs.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn cdpd_storage::Vfs>,
+        opts: cdpd_storage::DurableOptions,
+    ) -> Result<Database> {
+        let opened = Pager::open_durable(vfs, opts)?;
+        let pager = Arc::new(opened.pager);
+        if opened.app_meta.is_empty() {
+            Ok(Database {
+                pager,
+                tables: RwLock::new(BTreeMap::new()),
+                next_table_id: AtomicU32::new(0),
+                app_state: RwLock::new(Vec::new()),
+            })
+        } else {
+            crate::persist::decode_catalog(&opened.app_meta, pager)
+        }
+    }
+
+    /// Whether this database persists commits (opened via
+    /// [`Database::open`] rather than [`Database::new`]).
+    pub fn is_durable(&self) -> bool {
+        self.pager.is_durable()
+    }
+
+    /// Sequence number of the newest committed transaction (0 when
+    /// nothing has committed, or for an in-memory database).
+    pub fn committed_seq(&self) -> u64 {
+        self.pager.committed_seq()
+    }
+
+    /// Flush dirty pages to the data file and truncate the write-ahead
+    /// log. A no-op for in-memory databases. Every public mutation
+    /// commits on completion, so this is safe to call at any quiescent
+    /// point; recovery time after a crash is proportional to the WAL
+    /// written since the last checkpoint.
+    pub fn checkpoint(&self) -> Result<()> {
+        if self.pager.is_durable() {
+            self.pager.checkpoint()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Replace the opaque application-state blob persisted alongside
+    /// the catalog (the advisory layer's warm state), and commit.
+    pub fn set_app_state(&mut self, state: Vec<u8>) -> Result<()> {
+        *self.app_state.write().expect("app state poisoned") = state;
+        self.commit_if_durable()
+    }
+
+    /// The application-state blob from the newest commit (empty if
+    /// never set).
+    pub fn app_state(&self) -> Vec<u8> {
+        self.app_state.read().expect("app state poisoned").clone()
+    }
+
+    /// Commit the current state durably: serialize the catalog and
+    /// append every page mutated since the last commit to the WAL as
+    /// one transaction. In-memory databases return `Ok` untouched.
+    /// Called by every public mutator on successful completion, after
+    /// all table guards are released.
+    fn commit_if_durable(&self) -> Result<()> {
+        if !self.pager.is_durable() {
+            return Ok(());
+        }
+        let blob = crate::persist::encode_catalog(self);
+        self.pager.commit(&blob)?;
+        Ok(())
     }
 
     /// The shared pager (I/O ledger).
@@ -117,23 +204,25 @@ impl Database {
 
     /// Create a table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
-        let mut tables = self.tables.write().expect("catalog lock poisoned");
-        if tables.contains_key(name) {
-            return Err(Error::AlreadyExists(format!("table {name}")));
+        {
+            let mut tables = self.tables.write().expect("catalog lock poisoned");
+            if tables.contains_key(name) {
+                return Err(Error::AlreadyExists(format!("table {name}")));
+            }
+            let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
+            tables.insert(
+                name.to_owned(),
+                Arc::new(RwLock::new(TableEntry {
+                    id,
+                    schema: Arc::new(schema),
+                    heap: HeapFile::create(self.pager.clone()),
+                    stats: None,
+                    maintainer: None,
+                    indexes: BTreeMap::new(),
+                })),
+            );
         }
-        let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
-        tables.insert(
-            name.to_owned(),
-            Arc::new(RwLock::new(TableEntry {
-                id,
-                schema: Arc::new(schema),
-                heap: HeapFile::create(self.pager.clone()),
-                stats: None,
-                maintainer: None,
-                indexes: BTreeMap::new(),
-            })),
-        );
-        Ok(())
+        self.commit_if_durable()
     }
 
     /// The schema of `table` (shared, cheap to clone).
@@ -153,6 +242,12 @@ impl Database {
 
     /// Insert one row, maintaining all indexes.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<Rid> {
+        let rid = self.insert_inner(table, values)?;
+        self.commit_if_durable()?;
+        Ok(rid)
+    }
+
+    fn insert_inner(&mut self, table: &str, values: &[Value]) -> Result<Rid> {
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
         if !entry.schema.validates(values) {
@@ -177,7 +272,9 @@ impl Database {
         Ok(rid)
     }
 
-    /// Bulk-insert rows (convenience for loaders).
+    /// Bulk-insert rows (convenience for loaders). On a durable
+    /// database the whole batch is one commit — one WAL transaction —
+    /// so bulk loads do not pay a per-row serialization.
     pub fn insert_many<'r>(
         &mut self,
         table: &str,
@@ -185,9 +282,10 @@ impl Database {
     ) -> Result<u64> {
         let mut n = 0;
         for row in rows {
-            self.insert(table, row)?;
+            self.insert_inner(table, row)?;
             n += 1;
         }
+        self.commit_if_durable()?;
         Ok(n)
     }
 
@@ -196,6 +294,12 @@ impl Database {
     /// DML can be folded in and [`Database::refresh_stats`] can rebuild
     /// statistics without another scan.
     pub fn analyze(&mut self, table: &str) -> Result<Arc<TableStats>> {
+        let stats = self.analyze_inner(table)?;
+        self.commit_if_durable()?;
+        Ok(stats)
+    }
+
+    fn analyze_inner(&mut self, table: &str) -> Result<Arc<TableStats>> {
         let _span = cdpd_obs::span!("engine.analyze", table = table);
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
@@ -221,6 +325,15 @@ impl Database {
     /// # Errors
     /// The table must exist and have been `ANALYZE`d at least once.
     pub fn refresh_stats(&mut self, table: &str) -> Result<StatsRefresh> {
+        let refresh = self.refresh_stats_inner(table)?;
+        // A no-op refresh mutated nothing; skip the commit entirely.
+        if !refresh.is_noop() {
+            self.commit_if_durable()?;
+        }
+        Ok(refresh)
+    }
+
+    fn refresh_stats_inner(&mut self, table: &str) -> Result<StatsRefresh> {
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
         let Some(maintainer) = entry.maintainer.as_mut() else {
@@ -295,6 +408,12 @@ impl Database {
     /// `CREATE INDEX`: scan → sort → bulk load. The report's `io` is
     /// the measured transition cost of this build.
     pub fn create_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+        let report = self.create_index_inner(spec)?;
+        self.commit_if_durable()?;
+        Ok(report)
+    }
+
+    fn create_index_inner(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
         let _span = cdpd_obs::span!("ddl.create_index", index = spec.name());
         let entry = self.table(&spec.table)?;
         let entry = &mut *Self::write_entry(&entry);
@@ -321,6 +440,12 @@ impl Database {
     /// `DROP INDEX`. Cost model: one catalog write; the tree's pages
     /// return to the free list for reuse by later builds.
     pub fn drop_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+        let report = self.drop_index_inner(spec)?;
+        self.commit_if_durable()?;
+        Ok(report)
+    }
+
+    fn drop_index_inner(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
         let _span = cdpd_obs::span!("ddl.drop_index", index = spec.name());
         let scope = ThreadIoScope::start();
         let entry = self.table(&spec.table)?;
@@ -372,6 +497,19 @@ impl Database {
         target: &[IndexSpec],
         threads: usize,
     ) -> Result<DdlReport> {
+        let report = self.apply_configuration_inner(table, target, threads)?;
+        // One commit for the whole design change: drops and builds land
+        // as a single WAL transaction.
+        self.commit_if_durable()?;
+        Ok(report)
+    }
+
+    fn apply_configuration_inner(
+        &mut self,
+        table: &str,
+        target: &[IndexSpec],
+        threads: usize,
+    ) -> Result<DdlReport> {
         for spec in target {
             if spec.table != table {
                 return Err(Error::InvalidArgument(format!(
@@ -384,7 +522,7 @@ impl Database {
         let mut report = DdlReport::default();
         for spec in &current {
             if !target.contains(spec) {
-                let r = self.drop_index(spec)?;
+                let r = self.drop_index_inner(spec)?;
                 report.io.reads += r.io.reads;
                 report.io.writes += r.io.writes;
                 report.io.allocs += r.io.allocs;
@@ -394,7 +532,7 @@ impl Database {
         let missing: Vec<&IndexSpec> = target.iter().filter(|s| !current.contains(s)).collect();
         if missing.len() <= 1 || threads <= 1 {
             for spec in missing {
-                let r = self.create_index(spec)?;
+                let r = self.create_index_inner(spec)?;
                 report.io.reads += r.io.reads;
                 report.io.writes += r.io.writes;
                 report.io.allocs += r.io.allocs;
@@ -545,6 +683,12 @@ impl Database {
     }
 
     fn run_update(&mut self, stmt: &UpdateStmt) -> Result<QueryResult> {
+        let result = self.run_update_inner(stmt)?;
+        self.commit_if_durable()?;
+        Ok(result)
+    }
+
+    fn run_update_inner(&mut self, stmt: &UpdateStmt) -> Result<QueryResult> {
         let scope = ThreadIoScope::start();
         let dml = Dml::Update(stmt.clone());
         let entry = self.table(&stmt.table)?;
@@ -603,6 +747,12 @@ impl Database {
     }
 
     fn run_delete(&mut self, stmt: &DeleteStmt) -> Result<QueryResult> {
+        let result = self.run_delete_inner(stmt)?;
+        self.commit_if_durable()?;
+        Ok(result)
+    }
+
+    fn run_delete_inner(&mut self, stmt: &DeleteStmt) -> Result<QueryResult> {
         let scope = ThreadIoScope::start();
         let dml = Dml::Delete(stmt.clone());
         let entry = self.table(&stmt.table)?;

@@ -27,6 +27,7 @@ mod cost;
 mod db;
 mod exec;
 pub mod par;
+mod persist;
 mod planner;
 mod stats;
 mod whatif;

@@ -112,6 +112,31 @@ impl Histogram {
     pub fn bucket_count(&self) -> usize {
         self.bounds.len()
     }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        crate::persist::put_values(out, &self.bounds);
+        crate::persist::put_u32(out, self.cum.len() as u32);
+        for c in &self.cum {
+            crate::persist::put_f64(out, *c);
+        }
+        crate::persist::put_opt_value(out, &self.min);
+    }
+
+    pub(crate) fn decode(r: &mut crate::persist::Reader<'_>) -> cdpd_types::Result<Histogram> {
+        let bounds = r.values()?;
+        let n = r.u32()? as usize;
+        if n != bounds.len() {
+            return Err(cdpd_types::Error::Corrupt(
+                "histogram bounds/cum length mismatch".into(),
+            ));
+        }
+        let mut cum = Vec::with_capacity(n);
+        for _ in 0..n {
+            cum.push(r.f64()?);
+        }
+        let min = r.opt_value()?;
+        Ok(Histogram { bounds, cum, min })
+    }
 }
 
 /// Per-column statistics.
@@ -162,6 +187,49 @@ impl TableStats {
     /// Expected number of rows matching an equality on `col`.
     pub fn eq_rows(&self, col: ColumnId) -> f64 {
         self.row_count as f64 * self.column(col).eq_selectivity()
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        use crate::persist::{put_f64, put_opt_value, put_u16, put_u64};
+        put_u64(out, self.row_count);
+        put_u64(out, self.heap_pages);
+        put_f64(out, self.avg_row_width);
+        put_u16(out, self.columns.len() as u16);
+        for c in &self.columns {
+            put_u64(out, c.distinct);
+            put_opt_value(out, &c.min);
+            put_opt_value(out, &c.max);
+            c.histogram.encode(out);
+            put_f64(out, c.avg_width);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut crate::persist::Reader<'_>) -> cdpd_types::Result<TableStats> {
+        let row_count = r.u64()?;
+        let heap_pages = r.u64()?;
+        let avg_row_width = r.f64()?;
+        let n = r.u16()? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let distinct = r.u64()?;
+            let min = r.opt_value()?;
+            let max = r.opt_value()?;
+            let histogram = Histogram::decode(r)?;
+            let avg_width = r.f64()?;
+            columns.push(ColumnStats {
+                distinct,
+                min,
+                max,
+                histogram,
+                avg_width,
+            });
+        }
+        Ok(TableStats {
+            row_count,
+            heap_pages,
+            avg_row_width,
+            columns,
+        })
     }
 }
 
@@ -325,6 +393,73 @@ impl StatsMaintainer {
         self.rows_dirty = false;
         self.dirty.iter_mut().for_each(|d| *d = false);
         refresh
+    }
+
+    /// Serialize every field exactly. The maintainer is *state*, not a
+    /// cache: folded-forward statistics differ from a fresh analyze
+    /// (deletes leave stale upper bounds), and the stride/`update_events`
+    /// sampling clock decides which future values enter the histogram
+    /// sample — so bit-identical recovery requires all of it. Distinct
+    /// sets are written in sorted order so equal states serialize to
+    /// equal bytes.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        use crate::persist::{put_opt_value, put_u16, put_u64, put_u8, put_values};
+        put_u64(out, self.rows);
+        put_u64(out, self.bytes);
+        put_u64(out, self.stride);
+        put_u64(out, self.update_events);
+        put_u8(out, self.rows_dirty as u8);
+        put_u16(out, self.cols.len() as u16);
+        for (cb, dirty) in self.cols.iter().zip(&self.dirty) {
+            let mut distinct: Vec<Value> = cb.distinct.iter().cloned().collect();
+            distinct.sort();
+            put_values(out, &distinct);
+            put_opt_value(out, &cb.min);
+            put_opt_value(out, &cb.max);
+            put_values(out, &cb.sample);
+            put_u64(out, cb.width_sum);
+            put_u8(out, *dirty as u8);
+        }
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::persist::Reader<'_>,
+    ) -> cdpd_types::Result<StatsMaintainer> {
+        let rows = r.u64()?;
+        let bytes = r.u64()?;
+        let stride = r.u64()?;
+        if stride == 0 {
+            return Err(cdpd_types::Error::Corrupt("zero sampling stride".into()));
+        }
+        let update_events = r.u64()?;
+        let rows_dirty = r.u8()? != 0;
+        let n = r.u16()? as usize;
+        let mut cols = Vec::with_capacity(n);
+        let mut dirty = Vec::with_capacity(n);
+        for _ in 0..n {
+            let distinct: std::collections::HashSet<Value> = r.values()?.into_iter().collect();
+            let min = r.opt_value()?;
+            let max = r.opt_value()?;
+            let sample = r.values()?;
+            let width_sum = r.u64()?;
+            dirty.push(r.u8()? != 0);
+            cols.push(ColBuilder {
+                distinct,
+                min,
+                max,
+                sample,
+                width_sum,
+            });
+        }
+        Ok(StatsMaintainer {
+            rows,
+            bytes,
+            cols,
+            stride,
+            update_events,
+            dirty,
+            rows_dirty,
+        })
     }
 
     /// Materialize [`TableStats`] from the retained state: O(sample)

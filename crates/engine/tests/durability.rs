@@ -1,0 +1,233 @@
+//! Durable `Database` round-trips: open → mutate → reopen must restore
+//! the catalog, data, indexes, and statistics exactly.
+//!
+//! The kill-at-any-point crash suite lives in the facade crate
+//! (`tests/recovery_prop.rs`); these tests pin the clean-shutdown
+//! contract the crash suite builds on.
+
+use cdpd_engine::{Database, IndexSpec};
+use cdpd_storage::{DurableOptions, MemVfs};
+use cdpd_types::{ColumnDef, Schema, Value};
+use std::sync::Arc;
+
+fn iv(i: i64) -> Value {
+    Value::Int(i)
+}
+
+fn open_mem(vfs: &MemVfs) -> Database {
+    Database::open_with_vfs(Arc::new(vfs.clone()), DurableOptions::default()).unwrap()
+}
+
+fn abcd_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::int("a"),
+        ColumnDef::int("b"),
+        ColumnDef::int("c"),
+        ColumnDef::text("d"),
+    ])
+}
+
+fn load(db: &mut Database, rows: i64) {
+    db.create_table("t", abcd_schema()).unwrap();
+    let rows: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![iv(i), iv(i % 10), iv(i % 97), Value::Str(format!("row{i}"))])
+        .collect();
+    db.insert_many("t", rows.iter().map(Vec::as_slice)).unwrap();
+    db.analyze("t").unwrap();
+}
+
+/// Observable logical state: every row of `t` in scan order, plus the
+/// plan and count for a representative query.
+fn digest(db: &Database) -> (Vec<Vec<Value>>, String, u64) {
+    let q = cdpd_sql::parse("SELECT * FROM t WHERE b = 3").unwrap();
+    let cdpd_sql::Statement::Select(sel) = q else {
+        panic!("not a select")
+    };
+    let r = db.query(&sel).unwrap();
+    let all = cdpd_sql::parse("SELECT * FROM t").unwrap();
+    let cdpd_sql::Statement::Select(all) = all else {
+        panic!("not a select")
+    };
+    let rows = db.query(&all).unwrap().rows.unwrap();
+    (rows, r.plan, r.count)
+}
+
+#[test]
+fn reopen_restores_rows_indexes_and_stats() {
+    let vfs = MemVfs::new();
+    let before = {
+        let mut db = open_mem(&vfs);
+        load(&mut db, 500);
+        db.create_index(&IndexSpec::new("t", &["b"])).unwrap();
+        db.execute_sql("UPDATE t SET c = 5 WHERE a < 50").unwrap();
+        db.execute_sql("DELETE FROM t WHERE a = 499").unwrap();
+        digest(&db)
+    };
+    let db = open_mem(&vfs);
+    assert!(db.is_durable());
+    assert_eq!(digest(&db), before);
+    assert!(db.has_index(&IndexSpec::new("t", &["b"])));
+    // Statistics survived field-exactly: same rows/pages and the same
+    // folded (unrefreshed) snapshot the planner saw before shutdown.
+    let stats = db.stats("t").unwrap().unwrap();
+    assert_eq!(stats.row_count, 500);
+}
+
+#[test]
+fn reopen_resumes_table_id_allocation_and_ddl() {
+    let vfs = MemVfs::new();
+    {
+        let mut db = open_mem(&vfs);
+        load(&mut db, 50);
+        db.create_table("u", abcd_schema()).unwrap();
+    }
+    let mut db = open_mem(&vfs);
+    // New DDL keeps working against the recovered pager and catalog.
+    db.create_table("v", abcd_schema()).unwrap();
+    db.insert("v", &[iv(1), iv(2), iv(3), Value::Str("x".into())])
+        .unwrap();
+    db.create_index(&IndexSpec::new("t", &["c"])).unwrap();
+    db.execute_sql("DELETE FROM t WHERE b = 7").unwrap();
+    let db2 = open_mem(&vfs);
+    assert_eq!(digest(&db2), digest(&db));
+}
+
+#[test]
+fn stale_stats_snapshot_survives_reopen() {
+    // DML folded into the maintainer but NOT refreshed: the planner
+    // must see the stale snapshot after reopen, and a refresh must
+    // then report exactly the pending changes.
+    let vfs = MemVfs::new();
+    {
+        let mut db = open_mem(&vfs);
+        load(&mut db, 200);
+        db.execute_sql("UPDATE t SET b = 11 WHERE a < 20").unwrap();
+    }
+    let mut control = Database::new();
+    load(&mut control, 200);
+    control
+        .execute_sql("UPDATE t SET b = 11 WHERE a < 20")
+        .unwrap();
+
+    let mut db = open_mem(&vfs);
+    let stats = db.stats("t").unwrap().unwrap();
+    let cstats = control.stats("t").unwrap().unwrap();
+    assert_eq!(stats.row_count, cstats.row_count);
+    assert_eq!(stats.columns[1].distinct, cstats.columns[1].distinct);
+    let r = db.refresh_stats("t").unwrap();
+    let c = control.refresh_stats("t").unwrap();
+    assert_eq!(r, c, "pending dirty flags survive recovery");
+    assert_eq!(
+        db.stats("t").unwrap().unwrap().columns[1].distinct,
+        control.stats("t").unwrap().unwrap().columns[1].distinct
+    );
+}
+
+#[test]
+fn app_state_round_trips() {
+    let vfs = MemVfs::new();
+    {
+        let mut db = open_mem(&vfs);
+        db.set_app_state(b"advisor state v1".to_vec()).unwrap();
+    }
+    let db = open_mem(&vfs);
+    assert_eq!(db.app_state(), b"advisor state v1");
+    // In-memory databases accept but do not persist app state.
+    let mut mem = Database::new();
+    assert!(!mem.is_durable());
+    mem.set_app_state(b"x".to_vec()).unwrap();
+    assert_eq!(mem.app_state(), b"x");
+}
+
+#[test]
+fn checkpoint_then_reopen_matches_wal_replay() {
+    let vfs = MemVfs::new();
+    let before = {
+        let mut db = open_mem(&vfs);
+        load(&mut db, 300);
+        db.create_index(&IndexSpec::new("t", &["b", "c"])).unwrap();
+        db.checkpoint().unwrap();
+        // More work after the checkpoint: recovered partly from the
+        // data file, partly from WAL replay.
+        db.execute_sql("UPDATE t SET d = 'post' WHERE b = 1")
+            .unwrap();
+        digest(&db)
+    };
+    let db = open_mem(&vfs);
+    assert_eq!(digest(&db), before);
+}
+
+#[test]
+fn bounded_cache_database_round_trips() {
+    let vfs = MemVfs::new();
+    let opts = DurableOptions {
+        cache_pages: 32,
+        ..DurableOptions::default()
+    };
+    let before = {
+        let mut db = Database::open_with_vfs(Arc::new(vfs.clone()), opts.clone()).unwrap();
+        load(&mut db, 800);
+        db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
+        db.checkpoint().unwrap();
+        db.execute_sql("DELETE FROM t WHERE c = 13").unwrap();
+        digest(&db)
+    };
+    let db = Database::open_with_vfs(Arc::new(vfs.clone()), opts).unwrap();
+    assert_eq!(digest(&db), before);
+}
+
+/// Complements the `execute_script` statement-index tests in `db.rs`
+/// (which already pin the parse- and execution-error tags): commit
+/// granularity is per statement, so when a script dies at statement N,
+/// exactly statements `0..N` survive a restart — the tagged index
+/// tells the operator precisely where a replayed script must resume.
+#[test]
+fn failed_script_keeps_its_committed_prefix_across_restart() {
+    let vfs = MemVfs::new();
+    {
+        let mut db = open_mem(&vfs);
+        db.execute_script("CREATE TABLE s (x INT, y INT); INSERT INTO s VALUES (1, 10);")
+            .unwrap();
+        db.analyze("s").unwrap();
+        let err = db
+            .execute_script(
+                "INSERT INTO s VALUES (2, 20); INSERT INTO s VALUES (3); \
+                 INSERT INTO s VALUES (4, 40);",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, cdpd_types::Error::TypeMismatch(m) if m.starts_with("statement 1:")),
+            "{err}"
+        );
+    }
+    let mut db = open_mem(&vfs);
+    let rows = db.execute_sql("SELECT x FROM s WHERE x >= 0").unwrap();
+    // Statement 0 of the failed script committed; statement 1 failed
+    // before touching anything; statement 2 never ran.
+    assert_eq!(rows.count, 2);
+    assert_eq!(
+        db.execute_sql("SELECT MAX(x) FROM s").unwrap().aggregate,
+        Some(Value::Int(2))
+    );
+}
+
+#[test]
+fn disk_backed_database_round_trips() {
+    let dir = std::env::temp_dir().join(format!(
+        "cdpd-durability-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let before = {
+        let mut db = Database::open(&dir).unwrap();
+        load(&mut db, 120);
+        db.create_index(&IndexSpec::new("t", &["b"])).unwrap();
+        digest(&db)
+    };
+    let db = Database::open(&dir).unwrap();
+    let after = digest(&db);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_eq!(after, before);
+}

@@ -611,6 +611,38 @@ impl BTree {
         self.pages
     }
 
+    /// The tree's pages in allocation order (for catalog persistence).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// The root page id (for catalog persistence).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Reattach a tree persisted by a durable pager, from exactly the
+    /// shape its accessors ([`BTree::root`], [`BTree::height`],
+    /// [`BTree::pages`], [`BTree::leaf_count`], [`BTree::entry_count`])
+    /// reported at commit time; the node contents come from the pager.
+    pub fn from_parts(
+        pager: Arc<Pager>,
+        root: PageId,
+        height: u32,
+        pages: Vec<PageId>,
+        leaf_count: u64,
+        entry_count: u64,
+    ) -> BTree {
+        BTree {
+            pager,
+            root,
+            height,
+            pages,
+            leaf_count,
+            entry_count,
+        }
+    }
+
     /// Number of leaf pages (= full index-only scan cost in reads).
     pub fn leaf_count(&self) -> u64 {
         self.leaf_count

@@ -1,0 +1,407 @@
+//! File-backed pager state: the checksummed data file, the ping-pong
+//! header pair, and the recovered-state plumbing shared by
+//! [`crate::Pager::open_durable`], commit, and checkpoint.
+//!
+//! A durable pager owns four files inside one [`crate::Vfs`] namespace:
+//!
+//! * `data` — page slot `i` at byte offset `i * PAGE_SIZE`, page-aligned;
+//! * `sums` — 16 bytes per page: `crc64` of the page image plus a
+//!   written flag, kept out of `data` so page I/O stays aligned and a
+//!   never-written slot is distinguishable from a zero page;
+//! * `wal` — the write-ahead log ([`crate::wal`]);
+//! * `hdr.0` / `hdr.1` — ping-pong checkpoint headers. Checkpoints
+//!   alternate slots, so a torn header write always leaves the previous
+//!   checkpoint's header intact; recovery adopts the valid header with
+//!   the highest sequence number and replays the WAL on top of it.
+//!
+//! Crash-ordering invariants (enforced by the pager, verified by the
+//! kill-at-any-point suite):
+//!
+//! 1. a page reaches `data` only after the commit that produced it is
+//!    in the WAL (write-ahead rule) — so every potentially torn `data`
+//!    or `sums` write is shadowed by a WAL page image at recovery;
+//! 2. the WAL is truncated only after the new header is fsynced — so a
+//!    crash anywhere inside a checkpoint recovers from either the old
+//!    header plus the full WAL or the new header plus a WAL whose stale
+//!    transactions are skipped by sequence number.
+
+use crate::crc::{crc64, crc64_begin, crc64_finish, crc64_update};
+use crate::pager::{Page, PAGER_SHARDS, PAGE_SIZE};
+use crate::vfs::{Vfs, VfsFile};
+use crate::wal::WalWriter;
+use cdpd_types::{Error, PageId, Result};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+pub(crate) const FILE_DATA: &str = "data";
+pub(crate) const FILE_SUMS: &str = "sums";
+pub(crate) const FILE_WAL: &str = "wal";
+pub(crate) const FILE_HDR: [&str; 2] = ["hdr.0", "hdr.1"];
+
+const HDR_MAGIC: &[u8; 8] = b"CDPDHDR1";
+const SUM_ENTRY: u64 = 16;
+const SUM_WRITTEN: u64 = 1;
+
+/// Tuning knobs for a durable pager.
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// Target resident pages in the pager's cache; clean pages past the
+    /// budget are evicted clock-LRU per stripe, dirty pages are pinned
+    /// until the next checkpoint. `0` means unbounded (everything stays
+    /// resident, like the in-memory pager).
+    pub cache_pages: usize,
+    /// Group-commit factor: fsync the WAL every `n`-th commit. `1`
+    /// fsyncs every commit (the recovery suite's setting — every
+    /// acknowledged commit is durable).
+    pub group_commit: usize,
+    /// Auto-checkpoint once the WAL grows past this many bytes; `0`
+    /// disables auto-checkpointing (callers checkpoint explicitly).
+    pub checkpoint_wal_bytes: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            cache_pages: 0,
+            group_commit: 1,
+            checkpoint_wal_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Cumulative durable-tier counters, readable at any time (the
+/// physical ledger — logical I/O stays in [`crate::IoStats`]).
+///
+/// Each field mirrors a `cdpd-obs` tracked counter incremented at the
+/// same call site (`storage.wal.appends` / `.commits` / `.fsyncs`,
+/// `storage.writeback.pages`, `storage.checkpoint.completed`,
+/// `storage.backend.fetches`), so per-pager deltas reconcile exactly
+/// with the registry — property-tested in `tests/obs_ledger.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DurableStats {
+    /// WAL page frames appended.
+    pub wal_appends: u64,
+    /// WAL commit frames appended.
+    pub wal_commits: u64,
+    /// WAL fsyncs issued (group commit batches these).
+    pub wal_fsyncs: u64,
+    /// Pages written back to the data file by checkpoints.
+    pub writeback_pages: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Physical page fetches from the data file (cache misses).
+    pub backend_fetches: u64,
+}
+
+impl DurableStats {
+    /// Counter increase from `earlier` to `self`.
+    pub fn delta(self, earlier: DurableStats) -> DurableStats {
+        DurableStats {
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_commits: self.wal_commits - earlier.wal_commits,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            writeback_pages: self.writeback_pages - earlier.writeback_pages,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            backend_fetches: self.backend_fetches - earlier.backend_fetches,
+        }
+    }
+}
+
+/// The committed allocation state carried by commit frames and headers.
+#[derive(Clone, Default)]
+pub(crate) struct CommittedMeta {
+    pub(crate) next: u32,
+    pub(crate) free: Vec<Vec<PageId>>,
+    pub(crate) app_meta: Vec<u8>,
+}
+
+pub(crate) fn encode_meta(meta: &CommittedMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&meta.next.to_le_bytes());
+    out.extend_from_slice(&(meta.free.len() as u32).to_le_bytes());
+    for list in &meta.free {
+        out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+        for id in list {
+            out.extend_from_slice(&id.raw().to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(meta.app_meta.len() as u64).to_le_bytes());
+    out.extend_from_slice(&meta.app_meta);
+    out
+}
+
+pub(crate) fn decode_meta(bytes: &[u8]) -> Result<CommittedMeta> {
+    let corrupt = || Error::Corrupt("short pager commit metadata".into());
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = bytes.get(*off..*off + n).ok_or_else(corrupt)?;
+        *off += n;
+        Ok(s)
+    };
+    let next = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes"));
+    let lists = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes")) as usize;
+    if lists != PAGER_SHARDS {
+        return Err(Error::Corrupt(format!(
+            "pager metadata has {lists} free lists, expected {PAGER_SHARDS}"
+        )));
+    }
+    let mut free = Vec::with_capacity(lists);
+    for _ in 0..lists {
+        let n = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes")) as usize;
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            list.push(PageId(u32::from_le_bytes(
+                take(&mut off, 4)?.try_into().expect("4 bytes"),
+            )));
+        }
+        free.push(list);
+    }
+    let app_len = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8 bytes")) as usize;
+    let app_meta = take(&mut off, app_len)?.to_vec();
+    if off != bytes.len() {
+        return Err(Error::Corrupt("trailing bytes in pager metadata".into()));
+    }
+    Ok(CommittedMeta {
+        next,
+        free,
+        app_meta,
+    })
+}
+
+/// A parsed checkpoint header.
+pub(crate) struct Header {
+    pub(crate) ckpt_no: u64,
+    pub(crate) seq: u64,
+    pub(crate) meta: CommittedMeta,
+}
+
+pub(crate) fn encode_header(ckpt_no: u64, seq: u64, meta: &CommittedMeta) -> Vec<u8> {
+    let body = encode_meta(meta);
+    let mut out = Vec::with_capacity(8 + 8 + 8 + 4 + body.len() + 8);
+    out.extend_from_slice(HDR_MAGIC);
+    out.extend_from_slice(&ckpt_no.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc64_finish(crc64_update(crc64_begin(), &out));
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parse one header file; `None` if missing, torn, or corrupt (the
+/// caller falls back to the other slot).
+pub(crate) fn read_header(file: &dyn VfsFile) -> Option<Header> {
+    let mut fixed = [0u8; 28];
+    if file.read_at(0, &mut fixed).ok()? < fixed.len() || &fixed[..8] != HDR_MAGIC {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(fixed[24..28].try_into().expect("4 bytes")) as usize;
+    let total = 28 + body_len + 8;
+    let mut bytes = vec![0u8; total];
+    if file.read_at(0, &mut bytes).ok()? < total {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(total - 8);
+    let crc = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+    if crc64_finish(crc64_update(crc64_begin(), body)) != crc {
+        return None;
+    }
+    let ckpt_no = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes"));
+    let meta = decode_meta(&body[28..]).ok()?;
+    Some(Header { ckpt_no, seq, meta })
+}
+
+/// The durable half of a pager: file handles, WAL writer, and the
+/// physical-I/O ledger.
+pub(crate) struct Durable {
+    pub(crate) data: Box<dyn VfsFile>,
+    pub(crate) sums: Box<dyn VfsFile>,
+    pub(crate) hdr: [Box<dyn VfsFile>; 2],
+    pub(crate) wal: Mutex<WalWriter>,
+    pub(crate) opts: DurableOptions,
+    /// Sequence number of the last committed transaction.
+    pub(crate) seq: AtomicU64,
+    /// Checkpoints taken over the pager's life (drives header ping-pong).
+    pub(crate) ckpt_no: AtomicU64,
+    /// Snapshot of the last committed state (what a checkpoint headers).
+    pub(crate) committed: Mutex<CommittedMeta>,
+    pub(crate) wal_appends: AtomicU64,
+    pub(crate) wal_commits: AtomicU64,
+    pub(crate) wal_fsyncs: AtomicU64,
+    pub(crate) writeback_pages: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) backend_fetches: AtomicU64,
+}
+
+impl Durable {
+    /// Per-stripe resident-page budget implied by the cache option.
+    pub(crate) fn stripe_capacity(&self) -> usize {
+        if self.opts.cache_pages == 0 {
+            usize::MAX
+        } else {
+            self.opts.cache_pages.div_ceil(PAGER_SHARDS).max(1)
+        }
+    }
+
+    /// Physically fetch page `id` from the data file, verifying its
+    /// checksum; a slot never written back reads as a blank page.
+    pub(crate) fn fetch(&self, id: PageId) -> Result<Page> {
+        let mut sum = [0u8; SUM_ENTRY as usize];
+        let n = self.sums.read_at(id.raw() as u64 * SUM_ENTRY, &mut sum)?;
+        if n < sum.len() {
+            // Slot beyond the sums file: allocated but never checkpointed.
+            return Ok(Arc::new([0u8; PAGE_SIZE]));
+        }
+        let crc = u64::from_le_bytes(sum[..8].try_into().expect("8 bytes"));
+        let flags = u64::from_le_bytes(sum[8..].try_into().expect("8 bytes"));
+        if flags & SUM_WRITTEN == 0 {
+            return Ok(Arc::new([0u8; PAGE_SIZE]));
+        }
+        let mut page = [0u8; PAGE_SIZE];
+        let n = self
+            .data
+            .read_at(id.raw() as u64 * PAGE_SIZE as u64, &mut page)?;
+        if n < PAGE_SIZE {
+            return Err(Error::Corrupt(format!(
+                "page {id} truncated in data file ({n} of {PAGE_SIZE} bytes)"
+            )));
+        }
+        if crc64(&page) != crc {
+            return Err(Error::Corrupt(format!("page {id} checksum mismatch")));
+        }
+        Ok(Arc::new(page))
+    }
+
+    /// Write one page image (and its checksum entry) back to the data
+    /// file. Not fsynced — the checkpoint fsyncs both files once after
+    /// the whole writeback pass.
+    pub(crate) fn write_back(&self, id: PageId, page: &Page) -> Result<()> {
+        self.data
+            .write_at(id.raw() as u64 * PAGE_SIZE as u64, &page[..])?;
+        let mut sum = [0u8; SUM_ENTRY as usize];
+        sum[..8].copy_from_slice(&crc64(&page[..]).to_le_bytes());
+        sum[8..].copy_from_slice(&SUM_WRITTEN.to_le_bytes());
+        self.sums.write_at(id.raw() as u64 * SUM_ENTRY, &sum)?;
+        Ok(())
+    }
+}
+
+/// Outcome of opening a durable pager: the recovered pager plus the
+/// application metadata blob of the last committed transaction.
+pub struct DurableOpen {
+    /// The recovered pager.
+    pub pager: crate::Pager,
+    /// Application metadata from the newest committed transaction (the
+    /// engine's serialized catalog), empty for a fresh database.
+    pub app_meta: Vec<u8>,
+    /// Sequence number of the newest committed transaction (0 for a
+    /// fresh database).
+    pub committed_seq: u64,
+}
+
+/// Decide how to start from what the VFS holds: a valid header (normal
+/// recovery), nothing at all (fresh database), or corruption.
+pub(crate) fn recover_base(vfs: &dyn Vfs) -> Result<Option<Header>> {
+    let mut best: Option<Header> = None;
+    for name in FILE_HDR {
+        if !vfs.exists(name) {
+            continue;
+        }
+        if let Some(h) = read_header(&*vfs.open(name)?) {
+            if best
+                .as_ref()
+                .is_none_or(|b| (h.seq, h.ckpt_no) >= (b.seq, b.ckpt_no))
+            {
+                best = Some(h);
+            }
+        }
+    }
+    if best.is_some() {
+        return Ok(best);
+    }
+    // No valid header. If any durable evidence of a real database
+    // exists — a non-empty data file, or a committed WAL transaction —
+    // refuse to silently reinitialize; only a blank namespace (or one
+    // whose very first header write was torn before anything committed,
+    // which leaves the other files present but empty) is treated as
+    // fresh.
+    if vfs.exists(FILE_DATA) && vfs.open(FILE_DATA)?.len()? > 0 {
+        return Err(Error::Corrupt(
+            "no valid pager header but a data file exists".into(),
+        ));
+    }
+    if vfs.exists(FILE_WAL) {
+        let (txns, _) = crate::wal::scan(&*vfs.open(FILE_WAL)?)?;
+        if !txns.is_empty() {
+            return Err(Error::Corrupt(
+                "no valid pager header but the WAL holds committed transactions".into(),
+            ));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = CommittedMeta {
+            next: 42,
+            free: (0..PAGER_SHARDS)
+                .map(|s| (0..s).map(|i| PageId((s * 16 + i) as u32)).collect())
+                .collect(),
+            app_meta: b"catalog bytes".to_vec(),
+        };
+        let decoded = decode_meta(&encode_meta(&meta)).unwrap();
+        assert_eq!(decoded.next, 42);
+        assert_eq!(decoded.free.len(), PAGER_SHARDS);
+        assert_eq!(decoded.free[3].len(), 3);
+        assert_eq!(decoded.app_meta, b"catalog bytes");
+    }
+
+    #[test]
+    fn meta_rejects_garbage() {
+        assert!(decode_meta(b"").is_err());
+        assert!(decode_meta(&[0u8; 6]).is_err());
+        let meta = CommittedMeta {
+            next: 1,
+            free: vec![Vec::new(); PAGER_SHARDS],
+            app_meta: Vec::new(),
+        };
+        let mut bytes = encode_meta(&meta);
+        bytes.push(0); // trailing byte
+        assert!(decode_meta(&bytes).is_err());
+    }
+
+    #[test]
+    fn header_roundtrip_and_corruption() {
+        let vfs = MemVfs::new();
+        let meta = CommittedMeta {
+            next: 7,
+            free: vec![Vec::new(); PAGER_SHARDS],
+            app_meta: b"app".to_vec(),
+        };
+        let bytes = encode_header(3, 19, &meta);
+        vfs.open("hdr.0").unwrap().write_at(0, &bytes).unwrap();
+        let h = read_header(&*vfs.open("hdr.0").unwrap()).unwrap();
+        assert_eq!(h.ckpt_no, 3);
+        assert_eq!(h.seq, 19);
+        assert_eq!(h.meta.next, 7);
+        assert_eq!(h.meta.app_meta, b"app");
+
+        // A single flipped byte anywhere invalidates the header.
+        for pos in [0usize, 9, 20, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 1;
+            vfs.overwrite("hdr.0", bad);
+            assert!(read_header(&*vfs.open("hdr.0").unwrap()).is_none());
+        }
+        // Torn (short) header.
+        vfs.overwrite("hdr.0", bytes[..bytes.len() / 2].to_vec());
+        assert!(read_header(&*vfs.open("hdr.0").unwrap()).is_none());
+    }
+}

@@ -34,6 +34,24 @@ impl HeapFile {
         }
     }
 
+    /// Reattach a heap persisted by a durable pager: `pages` (in chain
+    /// order) and `row_count` come from the serialized catalog, the
+    /// page contents from the pager itself. The caller must pass back
+    /// exactly what [`HeapFile::pages`] / [`HeapFile::row_count`]
+    /// reported at commit time.
+    pub fn from_parts(pager: Arc<Pager>, pages: Vec<PageId>, row_count: u64) -> HeapFile {
+        HeapFile {
+            pager,
+            pages,
+            row_count,
+        }
+    }
+
+    /// The heap's pages in chain order (for catalog persistence).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// Insert an encoded row, returning its record id.
     pub fn insert(&mut self, row: &[u8]) -> Result<Rid> {
         if row.len() + 8 > PAGE_SIZE {

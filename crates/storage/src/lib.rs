@@ -26,18 +26,36 @@
 //!   point seeks, ordered range cursors, full leaf scans (for index-only
 //!   plans), incremental inserts with node splits, deletes, and sorted
 //!   bulk loading (used by `CREATE INDEX`).
+//!
+//! # Durability
+//!
+//! [`Pager::new`] stays purely in-memory (the configuration every
+//! experiment and historical test runs). [`Pager::open_durable`] backs
+//! the same pager with files behind a [`Vfs`] — a checksummed data
+//! file, a write-ahead log with group commit, and ping-pong checkpoint
+//! headers — so a database survives a crash at any point and recovers
+//! to the last committed transaction. See [`vfs`] for the backend seam
+//! ([`DiskVfs`] for real directories, [`MemVfs`] for tests) and
+//! [`DurableOptions`] for the cache/fsync/checkpoint knobs.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod slotted;
+pub mod vfs;
 
 mod btree;
+mod crc;
+mod durable;
 mod heap;
 mod pager;
 mod pool;
+mod wal;
 
 pub use btree::{BTree, BTreeCursor};
+pub use crc::crc64;
+pub use durable::{DurableOpen, DurableOptions, DurableStats};
 pub use heap::{HeapFile, HeapScan};
 pub use pager::{IoStats, Page, Pager, ThreadIoScope, PAGER_SHARDS, PAGE_SIZE};
 pub use pool::BufferPool;
+pub use vfs::{DiskVfs, MemVfs, Vfs, VfsFile};

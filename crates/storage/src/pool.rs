@@ -5,6 +5,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
+/// One cached page: its image, a per-stripe LRU stamp, and whether the
+/// cached copy is newer than the pager's (dirty, awaiting writeback).
+struct Entry {
+    page: Page,
+    stamp: u64,
+    dirty: bool,
+}
+
 /// An LRU buffer pool in front of a [`Pager`].
 ///
 /// The pager counts *logical* reads — the deterministic quantity the
@@ -24,9 +32,12 @@ use std::sync::Mutex;
 /// capacity still fits the per-stripe capacities for the scan and
 /// index-probe patterns the executor produces.
 ///
-/// Writes invalidate the cached copy so the next read re-fetches
-/// (write-through, drop-on-write); this keeps the pool trivially
-/// coherent with copy-on-write pages.
+/// The pool is a *write-back* cache: [`BufferPool::write`] replaces the
+/// cached copy and marks it dirty without touching the pager; dirty
+/// pages reach the pager when they are evicted or when the caller
+/// [`BufferPool::flush`]es (e.g. before a durable pager's commit).
+/// Callers that write through the pager directly instead must
+/// [`BufferPool::invalidate`] the stale cached copy, exactly as before.
 pub struct BufferPool {
     pager: Arc<Pager>,
     /// Per-stripe capacity in pages.
@@ -38,8 +49,8 @@ pub struct BufferPool {
 
 #[derive(Default)]
 struct PoolStripe {
-    /// page -> (cached page, last-access stamp)
-    map: HashMap<u32, (Page, u64)>,
+    /// page -> cached entry
+    map: HashMap<u32, Entry>,
     clock: u64,
 }
 
@@ -85,25 +96,29 @@ impl BufferPool {
         let mut inner = stripe.lock().expect("pool lock poisoned");
         inner.clock += 1;
         let stamp = inner.clock;
-        if let Some((page, last)) = inner.map.get_mut(&id.raw()) {
-            *last = stamp;
+        if let Some(entry) = inner.map.get_mut(&id.raw()) {
+            entry.stamp = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
             cdpd_obs::counter!("storage.pool.hits").inc();
-            return Ok(page.clone());
+            return Ok(entry.page.clone());
         }
         drop(inner);
         let page = self.pager.read(id)?;
         let mut inner = stripe.lock().expect("pool lock poisoned");
+        self.evict_for(&mut inner, id)?;
         let mut delta = 1i64;
-        if inner.map.len() >= self.stripe_capacity && !inner.map.contains_key(&id.raw()) {
-            // Evict the stripe's least recently used entry.
-            if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, (_, t))| *t) {
-                inner.map.remove(&victim);
-                cdpd_obs::counter!("storage.pool.evictions").inc();
-                delta -= 1;
-            }
-        }
-        if inner.map.insert(id.raw(), (page.clone(), stamp)).is_some() {
+        if inner
+            .map
+            .insert(
+                id.raw(),
+                Entry {
+                    page: page.clone(),
+                    stamp,
+                    dirty: false,
+                },
+            )
+            .is_some()
+        {
             delta -= 1;
         }
         cdpd_obs::gauge!("storage.pool.resident").add(delta);
@@ -112,7 +127,95 @@ impl BufferPool {
         Ok(page)
     }
 
-    /// Invalidate a cached page (call after writing through the pager).
+    /// Cache `page` as the new contents of `id` and mark it dirty; the
+    /// pager sees the write when the entry is evicted or flushed.
+    pub fn write(&self, id: PageId, page: Page) -> Result<()> {
+        let stripe = &self.stripes[stripe_of(id)];
+        let mut inner = stripe.lock().expect("pool lock poisoned");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        self.evict_for(&mut inner, id)?;
+        if inner
+            .map
+            .insert(
+                id.raw(),
+                Entry {
+                    page,
+                    stamp,
+                    dirty: true,
+                },
+            )
+            .is_none()
+        {
+            cdpd_obs::gauge!("storage.pool.resident").add(1);
+        }
+        cdpd_obs::counter!("storage.pool.dirty_writes").inc();
+        Ok(())
+    }
+
+    /// Make room for `id` in a full stripe by evicting the least
+    /// recently used entry, writing it back through the pager first
+    /// when dirty.
+    fn evict_for(&self, inner: &mut PoolStripe, id: PageId) -> Result<()> {
+        if inner.map.len() < self.stripe_capacity || inner.map.contains_key(&id.raw()) {
+            return Ok(());
+        }
+        if let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.stamp) {
+            let entry = inner.map.remove(&victim).expect("victim resident");
+            if entry.dirty {
+                self.pager.write(PageId(victim), entry.page)?;
+                cdpd_obs::counter!("storage.pool.writebacks").inc();
+            }
+            cdpd_obs::counter!("storage.pool.evictions").inc();
+            cdpd_obs::gauge!("storage.pool.resident").add(-1);
+        }
+        Ok(())
+    }
+
+    /// Write every dirty page back through the pager (leaving it cached
+    /// clean) and return how many were written. Call before committing
+    /// a durable pager so its WAL sees the pool's latest images.
+    pub fn flush(&self) -> Result<u64> {
+        let mut written = 0u64;
+        for stripe in &self.stripes {
+            let mut inner = stripe.lock().expect("pool lock poisoned");
+            // Deterministic writeback order within the stripe.
+            let mut dirty: Vec<u32> = inner
+                .map
+                .iter()
+                .filter(|(_, e)| e.dirty)
+                .map(|(&id, _)| id)
+                .collect();
+            dirty.sort_unstable();
+            for id in dirty {
+                let entry = inner.map.get_mut(&id).expect("dirty entry resident");
+                self.pager.write(PageId(id), entry.page.clone())?;
+                entry.dirty = false;
+                written += 1;
+                cdpd_obs::counter!("storage.pool.writebacks").inc();
+            }
+        }
+        Ok(written)
+    }
+
+    /// Number of dirty pages currently cached.
+    pub fn dirty(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("pool lock poisoned")
+                    .map
+                    .values()
+                    .filter(|e| e.dirty)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Invalidate a cached page (call after writing through the pager
+    /// directly). Discards the cached copy even if dirty — the caller
+    /// is asserting the pager's copy is newer.
     pub fn invalidate(&self, id: PageId) {
         let removed = self.stripes[stripe_of(id)]
             .lock()
@@ -124,7 +227,8 @@ impl BufferPool {
         }
     }
 
-    /// Drop all cached pages (e.g. after a bulk load).
+    /// Drop all cached pages (e.g. after a bulk load), discarding any
+    /// dirty ones — [`BufferPool::flush`] first to keep them.
     pub fn clear(&self) {
         let mut dropped = 0i64;
         for stripe in &self.stripes {
@@ -260,5 +364,56 @@ mod tests {
     fn zero_capacity_rejected() {
         let pager = Arc::new(Pager::new());
         BufferPool::new(pager, 0);
+    }
+
+    fn page_of(b: u8) -> Page {
+        Arc::new([b; crate::PAGE_SIZE])
+    }
+
+    #[test]
+    fn dirty_write_is_cached_not_written_through() {
+        let (pager, pool) = setup(1, 4);
+        let before = pager.stats();
+        pool.write(PageId(0), page_of(7)).unwrap();
+        assert_eq!(pager.stats().delta(before).writes, 0, "write is deferred");
+        assert_eq!(pool.dirty(), 1);
+        // The pool serves its own dirty copy…
+        assert_eq!(pool.read(PageId(0)).unwrap()[0], 7);
+        // …while the pager still has the old bytes.
+        assert_eq!(pager.read(PageId(0)).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages_back() {
+        let (pager, pool) = setup(3, 8);
+        pool.write(PageId(0), page_of(1)).unwrap();
+        pool.write(PageId(1), page_of(2)).unwrap();
+        pool.read(PageId(2)).unwrap(); // clean entry, must not be flushed
+        let before = pager.stats();
+        assert_eq!(pool.flush().unwrap(), 2);
+        assert_eq!(pager.stats().delta(before).writes, 2);
+        assert_eq!(pager.read(PageId(0)).unwrap()[0], 1);
+        assert_eq!(pager.read(PageId(1)).unwrap()[0], 2);
+        assert_eq!(pool.dirty(), 0);
+        // Flushed pages stay cached (clean): re-reading them is a hit.
+        let (hits_before, _) = pool.stats();
+        pool.read(PageId(0)).unwrap();
+        assert_eq!(pool.stats().0, hits_before + 1);
+        // A second flush has nothing to do.
+        assert_eq!(pool.flush().unwrap(), 0);
+    }
+
+    #[test]
+    fn evicting_a_dirty_victim_writes_it_back() {
+        // One slot per stripe: a second page in stripe 0 evicts the first.
+        let (pager, pool) = setup(2 * PAGER_SHARDS as u32, PAGER_SHARDS);
+        pool.write(same_stripe(0), page_of(9)).unwrap();
+        pool.read(same_stripe(1)).unwrap(); // evicts the dirty page 0
+        assert_eq!(
+            pager.read(same_stripe(0)).unwrap()[0],
+            9,
+            "dirty victim must be written back, not dropped"
+        );
+        assert_eq!(pool.dirty(), 0);
     }
 }

@@ -1,0 +1,343 @@
+//! Virtual file system: the seam between the durable pager and the
+//! bytes it persists.
+//!
+//! The durable tier ([`crate::Pager::open_durable`]) talks to storage
+//! exclusively through [`Vfs`]/[`VfsFile`], so the same WAL, checkpoint,
+//! and recovery code runs against three backends:
+//!
+//! * [`DiskVfs`] — real files in a directory (production);
+//! * [`MemVfs`] — named in-memory byte buffers shared between opens,
+//!   so tests can "crash" a database (drop it) and reopen the surviving
+//!   bytes without touching the real file system;
+//! * `FaultyVfs` (in `cdpd-testkit`) — a wrapper that injects a
+//!   process-kill at the N-th mutating operation, optionally tearing
+//!   the final write, which is what drives the crash-recovery property
+//!   suite.
+//!
+//! All offsets are absolute; files grow implicitly on writes past the
+//! end (zero-filled gaps), like POSIX files.
+
+use cdpd_types::{Error, Result};
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// One open file: positioned reads/writes plus durability control.
+///
+/// Handles are internally synchronized (`&self` everywhere) so a pager
+/// can read pages back while its WAL handle appends.
+#[allow(clippy::len_without_is_empty)] // fallible len; an is_empty would hide the error
+pub trait VfsFile: Send + Sync {
+    /// Read up to `buf.len()` bytes at `off`, returning the count
+    /// actually read (short at end-of-file, 0 past it).
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<usize>;
+    /// Write all of `data` at `off`, extending the file (zero-filling
+    /// any gap) when it ends past the current length.
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()>;
+    /// Force written bytes to stable storage (fsync).
+    fn sync(&self) -> Result<()>;
+    /// Current length in bytes.
+    fn len(&self) -> Result<u64>;
+    /// Truncate (or zero-extend) to exactly `len` bytes.
+    fn truncate(&self, len: u64) -> Result<()>;
+}
+
+/// A namespace of files the durable pager stores its state in.
+pub trait Vfs: Send + Sync {
+    /// Open `name`, creating it empty if it does not exist.
+    fn open(&self, name: &str) -> Result<Box<dyn VfsFile>>;
+    /// Whether `name` currently exists.
+    fn exists(&self, name: &str) -> bool;
+    /// Remove `name`. Removing a missing file is not an error.
+    fn delete(&self, name: &str) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Disk
+
+/// [`Vfs`] over a real directory: file `name` lives at `root/name`.
+pub struct DiskVfs {
+    root: PathBuf,
+}
+
+impl DiskVfs {
+    /// Open (creating if needed) the directory `root` as a VFS root.
+    pub fn new(root: impl Into<PathBuf>) -> Result<DiskVfs> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskVfs { root })
+    }
+
+    /// The directory backing this VFS.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf> {
+        if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+            return Err(Error::InvalidArgument(format!(
+                "bad vfs file name {name:?}"
+            )));
+        }
+        Ok(self.root.join(name))
+    }
+}
+
+impl Vfs for DiskVfs {
+    fn open(&self, name: &str) -> Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.path_of(name)?)?;
+        Ok(Box::new(DiskFile {
+            file: Mutex::new(file),
+        }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_of(name).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        match std::fs::remove_file(self.path_of(name)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+struct DiskFile {
+    // Seek-based positioning keeps this portable; the lock serializes
+    // handle use, which is fine for a single-writer pager whose reads
+    // go through the page cache.
+    file: Mutex<std::fs::File>,
+}
+
+impl VfsFile for DiskFile {
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut file = self.file.lock().expect("vfs lock poisoned");
+        file.seek(SeekFrom::Start(off))?;
+        let mut total = 0;
+        while total < buf.len() {
+            match file.read(&mut buf[total..]) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(total)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()> {
+        let mut file = self.file.lock().expect("vfs lock poisoned");
+        file.seek(SeekFrom::Start(off))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().expect("vfs lock poisoned").sync_all()?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self
+            .file
+            .lock()
+            .expect("vfs lock poisoned")
+            .metadata()?
+            .len())
+    }
+
+    fn truncate(&self, len: u64) -> Result<()> {
+        self.file.lock().expect("vfs lock poisoned").set_len(len)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+type MemStore = Arc<Mutex<HashMap<String, Arc<Mutex<Vec<u8>>>>>>;
+
+/// In-memory [`Vfs`]: named byte buffers shared between clones.
+///
+/// Cloning a `MemVfs` clones a *handle* to the same store, so a test
+/// can open a durable pager on one clone, drop the pager (the
+/// process-model "crash"), and reopen from another clone — exactly the
+/// bytes that were written survive. [`MemVfs::snapshot`] and
+/// [`MemVfs::overwrite`] give corruption tests direct access to a
+/// file's raw content.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    files: MemStore,
+}
+
+impl MemVfs {
+    /// An empty in-memory namespace.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// Copy of `name`'s current bytes, if it exists.
+    pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("vfs lock poisoned")
+            .get(name)
+            .map(|f| f.lock().expect("vfs lock poisoned").clone())
+    }
+
+    /// Replace `name`'s bytes wholesale (creating it if missing) — the
+    /// corruption-injection hook used by negative recovery tests.
+    pub fn overwrite(&self, name: &str, bytes: Vec<u8>) {
+        let file = Arc::clone(
+            self.files
+                .lock()
+                .expect("vfs lock poisoned")
+                .entry(name.to_owned())
+                .or_default(),
+        );
+        *file.lock().expect("vfs lock poisoned") = bytes;
+    }
+}
+
+impl Vfs for MemVfs {
+    fn open(&self, name: &str) -> Result<Box<dyn VfsFile>> {
+        let file = Arc::clone(
+            self.files
+                .lock()
+                .expect("vfs lock poisoned")
+                .entry(name.to_owned())
+                .or_default(),
+        );
+        Ok(Box::new(MemFile { bytes: file }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files
+            .lock()
+            .expect("vfs lock poisoned")
+            .contains_key(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.files.lock().expect("vfs lock poisoned").remove(name);
+        Ok(())
+    }
+}
+
+struct MemFile {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl VfsFile for MemFile {
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> Result<usize> {
+        let bytes = self.bytes.lock().expect("vfs lock poisoned");
+        let off = off as usize;
+        if off >= bytes.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(bytes.len() - off);
+        buf[..n].copy_from_slice(&bytes[off..off + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()> {
+        let mut bytes = self.bytes.lock().expect("vfs lock poisoned");
+        let off = off as usize;
+        let end = off + data.len();
+        if bytes.len() < end {
+            bytes.resize(end, 0);
+        }
+        bytes[off..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.bytes.lock().expect("vfs lock poisoned").len() as u64)
+    }
+
+    fn truncate(&self, len: u64) -> Result<()> {
+        self.bytes
+            .lock()
+            .expect("vfs lock poisoned")
+            .resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(vfs: &dyn Vfs) {
+        let f = vfs.open("a").unwrap();
+        assert_eq!(f.len().unwrap(), 0);
+        f.write_at(0, b"hello").unwrap();
+        f.write_at(8, b"world").unwrap(); // gap is zero-filled
+        assert_eq!(f.len().unwrap(), 13);
+        let mut buf = [0u8; 13];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 13);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(&buf[5..8], &[0, 0, 0]);
+        assert_eq!(&buf[8..], b"world");
+        // Short read at the tail, empty read past the end.
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read_at(10, &mut buf).unwrap(), 3);
+        assert_eq!(f.read_at(100, &mut buf).unwrap(), 0);
+        f.truncate(5).unwrap();
+        assert_eq!(f.len().unwrap(), 5);
+        f.sync().unwrap();
+        assert!(vfs.exists("a"));
+        assert!(!vfs.exists("b"));
+        vfs.delete("a").unwrap();
+        vfs.delete("never-existed").unwrap();
+    }
+
+    #[test]
+    fn mem_semantics() {
+        exercise(&MemVfs::new());
+    }
+
+    #[test]
+    fn disk_semantics() {
+        let dir = std::env::temp_dir().join(format!("cdpd-vfs-test-{}", std::process::id()));
+        let vfs = DiskVfs::new(&dir).unwrap();
+        exercise(&vfs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_clones_share_bytes() {
+        let a = MemVfs::new();
+        let b = a.clone();
+        a.open("x").unwrap().write_at(0, b"persisted").unwrap();
+        let f = b.open("x").unwrap();
+        let mut buf = [0u8; 9];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 9);
+        assert_eq!(&buf, b"persisted");
+        assert_eq!(b.snapshot("x").unwrap(), b"persisted");
+        b.overwrite("x", vec![1, 2, 3]);
+        assert_eq!(a.snapshot("x").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disk_rejects_escaping_names() {
+        let dir = std::env::temp_dir().join(format!("cdpd-vfs-esc-{}", std::process::id()));
+        let vfs = DiskVfs::new(&dir).unwrap();
+        assert!(vfs.open("../evil").is_err());
+        assert!(vfs.open("a/b").is_err());
+        assert!(vfs.open("").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

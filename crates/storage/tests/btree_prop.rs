@@ -2,9 +2,15 @@
 //! in-memory ordered map over `(values, rid)` keys, under arbitrary
 //! interleavings of inserts and deletes, and seeks must match the
 //! model's range queries.
+//!
+//! The durable variants run the same model against a file-backed pager:
+//! mutate → commit → checkpoint → reopen must reattach the identical
+//! tree (with both unbounded and tiny page caches, so recovery reads go
+//! through eviction + backend refetch), and corrupted data or checksum
+//! files must surface as clean [`Err`]s — never as wrong answers or UB.
 
 use cdpd_storage::codec::decode_key;
-use cdpd_storage::{BTree, Pager};
+use cdpd_storage::{BTree, DurableOptions, MemVfs, Pager, PAGE_SIZE};
 use cdpd_testkit::prop::{btree_set_of, vec_of, Config, Strategy};
 use cdpd_testkit::{one_of, props};
 use cdpd_types::{PageId, Rid, Value};
@@ -123,6 +129,59 @@ props! {
         assert_eq!(got, want);
     }
 
+    fn durable_tree_round_trips_through_commit_and_reopen(
+        ops in vec_of(op_strategy(), 1..200),
+    ) {
+        // Tiny cache on odd-length scripts: dirty pages pin, clean ones
+        // evict, and the post-reopen verification must refetch from the
+        // file backend.
+        let cache_pages = if ops.len() % 2 == 0 { 0 } else { 8 };
+        let opts = DurableOptions {
+            cache_pages,
+            group_commit: 1,
+            checkpoint_wal_bytes: 0,
+        };
+        let vfs = MemVfs::new();
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+        let parts = {
+            let open = Pager::open_durable(Arc::new(vfs.clone()), opts.clone()).unwrap();
+            let pager = Arc::new(open.pager);
+            let mut tree = BTree::create(Arc::clone(&pager)).unwrap();
+            // Commit mid-script too, so reopen replays a WAL whose tail
+            // rewrites pages an earlier checkpoint already wrote back.
+            let mid = ops.len() / 2;
+            run_ops(&mut tree, &mut model, &ops[..mid]);
+            pager.commit(b"mid").unwrap();
+            pager.checkpoint().unwrap();
+            run_ops(&mut tree, &mut model, &ops[mid..]);
+            pager.commit(b"end").unwrap();
+            if ops.len() % 3 == 0 {
+                pager.checkpoint().unwrap();
+            }
+            (
+                tree.root(),
+                tree.height(),
+                tree.pages().to_vec(),
+                tree.leaf_count(),
+                tree.entry_count(),
+            )
+        };
+
+        let open = Pager::open_durable(Arc::new(vfs), opts).unwrap();
+        assert_eq!(open.app_meta, b"end");
+        let (root, height, pages, leaves, entries) = parts;
+        let mut tree =
+            BTree::from_parts(Arc::new(open.pager), root, height, pages, leaves, entries);
+        assert_matches_model(&tree, &model);
+        assert_eq!(tree.entry_count() as usize, model.len());
+        // Seeks against the recovered tree still match the model.
+        run_ops(
+            &mut tree,
+            &mut model,
+            &[Op::Seek(0), Op::Seek(100), Op::Seek(219)],
+        );
+    }
+
     fn composite_keys_scan_in_tuple_order(
         pairs in btree_set_of((0i64..50, 0i64..50), 0..500),
     ) {
@@ -149,4 +208,105 @@ props! {
         }
         assert_eq!(n, pairs.len());
     }
+}
+
+// --- Corruption negatives ----------------------------------------------
+
+type Parts = (PageId, u32, Vec<PageId>, u64, u64);
+
+/// A checkpointed multi-level tree on a `MemVfs`, ready to be damaged.
+fn checkpointed_tree(vfs: &MemVfs) -> Parts {
+    let opts = DurableOptions {
+        // Evict everything evictable so post-reopen reads must hit the
+        // (damaged) file backend rather than a warm cache.
+        cache_pages: 1,
+        group_commit: 1,
+        checkpoint_wal_bytes: 0,
+    };
+    let open = Pager::open_durable(Arc::new(vfs.clone()), opts).unwrap();
+    let pager = Arc::new(open.pager);
+    let mut tree = BTree::create(Arc::clone(&pager)).unwrap();
+    for i in 0..1500i64 {
+        tree.insert(
+            &[Value::Int(i % 200)],
+            Rid::new(PageId((i / 200) as u32), 0),
+        )
+        .unwrap();
+    }
+    assert!(tree.height() >= 2);
+    pager.commit(b"tree").unwrap();
+    pager.checkpoint().unwrap();
+    (
+        tree.root(),
+        tree.height(),
+        tree.pages().to_vec(),
+        tree.leaf_count(),
+        tree.entry_count(),
+    )
+}
+
+/// Reopen over (possibly damaged) bytes and fully scan the tree;
+/// `Ok(n)` is the entry count, `Err` is the clean failure under test.
+fn reopen_and_scan(vfs: &MemVfs, parts: &Parts) -> cdpd_types::Result<usize> {
+    let opts = DurableOptions {
+        cache_pages: 1,
+        group_commit: 1,
+        checkpoint_wal_bytes: 0,
+    };
+    let open = Pager::open_durable(Arc::new(vfs.clone()), opts)?;
+    let (root, height, pages, leaves, entries) = parts.clone();
+    let tree = BTree::from_parts(Arc::new(open.pager), root, height, pages, leaves, entries);
+    let mut cur = tree.scan_all()?;
+    let mut n = 0;
+    while cur.next_entry()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// A bit flip in any committed data page is detected by the page
+/// checksum: reads fail cleanly instead of decoding garbage.
+#[test]
+fn torn_or_flipped_data_pages_fail_reads_cleanly() {
+    let vfs = MemVfs::new();
+    let parts = checkpointed_tree(&vfs);
+    assert_eq!(reopen_and_scan(&vfs, &parts).unwrap(), 1500);
+
+    // Flip one byte in every page so the scan cannot dodge the damage.
+    let mut data = vfs.snapshot("data").unwrap();
+    for page in data.chunks_mut(PAGE_SIZE) {
+        page[page.len() / 3] ^= 0x40;
+    }
+    vfs.overwrite("data", data);
+    let err = reopen_and_scan(&vfs, &parts).expect_err("corruption must not decode");
+    assert!(
+        err.to_string().contains("checksum") || err.to_string().contains("corrupt"),
+        "unexpected error shape: {err}"
+    );
+
+    // A torn (short) data file fails cleanly too.
+    let vfs = MemVfs::new();
+    let parts = checkpointed_tree(&vfs);
+    let data = vfs.snapshot("data").unwrap();
+    vfs.overwrite("data", data[..data.len() / 2].to_vec());
+    reopen_and_scan(&vfs, &parts).expect_err("torn data file must not decode");
+}
+
+/// Damage to the checksum file itself is just as fatal — a stale or
+/// truncated `sums` must never vouch for the wrong bytes.
+#[test]
+fn corrupt_checksum_file_fails_cleanly() {
+    let vfs = MemVfs::new();
+    let parts = checkpointed_tree(&vfs);
+
+    let sums = vfs.snapshot("sums").unwrap();
+    let mut bad = sums.clone();
+    for b in bad.iter_mut() {
+        *b ^= 0x11;
+    }
+    vfs.overwrite("sums", bad);
+    reopen_and_scan(&vfs, &parts).expect_err("mismatched checksums must not verify");
+
+    vfs.overwrite("sums", sums[..sums.len() / 2].to_vec());
+    reopen_and_scan(&vfs, &parts).expect_err("truncated checksum file must not verify");
 }

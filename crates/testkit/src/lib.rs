@@ -17,11 +17,17 @@
 //! * [`mod@bench`] — a minimal criterion replacement (warmup, timed samples,
 //!   median/p95 report, optional JSON output via `CDPD_BENCH_JSON_DIR`)
 //!   keeping the `criterion_group!`/`criterion_main!` bench layout.
+//! * [`fault`] — deterministic crash injection ([`FaultyVfs`]): a VFS
+//!   wrapper that kills the process-model at the N-th mutating storage
+//!   operation with a seeded torn write, powering the kill-at-any-point
+//!   recovery property suite.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
+pub use fault::FaultyVfs;
 pub use rng::Prng;

@@ -38,6 +38,6 @@ mod trace;
 pub use gen::generate;
 pub use mix::{QueryMix, Template};
 pub use spec::WorkloadSpec;
-pub use stream::{stream_trace, OnlineShiftDetector, StatementStream};
+pub use stream::{stream_trace, OnlineShiftDetector, StatementStream, StreamState};
 pub use summarize::{summarize, Block, SummarizedWorkload, WeightedStatement};
 pub use trace::Trace;

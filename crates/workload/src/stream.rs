@@ -275,6 +275,100 @@ impl StatementStream {
         }
         out
     }
+
+    /// Snapshot the complete stream state for persistence. The open
+    /// window is captured as its weighted statements; the dedup map and
+    /// shape counts are derived on [`StatementStream::from_state`], so
+    /// the round trip is exact.
+    pub fn state(&self) -> StreamState {
+        StreamState {
+            table: self.table.clone(),
+            window_len: self.window_len,
+            max_windows: self.max_windows,
+            sealed: self.sealed.iter().cloned().collect(),
+            profiles: self.profiles.iter().cloned().collect(),
+            evicted: self.evicted,
+            pushed: self.pushed,
+            open: self.open.order.clone(),
+        }
+    }
+
+    /// Rebuild a stream from a persisted [`StreamState`]: the inverse
+    /// of [`StatementStream::state`]. A restored stream behaves
+    /// identically to the one that was saved — same future seals, same
+    /// blocks, same profiles.
+    ///
+    /// # Errors
+    /// The state must be internally consistent (valid window length
+    /// and capacity, matching sealed/profile counts, an open window
+    /// strictly smaller than `window_len`).
+    pub fn from_state(state: StreamState) -> Result<StatementStream> {
+        let mut stream =
+            StatementStream::with_capacity(state.table, state.window_len, state.max_windows)?;
+        if state.sealed.len() != state.profiles.len() {
+            return Err(Error::InvalidArgument(format!(
+                "stream state has {} sealed blocks but {} profiles",
+                state.sealed.len(),
+                state.profiles.len()
+            )));
+        }
+        let mut open = OpenWindow::default();
+        for ws in state.open {
+            if let Some(sig) = cost_signature(&ws.statement) {
+                if open.by_sig.insert(sig, open.order.len()).is_some() {
+                    return Err(Error::InvalidArgument(
+                        "open window has duplicate cost signatures".into(),
+                    ));
+                }
+            }
+            let shape_key = shape(&ws.statement);
+            *open.shapes.entry(shape_key).or_insert(0) += ws.count;
+            open.len += ws.count as usize;
+            open.order.push(ws);
+        }
+        if open.len >= state.window_len {
+            return Err(Error::InvalidArgument(format!(
+                "open window has {} statements, window length is {}",
+                open.len, state.window_len
+            )));
+        }
+        let retained: usize = state.sealed.iter().map(|b| b.len).sum();
+        if state.pushed < retained + open.len {
+            return Err(Error::InvalidArgument(
+                "stream state pushed count below retained statements".into(),
+            ));
+        }
+        stream.sealed = state.sealed.into();
+        stream.profiles = state.profiles.into();
+        stream.evicted = state.evicted;
+        stream.pushed = state.pushed;
+        stream.open = open;
+        Ok(stream)
+    }
+}
+
+/// Owned snapshot of a [`StatementStream`], produced by
+/// [`StatementStream::state`] and consumed by
+/// [`StatementStream::from_state`]. All fields are public so callers
+/// can serialize them with whatever codec they use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamState {
+    /// Target table.
+    pub table: String,
+    /// Statements per window.
+    pub window_len: usize,
+    /// Retention bound (`None` = unbounded).
+    pub max_windows: Option<usize>,
+    /// Retained sealed blocks, oldest first.
+    pub sealed: Vec<Block>,
+    /// Profiles of the retained sealed blocks, oldest first.
+    pub profiles: Vec<WindowProfile>,
+    /// Sealed windows evicted before this snapshot.
+    pub evicted: usize,
+    /// Total raw statements ever pushed.
+    pub pushed: usize,
+    /// The open (unsealed) window's weighted statements.
+    pub open: Vec<WeightedStatement>,
 }
 
 /// Feed a whole trace through a fresh unbounded stream — the batch
@@ -339,6 +433,18 @@ impl OnlineShiftDetector {
     /// of [`suggest_k_from_trace`](crate::analysis::suggest_k_from_trace).
     pub fn suggested_k(&self) -> usize {
         self.shifts().iter().filter(|s| s.major).count()
+    }
+
+    /// The last observed profile (the comparison baseline for the next
+    /// boundary score), for persistence.
+    pub fn last_profile(&self) -> Option<&WindowProfile> {
+        self.last.as_ref()
+    }
+
+    /// Rebuild a detector from persisted state: the last observed
+    /// profile and the boundary scores seen so far.
+    pub fn from_state(last: Option<WindowProfile>, scores: Vec<f64>) -> OnlineShiftDetector {
+        OnlineShiftDetector { last, scores }
     }
 }
 

@@ -58,6 +58,7 @@ pub mod kadvice;
 pub mod online;
 mod oracle;
 pub mod replay;
+mod state;
 
 pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
 pub use alerter::{Alert, Alerter};

@@ -36,7 +36,7 @@ use cdpd_core::{
 use cdpd_engine::{Database, IndexSpec, StatsRefresh, WhatIfEngine};
 use cdpd_sql::Dml;
 use cdpd_types::{Error, Result};
-use cdpd_workload::{Block, OnlineShiftDetector, StatementStream};
+use cdpd_workload::{Block, OnlineShiftDetector, StatementStream, StreamState};
 
 /// Tuning knobs for [`OnlineAdvisor`].
 #[derive(Clone, Debug, Default)]
@@ -506,6 +506,234 @@ impl OnlineAdvisor {
         })
     }
 
+    /// Serialize the session's complete dynamic state into an opaque
+    /// blob, fit for [`Database::set_app_state`](cdpd_engine::Database::set_app_state).
+    /// Everything observable round-trips: the sliding window (sealed
+    /// blocks, profiles, the open partial window), the shift detector,
+    /// the candidate vocabulary with its bit order, the committed
+    /// configuration sequence, past decisions, and counters. The warm
+    /// oracle memo is deliberately *not* persisted — it is a cache; a
+    /// restored session rebuilds it cold at the next window seal and
+    /// then decides identically.
+    pub fn save_state(&self) -> Vec<u8> {
+        use crate::state::{put_f64, put_opt_u64, put_str, put_u32, put_u64, put_u8};
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        put_str(&mut out, &self.table);
+        let st = self.stream.state();
+        put_u64(&mut out, st.window_len as u64);
+        put_opt_u64(&mut out, st.max_windows.map(|v| v as u64));
+        put_u64(&mut out, st.evicted as u64);
+        put_u64(&mut out, st.pushed as u64);
+        put_u32(&mut out, st.sealed.len() as u32);
+        for b in &st.sealed {
+            put_block(&mut out, b);
+        }
+        put_u32(&mut out, st.profiles.len() as u32);
+        for p in &st.profiles {
+            put_profile(&mut out, p);
+        }
+        put_weighted_list(&mut out, &st.open);
+        match self.detector.last_profile() {
+            None => put_u8(&mut out, 0),
+            Some(p) => {
+                put_u8(&mut out, 1);
+                put_profile(&mut out, p);
+            }
+        }
+        put_u32(&mut out, self.detector.scores().len() as u32);
+        for s in self.detector.scores() {
+            put_f64(&mut out, *s);
+        }
+        put_u32(&mut out, self.structures.len() as u32);
+        for spec in &self.structures {
+            put_spec(&mut out, spec);
+        }
+        put_u8(&mut out, self.derived as u8);
+        put_u64(&mut out, self.dropped_structures as u64);
+        put_u64(&mut out, self.oracle_first as u64);
+        put_u64(&mut out, self.initial.bits());
+        put_u32(&mut out, self.committed.len() as u32);
+        for c in &self.committed {
+            put_u64(&mut out, c.bits());
+        }
+        put_u32(&mut out, self.decisions.len() as u32);
+        for d in &self.decisions {
+            put_u64(&mut out, d.window as u64);
+            put_u64(&mut out, d.config.bits());
+            put_u32(&mut out, d.specs.len() as u32);
+            for spec in &d.specs {
+                put_spec(&mut out, spec);
+            }
+            put_u8(&mut out, d.changed as u8);
+            put_f64(&mut out, d.degradation);
+            put_u8(&mut out, d.resolved as u8);
+            put_u64(&mut out, d.solve_nanos);
+            put_u64(&mut out, d.changes_used as u64);
+            put_u64(&mut out, d.suggested_k as u64);
+        }
+        put_u64(&mut out, self.resolves as u64);
+        put_u64(&mut out, self.rebuilds as u64);
+        out
+    }
+
+    /// Rebuild a session from a [`OnlineAdvisor::save_state`] blob: the
+    /// warm-restart path after a restart or crash recovery. `options`
+    /// must match the session that was saved (same window length,
+    /// retention bound, and fixed-vs-derived vocabulary choice) — they
+    /// are configuration, not state, so the caller re-supplies them.
+    ///
+    /// The restored session makes the same future decisions as the
+    /// uninterrupted one: the first window sealed after restore
+    /// rebuilds the cost oracle cold (one extra rebuild — the memo is
+    /// the only thing not carried over), and the solve it feeds sees
+    /// identical inputs.
+    ///
+    /// # Errors
+    /// The blob must be well-formed ([`Error::Corrupt`] otherwise),
+    /// `options` must agree with the persisted session shape, and every
+    /// persisted candidate structure must still validate against `db`.
+    pub fn restore(db: &Database, options: OnlineOptions, state: &[u8]) -> Result<OnlineAdvisor> {
+        let mut r = crate::state::Reader::new(state);
+        if r.take(STATE_MAGIC.len())? != STATE_MAGIC {
+            return Err(Error::Corrupt("bad advisor state magic".into()));
+        }
+        let table = r.str()?;
+        let window_len = r.u64()? as usize;
+        let max_windows = r.opt_u64()?.map(|v| v as usize);
+        if options.advisor.window_len != window_len {
+            return Err(Error::InvalidArgument(format!(
+                "restore options have window_len {}, saved session used {window_len}",
+                options.advisor.window_len
+            )));
+        }
+        if options.max_windows != max_windows {
+            return Err(Error::InvalidArgument(format!(
+                "restore options have max_windows {:?}, saved session used {max_windows:?}",
+                options.max_windows
+            )));
+        }
+        let evicted = r.u64()? as usize;
+        let pushed = r.u64()? as usize;
+        let n = r.u32()? as usize;
+        let mut sealed = Vec::with_capacity(n);
+        for _ in 0..n {
+            sealed.push(read_block(&mut r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut profiles = Vec::with_capacity(n);
+        for _ in 0..n {
+            profiles.push(read_profile(&mut r)?);
+        }
+        let open = read_weighted_list(&mut r)?;
+        let stream = StatementStream::from_state(StreamState {
+            table: table.clone(),
+            window_len,
+            max_windows,
+            sealed,
+            profiles,
+            evicted,
+            pushed,
+            open,
+        })?;
+        let last = match r.u8()? {
+            0 => None,
+            1 => Some(read_profile(&mut r)?),
+            t => return Err(Error::Corrupt(format!("bad profile tag {t}"))),
+        };
+        let n = r.u32()? as usize;
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            scores.push(r.f64()?);
+        }
+        let detector = OnlineShiftDetector::from_state(last, scores);
+        let n = r.u32()? as usize;
+        let mut structures = Vec::with_capacity(n);
+        for _ in 0..n {
+            structures.push(read_spec(&mut r)?);
+        }
+        if structures.len() > 64 {
+            return Err(Error::Corrupt(
+                "saved vocabulary exceeds the 64-structure encoding".into(),
+            ));
+        }
+        let derived = r.bool()?;
+        if derived != options.advisor.structures.is_none() {
+            return Err(Error::InvalidArgument(
+                "restore options disagree with the saved session on fixed vs derived candidates"
+                    .into(),
+            ));
+        }
+        let dropped_structures = r.u64()? as usize;
+        let oracle_first = r.u64()? as usize;
+        let initial = Config::from_bits(r.u64()?);
+        let n = r.u32()? as usize;
+        let mut committed = Vec::with_capacity(n);
+        for _ in 0..n {
+            committed.push(Config::from_bits(r.u64()?));
+        }
+        let n = r.u32()? as usize;
+        let mut decisions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let window = r.u64()? as usize;
+            let config = Config::from_bits(r.u64()?);
+            let n_specs = r.u32()? as usize;
+            let mut specs = Vec::with_capacity(n_specs);
+            for _ in 0..n_specs {
+                specs.push(read_spec(&mut r)?);
+            }
+            let changed = r.bool()?;
+            let degradation = r.f64()?;
+            let resolved = r.bool()?;
+            let solve_nanos = r.u64()?;
+            let changes_used = r.u64()? as usize;
+            let suggested_k = r.u64()? as usize;
+            decisions.push(OnlineDecision {
+                window,
+                config,
+                specs,
+                changed,
+                degradation,
+                resolved,
+                solve_nanos,
+                changes_used,
+                suggested_k,
+            });
+        }
+        let resolves = r.u64()? as usize;
+        let rebuilds = r.u64()? as usize;
+        r.finish()?;
+        if oracle_first > committed.len() {
+            return Err(Error::Corrupt(
+                "saved oracle horizon starts past the committed sequence".into(),
+            ));
+        }
+        // Validate the vocabulary against the (recovered) database,
+        // exactly like a fresh session does.
+        let whatif = WhatIfEngine::snapshot(db, &table)?;
+        for spec in &structures {
+            whatif.shape(spec)?;
+        }
+        Ok(OnlineAdvisor {
+            table,
+            options,
+            stream,
+            detector,
+            structures,
+            derived,
+            dropped_structures,
+            // The memo is a cache: rebuild cold at the next seal.
+            oracle: None,
+            oracle_first,
+            rebuild: true,
+            initial,
+            committed,
+            decisions,
+            resolves,
+            rebuilds,
+        })
+    }
+
     /// The problem over the retained horizon. Its initial config is
     /// whatever design entered the first retained window; with an
     /// unbounded window that is the construction-time design and the
@@ -527,6 +755,99 @@ impl OnlineAdvisor {
                 && self.oracle_first == 0,
         }
     }
+}
+
+/// Magic + version of the [`OnlineAdvisor::save_state`] blob.
+const STATE_MAGIC: &[u8; 8] = b"cdpdadv1";
+
+fn put_spec(out: &mut Vec<u8>, spec: &IndexSpec) {
+    crate::state::put_str(out, &spec.table);
+    crate::state::put_u16(out, spec.columns.len() as u16);
+    for c in &spec.columns {
+        crate::state::put_str(out, c);
+    }
+}
+
+fn read_spec(r: &mut crate::state::Reader<'_>) -> Result<IndexSpec> {
+    let table = r.str()?;
+    let n = r.u16()? as usize;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        columns.push(r.str()?);
+    }
+    Ok(IndexSpec { table, columns })
+}
+
+/// Statements persist as SQL text: the parser/printer round trip is
+/// exact (proven by the sql crate's property tests), and the format
+/// stays debuggable.
+fn put_weighted_list(out: &mut Vec<u8>, list: &[cdpd_workload::WeightedStatement]) {
+    crate::state::put_u32(out, list.len() as u32);
+    for ws in list {
+        crate::state::put_str(out, &ws.statement.to_string());
+        crate::state::put_u64(out, ws.count);
+    }
+}
+
+fn read_weighted_list(
+    r: &mut crate::state::Reader<'_>,
+) -> Result<Vec<cdpd_workload::WeightedStatement>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sql = r.str()?;
+        let statement = match cdpd_sql::parse(&sql)? {
+            cdpd_sql::Statement::Select(s) => Dml::Select(s),
+            cdpd_sql::Statement::Update(u) => Dml::Update(u),
+            cdpd_sql::Statement::Delete(d) => Dml::Delete(d),
+            _ => {
+                return Err(Error::Corrupt(format!(
+                    "persisted statement is not DML: {sql}"
+                )))
+            }
+        };
+        let count = r.u64()?;
+        out.push(cdpd_workload::WeightedStatement { statement, count });
+    }
+    Ok(out)
+}
+
+fn put_block(out: &mut Vec<u8>, b: &Block) {
+    crate::state::put_u64(out, b.start as u64);
+    crate::state::put_u64(out, b.len as u64);
+    put_weighted_list(out, &b.weighted);
+}
+
+fn read_block(r: &mut crate::state::Reader<'_>) -> Result<Block> {
+    let start = r.u64()? as usize;
+    let len = r.u64()? as usize;
+    let weighted = read_weighted_list(r)?;
+    Ok(Block {
+        start,
+        len,
+        weighted,
+    })
+}
+
+fn put_profile(out: &mut Vec<u8>, p: &cdpd_workload::analysis::WindowProfile) {
+    crate::state::put_u32(out, p.fractions.len() as u32);
+    for (k, v) in &p.fractions {
+        crate::state::put_str(out, k);
+        crate::state::put_f64(out, *v);
+    }
+}
+
+fn read_profile(
+    r: &mut crate::state::Reader<'_>,
+) -> Result<cdpd_workload::analysis::WindowProfile> {
+    let n = r.u32()? as usize;
+    let mut fractions = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = r.f64()?;
+        fractions.insert(k, v);
+    }
+    Ok(cdpd_workload::analysis::WindowProfile { fractions })
 }
 
 #[cfg(test)]

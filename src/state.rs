@@ -1,0 +1,162 @@
+//! Primitive byte codec for the advisory layer's persisted state.
+//!
+//! [`crate::OnlineAdvisor::save_state`] serializes the session into an
+//! opaque blob the engine persists alongside its catalog
+//! ([`cdpd_engine::Database::set_app_state`]); these are the shared
+//! little-endian write/read primitives. The format is strict: any
+//! truncation or trailing garbage decodes to
+//! [`Error::Corrupt`](cdpd_types::Error::Corrupt), never to a
+//! half-restored session.
+
+use cdpd_types::{Error, Result};
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `f64` as IEEE-754 bits: exact round-trip.
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).expect("string too large"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_u8(out, 0),
+        Some(v) => {
+            put_u8(out, 1);
+            put_u64(out, v);
+        }
+    }
+}
+
+/// Strict cursor over a state blob.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(Error::Corrupt(format!(
+                "state truncated: need {n} bytes, have {}",
+                self.buf.len()
+            )));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corrupt("state string is not UTF-8".into()))
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(Error::Corrupt(format!("bad option tag {t}"))),
+        }
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(Error::Corrupt(format!("bad bool tag {t}"))),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::Corrupt(format!(
+                "state has {} trailing bytes",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 3);
+        put_u16(&mut out, 515);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX - 1);
+        put_f64(&mut out, -0.125);
+        put_str(&mut out, "héllo");
+        put_opt_u64(&mut out, Some(9));
+        put_opt_u64(&mut out, None);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u16().unwrap(), 515);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_corrupt() {
+        let mut out = Vec::new();
+        put_str(&mut out, "abc");
+        assert!(Reader::new(&out[..5]).str().is_err());
+        let mut r = Reader::new(&out);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

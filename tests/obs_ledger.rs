@@ -6,15 +6,26 @@
 //! on multiple threads** the sum of per-pager deltas must equal the
 //! registry delta *exactly* — not eventually, not approximately.
 //!
-//! This test owns its binary: exact global-counter equality requires
-//! that no sibling test races the registry mid-measurement.
+//! The durable tier gets the same treatment: `storage.wal.*`,
+//! `storage.writeback.pages`, `storage.checkpoint.completed`, and
+//! `storage.backend.fetches` are tracked counters mirrored by each
+//! pager's [`DurableStats`], so summed per-pager deltas must equal the
+//! registry deltas exactly while durable pagers race.
+//!
+//! These tests own their binary, but cargo still runs them on sibling
+//! threads — and durable pager traffic bumps `storage.pager.*` too, so
+//! every registry measurement serializes on [`REGISTRY_LOCK`].
 
-use cdpd::storage::{IoStats, Pager, ThreadIoScope, PAGE_SIZE};
+use cdpd::storage::{DurableOptions, IoStats, MemVfs, Pager, ThreadIoScope, PAGE_SIZE};
 use cdpd::types::PageId;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes registry-delta measurements across tests in this binary.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn racing_pagers_reconcile_with_global_tracked_counters() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     const PAGERS: usize = 3;
     const THREADS_PER_PAGER: u64 = 4;
     const OPS: u64 = 400;
@@ -85,4 +96,141 @@ fn racing_pagers_reconcile_with_global_tracked_counters() {
     );
     assert_eq!(summed.writes, total_threads * OPS / 2);
     assert_eq!(summed.allocs, 0);
+}
+
+/// The six durable tracked counters, in [`cdpd::storage::DurableStats`]
+/// field order.
+const DURABLE_COUNTERS: [&str; 6] = [
+    "storage.wal.appends",
+    "storage.wal.commits",
+    "storage.wal.fsyncs",
+    "storage.writeback.pages",
+    "storage.checkpoint.completed",
+    "storage.backend.fetches",
+];
+
+fn durable_registry_snapshot() -> [u64; 6] {
+    DURABLE_COUNTERS.map(|name| cdpd::obs::registry().counter_value(name))
+}
+
+fn stats_as_array(s: cdpd::storage::DurableStats) -> [u64; 6] {
+    [
+        s.wal_appends,
+        s.wal_commits,
+        s.wal_fsyncs,
+        s.writeback_pages,
+        s.checkpoints,
+        s.backend_fetches,
+    ]
+}
+
+#[test]
+fn racing_durable_pagers_reconcile_wal_counters() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const PAGERS: usize = 3;
+    const THREADS_PER_PAGER: u64 = 4;
+    const PAGES: u32 = 64;
+
+    // Different group-commit factors per pager so the fsync batching
+    // path is exercised: commits and fsyncs must diverge and still
+    // reconcile counter-by-counter.
+    let pagers: Vec<Arc<Pager>> = (0..PAGERS)
+        .map(|pi| {
+            let opts = DurableOptions {
+                cache_pages: 8,
+                group_commit: pi + 1,
+                checkpoint_wal_bytes: 0,
+            };
+            let open = Pager::open_durable(Arc::new(MemVfs::new()), opts).unwrap();
+            Arc::new(open.pager)
+        })
+        .collect();
+    for pager in &pagers {
+        for _ in 0..PAGES {
+            pager.allocate();
+        }
+    }
+
+    let registry_before = durable_registry_snapshot();
+    let before: Vec<_> = pagers.iter().map(|p| p.durable_stats()).collect();
+
+    // Phase A: racing mutators on every pager at once (writes and
+    // updates dirty frames; no WAL traffic yet — commits are the
+    // single-writer main thread's job).
+    std::thread::scope(|s| {
+        for pager in &pagers {
+            for t in 0..THREADS_PER_PAGER {
+                let pager = Arc::clone(pager);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let id = PageId(((t * 17 + i) % PAGES as u64) as u32);
+                        if i % 3 == 0 {
+                            pager.update(id, |b| b[0] = b[0].wrapping_add(1)).unwrap();
+                        } else {
+                            pager.write(id, Arc::new([t as u8; PAGE_SIZE])).unwrap();
+                        }
+                    }
+                });
+            }
+        }
+    });
+    for pager in &pagers {
+        pager.commit(b"phase-a").unwrap();
+        pager.checkpoint().unwrap();
+    }
+
+    // Phase B: a second generation of pages. Installing them pushes
+    // the 8-page cache over budget, so the now-clean phase-A pages get
+    // evicted — which is what makes phase C's reads miss.
+    for pager in &pagers {
+        for _ in 0..PAGES {
+            let id = pager.allocate();
+            pager.write(id, Arc::new([0xB; PAGE_SIZE])).unwrap();
+        }
+        pager.commit(b"phase-b").unwrap();
+        pager.checkpoint().unwrap();
+    }
+
+    // Phase C: racing readers sweep both generations, faulting evicted
+    // pages back in from the file backend.
+    std::thread::scope(|s| {
+        for pager in &pagers {
+            for t in 0..THREADS_PER_PAGER {
+                let pager = Arc::clone(pager);
+                s.spawn(move || {
+                    for i in 0..(2 * PAGES as u64) {
+                        let id = PageId(((t * 31 + i) % (2 * PAGES as u64)) as u32);
+                        pager.read(id).unwrap();
+                    }
+                });
+            }
+        }
+    });
+
+    let registry_delta: Vec<u64> = durable_registry_snapshot()
+        .iter()
+        .zip(registry_before)
+        .map(|(now, b)| now - b)
+        .collect();
+    let mut summed = [0u64; 6];
+    for (pager, b) in pagers.iter().zip(&before) {
+        let d = stats_as_array(pager.durable_stats().delta(*b));
+        for (acc, v) in summed.iter_mut().zip(d) {
+            *acc += v;
+        }
+    }
+
+    for (i, name) in DURABLE_COUNTERS.iter().enumerate() {
+        assert_eq!(
+            summed[i], registry_delta[i],
+            "{name}: per-pager durable ledgers and the obs registry must agree exactly"
+        );
+        assert!(summed[i] > 0, "{name}: test never exercised this counter");
+    }
+    // Shape checks on the absolute volumes: two explicit checkpoints
+    // and two commits per pager, and every dirty page written back at
+    // least once per generation.
+    assert_eq!(summed[4], 2 * PAGERS as u64);
+    assert_eq!(summed[1], 2 * PAGERS as u64);
+    assert!(summed[3] >= 2 * PAGERS as u64 * PAGES as u64);
 }

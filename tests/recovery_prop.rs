@@ -1,0 +1,609 @@
+//! Kill-at-any-point crash recovery: the headline property of the
+//! durable tier.
+//!
+//! A deterministic workload script — table load, W1–W3-derived
+//! statements, index DDL, stats maintenance, checkpoints, app-state
+//! writes — runs against a durable [`Database`] whose VFS is wrapped in
+//! [`FaultyVfs`]. One counting pass (`kill_at = u64::MAX`) learns the
+//! total number of mutating VFS operations and the commit sequence
+//! number reached after every logical op; then the same script is
+//! killed at an arbitrary operation (the fatal write lands only a torn
+//! prefix) and the surviving bytes are reopened through the inner VFS.
+//!
+//! The invariants, at **every** kill point:
+//!
+//! 1. recovery succeeds — a crash never bricks the database;
+//! 2. every *acknowledged* commit survives (recovered sequence ≥ the
+//!    last op that returned `Ok`);
+//! 3. the recovered sequence is one some commit actually produced —
+//!    never a half-applied state;
+//! 4. the recovered logical state is **bit-identical** to a fresh
+//!    in-memory database replaying exactly that committed prefix of
+//!    the script (rows, index set, plans, full statistics snapshot,
+//!    app state).
+//!
+//! The same binary proves the advisory layer resumes warm:
+//! [`OnlineAdvisor::save_state`] → restart → [`OnlineAdvisor::restore`]
+//! continues with the same decision sequence an uninterrupted session
+//! produces.
+//!
+//! Two drivers share the core check: a `props!` property (shrinking,
+//! `CDPD_PROP_CASES` / `CDPD_PROP_SEED`, persisted failure seeds under
+//! `tests/regressions/`) and a deterministic sweep of 8 seeds × all
+//! three paper workloads × 50 kill points spread across the full
+//! operation range — the fixed matrix CI gates on.
+
+mod common;
+
+use cdpd::engine::{Database, IndexSpec};
+use cdpd::sql::Dml;
+use cdpd::storage::{DurableOptions, MemVfs};
+use cdpd::types::{ColumnDef, Schema, Value};
+use cdpd::workload::paper::PaperParams;
+use cdpd::workload::{generate, paper};
+use cdpd::{AdvisorOptions, OnlineAdvisor, OnlineDecision, OnlineOptions};
+use cdpd_testkit::prop::Config as PropConfig;
+use cdpd_testkit::{props, FaultyVfs, Prng};
+use common::{paper_database, paper_params, paper_structures};
+use std::sync::Arc;
+
+// --- Workload scripts --------------------------------------------------
+
+const ROWS: i64 = 150;
+const DOMAIN: i64 = ROWS / common::ROWS_PER_VALUE;
+
+/// One logical operation of a recovery workload. Each mutating op is
+/// one commit (or none, for reads and no-op refreshes); the script is
+/// what both the durable run and the in-memory control replay.
+#[derive(Clone, Debug)]
+enum Op {
+    CreateTable,
+    InsertBatch(Vec<Vec<Value>>),
+    Analyze,
+    RefreshStats,
+    CreateIndex(IndexSpec),
+    DropIndex(IndexSpec),
+    Dml(Dml),
+    Sql(String),
+    Checkpoint,
+    SetAppState(Vec<u8>),
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::int("a"),
+        ColumnDef::int("b"),
+        ColumnDef::int("c"),
+        ColumnDef::int("d"),
+    ])
+}
+
+fn batch(rng: &mut Prng, rows: usize) -> Vec<Vec<Value>> {
+    (0..rows)
+        .map(|_| {
+            (0..4)
+                .map(|_| Value::Int(rng.gen_range(0..DOMAIN)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the deterministic script for `(seed, which)`: create + load +
+/// analyze, then a mix of paper-workload statements, synthetic write
+/// DML, index DDL over the §6.1 pool, stats maintenance, checkpoints,
+/// and app-state writes.
+fn script(seed: u64, which: u64) -> Vec<Op> {
+    let mut rng = Prng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ which);
+    let mut ops = vec![Op::CreateTable];
+    for _ in 0..6 {
+        ops.push(Op::InsertBatch(batch(&mut rng, 25)));
+    }
+    ops.push(Op::Analyze);
+
+    let params = PaperParams {
+        table: "t".into(),
+        domain: DOMAIN,
+        window_len: 10,
+    };
+    let spec = match which % 3 {
+        0 => paper::w1_with(&params),
+        1 => paper::w2_with(&params),
+        _ => paper::w3_with(&params),
+    };
+    let trace = generate(&spec, seed);
+    let mut stmts = trace.statements().iter().cycle();
+    let pool = paper_structures();
+    let mut live = vec![false; pool.len()];
+
+    for _ in 0..30 {
+        let op = match rng.gen_range(0..10i64) {
+            0..=3 => Op::Dml(stmts.next().expect("trace is non-empty").clone()),
+            4 | 5 => {
+                let v = rng.gen_range(0..DOMAIN);
+                if rng.gen_bool(0.6) {
+                    Op::Sql(format!(
+                        "UPDATE t SET c = {} WHERE a = {v}",
+                        rng.gen_range(0..DOMAIN)
+                    ))
+                } else {
+                    Op::Sql(format!("DELETE FROM t WHERE b = {v} AND d = {v}"))
+                }
+            }
+            6 => {
+                let i = rng.gen_range(0..pool.len() as i64) as usize;
+                live[i] = !live[i];
+                if live[i] {
+                    Op::CreateIndex(pool[i].clone())
+                } else {
+                    Op::DropIndex(pool[i].clone())
+                }
+            }
+            7 => Op::InsertBatch(batch(&mut rng, 10)),
+            8 => {
+                if rng.gen_bool(0.5) {
+                    Op::Analyze
+                } else {
+                    Op::RefreshStats
+                }
+            }
+            _ => {
+                if rng.gen_bool(0.6) {
+                    Op::Checkpoint
+                } else {
+                    let n = rng.gen_range(1..64i64) as usize;
+                    Op::SetAppState((0..n).map(|i| (rng.next_u64() ^ i as u64) as u8).collect())
+                }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn apply(db: &mut Database, op: &Op) -> cdpd::types::Result<()> {
+    match op {
+        Op::CreateTable => db.create_table("t", schema()).map(|_| ()),
+        Op::InsertBatch(rows) => db
+            .insert_many("t", rows.iter().map(Vec::as_slice))
+            .map(|_| ()),
+        Op::Analyze => db.analyze("t").map(|_| ()),
+        Op::RefreshStats => db.refresh_stats("t").map(|_| ()),
+        Op::CreateIndex(spec) => db.create_index(spec).map(|_| ()),
+        Op::DropIndex(spec) => db.drop_index(spec).map(|_| ()),
+        Op::Dml(stmt) => db.execute_dml(stmt).map(|_| ()),
+        Op::Sql(sql) => db.execute_sql(sql).map(|_| ()),
+        Op::Checkpoint => db.checkpoint(),
+        Op::SetAppState(bytes) => db.set_app_state(bytes.clone()),
+    }
+}
+
+// --- Logical digests ---------------------------------------------------
+
+/// Everything observable about the database's logical state. `None`
+/// when the table does not exist yet (kill before the creating commit).
+#[derive(Debug, PartialEq)]
+struct Digest {
+    rows: Vec<Vec<Value>>,
+    indexes: Vec<IndexSpec>,
+    plans: Vec<(String, u64)>,
+    stats: Option<String>,
+    app_state: Vec<u8>,
+}
+
+fn select(db: &Database, sql: &str) -> (Vec<Vec<Value>>, String, u64) {
+    let cdpd::sql::Statement::Select(sel) = cdpd::sql::parse(sql).expect("digest query parses")
+    else {
+        panic!("not a select: {sql}")
+    };
+    let r = db.query(&sel).expect("digest query runs");
+    (r.rows.unwrap_or_default(), r.plan, r.count)
+}
+
+fn digest(db: &mut Database) -> Option<Digest> {
+    let stats = match db.stats("t") {
+        Err(_) => return None, // table absent
+        Ok(s) => s.map(|s| format!("{s:?}")),
+    };
+    if stats.is_none() {
+        // Killed between CREATE TABLE and the first ANALYZE: the
+        // stats-less state is itself part of the digest (the `None`
+        // above), but the planner refuses to run without statistics —
+        // analyze both sides identically so the row scans below work.
+        db.analyze("t").expect("digest analyze");
+    }
+    let (rows, _, _) = select(db, "SELECT * FROM t");
+    let plans = [
+        "SELECT * FROM t WHERE b = 3",
+        "SELECT * FROM t WHERE a = 7 AND c = 2",
+        "SELECT * FROM t WHERE c = 1 AND d = 4",
+    ]
+    .iter()
+    .map(|sql| {
+        let (_, plan, count) = select(db, sql);
+        (plan, count)
+    })
+    .collect();
+    Some(Digest {
+        rows,
+        indexes: db.index_specs("t").expect("table exists"),
+        plans,
+        stats,
+        app_state: db.app_state(),
+    })
+}
+
+/// Replay `ops` into a fresh in-memory database and digest it.
+fn control_digest(ops: &[Op]) -> Option<Digest> {
+    let mut db = Database::new();
+    for op in ops {
+        apply(&mut db, op).expect("control replay is crash-free");
+    }
+    digest(&mut db)
+}
+
+// --- The kill-at-any-point check ---------------------------------------
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        // Small cache so recovery also exercises eviction + backend
+        // refetch; small auto-checkpoint threshold so crashes land
+        // inside checkpoints the script didn't ask for.
+        cache_pages: 16,
+        group_commit: 1,
+        checkpoint_wal_bytes: 128 * 1024,
+    }
+}
+
+/// The counting pass: run the whole script crash-free on a durable
+/// database and record the VFS op budget plus the commit sequence
+/// reached after each logical op.
+struct CountRun {
+    total_ops: u64,
+    seq_after: Vec<u64>,
+    initial_seq: u64,
+}
+
+fn count_run(ops: &[Op]) -> CountRun {
+    let vfs = FaultyVfs::new(Arc::new(MemVfs::new()), u64::MAX, 0);
+    let mut db = Database::open_with_vfs(Arc::new(vfs.clone()), opts()).expect("crash-free open");
+    let initial_seq = db.committed_seq();
+    let mut seq_after = Vec::with_capacity(ops.len());
+    for op in ops {
+        apply(&mut db, op).expect("crash-free run");
+        seq_after.push(db.committed_seq());
+    }
+    CountRun {
+        total_ops: vfs.ops(),
+        seq_after,
+        initial_seq,
+    }
+}
+
+/// Run the script against a `FaultyVfs` killing at `kill_at`, reopen
+/// the surviving bytes, and check invariants 1–4 of the module docs.
+fn check_kill(ops: &[Op], count: &CountRun, kill_at: u64, torn_seed: u64) {
+    assert!(kill_at >= 1 && kill_at <= count.total_ops);
+    let mem = MemVfs::new();
+    let vfs = FaultyVfs::new(Arc::new(mem.clone()), kill_at, torn_seed);
+
+    let mut acked = 0usize;
+    // An Err open means the kill fired during the initial open itself.
+    if let Ok(mut db) = Database::open_with_vfs(Arc::new(vfs.clone()), opts()) {
+        for op in ops {
+            match apply(&mut db, op) {
+                Ok(()) => acked += 1,
+                Err(_) => break,
+            }
+        }
+    }
+    assert!(
+        vfs.killed(),
+        "kill_at {kill_at} within the op budget must fire (determinism)"
+    );
+
+    // The crashed process is gone; recovery reopens the surviving bytes
+    // through the inner (clean) VFS.
+    let mut recovered = Database::open_with_vfs(Arc::new(mem), opts())
+        .unwrap_or_else(|e| panic!("recovery failed at kill point {kill_at}: {e}"));
+    let seq = recovered.committed_seq();
+
+    // (2) Acknowledged commits survive.
+    let acked_seq = match acked {
+        0 => count.initial_seq,
+        n => count.seq_after[n - 1],
+    };
+    assert!(
+        seq >= acked_seq,
+        "kill {kill_at}: recovered seq {seq} lost acknowledged commit {acked_seq}"
+    );
+    // The crashed op may have durably committed before dying (e.g. in a
+    // post-commit auto-checkpoint), but nothing past it can have.
+    let max_seq = count.seq_after[acked.min(ops.len() - 1)];
+    assert!(
+        seq <= max_seq,
+        "kill {kill_at}: recovered seq {seq} exceeds last attempted commit {max_seq}"
+    );
+
+    // (3) The recovered sequence is one a commit actually produced.
+    let prefix_end = count.seq_after.iter().rposition(|&s| s == seq);
+    if prefix_end.is_none() {
+        assert_eq!(
+            seq, count.initial_seq,
+            "kill {kill_at}: recovered seq {seq} matches no commit of this script"
+        );
+    }
+
+    // (4) Bit-identical to the committed-prefix replay.
+    let prefix = prefix_end.map_or(&ops[..0], |i| &ops[..=i]);
+    assert_eq!(
+        digest(&mut recovered),
+        control_digest(prefix),
+        "kill {kill_at}: recovered state diverges from the committed prefix ({} of {} ops)",
+        prefix.len(),
+        ops.len()
+    );
+}
+
+// --- Drivers -----------------------------------------------------------
+
+props! {
+    config: PropConfig::with_cases(24);
+
+    /// Random (seed, workload, kill point) cases with shrinking and
+    /// persisted failure seeds. The kill fraction maps onto the live
+    /// op range, so shrinking it walks the crash earlier.
+    fn kill_at_any_point_recovers_to_committed_prefix(
+        seed in 0u64..1_000_000,
+        which in 0u64..3,
+        frac in 0u64..10_000,
+    ) {
+        let ops = script(*seed, *which);
+        let count = count_run(&ops);
+        let kill_at = 1 + frac % count.total_ops;
+        check_kill(&ops, &count, kill_at, *seed ^ *frac);
+    }
+}
+
+/// The fixed CI matrix: 8 seeds (cycling through W1/W2/W3) × 50 kill
+/// points spread evenly across each script's full mutating-op range —
+/// including the initial open, the load, and every checkpoint.
+#[test]
+fn kill_point_sweep_covers_the_full_op_range() {
+    const SEEDS: u64 = 8;
+    const POINTS: u64 = 50;
+    for seed in 0..SEEDS {
+        let which = seed % 3;
+        let ops = script(seed * 31 + 5, which);
+        let count = count_run(&ops);
+        assert!(
+            count.total_ops > POINTS,
+            "script too small to sweep meaningfully"
+        );
+        for j in 0..POINTS {
+            let kill_at = 1 + j * (count.total_ops - 1) / (POINTS - 1);
+            check_kill(&ops, &count, kill_at, seed ^ (j << 8));
+        }
+    }
+}
+
+/// A recovered database is live, not read-only: it accepts new commits
+/// and a further clean reopen sees them.
+#[test]
+fn recovered_database_accepts_new_work() {
+    let ops = script(77, 1);
+    let count = count_run(&ops);
+    let mem = MemVfs::new();
+    let vfs = FaultyVfs::new(Arc::new(mem.clone()), count.total_ops / 2, 9);
+    if let Ok(mut db) = Database::open_with_vfs(Arc::new(vfs.clone()), opts()) {
+        for op in &ops {
+            if apply(&mut db, op).is_err() {
+                break;
+            }
+        }
+    }
+    assert!(vfs.killed());
+
+    let mut db = Database::open_with_vfs(Arc::new(mem.clone()), opts()).expect("recovery");
+    let before = select(&db, "SELECT * FROM t").0.len();
+    db.insert(
+        "t",
+        &[Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
+    )
+    .expect("recovered database accepts inserts");
+    db.checkpoint().expect("recovered database checkpoints");
+    drop(db);
+
+    let db = Database::open_with_vfs(Arc::new(mem), opts()).expect("second reopen");
+    assert_eq!(select(&db, "SELECT * FROM t").0.len(), before + 1);
+}
+
+// --- Advisor warm resume -----------------------------------------------
+
+const ADV_ROWS: i64 = 5_000;
+const ADV_WINDOW: usize = 25;
+
+fn adv_db() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| paper_database(ADV_ROWS, 7))
+}
+
+fn adv_spec(which: u64) -> cdpd::workload::WorkloadSpec {
+    let params = paper_params(ADV_ROWS, ADV_WINDOW);
+    match which % 3 {
+        0 => paper::w1_with(&params),
+        1 => paper::w2_with(&params),
+        _ => paper::w3_with(&params),
+    }
+}
+
+fn adv_options(bounded: bool) -> OnlineOptions {
+    OnlineOptions {
+        advisor: AdvisorOptions {
+            k: Some(2),
+            window_len: ADV_WINDOW,
+            max_structures_per_config: Some(1),
+            ..AdvisorOptions::default()
+        },
+        max_windows: bounded.then_some(4),
+        ..OnlineOptions::default()
+    }
+}
+
+/// Decision equality modulo `solve_nanos` (wall-clock, by definition
+/// not reproducible across runs).
+#[track_caller]
+fn assert_same_decisions(control: &[OnlineDecision], resumed: &[OnlineDecision]) {
+    assert_eq!(control.len(), resumed.len(), "decision counts differ");
+    for (i, (c, r)) in control.iter().zip(resumed).enumerate() {
+        assert_eq!(c.window, r.window, "decision {i}: window");
+        assert_eq!(c.config, r.config, "decision {i}: config");
+        assert_eq!(c.specs, r.specs, "decision {i}: specs");
+        assert_eq!(c.changed, r.changed, "decision {i}: changed");
+        assert_eq!(
+            c.degradation.to_bits(),
+            r.degradation.to_bits(),
+            "decision {i}: degradation"
+        );
+        assert_eq!(c.resolved, r.resolved, "decision {i}: resolved");
+        assert_eq!(c.changes_used, r.changes_used, "decision {i}: changes_used");
+        assert_eq!(c.suggested_k, r.suggested_k, "decision {i}: suggested_k");
+    }
+}
+
+props! {
+    config: PropConfig::with_cases(6);
+
+    /// Save/restore at an arbitrary split point is invisible: the
+    /// resumed session emits exactly the decisions the uninterrupted
+    /// control emits, and the hindsight recommendation matches.
+    fn advisor_resumes_warm_after_save_restore(
+        seed in 0u64..1_000_000,
+        which in 0u64..3,
+        split in 1u64..10,
+        bounded in 0u64..2,
+    ) {
+        let db = adv_db();
+        let trace = generate(&adv_spec(*which), *seed);
+        let stmts = trace.statements();
+        let cut = ((stmts.len() as u64 * split / 10) as usize).clamp(1, stmts.len() - 1);
+        let options = adv_options(*bounded == 1);
+
+        let mut control = OnlineAdvisor::new(db, "t", options.clone()).expect("opens");
+        control.ingest_all(db, stmts).expect("control ingests");
+
+        let mut first = OnlineAdvisor::new(db, "t", options.clone()).expect("opens");
+        first.ingest_all(db, &stmts[..cut]).expect("first half ingests");
+        let blob = first.save_state();
+        let mut resumed =
+            OnlineAdvisor::restore(db, options, &blob).expect("state restores");
+        resumed
+            .ingest_all(db, &stmts[cut..])
+            .expect("second half ingests");
+
+        assert_same_decisions(control.decisions(), resumed.decisions());
+        let c = control.finish(db).expect("control recommends");
+        let r = resumed.finish(db).expect("resumed recommends");
+        assert_eq!(c.schedule, r.schedule, "hindsight schedules must match");
+        assert_eq!(c.structures, r.structures, "vocabularies must match");
+    }
+}
+
+/// End to end through the durable engine: the advisor's state rides the
+/// catalog (`set_app_state`), survives a real restart, and the resumed
+/// session decides exactly like an uninterrupted one.
+#[test]
+fn advisor_state_survives_database_restart() {
+    let vfs = MemVfs::new();
+    let mut db = Database::open_with_vfs(Arc::new(vfs.clone()), DurableOptions::default())
+        .expect("fresh durable database");
+    db.create_table("t", schema()).unwrap();
+    let mut rng = Prng::seed_from_u64(11);
+    let rows: Vec<Vec<Value>> = (0..2_000)
+        .map(|_| (0..4).map(|_| Value::Int(rng.gen_range(0..400))).collect())
+        .collect();
+    db.insert_many("t", rows.iter().map(Vec::as_slice)).unwrap();
+    db.analyze("t").unwrap();
+
+    let params = PaperParams {
+        table: "t".into(),
+        domain: 400,
+        window_len: ADV_WINDOW,
+    };
+    let trace = generate(&paper::w2_with(&params), 13);
+    let stmts = trace.statements();
+    let cut = stmts.len() / 2;
+    let options = OnlineOptions {
+        advisor: AdvisorOptions {
+            k: Some(2),
+            window_len: ADV_WINDOW,
+            structures: Some(paper_structures()),
+            max_structures_per_config: Some(1),
+            ..AdvisorOptions::default()
+        },
+        ..OnlineOptions::default()
+    };
+
+    let mut session = OnlineAdvisor::new(&db, "t", options.clone()).expect("opens");
+    session.ingest_all(&db, &stmts[..cut]).expect("ingests");
+    db.set_app_state(session.save_state())
+        .expect("state persists");
+    drop((session, db));
+
+    // Restart: reopen the surviving store, pull the blob back out of
+    // the catalog, resume, and finish the trace.
+    let db = Database::open_with_vfs(Arc::new(vfs.clone()), DurableOptions::default())
+        .expect("restart recovers");
+    let mut resumed =
+        OnlineAdvisor::restore(&db, options.clone(), &db.app_state()).expect("resumes warm");
+    resumed.ingest_all(&db, &stmts[cut..]).expect("ingests");
+
+    let mut control = OnlineAdvisor::new(&db, "t", options).expect("opens");
+    control.ingest_all(&db, stmts).expect("control ingests");
+
+    assert_same_decisions(control.decisions(), resumed.decisions());
+    let c = control.finish(&db).expect("control recommends");
+    let r = resumed.finish(&db).expect("resumed recommends");
+    assert_eq!(c.schedule, r.schedule);
+}
+
+/// Restore is strict: wrong options and damaged blobs are rejected
+/// cleanly instead of resuming a half-wrong session.
+#[test]
+fn restore_rejects_mismatched_options_and_corrupt_state() {
+    let db = adv_db();
+    let trace = generate(&adv_spec(0), 3);
+    let options = adv_options(false);
+    let mut session = OnlineAdvisor::new(db, "t", options.clone()).expect("opens");
+    session.ingest_all(db, trace.statements()).expect("ingests");
+    let blob = session.save_state();
+
+    // Sanity: the blob itself restores.
+    OnlineAdvisor::restore(db, options.clone(), &blob).expect("intact blob restores");
+
+    let mut wrong = options.clone();
+    wrong.advisor.window_len = ADV_WINDOW + 1;
+    assert!(matches!(
+        OnlineAdvisor::restore(db, wrong, &blob),
+        Err(cdpd::types::Error::InvalidArgument(_))
+    ));
+
+    let mut wrong = options.clone();
+    wrong.max_windows = Some(7);
+    assert!(matches!(
+        OnlineAdvisor::restore(db, wrong, &blob),
+        Err(cdpd::types::Error::InvalidArgument(_))
+    ));
+
+    for cut in [0, 4, blob.len() / 2, blob.len() - 1] {
+        assert!(
+            OnlineAdvisor::restore(db, options.clone(), &blob[..cut]).is_err(),
+            "truncation at {cut} must not restore"
+        );
+    }
+    let mut garbled = blob.clone();
+    garbled[0] ^= 0xFF;
+    assert!(matches!(
+        OnlineAdvisor::restore(db, options, &garbled),
+        Err(cdpd::types::Error::Corrupt(_))
+    ));
+}

@@ -54,6 +54,46 @@ CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench oracle
 echo "== online pipeline is bit-identical to batch =="
 cargo test -q --offline -p cdpd --test online_equiv
 
+echo "== wide-vocabulary smoke: 128 candidates end-to-end =="
+# Break-the-64-ceiling gate: a 128-candidate instance must route
+# through Advisor::recommend and an OnlineAdvisor window seal (the
+# CoPhy-style decomposed path), not error out at the old width cap.
+cargo test -q --offline -p cdpd --test wide_vocab
+
+echo "== config-escape guard: no raw-u64 configs outside the Config type =="
+# Configurations are width-agnostic; production code must speak Config,
+# never raw u64 bitmasks. Flag `from_bits(` / `.bits()` in non-test
+# code outside crates/core/src/config.rs (where the representation
+# lives). `f64::from_bits` is the float codec, not a Config escape, and
+# src/online.rs decodes legacy v1 (bare-u64) state blobs by design.
+python3 - <<'EOF'
+import pathlib, sys
+
+ALLOWED_FILES = {"crates/core/src/config.rs", "src/online.rs"}
+bad = []
+for path in sorted(pathlib.Path(".").glob("**/*.rs")):
+    rel = path.as_posix()
+    if rel.startswith("target/") or rel in ALLOWED_FILES:
+        continue
+    if "/tests/" in rel or rel.startswith("tests/") or "/benches/" in rel:
+        continue
+    prod = []
+    for line in path.read_text().splitlines():
+        if line.strip().startswith("#[cfg(test)]"):
+            break  # everything below is test code
+        prod.append(line)
+    for n, line in enumerate(prod, 1):
+        if ".bits()" in line or (
+            "from_bits(" in line and "f64::from_bits(" not in line
+        ):
+            bad.append(f"{rel}:{n}: {line.strip()}")
+if bad:
+    print("raw-u64 config escapes in production code:")
+    print("\n".join(bad))
+    sys.exit(1)
+print("ok: production code speaks Config, not raw u64 masks")
+EOF
+
 echo "== warm re-solve beats cold rebuild (>=2x, asserted in-bench) =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench online
 
@@ -97,6 +137,13 @@ GATED = {
         "read/threads_1_stmts_per_sec": 0.75,
         "read/scaling_x8": 0.75,
         "wal/commits_per_sec": 0.30,
+    },
+    # Wide-but-sparse solve time must stay within 2x of the 64-wide
+    # solve (t64/t256 >= 0.5, also asserted in-bench); the CI floor
+    # sits lower to absorb host noise while still catching a collapse
+    # of the decomposition's width independence.
+    "BENCH_oracle.json": {
+        "width_scaling/within_2x_256": 0.30,
     },
 }
 failed = False

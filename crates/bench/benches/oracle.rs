@@ -16,8 +16,12 @@
 //! calls than the seed memo path. Both facts are asserted here and the
 //! counters land in `BENCH_oracle.json` as metric records.
 
-use cdpd::core::{enumerate_configs, kaware, OracleStats, Problem, ProjectedOracle, Unprojected};
+use cdpd::core::{
+    decompose, enumerate_configs, kaware, Config, CostOracle, OracleStats, Problem,
+    ProjectableOracle, ProjectedOracle, Unprojected,
+};
 use cdpd::engine::WhatIfEngine;
+use cdpd::types::Cost;
 use cdpd::workload::{generate, paper, summarize, SummarizedWorkload};
 use cdpd::EngineOracle;
 use cdpd_bench::{build_database, paper_structures, Scale};
@@ -95,7 +99,124 @@ fn bench_oracle(criterion: &mut Criterion) {
     group.bench_function("solve_warm/dense", |b| {
         b.iter(|| kaware::solve(&dense, &problem, &candidates, 2).expect("feasible"))
     });
+
+    // Vocabulary-width scaling: wide-but-sparse solves through the
+    // CoPhy decomposition must not slow down with the raw width.
+    let (widths, timings, within_2x) = width_scaling();
+    for (&m, &t) in widths.iter().zip(&timings) {
+        group.metric(format!("width_scaling/solve_ms_{m}"), t * 1e3);
+    }
+    group.metric("width_scaling/within_2x_256", within_2x);
     group.finish();
+}
+
+/// A wide-but-sparse instance: `m` candidate structures of which only a
+/// fixed 16-member active set — spread evenly across the vocabulary —
+/// is ever relevant. Costs depend only on the active *ranks* present,
+/// so instances at every width rename to the identical local problem:
+/// solve costs must agree bit-for-bit, and solve time must not scale
+/// with the vocabulary width.
+struct SparseWide {
+    n_stages: usize,
+    m: usize,
+    members: Vec<usize>,
+    active: Config,
+}
+
+impl SparseWide {
+    fn new(n_stages: usize, m: usize) -> SparseWide {
+        let members: Vec<usize> = (0..16).map(|i| i * m / 16).collect();
+        let active = members.iter().fold(Config::EMPTY, |acc, &g| acc.with(g));
+        SparseWide {
+            n_stages,
+            m,
+            members,
+            active,
+        }
+    }
+
+    /// The active ranks present in `config`, as a 16-bit code.
+    fn code(&self, config: &Config) -> u64 {
+        let mut code = 0u64;
+        for (rank, &g) in self.members.iter().enumerate() {
+            if config.contains(g) {
+                code |= 1 << rank;
+            }
+        }
+        code
+    }
+}
+
+impl CostOracle for SparseWide {
+    fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+
+    fn n_structures(&self) -> usize {
+        self.m
+    }
+
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
+        // A deterministic pseudo-random table over (stage, active code):
+        // rich enough that solves do real work, identical across widths.
+        let code = self.code(config);
+        let h = (stage as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(code.wrapping_mul(0xA24B_AED4_963E_E407));
+        Cost::from_ios(200 + (h >> 48) - 10 * code.count_ones() as u64)
+    }
+
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
+        Cost::from_ios(40).scale(to.minus(from).len() as u64)
+            + Cost::from_ios(2).scale(from.minus(to).len() as u64)
+    }
+
+    fn size(&self, config: &Config) -> u64 {
+        config.len() as u64
+    }
+}
+
+impl ProjectableOracle for SparseWide {
+    fn relevance_mask(&self, _stage: usize) -> Config {
+        self.active.clone()
+    }
+}
+
+fn width_scaling() -> ([usize; 3], Vec<f64>, f64) {
+    const STAGES: usize = 8;
+    const K: usize = 3;
+    const ITERS: u32 = 15;
+    let widths = [64usize, 128, 256];
+    let problem = Problem::default();
+
+    let mut timings = Vec::new();
+    let mut costs = Vec::new();
+    for &m in &widths {
+        let oracle = SparseWide::new(STAGES, m);
+        // Warm-up (and correctness capture) outside the timed loop.
+        let schedule = decompose::solve_decomposed(&oracle, &problem, K).expect("feasible");
+        costs.push(schedule.total_cost());
+        let started = std::time::Instant::now();
+        for _ in 0..ITERS {
+            decompose::solve_decomposed(&oracle, &problem, K).expect("feasible");
+        }
+        timings.push(started.elapsed().as_secs_f64() / f64::from(ITERS));
+    }
+    assert!(
+        costs.iter().all(|&c| c == costs[0]),
+        "every width renames to the same local instance: costs {costs:?}"
+    );
+    // The acceptance bar: a 256-wide sparse instance must solve within
+    // 2x of the 64-wide one — the decomposition makes solve work scale
+    // with the *active* width, not the vocabulary.
+    let within_2x = timings[0] / timings[2];
+    assert!(
+        within_2x >= 0.5,
+        "256-wide solve took {:.3}ms vs {:.3}ms at 64 wide (> 2x)",
+        timings[2] * 1e3,
+        timings[0] * 1e3
+    );
+    (widths, timings, within_2x)
 }
 
 criterion_group! {

@@ -1,106 +1,395 @@
 use cdpd_types::{Error, Result};
 use std::fmt;
+use std::sync::Arc;
+
+/// Largest accepted structure index. Indices at or beyond this panic in
+/// every index-taking method — a width-agnostic set still has to treat
+/// a wild index (usually a sign mixup or an uninitialized value) as a
+/// caller bug rather than allocating gigabytes of mask words for it.
+pub const MAX_STRUCTURE_INDEX: usize = 1 << 16;
 
 /// A physical design configuration: a set of candidate structures,
 /// represented as a bitmask over the problem's candidate list.
 ///
 /// The paper's design space is the power set of `m` candidate
-/// structures; a bitmask caps `m` at 64, far beyond the point where the
-/// exponential algorithms stop being runnable anyway (§4: *"unless m is
-/// very small, the shortest-path-based algorithms … are probably
-/// impractical"*). Structure indices refer to whatever candidate list
+/// structures. Configurations up to 64 structures are stored inline in
+/// one machine word (the overwhelmingly common case, and the paper's
+/// own regime — §4: *"unless m is very small, the shortest-path-based
+/// algorithms … are probably impractical"*); wider sets spill to a
+/// shared heap allocation, so the representation itself no longer caps
+/// the vocabulary. Structure indices refer to whatever candidate list
 /// the [`crate::CostOracle`] was built over.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Config(u64);
+///
+/// The type is `Clone` but deliberately not `Copy`: cloning is a word
+/// copy inline and an `Arc` bump when spilled, so pass `&Config` and
+/// clone only to store.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Config(Repr);
+
+/// Normalized storage: `Spilled` only ever holds ≥ 2 words with a
+/// nonzero last word. Equal sets therefore always share a variant, and
+/// the derived `Eq`/`Hash` are sound.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline(u64),
+    Spilled(Arc<[u64]>),
+}
+
+impl Default for Repr {
+    fn default() -> Repr {
+        Repr::Inline(0)
+    }
+}
+
+#[inline]
+fn check_index(structure: usize) {
+    assert!(
+        structure < MAX_STRUCTURE_INDEX,
+        "structure index out of range"
+    );
+}
 
 impl Config {
     /// The empty configuration (no auxiliary structures).
-    pub const EMPTY: Config = Config(0);
+    pub const EMPTY: Config = Config(Repr::Inline(0));
 
     /// A configuration containing exactly `structure`.
     pub fn single(structure: usize) -> Config {
-        assert!(structure < 64, "structure index out of range");
-        Config(1 << structure)
+        check_index(structure);
+        if structure < 64 {
+            Config(Repr::Inline(1u64 << structure))
+        } else {
+            let mut words = vec![0u64; structure / 64 + 1];
+            words[structure / 64] = 1u64 << (structure % 64);
+            Config::from_word_vec(words)
+        }
     }
 
-    /// From a raw bitmask.
+    /// The configuration containing structures `0..n` — the full mask
+    /// over an `n`-structure vocabulary.
+    pub fn full(n: usize) -> Config {
+        assert!(n <= MAX_STRUCTURE_INDEX, "structure count out of range");
+        if n == 0 {
+            return Config::EMPTY;
+        }
+        let whole = n / 64;
+        let rest = n % 64;
+        let mut words = vec![u64::MAX; whole];
+        if rest > 0 {
+            words.push((1u64 << rest) - 1);
+        }
+        Config::from_word_vec(words)
+    }
+
+    /// From a raw 64-bit mask (structures `0..64` only). Wider
+    /// configurations must be built through the set operations or
+    /// [`Config::from_words`] — new call sites outside this module and
+    /// tests are rejected by CI, because raw-mask arithmetic is exactly
+    /// the width assumption this type exists to remove.
     pub const fn from_bits(bits: u64) -> Config {
-        Config(bits)
+        Config(Repr::Inline(bits))
     }
 
-    /// The raw bitmask.
-    pub const fn bits(self) -> u64 {
-        self.0
+    /// The raw bitmask of an inline (≤ 64-structure) configuration.
+    ///
+    /// Panics if the configuration has spilled past 64 structures; use
+    /// [`Config::words`] for a width-agnostic view.
+    pub fn bits(&self) -> u64 {
+        match &self.0 {
+            Repr::Inline(bits) => *bits,
+            Repr::Spilled(_) => panic!("configuration is wider than 64 bits"),
+        }
+    }
+
+    /// The little-endian 64-bit words of the mask (low structures
+    /// first). Always at least one word; the last word is nonzero
+    /// unless the whole configuration is empty.
+    pub fn words(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Inline(bits) => std::slice::from_ref(bits),
+            Repr::Spilled(words) => words,
+        }
+    }
+
+    /// Rebuild from [`Config::words`] output (the persistence codec).
+    /// Trailing zero words are tolerated and normalized away.
+    pub fn from_words(words: &[u64]) -> Config {
+        Config::from_word_vec(words.to_vec())
+    }
+
+    /// Normalizing constructor: strips trailing zero words and picks
+    /// the inline representation whenever one word suffices.
+    fn from_word_vec(mut words: Vec<u64>) -> Config {
+        while words.len() > 1 && *words.last().expect("non-empty") == 0 {
+            words.pop();
+        }
+        if words.len() <= 1 {
+            Config(Repr::Inline(words.first().copied().unwrap_or(0)))
+        } else {
+            Config(Repr::Spilled(words.into()))
+        }
     }
 
     /// Whether `structure` is in this configuration.
     ///
-    /// Panics on `structure >= 64`, like every other index-taking
-    /// method here — an out-of-range index is a caller bug (the
-    /// candidate list can never exceed the bitmask width), and
-    /// silently answering `false` would let it masquerade as an
-    /// absent structure.
-    pub const fn contains(self, structure: usize) -> bool {
-        assert!(structure < 64, "structure index out of range");
-        (self.0 >> structure) & 1 == 1
+    /// Panics on `structure >= MAX_STRUCTURE_INDEX`, like every other
+    /// index-taking method here — a wild index is a caller bug, and
+    /// silently answering `false` would let it masquerade as an absent
+    /// structure. Indices beyond the stored width are simply absent.
+    pub fn contains(&self, structure: usize) -> bool {
+        check_index(structure);
+        let words = self.words();
+        let w = structure / 64;
+        w < words.len() && (words[w] >> (structure % 64)) & 1 == 1
     }
 
     /// This configuration plus `structure`.
-    pub fn with(self, structure: usize) -> Config {
-        assert!(structure < 64, "structure index out of range");
-        Config(self.0 | (1 << structure))
+    pub fn with(&self, structure: usize) -> Config {
+        check_index(structure);
+        match &self.0 {
+            Repr::Inline(bits) if structure < 64 => {
+                Config(Repr::Inline(bits | (1u64 << structure)))
+            }
+            _ => {
+                let mut words = self.words().to_vec();
+                if words.len() <= structure / 64 {
+                    words.resize(structure / 64 + 1, 0);
+                }
+                words[structure / 64] |= 1u64 << (structure % 64);
+                Config::from_word_vec(words)
+            }
+        }
     }
 
     /// This configuration minus `structure`.
-    pub fn without(self, structure: usize) -> Config {
-        assert!(structure < 64, "structure index out of range");
-        Config(self.0 & !(1 << structure))
+    pub fn without(&self, structure: usize) -> Config {
+        check_index(structure);
+        match &self.0 {
+            Repr::Inline(bits) => {
+                let mask = if structure < 64 {
+                    !(1u64 << structure)
+                } else {
+                    u64::MAX
+                };
+                Config(Repr::Inline(bits & mask))
+            }
+            Repr::Spilled(_) => {
+                let mut words = self.words().to_vec();
+                if structure / 64 < words.len() {
+                    words[structure / 64] &= !(1u64 << (structure % 64));
+                }
+                Config::from_word_vec(words)
+            }
+        }
     }
 
     /// Set union.
-    pub const fn union(self, other: Config) -> Config {
-        Config(self.0 | other.0)
+    pub fn union(&self, other: &Config) -> Config {
+        match (&self.0, &other.0) {
+            (Repr::Inline(a), Repr::Inline(b)) => Config(Repr::Inline(a | b)),
+            _ => {
+                let (a, b) = (self.words(), other.words());
+                let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let mut words = long.to_vec();
+                for (w, s) in words.iter_mut().zip(short) {
+                    *w |= s;
+                }
+                Config::from_word_vec(words)
+            }
+        }
     }
 
     /// Set intersection (the projection primitive of the oracle layer:
-    /// `exec(i, c)` only depends on `c.intersect(mask[i])`).
-    pub const fn intersect(self, other: Config) -> Config {
-        Config(self.0 & other.0)
+    /// `exec(i, c)` only depends on `c.intersect(&mask[i])`).
+    pub fn intersect(&self, other: &Config) -> Config {
+        match (&self.0, &other.0) {
+            // Either side inline ⇒ the result fits one word.
+            (Repr::Inline(a), _) => Config(Repr::Inline(a & other.words()[0])),
+            (_, Repr::Inline(b)) => Config(Repr::Inline(self.words()[0] & b)),
+            (Repr::Spilled(a), Repr::Spilled(b)) => {
+                let words = a.iter().zip(b.iter()).map(|(x, y)| x & y).collect();
+                Config::from_word_vec(words)
+            }
+        }
     }
 
     /// Structures in `self` but not `other` (what must be built to go
     /// from `other` to `self`).
-    pub const fn minus(self, other: Config) -> Config {
-        Config(self.0 & !other.0)
+    pub fn minus(&self, other: &Config) -> Config {
+        match (&self.0, &other.0) {
+            (Repr::Inline(a), _) => Config(Repr::Inline(a & !other.words()[0])),
+            _ => {
+                let b = other.words();
+                let words = self
+                    .words()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| w & !b.get(i).copied().unwrap_or(0))
+                    .collect();
+                Config::from_word_vec(words)
+            }
+        }
     }
 
     /// Number of structures.
-    pub const fn len(self) -> usize {
-        self.0.count_ones() as usize
+    pub fn len(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True if no structures are present.
-    pub const fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        // Normalization: a spilled repr always has a nonzero last word.
+        matches!(self.0, Repr::Inline(0))
     }
 
     /// True if every structure of `self` is in `other`.
-    pub const fn is_subset_of(self, other: Config) -> bool {
-        self.0 & !other.0 == 0
+    pub fn is_subset_of(&self, other: &Config) -> bool {
+        let b = other.words();
+        self.words()
+            .iter()
+            .enumerate()
+            .all(|(i, w)| w & !b.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Number of structures in `self` with index strictly below
+    /// `structure` — the local coordinate of `structure` when this
+    /// configuration is used as a relevance mask (see
+    /// [`crate::decompose`]).
+    pub fn rank(&self, structure: usize) -> usize {
+        check_index(structure);
+        let words = self.words();
+        let w = structure / 64;
+        let mut r = 0;
+        for word in &words[..w.min(words.len())] {
+            r += word.count_ones() as usize;
+        }
+        if w < words.len() {
+            let below = (1u64 << (structure % 64)) - 1;
+            r += (words[w] & below).count_ones() as usize;
+        }
+        r
     }
 
     /// Iterate the structure indices present, ascending.
-    pub fn structures(self) -> impl Iterator<Item = usize> {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                None
-            } else {
-                let i = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                Some(i)
-            }
+    pub fn structures(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + i)
+                }
+            })
         })
+    }
+
+    /// A cheap word-fold for shard selection in concurrent memo tables.
+    /// Not a general hash — equal configs agree, and inline configs
+    /// fold to their raw mask.
+    pub fn shard_key(&self) -> u64 {
+        self.words()
+            .iter()
+            .fold(0u64, |acc, w| acc.rotate_left(7) ^ w)
+    }
+
+    /// Software PEXT: gather the bits of `self` selected by `mask` into
+    /// a compact code — the i-th set structure of `mask` becomes bit i.
+    /// This is the dense-table indexing primitive, so the mask must
+    /// name at most 64 structures (a table wider than that could not be
+    /// materialized anyway). Inverse of [`Config::pdep_code`]. Bits of
+    /// `self` outside `mask` are ignored.
+    pub fn pext_code(&self, mask: &Config) -> u64 {
+        match (&self.0, &mask.0) {
+            (Repr::Inline(bits), Repr::Inline(m)) => compress_word(*bits, *m),
+            _ => {
+                assert!(mask.len() <= 64, "PEXT mask wider than a 64-bit code");
+                let mut out = 0u64;
+                for (j, pos) in mask.structures().enumerate() {
+                    if self.contains(pos) {
+                        out |= 1u64 << j;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Software PDEP: scatter the low bits of `code` to the set
+    /// structures of `mask` — bit i of `code` lands on the i-th set
+    /// structure. Inverse of [`Config::pext_code`] for codes within
+    /// `mask`'s width.
+    pub fn pdep_code(code: u64, mask: &Config) -> Config {
+        match &mask.0 {
+            Repr::Inline(m) => Config(Repr::Inline(expand_word(code, *m))),
+            Repr::Spilled(_) => {
+                assert!(mask.len() <= 64, "PDEP mask wider than a 64-bit code");
+                let mut words = vec![0u64; mask.words().len()];
+                for (j, pos) in mask.structures().enumerate() {
+                    if (code >> j) & 1 == 1 {
+                        words[pos / 64] |= 1u64 << (pos % 64);
+                    }
+                }
+                Config::from_word_vec(words)
+            }
+        }
+    }
+}
+
+/// Word-level PEXT with a fast path for contiguous low masks.
+fn compress_word(bits: u64, mask: u64) -> u64 {
+    let bits = bits & mask;
+    if mask & mask.wrapping_add(1) == 0 {
+        return bits; // mask is 0..w contiguous from bit 0
+    }
+    let mut out = 0u64;
+    let mut m = mask;
+    let mut j = 0;
+    while m != 0 {
+        let i = m.trailing_zeros();
+        out |= ((bits >> i) & 1) << j;
+        j += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+/// Word-level PDEP with a fast path for contiguous low masks.
+fn expand_word(code: u64, mask: u64) -> u64 {
+    if mask & mask.wrapping_add(1) == 0 {
+        return code & mask;
+    }
+    let mut out = 0u64;
+    let mut m = mask;
+    let mut j = 0;
+    while m != 0 {
+        let i = m.trailing_zeros();
+        out |= ((code >> j) & 1) << i;
+        j += 1;
+        m &= m - 1;
+    }
+    out
+}
+
+impl PartialOrd for Config {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Config {
+    /// Big-integer order over the mask value. Restricted to inline
+    /// configurations this is exactly the raw-`u64` order the previous
+    /// representation derived, so sorted candidate lists stay stable
+    /// across the representation change.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let (a, b) = (self.words(), other.words());
+        // Normalization (nonzero last word) makes more words ⇒ greater.
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.iter().rev().cmp(b.iter().rev()))
     }
 }
 
@@ -133,7 +422,8 @@ impl fmt::Display for Config {
 /// The paper's experiments restrict the design space to "at most one
 /// index" — pass `max_structures = Some(1)` for that regime. Full
 /// enumeration is `O(2^m)` and refused for `m > 20` (at that point use
-/// [`crate::greedy`], which exists precisely because of this wall).
+/// [`crate::greedy`] or [`crate::decompose::candidate_configs`], which
+/// exist precisely because of this wall).
 pub fn enumerate_configs(
     oracle: &dyn crate::CostOracle,
     space_bound: Option<u64>,
@@ -154,7 +444,7 @@ pub fn enumerate_configs(
             }
         }
         if let Some(b) = space_bound {
-            if oracle.size(config) > b {
+            if oracle.size(&config) > b {
                 continue;
             }
         }
@@ -168,6 +458,8 @@ mod tests {
     use super::*;
     use crate::SyntheticOracle;
     use cdpd_types::Cost;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
 
     #[test]
     fn set_operations() {
@@ -175,19 +467,156 @@ mod tests {
         assert!(c.contains(0) && c.contains(3) && !c.contains(1));
         assert_eq!(c.len(), 2);
         assert_eq!(c.without(0), Config::single(3));
-        assert_eq!(c.union(Config::single(1)).len(), 3);
-        assert_eq!(c.intersect(Config::single(3)), Config::single(3));
-        assert_eq!(c.intersect(Config::single(1)), Config::EMPTY);
-        assert_eq!(c.minus(Config::single(3)), Config::single(0));
-        assert!(Config::single(3).is_subset_of(c));
-        assert!(!c.is_subset_of(Config::single(3)));
+        assert_eq!(c.union(&Config::single(1)).len(), 3);
+        assert_eq!(c.intersect(&Config::single(3)), Config::single(3));
+        assert_eq!(c.intersect(&Config::single(1)), Config::EMPTY);
+        assert_eq!(c.minus(&Config::single(3)), Config::single(0));
+        assert!(Config::single(3).is_subset_of(&c));
+        assert!(!c.is_subset_of(&Config::single(3)));
         assert_eq!(c.structures().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn wide_set_operations() {
+        // The same algebra across the 64-bit spill boundary.
+        let c = Config::EMPTY.with(3).with(64).with(130);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(64) && c.contains(130) && !c.contains(65));
+        assert_eq!(c.structures().collect::<Vec<_>>(), vec![3, 64, 130]);
+        assert_eq!(c.without(130), Config::EMPTY.with(3).with(64));
+        assert_eq!(c.intersect(&Config::single(64)), Config::single(64));
+        assert_eq!(
+            c.minus(&Config::single(3)),
+            Config::EMPTY.with(64).with(130)
+        );
+        assert!(Config::single(130).is_subset_of(&c));
+        assert!(!c.is_subset_of(&Config::single(130)));
+        let u = c.union(&Config::single(200));
+        assert_eq!(u.len(), 4);
+        assert!(u.contains(200));
+    }
+
+    #[test]
+    fn normalization_keeps_eq_and_hash_sound() {
+        // Dropping the only high structure must shrink back to the
+        // inline representation, and compare/hash equal to a config
+        // that never spilled.
+        let narrow = Config::EMPTY.with(2);
+        let via_wide = Config::EMPTY.with(2).with(100).without(100);
+        assert_eq!(narrow, via_wide);
+        assert_eq!(narrow.words(), via_wide.words());
+        let hash = |c: &Config| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&narrow), hash(&via_wide));
+        assert_eq!(narrow.shard_key(), via_wide.shard_key());
+        // Intersection with a narrow mask collapses a spilled config.
+        let wide = Config::EMPTY.with(1).with(90);
+        assert_eq!(wide.intersect(&Config::full(64)), Config::single(1));
+        assert_eq!(wide.words().len(), 2);
+        // from_words tolerates denormalized input.
+        assert_eq!(Config::from_words(&[5, 0, 0]), Config::from_bits(5));
+        assert_eq!(Config::from_words(wide.words()), wide);
+        assert_eq!(Config::from_words(&[]), Config::EMPTY);
+    }
+
+    #[test]
+    fn ordering_matches_big_integer_order() {
+        let mut configs = vec![
+            Config::single(70),
+            Config::single(0),
+            Config::EMPTY,
+            Config::single(65),
+            Config::single(63),
+            Config::EMPTY.with(0).with(70),
+        ];
+        configs.sort();
+        assert_eq!(
+            configs,
+            vec![
+                Config::EMPTY,
+                Config::single(0),
+                Config::single(63),
+                Config::single(65),
+                Config::single(70),
+                Config::EMPTY.with(0).with(70),
+            ]
+        );
+        // Inline order is the raw-u64 order.
+        assert!(Config::from_bits(3) < Config::from_bits(4));
+    }
+
+    #[test]
+    fn full_and_rank() {
+        assert_eq!(Config::full(0), Config::EMPTY);
+        assert_eq!(Config::full(3), Config::from_bits(0b111));
+        assert_eq!(Config::full(64), Config::from_bits(u64::MAX));
+        assert_eq!(Config::full(65).len(), 65);
+        assert!(Config::full(65).contains(64));
+        assert_eq!(Config::full(130).len(), 130);
+        let mask = Config::EMPTY.with(2).with(5).with(70);
+        assert_eq!(mask.rank(2), 0);
+        assert_eq!(mask.rank(5), 1);
+        assert_eq!(mask.rank(6), 2);
+        assert_eq!(mask.rank(70), 2);
+        assert_eq!(mask.rank(200), 3);
+    }
+
+    #[test]
+    fn pext_pdep_roundtrip() {
+        for mask in [
+            Config::from_bits(0b1),
+            Config::from_bits(0b1010),
+            Config::from_bits(0b1101_0110),
+            Config::EMPTY.with(1).with(64).with(129),
+        ] {
+            for code in 0..(1u64 << mask.len()) {
+                let cfg = Config::pdep_code(code, &mask);
+                assert!(cfg.is_subset_of(&mask));
+                assert_eq!(cfg.pext_code(&mask), code, "mask={mask} code={code}");
+            }
+        }
+        // Bits outside the mask are ignored.
+        let mask = Config::from_bits(0b0101);
+        assert_eq!(
+            Config::from_bits(0b1111).pext_code(&mask),
+            Config::from_bits(0b0101).pext_code(&mask)
+        );
+        let wide_mask = Config::EMPTY.with(0).with(100);
+        assert_eq!(Config::EMPTY.with(50).with(100).pext_code(&wide_mask), 0b10);
     }
 
     #[test]
     fn display() {
         assert_eq!(Config::EMPTY.to_string(), "{}");
         assert_eq!(Config::EMPTY.with(1).with(4).to_string(), "{1,4}");
+        assert_eq!(Config::EMPTY.with(1).with(100).to_string(), "{1,100}");
+    }
+
+    #[test]
+    fn wild_indices_panic() {
+        let wild = MAX_STRUCTURE_INDEX;
+        for f in [
+            Box::new(|| {
+                let _ = Config::single(wild);
+            }) as Box<dyn FnOnce()>,
+            Box::new(|| {
+                let _ = Config::EMPTY.contains(wild);
+            }),
+            Box::new(|| {
+                let _ = Config::EMPTY.with(wild);
+            }),
+            Box::new(|| {
+                let _ = Config::EMPTY.without(wild);
+            }),
+            Box::new(|| {
+                let _ = Config::EMPTY.rank(wild);
+            }),
+        ] {
+            assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err());
+        }
     }
 
     fn oracle(m: usize, sizes: Vec<u64>) -> SyntheticOracle {
@@ -235,13 +664,13 @@ mod tests {
             fn n_structures(&self) -> usize {
                 21
             }
-            fn exec(&self, _: usize, _: Config) -> Cost {
+            fn exec(&self, _: usize, _: &Config) -> Cost {
                 Cost::ZERO
             }
-            fn trans(&self, _: Config, _: Config) -> Cost {
+            fn trans(&self, _: &Config, _: &Config) -> Cost {
                 Cost::ZERO
             }
-            fn size(&self, _: Config) -> u64 {
+            fn size(&self, _: &Config) -> u64 {
                 0
             }
         }

@@ -1,0 +1,503 @@
+//! CoPhy-style candidate decomposition (Dash, Polyzotis, Ailamaki,
+//! arXiv 1104.3214): solve in *local* coordinates over the structures
+//! the workload can actually use, not the full vocabulary.
+//!
+//! The observation is the same one the relevance projection in
+//! [`crate::oracle`] exploits, lifted from the cache to the solver: a
+//! stage's cost depends only on the structures in its relevance mask,
+//! so the union of every stage's mask — plus the problem's boundary
+//! configurations — is a complete *active set*. Structures outside it
+//! cannot change any schedule's exec cost, and no optimal schedule
+//! builds them (they cost transition I/Os and space for nothing). A
+//! [`Decomposition`] renames the active set to a dense `0..a` local
+//! index space; solvers, dense tables, and memo keys then scale with
+//! `a` (relevant structures), not `m` (vocabulary width). On an
+//! instance whose active set fits one word the localized solve is
+//! bit-identical to solving the narrow instance directly — localization
+//! is a pure index relabeling, not an approximation.
+//!
+//! The pieces compose: [`Decomposition::from_oracle`] computes the
+//! active set, [`LocalOracle`] presents the inner oracle in local
+//! coordinates, [`Decomposition::globalize_schedule`] maps a local
+//! solution back, and [`solve_decomposed`] bundles the round trip.
+
+use crate::config::{enumerate_configs, Config};
+use crate::oracle::{ProjectableOracle, RelevanceMask};
+use crate::problem::{CostOracle, Problem};
+use crate::schedule::Schedule;
+use crate::{greedy, kaware};
+use cdpd_types::{Cost, Result};
+
+/// Widest vocabulary for which [`candidate_configs`] still enumerates
+/// every subset (`2^12 = 4096` candidates); wider instances switch to
+/// greedy per-stage candidate derivation.
+pub const ENUMERABLE_WIDTH: usize = 12;
+
+/// A rename of the workload's *active* structures — the union of every
+/// stage's relevance mask and the problem's boundary configurations —
+/// onto the dense local index space `0..n_local()`.
+///
+/// Localization is exact for any configuration that is a subset of the
+/// active set (`globalize(localize(c)) == c`); for other configurations
+/// it projects the irrelevant structures away, which leaves every exec
+/// cost unchanged by the relevance contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    active: Config,
+    /// Select table: local index → global structure index.
+    members: Vec<usize>,
+}
+
+impl Decomposition {
+    /// Decompose around an oracle's relevance masks. `pinned` is unioned
+    /// into the active set — pass any configurations that must survive
+    /// the round trip exactly (an online advisor's committed prefix, for
+    /// example) beyond the problem's own boundary configurations, which
+    /// are always included.
+    pub fn from_oracle<O: ProjectableOracle + ?Sized>(
+        oracle: &O,
+        problem: &Problem,
+        pinned: &[Config],
+    ) -> Decomposition {
+        let mut active = problem.initial.clone();
+        if let Some(f) = &problem.final_config {
+            active = active.union(f);
+        }
+        for stage in 0..oracle.n_stages() {
+            active = active.union(&oracle.relevance_mask(stage));
+        }
+        for cfg in pinned {
+            active = active.union(cfg);
+        }
+        Decomposition::from_active(active)
+    }
+
+    /// Decompose around explicit per-stage masks (same construction as
+    /// [`Self::from_oracle`], for callers that already hold a
+    /// [`RelevanceMask`]).
+    pub fn from_masks(
+        masks: &RelevanceMask,
+        problem: &Problem,
+        pinned: &[Config],
+    ) -> Decomposition {
+        let mut active = masks.union_all().union(&problem.initial);
+        if let Some(f) = &problem.final_config {
+            active = active.union(f);
+        }
+        for cfg in pinned {
+            active = active.union(cfg);
+        }
+        Decomposition::from_active(active)
+    }
+
+    /// Decompose around an explicit active set.
+    pub fn from_active(active: Config) -> Decomposition {
+        let members = active.structures().collect();
+        Decomposition { active, members }
+    }
+
+    /// The global active set.
+    pub fn active(&self) -> &Config {
+        &self.active
+    }
+
+    /// Number of local structures (`a` = |active set|).
+    pub fn n_local(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Select table: `members()[local]` is the global structure index.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// True if localization would be the identity over an `n_structures`
+    /// vocabulary — the active set is exactly `0..n_structures`. Callers
+    /// use this to skip the wrapper entirely on dense instances.
+    pub fn is_identity(&self, n_structures: usize) -> bool {
+        self.members.len() == n_structures && self.members.iter().enumerate().all(|(i, &g)| i == g)
+    }
+
+    /// Rename `global` into local coordinates, projecting away any
+    /// structures outside the active set.
+    pub fn localize(&self, global: &Config) -> Config {
+        let mut local = Config::EMPTY;
+        for g in global.intersect(&self.active).structures() {
+            local = local.with(self.active.rank(g));
+        }
+        local
+    }
+
+    /// Rename `local` back into global coordinates.
+    ///
+    /// # Panics
+    /// Panics if `local` has a structure at or above [`Self::n_local`].
+    pub fn globalize(&self, local: &Config) -> Config {
+        let mut global = Config::EMPTY;
+        for s in local.structures() {
+            global = global.with(self.members[s]);
+        }
+        global
+    }
+
+    /// The problem instance in local coordinates.
+    pub fn localize_problem(&self, problem: &Problem) -> Problem {
+        Problem {
+            initial: self.localize(&problem.initial),
+            final_config: problem.final_config.as_ref().map(|f| self.localize(f)),
+            space_bound: problem.space_bound,
+            count_initial_change: problem.count_initial_change,
+        }
+    }
+
+    /// Localize a candidate list (deduplicated: distinct global
+    /// candidates that agree on the active set collapse to one).
+    pub fn localize_configs(&self, configs: &[Config]) -> Vec<Config> {
+        let mut out: Vec<Config> = configs.iter().map(|c| self.localize(c)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Map a schedule solved in local coordinates back to global
+    /// structure indexes. Costs and the change count carry over
+    /// unchanged — localization preserves both by construction.
+    pub fn globalize_schedule(&self, schedule: Schedule) -> Schedule {
+        Schedule {
+            configs: schedule.configs.iter().map(|c| self.globalize(c)).collect(),
+            exec_cost: schedule.exec_cost,
+            trans_cost: schedule.trans_cost,
+            changes: schedule.changes,
+        }
+    }
+
+    /// View `inner` in this decomposition's local coordinates.
+    pub fn local_oracle<'a, O: ProjectableOracle + ?Sized>(
+        &'a self,
+        inner: &'a O,
+    ) -> LocalOracle<'a, O> {
+        LocalOracle {
+            inner,
+            decomp: self,
+        }
+    }
+}
+
+/// An oracle adapter presenting the wrapped oracle's active structures
+/// as a dense `0..n_local` vocabulary. Every probe renames its
+/// configurations through the [`Decomposition`]; relevance masks are
+/// renamed too, so the caching layers ([`crate::oracle::ProjectedOracle`],
+/// [`crate::oracle::DenseOracle`]) stack on top and tabulate in the
+/// *same* local coordinates — the dense width check sees the part's
+/// relevant width whichever side of the rename it runs on.
+pub struct LocalOracle<'a, O: ?Sized> {
+    inner: &'a O,
+    decomp: &'a Decomposition,
+}
+
+impl<O: ?Sized> LocalOracle<'_, O> {
+    /// The decomposition this adapter renames through.
+    pub fn decomposition(&self) -> &Decomposition {
+        self.decomp
+    }
+}
+
+impl<O: ProjectableOracle + ?Sized> CostOracle for LocalOracle<'_, O> {
+    fn n_stages(&self) -> usize {
+        self.inner.n_stages()
+    }
+
+    fn n_structures(&self) -> usize {
+        self.decomp.n_local()
+    }
+
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
+        self.inner.exec(stage, &self.decomp.globalize(config))
+    }
+
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
+        self.inner
+            .trans(&self.decomp.globalize(from), &self.decomp.globalize(to))
+    }
+
+    fn size(&self, config: &Config) -> u64 {
+        self.inner.size(&self.decomp.globalize(config))
+    }
+}
+
+impl<O: ProjectableOracle + ?Sized> ProjectableOracle for LocalOracle<'_, O> {
+    fn relevance_mask(&self, stage: usize) -> Config {
+        self.decomp.localize(&self.inner.relevance_mask(stage))
+    }
+
+    fn n_parts(&self, stage: usize) -> usize {
+        self.inner.n_parts(stage)
+    }
+
+    fn part_mask(&self, stage: usize, part: usize) -> Config {
+        self.decomp.localize(&self.inner.part_mask(stage, part))
+    }
+
+    fn exec_part(&self, stage: usize, part: usize, config: &Config) -> Cost {
+        // `config` arrives projected onto the *local* part mask;
+        // globalizing it reproduces the projection onto the global part
+        // mask (part masks are subsets of the active set), so the inner
+        // contract is preserved.
+        self.inner
+            .exec_part(stage, part, &self.decomp.globalize(config))
+    }
+}
+
+/// Width-aware candidate generation: full enumeration while the
+/// vocabulary fits [`ENUMERABLE_WIDTH`], greedy per-stage derivation
+/// ([`greedy::candidates`]) beyond it. This is the default policy the
+/// decomposed solve and the facade use once instances outgrow
+/// [`enumerate_configs`]'s hard wall.
+pub fn candidate_configs(oracle: &dyn CostOracle, problem: &Problem) -> Result<Vec<Config>> {
+    if oracle.n_structures() <= ENUMERABLE_WIDTH {
+        enumerate_configs(oracle, problem.space_bound, None)
+    } else {
+        Ok(greedy::candidates(oracle, problem))
+    }
+}
+
+/// Solve a k-constrained instance through the full decomposition round
+/// trip: compute the active set, rename, derive candidates in local
+/// coordinates ([`candidate_configs`]), run the k-aware solver, and
+/// globalize the schedule. On instances whose active set is the whole
+/// vocabulary this reduces to `kaware::solve` over the same candidates.
+pub fn solve_decomposed<O: ProjectableOracle + ?Sized>(
+    oracle: &O,
+    problem: &Problem,
+    k: usize,
+) -> Result<Schedule> {
+    let decomp = Decomposition::from_oracle(oracle, problem, &[]);
+    let _span = cdpd_obs::span!(
+        "solve.decomposed",
+        vocabulary = oracle.n_structures(),
+        active = decomp.n_local(),
+        k = k
+    );
+    let local = decomp.local_oracle(oracle);
+    let local_problem = decomp.localize_problem(problem);
+    let cands = candidate_configs(&local, &local_problem)?;
+    let schedule = kaware::solve(&local, &local_problem, &cands, k)?;
+    Ok(decomp.globalize_schedule(schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpd_types::Cost;
+
+    fn c(io: u64) -> Cost {
+        Cost::from_ios(io)
+    }
+
+    /// A wide-but-sparse oracle: `m` structures, but each stage only
+    /// uses `spread`-spaced structures from `picks`. Costs depend only
+    /// on the relevant intersection, honoring the relevance contract.
+    struct Sparse {
+        n_stages: usize,
+        m: usize,
+        picks: Vec<Vec<usize>>,
+    }
+
+    impl Sparse {
+        fn new(n_stages: usize, m: usize, picks: Vec<Vec<usize>>) -> Sparse {
+            assert_eq!(picks.len(), n_stages);
+            Sparse { n_stages, m, picks }
+        }
+
+        fn mask(&self, stage: usize) -> Config {
+            self.picks[stage]
+                .iter()
+                .fold(Config::EMPTY, |acc, &s| acc.with(s))
+        }
+    }
+
+    impl CostOracle for Sparse {
+        fn n_stages(&self) -> usize {
+            self.n_stages
+        }
+        fn n_structures(&self) -> usize {
+            self.m
+        }
+        fn exec(&self, stage: usize, config: &Config) -> Cost {
+            // 100 baseline, minus 30 per relevant structure present.
+            let hits = self.picks[stage]
+                .iter()
+                .filter(|&&s| config.contains(s))
+                .count() as u64;
+            c(100 - 30 * hits.min(3))
+        }
+        fn trans(&self, from: &Config, to: &Config) -> Cost {
+            c(7).scale(to.minus(from).len() as u64) + c(1).scale(from.minus(to).len() as u64)
+        }
+        fn size(&self, config: &Config) -> u64 {
+            config.len() as u64
+        }
+    }
+
+    impl ProjectableOracle for Sparse {
+        fn relevance_mask(&self, stage: usize) -> Config {
+            self.mask(stage)
+        }
+    }
+
+    #[test]
+    fn active_set_and_rename_roundtrip() {
+        let o = Sparse::new(3, 200, vec![vec![5, 130], vec![5, 70], vec![199]]);
+        let p = Problem::paper_experiment();
+        let d = Decomposition::from_oracle(&o, &p, &[]);
+        assert_eq!(d.n_local(), 4);
+        assert_eq!(d.members(), &[5, 70, 130, 199]);
+        assert_eq!(
+            *d.active(),
+            Config::EMPTY.with(5).with(70).with(130).with(199)
+        );
+        // Round trip over subsets of the active set is exact.
+        let g = Config::EMPTY.with(5).with(199);
+        let l = d.localize(&g);
+        assert_eq!(l, Config::EMPTY.with(0).with(3));
+        assert_eq!(d.globalize(&l), g);
+        // Structures outside the active set are projected away.
+        assert_eq!(d.localize(&g.with(42)), l);
+        assert!(!d.is_identity(200));
+        // Pinned configs widen the active set.
+        let pinned = Decomposition::from_oracle(&o, &p, &[Config::single(42)]);
+        assert_eq!(pinned.n_local(), 5);
+        assert_eq!(pinned.localize(&Config::single(42)), Config::single(1));
+    }
+
+    #[test]
+    fn identity_on_dense_instances() {
+        let o = Sparse::new(2, 3, vec![vec![0, 1], vec![1, 2]]);
+        let p = Problem::default();
+        let d = Decomposition::from_oracle(&o, &p, &[]);
+        assert!(d.is_identity(3));
+        let g = Config::EMPTY.with(0).with(2);
+        assert_eq!(d.localize(&g), g);
+        assert_eq!(d.globalize(&g), g);
+    }
+
+    #[test]
+    fn from_masks_matches_from_oracle() {
+        let o = Sparse::new(3, 200, vec![vec![5, 130], vec![5, 70], vec![199]]);
+        let p = Problem::paper_experiment();
+        let masks = RelevanceMask::new((0..3).map(|s| o.mask(s)).collect());
+        assert_eq!(
+            Decomposition::from_masks(&masks, &p, &[]),
+            Decomposition::from_oracle(&o, &p, &[])
+        );
+    }
+
+    #[test]
+    fn local_oracle_preserves_costs_and_relevance() {
+        let o = Sparse::new(3, 200, vec![vec![5, 130], vec![5, 70], vec![199]]);
+        let p = Problem::paper_experiment();
+        let d = Decomposition::from_oracle(&o, &p, &[]);
+        let local = d.local_oracle(&o);
+        assert_eq!(local.n_structures(), 4);
+        assert_eq!(local.n_stages(), 3);
+        for stage in 0..3 {
+            assert_eq!(local.relevance_mask(stage), d.localize(&o.mask(stage)));
+            for bits in 0..16u64 {
+                let lc = Config::from_bits(bits);
+                let gc = d.globalize(&lc);
+                assert_eq!(local.exec(stage, &lc), o.exec(stage, &gc));
+                assert_eq!(local.size(&lc), o.size(&gc));
+                assert_eq!(
+                    local.trans(&Config::EMPTY, &lc),
+                    o.trans(&Config::EMPTY, &gc)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_solve_is_bit_identical_to_narrow_reference() {
+        // The same workload expressed twice: over a 200-wide vocabulary
+        // touching only structures {5, 70, 130, 199}, and directly over
+        // the 4-wide renamed vocabulary. The decomposed solve of the
+        // wide instance must equal the direct solve of the narrow one,
+        // configuration for configuration.
+        let picks_wide = vec![
+            vec![5, 130],
+            vec![5, 130],
+            vec![5, 70],
+            vec![199],
+            vec![199],
+        ];
+        let rename = |s: usize| match s {
+            5 => 0,
+            70 => 1,
+            130 => 2,
+            199 => 3,
+            _ => unreachable!(),
+        };
+        let picks_narrow: Vec<Vec<usize>> = picks_wide
+            .iter()
+            .map(|p| p.iter().map(|&s| rename(s)).collect())
+            .collect();
+        let wide = Sparse::new(5, 200, picks_wide);
+        let narrow = Sparse::new(5, 4, picks_narrow);
+        let p = Problem::paper_experiment();
+        for k in [0, 1, 2, 4] {
+            let via_decomp = solve_decomposed(&wide, &p, k).unwrap();
+            let d = Decomposition::from_oracle(&wide, &p, &[]);
+            let cands = candidate_configs(&narrow, &p).unwrap();
+            let direct = kaware::solve(&narrow, &p, &cands, k).unwrap();
+            assert_eq!(via_decomp.total_cost(), direct.total_cost(), "k={k}");
+            assert_eq!(via_decomp.changes, direct.changes, "k={k}");
+            let localized: Vec<Config> = via_decomp.configs.iter().map(|c| d.localize(c)).collect();
+            assert_eq!(localized, direct.configs, "k={k}");
+            via_decomp.validate(&wide, &p, Some(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn globalize_schedule_preserves_bookkeeping() {
+        let o = Sparse::new(3, 200, vec![vec![5, 130], vec![5, 70], vec![199]]);
+        let p = Problem::paper_experiment();
+        let d = Decomposition::from_oracle(&o, &p, &[]);
+        let local = d.local_oracle(&o);
+        let lp = d.localize_problem(&p);
+        let cands = candidate_configs(&local, &lp).unwrap();
+        let ls = kaware::solve(&local, &lp, &cands, 2).unwrap();
+        let gs = d.globalize_schedule(ls.clone());
+        assert_eq!(gs.exec_cost, ls.exec_cost);
+        assert_eq!(gs.trans_cost, ls.trans_cost);
+        assert_eq!(gs.changes, ls.changes);
+        // The globalized schedule re-validates against the wide oracle.
+        gs.validate(&o, &p, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn candidate_configs_switches_policy_at_the_width_wall() {
+        let small = Sparse::new(2, 3, vec![vec![0], vec![1]]);
+        let p = Problem::default();
+        let cands = candidate_configs(&small, &p).unwrap();
+        assert_eq!(cands.len(), 8, "full enumeration while it fits");
+        let wide = Sparse::new(2, 100, vec![vec![0], vec![1]]);
+        let wide_cands = candidate_configs(&wide, &p).unwrap();
+        assert!(
+            wide_cands.len() < 100,
+            "greedy derivation stays small: {}",
+            wide_cands.len()
+        );
+        assert!(wide_cands.contains(&Config::EMPTY));
+    }
+
+    #[test]
+    fn localize_configs_dedups_collapsed_candidates() {
+        let d = Decomposition::from_active(Config::EMPTY.with(5).with(70));
+        let configs = vec![
+            Config::single(5),
+            Config::single(5).with(9), // 9 inactive: collapses onto {5}
+            Config::single(70),
+        ];
+        let local = d.localize_configs(&configs);
+        assert_eq!(local, vec![Config::single(0), Config::single(1)]);
+    }
+}

@@ -22,27 +22,27 @@ use cdpd_types::Result;
 /// Derive the restricted candidate set from per-stage analysis.
 pub fn candidates(oracle: &dyn CostOracle, problem: &Problem) -> Vec<Config> {
     let m = oracle.n_structures();
-    let mut out: Vec<Config> = vec![Config::EMPTY, problem.initial];
-    if let Some(f) = problem.final_config {
-        out.push(f);
+    let mut out: Vec<Config> = vec![Config::EMPTY, problem.initial.clone()];
+    if let Some(f) = &problem.final_config {
+        out.push(f.clone());
     }
     for stage in 0..oracle.n_stages() {
         // Rank singleton structures by this stage's exec cost.
         let mut singles: Vec<(usize, cdpd_types::Cost)> = (0..m)
-            .map(|s| (s, oracle.exec(stage, Config::single(s))))
+            .map(|s| (s, oracle.exec(stage, &Config::single(s))))
             .collect();
         singles.sort_by_key(|&(_, cost)| cost);
         if let Some(&(best, best_cost)) = singles.first() {
             let best_cfg = Config::single(best);
-            if problem.fits(oracle, best_cfg) {
-                out.push(best_cfg);
-            }
             // The union of the top two, when it actually helps.
             if let Some(&(second, _)) = singles.get(1) {
                 let pair = best_cfg.with(second);
-                if problem.fits(oracle, pair) && oracle.exec(stage, pair) < best_cost {
+                if problem.fits(oracle, &pair) && oracle.exec(stage, &pair) < best_cost {
                     out.push(pair);
                 }
+            }
+            if problem.fits(oracle, &best_cfg) {
+                out.push(best_cfg);
             }
         }
     }

@@ -39,7 +39,7 @@ pub fn solve(
     let mut nodes: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(n);
     for stage in 0..n {
         let mut per_cand = Vec::with_capacity(ncand);
-        for (ci, &cfg) in candidates.iter().enumerate() {
+        for (ci, cfg) in candidates.iter().enumerate() {
             let exec = oracle.exec(stage, cfg);
             let per_layer: Vec<NodeId> = (0..layers)
                 .map(|_| dag.add_node(Some((stage, ci)), exec))
@@ -52,8 +52,8 @@ pub fn solve(
 
     // Source edges: entering `C_1 = c` lands on layer 0, unless the
     // initial build counts as a change (strict Definition 1 mode).
-    for (ci, &cfg) in candidates.iter().enumerate() {
-        let layer = if cfg != problem.initial && problem.count_initial_change {
+    for (ci, cfg) in candidates.iter().enumerate() {
+        let layer = if *cfg != problem.initial && problem.count_initial_change {
             1
         } else {
             0
@@ -64,14 +64,14 @@ pub fn solve(
         dag.add_edge(
             source,
             nodes[0][ci][layer],
-            oracle.trans(problem.initial, cfg),
+            oracle.trans(&problem.initial, cfg),
         );
     }
 
     // Stage-to-stage edges.
     for stage in 0..n.saturating_sub(1) {
-        for (ai, &a) in candidates.iter().enumerate() {
-            for (bi, &b) in candidates.iter().enumerate() {
+        for (ai, a) in candidates.iter().enumerate() {
+            for (bi, b) in candidates.iter().enumerate() {
                 if ai == bi {
                     for layer in 0..layers {
                         dag.add_edge(
@@ -96,8 +96,8 @@ pub fn solve(
 
     // Destination edges: the closing transition (to the pinned final
     // configuration, if any) does not consume change budget.
-    for (ci, &cfg) in candidates.iter().enumerate() {
-        let w = match problem.final_config {
+    for (ci, cfg) in candidates.iter().enumerate() {
+        let w = match &problem.final_config {
             Some(f) => oracle.trans(cfg, f),
             None => Cost::ZERO,
         };
@@ -112,7 +112,7 @@ pub fn solve(
     let configs: Vec<Config> = sp
         .nodes
         .iter()
-        .filter_map(|&node| dag.payload(node).map(|(_, ci)| candidates[ci]))
+        .filter_map(|&node| dag.payload(node).map(|(_, ci)| candidates[ci].clone()))
         .collect();
     let schedule = Schedule::evaluate(oracle, problem, configs);
     debug_assert_eq!(
@@ -268,7 +268,12 @@ mod tests {
                 for b in idx.clone() {
                     for cc in idx.clone() {
                         for d in idx.clone() {
-                            let cfgs = vec![cands[a], cands[b], cands[cc], cands[d]];
+                            let cfgs = vec![
+                                cands[a].clone(),
+                                cands[b].clone(),
+                                cands[cc].clone(),
+                                cands[d].clone(),
+                            ];
                             let s = Schedule::evaluate(&o, &p, cfgs);
                             if s.changes <= k && best.is_none_or(|x| s.total_cost() < x) {
                                 best = Some(s.total_cost());

@@ -440,8 +440,8 @@ mod tests {
         let prefix = &cold.configs[..15];
         let spent = {
             let mut n = 0;
-            let mut prev = p.initial;
-            for (stage, &cfg) in prefix.iter().enumerate() {
+            let mut prev = &p.initial;
+            for (stage, cfg) in prefix.iter().enumerate() {
                 // Mirror Schedule::evaluate: the stage-0 build is free
                 // unless count_initial_change (false here).
                 if cfg != prev && stage > 0 {

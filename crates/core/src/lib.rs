@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod decompose;
 pub mod greedy;
 pub mod hybrid;
 pub mod kaware;
@@ -47,7 +48,8 @@ mod schedule;
 pub mod seqgraph;
 mod warm;
 
-pub use config::{enumerate_configs, Config};
+pub use config::{enumerate_configs, Config, MAX_STRUCTURE_INDEX};
+pub use decompose::{Decomposition, LocalOracle};
 pub use oracle::{
     DenseOracle, OracleStats, OracleStatsSnapshot, ProjectableOracle, ProjectedOracle,
     RelevanceMask, SharedOracle, Unprojected,

@@ -39,7 +39,7 @@ fn changes_of(runs: &[Run], problem: &Problem) -> usize {
     boundary + initial
 }
 
-fn exec_range(oracle: &dyn CostOracle, stages: Range<usize>, cfg: Config) -> Cost {
+fn exec_range(oracle: &dyn CostOracle, stages: Range<usize>, cfg: &Config) -> Cost {
     stages.map(|s| oracle.exec(s, cfg)).sum()
 }
 
@@ -71,8 +71,8 @@ pub fn refine(
         if runs.len() == 1 {
             // Only possible in strict counting mode with k = 0: the sole
             // remaining move is to stay in the initial configuration.
-            if problem.fits(oracle, problem.initial) {
-                runs[0].config = problem.initial;
+            if problem.fits(oracle, &problem.initial) {
+                runs[0].config = problem.initial.clone();
                 break;
             }
             return Err(Error::Infeasible(
@@ -84,31 +84,31 @@ pub fn refine(
         let mut best: Option<(i128, usize, Config)> = None;
         for i in 0..runs.len() - 1 {
             let prev_cfg = if i == 0 {
-                problem.initial
+                &problem.initial
             } else {
-                runs[i - 1].config
+                &runs[i - 1].config
             };
             let next_cfg = if i + 2 < runs.len() {
-                Some(runs[i + 2].config)
+                Some(&runs[i + 2].config)
             } else {
-                problem.final_config
+                problem.final_config.as_ref()
             };
             let (left, right) = (&runs[i], &runs[i + 1]);
             let trans_out =
-                |cfg: Config| -> Cost { next_cfg.map_or(Cost::ZERO, |nx| oracle.trans(cfg, nx)) };
-            let old_cost = oracle.trans(prev_cfg, left.config)
-                + exec_range(oracle, left.stages.clone(), left.config)
-                + oracle.trans(left.config, right.config)
-                + exec_range(oracle, right.stages.clone(), right.config)
-                + trans_out(right.config);
+                |cfg: &Config| -> Cost { next_cfg.map_or(Cost::ZERO, |nx| oracle.trans(cfg, nx)) };
+            let old_cost = oracle.trans(prev_cfg, &left.config)
+                + exec_range(oracle, left.stages.clone(), &left.config)
+                + oracle.trans(&left.config, &right.config)
+                + exec_range(oracle, right.stages.clone(), &right.config)
+                + trans_out(&right.config);
 
-            for &cand in &candidates {
+            for cand in &candidates {
                 let new_cost = oracle.trans(prev_cfg, cand)
                     + exec_range(oracle, left.stages.start..right.stages.end, cand)
                     + trans_out(cand);
                 let penalty = new_cost.raw() as i128 - old_cost.raw() as i128;
                 if best.as_ref().is_none_or(|(bp, ..)| penalty < *bp) {
-                    best = Some((penalty, i, cand));
+                    best = Some((penalty, i, cand.clone()));
                 }
             }
         }
@@ -138,7 +138,7 @@ pub fn refine(
     let mut configs = vec![Config::EMPTY; oracle.n_stages()];
     for run in &runs {
         for s in run.stages.clone() {
-            configs[s] = run.config;
+            configs[s] = run.config.clone();
         }
     }
     let schedule = Schedule::evaluate(oracle, problem, configs);
@@ -287,7 +287,7 @@ mod tests {
         let p = Problem::default();
         let a = Config::single(0);
         let b = Config::single(1);
-        let start = Schedule::evaluate(&o, &p, vec![a, b, a]);
+        let start = Schedule::evaluate(&o, &p, vec![a.clone(), b.clone(), a.clone()]);
         assert_eq!(start.changes, 2);
         let refined = refine(&o, &p, &[Config::EMPTY, a, b], 0, &start).unwrap();
         assert_eq!(refined.changes, 0);

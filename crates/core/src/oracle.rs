@@ -14,8 +14,10 @@
 //!    sharded hash maps; [`DenseOracle`] goes further and materializes
 //!    each part's full projected cost table up front with a
 //!    `std::thread::scope` fan-out, leaving lock-free `Vec<Cost>` reads
-//!    on the solver's hot path (with a size-capped fallback to the
-//!    sharded memo when a part's mask is too wide to tabulate).
+//!    on the solver's hot path. The dense cap is per part: a part whose
+//!    *relevant* width fits `max_bits` is tabulated in local
+//!    coordinates regardless of how wide the overall vocabulary is;
+//!    wider parts fall back to the sharded memo.
 //! 3. **Instrumentation**: one [`OracleStats`] bundle of atomic
 //!    counters is threaded from the raw what-if engine through the
 //!    caching layer, so facades can report how many engine cost calls a
@@ -202,16 +204,6 @@ impl std::fmt::Display for OracleStatsSnapshot {
 // Relevance
 // ---------------------------------------------------------------------
 
-/// The configuration covering every structure, for `m` structures.
-fn full_mask(n_structures: usize) -> Config {
-    assert!(n_structures <= 64, "structure count exceeds Config width");
-    if n_structures == 64 {
-        Config::from_bits(u64::MAX)
-    } else {
-        Config::from_bits((1u64 << n_structures) - 1)
-    }
-}
-
 /// Per-stage masks of the structures that can affect each stage's cost.
 ///
 /// `exec(i, c) == exec(i, c ∩ stage(i))` for any config `c` — the
@@ -232,18 +224,24 @@ impl RelevanceMask {
     /// every stage.
     pub fn full(n_stages: usize, n_structures: usize) -> RelevanceMask {
         RelevanceMask {
-            masks: vec![full_mask(n_structures); n_stages],
+            masks: vec![Config::full(n_structures); n_stages],
         }
     }
 
     /// The mask for `stage`.
-    pub fn stage(&self, stage: usize) -> Config {
-        self.masks[stage]
+    pub fn stage(&self, stage: usize) -> &Config {
+        &self.masks[stage]
     }
 
     /// Project `config` onto `stage`'s relevant structures.
-    pub fn project(&self, stage: usize, config: Config) -> Config {
-        config.intersect(self.masks[stage])
+    pub fn project(&self, stage: usize, config: &Config) -> Config {
+        config.intersect(&self.masks[stage])
+    }
+
+    /// The union of every stage's mask: all structures that can affect
+    /// any stage's cost — the active set of CoPhy-style decomposition.
+    pub fn union_all(&self) -> Config {
+        self.masks.iter().fold(Config::EMPTY, |acc, m| acc.union(m))
     }
 
     /// Number of stages.
@@ -284,7 +282,7 @@ impl RelevanceMask {
 pub trait ProjectableOracle: CostOracle {
     /// Structures that can affect `stage`'s cost.
     fn relevance_mask(&self, _stage: usize) -> Config {
-        full_mask(self.n_structures())
+        Config::full(self.n_structures())
     }
 
     /// Number of equal-mask statement groups within `stage`.
@@ -299,7 +297,7 @@ pub trait ProjectableOracle: CostOracle {
 
     /// `EXEC` restricted to one part's statements. `config` is the
     /// caller-projected sub-configuration.
-    fn exec_part(&self, stage: usize, _part: usize, config: Config) -> Cost {
+    fn exec_part(&self, stage: usize, _part: usize, config: &Config) -> Cost {
         self.exec(stage, config)
     }
 }
@@ -317,13 +315,13 @@ impl<O: CostOracle> CostOracle for Unprojected<O> {
     fn n_structures(&self) -> usize {
         self.0.n_structures()
     }
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         self.0.exec(stage, config)
     }
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.0.trans(from, to)
     }
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         self.0.size(config)
     }
 }
@@ -396,7 +394,7 @@ impl<K: Eq + std::hash::Hash, V: Copy> Sharded<K, V> {
 }
 
 /// Fibonacci-style mixer choosing a shard from a two-word key. Not a
-/// general hash: it only needs to spread (stage, bits) pairs evenly.
+/// general hash: it only needs to spread (stage, config) pairs evenly.
 fn shard_hash(a: u64, b: u64) -> u64 {
     let mut x = a
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -426,8 +424,8 @@ fn part_key(stage: usize, part: usize) -> u64 {
 pub struct ProjectedOracle<O> {
     inner: O,
     stats: Arc<OracleStats>,
-    exec_cache: Sharded<(u64, u64), Cost>,
-    size_cache: Sharded<u64, u64>,
+    exec_cache: Sharded<(u64, Config), Cost>,
+    size_cache: Sharded<Config, u64>,
 }
 
 impl<O: ProjectableOracle> ProjectedOracle<O> {
@@ -491,7 +489,7 @@ impl<O: ProjectableOracle> ProjectedOracle<O> {
     /// number of evicted entries. Entries for untouched stages stay
     /// warm across the re-solve — the point of the online pipeline.
     pub fn retain_parts(&self, mut keep: impl FnMut(usize, usize) -> bool) -> usize {
-        let evicted = self.exec_cache.retain(|&(sp, _bits)| {
+        let evicted = self.exec_cache.retain(|&(sp, _)| {
             let stage = (sp >> 24) as usize;
             let part = (sp & 0x00FF_FFFF) as usize;
             keep(stage, part)
@@ -520,19 +518,20 @@ impl<O: ProjectableOracle> CostOracle for ProjectedOracle<O> {
         self.inner.n_structures()
     }
 
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         self.stats.record_exec_request();
         let mut total = Cost::ZERO;
         for part in 0..self.inner.n_parts(stage) {
-            let projected = config.intersect(self.inner.part_mask(stage, part));
-            let key = (part_key(stage, part), projected.bits());
-            let h = shard_hash(key.0, key.1);
+            let projected = config.intersect(&self.inner.part_mask(stage, part));
+            let pk = part_key(stage, part);
+            let h = shard_hash(pk, projected.shard_key());
+            let key = (pk, projected);
             if let Some(c) = self.exec_cache.get(h, &key) {
                 self.stats.record_projected_hit();
                 total += c;
                 continue;
             }
-            let c = self.inner.exec_part(stage, part, projected);
+            let c = self.inner.exec_part(stage, part, &key.1);
             self.stats.record_raw_eval();
             self.exec_cache.insert(h, key, c);
             total += c;
@@ -540,19 +539,41 @@ impl<O: ProjectableOracle> CostOracle for ProjectedOracle<O> {
         total
     }
 
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.inner.trans(from, to)
     }
 
-    fn size(&self, config: Config) -> u64 {
-        let key = config.bits();
-        let h = shard_hash(key, 0x5153);
-        if let Some(s) = self.size_cache.get(h, &key) {
+    fn size(&self, config: &Config) -> u64 {
+        let h = shard_hash(config.shard_key(), 0x5153);
+        if let Some(s) = self.size_cache.get(h, config) {
             return s;
         }
         let s = self.inner.size(config);
-        self.size_cache.insert(h, key, s);
+        self.size_cache.insert(h, config.clone(), s);
         s
+    }
+}
+
+/// A `ProjectedOracle` is itself projectable — the partition metadata
+/// delegates to the wrapped oracle. This lets decomposition adapters
+/// ([`crate::decompose::LocalOracle`]) rename through a *warm* memo:
+/// cost probes still funnel through [`ProjectedOracle::exec`]'s cache,
+/// while masks come straight from the source oracle.
+impl<O: ProjectableOracle> ProjectableOracle for ProjectedOracle<O> {
+    fn relevance_mask(&self, stage: usize) -> Config {
+        self.inner.relevance_mask(stage)
+    }
+
+    fn n_parts(&self, stage: usize) -> usize {
+        self.inner.n_parts(stage)
+    }
+
+    fn part_mask(&self, stage: usize, part: usize) -> Config {
+        self.inner.part_mask(stage, part)
+    }
+
+    fn exec_part(&self, stage: usize, part: usize, config: &Config) -> Cost {
+        self.inner.exec_part(stage, part, config)
     }
 }
 
@@ -560,15 +581,19 @@ impl<O: ProjectableOracle> CostOracle for ProjectedOracle<O> {
 // DenseOracle
 // ---------------------------------------------------------------------
 
-/// Widest part mask (in structures) that [`DenseOracle`] will tabulate;
-/// wider parts fall back to the sharded memo. `2^12` costs × 8 bytes =
+/// Widest part mask (in structures) that [`DenseOracle`] will tabulate
+/// by default; wider parts fall back to the sharded memo. The cap is on
+/// a part's *relevant* width — how many structures its statements can
+/// use — never on the vocabulary, so a 256-candidate instance whose
+/// statements each touch a handful of structures still tabulates fully,
+/// in local (mask-compressed) coordinates. `2^12` costs × 8 bytes =
 /// 32 KiB per part at the cap.
 pub const DENSE_MAX_BITS: usize = 12;
 
 struct DensePart {
     mask: Config,
-    /// `table[compress(c.bits, mask)]`, present iff the mask fits the
-    /// width cap.
+    /// `table[c.pext_code(&mask)]`, present iff the mask's width fits
+    /// the cap — a local-coordinate cost table.
     table: Option<Vec<Cost>>,
 }
 
@@ -579,14 +604,14 @@ struct DensePart {
 /// build is deterministic and lock-free); afterwards the solver hot
 /// path is a pure `Vec<Cost>` index — no locks, no hashing. Parts
 /// whose mask is wider than `max_bits` are not tabulated and served
-/// through a sharded memo instead (the size-capped fallback).
+/// through a sharded memo instead (the width-capped fallback).
 pub struct DenseOracle<O> {
     inner: O,
     stats: Arc<OracleStats>,
     stages: Vec<Vec<DensePart>>,
     max_bits: usize,
-    overflow: Sharded<(u64, u64), Cost>,
-    size_cache: Sharded<u64, u64>,
+    overflow: Sharded<(u64, Config), Cost>,
+    size_cache: Sharded<Config, u64>,
 }
 
 /// Materialize dense part tables for `count` stages starting at
@@ -628,9 +653,9 @@ fn build_stage_tables<O: ProjectableOracle + Sync>(
                         if width > max_bits {
                             continue;
                         }
-                        let mask = part.mask;
+                        let mask = &part.mask;
                         let table = (0..1u64 << width)
-                            .map(|code| inner.exec_part(stage, p, expand(code, mask)))
+                            .map(|code| inner.exec_part(stage, p, &Config::pdep_code(code, mask)))
                             .collect();
                         part.table = Some(table);
                     }
@@ -658,8 +683,11 @@ impl<O: ProjectableOracle + Sync> DenseOracle<O> {
 
     /// Materialize, recording into `stats`, tabulating parts up to
     /// `max_bits` mask width (`max_bits = 0` disables tabulation
-    /// entirely, leaving a pure sharded-memo oracle).
+    /// entirely, leaving a pure sharded-memo oracle). `max_bits` must
+    /// stay below 26 — a table bigger than that is hundreds of MiB and
+    /// certainly a bug.
     pub fn with_stats(inner: O, stats: Arc<OracleStats>, max_bits: usize) -> DenseOracle<O> {
+        assert!(max_bits < 26, "dense table cap unreasonably wide");
         let _span = cdpd_obs::span!(
             "oracle.dense.build",
             stages = inner.n_stages(),
@@ -750,25 +778,26 @@ impl<O: ProjectableOracle + Sync> CostOracle for DenseOracle<O> {
         self.inner.n_structures()
     }
 
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         self.stats.record_exec_request();
         let mut total = Cost::ZERO;
         for (p, part) in self.stages[stage].iter().enumerate() {
-            let projected = config.intersect(part.mask);
+            let projected = config.intersect(&part.mask);
             if let Some(table) = &part.table {
                 self.stats.record_projected_hit();
-                total += table[compress(projected.bits(), part.mask.bits()) as usize];
+                total += table[projected.pext_code(&part.mask) as usize];
                 continue;
             }
             // Fallback: this part's mask was too wide to tabulate.
-            let key = (part_key(stage, p), projected.bits());
-            let h = shard_hash(key.0, key.1);
+            let pk = part_key(stage, p);
+            let h = shard_hash(pk, projected.shard_key());
+            let key = (pk, projected);
             if let Some(c) = self.overflow.get(h, &key) {
                 self.stats.record_projected_hit();
                 total += c;
                 continue;
             }
-            let c = self.inner.exec_part(stage, p, projected);
+            let c = self.inner.exec_part(stage, p, &key.1);
             self.stats.record_raw_eval();
             self.overflow.insert(h, key, c);
             total += c;
@@ -776,63 +805,19 @@ impl<O: ProjectableOracle + Sync> CostOracle for DenseOracle<O> {
         total
     }
 
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.inner.trans(from, to)
     }
 
-    fn size(&self, config: Config) -> u64 {
-        let key = config.bits();
-        let h = shard_hash(key, 0x5153);
-        if let Some(s) = self.size_cache.get(h, &key) {
+    fn size(&self, config: &Config) -> u64 {
+        let h = shard_hash(config.shard_key(), 0x5153);
+        if let Some(s) = self.size_cache.get(h, config) {
             return s;
         }
         let s = self.inner.size(config);
-        self.size_cache.insert(h, key, s);
+        self.size_cache.insert(h, config.clone(), s);
         s
     }
-}
-
-// ---------------------------------------------------------------------
-// Bit gathering (software PEXT/PDEP over a mask)
-// ---------------------------------------------------------------------
-
-/// Gather the bits of `bits` selected by `mask` into a compact code:
-/// the i-th set bit of `mask` becomes bit i of the result. Inverse of
-/// [`expand`]. Fast path: a mask of the low `w` bits is the identity.
-fn compress(bits: u64, mask: u64) -> u64 {
-    let bits = bits & mask;
-    if mask & mask.wrapping_add(1) == 0 {
-        return bits; // mask is 0..w contiguous from bit 0
-    }
-    let mut out = 0u64;
-    let mut m = mask;
-    let mut j = 0;
-    while m != 0 {
-        let i = m.trailing_zeros();
-        out |= ((bits >> i) & 1) << j;
-        j += 1;
-        m &= m - 1;
-    }
-    out
-}
-
-/// Scatter the low bits of `code` to the set positions of `mask`:
-/// bit i of `code` lands on the i-th set bit of `mask`.
-fn expand(code: u64, mask: Config) -> Config {
-    let mbits = mask.bits();
-    if mbits & mbits.wrapping_add(1) == 0 {
-        return Config::from_bits(code & mbits);
-    }
-    let mut out = 0u64;
-    let mut m = mbits;
-    let mut j = 0;
-    while m != 0 {
-        let i = m.trailing_zeros();
-        out |= ((code >> j) & 1) << i;
-        j += 1;
-        m &= m - 1;
-    }
-    Config::from_bits(out)
 }
 
 #[cfg(test)]
@@ -859,14 +844,14 @@ mod tests {
         fn n_structures(&self) -> usize {
             4 // structure 3 is relevant to nothing
         }
-        fn exec(&self, stage: usize, config: Config) -> Cost {
-            self.exec_part(stage, 0, config.intersect(Config::from_bits(0b0011)))
-                + self.exec_part(stage, 1, config.intersect(Config::from_bits(0b0100)))
+        fn exec(&self, stage: usize, config: &Config) -> Cost {
+            self.exec_part(stage, 0, &config.intersect(&Config::from_bits(0b0011)))
+                + self.exec_part(stage, 1, &config.intersect(&Config::from_bits(0b0100)))
         }
-        fn trans(&self, from: Config, to: Config) -> Cost {
+        fn trans(&self, from: &Config, to: &Config) -> Cost {
             c(10).scale(to.minus(from).len() as u64)
         }
-        fn size(&self, config: Config) -> u64 {
+        fn size(&self, config: &Config) -> u64 {
             config.len() as u64 * 7
         }
     }
@@ -879,9 +864,9 @@ mod tests {
             2
         }
         fn part_mask(&self, _stage: usize, part: usize) -> Config {
-            [Config::from_bits(0b0011), Config::from_bits(0b0100)][part]
+            [Config::from_bits(0b0011), Config::from_bits(0b0100)][part].clone()
         }
-        fn exec_part(&self, stage: usize, part: usize, config: Config) -> Cost {
+        fn exec_part(&self, stage: usize, part: usize, config: &Config) -> Cost {
             self.evals.fetch_add(1, Ordering::Relaxed);
             c(1000 + 100 * stage as u64 + 10 * part as u64 + config.bits())
         }
@@ -895,46 +880,31 @@ mod tests {
     }
 
     #[test]
-    fn compress_expand_roundtrip() {
-        for mask in [0b1u64, 0b1010, 0b1101_0110, u64::MAX >> 50, 0b111] {
-            let m = Config::from_bits(mask);
-            for code in 0..(1u64 << m.len()) {
-                let cfg = expand(code, m);
-                assert!(cfg.is_subset_of(m));
-                assert_eq!(
-                    compress(cfg.bits(), mask),
-                    code,
-                    "mask={mask:b} code={code}"
-                );
-            }
-        }
-        // Irrelevant bits outside the mask are ignored.
-        assert_eq!(compress(0b1111, 0b0101), compress(0b0101, 0b0101));
-    }
-
-    #[test]
     fn relevance_mask_projects() {
         let m = RelevanceMask::new(vec![Config::from_bits(0b011), Config::from_bits(0b110)]);
         assert_eq!(m.len(), 2);
         assert_eq!(m.max_width(), 2);
+        assert_eq!(m.union_all(), Config::from_bits(0b111));
         assert_eq!(
-            m.project(0, Config::from_bits(0b111)),
+            m.project(0, &Config::from_bits(0b111)),
             Config::from_bits(0b011)
         );
         assert_eq!(
-            m.project(1, Config::from_bits(0b101)),
+            m.project(1, &Config::from_bits(0b101)),
             Config::from_bits(0b100)
         );
         let full = RelevanceMask::full(2, 64);
-        assert_eq!(full.stage(0), Config::from_bits(u64::MAX));
+        assert_eq!(*full.stage(0), Config::from_bits(u64::MAX));
+        let wide = RelevanceMask::full(2, 130);
+        assert_eq!(wide.max_width(), 130);
     }
 
     #[test]
     fn projected_shares_entries_across_full_configs() {
         let o = ProjectedOracle::new(two_part());
         // Configs 0b1000 and 0b0000 agree on every part mask.
-        let a = o.exec(0, Config::from_bits(0b1000));
-        let b = o.exec(0, Config::EMPTY);
+        let a = o.exec(0, &Config::from_bits(0b1000));
+        let b = o.exec(0, &Config::EMPTY);
         assert_eq!(a, b);
         assert_eq!(
             o.exec_evaluations(),
@@ -956,16 +926,19 @@ mod tests {
             for bits in 0..16u64 {
                 let cfg = Config::from_bits(bits);
                 assert_eq!(
-                    o.exec(stage, cfg),
-                    raw.exec(stage, cfg),
+                    o.exec(stage, &cfg),
+                    raw.exec(stage, &cfg),
                     "EXEC({stage},{cfg})"
                 );
             }
         }
         for bits in 0..16u64 {
             let cfg = Config::from_bits(bits);
-            assert_eq!(o.size(cfg), raw.size(cfg));
-            assert_eq!(o.trans(Config::EMPTY, cfg), raw.trans(Config::EMPTY, cfg));
+            assert_eq!(o.size(&cfg), raw.size(&cfg));
+            assert_eq!(
+                o.trans(&Config::EMPTY, &cfg),
+                raw.trans(&Config::EMPTY, &cfg)
+            );
         }
         // 3 stages × (4 + 2) distinct projected part configs.
         assert_eq!(o.exec_evaluations(), 18);
@@ -983,8 +956,8 @@ mod tests {
             for bits in 0..16u64 {
                 let cfg = Config::from_bits(bits);
                 assert_eq!(
-                    o.exec(stage, cfg),
-                    raw.exec(stage, cfg),
+                    o.exec(stage, &cfg),
+                    raw.exec(stage, &cfg),
                     "EXEC({stage},{cfg})"
                 );
             }
@@ -1006,8 +979,8 @@ mod tests {
             for bits in 0..16u64 {
                 let cfg = Config::from_bits(bits);
                 assert_eq!(
-                    o.exec(stage, cfg),
-                    raw.exec(stage, cfg),
+                    o.exec(stage, &cfg),
+                    raw.exec(stage, &cfg),
                     "EXEC({stage},{cfg})"
                 );
             }
@@ -1015,18 +988,18 @@ mod tests {
         // Overflow memo: 3 stages × 4 projected configs of part {0,1}.
         assert_eq!(o.stats_snapshot().raw_exec_evals, 6 + 12);
         // Re-probing adds nothing.
-        o.exec(0, Config::from_bits(0b11));
+        o.exec(0, &Config::from_bits(0b11));
         assert_eq!(o.stats_snapshot().raw_exec_evals, 18);
     }
 
     #[test]
     fn unprojected_restores_seed_memo_granularity() {
         let o = ProjectedOracle::new(Unprojected(two_part()));
-        o.exec(0, Config::from_bits(0b1000));
-        o.exec(0, Config::EMPTY);
+        o.exec(0, &Config::from_bits(0b1000));
+        o.exec(0, &Config::EMPTY);
         // Without relevance info these configs are distinct cache keys.
         assert_eq!(o.exec_evaluations(), 2);
-        o.exec(0, Config::from_bits(0b1000));
+        o.exec(0, &Config::from_bits(0b1000));
         assert_eq!(o.exec_evaluations(), 2, "repeat probe is a hit");
     }
 
@@ -1034,7 +1007,7 @@ mod tests {
     fn retain_parts_evicts_only_named_stages() {
         let o = ProjectedOracle::new(two_part());
         for stage in 0..3 {
-            o.exec(stage, Config::from_bits(0b011));
+            o.exec(stage, &Config::from_bits(0b011));
         }
         assert_eq!(o.exec_evaluations(), 6, "3 stages × 2 parts");
         // Invalidate stage 1 only (a DML batch touched its statements).
@@ -1043,21 +1016,21 @@ mod tests {
         assert_eq!(o.exec_evaluations(), 4);
         let before = o.inner().evals.load(Ordering::Relaxed);
         // Warm stages re-probe without inner evaluations...
-        o.exec(0, Config::from_bits(0b011));
-        o.exec(2, Config::from_bits(0b011));
+        o.exec(0, &Config::from_bits(0b011));
+        o.exec(2, &Config::from_bits(0b011));
         assert_eq!(o.inner().evals.load(Ordering::Relaxed), before);
         // ...the evicted stage goes back to the inner oracle.
-        o.exec(1, Config::from_bits(0b011));
+        o.exec(1, &Config::from_bits(0b011));
         assert_eq!(o.inner().evals.load(Ordering::Relaxed), before + 2);
     }
 
     #[test]
     fn size_cache_invalidation() {
         let o = ProjectedOracle::new(two_part());
-        assert_eq!(o.size(Config::from_bits(0b11)), 14);
+        assert_eq!(o.size(&Config::from_bits(0b11)), 14);
         assert_eq!(o.invalidate_sizes(), 1);
         assert_eq!(o.invalidate_sizes(), 0, "second clear finds nothing");
-        assert_eq!(o.size(Config::from_bits(0b11)), 14);
+        assert_eq!(o.size(&Config::from_bits(0b11)), 14);
     }
 
     #[test]
@@ -1081,14 +1054,109 @@ mod tests {
             for bits in 0..16u64 {
                 let cfg = Config::from_bits(bits);
                 assert_eq!(
-                    o.exec(stage, cfg),
-                    raw.exec(stage, cfg),
+                    o.exec(stage, &cfg),
+                    raw.exec(stage, &cfg),
                     "EXEC({stage},{cfg})"
                 );
             }
         }
         // Reads after extend never touch the inner oracle.
         assert_eq!(o.inner().evals.load(Ordering::Relaxed), built + 12);
+    }
+
+    /// A sparse wide oracle: 200 structures, but each stage's only
+    /// relevant part is 3 structures around `stage * 7` — the CoPhy
+    /// regime the dense layer must tabulate in local coordinates.
+    struct SparseWide {
+        n_stages: usize,
+        evals: AtomicU64,
+    }
+
+    impl SparseWide {
+        fn mask(&self, stage: usize) -> Config {
+            let base = stage * 7;
+            Config::EMPTY.with(base).with(base + 64).with(base + 150)
+        }
+    }
+
+    impl CostOracle for SparseWide {
+        fn n_stages(&self) -> usize {
+            self.n_stages
+        }
+        fn n_structures(&self) -> usize {
+            200
+        }
+        fn exec(&self, stage: usize, config: &Config) -> Cost {
+            self.exec_part(stage, 0, &config.intersect(&self.mask(stage)))
+        }
+        fn trans(&self, from: &Config, to: &Config) -> Cost {
+            c(10).scale(to.minus(from).len() as u64)
+        }
+        fn size(&self, config: &Config) -> u64 {
+            config.len() as u64
+        }
+    }
+
+    impl ProjectableOracle for SparseWide {
+        fn relevance_mask(&self, stage: usize) -> Config {
+            self.mask(stage)
+        }
+        fn exec_part(&self, stage: usize, _part: usize, config: &Config) -> Cost {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            // Depend on *which* of the mask's structures are present.
+            c(1000 + 100 * config.pext_code(&self.mask(stage)))
+        }
+    }
+
+    #[test]
+    fn dense_tabulates_wide_vocabulary_with_narrow_parts() {
+        let o = DenseOracle::new(SparseWide {
+            n_stages: 4,
+            evals: AtomicU64::new(0),
+        });
+        // Every part is 3 relevant structures out of 200 — all
+        // tabulated, in local coordinates: 4 stages × 2^3 entries.
+        assert!(o.is_fully_dense());
+        assert_eq!(o.stats_snapshot().raw_exec_evals, 32);
+        let raw = SparseWide {
+            n_stages: 4,
+            evals: AtomicU64::new(0),
+        };
+        for stage in 0..4 {
+            for probe in [
+                Config::EMPTY,
+                Config::single(stage * 7),
+                Config::single(stage * 7 + 64),
+                Config::full(200),
+                Config::EMPTY
+                    .with(stage * 7)
+                    .with(stage * 7 + 150)
+                    .with(199),
+            ] {
+                assert_eq!(
+                    o.exec(stage, &probe),
+                    raw.exec(stage, &probe),
+                    "EXEC({stage},{probe})"
+                );
+            }
+        }
+        // All table hits — no post-build inner evaluations.
+        assert_eq!(o.inner().evals.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn projected_caches_spilled_configs() {
+        let o = ProjectedOracle::new(Unprojected(SparseWide {
+            n_stages: 2,
+            evals: AtomicU64::new(0),
+        }));
+        let wide = Config::EMPTY.with(0).with(64).with(150);
+        let a = o.exec(0, &wide);
+        assert_eq!(o.exec(0, &wide), a, "memo hit on a spilled key");
+        assert_eq!(o.inner().0.evals.load(Ordering::Relaxed), 1);
+        assert_eq!(o.size(&wide), 3);
+        o.size(&wide);
+        assert_eq!(o.invalidate_sizes(), 1);
     }
 
     #[test]
@@ -1102,7 +1170,7 @@ mod tests {
             vec![1, 2],
         );
         let as_dyn: &dyn SharedOracle = &o;
-        assert_eq!(as_dyn.exec(0, Config::EMPTY), c(10));
+        assert_eq!(as_dyn.exec(0, &Config::EMPTY), c(10));
         fn takes_shared<O: SharedOracle>(o: &O) -> usize {
             o.n_stages()
         }

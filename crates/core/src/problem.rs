@@ -7,7 +7,9 @@ use cdpd_types::Cost;
 /// Stages index the workload's statements (or summarized statement
 /// blocks); structures index the candidate-structure list the oracle
 /// was built over. Implementations must be deterministic — solvers
-/// assume `exec(i, c)` is a pure function.
+/// assume `exec(i, c)` is a pure function. Configurations are passed by
+/// reference because [`Config`] is no longer `Copy` (it can spill past
+/// 64 structures); implementations clone only what they store.
 pub trait CostOracle {
     /// Number of statements (stages) in the workload sequence.
     fn n_stages(&self) -> usize;
@@ -15,17 +17,17 @@ pub trait CostOracle {
     fn n_structures(&self) -> usize;
     /// `EXEC(S_stage, config)`: cost of executing the stage's
     /// statement(s) under `config`.
-    fn exec(&self, stage: usize, config: Config) -> Cost;
+    fn exec(&self, stage: usize, config: &Config) -> Cost;
     /// `TRANS(from, to)`: cost of changing the physical design.
     /// Must be zero when `from == to`.
-    fn trans(&self, from: Config, to: Config) -> Cost;
+    fn trans(&self, from: &Config, to: &Config) -> Cost;
     /// `SIZE(config)` in the problem's space unit (pages).
-    fn size(&self, config: Config) -> u64;
+    fn size(&self, config: &Config) -> u64;
 }
 
 /// The problem instance around the oracle: boundary conditions and the
 /// space bound. The change budget `k` is a per-solve argument.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Problem {
     /// `C_0`: the configuration in place before the first statement.
     pub initial: Config,
@@ -70,7 +72,7 @@ impl Problem {
     }
 
     /// True if `config` respects the space bound under `oracle`.
-    pub fn fits(&self, oracle: &dyn CostOracle, config: Config) -> bool {
+    pub fn fits(&self, oracle: &dyn CostOracle, config: &Config) -> bool {
         self.space_bound.is_none_or(|b| oracle.size(config) <= b)
     }
 }
@@ -81,10 +83,12 @@ impl Problem {
 /// default (one full-mask part per stage), which makes the dense layer
 /// tabulate the complete `[stage][config]` matrix — exactly the table
 /// the seed implementation kept by hand.
+type ExecFn = Box<dyn Fn(usize, &Config) -> Cost + Send + Sync>;
+
 struct FnOracle {
     n_stages: usize,
     n_structures: usize,
-    exec: Box<dyn Fn(usize, Config) -> Cost + Send + Sync>,
+    exec: ExecFn,
     build: Vec<Cost>,
     drop_cost: Cost,
     sizes: Vec<u64>,
@@ -99,11 +103,11 @@ impl CostOracle for FnOracle {
         self.n_structures
     }
 
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         (self.exec)(stage, config)
     }
 
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         let mut total = Cost::ZERO;
         for s in to.minus(from).structures() {
             total += self.build[s];
@@ -114,7 +118,7 @@ impl CostOracle for FnOracle {
         total
     }
 
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         config.structures().map(|s| self.sizes[s]).sum()
     }
 }
@@ -123,10 +127,12 @@ impl ProjectableOracle for FnOracle {}
 
 /// A table-driven oracle for tests, simulations, and benchmarks.
 ///
-/// Built on the production [`DenseOracle`] layer: `EXEC` is
-/// materialized up front as per-stage dense cost tables (so `m` must
-/// stay small), which means every test and simulation exercises the
-/// same cache path the engine-backed advisor uses.
+/// Built on the production [`DenseOracle`] layer: up to 16 structures,
+/// `EXEC` is materialized up front as per-stage dense cost tables, so
+/// every test and simulation exercises the same cache path the
+/// engine-backed advisor uses. Wider instances fall back to the dense
+/// layer's memo path — identical results, demand-driven evaluation —
+/// which is what the width-boundary tests and benches rely on.
 pub struct SyntheticOracle {
     dense: DenseOracle<FnOracle>,
 }
@@ -135,17 +141,15 @@ impl SyntheticOracle {
     /// Materialize an oracle from a cost function.
     ///
     /// # Panics
-    /// Panics if `n_structures > 16` (the dense matrix would explode)
-    /// or the `build`/`sizes` vectors have the wrong length.
+    /// Panics if the `build`/`sizes` vectors have the wrong length.
     pub fn from_fn(
         n_stages: usize,
         n_structures: usize,
-        exec: impl Fn(usize, Config) -> Cost + Send + Sync + 'static,
+        exec: impl Fn(usize, &Config) -> Cost + Send + Sync + 'static,
         build: Vec<Cost>,
         drop_cost: Cost,
         sizes: Vec<u64>,
     ) -> SyntheticOracle {
-        assert!(n_structures <= 16, "synthetic oracle caps m at 16");
         assert_eq!(build.len(), n_structures);
         assert_eq!(sizes.len(), n_structures);
         let inner = FnOracle {
@@ -156,8 +160,8 @@ impl SyntheticOracle {
             drop_cost,
             sizes,
         };
-        // Width cap 16 ≥ m guarantees full tabulation — the dense
-        // layer's memo fallback is never taken here.
+        // Width cap 16: instances with m ≤ 16 are fully tabulated up
+        // front; wider ones skip tabulation and memoize on demand.
         SyntheticOracle {
             dense: DenseOracle::with_stats(inner, OracleStats::shared(), 16),
         }
@@ -173,15 +177,15 @@ impl CostOracle for SyntheticOracle {
         self.dense.n_structures()
     }
 
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         self.dense.exec(stage, config)
     }
 
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.dense.trans(from, to)
     }
 
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         self.dense.size(config)
     }
 }
@@ -213,8 +217,8 @@ mod tests {
         let o = oracle();
         assert_eq!(o.n_stages(), 3);
         assert_eq!(o.n_structures(), 2);
-        assert_eq!(o.exec(0, Config::EMPTY), c(100));
-        assert_eq!(o.exec(2, Config::from_bits(0b11)), c(70));
+        assert_eq!(o.exec(0, &Config::EMPTY), c(100));
+        assert_eq!(o.exec(2, &Config::from_bits(0b11)), c(70));
     }
 
     #[test]
@@ -226,11 +230,33 @@ mod tests {
         assert_eq!(before.raw_exec_evals, 12);
         for stage in 0..3 {
             for bits in 0..4u64 {
-                o.exec(stage, Config::from_bits(bits));
+                o.exec(stage, &Config::from_bits(bits));
             }
         }
         assert_eq!(o.dense.stats_snapshot().raw_exec_evals, 12);
         assert!(o.dense.is_fully_dense());
+    }
+
+    #[test]
+    fn synthetic_wide_instances_memoize_on_demand() {
+        // Past the 16-bit tabulation cap nothing is materialized up
+        // front; probes evaluate once and hit the memo afterwards.
+        let o = SyntheticOracle::from_fn(
+            2,
+            80,
+            |_, cfg| c(100 + cfg.len() as u64),
+            vec![c(1); 80],
+            c(1),
+            vec![1; 80],
+        );
+        assert_eq!(o.dense.stats_snapshot().raw_exec_evals, 0);
+        let wide = Config::EMPTY.with(3).with(79);
+        assert_eq!(o.exec(0, &wide), c(102));
+        assert_eq!(o.exec(0, &wide), c(102));
+        assert_eq!(o.dense.stats_snapshot().raw_exec_evals, 1);
+        assert!(!o.dense.is_fully_dense());
+        assert_eq!(o.size(&wide), 2);
+        assert_eq!(o.trans(&Config::EMPTY, &wide), c(2));
     }
 
     #[test]
@@ -239,18 +265,18 @@ mod tests {
         let e = Config::EMPTY;
         let s0 = Config::single(0);
         let s1 = Config::single(1);
-        assert_eq!(o.trans(e, e), Cost::ZERO);
-        assert_eq!(o.trans(e, s0), c(50));
-        assert_eq!(o.trans(s0, e), c(1));
-        assert_eq!(o.trans(s0, s1), c(61), "build 60 + drop 1");
-        assert_eq!(o.trans(e, s0.union(s1)), c(110));
+        assert_eq!(o.trans(&e, &e), Cost::ZERO);
+        assert_eq!(o.trans(&e, &s0), c(50));
+        assert_eq!(o.trans(&s0, &e), c(1));
+        assert_eq!(o.trans(&s0, &s1), c(61), "build 60 + drop 1");
+        assert_eq!(o.trans(&e, &s0.union(&s1)), c(110));
     }
 
     #[test]
     fn synthetic_size_additive() {
         let o = oracle();
-        assert_eq!(o.size(Config::EMPTY), 0);
-        assert_eq!(o.size(Config::from_bits(0b11)), 30);
+        assert_eq!(o.size(&Config::EMPTY), 0);
+        assert_eq!(o.size(&Config::from_bits(0b11)), 30);
     }
 
     #[test]
@@ -260,23 +286,23 @@ mod tests {
             space_bound: Some(15),
             ..Problem::default()
         };
-        assert!(p.fits(&o, Config::single(0)));
-        assert!(!p.fits(&o, Config::single(1)));
+        assert!(p.fits(&o, &Config::single(0)));
+        assert!(!p.fits(&o, &Config::single(1)));
         let unbounded = Problem::default();
-        assert!(unbounded.fits(&o, Config::from_bits(0b11)));
+        assert!(unbounded.fits(&o, &Config::from_bits(0b11)));
     }
 
     #[test]
     fn projected_layer_caches_exec_over_synthetic() {
         let o = ProjectedOracle::new(oracle());
         assert_eq!(o.exec_evaluations(), 0);
-        let a = o.exec(1, Config::single(0));
-        let b = o.exec(1, Config::single(0));
+        let a = o.exec(1, &Config::single(0));
+        let b = o.exec(1, &Config::single(0));
         assert_eq!(a, b);
         assert_eq!(o.exec_evaluations(), 1);
-        o.exec(2, Config::single(0));
+        o.exec(2, &Config::single(0));
         assert_eq!(o.exec_evaluations(), 2);
-        assert_eq!(o.size(Config::single(1)), 20);
-        assert_eq!(o.size(Config::single(1)), 20);
+        assert_eq!(o.size(&Config::single(1)), 20);
+        assert_eq!(o.size(&Config::single(1)), 20);
     }
 }

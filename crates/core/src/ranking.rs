@@ -81,8 +81,8 @@ pub fn solve_with_stats(
 
 fn count_changes(problem: &Problem, configs: &[Config]) -> usize {
     let mut changes = 0;
-    let mut prev = problem.initial;
-    for (i, &c) in configs.iter().enumerate() {
+    let mut prev = &problem.initial;
+    for (i, c) in configs.iter().enumerate() {
         if c != prev && (i > 0 || problem.count_initial_change) {
             changes += 1;
         }

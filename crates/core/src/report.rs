@@ -9,7 +9,7 @@ use cdpd_types::Cost;
 use std::fmt::Write as _;
 
 /// One stage's cost decomposition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StageCost {
     /// Stage index.
     pub stage: usize,
@@ -31,11 +31,11 @@ pub fn per_stage(
     schedule: &Schedule,
 ) -> Vec<StageCost> {
     let mut out = Vec::with_capacity(schedule.len());
-    let mut prev = problem.initial;
-    for (stage, &config) in schedule.configs.iter().enumerate() {
+    let mut prev = &problem.initial;
+    for (stage, config) in schedule.configs.iter().enumerate() {
         out.push(StageCost {
             stage,
-            config,
+            config: config.clone(),
             exec: oracle.exec(stage, config),
             trans_in: oracle.trans(prev, config),
         });
@@ -51,7 +51,7 @@ pub fn render(
     oracle: &dyn CostOracle,
     problem: &Problem,
     schedule: &Schedule,
-    label: &dyn Fn(Config) -> String,
+    label: &dyn Fn(&Config) -> String,
 ) -> String {
     let stages = per_stage(oracle, problem, schedule);
     let mut out = String::new();
@@ -68,7 +68,7 @@ pub fn render(
             out,
             "{:>12} | {:<20} | {:>12} | {:>12}",
             format!("{}..{}", range.start, range.end),
-            label(config),
+            label(&config),
             exec.to_string(),
             trans.to_string(),
         );
@@ -151,7 +151,7 @@ mod tests {
         let trans: Cost = stages.iter().map(|x| x.trans_in).sum();
         // Schedule totals additionally include the closing transition.
         assert!(trans <= s.trans_cost);
-        let closing = o.trans(*s.configs.last().unwrap(), Config::EMPTY);
+        let closing = o.trans(s.configs.last().unwrap(), &Config::EMPTY);
         assert_eq!(trans + closing, s.trans_cost);
     }
 
@@ -161,7 +161,7 @@ mod tests {
         let p = Problem::paper_experiment();
         let cands = enumerate_configs(&o, None, Some(1)).unwrap();
         let s = kaware::solve(&o, &p, &cands, 1).unwrap();
-        let text = render(&o, &p, &s, &|cfg| format!("cfg{}", cfg.bits()));
+        let text = render(&o, &p, &s, &|cfg| format!("cfg{cfg}"));
         assert!(text.contains("0..3"), "{text}");
         assert!(text.contains("3..6"), "{text}");
         assert!(text.contains("total"), "{text}");

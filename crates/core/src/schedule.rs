@@ -27,8 +27,8 @@ impl Schedule {
         let mut exec_cost = Cost::ZERO;
         let mut trans_cost = Cost::ZERO;
         let mut changes = 0usize;
-        let mut prev = problem.initial;
-        for (stage, &cfg) in configs.iter().enumerate() {
+        let mut prev = &problem.initial;
+        for (stage, cfg) in configs.iter().enumerate() {
             trans_cost += oracle.trans(prev, cfg);
             if cfg != prev && (stage > 0 || problem.count_initial_change) {
                 changes += 1;
@@ -36,7 +36,7 @@ impl Schedule {
             exec_cost += oracle.exec(stage, cfg);
             prev = cfg;
         }
-        if let Some(f) = problem.final_config {
+        if let Some(f) = &problem.final_config {
             trans_cost += oracle.trans(prev, f);
         }
         Schedule {
@@ -68,7 +68,7 @@ impl Schedule {
         let mut start = 0;
         for i in 1..=self.configs.len() {
             if i == self.configs.len() || self.configs[i] != self.configs[start] {
-                out.push((start..i, self.configs[start]));
+                out.push((start..i, self.configs[start].clone()));
                 start = i;
             }
         }
@@ -90,7 +90,7 @@ impl Schedule {
                 oracle.n_stages()
             )));
         }
-        for (i, &c) in self.configs.iter().enumerate() {
+        for (i, c) in self.configs.iter().enumerate() {
             if !problem.fits(oracle, c) {
                 return Err(Error::Infeasible(format!(
                     "stage {i} config {c} exceeds the space bound"
@@ -170,7 +170,7 @@ mod tests {
         let p = Problem::default();
         let s0 = Config::single(0);
         let s1 = Config::single(1);
-        let sched = Schedule::evaluate(&o, &p, vec![s0, s0, s1, s1]);
+        let sched = Schedule::evaluate(&o, &p, vec![s0.clone(), s0, s1.clone(), s1]);
         assert_eq!(sched.exec_cost, c(10 + 10 + 50 + 50));
         // build s0 (30) + build s1/drop s0 (40 + 1)
         assert_eq!(sched.trans_cost, c(71));
@@ -182,7 +182,7 @@ mod tests {
     fn initial_change_counting_modes() {
         let o = oracle();
         let s0 = Config::single(0);
-        let loose = Schedule::evaluate(&o, &Problem::default(), vec![s0, s0]);
+        let loose = Schedule::evaluate(&o, &Problem::default(), vec![s0.clone(), s0.clone()]);
         assert_eq!(loose.changes, 0);
         let strict = Schedule::evaluate(
             &o,
@@ -190,7 +190,7 @@ mod tests {
                 count_initial_change: true,
                 ..Problem::default()
             },
-            vec![s0, s0],
+            vec![s0.clone(), s0],
         );
         assert_eq!(strict.changes, 1);
     }
@@ -203,7 +203,7 @@ mod tests {
             ..Problem::default()
         };
         let s0 = Config::single(0);
-        let sched = Schedule::evaluate(&o, &p, vec![s0, s0]);
+        let sched = Schedule::evaluate(&o, &p, vec![s0.clone(), s0]);
         assert_eq!(sched.trans_cost, c(30 + 1), "build + closing drop");
     }
 
@@ -213,10 +213,11 @@ mod tests {
         let p = Problem::default();
         let s0 = Config::single(0);
         let s1 = Config::single(1);
-        let sched = Schedule::evaluate(&o, &p, vec![s0, s0, s1, s0]);
+        let sched =
+            Schedule::evaluate(&o, &p, vec![s0.clone(), s0.clone(), s1.clone(), s0.clone()]);
         let segs = sched.segments();
         assert_eq!(segs.len(), 3);
-        assert_eq!(segs[0], (0..2, s0));
+        assert_eq!(segs[0], (0..2, s0.clone()));
         assert_eq!(segs[1], (2..3, s1));
         assert_eq!(segs[2], (3..4, s0));
         let text = sched.to_string();
@@ -232,14 +233,19 @@ mod tests {
         };
         let s0 = Config::single(0);
         let s1 = Config::single(1); // size 7 > bound 5
-        let good = Schedule::evaluate(&o, &p, vec![s0; 4]);
+        let good = Schedule::evaluate(&o, &p, vec![s0.clone(); 4]);
         good.validate(&o, &p, Some(1)).unwrap();
 
-        let bad_space = Schedule::evaluate(&o, &p, vec![s0, s1, s0, s0]);
+        let bad_space =
+            Schedule::evaluate(&o, &p, vec![s0.clone(), s1.clone(), s0.clone(), s0.clone()]);
         assert!(bad_space.validate(&o, &p, None).is_err());
 
         let p2 = Problem::default();
-        let many = Schedule::evaluate(&o, &p2, vec![s0, s1, s0, s1]);
+        let many = Schedule::evaluate(
+            &o,
+            &p2,
+            vec![s0.clone(), s1.clone(), s0.clone(), s1.clone()],
+        );
         assert!(many.validate(&o, &p2, Some(2)).is_err());
         many.validate(&o, &p2, Some(3)).unwrap();
 

@@ -37,9 +37,9 @@ pub(crate) fn usable_candidates(
         return Err(Error::InvalidArgument("workload has no statements".into()));
     }
     let mut out: Vec<Config> = Vec::with_capacity(candidates.len());
-    for &c in candidates {
-        if problem.fits(oracle, c) && !out.contains(&c) {
-            out.push(c);
+    for c in candidates {
+        if problem.fits(oracle, c) && !out.contains(c) {
+            out.push(c.clone());
         }
     }
     if out.is_empty() {
@@ -58,18 +58,22 @@ pub(crate) fn build(oracle: &dyn CostOracle, problem: &Problem, candidates: &[Co
     let mut prev: Vec<NodeId> = Vec::new();
     for stage in 0..n {
         let mut cur = Vec::with_capacity(candidates.len());
-        for (ci, &cfg) in candidates.iter().enumerate() {
+        for (ci, cfg) in candidates.iter().enumerate() {
             let node = dag.add_node(Some((stage, ci)), oracle.exec(stage, cfg));
             cur.push(node);
         }
         if stage == 0 {
             for (ci, &node) in cur.iter().enumerate() {
-                dag.add_edge(source, node, oracle.trans(problem.initial, candidates[ci]));
+                dag.add_edge(
+                    source,
+                    node,
+                    oracle.trans(&problem.initial, &candidates[ci]),
+                );
             }
         } else {
             for (ai, &a) in prev.iter().enumerate() {
                 for (bi, &b) in cur.iter().enumerate() {
-                    dag.add_edge(a, b, oracle.trans(candidates[ai], candidates[bi]));
+                    dag.add_edge(a, b, oracle.trans(&candidates[ai], &candidates[bi]));
                 }
             }
         }
@@ -77,8 +81,8 @@ pub(crate) fn build(oracle: &dyn CostOracle, problem: &Problem, candidates: &[Co
     }
     let dest = dag.add_node(None, Cost::ZERO);
     for (ci, &node) in prev.iter().enumerate() {
-        let w = match problem.final_config {
-            Some(f) => oracle.trans(candidates[ci], f),
+        let w = match &problem.final_config {
+            Some(f) => oracle.trans(&candidates[ci], f),
             None => Cost::ZERO,
         };
         dag.add_edge(node, dest, w);
@@ -94,7 +98,7 @@ pub(crate) fn path_to_configs(
 ) -> Vec<Config> {
     nodes
         .iter()
-        .filter_map(|&n| graph.dag.payload(n).map(|(_, ci)| candidates[ci]))
+        .filter_map(|&n| graph.dag.payload(n).map(|(_, ci)| candidates[ci].clone()))
         .collect()
 }
 
@@ -229,10 +233,10 @@ mod tests {
 
         // Brute force over all |cands|^3 schedules.
         let mut best: Option<Schedule> = None;
-        for &a in &cands {
-            for &b in &cands {
-                for &d in &cands {
-                    let s = Schedule::evaluate(&o, &p, vec![a, b, d]);
+        for a in &cands {
+            for b in &cands {
+                for d in &cands {
+                    let s = Schedule::evaluate(&o, &p, vec![a.clone(), b.clone(), d.clone()]);
                     if best
                         .as_ref()
                         .is_none_or(|x| s.total_cost() < x.total_cost())
@@ -293,15 +297,19 @@ mod tests {
         let p = Problem::default();
         let cands = enumerate_configs(&o, None, Some(1)).unwrap();
         let bad = Config::EMPTY; // cheap under nothing
-        let warm = solve_with_prefix(&o, &p, &cands, &[bad]).unwrap();
+        let warm = solve_with_prefix(&o, &p, &cands, std::slice::from_ref(&bad)).unwrap();
         assert_eq!(warm.configs[0], bad);
         let cold = solve(&o, &p, &cands).unwrap();
         assert!(warm.total_cost() >= cold.total_cost());
         // The suffix is still optimal among schedules starting [bad, ..].
-        for &b in &cands {
-            for &cc in &cands {
-                for &d in &cands {
-                    let s = Schedule::evaluate(&o, &p, vec![bad, b, cc, d]);
+        for b in &cands {
+            for cc in &cands {
+                for d in &cands {
+                    let s = Schedule::evaluate(
+                        &o,
+                        &p,
+                        vec![bad.clone(), b.clone(), cc.clone(), d.clone()],
+                    );
                     assert!(warm.total_cost() <= s.total_cost());
                 }
             }

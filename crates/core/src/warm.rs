@@ -40,13 +40,13 @@ impl CostOracle for SuffixOracle<'_> {
     fn n_structures(&self) -> usize {
         self.inner.n_structures()
     }
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         self.inner.exec(stage + self.start, config)
     }
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.inner.trans(from, to)
     }
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         self.inner.size(config)
     }
 }
@@ -57,8 +57,11 @@ impl CostOracle for SuffixOracle<'_> {
 /// change, so the sub-problem always counts its initial change.
 pub(crate) fn suffix_problem(problem: &Problem, prefix: &[Config]) -> Problem {
     Problem {
-        initial: prefix.last().copied().unwrap_or(problem.initial),
-        final_config: problem.final_config,
+        initial: prefix
+            .last()
+            .cloned()
+            .unwrap_or_else(|| problem.initial.clone()),
+        final_config: problem.final_config.clone(),
         space_bound: problem.space_bound,
         count_initial_change: if prefix.is_empty() {
             problem.count_initial_change
@@ -73,8 +76,8 @@ pub(crate) fn suffix_problem(problem: &Problem, prefix: &[Config]) -> Problem {
 /// stage 0 is free unless `count_initial_change`).
 pub(crate) fn prefix_changes(problem: &Problem, prefix: &[Config]) -> usize {
     let mut changes = 0;
-    let mut prev = problem.initial;
-    for (stage, &cfg) in prefix.iter().enumerate() {
+    let mut prev = &problem.initial;
+    for (stage, cfg) in prefix.iter().enumerate() {
         if cfg != prev && (stage > 0 || problem.count_initial_change) {
             changes += 1;
         }
@@ -98,7 +101,7 @@ pub(crate) fn check_prefix(
             oracle.n_stages()
         )));
     }
-    for (stage, &cfg) in prefix.iter().enumerate() {
+    for (stage, cfg) in prefix.iter().enumerate() {
         if !problem.fits(oracle, cfg) {
             return Err(Error::Infeasible(format!(
                 "committed prefix violates the space bound at stage {stage}"
@@ -140,9 +143,9 @@ mod tests {
         assert_eq!(s.n_structures(), 2);
         for bits in 0..4u64 {
             let cfg = Config::from_bits(bits);
-            assert_eq!(s.exec(0, cfg), o.exec(2, cfg));
-            assert_eq!(s.exec(1, cfg), o.exec(3, cfg));
-            assert_eq!(s.size(cfg), o.size(cfg));
+            assert_eq!(s.exec(0, &cfg), o.exec(2, &cfg));
+            assert_eq!(s.exec(1, &cfg), o.exec(3, &cfg));
+            assert_eq!(s.size(&cfg), o.size(&cfg));
         }
     }
 

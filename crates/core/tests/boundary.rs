@@ -1,8 +1,10 @@
-//! Config boundary behavior: structure index 63 (the last bitmask
-//! slot) must work through every solver and both caching oracles, and
-//! out-of-range indices must fail the same way everywhere — a panic,
-//! never a silent `false`.
+//! Config boundary behavior at the representation's width boundaries:
+//! 63 (last inline slot), 64 (first spill), 65, and 128 must work
+//! through every solver and both caching oracles, and out-of-range
+//! indices must fail the same way everywhere — a panic, never a silent
+//! `false`.
 
+use cdpd_core::decompose;
 use cdpd_core::{
     greedy, hybrid, kaware, kselect, merging, ranking, seqgraph, Config, CostOracle, DenseOracle,
     Problem, ProjectableOracle, ProjectedOracle,
@@ -13,146 +15,178 @@ fn c(io: u64) -> Cost {
     Cost::from_ios(io)
 }
 
-/// 64 candidate structures; only indices 0 and 63 ever matter. Early
-/// stages run cheap under structure 63, late stages under structure 0,
-/// so optimal schedules are forced to exercise the top bitmask slot.
-struct Wide64 {
+/// `m` candidate structures; only indices 0 and `m - 1` ever matter.
+/// Early stages run cheap under the top structure, late stages under
+/// structure 0, so optimal schedules are forced to exercise the highest
+/// slot — whichever side of the 64-bit spill boundary it sits on.
+struct WideAt {
     n_stages: usize,
+    m: usize,
 }
 
-impl CostOracle for Wide64 {
+impl WideAt {
+    fn top(&self) -> usize {
+        self.m - 1
+    }
+}
+
+impl CostOracle for WideAt {
     fn n_stages(&self) -> usize {
         self.n_stages
     }
     fn n_structures(&self) -> usize {
-        64
+        self.m
     }
-    fn exec(&self, stage: usize, config: Config) -> Cost {
-        let want = if stage < self.n_stages / 2 { 63 } else { 0 };
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
+        let want = if stage < self.n_stages / 2 {
+            self.top()
+        } else {
+            0
+        };
         if config.contains(want) {
             c(10)
         } else {
             c(100)
         }
     }
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         c(5).scale(to.minus(from).len() as u64) + c(1).scale(from.minus(to).len() as u64)
     }
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         config.len() as u64
     }
 }
 
-// Default relevance info: one full-width (64-bit) part per stage. The
-// dense layer's width cap forces its overflow-memo path here, which is
-// exactly the top-bit coverage we want.
-impl ProjectableOracle for Wide64 {}
-
-fn wide() -> Wide64 {
-    Wide64 { n_stages: 4 }
+impl ProjectableOracle for WideAt {
+    // Only {0, top} are relevant — the masks a decomposition collapses.
+    fn relevance_mask(&self, _stage: usize) -> Config {
+        Config::single(0).with(self.top())
+    }
 }
 
-fn candidates() -> Vec<Config> {
-    vec![Config::EMPTY, Config::single(0), Config::single(63)]
+const WIDTHS: [usize; 4] = [63, 64, 65, 128];
+
+fn wide(m: usize) -> WideAt {
+    WideAt { n_stages: 4, m }
 }
 
-#[test]
-fn config_ops_at_index_63() {
-    let top = Config::single(63);
-    assert!(top.contains(63));
-    assert!(!top.contains(0));
-    assert_eq!(top.bits(), 1u64 << 63);
-    assert_eq!(top.len(), 1);
-    assert_eq!(Config::EMPTY.with(63), top);
-    assert_eq!(top.without(63), Config::EMPTY);
-    assert_eq!(top.structures().collect::<Vec<_>>(), vec![63]);
-    assert_eq!(top.to_string(), "{63}");
-    let full = Config::from_bits(u64::MAX);
-    assert!(full.contains(63));
-    assert_eq!(full.len(), 64);
-    assert!(top.is_subset_of(full));
+fn candidates(m: usize) -> Vec<Config> {
+    vec![Config::EMPTY, Config::single(0), Config::single(m - 1)]
 }
 
 #[test]
-fn every_solver_handles_structure_63() {
-    let o = wide();
-    let p = Problem::default();
-    let cands = candidates();
-
-    let unconstrained = seqgraph::solve(&o, &p, &cands).unwrap();
-    assert_eq!(
-        unconstrained.configs,
-        vec![
-            Config::single(63),
-            Config::single(63),
-            Config::single(0),
-            Config::single(0),
-        ],
-        "the optimum must ride the top bitmask slot"
-    );
-    unconstrained.validate(&o, &p, None).unwrap();
-
-    let constrained = kaware::solve(&o, &p, &cands, 1).unwrap();
-    constrained.validate(&o, &p, Some(1)).unwrap();
-    assert!(constrained.configs.iter().any(|cfg| cfg.contains(63)));
-
-    let warm = kaware::solve_with_prefix(&o, &p, &cands, 1, &constrained.configs[..2]).unwrap();
-    assert_eq!(warm.total_cost(), constrained.total_cost());
-
-    let merged = merging::solve(&o, &p, &cands, 1).unwrap();
-    merged.validate(&o, &p, Some(1)).unwrap();
-
-    let ranked = ranking::solve(&o, &p, &cands, 1, 64).unwrap();
-    ranked.validate(&o, &p, Some(1)).unwrap();
-    assert_eq!(ranked.total_cost(), constrained.total_cost());
-
-    let hybrid_out = hybrid::solve(&o, &p, &cands, 1).unwrap();
-    hybrid_out.schedule.validate(&o, &p, Some(1)).unwrap();
-
-    // Greedy generates its own candidates by probing all 64 singletons.
-    let g = greedy::solve(&o, &p, 2).unwrap();
-    g.validate(&o, &p, Some(2)).unwrap();
-    assert_eq!(g.total_cost(), unconstrained.total_cost());
-
-    let curve = kselect::cost_curve(&o, &p, &cands, 3).unwrap();
-    assert_eq!(curve.len(), 4);
-    assert_eq!(curve[2].cost, unconstrained.total_cost());
+fn config_ops_at_boundary_indices() {
+    for top in [63usize, 64, 65, 127] {
+        let cfg = Config::single(top);
+        assert!(cfg.contains(top));
+        assert!(!cfg.contains(0));
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(Config::EMPTY.with(top), cfg);
+        assert_eq!(cfg.without(top), Config::EMPTY);
+        assert_eq!(cfg.structures().collect::<Vec<_>>(), vec![top]);
+        assert_eq!(cfg.to_string(), format!("{{{top}}}"));
+        let full = Config::full(top + 1);
+        assert!(full.contains(top));
+        assert_eq!(full.len(), top + 1);
+        assert!(cfg.is_subset_of(&full));
+        assert_eq!(full.rank(top), top);
+    }
+    // The spill boundary itself: 63 stays inline, 64 spills.
+    assert_eq!(Config::single(63).words().len(), 1);
+    assert_eq!(Config::single(63).bits(), 1u64 << 63);
+    assert_eq!(Config::single(64).words().len(), 2);
+    assert_eq!(Config::full(64).words().len(), 1);
+    assert_eq!(Config::full(65).words().len(), 2);
 }
 
 #[test]
-fn both_caching_oracles_agree_at_the_top_bit() {
-    let raw = wide();
-    let projected = ProjectedOracle::new(wide());
-    // Width-64 parts exceed any dense cap, so this exercises the
-    // dense layer's overflow-memo fallback at bit 63.
-    let dense = DenseOracle::new(wide());
-    assert!(!dense.is_fully_dense());
-    let probes = [
-        Config::EMPTY,
-        Config::single(63),
-        Config::single(0).with(63),
-        Config::from_bits(u64::MAX),
-    ];
-    for stage in 0..raw.n_stages() {
-        for cfg in probes {
-            assert_eq!(projected.exec(stage, cfg), raw.exec(stage, cfg));
-            assert_eq!(dense.exec(stage, cfg), raw.exec(stage, cfg));
+fn every_solver_handles_boundary_widths() {
+    for m in WIDTHS {
+        let o = wide(m);
+        let p = Problem::default();
+        let cands = candidates(m);
+        let top = Config::single(m - 1);
+        let zero = Config::single(0);
+
+        let unconstrained = seqgraph::solve(&o, &p, &cands).unwrap();
+        assert_eq!(
+            unconstrained.configs,
+            vec![top.clone(), top.clone(), zero.clone(), zero.clone()],
+            "the optimum must ride the top slot at m={m}"
+        );
+        unconstrained.validate(&o, &p, None).unwrap();
+
+        let constrained = kaware::solve(&o, &p, &cands, 1).unwrap();
+        constrained.validate(&o, &p, Some(1)).unwrap();
+        assert!(constrained.configs.iter().any(|cfg| cfg.contains(m - 1)));
+
+        let warm = kaware::solve_with_prefix(&o, &p, &cands, 1, &constrained.configs[..2]).unwrap();
+        assert_eq!(warm.total_cost(), constrained.total_cost());
+
+        let merged = merging::solve(&o, &p, &cands, 1).unwrap();
+        merged.validate(&o, &p, Some(1)).unwrap();
+
+        let ranked = ranking::solve(&o, &p, &cands, 1, 64).unwrap();
+        ranked.validate(&o, &p, Some(1)).unwrap();
+        assert_eq!(ranked.total_cost(), constrained.total_cost());
+
+        let hybrid_out = hybrid::solve(&o, &p, &cands, 1).unwrap();
+        hybrid_out.schedule.validate(&o, &p, Some(1)).unwrap();
+
+        // Greedy generates its own candidates by probing all singletons.
+        let g = greedy::solve(&o, &p, 2).unwrap();
+        g.validate(&o, &p, Some(2)).unwrap();
+        assert_eq!(g.total_cost(), unconstrained.total_cost());
+
+        let curve = kselect::cost_curve(&o, &p, &cands, 3).unwrap();
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[2].cost, unconstrained.total_cost());
+
+        // The decomposed solve collapses every width to the same 2-wide
+        // local instance; full local enumeration can only improve on the
+        // restricted singleton candidate list above.
+        let dec = decompose::solve_decomposed(&o, &p, 2).unwrap();
+        dec.validate(&o, &p, Some(2)).unwrap();
+        assert!(dec.total_cost() <= unconstrained.total_cost(), "m={m}");
+    }
+}
+
+#[test]
+fn both_caching_oracles_agree_across_boundary_widths() {
+    for m in WIDTHS {
+        let raw = wide(m);
+        let projected = ProjectedOracle::new(wide(m));
+        // The relevance mask is 2 wide, so the dense layer tabulates
+        // fully (in local coordinates) at every vocabulary width.
+        let dense = DenseOracle::new(wide(m));
+        assert!(dense.is_fully_dense());
+        let probes = [
+            Config::EMPTY,
+            Config::single(m - 1),
+            Config::single(0).with(m - 1),
+            Config::full(m),
+        ];
+        for stage in 0..raw.n_stages() {
+            for cfg in &probes {
+                assert_eq!(projected.exec(stage, cfg), raw.exec(stage, cfg));
+                assert_eq!(dense.exec(stage, cfg), raw.exec(stage, cfg));
+            }
         }
+        for cfg in &probes {
+            assert_eq!(projected.size(cfg), raw.size(cfg));
+            assert_eq!(dense.size(cfg), raw.size(cfg));
+        }
+        // Solving through each wrapper reproduces the raw optimum.
+        let p = Problem::default();
+        let cands = candidates(m);
+        let want = seqgraph::solve(&raw, &p, &cands).unwrap();
+        let via_projected = seqgraph::solve(&projected, &p, &cands).unwrap();
+        let via_dense = seqgraph::solve(&dense, &p, &cands).unwrap();
+        assert_eq!(via_projected.total_cost(), want.total_cost());
+        assert_eq!(via_dense.total_cost(), want.total_cost());
+        assert_eq!(via_projected.configs, want.configs);
+        assert_eq!(via_dense.configs, want.configs);
     }
-    for cfg in probes {
-        assert_eq!(projected.size(cfg), raw.size(cfg));
-        assert_eq!(dense.size(cfg), raw.size(cfg));
-    }
-    // Solving through each wrapper reproduces the raw optimum.
-    let p = Problem::default();
-    let cands = candidates();
-    let want = seqgraph::solve(&raw, &p, &cands).unwrap();
-    let via_projected = seqgraph::solve(&projected, &p, &cands).unwrap();
-    let via_dense = seqgraph::solve(&dense, &p, &cands).unwrap();
-    assert_eq!(via_projected.total_cost(), want.total_cost());
-    assert_eq!(via_dense.total_cost(), want.total_cost());
-    assert_eq!(via_projected.configs, want.configs);
-    assert_eq!(via_dense.configs, want.configs);
 }
 
 fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
@@ -165,21 +199,23 @@ fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
 
 #[test]
 fn out_of_range_indices_fail_consistently() {
-    // Index 63 is the last valid slot everywhere...
-    assert!(!panics(|| {
-        let _ = Config::single(63);
-        let _ = Config::EMPTY.contains(63);
-        let _ = Config::EMPTY.with(63);
-        let _ = Config::EMPTY.without(63);
+    // The last valid slot works everywhere...
+    let top = cdpd_core::MAX_STRUCTURE_INDEX - 1;
+    assert!(!panics(move || {
+        let _ = Config::single(top);
+        let _ = Config::EMPTY.contains(top);
+        let _ = Config::EMPTY.with(top);
+        let _ = Config::EMPTY.without(top);
     }));
-    // ...and 64+ panics in every index-taking method — including
-    // `contains`, which used to answer a silent `false`.
-    for idx in [64usize, 65, 1000] {
+    // ...and anything at or past the cap panics in every index-taking
+    // method — including `contains`, which used to answer a silent
+    // `false`.
+    for idx in [top + 1, top + 2, 10 * (top + 1)] {
         assert!(panics(move || {
             let _ = Config::single(idx);
         }));
         assert!(panics(move || {
-            let _ = Config::from_bits(u64::MAX).contains(idx);
+            let _ = Config::full(1).contains(idx);
         }));
         assert!(panics(move || {
             let _ = Config::EMPTY.with(idx);

@@ -46,7 +46,7 @@ fn brute_force_best(
         let mut c = code;
         let configs: Vec<SolverConfig> = (0..n)
             .map(|_| {
-                let pick = cands[c % cands.len()];
+                let pick = cands[c % cands.len()].clone();
                 c /= cands.len();
                 pick
             })

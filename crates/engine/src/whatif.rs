@@ -156,7 +156,9 @@ impl WhatIfEngine {
 
     /// Which of `structures` are *relevant* to `stmt` — can change its
     /// estimated cost under any configuration drawn from `structures`.
-    /// Bit `i` of the returned mask corresponds to `structures[i]`.
+    /// Entry `i` of the returned vector corresponds to `structures[i]`
+    /// (a vector, not a fixed-width mask, so the candidate vocabulary
+    /// is unbounded).
     ///
     /// Exactness comes from the planner (see
     /// `Planner::relevant_indexes`): an index outside the mask
@@ -166,15 +168,9 @@ impl WhatIfEngine {
     /// configurations before costing.
     ///
     /// # Errors
-    /// `structures` must fit in a 64-bit mask, belong to this table,
-    /// and name real columns; `stmt` must bind against the schema.
-    pub fn relevant_structures(&self, stmt: &Dml, structures: &[IndexSpec]) -> Result<u64> {
-        if structures.len() > 64 {
-            return Err(Error::InvalidArgument(format!(
-                "{} candidate structures exceed the 64-bit relevance mask",
-                structures.len()
-            )));
-        }
+    /// `structures` must belong to this table and name real columns;
+    /// `stmt` must bind against the schema.
+    pub fn relevant_structures(&self, stmt: &Dml, structures: &[IndexSpec]) -> Result<Vec<bool>> {
         if stmt.table() != self.table {
             return Err(Error::InvalidArgument(format!(
                 "statement is on table {}, oracle is for {}",
@@ -184,11 +180,7 @@ impl WhatIfEngine {
         }
         let infos = self.infos(structures)?;
         let planner = Planner::new(&self.schema, &self.stats, &infos);
-        let relevant = planner.relevant_indexes(stmt)?;
-        Ok(relevant
-            .iter()
-            .enumerate()
-            .fold(0u64, |mask, (i, &r)| if r { mask | (1 << i) } else { mask }))
+        planner.relevant_indexes(stmt)
     }
 
     fn infos(&self, config: &[IndexSpec]) -> Result<Vec<IndexInfo>> {
@@ -423,7 +415,12 @@ mod tests {
                 .collect()
         };
         for stmt in &stmts {
-            let mask = w.relevant_structures(stmt, &structures).unwrap();
+            let relevant = w.relevant_structures(stmt, &structures).unwrap();
+            assert_eq!(relevant.len(), structures.len());
+            let mask = relevant
+                .iter()
+                .enumerate()
+                .fold(0u64, |m, (i, &r)| if r { m | (1 << i) } else { m });
             let mut projection_bit = false;
             for bits in 0..(1u64 << structures.len()) {
                 let full = w.dml_cost(stmt, &specs_of(bits)).unwrap();
@@ -437,11 +434,13 @@ mod tests {
                 assert!(projection_bit, "mask {mask:b} projected nothing for {stmt}");
             }
         }
-        // Mask width validation.
-        let too_many: Vec<IndexSpec> = (0..65).map(|_| spec(&["a"])).collect();
-        assert!(w
-            .relevant_structures(&Dml::Select(SelectStmt::point("t", "a", 1)), &too_many)
-            .is_err());
+        // No fixed-width cap: a 65+-structure vocabulary is accepted.
+        let many: Vec<IndexSpec> = (0..65).map(|_| spec(&["a"])).collect();
+        let wide = w
+            .relevant_structures(&Dml::Select(SelectStmt::point("t", "a", 1)), &many)
+            .unwrap();
+        assert_eq!(wide.len(), 65);
+        assert!(wide.iter().all(|&r| r), "every copy of I(a) is relevant");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 use crate::candidates::candidate_indexes;
 use crate::oracle::EngineOracle;
+use cdpd_core::decompose::{self, Decomposition};
 use cdpd_core::{
-    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config,
-    OracleStatsSnapshot, Problem, Schedule,
+    enumerate_configs, greedy, hybrid, kaware, merging, ranking, seqgraph, Config, CostOracle,
+    OracleStats, OracleStatsSnapshot, Problem, ProjectedOracle, Schedule,
 };
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd_obs::MetricsSnapshot;
@@ -134,7 +135,7 @@ impl Recommendation {
         let whatif = WhatIfEngine::snapshot(db, trace.table())?;
         let oracle = EngineOracle::new(whatif, self.structures.clone(), &workload)?.into_shared();
         let structures = self.structures.clone();
-        let label = move |cfg: cdpd_core::Config| -> String {
+        let label = move |cfg: &cdpd_core::Config| -> String {
             let names: Vec<String> = cfg
                 .structures()
                 .map(|i| structures[i].display_short())
@@ -197,7 +198,7 @@ impl Recommendation {
             }
             prev = specs;
         }
-        if let Some(final_cfg) = self.problem.final_config {
+        if let Some(final_cfg) = &self.problem.final_config {
             let fin: Vec<IndexSpec> = final_cfg
                 .structures()
                 .map(|i| self.structures[i].clone())
@@ -308,9 +309,8 @@ pub(crate) fn recommend_for_workload(
         }
     }
 
-    let oracle = EngineOracle::new(whatif, structures, workload)?.into_shared();
-    let initial = oracle
-        .inner()
+    let mut engine = EngineOracle::new(whatif, structures, workload)?;
+    let initial = engine
         .config_of(&current)
         .expect("current indexes were added to the structure list");
     let problem = Problem {
@@ -319,28 +319,72 @@ pub(crate) fn recommend_for_workload(
         space_bound: options.space_bound_pages,
         count_initial_change: options.count_initial_change,
     };
-    let candidates = enumerate_configs(
-        &oracle,
-        options.space_bound_pages,
-        options.max_structures_per_config,
-    )?;
 
     let mut hybrid_strategy = None;
-    let schedule = match (options.k, options.algorithm) {
-        (None, _) => seqgraph::solve(&oracle, &problem, &candidates)?,
-        (Some(k), Algorithm::KAware) => kaware::solve(&oracle, &problem, &candidates, k)?,
-        (Some(k), Algorithm::Merging) => merging::solve(&oracle, &problem, &candidates, k)?,
-        (Some(k), Algorithm::Ranking { max_paths }) => {
-            ranking::solve(&oracle, &problem, &candidates, k, max_paths)?
-        }
-        (Some(k), Algorithm::Greedy) => greedy::solve(&oracle, &problem, k)?,
-        (Some(k), Algorithm::Hybrid) => {
-            let out = hybrid::solve(&oracle, &problem, &candidates, k)?;
-            hybrid_strategy = Some(out.strategy);
-            out.schedule
-        }
+    let (schedule, structures, oracle_stats) = if engine.n_structures() <= ENUMERABLE_VOCABULARY {
+        // Narrow vocabulary: the seed pipeline, byte for byte — full
+        // enumeration over the whole structure list.
+        let oracle = engine.into_shared();
+        let candidates = enumerate_configs(
+            &oracle,
+            options.space_bound_pages,
+            options.max_structures_per_config,
+        )?;
+        let schedule = run_solver(
+            &oracle,
+            &problem,
+            &candidates,
+            options,
+            &mut hybrid_strategy,
+        )?;
+        schedule.validate(&oracle, &problem, options.k)?;
+        (
+            schedule,
+            oracle.inner().structures().to_vec(),
+            oracle.stats_snapshot(),
+        )
+    } else {
+        // Wide vocabulary: CoPhy-style decomposition. Rename the active
+        // set (union of per-stage relevance masks + boundary configs) to
+        // local coordinates, generate candidates and solve there, then
+        // map the schedule back. When the active set itself is narrow
+        // this is bit-identical to solving the narrow instance directly;
+        // the seed pipeline simply refused these instances.
+        let stats = OracleStats::shared();
+        engine.attach_stats(stats.clone());
+        let decomp = Decomposition::from_oracle(&engine, &problem, &[]);
+        cdpd_obs::event!(
+            "advisor: decomposed {} candidates to {} active structures",
+            engine.n_structures(),
+            decomp.n_local()
+        );
+        let local_problem = decomp.localize_problem(&problem);
+        let oracle = ProjectedOracle::with_stats(decomp.local_oracle(&engine), stats);
+        let candidates = if decomp.n_local() <= ENUMERABLE_VOCABULARY {
+            enumerate_configs(
+                &oracle,
+                options.space_bound_pages,
+                options.max_structures_per_config,
+            )?
+        } else {
+            decompose::candidate_configs(&oracle, &local_problem)?
+        };
+        let schedule = run_solver(
+            &oracle,
+            &local_problem,
+            &candidates,
+            options,
+            &mut hybrid_strategy,
+        )?;
+        schedule.validate(&oracle, &local_problem, options.k)?;
+        let snapshot = oracle.stats_snapshot();
+        drop(oracle);
+        (
+            decomp.globalize_schedule(schedule),
+            engine.structures().to_vec(),
+            snapshot,
+        )
     };
-    schedule.validate(&oracle, &problem, options.k)?;
 
     // Close the span before rendering so the recommend record itself
     // lands in the ring and the profile covers the whole call.
@@ -348,12 +392,41 @@ pub(crate) fn recommend_for_workload(
     let profile = cdpd_obs::profile_since(started_ns);
     Ok(Recommendation {
         schedule,
-        structures: oracle.inner().structures().to_vec(),
+        structures,
         window_len: options.window_len,
         problem,
         hybrid_strategy,
-        oracle_stats: oracle.stats_snapshot(),
+        oracle_stats,
         metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
         profile,
+    })
+}
+
+/// Vocabularies up to this width take the seed path: full `2^m`
+/// enumeration (the historical `enumerate_configs` wall). Wider ones
+/// go through the CoPhy decomposition above.
+pub(crate) const ENUMERABLE_VOCABULARY: usize = 20;
+
+/// One solver dispatch shared by the narrow and decomposed paths.
+fn run_solver(
+    oracle: &dyn CostOracle,
+    problem: &Problem,
+    candidates: &[Config],
+    options: &AdvisorOptions,
+    hybrid_strategy: &mut Option<hybrid::Strategy>,
+) -> Result<Schedule> {
+    Ok(match (options.k, options.algorithm) {
+        (None, _) => seqgraph::solve(oracle, problem, candidates)?,
+        (Some(k), Algorithm::KAware) => kaware::solve(oracle, problem, candidates, k)?,
+        (Some(k), Algorithm::Merging) => merging::solve(oracle, problem, candidates, k)?,
+        (Some(k), Algorithm::Ranking { max_paths }) => {
+            ranking::solve(oracle, problem, candidates, k, max_paths)?
+        }
+        (Some(k), Algorithm::Greedy) => greedy::solve(oracle, problem, k)?,
+        (Some(k), Algorithm::Hybrid) => {
+            let out = hybrid::solve(oracle, problem, candidates, k)?;
+            *hybrid_strategy = Some(out.strategy);
+            out.schedule
+        }
     })
 }

@@ -139,14 +139,14 @@ impl Alerter {
             .inner()
             .config_of(&current_specs)
             .expect("current specs were appended to the structure list");
-        let current_cost = oracle.exec(0, current);
+        let current_cost = oracle.exec(0, &current);
 
         // Cheap sweep: empty + each single candidate (the alerter's job
         // is detection, not optimization).
-        let mut best = (Config::EMPTY, oracle.exec(0, Config::EMPTY));
+        let mut best = (Config::EMPTY, oracle.exec(0, &Config::EMPTY));
         for i in 0..self.candidates.len() {
             let cfg = Config::single(i);
-            let cost = oracle.exec(0, cfg);
+            let cost = oracle.exec(0, &cfg);
             if cost < best.1 {
                 best = (cfg, cost);
             }
@@ -164,7 +164,7 @@ impl Alerter {
         Ok(Some(Alert {
             current_cost,
             best_cost,
-            better_config: oracle.inner().specs_of(best_config),
+            better_config: oracle.inner().specs_of(&best_config),
             degradation,
             recent_trace: trace,
             oracle_stats: oracle.stats_snapshot(),

@@ -24,15 +24,29 @@ use std::collections::BTreeMap;
 ///   `I(a,b)`, which serves `a`-queries with seeks and `b`-queries with
 ///   index-only scans.
 ///
-/// Results are deduplicated, restricted to columns that exist in
-/// `schema`, and capped at 64 (the configuration encoding width) with
-/// the most frequently useful candidates kept first. The second return
-/// is the number of ranked candidates *dropped* by that cap — `0`
-/// whenever the workload motivates at most 64 — so callers can surface
-/// the truncation instead of silently narrowing the design space.
+/// Results are deduplicated and restricted to columns that exist in
+/// `schema`. There is no width cap: configurations are width-agnostic,
+/// so every motivated candidate is returned (the second element of the
+/// pair — candidates dropped by truncation — is always `0` here).
+/// Callers that want a bounded design space use
+/// [`candidate_indexes_capped`], which keeps the ranked truncation as
+/// an explicit policy instead of a hard-wired encoding limit.
 pub fn candidate_indexes(
     schema: &Schema,
     workload: &SummarizedWorkload,
+) -> Result<(Vec<IndexSpec>, usize)> {
+    candidate_indexes_capped(schema, workload, usize::MAX)
+}
+
+/// [`candidate_indexes`] with an explicit candidate budget: the ranked
+/// list is truncated to the `max_candidates` most frequently useful
+/// candidates, and the number dropped is returned alongside so callers
+/// can surface the truncation instead of silently narrowing the design
+/// space.
+pub fn candidate_indexes_capped(
+    schema: &Schema,
+    workload: &SummarizedWorkload,
+    max_candidates: usize,
 ) -> Result<(Vec<IndexSpec>, usize)> {
     let table = &workload.table;
     // candidate -> how many weighted statements motivated it
@@ -88,14 +102,15 @@ pub fn candidate_indexes(
 
     let mut ranked: Vec<(IndexSpec, u64)> = scored.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let dropped = ranked.len().saturating_sub(64);
+    let dropped = ranked.len().saturating_sub(max_candidates);
     if dropped > 0 {
+        cdpd_obs::counter!("candidates.dropped").add(dropped as u64);
         cdpd_obs::event!(
-            "candidate_indexes: {} candidates exceed the 64-structure \
-             configuration encoding; dropping the {dropped} least useful",
+            "candidate_indexes: {} candidates exceed the {max_candidates}-candidate \
+             budget; dropping the {dropped} least useful",
             ranked.len()
         );
-        ranked.truncate(64);
+        ranked.truncate(max_candidates);
     }
     // Stable, readable order for the final list: by name.
     let mut out: Vec<IndexSpec> = ranked.into_iter().map(|(s, _)| s).collect();
@@ -128,7 +143,7 @@ mod tests {
         let trace = generate(&paper::w1_with(&params), 3);
         let workload = summarize(&trace, 200).unwrap();
         let (cands, dropped) = candidate_indexes(&abcd(), &workload).unwrap();
-        assert_eq!(dropped, 0, "four columns cannot motivate > 64 candidates");
+        assert_eq!(dropped, 0, "the uncapped generator never truncates");
         let names: Vec<String> = cands.iter().map(|c| c.display_short()).collect();
         // The paper's hand-picked design space must be a subset.
         for want in ["I(a)", "I(b)", "I(c)", "I(d)", "I(a,b)", "I(c,d)"] {
@@ -178,15 +193,15 @@ mod tests {
         let a = candidate_indexes(&abcd(), &workload).unwrap();
         let b = candidate_indexes(&abcd(), &workload).unwrap();
         assert_eq!(a, b);
-        assert!(a.0.len() <= 64);
+        assert_eq!(a.1, 0);
     }
 
     #[test]
     fn overflowing_candidate_pool_is_ranked_and_truncated() {
         // A 40-column schema with two-column queries motivates far more
-        // than 64 candidates (predicate + covering + merged per block);
-        // the generator must keep the hottest 64 and report the rest
-        // dropped instead of overflowing the Config encoding downstream.
+        // than 64 candidates (predicate + covering + merged per block).
+        // The uncapped generator returns them all; the capped variant
+        // keeps the hottest 64 and reports the rest dropped.
         let cols: Vec<String> = (0..40).map(|i| format!("c{i:02}")).collect();
         let schema = Schema::new(cols.iter().map(|c| ColumnDef::int(c.as_str())).collect());
         let mut stmts = Vec::new();
@@ -204,12 +219,17 @@ mod tests {
         }
         let trace = cdpd_workload::Trace::new("t", stmts);
         let workload = summarize(&trace, 50).unwrap();
-        let (cands, dropped) = candidate_indexes(&schema, &workload).unwrap();
-        assert_eq!(cands.len(), 64, "capped at the Config encoding width");
-        assert!(dropped > 0, "this pool must overflow");
-        // The output stays usable downstream: every index fits a bit.
-        for (i, _) in cands.iter().enumerate() {
+        let (all, none_dropped) = candidate_indexes(&schema, &workload).unwrap();
+        assert!(all.len() > 64, "this pool must exceed the old cap");
+        assert_eq!(none_dropped, 0);
+        // Every candidate is addressable by the width-agnostic Config.
+        for (i, _) in all.iter().enumerate() {
             let _ = cdpd_core::Config::single(i);
         }
+        let (cands, dropped) = candidate_indexes_capped(&schema, &workload, 64).unwrap();
+        assert_eq!(cands.len(), 64, "explicit budget keeps the hottest 64");
+        assert_eq!(dropped, all.len() - 64);
+        // The kept set is a subset of the uncapped pool.
+        assert!(cands.iter().all(|c| all.contains(c)));
     }
 }

@@ -62,7 +62,7 @@ mod state;
 
 pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
 pub use alerter::{Alert, Alerter};
-pub use candidates::candidate_indexes;
+pub use candidates::{candidate_indexes, candidate_indexes_capped};
 pub use cdpd_core::OracleStatsSnapshot;
 pub use cdpd_obs::MetricsSnapshot;
 pub use kadvice::{suggest_k_robust, KAdvice, KAdviceOptions};

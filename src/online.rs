@@ -27,11 +27,14 @@
 //! online approximation (no hindsight past the sealed window); the
 //! finish-time commit is the batch answer.
 
-use crate::advisor::{recommend_for_workload, AdvisorOptions, Recommendation};
+use crate::advisor::{
+    recommend_for_workload, AdvisorOptions, Recommendation, ENUMERABLE_VOCABULARY,
+};
 use crate::candidates::candidate_indexes;
 use crate::oracle::EngineOracle;
 use cdpd_core::{
-    enumerate_configs, kaware, seqgraph, Config, CostOracle, Problem, ProjectedOracle,
+    decompose, enumerate_configs, kaware, seqgraph, Config, CostOracle, Decomposition, Problem,
+    ProjectedOracle,
 };
 use cdpd_engine::{Database, IndexSpec, StatsRefresh, WhatIfEngine};
 use cdpd_sql::Dml;
@@ -39,7 +42,7 @@ use cdpd_types::{Error, Result};
 use cdpd_workload::{Block, OnlineShiftDetector, StatementStream, StreamState};
 
 /// Tuning knobs for [`OnlineAdvisor`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct OnlineOptions {
     /// The batch options the session optimizes under. `window_len`
     /// sets the stream's window; `k` is the rolling change budget over
@@ -61,6 +64,32 @@ pub struct OnlineOptions {
     /// when old windows are evicted (stage indices shift, so the warm
     /// memo cannot be kept).
     pub max_windows: Option<usize>,
+    /// Ceiling on the candidate vocabulary. Configurations are
+    /// width-agnostic, so this bounds *work*, not representation: wider
+    /// vocabularies mean more what-if shapes to validate and a larger
+    /// active set per re-solve. Once the ceiling is reached, new
+    /// derived candidates are dropped in ranked order — the per-window
+    /// derivation already emits candidates best-first, so the drops are
+    /// the worst-ranked ones — counted in
+    /// [`OnlineAdvisor::dropped_structures`] and the
+    /// `online.structures_dropped` counter. Defaults to
+    /// [`DEFAULT_MAX_CANDIDATES`].
+    pub max_candidates: usize,
+}
+
+/// Default [`OnlineOptions::max_candidates`]: four times the old
+/// 64-structure encoding cap the `u64`-bitmask representation imposed.
+pub const DEFAULT_MAX_CANDIDATES: usize = 256;
+
+impl Default for OnlineOptions {
+    fn default() -> OnlineOptions {
+        OnlineOptions {
+            advisor: AdvisorOptions::default(),
+            resolve_threshold: None,
+            max_windows: None,
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+        }
+    }
 }
 
 /// One design-change decision, emitted per sealed window.
@@ -107,7 +136,8 @@ pub struct OnlineAdvisor {
     /// Whether the vocabulary is derived from the stream (as opposed
     /// to fixed by [`AdvisorOptions::structures`]).
     derived: bool,
-    /// Candidates dropped because the vocabulary hit the 64-bit cap.
+    /// Candidates dropped because the vocabulary hit
+    /// [`OnlineOptions::max_candidates`].
     dropped_structures: usize,
     /// Warm cost oracle over the retained sealed windows.
     oracle: Option<ProjectedOracle<EngineOracle>>,
@@ -145,10 +175,16 @@ impl OnlineAdvisor {
                 structures.push(spec.clone());
             }
         }
-        if structures.len() > 64 {
+        if options.max_candidates == 0 {
+            return Err(Error::InvalidArgument(
+                "max_candidates must be positive".into(),
+            ));
+        }
+        if structures.len() > options.max_candidates {
             return Err(Error::InvalidArgument(format!(
-                "{} candidate structures exceed the 64-structure configuration encoding",
-                structures.len()
+                "{} candidate structures exceed max_candidates = {}",
+                structures.len(),
+                options.max_candidates
             )));
         }
         // Validate the vocabulary eagerly, like the batch advisor.
@@ -223,7 +259,7 @@ impl OnlineAdvisor {
     /// The design the session currently holds live: the last committed
     /// configuration, resolved to specs.
     pub fn live_specs(&self) -> Vec<IndexSpec> {
-        let cfg = self.committed.last().copied().unwrap_or(self.initial);
+        let cfg = self.committed.last().unwrap_or(&self.initial).clone();
         cfg.structures()
             .map(|i| self.structures[i].clone())
             .collect()
@@ -234,7 +270,8 @@ impl OnlineAdvisor {
         &self.structures
     }
 
-    /// Candidates discarded because the vocabulary hit the 64-bit cap.
+    /// Candidates discarded because the vocabulary hit
+    /// [`OnlineOptions::max_candidates`].
     pub fn dropped_structures(&self) -> usize {
         self.dropped_structures
     }
@@ -382,7 +419,7 @@ impl OnlineAdvisor {
             if self.structures.contains(&spec) {
                 continue;
             }
-            if self.structures.len() == 64 {
+            if self.structures.len() == self.options.max_candidates {
                 dropped_now += 1;
                 continue;
             }
@@ -393,8 +430,9 @@ impl OnlineAdvisor {
             self.dropped_structures += dropped_now;
             cdpd_obs::counter!("online.structures_dropped").add(dropped_now as u64);
             cdpd_obs::event!(
-                "online advisor: vocabulary at the 64-structure cap; \
-                 dropped {dropped_now} new candidates ({} total)",
+                "online advisor: vocabulary at max_candidates = {}; \
+                 dropped {dropped_now} ranked-worst candidates ({} total)",
+                self.options.max_candidates,
                 self.dropped_structures
             );
         }
@@ -433,14 +471,14 @@ impl OnlineAdvisor {
     fn decide(&mut self, window: usize) -> Result<OnlineDecision> {
         let oracle = self.oracle.as_ref().expect("sync_oracle ran");
         let stage = oracle.n_stages() - 1;
-        let live = self.committed.last().copied().unwrap_or(self.initial);
+        let live = self.committed.last().unwrap_or(&self.initial).clone();
 
         // Folded alerter: live design vs best single candidate on the
         // sealed window (detection, not optimization — see Alerter).
-        let live_cost = oracle.exec(stage, live);
-        let mut best = oracle.exec(stage, Config::EMPTY);
+        let live_cost = oracle.exec(stage, &live);
+        let mut best = oracle.exec(stage, &Config::EMPTY);
         for i in 0..self.structures.len() {
-            best = best.min(oracle.exec(stage, Config::single(i)));
+            best = best.min(oracle.exec(stage, &Config::single(i)));
         }
         let degradation = if best.raw() == 0 {
             0.0
@@ -461,29 +499,21 @@ impl OnlineAdvisor {
         let prefix: Vec<Config> = self.committed[self.oracle_first..].to_vec();
         let (config, solve_nanos) = if tripped {
             let started = std::time::Instant::now();
-            let candidates = enumerate_configs(
-                oracle,
-                self.options.advisor.space_bound_pages,
-                self.options.advisor.max_structures_per_config,
-            )?;
-            let schedule = match self.options.advisor.k {
-                None => seqgraph::solve_with_prefix(oracle, &horizon, &candidates, &prefix)?,
-                Some(k) => kaware::solve_with_prefix(oracle, &horizon, &candidates, k, &prefix)?,
-            };
+            let config = self.resolve_suffix(oracle, &horizon, &prefix)?;
             let nanos = started.elapsed().as_nanos() as u64;
             cdpd_obs::histogram!("online.resolve_ns").record(nanos);
             cdpd_obs::counter!("online.resolves").inc();
             self.resolves += 1;
-            (schedule.configs[prefix.len()], nanos)
+            (config, nanos)
         } else {
-            (live, 0)
+            (live.clone(), 0)
         };
-        self.committed.push(config);
+        self.committed.push(config.clone());
 
         // Changes spent within the horizon, counted like Schedule does.
         let mut changes_used = 0;
-        let mut prev = horizon.initial;
-        for (s, &cfg) in self.committed[self.oracle_first..].iter().enumerate() {
+        let mut prev = &horizon.initial;
+        for (s, cfg) in self.committed[self.oracle_first..].iter().enumerate() {
             if cfg != prev && (s > 0 || horizon.count_initial_change) {
                 changes_used += 1;
             }
@@ -492,18 +522,79 @@ impl OnlineAdvisor {
 
         Ok(OnlineDecision {
             window,
-            config,
             specs: config
                 .structures()
                 .map(|i| self.structures[i].clone())
                 .collect(),
             changed: config != live,
+            config,
             degradation,
             resolved: tripped,
             solve_nanos,
             changes_used,
             suggested_k: self.detector.suggested_k(),
         })
+    }
+
+    /// The warm suffix re-solve: derive candidates over the retained
+    /// horizon and solve with the committed prefix pinned, returning
+    /// the configuration for the just-sealed window.
+    ///
+    /// Narrow vocabularies take the seed path — full enumeration over
+    /// the warm memoized oracle, byte-for-byte the old behavior. Wider
+    /// ones rename through the CoPhy decomposition first: the committed
+    /// prefix is pinned into the active set (localization is lossless
+    /// on it), candidates are derived in local coordinates, and the
+    /// chosen configuration is mapped back. Committed configurations
+    /// always stay in *global* coordinates — the decomposition is
+    /// per-re-solve, so local indexes never escape this function.
+    fn resolve_suffix(
+        &self,
+        oracle: &ProjectedOracle<EngineOracle>,
+        horizon: &Problem,
+        prefix: &[Config],
+    ) -> Result<Config> {
+        let space = self.options.advisor.space_bound_pages;
+        let max_per_config = self.options.advisor.max_structures_per_config;
+        if self.structures.len() <= ENUMERABLE_VOCABULARY {
+            let candidates = enumerate_configs(oracle, space, max_per_config)?;
+            let schedule = match self.options.advisor.k {
+                None => seqgraph::solve_with_prefix(oracle, horizon, &candidates, prefix)?,
+                Some(k) => kaware::solve_with_prefix(oracle, horizon, &candidates, k, prefix)?,
+            };
+            Ok(schedule.configs[prefix.len()].clone())
+        } else {
+            let decomp = Decomposition::from_oracle(oracle, horizon, prefix);
+            cdpd_obs::event!(
+                "online advisor: decomposed {} candidates to {} active structures",
+                self.structures.len(),
+                decomp.n_local()
+            );
+            // The rename goes through the *warm* oracle: probes
+            // globalize back before they hit the memo, so cache entries
+            // survive across re-solves regardless of the active set.
+            let local = decomp.local_oracle(oracle);
+            let local_problem = decomp.localize_problem(horizon);
+            let local_prefix: Vec<Config> = prefix.iter().map(|c| decomp.localize(c)).collect();
+            let candidates = if decomp.n_local() <= ENUMERABLE_VOCABULARY {
+                enumerate_configs(&local, space, max_per_config)?
+            } else {
+                decompose::candidate_configs(&local, &local_problem)?
+            };
+            let schedule = match self.options.advisor.k {
+                None => {
+                    seqgraph::solve_with_prefix(&local, &local_problem, &candidates, &local_prefix)?
+                }
+                Some(k) => kaware::solve_with_prefix(
+                    &local,
+                    &local_problem,
+                    &candidates,
+                    k,
+                    &local_prefix,
+                )?,
+            };
+            Ok(decomp.globalize(&schedule.configs[prefix.len()]))
+        }
     }
 
     /// Serialize the session's complete dynamic state into an opaque
@@ -516,9 +607,33 @@ impl OnlineAdvisor {
     /// restored session rebuilds it cold at the next window seal and
     /// then decides identically.
     pub fn save_state(&self) -> Vec<u8> {
-        use crate::state::{put_f64, put_opt_u64, put_str, put_u32, put_u64, put_u8};
+        self.save_state_impl(StateVersion::V2)
+    }
+
+    /// Writer for the legacy v1 blob layout (`u64`-bitmask configs),
+    /// kept so tests can prove [`OnlineAdvisor::restore`] still accepts
+    /// sessions saved before configurations became width-agnostic.
+    /// Only valid while the vocabulary fits the old 64-bit encoding.
+    #[cfg(test)]
+    pub(crate) fn save_state_v1(&self) -> Vec<u8> {
+        assert!(
+            self.structures.len() <= 64,
+            "v1 blobs cannot encode vocabularies wider than 64"
+        );
+        self.save_state_impl(StateVersion::V1)
+    }
+
+    fn save_state_impl(&self, version: StateVersion) -> Vec<u8> {
+        use crate::state::{put_config, put_f64, put_opt_u64, put_str, put_u32, put_u64, put_u8};
+        let write_cfg = |out: &mut Vec<u8>, cfg: &Config| match version {
+            StateVersion::V1 => put_u64(out, cfg.bits()),
+            StateVersion::V2 => put_config(out, cfg),
+        };
         let mut out = Vec::new();
-        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(match version {
+            StateVersion::V1 => STATE_MAGIC_V1,
+            StateVersion::V2 => STATE_MAGIC,
+        });
         put_str(&mut out, &self.table);
         let st = self.stream.state();
         put_u64(&mut out, st.window_len as u64);
@@ -552,15 +667,15 @@ impl OnlineAdvisor {
         put_u8(&mut out, self.derived as u8);
         put_u64(&mut out, self.dropped_structures as u64);
         put_u64(&mut out, self.oracle_first as u64);
-        put_u64(&mut out, self.initial.bits());
+        write_cfg(&mut out, &self.initial);
         put_u32(&mut out, self.committed.len() as u32);
         for c in &self.committed {
-            put_u64(&mut out, c.bits());
+            write_cfg(&mut out, c);
         }
         put_u32(&mut out, self.decisions.len() as u32);
         for d in &self.decisions {
             put_u64(&mut out, d.window as u64);
-            put_u64(&mut out, d.config.bits());
+            write_cfg(&mut out, &d.config);
             put_u32(&mut out, d.specs.len() as u32);
             for spec in &d.specs {
                 put_spec(&mut out, spec);
@@ -595,9 +710,17 @@ impl OnlineAdvisor {
     /// persisted candidate structure must still validate against `db`.
     pub fn restore(db: &Database, options: OnlineOptions, state: &[u8]) -> Result<OnlineAdvisor> {
         let mut r = crate::state::Reader::new(state);
-        if r.take(STATE_MAGIC.len())? != STATE_MAGIC {
-            return Err(Error::Corrupt("bad advisor state magic".into()));
-        }
+        let version = match r.take(STATE_MAGIC.len())? {
+            m if m == STATE_MAGIC => StateVersion::V2,
+            m if m == STATE_MAGIC_V1 => StateVersion::V1,
+            _ => return Err(Error::Corrupt("bad advisor state magic".into())),
+        };
+        let read_cfg = |r: &mut crate::state::Reader<'_>| -> Result<Config> {
+            match version {
+                StateVersion::V1 => Ok(Config::from_bits(r.u64()?)),
+                StateVersion::V2 => r.config(),
+            }
+        };
         let table = r.str()?;
         let window_len = r.u64()? as usize;
         let max_windows = r.opt_u64()?.map(|v| v as usize);
@@ -652,10 +775,17 @@ impl OnlineAdvisor {
         for _ in 0..n {
             structures.push(read_spec(&mut r)?);
         }
-        if structures.len() > 64 {
+        if version == StateVersion::V1 && structures.len() > 64 {
             return Err(Error::Corrupt(
-                "saved vocabulary exceeds the 64-structure encoding".into(),
+                "saved v1 vocabulary exceeds the 64-structure encoding".into(),
             ));
+        }
+        if structures.len() > options.max_candidates {
+            return Err(Error::InvalidArgument(format!(
+                "saved vocabulary has {} structures, restore options allow max_candidates = {}",
+                structures.len(),
+                options.max_candidates
+            )));
         }
         let derived = r.bool()?;
         if derived != options.advisor.structures.is_none() {
@@ -666,17 +796,17 @@ impl OnlineAdvisor {
         }
         let dropped_structures = r.u64()? as usize;
         let oracle_first = r.u64()? as usize;
-        let initial = Config::from_bits(r.u64()?);
+        let initial = read_cfg(&mut r)?;
         let n = r.u32()? as usize;
         let mut committed = Vec::with_capacity(n);
         for _ in 0..n {
-            committed.push(Config::from_bits(r.u64()?));
+            committed.push(read_cfg(&mut r)?);
         }
         let n = r.u32()? as usize;
         let mut decisions = Vec::with_capacity(n);
         for _ in 0..n {
             let window = r.u64()? as usize;
-            let config = Config::from_bits(r.u64()?);
+            let config = read_cfg(&mut r)?;
             let n_specs = r.u32()? as usize;
             let mut specs = Vec::with_capacity(n_specs);
             for _ in 0..n_specs {
@@ -743,9 +873,9 @@ impl OnlineAdvisor {
     /// windows because the *eventual* end is empty would be absurd).
     fn problem_over_horizon(&self) -> Problem {
         let initial = if self.oracle_first == 0 {
-            self.initial
+            self.initial.clone()
         } else {
-            self.committed[self.oracle_first - 1]
+            self.committed[self.oracle_first - 1].clone()
         };
         Problem {
             initial,
@@ -757,8 +887,21 @@ impl OnlineAdvisor {
     }
 }
 
-/// Magic + version of the [`OnlineAdvisor::save_state`] blob.
-const STATE_MAGIC: &[u8; 8] = b"cdpdadv1";
+/// Magic + version of the [`OnlineAdvisor::save_state`] blob: v2
+/// persists configurations as word lists (width-agnostic).
+const STATE_MAGIC: &[u8; 8] = b"cdpdadv2";
+
+/// The legacy v1 magic: configurations as bare `u64` bitmasks, from
+/// when the vocabulary was capped at 64 structures. Still accepted by
+/// [`OnlineAdvisor::restore`].
+const STATE_MAGIC_V1: &[u8; 8] = b"cdpdadv1";
+
+/// Which blob layout to write or read.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StateVersion {
+    V1,
+    V2,
+}
 
 fn put_spec(out: &mut Vec<u8>, spec: &IndexSpec) {
     crate::state::put_str(out, &spec.table);
@@ -1062,6 +1205,201 @@ mod tests {
             adv.ingest(&db, &q("b", i)).unwrap();
         }
         assert_eq!(adv.decisions().len(), 3);
+    }
+
+    #[test]
+    fn v1_blobs_restore_across_the_representation_change() {
+        let db = db_with(5_000, Some("d"));
+        let options = opts(30, Some(2));
+        let mut session = OnlineAdvisor::new(&db, "t", options.clone()).unwrap();
+        for i in 0..90 {
+            let col = if i < 60 { "a" } else { "c" };
+            session.ingest(&db, &q(col, i % 40)).unwrap();
+        }
+        // A blob saved before configurations went width-agnostic (bare
+        // u64 bitmasks, v1 magic)...
+        let v1 = session.save_state_v1();
+        assert_eq!(&v1[..8], b"cdpdadv1");
+        let v2 = session.save_state();
+        assert_eq!(&v2[..8], b"cdpdadv2");
+        assert_ne!(v1, v2);
+        // ...restores cleanly — not Corrupt — to the same session a
+        // current blob produces, and keeps deciding identically.
+        let mut from_v1 = OnlineAdvisor::restore(&db, options.clone(), &v1).unwrap();
+        let mut from_v2 = OnlineAdvisor::restore(&db, options, &v2).unwrap();
+        assert_eq!(from_v1.committed(), from_v2.committed());
+        assert_eq!(from_v1.structures(), from_v2.structures());
+        assert_eq!(from_v1.live_specs(), session.live_specs());
+        for i in 0..60 {
+            let a = from_v1.ingest(&db, &q("c", i % 40)).unwrap();
+            let b = from_v2.ingest(&db, &q("c", i % 40)).unwrap();
+            assert_eq!(a.map(|d| d.config), b.map(|d| d.config));
+        }
+        assert_eq!(from_v1.committed(), from_v2.committed());
+    }
+
+    /// An 8-column table whose index permutations push the vocabulary
+    /// past the old 64-structure cap.
+    fn wide_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        let cols: Vec<ColumnDef> = (0..8).map(|i| ColumnDef::int(format!("c{i}"))).collect();
+        db.create_table("w", Schema::new(cols)).unwrap();
+        let domain = rows / 5;
+        let mut rng = Prng::seed_from_u64(23);
+        for _ in 0..rows {
+            let row: Vec<Value> = (0..8)
+                .map(|_| Value::Int(rng.gen_range(0..domain)))
+                .collect();
+            db.insert("w", &row).unwrap();
+        }
+        db.analyze("w").unwrap();
+        db
+    }
+
+    /// 80 candidate structures, ordered so every spec *leading* with c0
+    /// or c1 — the only columns the test workload touches — sits at bit
+    /// position 64 or higher. Any useful committed configuration is
+    /// therefore forced into the spilled multi-word representation.
+    fn wide_specs() -> Vec<IndexSpec> {
+        let col = |i: usize| format!("c{i}");
+        let mut out = Vec::new();
+        for a in 2..8 {
+            out.push(IndexSpec::new("w", &[col(a).as_str()]));
+        }
+        for a in 2..8 {
+            for b in 0..8 {
+                if a != b {
+                    out.push(IndexSpec::new("w", &[col(a).as_str(), col(b).as_str()]));
+                }
+            }
+        }
+        'triples: for a in 2..8 {
+            for b in 0..8 {
+                for c in 0..8 {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    out.push(IndexSpec::new(
+                        "w",
+                        &[col(a).as_str(), col(b).as_str(), col(c).as_str()],
+                    ));
+                    if out.len() == 64 {
+                        break 'triples;
+                    }
+                }
+            }
+        }
+        for lead in 0..2 {
+            out.push(IndexSpec::new("w", &[col(lead).as_str()]));
+            for b in 0..8 {
+                if b != lead {
+                    out.push(IndexSpec::new("w", &[col(lead).as_str(), col(b).as_str()]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn wide_vocabulary_session_decides_and_round_trips() {
+        let db = wide_db(6_000);
+        let options = OnlineOptions {
+            advisor: AdvisorOptions {
+                k: Some(2),
+                window_len: 30,
+                structures: Some(wide_specs()),
+                max_structures_per_config: Some(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut session = OnlineAdvisor::new(&db, "w", options.clone()).unwrap();
+        assert!(session.structures().len() > 64, "the cap is gone");
+        let wq = |col: &str, v: i64| -> Dml { SelectStmt::point("w", col, v).into() };
+        for i in 0..60 {
+            let col = if i < 30 { "c0" } else { "c1" };
+            session.ingest(&db, &wq(col, i % 40)).unwrap();
+        }
+        assert_eq!(session.decisions().len(), 2);
+        // The workload only rewards specs at bit positions ≥ 64, so the
+        // committed configurations genuinely exercise the spilled
+        // representation.
+        let spilled = session
+            .committed()
+            .iter()
+            .filter(|c| !c.is_empty())
+            .inspect(|c| {
+                assert!(
+                    c.structures().all(|i| i >= 64),
+                    "only c0/c1-leading specs serve this workload: {c:?}"
+                );
+                assert_eq!(c.words().len(), 2, "{c:?} must spill");
+            })
+            .count();
+        assert!(spilled > 0, "the session must commit a useful design");
+        assert!(session
+            .decisions()
+            .iter()
+            .any(|d| d.specs.iter().any(|s| s.columns[0] == "c0")));
+
+        // Spilled configurations survive persistence bit-for-bit, and
+        // the restored session keeps deciding identically.
+        let blob = session.save_state();
+        let mut resumed = OnlineAdvisor::restore(&db, options, &blob).unwrap();
+        assert_eq!(session.committed(), resumed.committed());
+        for i in 0..30 {
+            let a = session.ingest(&db, &wq("c1", i)).unwrap();
+            let b = resumed.ingest(&db, &wq("c1", i)).unwrap();
+            assert_eq!(a.map(|d| d.config), b.map(|d| d.config));
+        }
+        assert_eq!(session.committed(), resumed.committed());
+    }
+
+    #[test]
+    fn vocabulary_ceiling_drops_ranked_worst_candidates() {
+        let db = db_with(5_000, None);
+        let mut adv = OnlineAdvisor::new(
+            &db,
+            "t",
+            OnlineOptions {
+                max_candidates: 2,
+                ..opts(40, Some(2))
+            },
+        )
+        .unwrap();
+        for i in 0..40 {
+            adv.ingest(&db, &q("a", i)).unwrap();
+        }
+        let grown = adv.structures().len();
+        assert!(grown <= 2);
+        // A shifted window derives fresh candidates; past the ceiling
+        // they are dropped (ranked order) and counted, never silently
+        // lost.
+        for i in 0..80 {
+            adv.ingest(&db, &q("b", i % 40)).unwrap();
+            adv.ingest(&db, &q("c", i % 40)).unwrap();
+        }
+        assert!(adv.structures().len() <= 2);
+        assert!(adv.dropped_structures() > 0, "drops must be visible");
+
+        // And the ceiling is validated up front.
+        let bad = OnlineOptions {
+            max_candidates: 0,
+            ..opts(10, None)
+        };
+        assert!(OnlineAdvisor::new(&db, "t", bad).is_err());
+        let too_many = OnlineOptions {
+            max_candidates: 1,
+            advisor: AdvisorOptions {
+                structures: Some(vec![
+                    IndexSpec::new("t", &["a"]),
+                    IndexSpec::new("t", &["b"]),
+                ]),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(OnlineAdvisor::new(&db, "t", too_many).is_err());
     }
 
     #[test]

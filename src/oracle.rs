@@ -16,6 +16,15 @@ struct Part {
     members: Vec<(Dml, u64)>,
 }
 
+/// The relevance vector the planner answers, as a [`Config`] mask.
+fn mask_of(relevant: &[bool]) -> Config {
+    relevant
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .fold(Config::EMPTY, |acc, (i, _)| acc.with(i))
+}
+
 /// Adapts the engine's [`WhatIfEngine`] to the solver-facing
 /// [`CostOracle`] trait.
 ///
@@ -44,22 +53,17 @@ pub struct EngineOracle {
 }
 
 impl EngineOracle {
-    /// Build an oracle for `workload` over candidate `structures`.
+    /// Build an oracle for `workload` over candidate `structures` —
+    /// any number of them; configurations are width-agnostic.
     ///
     /// Validates everything up front — structures resolvable against
-    /// the schema, statements on the oracle's table, `m ≤ 64` — so the
-    /// trait methods (which cannot return errors) cannot fail later.
+    /// the schema, statements on the oracle's table — so the trait
+    /// methods (which cannot return errors) cannot fail later.
     pub fn new(
         whatif: WhatIfEngine,
         structures: Vec<IndexSpec>,
         workload: &SummarizedWorkload,
     ) -> Result<EngineOracle> {
-        if structures.len() > 64 {
-            return Err(Error::InvalidArgument(format!(
-                "{} candidate structures exceed the 64-structure configuration encoding",
-                structures.len()
-            )));
-        }
         if workload.is_empty() {
             return Err(Error::InvalidArgument("workload has no blocks".into()));
         }
@@ -82,8 +86,7 @@ impl EngineOracle {
             let mut stage_parts: Vec<Part> = Vec::new();
             for w in &block.weighted {
                 whatif.dml_cost(&w.statement, &[])?;
-                let mask =
-                    Config::from_bits(whatif.relevant_structures(&w.statement, &structures)?);
+                let mask = mask_of(&whatif.relevant_structures(&w.statement, &structures)?);
                 match stage_parts.iter_mut().find(|p| p.mask == mask) {
                     Some(part) => part.members.push((w.statement.clone(), w.count)),
                     None => stage_parts.push(Part {
@@ -95,7 +98,7 @@ impl EngineOracle {
             stage_masks.push(
                 stage_parts
                     .iter()
-                    .fold(Config::EMPTY, |acc, p| acc.union(p.mask)),
+                    .fold(Config::EMPTY, |acc, p| acc.union(&p.mask)),
             );
             parts.push(stage_parts);
         }
@@ -125,8 +128,9 @@ impl EngineOracle {
         let mut stage_parts: Vec<Part> = Vec::new();
         for w in &block.weighted {
             self.whatif.dml_cost(&w.statement, &[])?;
-            let mask = Config::from_bits(
-                self.whatif
+            let mask = mask_of(
+                &self
+                    .whatif
                     .relevant_structures(&w.statement, &self.structures)?,
             );
             match stage_parts.iter_mut().find(|p| p.mask == mask) {
@@ -140,7 +144,7 @@ impl EngineOracle {
         self.stage_masks.push(
             stage_parts
                 .iter()
-                .fold(Config::EMPTY, |acc, p| acc.union(p.mask)),
+                .fold(Config::EMPTY, |acc, p| acc.union(&p.mask)),
         );
         self.parts.push(stage_parts);
         Ok(())
@@ -192,7 +196,7 @@ impl EngineOracle {
     }
 
     /// The index specs present in `config`, in bit order.
-    pub fn specs_of(&self, config: Config) -> Vec<IndexSpec> {
+    pub fn specs_of(&self, config: &Config) -> Vec<IndexSpec> {
         config
             .structures()
             .map(|i| self.structures[i].clone())
@@ -265,7 +269,7 @@ impl CostOracle for EngineOracle {
         self.structures.len()
     }
 
-    fn exec(&self, stage: usize, config: Config) -> Cost {
+    fn exec(&self, stage: usize, config: &Config) -> Cost {
         // Deliberately unprojected: the raw path sums every part under
         // the full configuration, which keeps this method a reference
         // implementation the projected/dense layers are differentially
@@ -276,13 +280,13 @@ impl CostOracle for EngineOracle {
             .sum()
     }
 
-    fn trans(&self, from: Config, to: Config) -> Cost {
+    fn trans(&self, from: &Config, to: &Config) -> Cost {
         self.whatif
             .trans_cost(&self.specs_of(from), &self.specs_of(to))
             .expect("constructor validated structures")
     }
 
-    fn size(&self, config: Config) -> u64 {
+    fn size(&self, config: &Config) -> u64 {
         self.whatif
             .config_size_pages(&self.specs_of(config))
             .expect("constructor validated structures")
@@ -291,7 +295,7 @@ impl CostOracle for EngineOracle {
 
 impl ProjectableOracle for EngineOracle {
     fn relevance_mask(&self, stage: usize) -> Config {
-        self.stage_masks[stage]
+        self.stage_masks[stage].clone()
     }
 
     fn n_parts(&self, stage: usize) -> usize {
@@ -299,10 +303,10 @@ impl ProjectableOracle for EngineOracle {
     }
 
     fn part_mask(&self, stage: usize, part: usize) -> Config {
-        self.parts[stage][part].mask
+        self.parts[stage][part].mask.clone()
     }
 
-    fn exec_part(&self, stage: usize, part: usize, config: Config) -> Cost {
+    fn exec_part(&self, stage: usize, part: usize, config: &Config) -> Cost {
         let part = &self.parts[stage][part];
         let specs = self.specs_of(config);
         self.stats.record_whatif_calls(part.members.len() as u64);
@@ -385,7 +389,7 @@ mod tests {
     fn spec_config_roundtrip() {
         let o = oracle(5_000);
         let config = Config::EMPTY.with(1).with(4);
-        let specs = o.specs_of(config);
+        let specs = o.specs_of(&config);
         assert_eq!(specs.len(), 2);
         assert_eq!(o.config_of(&specs), Some(config));
         assert_eq!(o.config_of(&[IndexSpec::new("t", &["z"])]), None);
@@ -396,21 +400,21 @@ mod tests {
     fn exec_improves_with_relevant_index() {
         let o = oracle(10_000);
         // Stage 0 of W1 is mix A (a-heavy): I(a,b) must help a lot.
-        let empty = o.exec(0, Config::EMPTY);
-        let with_ab = o.exec(0, Config::single(4));
+        let empty = o.exec(0, &Config::EMPTY);
+        let with_ab = o.exec(0, &Config::single(4));
         assert!(with_ab.raw() * 2 < empty.raw(), "{with_ab} !<< {empty}");
         // An index on c helps mix A only a little.
-        let with_c = o.exec(0, Config::single(2));
+        let with_c = o.exec(0, &Config::single(2));
         assert!(with_c > with_ab);
     }
 
     #[test]
     fn trans_and_size_delegate() {
         let o = oracle(5_000);
-        assert_eq!(o.trans(Config::EMPTY, Config::EMPTY), Cost::ZERO);
-        assert!(o.trans(Config::EMPTY, Config::single(0)).ios() > 10);
-        assert_eq!(o.size(Config::EMPTY), 0);
-        assert!(o.size(Config::single(4)) > o.size(Config::single(0)));
+        assert_eq!(o.trans(&Config::EMPTY, &Config::EMPTY), Cost::ZERO);
+        assert!(o.trans(&Config::EMPTY, &Config::single(0)).ios() > 10);
+        assert_eq!(o.size(&Config::EMPTY), 0);
+        assert!(o.size(&Config::single(4)) > o.size(&Config::single(0)));
     }
 
     #[test]
@@ -426,7 +430,7 @@ mod tests {
                 o.n_parts(stage)
             );
             let union = (0..o.n_parts(stage))
-                .fold(Config::EMPTY, |acc, p| acc.union(o.part_mask(stage, p)));
+                .fold(Config::EMPTY, |acc, p| acc.union(&o.part_mask(stage, p)));
             assert_eq!(union, o.relevance_mask(stage));
             // Parts are strictly narrower than the full structure set.
             for p in 0..o.n_parts(stage) {
@@ -443,9 +447,9 @@ mod tests {
         for stage in [0, 10, 20] {
             for bits in [0u64, 0b1, 0b10000, 0b110011, 0b111111] {
                 let cfg = Config::from_bits(bits);
-                let whole = o.exec(stage, cfg);
+                let whole = o.exec(stage, &cfg);
                 let parts: Cost = (0..o.n_parts(stage))
-                    .map(|p| o.exec_part(stage, p, cfg.intersect(o.part_mask(stage, p))))
+                    .map(|p| o.exec_part(stage, p, &cfg.intersect(&o.part_mask(stage, p))))
                     .sum();
                 assert_eq!(whole, parts, "stage {stage} cfg {cfg}");
             }
@@ -457,7 +461,7 @@ mod tests {
         let probe = |o: &dyn CostOracle| {
             for stage in 0..o.n_stages() {
                 for bits in 0..(1u64 << 6) {
-                    o.exec(stage, Config::from_bits(bits));
+                    o.exec(stage, &Config::from_bits(bits));
                 }
             }
         };
@@ -479,8 +483,8 @@ mod tests {
         for stage in [0, 15, 29] {
             for bits in [0u64, 0b101, 0b111111] {
                 let cfg = Config::from_bits(bits);
-                assert_eq!(shared.exec(stage, cfg), raw.exec(stage, cfg));
-                assert_eq!(dense.exec(stage, cfg), raw.exec(stage, cfg));
+                assert_eq!(shared.exec(stage, &cfg), raw.exec(stage, &cfg));
+                assert_eq!(dense.exec(stage, &cfg), raw.exec(stage, &cfg));
             }
         }
     }
@@ -521,7 +525,7 @@ mod tests {
             assert_eq!(inc.relevance_mask(stage), batch.relevance_mask(stage));
             for bits in [0u64, 0b1, 0b10110, 0b111111] {
                 let cfg = Config::from_bits(bits);
-                assert_eq!(inc.exec(stage, cfg), batch.exec(stage, cfg));
+                assert_eq!(inc.exec(stage, &cfg), batch.exec(stage, &cfg));
             }
         }
         // Appending an invalid statement fails without corrupting state.

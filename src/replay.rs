@@ -231,6 +231,7 @@ pub fn replay_recommendation(
     let final_specs: Option<Vec<IndexSpec>> = rec
         .problem
         .final_config
+        .as_ref()
         .map(|f| f.structures().map(|i| rec.structures[i].clone()).collect());
     replay(
         db,

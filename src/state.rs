@@ -8,6 +8,7 @@
 //! [`Error::Corrupt`](cdpd_types::Error::Corrupt), never to a
 //! half-restored session.
 
+use cdpd_core::Config;
 use cdpd_types::{Error, Result};
 
 pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
@@ -43,6 +44,21 @@ pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
             put_u8(out, 1);
             put_u64(out, v);
         }
+    }
+}
+
+/// A configuration as a word-count-prefixed little-endian word list —
+/// the width-agnostic on-disk form (v2 blobs). The count bounds at
+/// `MAX_STRUCTURE_INDEX / 64` words, so a corrupt length can never
+/// drive a huge allocation.
+pub(crate) fn put_config(out: &mut Vec<u8>, cfg: &Config) {
+    let words = cfg.words();
+    put_u16(
+        out,
+        u16::try_from(words.len()).expect("config words fit u16"),
+    );
+    for w in words {
+        put_u64(out, *w);
     }
 }
 
@@ -103,6 +119,21 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Inverse of [`put_config`].
+    pub(crate) fn config(&mut self) -> Result<Config> {
+        let n = self.u16()? as usize;
+        if n > cdpd_core::MAX_STRUCTURE_INDEX / 64 {
+            return Err(Error::Corrupt(format!(
+                "persisted configuration claims {n} words"
+            )));
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.u64()?);
+        }
+        Ok(Config::from_words(&words))
+    }
+
     pub(crate) fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
             0 => Ok(false),
@@ -148,6 +179,33 @@ mod tests {
         assert_eq!(r.opt_u64().unwrap(), Some(9));
         assert_eq!(r.opt_u64().unwrap(), None);
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn configs_round_trip_across_the_spill_boundary() {
+        let cases = [
+            Config::EMPTY,
+            Config::single(0),
+            Config::single(63),
+            Config::single(64),
+            Config::full(64),
+            Config::full(65),
+            Config::single(5).with(200).with(70),
+        ];
+        let mut out = Vec::new();
+        for c in &cases {
+            put_config(&mut out, c);
+        }
+        let mut r = Reader::new(&out);
+        for c in &cases {
+            assert_eq!(&r.config().unwrap(), c);
+        }
+        r.finish().unwrap();
+
+        // A corrupt word count is rejected before it can allocate.
+        let mut bad = Vec::new();
+        put_u16(&mut bad, u16::MAX);
+        assert!(Reader::new(&bad).config().is_err());
     }
 
     #[test]

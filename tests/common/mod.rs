@@ -12,6 +12,7 @@ use cdpd_testkit::Prng;
 pub const ROWS_PER_VALUE: i64 = 5;
 
 /// Build and analyze the experimental table at a given scale.
+#[allow(dead_code)] // each integration-test binary uses a subset
 pub fn paper_database(rows: i64, seed: u64) -> Database {
     let mut db = Database::new();
     db.create_table(
@@ -33,6 +34,29 @@ pub fn paper_database(rows: i64, seed: u64) -> Database {
         db.insert("t", &row).expect("row matches schema");
     }
     db.analyze("t").expect("table exists");
+    db
+}
+
+/// A wide-schema table for vocabulary-scaling tests: `n_cols` integer
+/// columns `c0..c{n-1}`, so permutation index specs can push the
+/// candidate count far past the old 64-structure encoding cap.
+#[allow(dead_code)] // each integration-test binary uses a subset
+pub fn wide_database(rows: i64, n_cols: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let cols: Vec<ColumnDef> = (0..n_cols)
+        .map(|i| ColumnDef::int(format!("c{i}")))
+        .collect();
+    db.create_table("w", Schema::new(cols))
+        .expect("fresh database");
+    let domain = (rows / ROWS_PER_VALUE).max(2);
+    let mut rng = Prng::seed_from_u64(seed);
+    for _ in 0..rows {
+        let row: Vec<Value> = (0..n_cols)
+            .map(|_| Value::Int(rng.gen_range(0..domain)))
+            .collect();
+        db.insert("w", &row).expect("row matches schema");
+    }
+    db.analyze("w").expect("table exists");
     db
 }
 

@@ -118,7 +118,7 @@ fn oracle_costs_are_identical_across_instances() {
     let candidates = enumerate_configs(&a, None, Some(2)).unwrap();
     assert_eq!(a.n_stages(), b.n_stages());
     for stage in 0..a.n_stages() {
-        for &cfg in &candidates {
+        for cfg in &candidates {
             assert_eq!(
                 a.exec(stage, cfg),
                 b.exec(stage, cfg),
@@ -126,8 +126,8 @@ fn oracle_costs_are_identical_across_instances() {
             );
         }
     }
-    for &from in &candidates {
-        for &to in &candidates {
+    for from in &candidates {
+        for to in &candidates {
             assert_eq!(
                 a.trans(from, to),
                 b.trans(from, to),

@@ -120,65 +120,6 @@ done
 echo "== storage bench: read scaling + WAL/checkpoint/recovery (asserted in-bench) =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench storage
 
-echo "== bench diff: fresh vs committed metrics (per-metric regression floors) =="
-python3 - <<'EOF'
-import json, subprocess, sys
-
-# Gate the metrics the benches assert on (higher is better), each with
-# its own minimum fresh/committed ratio. Raw timings vary too much
-# across hosts to diff; read throughput and scaling ratios are stable
-# enough for a 25% band, while WAL commit throughput swings ~2x
-# run-to-run on 1-core CI containers, so its band only catches
-# order-of-magnitude collapses. Files whose committed run came from a
-# host with a different core count are skipped: scaling ratios are not
-# comparable across core counts.
-GATED = {
-    "BENCH_storage.json": {
-        "read/threads_1_stmts_per_sec": 0.75,
-        "read/scaling_x8": 0.75,
-        "wal/commits_per_sec": 0.30,
-    },
-    # Wide-but-sparse solve time must stay within 2x of the 64-wide
-    # solve (t64/t256 >= 0.5, also asserted in-bench); the CI floor
-    # sits lower to absorb host noise while still catching a collapse
-    # of the decomposition's width independence.
-    "BENCH_oracle.json": {
-        "width_scaling/within_2x_256": 0.30,
-    },
-}
-failed = False
-for path, gated in GATED.items():
-    show = subprocess.run(
-        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
-    )
-    if show.returncode != 0:
-        print(f"{path}: no committed baseline yet, skipping")
-        continue
-    old = {r["id"]: r["metric"] for r in json.loads(show.stdout) if "metric" in r}
-    with open(path) as f:
-        new = {r["id"]: r["metric"] for r in json.load(f) if "metric" in r}
-    if old.get("host_cores") != new.get("host_cores"):
-        print(f"{path}: committed baseline is from a {old.get('host_cores')}-core "
-              f"host, this is a {new.get('host_cores')}-core host; skipping")
-        continue
-    for m, floor in gated.items():
-        if m not in new:
-            print(f"{path}: {m}: missing from the fresh run")
-            failed = True
-            continue
-        if m not in old:
-            print(f"{path}: {m}: new metric, no committed baseline yet, skipping")
-            continue
-        ratio = new[m] / old[m] if old[m] else 1.0
-        verdict = "REGRESSION" if ratio < floor else "ok"
-        failed = failed or ratio < floor
-        print(f"{path}: {m}: {old[m]:.3f} -> {new[m]:.3f} "
-              f"({ratio:.2f}x, floor {floor}) {verdict}")
-if failed:
-    sys.exit(1)
-print("ok: no gated bench metric regressed past its floor")
-EOF
-
 echo "== docs build clean =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
@@ -211,8 +152,128 @@ assert spans > 0, "trace contains no span records"
 print(f"ok: {spans} span + {events} event records, monotonic timestamps")
 EOF
 
-echo "== disabled-tracing overhead stays under budget =="
+echo "== calibration report: example emits schema-valid JSON =="
+# The calibrate example replays W1 under ModelAccount calibration and
+# prints exactly one CalibrationReport JSON object on stdout; validate
+# the schema and the reconciliation invariant (live-shape oracle ==
+# executor model account, statement for statement).
+cargo run --release --offline --example calibrate > target/calibration.json
+python3 - target/calibration.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+SCHEMA = {
+    "mode": str, "windows": int, "samples": int, "predicted_ios": int,
+    "actual_ios": int, "abs_err_ios": int, "overestimates": int,
+    "underestimates": int, "exact": int, "signed_error": float,
+    "drift": float, "band": float, "alerts": int, "tripped": bool,
+    "by_path": list,
+}
+for key, ty in SCHEMA.items():
+    assert key in rep, f"report missing {key!r}"
+    assert isinstance(rep[key], ty), f"{key!r} is {type(rep[key]).__name__}, want {ty.__name__}"
+assert rep["mode"] in ("measured_io", "model_account"), rep["mode"]
+PATHS = {"seq_scan", "index_seek", "index_range", "index_only_scan",
+         "index_extremum", "write", "other"}
+for entry in rep["by_path"]:
+    assert set(entry) == {"path", "samples", "predicted_ios", "actual_ios"}, entry
+    assert entry["path"] in PATHS, entry["path"]
+    assert entry["samples"] > 0, "by_path only lists exercised paths"
+assert sum(e["samples"] for e in rep["by_path"]) == rep["samples"]
+assert rep["overestimates"] + rep["underestimates"] + rep["exact"] == rep["samples"]
+# ModelAccount reconciliation: exact to the page, watchdog silent.
+assert rep["samples"] > 0 and rep["exact"] == rep["samples"], \
+    f"{rep['samples'] - rep['exact']} of {rep['samples']} predictions diverged"
+assert rep["abs_err_ios"] == 0 and rep["drift"] == 0.0
+assert rep["alerts"] == 0 and not rep["tripped"]
+print(f"ok: CalibrationReport schema valid, {rep['samples']} statements "
+      f"reconciled exactly across {len(rep['by_path'])} access paths")
+EOF
+
+echo "== disabled-tracing + calibration overhead stays under budget =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench obs
+
+echo "== bench diff: fresh vs committed metrics (per-metric regression floors) =="
+python3 - <<'EOF'
+import json, subprocess, sys
+
+# Gate the metrics the benches assert on (higher is better), each with
+# its own minimum fresh/committed ratio. Raw timings vary too much
+# across hosts to diff; read throughput and scaling ratios are stable
+# enough for a 25% band, while WAL commit throughput swings ~2x
+# run-to-run on 1-core CI containers, so its band only catches
+# order-of-magnitude collapses. Files whose committed run came from a
+# host with a different core count are skipped: scaling ratios are not
+# comparable across core counts.
+GATED = {
+    "BENCH_storage.json": {
+        "read/threads_1_stmts_per_sec": 0.75,
+        "read/scaling_x8": 0.75,
+        "wal/commits_per_sec": 0.30,
+    },
+    # Wide-but-sparse solve time must stay within 2x of the 64-wide
+    # solve (t64/t256 >= 0.5, also asserted in-bench); the CI floor
+    # sits lower to absorb host noise while still catching a collapse
+    # of the decomposition's width independence.
+    "BENCH_oracle.json": {
+        "width_scaling/within_2x_256": 0.30,
+    },
+    # Calibrated replay throughput: the predicted-vs-actual loop is on
+    # by default in replay_with, so a collapse here means the
+    # calibration layer started costing real time. Wide band: raw
+    # throughput swings with host load.
+    "BENCH_obs.json": {
+        "calibration/replay_stmts_per_sec": 0.30,
+    },
+}
+
+def host_cores(records):
+    # The uniform host stanza every report now leads with; fall back to
+    # the legacy per-bench `host_cores` metric for older baselines.
+    for r in records:
+        if r.get("id") == "host":
+            return r.get("cores")
+    for r in records:
+        if r.get("id") == "host_cores":
+            return int(r["metric"])
+    return None
+
+failed = False
+for path, gated in GATED.items():
+    show = subprocess.run(
+        ["git", "show", f"HEAD:{path}"], capture_output=True, text=True
+    )
+    if show.returncode != 0:
+        print(f"{path}: no committed baseline yet, skipping")
+        continue
+    old_records = json.loads(show.stdout)
+    with open(path) as f:
+        new_records = json.load(f)
+    old = {r["id"]: r["metric"] for r in old_records if "metric" in r}
+    new = {r["id"]: r["metric"] for r in new_records if "metric" in r}
+    old_host, new_host = host_cores(old_records), host_cores(new_records)
+    if old_host is not None and old_host != new_host:
+        print(f"{path}: committed baseline is from a {old_host}-core "
+              f"host, this is a {new_host}-core host; skipping")
+        continue
+    for m, floor in gated.items():
+        if m not in new:
+            print(f"{path}: {m}: missing from the fresh run")
+            failed = True
+            continue
+        if m not in old:
+            print(f"{path}: {m}: new metric, no committed baseline yet, skipping")
+            continue
+        ratio = new[m] / old[m] if old[m] else 1.0
+        verdict = "REGRESSION" if ratio < floor else "ok"
+        failed = failed or ratio < floor
+        print(f"{path}: {m}: {old[m]:.3f} -> {new[m]:.3f} "
+              f"({ratio:.2f}x, floor {floor}) {verdict}")
+if failed:
+    sys.exit(1)
+print("ok: no gated bench metric regressed past its floor")
+EOF
 
 echo "== tmpdir hygiene: tests must not leak files into the workspace =="
 # Disk-backed tests create their stores under the OS tempdir and clean

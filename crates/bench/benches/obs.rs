@@ -15,8 +15,21 @@
 //! `BENCH_obs.json` when `CDPD_BENCH_JSON_DIR` is set, so the
 //! trajectory of the overhead is tracked across runs alongside the
 //! timing benches.
+//!
+//! The calibration layer gets the same treatment: a quickstart-scale
+//! replay runs with the predicted-vs-actual loop closed (the
+//! `replay_with` default), its wall time and statement count are
+//! measured, and the per-statement [`cdpd::WindowCalibration::record`]
+//! cost plus a once-per-window [`Sampler::sample_now`] are priced
+//! against it. That combined ratio is also asserted `< 2%`, and the
+//! calibrated replay throughput lands in `BENCH_obs.json` for the
+//! ci.sh bench-diff gate.
 
-use cdpd::workload::{generate, QueryMix, WorkloadSpec};
+use cdpd::obs::timeseries::Sampler;
+use cdpd::replay::replay_with;
+use cdpd::workload::{generate, paper, QueryMix, WorkloadSpec};
+use cdpd::{PathKind, WindowCalibration};
+use cdpd_bench::{build_database, Scale};
 use cdpd_testkit::bench::Criterion;
 use cdpd_testkit::{criterion_group, criterion_main};
 use std::time::Instant;
@@ -114,6 +127,67 @@ fn bench_obs_overhead(criterion: &mut Criterion) {
     group.metric("table1_spans", spans as f64);
     group.metric("table1_counter_bumps", bumps as f64);
     group.metric("overhead_ratio", overhead_ratio);
+
+    // --- Sampler + calibration overhead on a quickstart-scale replay.
+    //
+    // The replay runs with calibration on (replay_with's default
+    // MeasuredIo pass), so its wall time already *includes* the loop;
+    // pricing the per-statement record plus a once-per-window registry
+    // sample against that wall is therefore conservative.
+    const ROWS: i64 = 10_000;
+    const WINDOW: usize = 200;
+    let scale = Scale {
+        rows: ROWS,
+        window_len: WINDOW,
+        seed: 7,
+    };
+    let params = paper::PaperParams {
+        domain: ROWS / cdpd_bench::ROWS_PER_VALUE,
+        window_len: WINDOW,
+        ..Default::default()
+    };
+    let trace = generate(&paper::w1_with(&params), 42);
+    let windows = trace.len().div_ceil(WINDOW);
+    let schedule = vec![Vec::new(); windows];
+    let mut replay_wall_ns = f64::INFINITY;
+    let mut calibrated_samples = 0;
+    for _ in 0..3 {
+        let mut db = build_database(&scale);
+        let start = Instant::now();
+        let report = replay_with(&mut db, &trace, WINDOW, &schedule, None, 1)
+            .expect("calibrated replay runs");
+        replay_wall_ns = replay_wall_ns.min(start.elapsed().as_nanos() as f64);
+        let calib = report.calibration.expect("replay always calibrates");
+        assert_eq!(calib.samples, trace.len() as u64);
+        calibrated_samples = calib.samples;
+    }
+
+    // Per-statement calibration cost: one record() folding a pair into
+    // the window accumulator and the global registry.
+    let mut scratch = WindowCalibration::default();
+    let record_ns = measure_ns(7, 1_000_000, || {
+        scratch.record(
+            std::hint::black_box(12),
+            std::hint::black_box(10),
+            PathKind::IndexSeek,
+        );
+    });
+    // Per-sample cost of snapshotting the (by now fully populated)
+    // registry into ring-buffer time series.
+    let mut sampler = Sampler::new(1024);
+    let sample_ns = measure_ns(5, 2_000, || {
+        sampler.sample_now();
+    });
+
+    let calib_cost_ns = calibrated_samples as f64 * record_ns + windows as f64 * sample_ns;
+    let calib_ratio = calib_cost_ns / replay_wall_ns;
+    group.metric("sampler_sample_ns", sample_ns);
+    group.metric("calibration_record_ns", record_ns);
+    group.metric(
+        "calibration/replay_stmts_per_sec",
+        calibrated_samples as f64 / (replay_wall_ns / 1e9),
+    );
+    group.metric("calibration/overhead_ratio", calib_ratio);
     group.finish();
 
     assert!(
@@ -124,9 +198,22 @@ fn bench_obs_overhead(criterion: &mut Criterion) {
         overhead_ratio * 100.0,
         OVERHEAD_BUDGET * 100.0,
     );
+    assert!(
+        calib_ratio < OVERHEAD_BUDGET,
+        "calibration+sampling overhead {:.4}% exceeds the {:.0}% budget \
+         ({calibrated_samples} records × {record_ns:.1} ns + {windows} samples × \
+         {sample_ns:.1} ns over {replay_wall_ns:.0} ns of replay)",
+        calib_ratio * 100.0,
+        OVERHEAD_BUDGET * 100.0,
+    );
     println!(
         "\ndisabled-tracing overhead: {:.5}% of table1 wall time (budget {:.0}%)",
         overhead_ratio * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    println!(
+        "calibration+sampling overhead: {:.5}% of calibrated replay wall time (budget {:.0}%)",
+        calib_ratio * 100.0,
         OVERHEAD_BUDGET * 100.0
     );
 }

@@ -40,10 +40,6 @@ const ROWS: i64 = 50_000;
 const BATCH: usize = 64;
 const THREADS: usize = 8;
 
-fn host_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
 fn db_with_indexes() -> Database {
     let scale = Scale {
         rows: ROWS,
@@ -193,7 +189,7 @@ fn durable_metrics() -> DurableMetrics {
 fn bench_storage(criterion: &mut Criterion) {
     let db = db_with_indexes();
     let batch = read_batch();
-    let cores = host_cores();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Warm the read path once before timing anything.
     let expect_rows = run_batch(&db, &batch, 1);
@@ -254,7 +250,6 @@ fn bench_storage(criterion: &mut Criterion) {
     group.metric("wal/append_mib_per_sec", durable.append_mib_per_sec);
     group.metric("checkpoint/latency_ms", durable.checkpoint_ms);
     group.metric("recovery/ms_100k_commits", durable.recovery_ms);
-    group.metric("host_cores", cores as f64);
     group.bench_function("batch_reads/threads_1", |b| {
         b.iter(|| run_batch(&db, &batch, 1))
     });

@@ -358,6 +358,31 @@ impl Database {
         Ok(guard.indexes.values().map(|e| e.spec.clone()).collect())
     }
 
+    /// Materialized shapes of `table`'s built indexes, exactly as the
+    /// executor's planner sees them: `(spec, shape)` per index, shapes
+    /// read from the live B-trees rather than estimated from
+    /// statistics. This is the bridge the calibration layer uses to run
+    /// the what-if planner against the real catalog (see
+    /// [`crate::WhatIfEngine::snapshot_live`]).
+    pub fn index_shapes(&self, table: &str) -> Result<Vec<(IndexSpec, IndexShape)>> {
+        let entry = self.table(table)?;
+        let guard = Self::read_entry(&entry);
+        Ok(guard
+            .indexes
+            .values()
+            .map(|e| {
+                (
+                    e.spec.clone(),
+                    IndexShape {
+                        leaf_pages: e.btree.leaf_count(),
+                        height: e.btree.height(),
+                        total_pages: e.btree.page_count(),
+                    },
+                )
+            })
+            .collect())
+    }
+
     /// Whether `spec` is materialized.
     pub fn has_index(&self, spec: &IndexSpec) -> bool {
         self.table(&spec.table)

@@ -16,6 +16,7 @@ use crate::planner::{IndexInfo, Planner};
 use crate::stats::TableStats;
 use cdpd_sql::{Dml, SelectStmt};
 use cdpd_types::{ColumnId, Cost, Error, Result, Schema};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Snapshot-based what-if cost oracle for one table.
@@ -29,6 +30,13 @@ pub struct WhatIfEngine {
     table: String,
     schema: Arc<Schema>,
     stats: Arc<TableStats>,
+    /// Materialized shapes of currently-built indexes, by canonical
+    /// index name — captured by [`WhatIfEngine::snapshot_live`] so
+    /// costing the *current* configuration uses the executor's real
+    /// B-tree geometry instead of a statistics estimate. Empty for
+    /// plain snapshots; hypothetical indexes always fall back to
+    /// [`CostModel::estimate_shape`].
+    live_shapes: HashMap<String, IndexShape>,
 }
 
 impl WhatIfEngine {
@@ -47,7 +55,34 @@ impl WhatIfEngine {
             table: table.to_owned(),
             schema,
             stats,
+            live_shapes: HashMap::new(),
         })
+    }
+
+    /// Like [`WhatIfEngine::snapshot`], but additionally captures the
+    /// materialized shapes of every index currently built on `table`.
+    /// Costing a configuration then uses the executor's real B-tree
+    /// geometry for indexes that are built (matched by canonical name)
+    /// and falls back to the statistics estimate for hypothetical ones
+    /// — so predictions for the *live* configuration agree exactly
+    /// with the planner costs the executor reports.
+    ///
+    /// # Errors
+    /// The table must exist and have been `ANALYZE`d.
+    pub fn snapshot_live(db: &Database, table: &str) -> Result<WhatIfEngine> {
+        let mut engine = Self::snapshot(db, table)?;
+        engine.live_shapes = db
+            .index_shapes(table)?
+            .into_iter()
+            .map(|(spec, shape)| (spec.name(), shape))
+            .collect();
+        Ok(engine)
+    }
+
+    /// Number of materialized shapes captured at snapshot time (0 for
+    /// plain snapshots).
+    pub fn live_shape_count(&self) -> usize {
+        self.live_shapes.len()
     }
 
     /// Build directly from parts (tests, simulations). Accepts plain
@@ -61,6 +96,7 @@ impl WhatIfEngine {
             table: table.into(),
             schema: schema.into(),
             stats: stats.into(),
+            live_shapes: HashMap::new(),
         }
     }
 
@@ -98,9 +134,15 @@ impl WhatIfEngine {
             .collect()
     }
 
-    /// Estimated physical shape of a hypothetical index.
+    /// Physical shape of an index: the captured materialized shape for
+    /// indexes built at [`WhatIfEngine::snapshot_live`] time, else the
+    /// statistics estimate.
     pub fn shape(&self, spec: &IndexSpec) -> Result<IndexShape> {
-        Ok(CostModel::estimate_shape(&self.stats, &self.resolve(spec)?))
+        let columns = self.resolve(spec)?;
+        if let Some(shape) = self.live_shapes.get(&spec.name()) {
+            return Ok(*shape);
+        }
+        Ok(CostModel::estimate_shape(&self.stats, &columns))
     }
 
     /// Estimated size of one index, in pages.
@@ -188,9 +230,13 @@ impl WhatIfEngine {
             .iter()
             .map(|spec| {
                 let columns = self.resolve(spec)?;
+                let shape = match self.live_shapes.get(&spec.name()) {
+                    Some(shape) => *shape,
+                    None => CostModel::estimate_shape(&self.stats, &columns),
+                };
                 Ok(IndexInfo {
                     name: spec.name(),
-                    shape: CostModel::estimate_shape(&self.stats, &columns),
+                    shape,
                     columns,
                 })
             })
@@ -489,6 +535,41 @@ mod tests {
             e.max(m) / e.min(m) < 3,
             "estimated {e} vs measured {m} (shape {est:?})"
         );
+    }
+
+    #[test]
+    fn live_snapshot_matches_executor_estimates_exactly() {
+        let mut db = paper_db(30_000);
+        db.create_index(&spec(&["a"])).unwrap();
+        db.create_index(&spec(&["c", "d"])).unwrap();
+        let w = WhatIfEngine::snapshot_live(&db, "t").unwrap();
+        assert_eq!(w.live_shape_count(), 2);
+        let config = [spec(&["a"]), spec(&["c", "d"])];
+        // Reads: the oracle's prediction for the live configuration is
+        // bit-identical to the planner estimate the executor reports —
+        // same model, same stats, same materialized shapes.
+        for q in [
+            SelectStmt::point("t", "a", 7),
+            SelectStmt::point("t", "c", 3),
+            SelectStmt::point("t", "b", 1), // seq scan: no index helps
+        ] {
+            let predicted = w.exec_cost(&q, &config).unwrap();
+            let reported = db.query_count(&q).unwrap().est_cost;
+            assert_eq!(predicted, reported, "query on {q}");
+        }
+        // Writes too: predicted before execution, compared to the
+        // est_total the executor attaches to the result.
+        let upd = match cdpd_sql::parse("UPDATE t SET b = 1 WHERE a = 7").unwrap() {
+            cdpd_sql::Statement::Update(u) => Dml::Update(u),
+            _ => unreachable!(),
+        };
+        let predicted = w.dml_cost(&upd, &config).unwrap();
+        let reported = db.execute_dml(&upd).unwrap().est_cost;
+        assert_eq!(predicted, reported, "update est_total");
+        // A plain (statistics-only) snapshot is close but not exact in
+        // general; the live capture is what removes the shape gap.
+        let plain = WhatIfEngine::snapshot(&db, "t").unwrap();
+        assert_eq!(plain.live_shape_count(), 0);
     }
 
     #[test]

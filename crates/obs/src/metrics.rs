@@ -511,6 +511,73 @@ mod tests {
     }
 
     #[test]
+    fn histogram_empty_quantiles_all_zero() {
+        let s = HistogramSnapshot::default();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 0, "q={q} on empty");
+        }
+        assert_eq!((s.p50(), s.p95(), s.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let h = Histogram::new("t");
+        h.record(37);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum), (1, 37));
+        // Every quantile — including q=0, whose rank clamps to 1 —
+        // reports the one sample's bucket bound.
+        let b = bucket_upper_bound(bucket_index(37));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), b, "q={q} on single sample");
+        }
+        assert_eq!(s.max_bound(), b);
+        assert_eq!(s.mean(), 37.0);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates() {
+        let h = Histogram::new("t");
+        // Everything in 2^63..=u64::MAX lands in the top bucket, whose
+        // reported bound is u64::MAX (no overflow computing 2^65).
+        h.record(1u64 << 63);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(s.p50(), u64::MAX);
+        assert_eq!(s.percentile(1.0), u64::MAX);
+        assert_eq!(s.max_bound(), u64::MAX);
+        // The sum wraps by design (documented on the field); the count
+        // and buckets stay exact.
+        assert_eq!(s.sum, u64::MAX.wrapping_add(1u64 << 63));
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn histogram_delta_across_reset_saturates() {
+        // Diffing a *fresh* histogram against a snapshot from before a
+        // conceptual reset must saturate to empty, never underflow.
+        let old = {
+            let h = Histogram::new("t");
+            h.record(8);
+            h.record(9);
+            h.snapshot()
+        };
+        let fresh = {
+            let h = Histogram::new("t");
+            h.record(8);
+            h.snapshot()
+        };
+        let d = fresh.delta(&old);
+        assert_eq!(d.count, 0, "count saturates");
+        assert!(d.buckets.iter().all(|&b| b == 0), "buckets saturate");
+        // The wrapped sum is meaningless after a reset, but deriving
+        // stats from the saturated count stays safe.
+        assert_eq!(d.percentile(0.5), 0);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
     fn histogram_percentile_spread() {
         let h = Histogram::new("t");
         // 90 samples of 1, 9 samples of ~1000, 1 sample of ~1M.

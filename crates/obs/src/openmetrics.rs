@@ -1,0 +1,150 @@
+//! OpenMetrics / Prometheus text exposition for registry snapshots.
+//!
+//! [`render`] turns a [`MetricsSnapshot`] into the OpenMetrics text
+//! format: one `# HELP` + `# TYPE` header per metric family, samples
+//! beneath, families ordered counters → gauges → histograms and
+//! alphabetically within each kind, terminated by `# EOF`. Dotted
+//! registry names are sanitized to the exposition charset
+//! (`cost.model.err` → `cost_model_err`); the original name is kept,
+//! escaped, in the `# HELP` line so nothing is lost.
+//!
+//! Histograms expose the usual cumulative `_bucket{le="..."}` samples
+//! (one per log-2 bucket up to the highest non-empty one, plus
+//! `le="+Inf"`), `_sum`, and `_count`. Counters follow the OpenMetrics
+//! convention of a `_total`-suffixed sample under the family name.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, MetricsSnapshot};
+
+/// Sanitize a registry metric name into the exposition charset
+/// `[a-zA-Z0-9_:]`, mapping every other byte (dots included) to `_`
+/// and prefixing `_` when the name would start with a digit.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | ':' | '_' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a string for a `# HELP` line or a label value: backslash,
+/// double quote, and newline get backslash escapes; everything else
+/// passes through.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the OpenMetrics text format (see module docs
+/// for ordering and naming guarantees). The output is a pure function
+/// of the snapshot, so golden tests can pin it byte for byte.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &v) in &snap.counters {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {fam} counter {}", escape_text(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam}_total {v}");
+    }
+    for (name, &v) in &snap.gauges {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {fam} gauge {}", escape_text(name));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let fam = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {fam} histogram {}", escape_text(name));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let top = h
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|k| k + 1)
+            .unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (k, &n) in h.buckets.iter().enumerate().take(top) {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(k)
+            );
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{fam}_sum {}", h.sum);
+        let _ = writeln!(out, "{fam}_count {}", h.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{bucket_index, HistogramSnapshot};
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("cost.model.err"), "cost_model_err");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn escape_covers_quotes_backslashes_newlines() {
+        assert_eq!(escape_text("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn render_counter_gauge_histogram() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("calib.samples".into(), 3);
+        snap.gauges.insert("pager.resident".into(), -2);
+        let mut h = HistogramSnapshot::default();
+        for v in [0u64, 1, 5] {
+            h.buckets[bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+        }
+        snap.histograms.insert("err.abs".into(), h);
+        let text = render(&snap);
+        assert!(text.contains("# TYPE calib_samples counter\ncalib_samples_total 3\n"));
+        assert!(text.contains("# TYPE pager_resident gauge\npager_resident -2\n"));
+        // Cumulative buckets: 0 -> 1 sample, 1 -> 2, 7 (covers 5) -> 3.
+        assert!(text.contains("err_abs_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("err_abs_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("err_abs_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("err_abs_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("err_abs_sum 6\n"));
+        assert!(text.contains("err_abs_count 3\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        assert_eq!(render(&MetricsSnapshot::default()), "# EOF\n");
+    }
+}

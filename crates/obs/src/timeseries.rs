@@ -1,0 +1,420 @@
+//! Fixed-capacity ring-buffer time series over registry snapshots.
+//!
+//! A [`Sampler`] turns the process-wide metrics registry into a set of
+//! bounded [`TimeSeries`] — one per counter and gauge, plus
+//! `<name>.count` / `<name>.sum` for each histogram — by calling
+//! [`Sampler::sample_now`] at whatever cadence the caller likes. Each
+//! series keeps the most recent `capacity` points and answers windowed
+//! queries ([`TimeSeries::window`]: min/max/mean/first/last) without
+//! allocating.
+//!
+//! Sampling reads the registry (a short read-lock per metric map) but
+//! never touches the metric *update* path, which stays lock-free; the
+//! hot path of the instrumented code is unaffected by how often or
+//! whether anyone samples.
+//!
+//! For unattended collection, [`sample_every`] spawns a background
+//! thread that samples on an interval until stopped ([`IntervalSampler`]
+//! joins the thread on drop).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{registry, MetricsSnapshot};
+
+/// One observation in a series: a monotonic timestamp (nanoseconds
+/// since the sampler's epoch) and the sampled value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Nanoseconds since the owning sampler's epoch.
+    pub t_ns: u64,
+    /// Sampled value (counters and histogram counts are exact in `f64`
+    /// up to 2^53, far beyond any realistic run).
+    pub value: f64,
+}
+
+/// Summary of the points currently retained by a series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesWindow {
+    /// Number of points summarized.
+    pub len: usize,
+    /// Smallest value in the window (0 when empty).
+    pub min: f64,
+    /// Largest value in the window (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean over the window (0 when empty).
+    pub mean: f64,
+    /// Oldest retained value (0 when empty).
+    pub first: f64,
+    /// Newest value (0 when empty).
+    pub last: f64,
+}
+
+impl SeriesWindow {
+    const EMPTY: SeriesWindow = SeriesWindow {
+        len: 0,
+        min: 0.0,
+        max: 0.0,
+        mean: 0.0,
+        first: 0.0,
+        last: 0.0,
+    };
+
+    /// Net change across the window (`last - first`): the interval
+    /// delta for monotonic series such as counters.
+    pub fn delta(&self) -> f64 {
+        self.last - self.first
+    }
+}
+
+/// A named, fixed-capacity ring buffer of [`Point`]s; pushing beyond
+/// capacity drops the oldest point.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    points: VecDeque<Point>,
+}
+
+impl TimeSeries {
+    /// An empty series retaining at most `capacity` points (min 1).
+    pub fn new(name: impl Into<String>, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            capacity: capacity.max(1),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// The series name (a registry metric name, possibly suffixed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of retained points.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Append a point, evicting the oldest when full.
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(Point { t_ns, value });
+    }
+
+    /// The newest point, if any.
+    pub fn last(&self) -> Option<Point> {
+        self.points.back().copied()
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Summarize every retained point.
+    pub fn window(&self) -> SeriesWindow {
+        self.window_last(self.points.len())
+    }
+
+    /// Summarize the newest `n` retained points.
+    pub fn window_last(&self, n: usize) -> SeriesWindow {
+        let n = n.min(self.points.len());
+        if n == 0 {
+            return SeriesWindow::EMPTY;
+        }
+        let tail = self.points.range(self.points.len() - n..);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for p in tail.clone() {
+            min = min.min(p.value);
+            max = max.max(p.value);
+            sum += p.value;
+        }
+        SeriesWindow {
+            len: n,
+            min,
+            max,
+            mean: sum / n as f64,
+            first: tail.clone().next().expect("n >= 1").value,
+            last: self.points.back().expect("n >= 1").value,
+        }
+    }
+}
+
+/// Samples the process-wide registry into per-metric ring buffers.
+///
+/// Counters and gauges map to a series of the same name; each histogram
+/// contributes `<name>.count` and `<name>.sum` (the raw monotonic facts
+/// from which rates and interval means derive). Timestamps are
+/// nanoseconds since the sampler's creation.
+pub struct Sampler {
+    capacity: usize,
+    epoch: Instant,
+    samples: u64,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Sampler {
+    /// A sampler whose series each retain at most `capacity` points.
+    pub fn new(capacity: usize) -> Sampler {
+        Sampler {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            samples: 0,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Take one sample of the global registry now. Returns the
+    /// timestamp (ns since the sampler's epoch) assigned to the sample.
+    pub fn sample_now(&mut self) -> u64 {
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.ingest(t_ns, &registry().snapshot());
+        t_ns
+    }
+
+    /// Fold an explicit snapshot in at an explicit timestamp — the
+    /// deterministic core of [`Sampler::sample_now`], also usable to
+    /// build series from pre-recorded snapshots.
+    pub fn ingest(&mut self, t_ns: u64, snap: &MetricsSnapshot) {
+        self.samples += 1;
+        for (name, &v) in &snap.counters {
+            self.push(name.clone(), t_ns, v as f64);
+        }
+        for (name, &v) in &snap.gauges {
+            self.push(name.clone(), t_ns, v as f64);
+        }
+        for (name, h) in &snap.histograms {
+            self.push(format!("{name}.count"), t_ns, h.count as f64);
+            self.push(format!("{name}.sum"), t_ns, h.sum as f64);
+        }
+    }
+
+    fn push(&mut self, name: String, t_ns: u64, value: f64) {
+        let capacity = self.capacity;
+        self.series
+            .entry(name.clone())
+            .or_insert_with(|| TimeSeries::new(name, capacity))
+            .push(t_ns, value);
+    }
+
+    /// Number of samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The series for metric `name`, if it has ever been sampled.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series, sorted by name.
+    pub fn all(&self) -> impl Iterator<Item = &TimeSeries> {
+        self.series.values()
+    }
+
+    /// Full-window summaries of every series, sorted by name.
+    pub fn windows(&self) -> BTreeMap<String, SeriesWindow> {
+        self.series
+            .iter()
+            .map(|(k, s)| (k.clone(), s.window()))
+            .collect()
+    }
+}
+
+/// Handle to a background sampling thread started by [`sample_every`].
+///
+/// The thread samples the global registry on the given period until
+/// [`IntervalSampler::stop`] (or drop) joins it; the accumulated
+/// [`Sampler`] is shared and inspectable while collection runs.
+pub struct IntervalSampler {
+    shared: Arc<Mutex<Sampler>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn a background thread sampling the global registry every
+/// `period`, each series retaining at most `capacity` points. One
+/// sample is taken immediately on start.
+pub fn sample_every(period: Duration, capacity: usize) -> IntervalSampler {
+    let shared = Arc::new(Mutex::new(Sampler::new(capacity)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Wake at least every 5 ms so stop() never waits a full
+            // (possibly long) period for the thread to notice.
+            let tick = period
+                .min(Duration::from_millis(5))
+                .max(Duration::from_micros(100));
+            let mut next = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                if now >= next {
+                    shared.lock().expect("sampler poisoned").sample_now();
+                    next = now + period;
+                }
+                std::thread::sleep(tick);
+            }
+        })
+    };
+    IntervalSampler {
+        shared,
+        stop,
+        thread: Some(thread),
+    }
+}
+
+impl IntervalSampler {
+    /// Run `f` against the live sampler (under its lock).
+    pub fn with<R>(&self, f: impl FnOnce(&Sampler) -> R) -> R {
+        f(&self.shared.lock().expect("sampler poisoned"))
+    }
+
+    /// Full-window summaries of every series collected so far.
+    pub fn windows(&self) -> BTreeMap<String, SeriesWindow> {
+        self.with(Sampler::windows)
+    }
+
+    /// Stop and join the sampling thread, returning the accumulated
+    /// sampler (with one final sample so the tail is never stale).
+    pub fn stop(mut self) -> Sampler {
+        self.halt();
+        let shared = std::mem::replace(&mut self.shared, Arc::new(Mutex::new(Sampler::new(1))));
+        let mut sampler = match Arc::try_unwrap(shared) {
+            Ok(m) => m.into_inner().expect("sampler poisoned"),
+            Err(arc) => arc.lock().expect("sampler poisoned").clone_inner(),
+        };
+        sampler.sample_now();
+        sampler
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IntervalSampler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl Sampler {
+    fn clone_inner(&self) -> Sampler {
+        Sampler {
+            capacity: self.capacity,
+            epoch: self.epoch,
+            samples: self.samples,
+            series: self.series.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut s = TimeSeries::new("x", 3);
+        for i in 0..5u64 {
+            s.push(i, i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        let pts: Vec<f64> = s.points().map(|p| p.value).collect();
+        assert_eq!(pts, vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.last().unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn window_stats() {
+        let mut s = TimeSeries::new("x", 8);
+        for (t, v) in [(0u64, 4.0), (1, 1.0), (2, 7.0), (3, 2.0)] {
+            s.push(t, v);
+        }
+        let w = s.window();
+        assert_eq!(w.len, 4);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.max, 7.0);
+        assert_eq!(w.mean, 3.5);
+        assert_eq!(w.first, 4.0);
+        assert_eq!(w.last, 2.0);
+        assert_eq!(w.delta(), -2.0);
+        let tail = s.window_last(2);
+        assert_eq!((tail.len, tail.min, tail.max), (2, 2.0, 7.0));
+        assert_eq!(TimeSeries::new("e", 4).window(), SeriesWindow::EMPTY);
+    }
+
+    #[test]
+    fn sampler_ingests_all_metric_kinds() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("c".into(), 10);
+        snap.gauges.insert("g".into(), -3);
+        let h = HistogramSnapshot {
+            count: 2,
+            sum: 9,
+            ..Default::default()
+        };
+        snap.histograms.insert("h".into(), h);
+        let mut sampler = Sampler::new(4);
+        sampler.ingest(0, &snap);
+        snap.counters.insert("c".into(), 25);
+        sampler.ingest(1, &snap);
+        assert_eq!(sampler.samples(), 2);
+        let c = sampler.series("c").unwrap().window();
+        assert_eq!((c.first, c.last, c.delta()), (10.0, 25.0, 15.0));
+        assert_eq!(sampler.series("g").unwrap().last().unwrap().value, -3.0);
+        assert_eq!(
+            sampler.series("h.count").unwrap().last().unwrap().value,
+            2.0
+        );
+        assert_eq!(sampler.series("h.sum").unwrap().last().unwrap().value, 9.0);
+        assert!(sampler.windows().contains_key("h.sum"));
+    }
+
+    #[test]
+    fn sample_now_reads_global_registry() {
+        crate::counter!("timeseries.test.ticks").add(7);
+        let mut sampler = Sampler::new(2);
+        let t0 = sampler.sample_now();
+        crate::counter!("timeseries.test.ticks").add(5);
+        let t1 = sampler.sample_now();
+        assert!(t1 >= t0);
+        let w = sampler.series("timeseries.test.ticks").unwrap().window();
+        assert!(w.delta() >= 5.0, "delta {} covers the bump", w.delta());
+    }
+
+    #[test]
+    fn interval_sampler_collects_and_stops() {
+        crate::counter!("timeseries.test.bg").inc();
+        let handle = sample_every(Duration::from_millis(1), 64);
+        std::thread::sleep(Duration::from_millis(20));
+        crate::counter!("timeseries.test.bg").add(3);
+        let sampler = handle.stop();
+        assert!(sampler.samples() >= 2, "took {} samples", sampler.samples());
+        let w = sampler.series("timeseries.test.bg").unwrap().window();
+        assert!(w.last >= w.first + 3.0, "final sample sees the bump");
+    }
+}

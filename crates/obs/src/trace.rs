@@ -4,8 +4,9 @@
 //!
 //! Tracing is **off by default** and costs one relaxed atomic load to
 //! check. It is enabled programmatically with [`set_enabled`] or from
-//! the environment (`CDPD_TRACE=1`, optionally `CDPD_TRACE_FILE=path`),
-//! which is consulted lazily on the first [`enabled`] call.
+//! the environment (`CDPD_TRACE=1`, optionally `CDPD_TRACE_FILE=path`
+//! bounded by `CDPD_TRACE_MAX_BYTES`), which is consulted lazily on the
+//! first [`enabled`] call.
 //!
 //! Span records are emitted at span *close*; the closing timestamp and
 //! sequence number are assigned under the sink lock, so both the ring
@@ -52,6 +53,12 @@ fn init_from_env() -> bool {
     if on {
         if let Ok(path) = std::env::var("CDPD_TRACE_FILE") {
             let _ = set_file_sink(Some(Path::new(&path)));
+            if let Some(limit) = std::env::var("CDPD_TRACE_MAX_BYTES")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                set_file_limit(Some(limit));
+            }
         }
     }
     // Keep an explicit set_enabled() that raced us.
@@ -385,6 +392,9 @@ impl Drop for Span {
 struct SinkState {
     ring: VecDeque<SpanRecord>,
     file: Option<BufWriter<File>>,
+    /// Remaining byte budget for the file sink (`CDPD_TRACE_MAX_BYTES`
+    /// or [`set_file_limit`]); `None` means unbounded.
+    file_budget: Option<u64>,
     seq: u64,
 }
 
@@ -394,9 +404,43 @@ fn sinks() -> &'static Mutex<SinkState> {
         Mutex::new(SinkState {
             ring: VecDeque::new(),
             file: None,
+            file_budget: None,
             seq: 0,
         })
     })
+}
+
+/// Write one JSONL line to the file sink, honouring the byte budget.
+/// When the budget cannot cover the line, a final truncation-marker
+/// event (which may overshoot the cap by its own ~100 bytes) is written
+/// instead and the file sink is closed; the ring sink keeps recording.
+fn write_file_line(s: &mut SinkState, ts: u64, line: &str) {
+    if s.file.is_none() {
+        return;
+    }
+    let fits = s.file_budget.is_none_or(|b| line.len() as u64 <= b);
+    if fits {
+        if let Some(f) = &mut s.file {
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.flush();
+        }
+        if let Some(b) = &mut s.file_budget {
+            *b -= line.len() as u64;
+        }
+        return;
+    }
+    let seq = s.seq;
+    s.seq += 1;
+    let marker = format!(
+        "{{\"type\":\"event\",\"seq\":{seq},\"ts\":{ts},\"msg\":{}}}\n",
+        json_string("trace truncated: CDPD_TRACE_MAX_BYTES reached")
+    );
+    if let Some(f) = &mut s.file {
+        let _ = f.write_all(marker.as_bytes());
+        let _ = f.flush();
+    }
+    s.file = None;
+    s.file_budget = None;
 }
 
 fn sink_record(mut rec: SpanRecord) {
@@ -404,10 +448,8 @@ fn sink_record(mut rec: SpanRecord) {
     rec.end_ns = now_ns();
     rec.seq = s.seq;
     s.seq += 1;
-    if let Some(f) = &mut s.file {
-        let _ = f.write_all(rec.to_jsonl().as_bytes());
-        let _ = f.flush();
-    }
+    let line = rec.to_jsonl();
+    write_file_line(&mut s, rec.end_ns, &line);
     if s.ring.len() == RING_CAPACITY {
         s.ring.pop_front();
     }
@@ -426,7 +468,17 @@ pub fn set_file_sink(path: Option<&Path>) -> io::Result<()> {
         let _ = old.flush();
     }
     s.file = file;
+    s.file_budget = None;
     Ok(())
+}
+
+/// Cap the JSONL file sink at roughly `limit` bytes from this point on
+/// (`None` removes the cap). When the budget runs out, one final
+/// truncation-marker event is written and the file sink closes; the
+/// in-memory ring keeps recording. Set from the environment via
+/// `CDPD_TRACE_MAX_BYTES` alongside `CDPD_TRACE_FILE`.
+pub fn set_file_limit(limit: Option<u64>) {
+    sinks().lock().expect("trace sink poisoned").file_budget = limit;
 }
 
 /// Copy of the ring sink's records, oldest first.
@@ -462,14 +514,11 @@ pub fn emit_event(msg: &str) {
     let ts = now_ns();
     let seq = s.seq;
     s.seq += 1;
-    if let Some(f) = &mut s.file {
-        let line = format!(
-            "{{\"type\":\"event\",\"seq\":{seq},\"ts\":{ts},\"msg\":{}}}\n",
-            json_string(msg)
-        );
-        let _ = f.write_all(line.as_bytes());
-        let _ = f.flush();
-    }
+    let line = format!(
+        "{{\"type\":\"event\",\"seq\":{seq},\"ts\":{ts},\"msg\":{}}}\n",
+        json_string(msg)
+    );
+    write_file_line(&mut s, ts, &line);
 }
 
 #[cfg(test)]

@@ -190,7 +190,16 @@ impl Drop for BenchmarkGroup<'_> {
             return;
         }
         let path = dir.join(format!("BENCH_{}.json", self.name.replace('/', "_")));
-        let mut records: Vec<String> = self
+        // Every report leads with a uniform host stanza: bench numbers
+        // are only comparable across runs on like hardware, and the
+        // ci.sh bench-diff gate reads `cores` to skip cross-host diffs.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut records: Vec<String> = vec![format!(
+            "  {{\"group\": {:?}, \"id\": \"host\", \"cores\": {cores}, \"os\": {:?}}}",
+            self.name,
+            std::env::consts::OS,
+        )];
+        records.extend(self
             .results
             .iter()
             .map(|s| {
@@ -198,8 +207,7 @@ impl Drop for BenchmarkGroup<'_> {
                     "  {{\"group\": {:?}, \"id\": {:?}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
                     self.name, s.id, s.median_ns, s.p95_ns, s.samples, s.iters_per_sample,
                 )
-            })
-            .collect();
+            }));
         records.extend(self.metrics.iter().map(|(id, value)| {
             format!(
                 "  {{\"group\": {:?}, \"id\": {:?}, \"metric\": {value}}}",

@@ -177,6 +177,10 @@ fn bench_smoke_writes_json_report() {
         .expect("bench must write its JSON report");
     assert!(json.contains("\"id\": \"sum\""), "{json}");
     assert!(json.contains("median_ns"), "{json}");
+    assert!(
+        json.contains("\"id\": \"host\"") && json.contains("\"cores\":"),
+        "report must lead with the host stanza: {json}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -99,6 +99,12 @@ pub struct Recommendation {
     /// Rendered span-tree profile of the call, present when tracing was
     /// enabled (`CDPD_TRACE=1` or `cdpd_obs::trace::set_enabled(true)`).
     pub profile: Option<String>,
+    /// Predicted-vs-actual calibration state, when the recommendation
+    /// came out of a session that executed statements
+    /// ([`crate::OnlineAdvisor::finish`] attaches its tracker).
+    /// `None` from the pure batch path — [`Advisor::recommend`] only
+    /// estimates, it never executes.
+    pub calibration: Option<crate::calibrate::CalibrationReport>,
 }
 
 impl Recommendation {
@@ -399,6 +405,7 @@ pub(crate) fn recommend_for_workload(
         oracle_stats,
         metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
         profile,
+        calibration: None,
     })
 }
 

@@ -19,7 +19,16 @@
 //! The check is deliberately cheap (a handful of what-if estimates over
 //! the *summarized* window — no solving), in the spirit of Bruno &
 //! Chaudhuri's "lightweight physical design alerter".
+//!
+//! The check has a second input besides degradation: **calibration
+//! drift** ([`Alerter::note_calibration`]). The degradation signal is
+//! built entirely out of what-if estimates, so when the cost model
+//! itself has drifted out of its band the alerter can no longer prove
+//! the design is fine — a tripped [`CalibrationReport`] therefore
+//! forces an alert even while the estimated degradation looks
+//! acceptable.
 
+use crate::calibrate::CalibrationReport;
 use cdpd_core::{Config, CostOracle, OracleStatsSnapshot};
 use cdpd_engine::{Database, IndexSpec, WhatIfEngine};
 use cdpd_sql::Dml;
@@ -48,6 +57,10 @@ pub struct Alert {
     pub metrics: cdpd_obs::MetricsSnapshot,
     /// Rendered span-tree profile of the check, when tracing is on.
     pub profile: Option<String>,
+    /// The calibration state that was live at the check, when the
+    /// caller has fed one in. When `calibration.tripped` the alert may
+    /// have fired on drift alone (see [`Alerter::note_calibration`]).
+    pub calibration: Option<CalibrationReport>,
 }
 
 /// Sliding-window quality monitor for one table's physical design.
@@ -61,6 +74,7 @@ pub struct Alerter {
     window: VecDeque<Dml>,
     capacity: usize,
     threshold: f64,
+    calibration: Option<CalibrationReport>,
 }
 
 impl Alerter {
@@ -95,6 +109,7 @@ impl Alerter {
             window: VecDeque::with_capacity(capacity),
             capacity,
             threshold,
+            calibration: None,
         })
     }
 
@@ -104,6 +119,17 @@ impl Alerter {
             self.window.pop_front();
         }
         self.window.push_back(stmt.clone());
+    }
+
+    /// Feed the latest predicted-vs-actual calibration state in (e.g.
+    /// from [`crate::replay::ReplayReport::calibration`] or an
+    /// [`crate::OnlineDecision`]). While the report is tripped —
+    /// drift outside its band — [`Alerter::check`] alerts even when
+    /// the estimated degradation is under the threshold: the
+    /// degradation signal is made of the very estimates the drift has
+    /// discredited.
+    pub fn note_calibration(&mut self, report: CalibrationReport) {
+        self.calibration = Some(report);
     }
 
     /// Number of statements currently in the window.
@@ -157,7 +183,8 @@ impl Alerter {
         } else {
             current_cost.raw() as f64 / best_cost.raw() as f64 - 1.0
         };
-        if degradation <= self.threshold {
+        let drift_tripped = self.calibration.as_ref().is_some_and(|c| c.tripped);
+        if degradation <= self.threshold && !drift_tripped {
             return Ok(None);
         }
         drop(span);
@@ -170,6 +197,7 @@ impl Alerter {
             oracle_stats: oracle.stats_snapshot(),
             metrics: cdpd_obs::registry().snapshot().delta(&metrics_before),
             profile: cdpd_obs::profile_since(started_ns),
+            calibration: self.calibration.clone(),
         }))
     }
 }
@@ -288,6 +316,39 @@ mod tests {
         let specs = rec.specs_at(0);
         assert_eq!(specs.len(), 1);
         assert_eq!(specs[0].columns, vec!["c".to_owned()]);
+    }
+
+    #[test]
+    fn tripped_calibration_forces_an_alert() {
+        use crate::calibrate::{
+            CalibrationOptions, CalibrationTracker, PathKind, WindowCalibration,
+        };
+        let db = db_with(10_000, Some("a"));
+        let mut alerter = Alerter::new(&db, "t", candidates(), 100, 0.5).unwrap();
+        for i in 0..100 {
+            alerter.observe(&SelectStmt::point("t", "a", i).into());
+        }
+        assert!(alerter.check(&db).unwrap().is_none(), "design holds");
+        // A 10× systematic mis-costing trips the drift watchdog; the
+        // degradation estimate is now untrustworthy, so check() must
+        // alert even though it is still under the threshold.
+        let mut tracker = CalibrationTracker::new(CalibrationOptions {
+            band: 1.0,
+            ewma_alpha: 1.0,
+            ..Default::default()
+        });
+        let mut w = WindowCalibration::default();
+        w.record(100, 10, PathKind::IndexSeek);
+        assert!(tracker.observe_window(&w), "drift must trip");
+        alerter.note_calibration(tracker.report());
+        let alert = alerter
+            .check(&db)
+            .unwrap()
+            .expect("tripped drift forces an alert");
+        assert!(alert.degradation <= 0.5, "{}", alert.degradation);
+        let report = alert.calibration.expect("alert carries the report");
+        assert!(report.tripped);
+        assert_eq!(report.alerts, 1);
     }
 
     #[test]

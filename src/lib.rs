@@ -17,8 +17,10 @@
 //!   [`candidate_indexes`] derives candidate structures from a trace,
 //!   [`Advisor`] is the one-call API, [`OnlineAdvisor`] is its
 //!   streaming counterpart (ingest statements, get design-change
-//!   decisions at every window seal), and [`replay`] executes a
-//!   workload under a recommended design schedule, measuring real I/O.
+//!   decisions at every window seal), [`replay`] executes a workload
+//!   under a recommended design schedule, measuring real I/O, and
+//!   [`calibrate`] closes the predicted-vs-actual loop over those
+//!   executions (drift scores and a watchdog over the cost model).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use cdpd_workload as workload;
 
 mod advisor;
 pub mod alerter;
+pub mod calibrate;
 mod candidates;
 pub mod kadvice;
 pub mod online;
@@ -62,6 +65,10 @@ mod state;
 
 pub use advisor::{Advisor, AdvisorOptions, Algorithm, Recommendation};
 pub use alerter::{Alert, Alerter};
+pub use calibrate::{
+    CalibrationMode, CalibrationOptions, CalibrationReport, CalibrationTracker, PathKind,
+    WindowCalibration,
+};
 pub use candidates::{candidate_indexes, candidate_indexes_capped};
 pub use cdpd_core::OracleStatsSnapshot;
 pub use cdpd_obs::MetricsSnapshot;

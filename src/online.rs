@@ -30,6 +30,9 @@
 use crate::advisor::{
     recommend_for_workload, AdvisorOptions, Recommendation, ENUMERABLE_VOCABULARY,
 };
+use crate::calibrate::{
+    CalibrationOptions, CalibrationReport, CalibrationTracker, WindowCalibration,
+};
 use crate::candidates::candidate_indexes;
 use crate::oracle::EngineOracle;
 use cdpd_core::{
@@ -75,6 +78,11 @@ pub struct OnlineOptions {
     /// `online.structures_dropped` counter. Defaults to
     /// [`DEFAULT_MAX_CANDIDATES`].
     pub max_candidates: usize,
+    /// Knobs for the predicted-vs-actual calibration tracker the
+    /// session folds executed windows into (drivers feed it via
+    /// [`OnlineAdvisor::note_calibration`]). The drift score and any
+    /// watchdog state ride on every [`OnlineDecision::calibration`].
+    pub calibration: CalibrationOptions,
 }
 
 /// Default [`OnlineOptions::max_candidates`]: four times the old
@@ -88,6 +96,7 @@ impl Default for OnlineOptions {
             resolve_threshold: None,
             max_windows: None,
             max_candidates: DEFAULT_MAX_CANDIDATES,
+            calibration: CalibrationOptions::default(),
         }
     }
 }
@@ -119,6 +128,13 @@ pub struct OnlineDecision {
     /// The shift detector's current suggestion for `k` (number of
     /// major shifts observed so far).
     pub suggested_k: usize,
+    /// Predicted-vs-actual calibration state at this seal, when a
+    /// driver has fed executed windows in
+    /// ([`OnlineAdvisor::note_calibration`]); `None` in sessions that
+    /// only ingest. Runtime telemetry, not decision state: it is *not*
+    /// persisted by [`OnlineAdvisor::save_state`], and restored
+    /// decisions carry `None`.
+    pub calibration: Option<CalibrationReport>,
 }
 
 /// A streaming advisory session over one table. See the module docs
@@ -154,6 +170,8 @@ pub struct OnlineAdvisor {
     decisions: Vec<OnlineDecision>,
     resolves: usize,
     rebuilds: usize,
+    /// Predicted-vs-actual drift over the windows a driver executed.
+    calibration: CalibrationTracker,
 }
 
 impl OnlineAdvisor {
@@ -200,6 +218,7 @@ impl OnlineAdvisor {
                 .expect("current specs were appended to the vocabulary");
             initial = initial.with(i);
         }
+        let calibration = CalibrationTracker::new(options.calibration.clone());
         Ok(OnlineAdvisor {
             table,
             options,
@@ -216,6 +235,7 @@ impl OnlineAdvisor {
             decisions: Vec::new(),
             resolves: 0,
             rebuilds: 0,
+            calibration,
         })
     }
 
@@ -289,6 +309,28 @@ impl OnlineAdvisor {
     /// The shift detector's current suggestion for the change budget.
     pub fn suggested_k(&self) -> usize {
         self.detector.suggested_k()
+    }
+
+    /// The session's options, as supplied at construction.
+    pub fn options(&self) -> &OnlineOptions {
+        &self.options
+    }
+
+    /// The predicted-vs-actual drift tracker. Empty until a driver
+    /// feeds executed windows in via
+    /// [`OnlineAdvisor::note_calibration`].
+    pub fn calibration(&self) -> &CalibrationTracker {
+        &self.calibration
+    }
+
+    /// Fold one executed window's predicted-vs-actual pairs into the
+    /// session's drift tracker ([`crate::replay::drive`] calls this
+    /// before the window's statements are ingested, so the seal-time
+    /// decision carries the window's drift). Returns `true` while the
+    /// drift is outside the configured band — the watchdog state that
+    /// also rides on [`OnlineDecision::calibration`].
+    pub fn note_calibration(&mut self, window: &WindowCalibration) -> bool {
+        self.calibration.observe_window(window)
     }
 
     /// Ingest one observed statement. Returns a decision when this
@@ -397,12 +439,16 @@ impl OnlineAdvisor {
                 "no statements ingested; nothing to recommend".into(),
             ));
         }
-        recommend_for_workload(
+        let mut rec = recommend_for_workload(
             db,
             &self.table,
             &self.options.advisor,
             &self.stream.summarized(),
-        )
+        )?;
+        if self.calibration.windows() > 0 {
+            rec.calibration = Some(self.calibration.report());
+        }
+        Ok(rec)
     }
 
     /// Grow the vocabulary with candidates motivated by the sealed
@@ -533,6 +579,7 @@ impl OnlineAdvisor {
             solve_nanos,
             changes_used,
             suggested_k: self.detector.suggested_k(),
+            calibration: (self.calibration.windows() > 0).then(|| self.calibration.report()),
         })
     }
 
@@ -603,9 +650,11 @@ impl OnlineAdvisor {
     /// blocks, profiles, the open partial window), the shift detector,
     /// the candidate vocabulary with its bit order, the committed
     /// configuration sequence, past decisions, and counters. The warm
-    /// oracle memo is deliberately *not* persisted — it is a cache; a
-    /// restored session rebuilds it cold at the next window seal and
-    /// then decides identically.
+    /// oracle memo and the calibration tracker are deliberately *not*
+    /// persisted — the memo is a cache (a restored session rebuilds it
+    /// cold at the next window seal and then decides identically), and
+    /// drift is runtime telemetry about an execution environment the
+    /// restored session may not share.
     pub fn save_state(&self) -> Vec<u8> {
         self.save_state_impl(StateVersion::V2)
     }
@@ -828,6 +877,8 @@ impl OnlineAdvisor {
                 solve_nanos,
                 changes_used,
                 suggested_k,
+                // Runtime telemetry, deliberately not persisted.
+                calibration: None,
             });
         }
         let resolves = r.u64()? as usize;
@@ -844,6 +895,7 @@ impl OnlineAdvisor {
         for spec in &structures {
             whatif.shape(spec)?;
         }
+        let calibration = CalibrationTracker::new(options.calibration.clone());
         Ok(OnlineAdvisor {
             table,
             options,
@@ -861,6 +913,9 @@ impl OnlineAdvisor {
             decisions,
             resolves,
             rebuilds,
+            // Like the memo, drift is runtime telemetry: it restarts
+            // empty and refills as the restored session executes.
+            calibration,
         })
     }
 

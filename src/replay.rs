@@ -20,8 +20,20 @@
 //! **bit-identical** to the serial one: same `QueryResult`s, same
 //! per-window EXEC/TRANS sums, same final schedule — property-tested
 //! in `tests/parallel_equiv.rs` across seeds and thread counts.
+//!
+//! Both drivers also close the **predicted-vs-actual loop**: each
+//! statement's planner estimate is paired with the page I/O its
+//! thread-local scope measured, folded per window into a drift score
+//! ([`crate::calibrate`]), and surfaced on
+//! [`ReplayReport::calibration`]. [`replay_calibrated`] exposes the
+//! knobs (comparison mode, drift band, fault injection);
+//! `tests/calibration.rs` uses them to prove the oracle and the
+//! executor keep exactly one cost model between them.
 
 use crate::advisor::Recommendation;
+use crate::calibrate::{
+    self, CalibrationOptions, CalibrationReport, CalibrationTracker, WindowCalibration,
+};
 use crate::online::OnlineAdvisor;
 use cdpd_engine::{default_threads, parallel_map, Database, IndexSpec};
 use cdpd_sql::Dml;
@@ -60,6 +72,13 @@ pub struct ReplayReport {
     /// database, so replays are only comparable across freshly loaded
     /// databases.
     pub row_checksum: u64,
+    /// Predicted-vs-actual calibration summary over the replay: every
+    /// statement's planner estimate paired with its measured page I/O
+    /// (or with a live-shape what-if prediction — see
+    /// [`crate::calibrate::CalibrationMode`]), folded per window into
+    /// a drift score. Deterministic at any thread count, like the rest
+    /// of the report.
+    pub calibration: Option<CalibrationReport>,
 }
 
 impl ReplayReport {
@@ -91,6 +110,7 @@ impl ReplayReport {
 /// serial replay would give them and later reads observe the writes.
 /// Per-statement I/O comes from thread-local scopes, so the summed
 /// `exec_io` is bit-identical to a serial run at any thread count.
+#[allow(clippy::too_many_arguments)]
 fn execute_window(
     db: &mut Database,
     trace: &Trace,
@@ -98,6 +118,8 @@ fn execute_window(
     lo: usize,
     hi: usize,
     threads: usize,
+    calibration: &CalibrationOptions,
+    window: &mut WindowCalibration,
 ) -> Result<(u64, u64, u64)> {
     let _span = cdpd_obs::span!("replay.window", stage = stage, statements = hi - lo);
     let stmts = &trace.statements()[lo..hi];
@@ -111,20 +133,28 @@ fn execute_window(
                 j += 1;
             }
             let run = &stmts[i..j];
+            // Reads don't move index shapes, so one prediction pass
+            // over the whole run sees exactly the state it executes on.
+            let predicted = calibrate::predict(calibration, db, trace.table(), run)?;
             let shared: &Database = db;
             let results = parallel_map(run.len(), threads, |k| match &run[k] {
                 Dml::Select(s) => shared.query_count(s),
                 _ => unreachable!("run contains only selects"),
             })?;
-            for r in results {
+            for (k, r) in results.iter().enumerate() {
                 exec_io += r.io.total();
                 rows += r.count;
+                calibrate::record_result(calibration, window, r, predicted.as_ref().map(|p| p[k]));
             }
             i = j;
         } else {
+            // Writes split and merge index pages, so each one is
+            // predicted against the shapes it actually meets.
+            let predicted = calibrate::predict(calibration, db, trace.table(), &stmts[i..i + 1])?;
             let r = db.execute_dml(&stmts[i])?;
             exec_io += r.io.total();
             rows += r.count;
+            calibrate::record_result(calibration, window, &r, predicted.map(|p| p[0]));
             i += 1;
         }
     }
@@ -170,6 +200,32 @@ pub fn replay_with(
     final_specs: Option<&[IndexSpec]>,
     threads: usize,
 ) -> Result<ReplayReport> {
+    replay_calibrated(
+        db,
+        trace,
+        window_len,
+        stage_specs,
+        final_specs,
+        threads,
+        CalibrationOptions::default(),
+    )
+}
+
+/// [`replay_with`] under explicit [`CalibrationOptions`]: choose the
+/// comparison mode, tighten or widen the drift band, or inject a
+/// mis-costing ([`CalibrationOptions::index_cost_scale`]) to prove the
+/// watchdog fires. The default options give [`replay_with`]'s
+/// behavior: measured-I/O calibration with the stock band.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_calibrated(
+    db: &mut Database,
+    trace: &Trace,
+    window_len: usize,
+    stage_specs: &[Vec<IndexSpec>],
+    final_specs: Option<&[IndexSpec]>,
+    threads: usize,
+    calibration: CalibrationOptions,
+) -> Result<ReplayReport> {
     if window_len == 0 {
         return Err(Error::InvalidArgument("window_len must be positive".into()));
     }
@@ -186,6 +242,7 @@ pub fn replay_with(
     let mut stages = Vec::with_capacity(stage_specs.len());
     let mut statements = 0u64;
     let mut row_checksum = 0u64;
+    let mut tracker = CalibrationTracker::new(calibration);
 
     for (i, specs) in stage_specs.iter().enumerate() {
         let ddl = {
@@ -194,7 +251,18 @@ pub fn replay_with(
         };
         let lo = i * window_len;
         let hi = ((i + 1) * window_len).min(trace.len());
-        let (exec_io, rows, stmts) = execute_window(db, trace, i, lo, hi, threads)?;
+        let mut window = WindowCalibration::default();
+        let (exec_io, rows, stmts) = execute_window(
+            db,
+            trace,
+            i,
+            lo,
+            hi,
+            threads,
+            tracker.options(),
+            &mut window,
+        )?;
+        tracker.observe_window(&window);
         row_checksum += rows;
         statements += stmts;
         stages.push(StageReport {
@@ -219,6 +287,7 @@ pub fn replay_with(
         wall: start.elapsed(),
         statements,
         row_checksum,
+        calibration: Some(tracker.report()),
     })
 }
 
@@ -299,17 +368,23 @@ fn run_online(
     let mut statements = 0u64;
     let mut row_checksum = 0u64;
     let mut pending: Option<cdpd_engine::DdlReport> = None;
+    let calibration = advisor.options().calibration.clone();
 
     for w in 0..windows {
         let ddl = pending.take();
         let lo = w * window_len;
         let hi = ((w + 1) * window_len).min(trace.len());
-        let (exec_io, rows, stmts) = execute_window(db, trace, w, lo, hi, threads)?;
+        let mut window = WindowCalibration::default();
+        let (exec_io, rows, stmts) =
+            execute_window(db, trace, w, lo, hi, threads, &calibration, &mut window)?;
         row_checksum += rows;
         statements += stmts;
 
-        // Fold this window's statistics deltas before the advisor
-        // seals it, so the re-solve prices the post-write table.
+        // Fold this window's calibration pairs and statistics deltas
+        // before the advisor seals it, so the decision the seal emits
+        // carries this window's drift and the re-solve prices the
+        // post-write table.
+        advisor.note_calibration(&window);
         let refresh = db.refresh_stats(&table)?;
         advisor.note_stats_refresh(db, &refresh)?;
 
@@ -347,5 +422,6 @@ fn run_online(
         wall: start.elapsed(),
         statements,
         row_checksum,
+        calibration: Some(advisor.calibration().report()),
     })
 }

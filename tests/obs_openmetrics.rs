@@ -1,0 +1,183 @@
+//! Golden test for the OpenMetrics text exposition
+//! ([`cdpd::obs::openmetrics::render`]): the output is a pure function
+//! of the snapshot, so this pins it **byte for byte** — family
+//! ordering (counters → gauges → histograms, alphabetical within each
+//! kind), name sanitization, `# HELP` escaping, the counter `_total`
+//! convention, and cumulative histogram buckets. A change to any of
+//! these is a wire-format change and must show up here.
+//!
+//! A second test renders a *live* registry delta and re-parses it with
+//! an in-tree line parser (the same spirit as `tests/obs_trace.rs`'s
+//! mini JSON parser): every sample line must parse, every family must
+//! carry exactly one `# TYPE`, and the declared type must match the
+//! sample shape.
+
+use cdpd::obs::metrics::{bucket_index, HistogramSnapshot, MetricsSnapshot};
+use cdpd::obs::openmetrics::render;
+use std::collections::BTreeMap;
+
+#[test]
+fn exposition_is_pinned_byte_for_byte() {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("calibration.samples".into(), 7);
+    snap.counters.insert("what-if.calls".into(), 2);
+    snap.gauges.insert("calibration.drift_millis".into(), -125);
+    let mut h = HistogramSnapshot::default();
+    for v in [0u64, 3, 9] {
+        h.buckets[bucket_index(v)] += 1;
+        h.count += 1;
+        h.sum += v;
+    }
+    snap.histograms.insert("calibration.abs_err_ios".into(), h);
+
+    let expected = "\
+# HELP calibration_samples counter calibration.samples
+# TYPE calibration_samples counter
+calibration_samples_total 7
+# HELP what_if_calls counter what-if.calls
+# TYPE what_if_calls counter
+what_if_calls_total 2
+# HELP calibration_drift_millis gauge calibration.drift_millis
+# TYPE calibration_drift_millis gauge
+calibration_drift_millis -125
+# HELP calibration_abs_err_ios histogram calibration.abs_err_ios
+# TYPE calibration_abs_err_ios histogram
+calibration_abs_err_ios_bucket{le=\"0\"} 1
+calibration_abs_err_ios_bucket{le=\"1\"} 1
+calibration_abs_err_ios_bucket{le=\"3\"} 2
+calibration_abs_err_ios_bucket{le=\"7\"} 2
+calibration_abs_err_ios_bucket{le=\"15\"} 3
+calibration_abs_err_ios_bucket{le=\"+Inf\"} 3
+calibration_abs_err_ios_sum 12
+calibration_abs_err_ios_count 3
+# EOF
+";
+    assert_eq!(render(&snap), expected);
+}
+
+#[test]
+fn help_lines_escape_hostile_names() {
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("bad\"name\\with\nnewline".into(), 1);
+    let text = render(&snap);
+    // The family name is sanitized into the exposition charset; the
+    // original survives, escaped, in the HELP line.
+    assert!(text.contains("# HELP bad_name_with_newline counter bad\\\"name\\\\with\\nnewline\n"));
+    assert!(text.contains("bad_name_with_newline_total 1\n"));
+    assert!(
+        !text.contains("with\nnewline"),
+        "raw newline must never reach the output"
+    );
+}
+
+/// One parsed metric family: declared type plus its sample lines.
+#[derive(Default, Debug)]
+struct Family {
+    kind: String,
+    samples: Vec<(String, String)>, // (sample name incl. labels, value)
+}
+
+/// Line-level parser for the exposition subset `render` emits. Panics
+/// on any line that fits neither a comment nor a sample.
+fn parse_exposition(text: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut saw_eof = false;
+    for line in text.lines() {
+        assert!(!saw_eof, "nothing may follow # EOF: {line:?}");
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let fam = it.next().expect("family name").to_owned();
+            let kind = it.next().expect("family type").to_owned();
+            let entry = families.entry(fam).or_default();
+            assert!(entry.kind.is_empty(), "duplicate # TYPE for {rest}");
+            entry.kind = kind;
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        // A sample: `name{labels} value` or `name value`.
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        let base = name.split('{').next().expect("sample name");
+        // Strip the suffix to find the owning family.
+        let fam = ["_total", "_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.contains('{').then_some(()).and(base.strip_suffix(s)))
+            .or_else(|| {
+                ["_total", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| base.strip_suffix(s))
+            })
+            .unwrap_or(base);
+        let fam = families
+            .keys()
+            .filter(|k| *k == base || base.starts_with(k.as_str()) || fam == k.as_str())
+            .max_by_key(|k| k.len())
+            .unwrap_or_else(|| panic!("sample {name} has no # TYPE"))
+            .clone();
+        families
+            .get_mut(&fam)
+            .unwrap()
+            .samples
+            .push((name.to_owned(), value.to_owned()));
+    }
+    assert!(saw_eof, "exposition must end with # EOF");
+    families
+}
+
+#[test]
+fn live_registry_snapshot_round_trips_through_the_parser() {
+    let before = cdpd::obs::registry().snapshot();
+    cdpd_obs::counter!("omtest.calib.samples").add(4);
+    cdpd_obs::gauge!("omtest.drift").set(-3);
+    cdpd_obs::histogram!("omtest.err").record(0);
+    cdpd_obs::histogram!("omtest.err").record(300);
+    let delta = cdpd::obs::registry().snapshot().delta(&before);
+    let text = render(&delta);
+
+    let families = parse_exposition(&text);
+    let counter = &families["omtest_calib_samples"];
+    assert_eq!(counter.kind, "counter");
+    assert_eq!(
+        counter.samples,
+        vec![("omtest_calib_samples_total".to_owned(), "4".to_owned())]
+    );
+    let gauge = &families["omtest_drift"];
+    assert_eq!(gauge.kind, "gauge");
+    assert_eq!(
+        gauge.samples,
+        vec![("omtest_drift".to_owned(), "-3".to_owned())]
+    );
+    let hist = &families["omtest_err"];
+    assert_eq!(hist.kind, "histogram");
+    let inf = hist
+        .samples
+        .iter()
+        .find(|(n, _)| n == "omtest_err_bucket{le=\"+Inf\"}")
+        .expect("+Inf bucket");
+    assert_eq!(inf.1, "2");
+    let sum = hist
+        .samples
+        .iter()
+        .find(|(n, _)| n == "omtest_err_sum")
+        .expect("sum sample");
+    assert_eq!(sum.1, "300");
+    // Cumulative buckets never decrease.
+    let mut last = 0u64;
+    for (n, v) in &hist.samples {
+        if n.starts_with("omtest_err_bucket{le=\"") && !n.contains("+Inf") {
+            let v: u64 = v.parse().expect("bucket count");
+            assert!(v >= last, "buckets must be cumulative: {n} {v} < {last}");
+            last = v;
+        }
+    }
+    // Ordering: every counter family renders before every gauge family,
+    // and every gauge before every histogram.
+    let pos = |needle: &str| text.find(needle).expect(needle);
+    assert!(pos("# TYPE omtest_calib_samples counter") < pos("# TYPE omtest_drift gauge"));
+    assert!(pos("# TYPE omtest_drift gauge") < pos("# TYPE omtest_err histogram"));
+}

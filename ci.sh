@@ -175,7 +175,7 @@ for key, ty in SCHEMA.items():
     assert isinstance(rep[key], ty), f"{key!r} is {type(rep[key]).__name__}, want {ty.__name__}"
 assert rep["mode"] in ("measured_io", "model_account"), rep["mode"]
 PATHS = {"seq_scan", "index_seek", "index_range", "index_only_scan",
-         "index_extremum", "write", "other"}
+         "index_extremum", "index_and", "index_or", "write", "other"}
 for entry in rep["by_path"]:
     assert set(entry) == {"path", "samples", "predicted_ios", "actual_ios"}, entry
     assert entry["path"] in PATHS, entry["path"]
@@ -193,6 +193,18 @@ EOF
 
 echo "== disabled-tracing + calibration overhead stays under budget =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench obs
+
+echo "== predicate-tree paths: IndexAnd/IndexOr beat the scan (asserted in-bench) =="
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench planner
+
+echo "== W4 smoke: generate -> advise -> replay under the recommended schedule =="
+# Range/IN/OR-heavy workload end-to-end through OnlineAdvisor; the
+# recommended design must be multi-index-serving and the replay must
+# actually take the union/intersection paths.
+cargo test -q --offline -p cdpd --test w4_workload
+
+echo "== plan equivalence: every access path matches the seq-scan baseline =="
+cargo test -q --offline -p cdpd --test predicate_equiv
 
 echo "== bench diff: fresh vs committed metrics (per-metric regression floors) =="
 python3 - <<'EOF'
@@ -225,6 +237,15 @@ GATED = {
     # throughput swings with host load.
     "BENCH_obs.json": {
         "calibration/replay_stmts_per_sec": 0.30,
+    },
+    # Modelled win margins of the multi-index paths over the scan they
+    # displace. These are *deterministic* (logical page I/Os at fixed
+    # scale/seed), so the tight floor catches any cost-model change
+    # that erodes the IndexOr/IndexAnd advantage.
+    "BENCH_planner.json": {
+        "win_margin/in_vs_scan": 0.90,
+        "win_margin/or_vs_scan": 0.90,
+        "win_margin/and_vs_scan": 0.90,
     },
 }
 

@@ -125,6 +125,21 @@ impl CostModel {
         Cost::from_ios(shape.height as u64 + shape.leaf_pages)
     }
 
+    /// One rid-only equality probe matching ~`rows` entries: descend the
+    /// tree and read the matching leaves, but fetch no heap rows — the
+    /// rids feed a sorted intersection ([`crate::planner::Plan::IndexAnd`])
+    /// or union ([`crate::planner::Plan::IndexOr`]) downstream.
+    pub fn index_probe(stats: &TableStats, shape: IndexShape, rows: f64) -> Cost {
+        let leaf_ios = (rows / Self::rows_per_leaf(stats, shape)).ceil().max(1.0);
+        Cost::from_ios(shape.height as u64 + leaf_ios as u64)
+    }
+
+    /// Heap fetches for the ~`rows` rids surviving an intersection or
+    /// union (one random page read per row, like a non-covering seek).
+    pub fn rid_fetches(rows: f64) -> Cost {
+        Cost::from_ios(rows.ceil() as u64)
+    }
+
     /// Cost of building the index: scan the heap, bulk-write the tree.
     /// (The in-memory sort's CPU time is not an I/O and is excluded, as
     /// are the measured numbers it is compared against.)

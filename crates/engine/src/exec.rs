@@ -69,6 +69,14 @@ pub(crate) fn execute(
             index_range(table, planned, planner, *index, *covering, materialize)?
         }
         Plan::IndexOnlyScan { index } => index_only(table, planned, planner, *index, materialize)?,
+        Plan::IndexAnd { probes } => {
+            let rids = intersect_rids(table, planner, probes)?;
+            fetch_filtered(table, planned, &rids, materialize)?
+        }
+        Plan::IndexOr { probes } => {
+            let rids = union_rids(table, planner, probes)?;
+            fetch_filtered(table, planned, &rids, materialize)?
+        }
         Plan::IndexExtremum { .. } => unreachable!("handled above"),
     };
 
@@ -211,9 +219,22 @@ fn output_columns(table: &TableEntry, planned: &PlannedQuery) -> Vec<ColumnId> {
 /// Evaluate all conjuncts against a heap row.
 fn row_matches(view: &RowView<'_>, conds: &[BoundCondition]) -> Result<bool> {
     for bc in conds {
-        // Fast path: integer column compared against integer literal.
-        let v = view.value(bc.column.index())?;
-        if !bc.condition.matches(&v) {
+        let hit = if let Condition::Or(branches) = &bc.condition {
+            // Each branch reads its own column (branches of one OR may
+            // reference different columns).
+            let mut any = false;
+            for (b, col) in branches.iter().zip(&bc.branch_columns) {
+                if b.matches(&view.value(col.index())?) {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        } else {
+            // Fast path: column value compared against literal(s).
+            bc.condition.matches(&view.value(bc.column.index())?)
+        };
+        if !hit {
             return Ok(false);
         }
     }
@@ -330,6 +351,112 @@ fn project_key(
             })
             .collect()
     }
+}
+
+// --- Multi-index rid operators -------------------------------------------
+
+/// The sorted, deduplicated rid list of one equality probe
+/// `(index, value)` on the index's leading key column.
+fn probe_rids(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    index: usize,
+    value: &Value,
+) -> Result<Vec<Rid>> {
+    let entry = index_entry(table, planner, index)?;
+    let probe = std::slice::from_ref(value);
+    let probe_bytes = encode_key(probe);
+    let mut cursor = entry.btree.seek(probe)?;
+    let mut rids = Vec::new();
+    while let Some((key, rid)) = cursor.next_entry()? {
+        if !key.starts_with(&probe_bytes) {
+            break;
+        }
+        rids.push(rid);
+    }
+    rids.sort_unstable();
+    rids.dedup();
+    Ok(rids)
+}
+
+/// Union of the per-probe rid lists, sorted and deduplicated — the
+/// rid set of an [`Plan::IndexOr`] before heap fetch.
+fn union_rids(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    probes: &[(usize, Value)],
+) -> Result<Vec<Rid>> {
+    let mut all = Vec::new();
+    for (index, value) in probes {
+        all.extend(probe_rids(table, planner, *index, value)?);
+    }
+    all.sort_unstable();
+    all.dedup();
+    Ok(all)
+}
+
+/// Intersection of the per-probe sorted rid lists — the rid set of an
+/// [`Plan::IndexAnd`] before heap fetch.
+fn intersect_rids(
+    table: &TableEntry,
+    planner: &Planner<'_>,
+    probes: &[(usize, Value)],
+) -> Result<Vec<Rid>> {
+    let mut iter = probes.iter();
+    let Some((i0, v0)) = iter.next() else {
+        return Ok(Vec::new());
+    };
+    let mut acc = probe_rids(table, planner, *i0, v0)?;
+    for (i, v) in iter {
+        if acc.is_empty() {
+            break;
+        }
+        let next = probe_rids(table, planner, *i, v)?;
+        let mut out = Vec::with_capacity(acc.len().min(next.len()));
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < acc.len() && b < next.len() {
+            match acc[a].cmp(&next[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(acc[a]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc = out;
+    }
+    Ok(acc)
+}
+
+/// Fetch each rid from the heap and apply the *full* predicate (the
+/// probes satisfied only their own term; other conjuncts — and, for a
+/// union, the residual of the OR itself — are re-checked on the row).
+fn fetch_filtered(
+    table: &TableEntry,
+    planned: &PlannedQuery,
+    rids: &[Rid],
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let out_cols = output_columns(table, planned);
+    let mut count = 0u64;
+    let mut rows = materialize.then(Vec::new);
+    for &rid in rids {
+        let bytes = table.heap.fetch(rid)?;
+        let view = RowView::new(&bytes);
+        if row_matches(&view, &planned.conditions)? {
+            count += 1;
+            if let Some(rows) = &mut rows {
+                rows.push(project_row(&view, &out_cols)?);
+            }
+        }
+    }
+    Ok(ExecOutcome {
+        count,
+        rows,
+        aggregate: None,
+    })
 }
 
 // --- Access paths --------------------------------------------------------
@@ -617,6 +744,22 @@ pub(crate) fn collect_rids(
             let mut cursor = entry.btree.scan_all()?;
             while let Some((key, rid)) = cursor.next_entry()? {
                 if matcher.matches(key)? {
+                    out.push(rid);
+                }
+            }
+        }
+        Plan::IndexAnd { probes } => {
+            for rid in intersect_rids(table, planner, probes)? {
+                let bytes = table.heap.fetch(rid)?;
+                if row_matches(&RowView::new(&bytes), &planned.conditions)? {
+                    out.push(rid);
+                }
+            }
+        }
+        Plan::IndexOr { probes } => {
+            for rid in union_rids(table, planner, probes)? {
+                let bytes = table.heap.fetch(rid)?;
+                if row_matches(&RowView::new(&bytes), &planned.conditions)? {
                     out.push(rid);
                 }
             }

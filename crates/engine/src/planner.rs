@@ -32,13 +32,17 @@ pub struct IndexInfo {
 /// count is needed, and an optional aggregate fold.
 type BoundProjection = (Option<Vec<ColumnId>>, bool, Option<(AggFunc, ColumnId)>);
 
-/// A resolved predicate conjunct: condition with its column id.
+/// A resolved predicate term: condition with its column id(s).
 #[derive(Clone, Debug)]
 pub struct BoundCondition {
-    /// Column the conjunct constrains.
+    /// Column the term constrains — for an `Or`, its first branch's
+    /// column (see `branch_columns` for the full set).
     pub column: ColumnId,
     /// The original condition.
     pub condition: Condition,
+    /// For [`Condition::Or`] terms: the column id of each branch,
+    /// parallel to the branch list. Empty for simple terms.
+    pub branch_columns: Vec<ColumnId>,
 }
 
 /// The chosen access path.
@@ -76,6 +80,24 @@ pub enum Plan {
         index: usize,
         /// True for `MAX` (rightmost entry), false for `MIN`.
         max: bool,
+    },
+    /// Rowid intersection: equality probes on two (or more) distinct
+    /// indexes, each collecting the rids of one `Eq` conjunct; the
+    /// sorted rid lists are intersected, the survivors fetched from the
+    /// heap and residual-filtered.
+    IndexAnd {
+        /// `(index position, probe value)` per participant; each probes
+        /// that index's leading key column.
+        probes: Vec<(usize, Value)>,
+    },
+    /// Rowid union: one equality probe per `IN` value or `OR` branch
+    /// (probes may target different indexes); the sorted rid lists are
+    /// deduplicated, the union fetched from the heap and
+    /// residual-filtered.
+    IndexOr {
+        /// `(index position, probe value)` per probe; each probes that
+        /// index's leading key column. Deduplicated at plan time.
+        probes: Vec<(usize, Value)>,
     },
 }
 
@@ -133,6 +155,17 @@ impl PlannedQuery {
                 self.index_name.as_deref().unwrap_or("?"),
                 if *max { "max" } else { "min" }
             ),
+            Plan::IndexAnd { probes } => format!(
+                "IndexAnd({}, {} probes)",
+                self.index_name.as_deref().unwrap_or("?"),
+                probes.len()
+            ),
+            Plan::IndexOr { probes } => format!(
+                "IndexOr({}, {} probe{})",
+                self.index_name.as_deref().unwrap_or("?"),
+                probes.len(),
+                if probes.len() == 1 { "" } else { "s" }
+            ),
         };
         format!("{kind} cost={}", self.est_cost)
     }
@@ -180,6 +213,12 @@ pub struct PlannerFlags {
     /// Let seeks skip heap fetches when the index covers the query
     /// (off = every seek fetches, like a non-covering secondary index).
     pub covering_seeks: bool,
+    /// Allow rowid-intersection plans ([`Plan::IndexAnd`]) over pairs
+    /// of equality conjuncts served by distinct indexes.
+    pub and_intersections: bool,
+    /// Allow rowid-union plans ([`Plan::IndexOr`]) for `IN` lists and
+    /// `OR` disjunctions of equality/`IN` branches.
+    pub or_unions: bool,
 }
 
 impl Default for PlannerFlags {
@@ -188,6 +227,8 @@ impl Default for PlannerFlags {
             index_only_scans: true,
             range_scans: true,
             covering_seeks: true,
+            and_intersections: true,
+            or_unions: true,
         }
     }
 }
@@ -248,6 +289,12 @@ impl<'a> Planner<'a> {
 
         // Columns the plan must produce (projection + predicate).
         let needed = Self::needed_columns(&conditions, &projection, count_only);
+        // Key-side evaluation handles one column per term; a
+        // multi-column OR needs the heap row, so such statements are
+        // never served covering.
+        let multi_col_or = conditions
+            .iter()
+            .any(|c| c.branch_columns.windows(2).any(|w| w[0] != w[1]));
 
         let est_rows = self.estimate_rows(&conditions);
         let mut best: Option<(Cost, u32, Plan, Option<String>)> = None;
@@ -284,7 +331,7 @@ impl<'a> Planner<'a> {
         }
 
         for (i, info) in self.indexes.iter().enumerate() {
-            let covering = self.flags.covering_seeks && self.covers(info, &needed);
+            let covering = self.flags.covering_seeks && !multi_col_or && self.covers(info, &needed);
 
             // Longest leading prefix bound by equality.
             let eq_prefix = info
@@ -356,6 +403,76 @@ impl<'a> Planner<'a> {
             }
         }
 
+        // Rowid-union candidates: one per IN / all-equality OR term
+        // (an OR is union-servable iff *every* branch expands to
+        // equality probes — snippet-1's rule). Each probe uses the
+        // cheapest index leading on its column; the union is fetched
+        // and residual-filtered, so the other conjuncts still apply.
+        if self.flags.or_unions {
+            'terms: for bc in &conditions {
+                let Some(probes) = self.or_probes(bc) else {
+                    continue;
+                };
+                let mut cost = Cost::ZERO;
+                let mut chosen: Vec<(usize, Value)> = Vec::with_capacity(probes.len());
+                let mut names: Vec<&str> = Vec::new();
+                for (col, v) in probes {
+                    // A probe column without a leading index sinks the
+                    // whole union: its branch rows would be missed.
+                    let Some((j, c)) = self.cheapest_probe(col) else {
+                        continue 'terms;
+                    };
+                    cost += c;
+                    if !names.contains(&self.indexes[j].name.as_str()) {
+                        names.push(self.indexes[j].name.as_str());
+                    }
+                    chosen.push((j, v));
+                }
+                let rows = self.stats.row_count as f64 * self.term_selectivity(bc);
+                cost += CostModel::rid_fetches(rows);
+                let name = names.join(", ");
+                consider(cost, 1, Plan::IndexOr { probes: chosen }, Some(name));
+            }
+        }
+
+        // Rowid-intersection candidates: pairs of equality conjuncts on
+        // distinct columns, each probed through its own leading index;
+        // the intersected rid list is fetched and residual-filtered.
+        if self.flags.and_intersections {
+            let eq_terms: Vec<(ColumnId, &Value)> = conditions
+                .iter()
+                .filter_map(|c| match &c.condition {
+                    Condition::Eq { value, .. } => Some((c.column, value)),
+                    _ => None,
+                })
+                .collect();
+            for (pi, (pcol, pval)) in eq_terms.iter().enumerate() {
+                for (qcol, qval) in eq_terms.iter().skip(pi + 1) {
+                    if pcol == qcol {
+                        continue;
+                    }
+                    let (Some((pj, pc)), Some((qj, qc))) =
+                        (self.cheapest_probe(*pcol), self.cheapest_probe(*qcol))
+                    else {
+                        continue;
+                    };
+                    let sel = self.stats.column(*pcol).eq_selectivity()
+                        * self.stats.column(*qcol).eq_selectivity();
+                    let rows = self.stats.row_count as f64 * sel;
+                    let cost = pc + qc + CostModel::rid_fetches(rows);
+                    let name = format!("{}, {}", self.indexes[pj].name, self.indexes[qj].name);
+                    consider(
+                        cost,
+                        1,
+                        Plan::IndexAnd {
+                            probes: vec![(pj, (*pval).clone()), (qj, (*qval).clone())],
+                        },
+                        Some(name),
+                    );
+                }
+            }
+        }
+
         let (est_cost, _, plan, index_name) = best.expect("seq scan is always a candidate");
         match &plan {
             Plan::SeqScan => cdpd_obs::counter!("engine.planner.pick.seq_scan").inc(),
@@ -367,6 +484,8 @@ impl<'a> Planner<'a> {
             Plan::IndexExtremum { .. } => {
                 cdpd_obs::counter!("engine.planner.pick.index_extremum").inc()
             }
+            Plan::IndexAnd { .. } => cdpd_obs::counter!("engine.planner.pick.index_and").inc(),
+            Plan::IndexOr { .. } => cdpd_obs::counter!("engine.planner.pick.index_or").inc(),
         }
         // Does the chosen path already emit rows in the requested order?
         // Index cursors run ascending over the key, so an ascending
@@ -498,14 +617,35 @@ impl<'a> Planner<'a> {
             (Some(proj), _) => {
                 let mut v = proj.clone();
                 for c in conditions {
-                    if !v.contains(&c.column) {
-                        v.push(c.column);
+                    for col in Self::term_columns(c) {
+                        if !v.contains(&col) {
+                            v.push(col);
+                        }
                     }
                 }
                 Some(v)
             }
-            (None, true) => Some(conditions.iter().map(|c| c.column).collect()),
+            (None, true) => {
+                let mut v = Vec::new();
+                for c in conditions {
+                    for col in Self::term_columns(c) {
+                        if !v.contains(&col) {
+                            v.push(col);
+                        }
+                    }
+                }
+                Some(v)
+            }
             (None, false) => None, // SELECT *
+        }
+    }
+
+    /// Columns one bound term reads (every `Or` branch's column).
+    fn term_columns(c: &BoundCondition) -> Vec<ColumnId> {
+        if c.branch_columns.is_empty() {
+            vec![c.column]
+        } else {
+            c.branch_columns.clone()
         }
     }
 
@@ -582,10 +722,31 @@ impl<'a> Planner<'a> {
         let conditions = self.bind_conditions(stmt)?;
         let (projection, count_only, aggregate) = self.bind_projection(stmt)?;
         let needed = Self::needed_columns(&conditions, &projection, count_only);
+        let multi_col_or = conditions
+            .iter()
+            .any(|c| c.branch_columns.windows(2).any(|w| w[0] != w[1]));
         let extremum_col = match aggregate {
             Some((AggFunc::Min | AggFunc::Max, col)) if conditions.is_empty() => Some(col),
             _ => None,
         };
+        // Columns probed by rowid-union candidates (IN / all-equality
+        // OR terms within the fanout gate): an index leading on one
+        // can join — and thereby change the cost of — a union plan.
+        // Marking it relevant even when a sibling probe column lacks an
+        // index over-approximates, which is safe: relevance masks only
+        // need to *keep* every cost-affecting index.
+        let mut union_cols: Vec<ColumnId> = Vec::new();
+        if self.flags.or_unions {
+            for bc in &conditions {
+                if let Some(probes) = self.or_probes(bc) {
+                    for (col, _) in probes {
+                        if !union_cols.contains(&col) {
+                            union_cols.push(col);
+                        }
+                    }
+                }
+            }
+        }
         Ok(self
             .indexes
             .iter()
@@ -594,10 +755,14 @@ impl<'a> Planner<'a> {
                 if extremum_col == Some(leading) {
                     return true;
                 }
+                // Eq-leading serves seeks and IndexAnd probes alike.
                 let eq_lead = conditions
                     .iter()
                     .any(|c| c.column == leading && matches!(c.condition, Condition::Eq { .. }));
                 if eq_lead {
+                    return true;
+                }
+                if union_cols.contains(&leading) {
                     return true;
                 }
                 let range_lead = self.flags.range_scans
@@ -609,6 +774,7 @@ impl<'a> Planner<'a> {
                 }
                 self.flags.index_only_scans
                     && self.flags.covering_seeks
+                    && !multi_col_or
                     && self.covers(info, &needed)
             })
             .collect())
@@ -617,32 +783,66 @@ impl<'a> Planner<'a> {
     fn bind_conditions(&self, stmt: &SelectStmt) -> Result<Vec<BoundCondition>> {
         stmt.conditions
             .iter()
-            .map(|cond| {
-                let name = cond.column();
-                let column = self
-                    .schema
-                    .column_id(name)
-                    .ok_or_else(|| Error::NotFound(format!("column {name}")))?;
-                let ty = self.schema.column(column).expect("id just resolved").ty;
-                let lit_ok = match cond {
-                    Condition::Eq { value, .. } => value.value_type() == ty,
-                    Condition::Range { lo, hi, .. } => {
-                        lo.as_ref().is_none_or(|v| v.value_type() == ty)
-                            && hi.as_ref().is_none_or(|v| v.value_type() == ty)
-                    }
-                };
-                if !lit_ok {
-                    return Err(Error::TypeMismatch(format!(
-                        "literal type does not match column {name} ({ty:?})",
-                        ty = ty
-                    )));
-                }
-                Ok(BoundCondition {
-                    column,
-                    condition: cond.clone(),
-                })
-            })
+            .map(|cond| self.bind_condition(cond))
             .collect()
+    }
+
+    /// Resolve one predicate term, type-checking every literal. `Or`
+    /// terms resolve each branch to its own column id.
+    fn bind_condition(&self, cond: &Condition) -> Result<BoundCondition> {
+        if let Condition::Or(branches) = cond {
+            if branches.is_empty() {
+                return Err(Error::InvalidArgument("empty OR disjunction".into()));
+            }
+            let branch_columns = branches
+                .iter()
+                .map(|b| {
+                    if matches!(b, Condition::Or(_)) {
+                        return Err(Error::InvalidArgument(
+                            "nested OR branches are not supported".into(),
+                        ));
+                    }
+                    self.bind_simple(b)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(BoundCondition {
+                column: branch_columns[0],
+                condition: cond.clone(),
+                branch_columns,
+            });
+        }
+        let column = self.bind_simple(cond)?;
+        Ok(BoundCondition {
+            column,
+            condition: cond.clone(),
+            branch_columns: Vec::new(),
+        })
+    }
+
+    /// Resolve a simple (non-`Or`) condition's column id.
+    fn bind_simple(&self, cond: &Condition) -> Result<ColumnId> {
+        let name = cond.column();
+        let column = self
+            .schema
+            .column_id(name)
+            .ok_or_else(|| Error::NotFound(format!("column {name}")))?;
+        let ty = self.schema.column(column).expect("id just resolved").ty;
+        let lit_ok = match cond {
+            Condition::Eq { value, .. } => value.value_type() == ty,
+            Condition::Range { lo, hi, .. } => {
+                lo.as_ref().is_none_or(|v| v.value_type() == ty)
+                    && hi.as_ref().is_none_or(|v| v.value_type() == ty)
+            }
+            Condition::In { values, .. } => values.iter().all(|v| v.value_type() == ty),
+            Condition::Or(_) => unreachable!("Or terms go through bind_condition"),
+        };
+        if !lit_ok {
+            return Err(Error::TypeMismatch(format!(
+                "literal type does not match column {name} ({ty:?})",
+                ty = ty
+            )));
+        }
+        Ok(column)
     }
 
     fn bind_projection(&self, stmt: &SelectStmt) -> Result<BoundProjection> {
@@ -674,23 +874,57 @@ impl<'a> Planner<'a> {
     fn estimate_rows(&self, conditions: &[BoundCondition]) -> f64 {
         let mut sel = 1.0f64;
         for bc in conditions {
-            sel *= match &bc.condition {
-                Condition::Eq { .. } => self.stats.column(bc.column).eq_selectivity(),
-                Condition::Range {
-                    lo,
-                    lo_inclusive,
-                    hi,
-                    hi_inclusive,
-                    ..
-                } => self.stats.column(bc.column).histogram.range_selectivity(
-                    lo.as_ref(),
-                    *lo_inclusive,
-                    hi.as_ref(),
-                    *hi_inclusive,
-                ),
-            };
+            sel *= self.term_selectivity(bc);
         }
         self.stats.row_count as f64 * sel
+    }
+
+    /// Selectivity of a simple (non-`Or`) condition on `column`.
+    fn simple_selectivity(&self, column: ColumnId, cond: &Condition) -> f64 {
+        let col = self.stats.column(column);
+        match cond {
+            Condition::Eq { .. } => col.eq_selectivity(),
+            Condition::Range {
+                lo,
+                lo_inclusive,
+                hi,
+                hi_inclusive,
+                ..
+            } => col.histogram.range_selectivity(
+                lo.as_ref(),
+                *lo_inclusive,
+                hi.as_ref(),
+                *hi_inclusive,
+            ),
+            Condition::In { values, .. } => {
+                // Sum per-value point estimates over *distinct* values
+                // (the executor probes each value once), capped at 1.
+                let mut seen: Vec<&Value> = Vec::new();
+                let mut sel = 0.0f64;
+                for v in values {
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                        sel += col.point_selectivity(v);
+                    }
+                }
+                sel.min(1.0)
+            }
+            Condition::Or(_) => unreachable!("Or terms go through term_selectivity"),
+        }
+    }
+
+    /// Selectivity of one bound term; a disjunction is the capped sum
+    /// of its branch selectivities (upper bound; exact when disjoint).
+    fn term_selectivity(&self, bc: &BoundCondition) -> f64 {
+        match &bc.condition {
+            Condition::Or(branches) => branches
+                .iter()
+                .zip(&bc.branch_columns)
+                .map(|(b, col)| self.simple_selectivity(*col, b))
+                .sum::<f64>()
+                .min(1.0),
+            cond => self.simple_selectivity(bc.column, cond),
+        }
     }
 
     /// Rows matching an equality probe on the first `eq_prefix` key
@@ -701,6 +935,71 @@ impl<'a> Planner<'a> {
             sel *= self.stats.column(*col).eq_selectivity();
         }
         self.stats.row_count as f64 * sel
+    }
+
+    /// Fanout gate for rowid-union plans: beyond this many probes a
+    /// union of point seeks loses its locality advantage and the
+    /// planner stops generating the candidate (large IN lists fall
+    /// back to the scan-based paths).
+    pub const MAX_OR_PROBES: usize = 16;
+
+    /// The deduplicated `(column, value)` equality probes a term
+    /// expands into for a rowid-union plan, or `None` when the term is
+    /// not union-servable: simple Eq/Range terms, an OR with a Range
+    /// branch, an empty probe list, or fanout beyond
+    /// [`Planner::MAX_OR_PROBES`].
+    fn or_probes(&self, bc: &BoundCondition) -> Option<Vec<(ColumnId, Value)>> {
+        let mut raw: Vec<(ColumnId, &Value)> = Vec::new();
+        match &bc.condition {
+            Condition::In { values, .. } => {
+                for v in values {
+                    raw.push((bc.column, v));
+                }
+            }
+            Condition::Or(branches) => {
+                for (b, col) in branches.iter().zip(&bc.branch_columns) {
+                    match b {
+                        Condition::Eq { value, .. } => raw.push((*col, value)),
+                        Condition::In { values, .. } => {
+                            for v in values {
+                                raw.push((*col, v));
+                            }
+                        }
+                        // A Range branch has no equality probe: the
+                        // whole term falls out of the union path.
+                        _ => return None,
+                    }
+                }
+            }
+            _ => return None,
+        }
+        // Plan-time dedup: repeated IN values probe once.
+        let mut probes: Vec<(ColumnId, Value)> = Vec::new();
+        for (c, v) in raw {
+            if !probes.iter().any(|(pc, pv)| *pc == c && pv == v) {
+                probes.push((c, v.clone()));
+            }
+        }
+        if probes.is_empty() || probes.len() > Self::MAX_OR_PROBES {
+            return None;
+        }
+        Some(probes)
+    }
+
+    /// Cheapest single-value equality probe on `col`: index position
+    /// and probe cost, or `None` when no index leads on `col`.
+    fn cheapest_probe(&self, col: ColumnId) -> Option<(usize, Cost)> {
+        let rows = self.stats.eq_rows(col);
+        let mut best: Option<(usize, Cost)> = None;
+        for (j, info) in self.indexes.iter().enumerate() {
+            if info.columns[0] == col {
+                let c = CostModel::index_probe(self.stats, info.shape, rows);
+                if best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((j, c));
+                }
+            }
+        }
+        best
     }
 
     /// The probe values for an [`Plan::IndexSeek`], in key order.
@@ -1131,6 +1430,294 @@ mod tests {
         assert_eq!(
             planner.relevant_indexes(&agg).unwrap(),
             vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn in_list_plans_union_probes_with_dedup() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st)];
+        let p = plan_sql("SELECT * FROM t WHERE a IN (1, 2, 3)", &sc, &st, &idx);
+        match &p.plan {
+            Plan::IndexOr { probes } => {
+                assert_eq!(probes.len(), 3);
+                assert!(probes.iter().all(|(i, _)| *i == 0));
+            }
+            other => panic!("expected IndexOr: {other:?}"),
+        }
+        assert!(p.est_cost < CostModel::seq_scan(&st));
+        assert!(
+            p.describe().starts_with("IndexOr(ix_a, 3 probes)"),
+            "{}",
+            p.describe()
+        );
+
+        // Duplicate values probe once (plan-time dedup).
+        let p = plan_sql("SELECT * FROM t WHERE a IN (7, 7, 7)", &sc, &st, &idx);
+        match &p.plan {
+            Plan::IndexOr { probes } => assert_eq!(probes, &vec![(0, Value::Int(7))]),
+            other => panic!("expected IndexOr: {other:?}"),
+        }
+        assert!(
+            p.describe().starts_with("IndexOr(ix_a, 1 probe)"),
+            "{}",
+            p.describe()
+        );
+    }
+
+    #[test]
+    fn in_list_boundaries_zero_one_large() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st)];
+        let planner = Planner::new(&sc, &st, &idx);
+
+        // Empty IN list (unbuildable from SQL, reachable via the AST):
+        // matches nothing, never panics, and costs no more than a scan.
+        let stmt = SelectStmt {
+            projection: cdpd_sql::Projection::Star,
+            table: "t".into(),
+            conditions: vec![Condition::In {
+                column: "a".into(),
+                values: vec![],
+            }],
+            order_by: None,
+            limit: None,
+        };
+        let p = planner.plan(&stmt).unwrap();
+        assert_eq!(p.plan, Plan::SeqScan, "{:?}", p.plan);
+        assert_eq!(p.est_rows, 0.0);
+
+        // Single-element IN behaves like a one-probe union.
+        let p = plan_sql("SELECT * FROM t WHERE a IN (5)", &sc, &st, &idx);
+        assert!(
+            matches!(&p.plan, Plan::IndexOr { probes } if probes.len() == 1),
+            "{:?}",
+            p.plan
+        );
+
+        // Beyond the fanout gate the candidate is not generated at all.
+        let many: Vec<String> = (0..(Planner::MAX_OR_PROBES as i64 + 1))
+            .map(|v| (v * 97).to_string())
+            .collect();
+        let sql = format!("SELECT * FROM t WHERE a IN ({})", many.join(", "));
+        let p = plan_sql(&sql, &sc, &st, &idx);
+        assert_eq!(p.plan, Plan::SeqScan, "{:?}", p.plan);
+    }
+
+    #[test]
+    fn or_disjunction_unions_across_indexes() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st), info("ix_b", &[1], &st)];
+        let p = plan_sql("SELECT * FROM t WHERE (a = 1 OR b = 2)", &sc, &st, &idx);
+        match &p.plan {
+            Plan::IndexOr { probes } => {
+                assert_eq!(probes, &vec![(0, Value::Int(1)), (1, Value::Int(2))]);
+            }
+            other => panic!("expected IndexOr: {other:?}"),
+        }
+        assert!(
+            p.describe().starts_with("IndexOr(ix_a, ix_b, 2 probes)"),
+            "{}",
+            p.describe()
+        );
+
+        // One branch without a leading index sinks the whole union.
+        let only_a = [info("ix_a", &[0], &st)];
+        let p = plan_sql("SELECT * FROM t WHERE (a = 1 OR b = 2)", &sc, &st, &only_a);
+        assert_eq!(p.plan, Plan::SeqScan, "{:?}", p.plan);
+
+        // A Range branch disqualifies the union path entirely; the
+        // single-column disjunction is still served covering.
+        let p = plan_sql(
+            "SELECT a FROM t WHERE (a = 1 OR a >= 40000)",
+            &sc,
+            &st,
+            &only_a,
+        );
+        assert!(
+            matches!(p.plan, Plan::IndexOnlyScan { .. } | Plan::SeqScan),
+            "{:?}",
+            p.plan
+        );
+        assert!(!matches!(p.plan, Plan::IndexOr { .. }));
+    }
+
+    /// Stats with coarse 50-valued a/b columns: each equality matches
+    /// ~2000 rows, so single-index seeks pay heavy fetch bills and the
+    /// a∧b conjunction (≈40 rows) favours a rowid intersection.
+    fn coarse_stats(rows: u64) -> TableStats {
+        let mut b = StatsMaintainer::new(4, rows);
+        for i in 0..rows as i64 {
+            b.add_row(&[
+                Value::Int(i % 50),
+                Value::Int((i * 7) % 50),
+                Value::Int(i % 1000),
+                Value::Int(i),
+            ]);
+        }
+        b.snapshot((rows / 200).max(1))
+    }
+
+    #[test]
+    fn eq_pair_intersects_two_single_column_indexes() {
+        let (sc, st) = (schema(), coarse_stats(100_000));
+        let idx = [info("ix_a", &[0], &st), info("ix_b", &[1], &st)];
+        let p = plan_sql("SELECT * FROM t WHERE a = 5 AND b = 2", &sc, &st, &idx);
+        match &p.plan {
+            Plan::IndexAnd { probes } => {
+                assert_eq!(probes, &vec![(0, Value::Int(5)), (1, Value::Int(2))]);
+            }
+            other => panic!("expected IndexAnd: {other:?}"),
+        }
+        assert!(
+            p.describe().starts_with("IndexAnd(ix_a, ix_b, 2 probes)"),
+            "{}",
+            p.describe()
+        );
+        // A composite covering both columns still beats the intersection.
+        let with_ab = [
+            info("ix_a", &[0], &st),
+            info("ix_b", &[1], &st),
+            info("ix_ab", &[0, 1], &st),
+        ];
+        let p = plan_sql("SELECT a FROM t WHERE a = 5 AND b = 2", &sc, &st, &with_ab);
+        assert!(
+            matches!(
+                p.plan,
+                Plan::IndexSeek {
+                    index: 2,
+                    eq_prefix: 2,
+                    ..
+                }
+            ),
+            "{:?}",
+            p.plan
+        );
+    }
+
+    #[test]
+    fn new_path_ablation_flags() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [info("ix_a", &[0], &st), info("ix_b", &[1], &st)];
+
+        let no_unions = PlannerFlags {
+            or_unions: false,
+            ..Default::default()
+        };
+        let stmt = match parse("SELECT * FROM t WHERE a IN (1, 2, 3)").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let p = Planner::with_flags(&sc, &st, &idx, no_unions)
+            .plan(&stmt)
+            .unwrap();
+        assert_eq!(p.plan, Plan::SeqScan, "{:?}", p.plan);
+
+        let no_and = PlannerFlags {
+            and_intersections: false,
+            ..Default::default()
+        };
+        let stmt = match parse("SELECT * FROM t WHERE a = 5 AND b = 2").unwrap() {
+            cdpd_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let p = Planner::with_flags(&sc, &st, &idx, no_and)
+            .plan(&stmt)
+            .unwrap();
+        assert!(!matches!(p.plan, Plan::IndexAnd { .. }), "{:?}", p.plan);
+    }
+
+    #[test]
+    fn fanout_gating_never_costs_more_than_scan_baseline() {
+        // Property sweep: for IN lists of every size (including far past
+        // the gate) and weak multi-branch ORs, the chosen plan's cost
+        // never exceeds the seq-scan baseline, and beyond the gate the
+        // union candidate disappears entirely.
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [
+            info("ix_a", &[0], &st),
+            info("ix_b", &[1], &st),
+            info("ix_c", &[2], &st),
+        ];
+        let baseline = CostModel::seq_scan(&st);
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for len in 0..40usize {
+            let vals: Vec<String> = (0..len.max(1))
+                .map(|_| ((next() % 50_000) as i64).to_string())
+                .collect();
+            let sql = format!("SELECT * FROM t WHERE a IN ({})", vals.join(", "));
+            let p = plan_sql(&sql, &sc, &st, &idx);
+            assert!(
+                p.est_cost <= baseline,
+                "len={len}: {} > {baseline}",
+                p.est_cost
+            );
+            let distinct = {
+                let mut v = vals.clone();
+                v.sort();
+                v.dedup();
+                v.len()
+            };
+            if distinct > Planner::MAX_OR_PROBES {
+                assert_eq!(p.plan, Plan::SeqScan, "len={len} must be gated");
+            }
+        }
+        // Weak OR branches (wide ranges / heavy fan-in) degrade to the
+        // scan without ever exceeding it.
+        for sql in [
+            "SELECT * FROM t WHERE (a = 1 OR b >= 0)",
+            "SELECT * FROM t WHERE (a = 1 OR b = 2 OR c = 3)",
+        ] {
+            let p = plan_sql(sql, &sc, &st, &idx);
+            assert!(p.est_cost <= baseline, "{sql}: {}", p.est_cost);
+        }
+    }
+
+    #[test]
+    fn relevance_covers_union_and_intersection_paths() {
+        let (sc, st) = (schema(), stats(100_000));
+        let idx = [
+            info("ix_a", &[0], &st),
+            info("ix_b", &[1], &st),
+            info("ix_ab", &[0, 1], &st),
+            info("ix_cd", &[2, 3], &st),
+        ];
+        let planner = Planner::new(&sc, &st, &idx);
+        let rel = |sql: &str| planner.relevant_indexes(&dml(sql)).unwrap();
+
+        // IN on a: probes through anything leading on a.
+        assert_eq!(
+            rel("SELECT * FROM t WHERE a IN (1, 2)"),
+            vec![true, false, true, false]
+        );
+        // Disjunction over a and b: both probe columns light up.
+        assert_eq!(
+            rel("SELECT * FROM t WHERE (a = 1 OR b = 2)"),
+            vec![true, true, true, false]
+        );
+        // Ablating unions turns both statements inert again.
+        let flags = PlannerFlags {
+            or_unions: false,
+            ..Default::default()
+        };
+        let ablated = Planner::with_flags(&sc, &st, &idx, flags);
+        assert_eq!(
+            ablated
+                .relevant_indexes(&dml("SELECT * FROM t WHERE a IN (1, 2)"))
+                .unwrap(),
+            vec![false; 4]
+        );
+        // Eq conjuncts feed both seeks and intersections: covered by
+        // the existing eq-leading rule.
+        assert_eq!(
+            rel("SELECT * FROM t WHERE a = 1 AND b = 2"),
+            vec![true, true, true, false]
         );
     }
 

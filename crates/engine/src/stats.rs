@@ -163,6 +163,21 @@ impl ColumnStats {
             1.0 / self.distinct as f64
         }
     }
+
+    /// Histogram-informed selectivity of `col = v` for a *specific*
+    /// literal, as IN-list and OR-branch estimates need: values outside
+    /// the observed [min, max] domain match nothing, a point mass at an
+    /// equi-depth bucket bound (a heavy hitter) dominates, and anything
+    /// else falls back to the uniform `1 / distinct` estimate.
+    pub fn point_selectivity(&self, v: &Value) -> f64 {
+        if let (Some(min), Some(max)) = (&self.min, &self.max) {
+            if v < min || v > max {
+                return 0.0;
+            }
+        }
+        let mass = self.histogram.fraction_below(v, true) - self.histogram.fraction_below(v, false);
+        mass.max(0.0).max(self.eq_selectivity()).min(1.0)
+    }
 }
 
 /// Statistics for one table.

@@ -451,6 +451,21 @@ mod tests {
                 cdpd_sql::Statement::Delete(d) => Dml::Delete(d),
                 _ => unreachable!(),
             },
+            // Multi-index paths: the IN probes light up every a-leading
+            // structure; the disjunction spans a and c at once; the Eq
+            // pair can intersect through I(a) × I(b).
+            match cdpd_sql::parse("SELECT * FROM t WHERE a IN (2, 4, 6)").unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                _ => unreachable!(),
+            },
+            match cdpd_sql::parse("SELECT * FROM t WHERE (a = 1 OR c = 2)").unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                _ => unreachable!(),
+            },
+            match cdpd_sql::parse("SELECT * FROM t WHERE a = 1 AND b = 2").unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                _ => unreachable!(),
+            },
         ];
         let specs_of = |bits: u64| -> Vec<IndexSpec> {
             structures

@@ -54,12 +54,15 @@ impl Projection {
     }
 }
 
-/// One predicate conjunct on a single column.
+/// One term of the normalized predicate tree.
 ///
-/// The `WHERE` clause is a conjunction of these; that is the entire
-/// predicate language (no `OR`, no expressions), which matches the
-/// access-path decisions a single-table design advisor must cost:
-/// equality seeks, range scans, and residual filters.
+/// The `WHERE` clause is a *conjunction* of terms, where each term is
+/// an equality, a range, an `IN` list (all on a single column), or an
+/// `OR` of such simple branches. This normal form — no arbitrary
+/// nesting, no expressions — matches exactly the access-path decisions
+/// a single-table design advisor must cost: equality seeks, range
+/// scans, IN-probe/`OR` unions, rowid intersections, and residual
+/// filters.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Condition {
     /// `col = v`
@@ -83,17 +86,80 @@ pub enum Condition {
         /// Whether the upper bound itself matches.
         hi_inclusive: bool,
     },
+    /// `col IN (v1, v2, ...)`. The literal list is kept verbatim
+    /// (duplicates and all) for display fidelity; deduplication is a
+    /// *planning-time* normalization.
+    In {
+        /// Column name.
+        column: String,
+        /// Literal list, in statement order.
+        values: Vec<Value>,
+    },
+    /// A disjunction of *simple* branches (`Eq`, `Range`, or `In`;
+    /// never a nested `Or`), possibly across different columns.
+    Or(Vec<Condition>),
 }
 
 impl Condition {
-    /// The column this conjunct constrains.
+    /// The column this term constrains — for [`Condition::Or`], the
+    /// first branch's column (disjunctions may span several columns;
+    /// use [`Condition::for_each_column`] to see them all).
     pub fn column(&self) -> &str {
         match self {
-            Condition::Eq { column, .. } | Condition::Range { column, .. } => column,
+            Condition::Eq { column, .. }
+            | Condition::Range { column, .. }
+            | Condition::In { column, .. } => column,
+            Condition::Or(branches) => branches.first().map_or("", |b| b.column()),
         }
     }
 
-    /// True if `v` satisfies this conjunct.
+    /// Visit every column this term references (branch columns of an
+    /// `Or` included), in syntactic order, possibly with repeats.
+    pub fn for_each_column(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Condition::Eq { column, .. }
+            | Condition::Range { column, .. }
+            | Condition::In { column, .. } => f(column),
+            Condition::Or(branches) => {
+                for b in branches {
+                    b.for_each_column(f);
+                }
+            }
+        }
+    }
+
+    /// Every column this term references, deduplicated, in syntactic
+    /// order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        match self {
+            Condition::Eq { column, .. }
+            | Condition::Range { column, .. }
+            | Condition::In { column, .. } => out.push(column),
+            Condition::Or(branches) => {
+                for b in branches {
+                    for c in b.columns() {
+                        if !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the term constrains exactly one column (always true
+    /// for `Eq`/`Range`/`In`; true for an `Or` whose branches all name
+    /// the same column).
+    pub fn single_column(&self) -> bool {
+        self.columns().len() == 1
+    }
+
+    /// True if `v` satisfies this term. For [`Condition::Or`] this is
+    /// only meaningful when the disjunction is
+    /// [`single_column`](Condition::single_column) — multi-column
+    /// disjunctions need a full row, which is the executor's job.
     pub fn matches(&self, v: &Value) -> bool {
         match self {
             Condition::Eq { value, .. } => v == value,
@@ -116,6 +182,8 @@ impl Condition {
                 }
                 true
             }
+            Condition::In { values, .. } => values.contains(v),
+            Condition::Or(branches) => branches.iter().any(|b| b.matches(v)),
         }
     }
 }
@@ -170,8 +238,10 @@ impl SelectStmt {
             .map(String::as_str)
             .collect();
         for c in &self.conditions {
-            if !cols.contains(&c.column()) {
-                cols.push(c.column());
+            for col in c.columns() {
+                if !cols.contains(&col) {
+                    cols.push(col);
+                }
             }
         }
         if let Some(ob) = &self.order_by {
@@ -385,6 +455,28 @@ impl fmt::Display for Condition {
                     (None, None) => write!(f, "{column} IS NOT NULL"),
                 }
             }
+            Condition::In { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            // Always parenthesized so the printed form re-parses as one
+            // grouped disjunction even inside an AND-joined WHERE.
+            Condition::Or(branches) => {
+                write!(f, "(")?;
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -490,6 +582,80 @@ mod tests {
         };
         assert!(lt.matches(&Value::Int(3)));
         assert!(!lt.matches(&Value::Int(4)));
+    }
+
+    #[test]
+    fn condition_matches_in_and_or() {
+        let inn = Condition::In {
+            column: "a".into(),
+            values: vec![Value::Int(1), Value::Int(3), Value::Int(3)],
+        };
+        assert!(inn.matches(&Value::Int(3)));
+        assert!(!inn.matches(&Value::Int(2)));
+        assert_eq!(inn.to_string(), "a IN (1, 3, 3)");
+        assert_eq!(inn.columns(), vec!["a"]);
+        assert!(inn.single_column());
+
+        let empty = Condition::In {
+            column: "a".into(),
+            values: vec![],
+        };
+        assert!(!empty.matches(&Value::Int(1)), "empty IN matches nothing");
+
+        let or = Condition::Or(vec![
+            Condition::Eq {
+                column: "a".into(),
+                value: Value::Int(1),
+            },
+            Condition::Eq {
+                column: "b".into(),
+                value: Value::Int(2),
+            },
+        ]);
+        assert_eq!(or.to_string(), "(a = 1 OR b = 2)");
+        assert_eq!(or.columns(), vec!["a", "b"]);
+        assert_eq!(or.column(), "a", "Or reports its first branch column");
+        assert!(!or.single_column());
+
+        let same_col = Condition::Or(vec![
+            Condition::Eq {
+                column: "a".into(),
+                value: Value::Int(1),
+            },
+            Condition::Range {
+                column: "a".into(),
+                lo: Some(Value::Int(5)),
+                lo_inclusive: true,
+                hi: None,
+                hi_inclusive: false,
+            },
+        ]);
+        assert!(same_col.single_column());
+        assert!(same_col.matches(&Value::Int(1)));
+        assert!(same_col.matches(&Value::Int(9)));
+        assert!(!same_col.matches(&Value::Int(3)));
+        assert_eq!(same_col.to_string(), "(a = 1 OR a >= 5)");
+    }
+
+    #[test]
+    fn referenced_columns_walk_or_branches() {
+        let s = SelectStmt {
+            projection: Projection::Columns(vec!["a".into()]),
+            table: "t".into(),
+            conditions: vec![Condition::Or(vec![
+                Condition::Eq {
+                    column: "b".into(),
+                    value: Value::Int(1),
+                },
+                Condition::In {
+                    column: "c".into(),
+                    values: vec![Value::Int(2)],
+                },
+            ])],
+            order_by: None,
+            limit: None,
+        };
+        assert_eq!(s.referenced_columns().unwrap(), vec!["a", "b", "c"]);
     }
 
     #[test]

@@ -284,7 +284,44 @@ impl Parser {
                     hi_inclusive: true,
                 })
             }
+            Some(TokenKind::Ident(kw)) if kw.eq_ignore_ascii_case("IN") => {
+                self.expect(&TokenKind::LParen, "(")?;
+                let mut values = vec![self.literal()?];
+                while self.eat(&TokenKind::Comma) {
+                    values.push(self.literal()?);
+                }
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(Condition::In { column, values })
+            }
             _ => Err(Error::parse(off, "expected comparison operator")),
+        }
+    }
+
+    /// One unit of a `WHERE` clause: a parenthesized `OR` group or a
+    /// single simple condition. A group with one branch collapses to
+    /// that branch.
+    fn predicate_unit(&mut self) -> Result<Condition> {
+        if self.eat(&TokenKind::LParen) {
+            let mut branches = vec![self.condition()?];
+            while self.eat_kw("OR") {
+                branches.push(self.condition()?);
+            }
+            if let Some(TokenKind::Ident(s)) = self.peek() {
+                if s.eq_ignore_ascii_case("AND") {
+                    return Err(Error::parse(
+                        self.offset(),
+                        "AND inside a parenthesized OR group is not supported",
+                    ));
+                }
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            if branches.len() == 1 {
+                Ok(branches.pop().expect("one branch"))
+            } else {
+                Ok(Condition::Or(branches))
+            }
+        } else {
+            self.condition()
         }
     }
 
@@ -329,15 +366,49 @@ impl Parser {
         })
     }
 
+    /// `WHERE` grammar: units (a simple condition or a parenthesized
+    /// `OR` group) joined by one connector kind. All-`AND` yields the
+    /// usual conjunction; all-`OR` yields a single [`Condition::Or`]
+    /// term. Mixing `AND` and `OR` at the same unparenthesized level is
+    /// rejected rather than silently applying SQL precedence — the
+    /// statement must spell its grouping out.
     fn where_clause(&mut self) -> Result<Vec<Condition>> {
-        let mut conditions = Vec::new();
-        if self.eat_kw("WHERE") {
-            conditions.push(self.condition()?);
-            while self.eat_kw("AND") {
-                conditions.push(self.condition()?);
-            }
+        if !self.eat_kw("WHERE") {
+            return Ok(Vec::new());
         }
-        Ok(fold_ranges(conditions))
+        let mut units = vec![self.predicate_unit()?];
+        let mut and_connector: Option<bool> = None;
+        loop {
+            let off = self.offset();
+            let is_and = if self.eat_kw("AND") {
+                true
+            } else if self.eat_kw("OR") {
+                false
+            } else {
+                break;
+            };
+            if and_connector.is_some_and(|prev| prev != is_and) {
+                return Err(Error::parse(
+                    off,
+                    "mixed AND/OR without parentheses; group the OR branches with (...)",
+                ));
+            }
+            and_connector = Some(is_and);
+            units.push(self.predicate_unit()?);
+        }
+        if and_connector == Some(false) {
+            // Top-level disjunction: flatten units (grouped or simple)
+            // into one Or term's branch list.
+            let mut branches = Vec::with_capacity(units.len());
+            for unit in units {
+                match unit {
+                    Condition::Or(inner) => branches.extend(inner),
+                    simple => branches.push(simple),
+                }
+            }
+            return Ok(vec![Condition::Or(branches)]);
+        }
+        Ok(fold_ranges(units))
     }
 
     fn update(&mut self) -> Result<Statement> {
@@ -618,6 +689,82 @@ mod tests {
     }
 
     #[test]
+    fn parses_in_lists() {
+        let s = sel("SELECT a FROM t WHERE a IN (1, 2, 3)");
+        assert_eq!(
+            s.conditions,
+            vec![Condition::In {
+                column: "a".into(),
+                values: vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            }]
+        );
+        // Duplicates and negatives survive verbatim; dedup is the
+        // planner's job.
+        let s = sel("SELECT a FROM t WHERE a IN (-1, -1) AND b = 2");
+        assert_eq!(s.conditions.len(), 2);
+        assert_eq!(
+            s.conditions[0],
+            Condition::In {
+                column: "a".into(),
+                values: vec![Value::Int(-1), Value::Int(-1)],
+            }
+        );
+        for bad in [
+            "SELECT a FROM t WHERE a IN ()",
+            "SELECT a FROM t WHERE a IN (1,)",
+            "SELECT a FROM t WHERE a IN 1",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_or_disjunctions() {
+        // Bare top-level OR becomes one Or term.
+        let s = sel("SELECT * FROM t WHERE a = 1 OR b = 2 OR c IN (3, 4)");
+        assert_eq!(s.conditions.len(), 1);
+        match &s.conditions[0] {
+            Condition::Or(branches) => {
+                assert_eq!(branches.len(), 3);
+                assert!(matches!(&branches[2], Condition::In { column, .. } if column == "c"));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // Parenthesized group AND-joined with a simple conjunct.
+        let s = sel("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c >= 5");
+        assert_eq!(s.conditions.len(), 2);
+        assert!(matches!(&s.conditions[0], Condition::Or(b) if b.len() == 2));
+        assert!(matches!(&s.conditions[1], Condition::Range { .. }));
+        // A one-branch group collapses to the branch itself.
+        let s = sel("SELECT a FROM t WHERE (a = 1)");
+        assert_eq!(
+            s.conditions,
+            vec![Condition::Eq {
+                column: "a".into(),
+                value: Value::Int(1),
+            }]
+        );
+        // Range branches parse inside a group (BETWEEN's AND is
+        // consumed atomically, not as a connector).
+        let s = sel("SELECT * FROM t WHERE (a BETWEEN 1 AND 5 OR b = 2)");
+        assert!(matches!(&s.conditions[0], Condition::Or(b) if b.len() == 2));
+    }
+
+    #[test]
+    fn rejects_mixed_connectors_without_parens() {
+        for bad in [
+            "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3",
+            "SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3",
+            "SELECT a FROM t WHERE (a = 1 AND b = 2)",
+            "SELECT a FROM t WHERE (a = 1 OR b = 2 AND c = 3)",
+            "SELECT a FROM t WHERE (a = 1",
+            "SELECT a FROM t WHERE ()",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
     fn parse_many_splits_script() {
         let stmts = parse_many("SELECT a FROM t; SELECT b FROM t;").unwrap();
         assert_eq!(stmts.len(), 2);
@@ -661,6 +808,12 @@ mod tests {
             "SELECT a FROM t ORDER BY a",
             "UPDATE t SET a = 5, b = 6",
             "DELETE FROM t WHERE a BETWEEN 1 AND 3",
+            "SELECT a FROM t WHERE a IN (1, 2, 3)",
+            "SELECT * FROM t WHERE (a = 1 OR b = 2)",
+            "SELECT * FROM t WHERE (a = 1 OR b IN (2, 3)) AND c >= 5",
+            "SELECT a, b FROM t WHERE a IN (7, 7) AND b BETWEEN 1 AND 10",
+            "UPDATE t SET a = 5 WHERE b IN (1, 2)",
+            "DELETE FROM t WHERE (a = 1 OR d BETWEEN 2 AND 4)",
         ];
         for s in samples {
             let ast = parse(s).unwrap();

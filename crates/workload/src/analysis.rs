@@ -56,8 +56,11 @@ pub(crate) fn shape(stmt: &Dml) -> String {
         Dml::Update(_) => "u",
         Dml::Delete(_) => "d",
     };
-    let mut cols: Vec<&str> = stmt.conditions().iter().map(|c| c.column()).collect();
+    // columns() walks OR branches too, so a disjunction over (a, b)
+    // keys differently from a point query on a.
+    let mut cols: Vec<&str> = stmt.conditions().iter().flat_map(|c| c.columns()).collect();
     cols.sort_unstable();
+    cols.dedup();
     format!("{kind}:{}", cols.join(","))
 }
 

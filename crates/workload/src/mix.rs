@@ -1,4 +1,4 @@
-use cdpd_sql::{Condition, DeleteStmt, Dml, SelectStmt, UpdateStmt};
+use cdpd_sql::{Condition, DeleteStmt, Dml, Projection, SelectStmt, UpdateStmt};
 use cdpd_testkit::Prng;
 use cdpd_types::{Error, Result, Value};
 use std::fmt;
@@ -12,6 +12,41 @@ pub enum Template {
     Point {
         /// Queried (and predicated) column.
         column: String,
+    },
+    /// `SELECT col FROM t WHERE col >= <v> AND col < <v + span>` — a
+    /// half-open range of fixed width.
+    Range {
+        /// Queried (and predicated) column.
+        column: String,
+        /// Range width in domain units; clamped to at least 1.
+        span: i64,
+    },
+    /// `SELECT col FROM t WHERE col IN (<v1>, ..., <vn>)` with `n =
+    /// list_len` independently drawn values (duplicates possible — the
+    /// planner dedups at plan time).
+    In {
+        /// Queried (and predicated) column.
+        column: String,
+        /// Number of literals drawn per statement; clamped to ≥ 1.
+        list_len: usize,
+    },
+    /// `SELECT left, right FROM t WHERE (left = <v1> OR right = <v2>)`
+    /// — a cross-column disjunction, servable only by a rowid-union
+    /// over two indexes.
+    OrPair {
+        /// First branch column.
+        left: String,
+        /// Second branch column.
+        right: String,
+    },
+    /// `SELECT left, right FROM t WHERE left = <v1> AND right = <v2>`
+    /// — a conjunction over two columns, servable by a composite index
+    /// seek or a rowid intersection of two single-column indexes.
+    EqPair {
+        /// First predicated column.
+        left: String,
+        /// Second predicated column.
+        right: String,
     },
     /// `UPDATE t SET set_column = <v1> WHERE where_column = <v2>`.
     Update {
@@ -30,10 +65,84 @@ pub enum Template {
 }
 
 impl Template {
+    /// Whether draws from this template mutate the table.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Template::Update { .. } | Template::Delete { .. })
+    }
+
     fn sample(&self, rng: &mut Prng, table: &str, domain: i64) -> Dml {
         let v = rng.gen_range(0..domain.max(1));
         match self {
             Template::Point { column } => Dml::Select(SelectStmt::point(table, column, v)),
+            Template::Range { column, span } => Dml::Select(SelectStmt {
+                projection: Projection::Columns(vec![column.clone()]),
+                table: table.to_owned(),
+                conditions: vec![Condition::Range {
+                    column: column.clone(),
+                    lo: Some(Value::Int(v)),
+                    lo_inclusive: true,
+                    hi: Some(Value::Int(v.saturating_add((*span).max(1)))),
+                    hi_inclusive: false,
+                }],
+                order_by: None,
+                limit: None,
+            }),
+            Template::In { column, list_len } => {
+                let n = (*list_len).max(1);
+                let mut values = Vec::with_capacity(n);
+                values.push(Value::Int(v));
+                for _ in 1..n {
+                    values.push(Value::Int(rng.gen_range(0..domain.max(1))));
+                }
+                Dml::Select(SelectStmt {
+                    projection: Projection::Columns(vec![column.clone()]),
+                    table: table.to_owned(),
+                    conditions: vec![Condition::In {
+                        column: column.clone(),
+                        values,
+                    }],
+                    order_by: None,
+                    limit: None,
+                })
+            }
+            Template::OrPair { left, right } => {
+                let v2 = rng.gen_range(0..domain.max(1));
+                Dml::Select(SelectStmt {
+                    projection: Projection::Columns(vec![left.clone(), right.clone()]),
+                    table: table.to_owned(),
+                    conditions: vec![Condition::Or(vec![
+                        Condition::Eq {
+                            column: left.clone(),
+                            value: Value::Int(v),
+                        },
+                        Condition::Eq {
+                            column: right.clone(),
+                            value: Value::Int(v2),
+                        },
+                    ])],
+                    order_by: None,
+                    limit: None,
+                })
+            }
+            Template::EqPair { left, right } => {
+                let v2 = rng.gen_range(0..domain.max(1));
+                Dml::Select(SelectStmt {
+                    projection: Projection::Columns(vec![left.clone(), right.clone()]),
+                    table: table.to_owned(),
+                    conditions: vec![
+                        Condition::Eq {
+                            column: left.clone(),
+                            value: Value::Int(v),
+                        },
+                        Condition::Eq {
+                            column: right.clone(),
+                            value: Value::Int(v2),
+                        },
+                    ],
+                    order_by: None,
+                    limit: None,
+                })
+            }
             Template::Update {
                 set_column,
                 where_column,
@@ -137,6 +246,127 @@ impl QueryMix {
             .expect("static weights are valid")
     }
 
+    /// Range/IN mix E: ranges on `a`, IN-lists on `b`, `(a, b)`
+    /// conjunctions, and residual points on `a`. `span` is the range
+    /// width in domain units.
+    pub fn paper_e(span: i64) -> QueryMix {
+        QueryMix::with_templates(
+            "E",
+            vec![
+                (
+                    Template::Range {
+                        column: "a".into(),
+                        span,
+                    },
+                    35,
+                ),
+                (
+                    Template::In {
+                        column: "b".into(),
+                        list_len: 4,
+                    },
+                    25,
+                ),
+                (
+                    Template::EqPair {
+                        left: "a".into(),
+                        right: "b".into(),
+                    },
+                    25,
+                ),
+                (Template::Point { column: "a".into() }, 15),
+            ],
+        )
+        .expect("static weights are valid")
+    }
+
+    /// Range/IN mix F: mix E with the `a`/`b` emphasis swapped — the
+    /// minor-shift partner of [`QueryMix::paper_e`].
+    pub fn paper_f(span: i64) -> QueryMix {
+        QueryMix::with_templates(
+            "F",
+            vec![
+                (
+                    Template::Range {
+                        column: "b".into(),
+                        span,
+                    },
+                    35,
+                ),
+                (
+                    Template::In {
+                        column: "a".into(),
+                        list_len: 4,
+                    },
+                    25,
+                ),
+                (
+                    Template::EqPair {
+                        left: "b".into(),
+                        right: "a".into(),
+                    },
+                    25,
+                ),
+                (Template::Point { column: "b".into() }, 15),
+            ],
+        )
+        .expect("static weights are valid")
+    }
+
+    /// Disjunction mix G: `(c = v OR d = v')` pairs, IN-lists on `c`,
+    /// residual points on `c`/`d`.
+    pub fn paper_g() -> QueryMix {
+        QueryMix::with_templates(
+            "G",
+            vec![
+                (
+                    Template::OrPair {
+                        left: "c".into(),
+                        right: "d".into(),
+                    },
+                    45,
+                ),
+                (
+                    Template::In {
+                        column: "c".into(),
+                        list_len: 6,
+                    },
+                    25,
+                ),
+                (Template::Point { column: "d".into() }, 20),
+                (Template::Point { column: "c".into() }, 10),
+            ],
+        )
+        .expect("static weights are valid")
+    }
+
+    /// Disjunction mix H: mix G with the `c`/`d` emphasis swapped —
+    /// the minor-shift partner of [`QueryMix::paper_g`].
+    pub fn paper_h() -> QueryMix {
+        QueryMix::with_templates(
+            "H",
+            vec![
+                (
+                    Template::OrPair {
+                        left: "d".into(),
+                        right: "c".into(),
+                    },
+                    45,
+                ),
+                (
+                    Template::In {
+                        column: "d".into(),
+                        list_len: 6,
+                    },
+                    25,
+                ),
+                (Template::Point { column: "c".into() }, 20),
+                (Template::Point { column: "d".into() }, 10),
+            ],
+        )
+        .expect("static weights are valid")
+    }
+
     /// All four Table 1 mixes, in order.
     pub fn paper_mixes() -> [QueryMix; 4] {
         [
@@ -183,7 +413,7 @@ impl QueryMix {
         let writes: u64 = self
             .templates
             .iter()
-            .filter(|(t, _)| !matches!(t, Template::Point { .. }))
+            .filter(|(t, _)| t.is_write())
             .map(|(_, w)| *w as u64)
             .sum();
         writes as f64 / total as f64
@@ -293,5 +523,90 @@ mod tests {
             }
         }
         assert!((700..900).contains(&writes), "got {writes}");
+    }
+
+    #[test]
+    fn predicate_templates_sample_correctly() {
+        let mix = QueryMix::with_templates(
+            "pred",
+            vec![
+                (
+                    Template::Range {
+                        column: "a".into(),
+                        span: 10,
+                    },
+                    1,
+                ),
+                (
+                    Template::In {
+                        column: "b".into(),
+                        list_len: 3,
+                    },
+                    1,
+                ),
+                (
+                    Template::OrPair {
+                        left: "a".into(),
+                        right: "b".into(),
+                    },
+                    1,
+                ),
+                (
+                    Template::EqPair {
+                        left: "c".into(),
+                        right: "d".into(),
+                    },
+                    1,
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(mix.write_fraction(), 0.0, "reads are not writes");
+        let mut rng = Prng::seed_from_u64(3);
+        let (mut ranges, mut ins, mut ors, mut pairs) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let stmt = mix.sample(&mut rng, "t", 100);
+            assert!(!stmt.is_write());
+            let conds = stmt.conditions();
+            match &conds[0] {
+                Condition::Range {
+                    column,
+                    lo: Some(Value::Int(lo)),
+                    hi: Some(Value::Int(hi)),
+                    lo_inclusive: true,
+                    hi_inclusive: false,
+                    ..
+                } => {
+                    assert_eq!(column, "a");
+                    assert_eq!(hi - lo, 10, "fixed span");
+                    assert!((0..100).contains(lo));
+                    ranges += 1;
+                }
+                Condition::In { column, values } => {
+                    assert_eq!(column, "b");
+                    assert_eq!(values.len(), 3);
+                    for v in values {
+                        assert!((0..100).contains(&v.as_int().unwrap()));
+                    }
+                    ins += 1;
+                }
+                Condition::Or(branches) => {
+                    assert_eq!(branches.len(), 2);
+                    assert_eq!(branches[0].column(), "a");
+                    assert_eq!(branches[1].column(), "b");
+                    ors += 1;
+                }
+                Condition::Eq { column, .. } => {
+                    assert_eq!(column, "c");
+                    assert_eq!(conds.len(), 2);
+                    assert_eq!(conds[1].column(), "d");
+                    pairs += 1;
+                }
+                other => panic!("unexpected condition {other:?}"),
+            }
+        }
+        for (label, n) in [("range", ranges), ("in", ins), ("or", ors), ("pair", pairs)] {
+            assert!(n > 50, "{label} drawn only {n} times");
+        }
     }
 }

@@ -37,8 +37,11 @@ impl Default for PaperParams {
     }
 }
 
-/// Expand a per-window mix-name pattern into a spec.
+/// Expand a per-window mix-name pattern into a spec. Range templates
+/// (mixes `E`/`F`) use a span of 1% of the domain so range selectivity
+/// stays constant across scale parameters.
 fn from_pattern(params: &PaperParams, pattern: &[char]) -> WorkloadSpec {
+    let span = (params.domain / 100).max(1);
     let windows = pattern
         .iter()
         .map(|c| match c {
@@ -46,6 +49,10 @@ fn from_pattern(params: &PaperParams, pattern: &[char]) -> WorkloadSpec {
             'B' => QueryMix::paper_b(),
             'C' => QueryMix::paper_c(),
             'D' => QueryMix::paper_d(),
+            'E' => QueryMix::paper_e(span),
+            'F' => QueryMix::paper_f(span),
+            'G' => QueryMix::paper_g(),
+            'H' => QueryMix::paper_h(),
             other => unreachable!("unknown mix {other}"),
         })
         .collect();
@@ -107,6 +114,43 @@ pub fn w3_with(params: &PaperParams) -> WorkloadSpec {
     from_pattern(params, &W3_PATTERN)
 }
 
+/// The 30-window pattern of W4: range/IN-heavy phases (`E`/`F`)
+/// bracketing a disjunction-heavy middle phase (`G`/`H`). Same phase
+/// boundaries as W1–W3 (queries 5,000 and 10,000 at paper scale).
+pub const W4_PATTERN: [char; 30] = [
+    'E', 'E', 'F', 'F', 'E', 'E', 'F', 'F', 'E', 'E', // phase 1
+    'G', 'G', 'H', 'H', 'G', 'G', 'H', 'H', 'G', 'G', // phase 2
+    'E', 'E', 'F', 'F', 'E', 'E', 'F', 'F', 'E', 'E', // phase 3
+];
+
+/// The 30-window pattern of W5: W4 with the phases inverted —
+/// disjunction-heavy outer phases, range/IN-heavy middle.
+pub const W5_PATTERN: [char; 30] = [
+    'G', 'G', 'H', 'H', 'G', 'G', 'H', 'H', 'G', 'G', // phase 1
+    'E', 'E', 'F', 'F', 'E', 'E', 'F', 'F', 'E', 'E', // phase 2
+    'G', 'G', 'H', 'H', 'G', 'G', 'H', 'H', 'G', 'G', // phase 3
+];
+
+/// Workload W4 (range/IN-heavy) at paper scale.
+pub fn w4() -> WorkloadSpec {
+    w4_with(&PaperParams::default())
+}
+
+/// Workload W4 with custom scale.
+pub fn w4_with(params: &PaperParams) -> WorkloadSpec {
+    from_pattern(params, &W4_PATTERN)
+}
+
+/// Workload W5 (disjunction-heavy) at paper scale.
+pub fn w5() -> WorkloadSpec {
+    w5_with(&PaperParams::default())
+}
+
+/// Workload W5 with custom scale.
+pub fn w5_with(params: &PaperParams) -> WorkloadSpec {
+    from_pattern(params, &W5_PATTERN)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +191,45 @@ mod tests {
                 assert_eq!(phase2, in_cd, "window {i} of some workload");
             }
         }
+    }
+
+    #[test]
+    fn w4_and_w5_exercise_the_predicate_vocabulary() {
+        let params = PaperParams {
+            domain: 1000,
+            window_len: 100,
+            ..Default::default()
+        };
+        for (spec, outer, inner) in [
+            (w4_with(&params), "EF", "GH"),
+            (w5_with(&params), "GH", "EF"),
+        ] {
+            assert_eq!(spec.window_count(), 30);
+            for (i, label) in spec.window_labels().iter().enumerate() {
+                let expect = if (10..20).contains(&i) { inner } else { outer };
+                assert!(
+                    expect.contains(*label),
+                    "window {i} labelled {label}, expected one of {expect}"
+                );
+            }
+        }
+        // Generated statements actually include ranges, IN-lists, and
+        // disjunctions (the point of the new vocabulary).
+        let trace = crate::generate(&w4_with(&params), 11);
+        let (mut ranges, mut ins, mut ors) = (0, 0, 0);
+        for stmt in trace.statements() {
+            for c in stmt.conditions() {
+                match c {
+                    cdpd_sql::Condition::Range { .. } => ranges += 1,
+                    cdpd_sql::Condition::In { .. } => ins += 1,
+                    cdpd_sql::Condition::Or(_) => ors += 1,
+                    cdpd_sql::Condition::Eq { .. } => {}
+                }
+            }
+        }
+        assert!(ranges > 100, "only {ranges} range predicates");
+        assert!(ins > 100, "only {ins} IN predicates");
+        assert!(ors > 100, "only {ors} OR predicates");
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub(crate) fn cost_signature(stmt: &Dml) -> Option<String> {
     for c in stmt.conditions() {
         match c {
             Condition::Eq { column, .. } => cols.push(column),
-            Condition::Range { .. } => return None, // value-dependent
+            // Range, IN, and OR selectivities are value-dependent
+            // (histogram point/range estimates): singleton groups.
+            Condition::Range { .. } | Condition::In { .. } | Condition::Or(_) => return None,
         }
     }
     cols.sort_unstable();

@@ -50,6 +50,10 @@ pub enum PathKind {
     IndexOnlyScan,
     /// MIN/MAX answered by an index edge descent.
     IndexExtremum,
+    /// Rowid intersection of equality probes on distinct indexes.
+    IndexAnd,
+    /// Rowid union of equality probes (IN lists / OR disjunctions).
+    IndexOr,
     /// `UPDATE`/`DELETE` (find phase plus index maintenance).
     Write,
     /// Anything this parser does not recognize.
@@ -58,12 +62,14 @@ pub enum PathKind {
 
 impl PathKind {
     /// Every variant, in the order reports enumerate them.
-    pub const ALL: [PathKind; 7] = [
+    pub const ALL: [PathKind; 9] = [
         PathKind::SeqScan,
         PathKind::IndexSeek,
         PathKind::IndexRange,
         PathKind::IndexOnlyScan,
         PathKind::IndexExtremum,
+        PathKind::IndexAnd,
+        PathKind::IndexOr,
         PathKind::Write,
         PathKind::Other,
     ];
@@ -80,6 +86,10 @@ impl PathKind {
             PathKind::IndexOnlyScan
         } else if plan.starts_with("IndexExtremum") {
             PathKind::IndexExtremum
+        } else if plan.starts_with("IndexAnd") {
+            PathKind::IndexAnd
+        } else if plan.starts_with("IndexOr") {
+            PathKind::IndexOr
         } else if plan.starts_with("Update via") || plan.starts_with("Delete via") {
             PathKind::Write
         } else {
@@ -95,6 +105,8 @@ impl PathKind {
             PathKind::IndexRange => "index_range",
             PathKind::IndexOnlyScan => "index_only_scan",
             PathKind::IndexExtremum => "index_extremum",
+            PathKind::IndexAnd => "index_and",
+            PathKind::IndexOr => "index_or",
             PathKind::Write => "write",
             PathKind::Other => "other",
         }
@@ -107,8 +119,10 @@ impl PathKind {
             PathKind::IndexRange => 2,
             PathKind::IndexOnlyScan => 3,
             PathKind::IndexExtremum => 4,
-            PathKind::Write => 5,
-            PathKind::Other => 6,
+            PathKind::IndexAnd => 5,
+            PathKind::IndexOr => 6,
+            PathKind::Write => 7,
+            PathKind::Other => 8,
         }
     }
 }
@@ -229,6 +243,8 @@ impl WindowCalibration {
             PathKind::IndexRange => cdpd_obs::counter!("calibration.path.index_range").inc(),
             PathKind::IndexOnlyScan => cdpd_obs::counter!("calibration.path.index_only_scan").inc(),
             PathKind::IndexExtremum => cdpd_obs::counter!("calibration.path.index_extremum").inc(),
+            PathKind::IndexAnd => cdpd_obs::counter!("calibration.path.index_and").inc(),
+            PathKind::IndexOr => cdpd_obs::counter!("calibration.path.index_or").inc(),
             PathKind::Write => cdpd_obs::counter!("calibration.path.write").inc(),
             PathKind::Other => cdpd_obs::counter!("calibration.path.other").inc(),
         }
@@ -541,6 +557,9 @@ mod tests {
             ("IndexRange(t_a) cost=5.0", PathKind::IndexRange),
             ("IndexOnlyScan(t_a_b) cost=2.0", PathKind::IndexOnlyScan),
             ("IndexExtremum(t_a, min) cost=3.0", PathKind::IndexExtremum),
+            ("IndexAnd(t_a, t_b, 2 probes) cost=7.0", PathKind::IndexAnd),
+            ("IndexOr(t_a, 3 probes) cost=11.0", PathKind::IndexOr),
+            ("IndexOr(t_a, 1 probe) cost=4.0", PathKind::IndexOr),
             (
                 "Update via IndexSeek(t_a) maintaining 2 index(es), cost=9.0",
                 PathKind::Write,
@@ -551,7 +570,64 @@ mod tests {
         for (plan, want) in cases {
             assert_eq!(PathKind::of_plan(plan), want, "{plan}");
         }
-        assert_eq!(PathKind::ALL.len(), 7);
+        assert_eq!(PathKind::ALL.len(), 9);
+    }
+
+    /// Satellite guarantee: every string [`Plan::describe`] can emit —
+    /// produced here by *executing* one statement per access path
+    /// against a live database — maps to a non-`Other` kind.
+    #[test]
+    fn every_live_plan_describe_string_round_trips() {
+        use cdpd_types::Value;
+        let mut db = Database::new();
+        let schema = cdpd_types::Schema::new(vec![
+            cdpd_types::ColumnDef::int("a"),
+            cdpd_types::ColumnDef::int("b"),
+            cdpd_types::ColumnDef::int("c"),
+        ]);
+        db.create_table("t", schema).unwrap();
+        // a/b are 50-valued (each Eq matches ~80 rows → the a=..AND b=..
+        // conjunction favours a rowid intersection); c is unique (IN/OR
+        // probes on c match single rows → the union path wins).
+        for i in 0..4000i64 {
+            db.insert(
+                "t",
+                &[Value::Int(i % 50), Value::Int((i * 7) % 50), Value::Int(i)],
+            )
+            .unwrap();
+        }
+        db.analyze("t").unwrap();
+        for col in ["a", "b", "c"] {
+            db.create_index(&cdpd_engine::IndexSpec::new("t", &[col]))
+                .unwrap();
+        }
+        let sqls = [
+            "SELECT a FROM t",
+            "SELECT a FROM t WHERE a = 5",
+            "SELECT a FROM t WHERE a BETWEEN 3 AND 6",
+            "SELECT MIN(a) FROM t",
+            "SELECT * FROM t WHERE a = 5 AND b = 7",
+            "SELECT * FROM t WHERE c IN (1, 2, 3)",
+            "SELECT * FROM t WHERE (c = 1 OR c = 4000)",
+            "UPDATE t SET b = 9 WHERE a = 5",
+            "DELETE FROM t WHERE c IN (1, 2)",
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for sql in sqls {
+            let stmt = match cdpd_sql::parse(sql).unwrap() {
+                cdpd_sql::Statement::Select(s) => Dml::Select(s),
+                cdpd_sql::Statement::Update(u) => Dml::Update(u),
+                cdpd_sql::Statement::Delete(d) => Dml::Delete(d),
+                _ => unreachable!(),
+            };
+            let plan = db.execute_dml(&stmt).unwrap().plan;
+            let kind = PathKind::of_plan(&plan);
+            assert_ne!(kind, PathKind::Other, "{sql} -> {plan}");
+            seen.insert(kind.label());
+        }
+        // The sample must actually exercise the two new paths.
+        assert!(seen.contains("index_and"), "{seen:?}");
+        assert!(seen.contains("index_or"), "{seen:?}");
     }
 
     #[test]

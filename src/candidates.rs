@@ -60,12 +60,32 @@ pub fn candidate_indexes_capped(
         let mut pred_freq: BTreeMap<&str, u64> = BTreeMap::new();
         for w in &block.weighted {
             let stmt = &w.statement;
-            let pred_cols: Vec<&str> = stmt.conditions().iter().map(Condition::column).collect();
-            for col in &pred_cols {
+            // Conjunctive predicate columns drive composite candidates;
+            // an OR term's branches are only ever probed one at a time
+            // (rowid-union plans), so each branch column motivates its
+            // own single-column candidate instead.
+            let mut pred_cols: Vec<&str> = Vec::new();
+            let mut or_cols: Vec<&str> = Vec::new();
+            for c in stmt.conditions() {
+                match c {
+                    Condition::Or(_) => {
+                        for col in c.columns() {
+                            if !or_cols.contains(&col) {
+                                or_cols.push(col);
+                            }
+                        }
+                    }
+                    _ => pred_cols.push(c.column()),
+                }
+            }
+            for col in pred_cols.iter().chain(&or_cols) {
                 if schema.column_id(col).is_none() {
                     return Err(Error::NotFound(format!("column {col} in workload")));
                 }
                 *pred_freq.entry(col).or_insert(0) += w.count;
+            }
+            for col in &or_cols {
+                bump(IndexSpec::new(table.clone(), &[col]), w.count);
             }
             if pred_cols.is_empty() {
                 continue; // unpredicated scans gain nothing from indexes

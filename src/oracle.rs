@@ -184,9 +184,11 @@ impl EngineOracle {
     /// whole dependency).
     pub fn part_references(&self, stage: usize, part: usize, columns: &[String]) -> bool {
         self.parts[stage][part].members.iter().any(|(stmt, _)| {
-            stmt.conditions()
-                .iter()
-                .any(|c| columns.iter().any(|col| col == c.column()))
+            stmt.conditions().iter().any(|c| {
+                c.columns()
+                    .iter()
+                    .any(|cc| columns.iter().any(|col| col == cc))
+            })
         })
     }
 

@@ -134,6 +134,66 @@ fn oracle_reconciles_with_executor_exactly_across_w1_w2_w3() {
     }
 }
 
+/// The reconciliation property extends to the predicate-tree paths:
+/// over the range/IN-heavy W4 and disjunction-heavy W5 workloads, with
+/// schedules that light up rowid intersections and unions, the
+/// live-shape oracle still reconciles with the executor exactly — and
+/// the per-path breakdown proves the new `IndexAnd`/`IndexOr` paths
+/// (not just the classic ones) carried real traffic.
+#[test]
+fn oracle_reconciles_exactly_on_intersection_and_union_paths() {
+    let params = paper_params(ROWS, WINDOW);
+    let specs: [(&str, WorkloadSpec); 2] = [
+        ("W4", paper::w4_with(&params)),
+        ("W5", paper::w5_with(&params)),
+    ];
+    let mut new_paths_hit = 0u64;
+    for (name, spec) in specs {
+        for seed in [13, 47] {
+            let trace = generate(&spec, seed);
+            let mut db = paper_database(ROWS, seed);
+            // All four single-column indexes: EqPair conjunctions can
+            // intersect, OrPair/IN statements can union.
+            let schedule = indexed_schedule(trace.len().div_ceil(WINDOW));
+            let report = replay_calibrated(
+                &mut db,
+                &trace,
+                WINDOW,
+                &schedule,
+                Some(&[]),
+                2,
+                model_account(),
+            )
+            .expect("replay runs");
+            let calib = report.calibration.expect("replay always calibrates");
+            assert_eq!(calib.samples, trace.len() as u64, "{name} seed {seed}");
+            assert!(
+                calib.is_exact(),
+                "{name} seed {seed}: {} of {} predictions diverged (abs err {} IOs)",
+                calib.samples - calib.exact,
+                calib.samples,
+                calib.abs_err_ios
+            );
+            assert_eq!(calib.abs_err_ios, 0, "{name} seed {seed}");
+            assert_eq!(calib.alerts, 0, "{name} seed {seed}");
+            for (path, stats) in &calib.by_path {
+                if matches!(path, PathKind::IndexAnd | PathKind::IndexOr) {
+                    new_paths_hit += stats.samples;
+                    assert_eq!(
+                        stats.predicted_ios, stats.actual_ios,
+                        "{name} seed {seed}: {path:?} reconciles per-path too"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        new_paths_hit > 100,
+        "the W4/W5 sweeps must actually exercise the multi-index paths, \
+         got {new_paths_hit} statements"
+    );
+}
+
 /// Writes reconcile too: predictions taken against the shapes each
 /// write actually meets (fresh snapshot per write — index maintenance
 /// splits pages mid-window) stay exact, including the maintenance

@@ -105,6 +105,16 @@ for seed in 7 41 97 1234 4242 7777 90210 424242; do
   CDPD_SEED="$seed" cargo test -q --offline -p cdpd --test parallel_equiv
 done
 
+echo "== concurrency stress: racing writers serialize, 8 seeds =="
+# Statement-level serializability of the &self mutator surface
+# (tests/concurrent_writers.rs): disjoint sessions bit-identical to
+# serial, commuting inserts under racing DDL, online-build catch-up
+# equal to a quiesced rebuild. CDPD_SEED varies traces and interleaving.
+for seed in 7 41 97 1234 4242 7777 90210 424242; do
+  echo "-- seed $seed --"
+  CDPD_SEED="$seed" cargo test -q --offline -p cdpd --test concurrent_writers
+done
+
 echo "== recovery gate: kill-at-any-point crash matrix =="
 # The full suite first (fixed 8-seed x 50-kill-point sweep, advisor
 # warm-resume, restore strictness), then the shrinking property re-run
@@ -197,6 +207,11 @@ CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench obs
 echo "== predicate-tree paths: IndexAnd/IndexOr beat the scan (asserted in-bench) =="
 CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench planner
 
+echo "== wire serving: throughput at 1/2/8 sessions, advisor in the loop =="
+# Real TCP round trips against cdpd-server; the in-loop advisor must
+# not collapse foreground throughput (asserted in-bench).
+CDPD_BENCH_JSON_DIR="$(pwd)" cargo bench --offline -p cdpd-bench --bench server
+
 echo "== W4 smoke: generate -> advise -> replay under the recommended schedule =="
 # Range/IN/OR-heavy workload end-to-end through OnlineAdvisor; the
 # recommended design must be multi-index-serving and the replay must
@@ -246,6 +261,14 @@ GATED = {
         "win_margin/in_vs_scan": 0.90,
         "win_margin/or_vs_scan": 0.90,
         "win_margin/and_vs_scan": 0.90,
+    },
+    # Wire-serving throughput and the in-loop advisor's cost. Loopback
+    # round trips are noisy on shared hosts, so the bands only catch
+    # collapses — a reintroduced Nagle/delayed-ACK stall in the frame
+    # codec shows up as a ~100x single-session drop.
+    "BENCH_server.json": {
+        "sessions_1/stmts_per_sec": 0.30,
+        "advisor/overhead_ratio": 0.50,
     },
 }
 

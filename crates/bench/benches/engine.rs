@@ -19,7 +19,7 @@ fn db_with_indexes() -> Database {
         window_len: 500,
         seed: 5,
     };
-    let mut db = build_database(&scale);
+    let db = build_database(&scale);
     db.create_index(&IndexSpec::new("t", &["a", "b"]))
         .expect("builds");
     db.create_index(&IndexSpec::new("t", &["c"]))
@@ -86,7 +86,7 @@ fn bench_ddl(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("ddl");
     group.sample_size(10);
     group.bench_function("create_drop_index_10k", |b| {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![ColumnDef::int("a"), ColumnDef::int("b")]),

@@ -152,10 +152,10 @@ fn bench_obs_overhead(criterion: &mut Criterion) {
     let mut replay_wall_ns = f64::INFINITY;
     let mut calibrated_samples = 0;
     for _ in 0..3 {
-        let mut db = build_database(&scale);
+        let db = build_database(&scale);
         let start = Instant::now();
-        let report = replay_with(&mut db, &trace, WINDOW, &schedule, None, 1)
-            .expect("calibrated replay runs");
+        let report =
+            replay_with(&db, &trace, WINDOW, &schedule, None, 1).expect("calibrated replay runs");
         replay_wall_ns = replay_wall_ns.min(start.elapsed().as_nanos() as f64);
         let calib = report.calibration.expect("replay always calibrates");
         assert_eq!(calib.samples, trace.len() as u64);

@@ -29,7 +29,7 @@ fn bench_planner(criterion: &mut Criterion) {
         window_len: 500,
         seed: 5,
     };
-    let mut db = build_database(&scale);
+    let db = build_database(&scale);
     for spec in [
         IndexSpec::new("t", &["a"]),
         IndexSpec::new("t", &["b"]),

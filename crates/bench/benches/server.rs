@@ -1,0 +1,183 @@
+//! Wire-serving throughput: statements/sec through the TCP front end
+//! at 1, 2, and 8 concurrent sessions, and what moving the advisor
+//! *inside* the serving loop costs foreground traffic.
+//!
+//! Five records land in `BENCH_server.json`:
+//!
+//! * **sessions_{1,2,8}/stmts_per_sec** — point `EXEC` statements per
+//!   second through real TCP connections, one blocking client per
+//!   session, everything on loopback. Per-connection requests are
+//!   strictly serial, so this measures the full stack: frame codec,
+//!   parse, epoch-pinned execution, per-statement `ThreadIoScope`
+//!   attribution, response encode.
+//! * **advisor/overhead_ratio** — the 2-session throughput with an
+//!   [`OnlineAdvisor`] ingesting the live statement stream, divided by
+//!   the same load on the same database (final recommended indexes
+//!   installed) *without* the advisor. This isolates what the channel
+//!   sends, window seals, and re-solves cost foreground traffic once
+//!   the design is stable; it must stay near 1, and that is asserted.
+//! * **advisor/speedup_vs_plain** — the advised throughput against the
+//!   unindexed plain baseline: what adapting the design inside the
+//!   serving loop buys (the indexes it builds turn point-select scans
+//!   into seeks, so this is typically well above 1).
+//! * **advisor/decisions** — windows the in-loop advisor sealed during
+//!   the measured run, so the ratios above are known to cover actual
+//!   advisor work and not an idle channel.
+
+use cdpd::{AdvisorOptions, OnlineAdvisor, OnlineOptions};
+use cdpd_bench::{build_database, paper_structures, Scale};
+use cdpd_engine::Database;
+use cdpd_server::{Client, Server};
+use cdpd_testkit::bench::Criterion;
+use cdpd_testkit::{criterion_group, criterion_main, Prng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ROWS: i64 = 20_000;
+const WINDOW_LEN: usize = 100;
+const STATEMENTS_PER_SESSION: usize = 400;
+const RUNS: usize = 3;
+
+/// Serve one complete load — `sessions` concurrent clients, each
+/// issuing `STATEMENTS_PER_SESSION` point selects over the wire — and
+/// return (statements/sec, advisor decisions observed).
+fn serve_load(
+    db: &Arc<Database>,
+    scale: &Scale,
+    sessions: usize,
+    advisor: Option<OnlineOptions>,
+) -> (f64, usize) {
+    let mut server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind ephemeral port");
+    if let Some(options) = advisor {
+        let online = OnlineAdvisor::new(db, "t", options).expect("advisor opens on analyzed table");
+        // A long idle tick: windows seal on statement count, driven
+        // entirely by the live session traffic.
+        server = server.with_advisor(online, Duration::from_secs(30), 2);
+    }
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    let addr = handle.addr();
+    let domain = scale.domain();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to loopback server");
+                let mut rng = Prng::seed_from_u64(0xC11E_57A7 ^ s as u64);
+                for _ in 0..STATEMENTS_PER_SESSION {
+                    let v = rng.gen_range(0..domain);
+                    client
+                        .exec(&format!("SELECT * FROM t WHERE a = {v}"))
+                        .expect("point select executes");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    let report = join
+        .join()
+        .expect("server thread")
+        .expect("serving succeeds");
+    assert_eq!(
+        report.sessions as usize, sessions,
+        "every client became exactly one session"
+    );
+    let decisions = match &report.advisor {
+        Some(advisor_report) => {
+            assert_eq!(advisor_report.errors, 0, "in-loop advisor must not error");
+            advisor_report.advisor.decisions().len()
+        }
+        None => 0,
+    };
+    let statements = (sessions * STATEMENTS_PER_SESSION) as f64;
+    (statements / elapsed, decisions)
+}
+
+fn bench_server(criterion: &mut Criterion) {
+    let scale = Scale {
+        rows: ROWS,
+        window_len: WINDOW_LEN,
+        seed: 42,
+    };
+    let db = Arc::new(build_database(&scale));
+
+    // Plain serving throughput at each session count, best of RUNS.
+    let mut plain: Vec<(usize, f64)> = Vec::new();
+    for sessions in [1usize, 2, 8] {
+        let mut best = 0.0f64;
+        for _ in 0..RUNS {
+            best = best.max(serve_load(&db, &scale, sessions, None).0);
+        }
+        assert!(best > 0.0, "{sessions}-session load must make progress");
+        plain.push((sessions, best));
+    }
+    let two_session = plain
+        .iter()
+        .find(|(n, _)| *n == 2)
+        .expect("measured 2 sessions")
+        .1;
+
+    // The same 2-session load with the advisor in the serving loop,
+    // on its own database so the builds it applies are real work every
+    // run and never speed up the plain measurements above.
+    let advised_db = Arc::new(build_database(&scale));
+    let options = OnlineOptions {
+        advisor: AdvisorOptions {
+            k: Some(2),
+            window_len: WINDOW_LEN,
+            structures: Some(paper_structures()),
+            max_structures_per_config: Some(1),
+            ..AdvisorOptions::default()
+        },
+        ..OnlineOptions::default()
+    };
+    let mut advised = 0.0f64;
+    let mut decisions = 0usize;
+    for _ in 0..RUNS {
+        let (tput, seen) = serve_load(&advised_db, &scale, 2, Some(options.clone()));
+        advised = advised.max(tput);
+        decisions = decisions.max(seen);
+    }
+    assert!(
+        decisions >= 2,
+        "the measured run must cover real advisor work ({decisions} decisions)"
+    );
+
+    // Steady-state baseline: the advisor's final configuration is now
+    // installed on `advised_db`; serve the identical load there with
+    // no advisor. The advised/indexed ratio is then pure serving-loop
+    // overhead (channel sends, window seals, re-solves) rather than
+    // the benefit of the indexes the advisor built.
+    let mut indexed = 0.0f64;
+    for _ in 0..RUNS {
+        indexed = indexed.max(serve_load(&advised_db, &scale, 2, None).0);
+    }
+    let overhead_ratio = advised / indexed;
+    let speedup = advised / two_session;
+    assert!(
+        overhead_ratio >= 0.3,
+        "the in-loop advisor must not collapse steady-state serving: \
+         {advised:.0} vs {indexed:.0} stmts/sec ({overhead_ratio:.2}x)"
+    );
+    assert!(
+        speedup >= 0.8,
+        "adapting the design online must not lose to never adapting: \
+         {advised:.0} vs {two_session:.0} stmts/sec ({speedup:.2}x)"
+    );
+
+    let mut group = criterion.benchmark_group("server");
+    for (sessions, tput) in &plain {
+        group.metric(format!("sessions_{sessions}/stmts_per_sec"), *tput);
+    }
+    group.metric("advisor/stmts_per_sec", advised);
+    group.metric("advisor/overhead_ratio", overhead_ratio);
+    group.metric("advisor/speedup_vs_plain", speedup);
+    group.metric("advisor/decisions", decisions as f64);
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ fn db_with_indexes() -> Database {
         window_len: 500,
         seed: 5,
     };
-    let mut db = build_database(&scale);
+    let db = build_database(&scale);
     db.create_index(&IndexSpec::new("t", &["a", "b"]))
         .expect("builds");
     db

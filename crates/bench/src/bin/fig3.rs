@@ -25,7 +25,7 @@ use cdpd_bench::{build_database, paper_structures, Scale};
 fn main() {
     let scale = Scale::from_args();
     cdpd_obs::event!("building database: {} rows ...", scale.rows);
-    let mut db = build_database(&scale);
+    let db = build_database(&scale);
     let params = scale.params();
 
     let w1 = generate(&paper::w1_with(&params), scale.seed);
@@ -55,7 +55,7 @@ fn main() {
     for (wname, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
         for (dname, rec) in [("unconstrained", &unc), ("constrained", &k2)] {
             cdpd_obs::event!("replaying {wname} under the {dname} design ...");
-            let report = replay_recommendation(&mut db, trace, rec).expect("replay");
+            let report = replay_recommendation(&db, trace, rec).expect("replay");
             results.push((wname, dname, report.total_io(), report.wall));
         }
     }

@@ -90,7 +90,7 @@ impl Scale {
 
 /// Build and analyze the §6.1 table: four uniform integer columns.
 pub fn build_database(scale: &Scale) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![

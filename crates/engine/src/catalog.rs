@@ -1,6 +1,7 @@
 use cdpd_storage::{BTree, HeapFile};
-use cdpd_types::{ColumnId, Schema, TableId};
+use cdpd_types::{ColumnId, Rid, Schema, TableId, Value};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// A logical index description: the unit the design advisor reasons
 /// about. Two specs are the same index iff table and key columns (in
@@ -51,6 +52,45 @@ pub(crate) struct IndexEntry {
     pub(crate) btree: BTree,
 }
 
+/// One row-level change appended to every active build log by a DML
+/// statement that runs while an online index build is scanning. An
+/// `UPDATE` logs a `Delete` of the old image followed by an `Insert`
+/// of the new one (at the row's possibly-moved rid).
+pub(crate) enum RowDelta {
+    /// Row `rid` now holds these values.
+    Insert(Vec<Value>, Rid),
+    /// Row `rid` no longer holds these values.
+    Delete(Vec<Value>, Rid),
+}
+
+/// The side channel an online index build registers before its
+/// lock-free scan: DML statements append their row deltas (under the
+/// table write lock), and the build drains the log into the freshly
+/// bulk-loaded tree at install time — so the installed index is
+/// exactly what a build at the install point would have produced.
+pub(crate) type BuildLog = Arc<Mutex<Vec<RowDelta>>>;
+
+/// An immutable view of one table as of a catalog epoch: what readers
+/// (and online index builds) pin with one `Arc` clone. The heap handle
+/// shares the pager but freezes the page chain; schema and statistics
+/// are the same shared `Arc`s the live entry holds. Writers bump the
+/// entry's epoch and drop the cached snapshot, so a pinned snapshot is
+/// never mutated — the next pin builds a successor.
+#[derive(Clone)]
+pub struct TableSnapshot {
+    /// Epoch this snapshot was taken at (monotone per table, bumped by
+    /// every mutating statement).
+    pub epoch: u64,
+    /// The table's schema.
+    pub schema: Arc<Schema>,
+    /// Frozen heap handle: page chain and row count as of the epoch.
+    pub heap: HeapFile,
+    /// Statistics as of the epoch, if `ANALYZE` has run.
+    pub stats: Option<Arc<crate::stats::TableStats>>,
+    /// Specs of the indexes materialized at the epoch, in name order.
+    pub index_specs: Vec<IndexSpec>,
+}
+
 /// A table in the catalog. Schema and statistics are behind `Arc` so a
 /// statement (or a what-if snapshot) can share them without copying;
 /// statistics are replaced wholesale on refresh, never mutated, so a
@@ -67,6 +107,67 @@ pub(crate) struct TableEntry {
     /// Indexes keyed by canonical name, iterated in name order so
     /// planning is deterministic.
     pub(crate) indexes: std::collections::BTreeMap<String, IndexEntry>,
+    /// Catalog epoch: bumped by every mutating statement on this
+    /// table. Per-process (not persisted); recovery restarts at 0.
+    pub(crate) epoch: u64,
+    /// Cached snapshot of the current epoch, built lazily on pin and
+    /// invalidated (dropped) by every mutation.
+    pub(crate) version: Option<Arc<TableSnapshot>>,
+    /// Logs of the online index builds currently scanning this table;
+    /// every mutating statement appends its row deltas to each.
+    pub(crate) build_logs: Vec<BuildLog>,
+}
+
+impl TableEntry {
+    /// Fresh entry with no rows, stats, or indexes.
+    pub(crate) fn new(id: TableId, schema: Schema, pager: Arc<cdpd_storage::Pager>) -> TableEntry {
+        TableEntry {
+            id,
+            schema: Arc::new(schema),
+            heap: HeapFile::create(pager),
+            stats: None,
+            maintainer: None,
+            indexes: std::collections::BTreeMap::new(),
+            epoch: 0,
+            version: None,
+            build_logs: Vec::new(),
+        }
+    }
+
+    /// Note a mutation: advance the epoch and drop the cached snapshot
+    /// so the next pin sees the new state. Callers hold the table
+    /// write lock.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.version = None;
+    }
+
+    /// The current epoch's snapshot, building and caching it if the
+    /// last mutation invalidated it. Callers hold the table write
+    /// lock (reader pinning goes through `Database::pin`, which
+    /// escalates to the write lock only on a cache miss).
+    pub(crate) fn snapshot(&mut self) -> Arc<TableSnapshot> {
+        if let Some(v) = &self.version {
+            return v.clone();
+        }
+        let snap = Arc::new(TableSnapshot {
+            epoch: self.epoch,
+            schema: self.schema.clone(),
+            heap: self.heap.clone(),
+            stats: self.stats.clone(),
+            index_specs: self.indexes.values().map(|e| e.spec.clone()).collect(),
+        });
+        self.version = Some(snap.clone());
+        snap
+    }
+
+    /// Append one row delta to every active build log. Called by DML
+    /// under the table write lock; a no-op when no build is scanning.
+    pub(crate) fn log_delta(&self, make: impl Fn() -> RowDelta) {
+        for log in &self.build_logs {
+            log.lock().expect("build log poisoned").push(make());
+        }
+    }
 }
 
 #[cfg(test)]

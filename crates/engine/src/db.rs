@@ -1,14 +1,14 @@
-use crate::catalog::{IndexEntry, IndexSpec, TableEntry};
+use crate::catalog::{BuildLog, IndexEntry, IndexSpec, RowDelta, TableEntry, TableSnapshot};
 use crate::cost::IndexShape;
 use crate::exec::{self, ExecOutcome};
 use crate::planner::{IndexInfo, PlannedQuery, Planner};
 use crate::stats::{StatsMaintainer, StatsRefresh, TableStats};
 use cdpd_sql::{DeleteStmt, Dml, SelectStmt, Statement, UpdateStmt};
-use cdpd_storage::{codec, BTree, HeapFile, IoStats, Pager, ThreadIoScope};
+use cdpd_storage::{codec, BTree, IoStats, Pager, ThreadIoScope};
 use cdpd_types::{ColumnId, Error, Result, Rid, Schema, TableId, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Result of one executed query: output plus measured cost.
 #[derive(Clone, Debug)]
@@ -50,22 +50,42 @@ pub struct DdlReport {
 ///
 /// # Concurrency model
 ///
-/// The database is **single-writer / multi-reader** at statement
-/// granularity, enforced at compile time: every read path (`query`,
-/// `query_count`, [`Database::execute_select`], `explain`,
-/// [`crate::WhatIfEngine::snapshot`]) takes `&self`, every mutation
-/// (`execute_dml` writes, DDL, `refresh_stats`) takes `&mut self`, so
-/// `&Database` can be shared across a `std::thread::scope` and any
-/// number of threads may execute reads concurrently — against the
-/// lock-striped pager below — while writes always have the catalog to
-/// themselves. Internally the catalog is `RwLock`-striped
-/// (`RwLock<BTreeMap>` of `Arc<RwLock<TableEntry>>`) and each
-/// statement read-locks its table entry for its whole duration, which
-/// is what makes the read surface `&self` and gives snapshot-stable
-/// schema/stats/index views per statement. Per-statement I/O is
-/// measured with a [`ThreadIoScope`] (not a global-counter delta), so
-/// [`QueryResult::io`] stays exact under any interleaving and parallel
-/// per-statement costs sum bit-identically to a serial replay.
+/// Every public method — reads *and* mutations — takes `&self`, so one
+/// `Arc<Database>` serves any number of sessions concurrently. The
+/// engine provides **statement-granularity serializability**:
+///
+/// * The catalog is `RwLock`-striped (`RwLock<BTreeMap>` of
+///   `Arc<RwLock<TableEntry>>`). A read statement holds its table's
+///   read lock for its whole duration; a mutating statement holds the
+///   write lock. Statements on one table therefore never interleave
+///   mid-statement, and statements on different tables commute — the
+///   observable history of any concurrent run equals *some* serial
+///   interleaving (property-tested in `tests/concurrent_writers.rs`).
+/// * Each `TableEntry` is **epoch-versioned**: every mutating
+///   statement bumps the table's epoch and invalidates its cached
+///   `TableSnapshot`; `Database::pin` hands out the current epoch's
+///   snapshot as one `Arc` clone. Pinned snapshots are immutable —
+///   successors are installed under the table write lock, never edits.
+/// * **Online index builds** ([`Database::create_index`],
+///   [`Database::apply_configuration_with`]) pin a snapshot, register a
+///   build log, and scan/sort/bulk-load with *no lock held* — DML from
+///   other sessions interleaves freely, appending row deltas to the
+///   log under the table write lock. At install the build drains the
+///   log into the new tree (idempotently: tolerant deletes,
+///   duplicate-skipping inserts) and publishes it atomically, so the
+///   installed index is exactly what a blocking build at the install
+///   point would have produced.
+/// * On a durable database, a **commit phase lock** orders mutation
+///   against WAL commits: statement mutation holds it shared,
+///   [`Pager::commit`] runs under it exclusively — so a commit only
+///   ever snapshots *complete* statements and the kill-at-any-point
+///   recovery property (`tests/recovery_prop.rs`) survives racing
+///   writers.
+///
+/// Per-statement I/O is measured with a [`ThreadIoScope`] (not a
+/// global-counter delta), so [`QueryResult::io`] stays exact under any
+/// interleaving and concurrent per-statement costs sum bit-identically
+/// to a serial run.
 pub struct Database {
     pub(crate) pager: Arc<Pager>,
     pub(crate) tables: RwLock<BTreeMap<String, Arc<RwLock<TableEntry>>>>,
@@ -73,6 +93,10 @@ pub struct Database {
     /// Opaque application state (the advisory layer's warm state),
     /// persisted with the catalog on every durable commit.
     pub(crate) app_state: RwLock<Vec<u8>>,
+    /// Commit phase lock: mutating statements hold it shared for their
+    /// mutation, `commit_if_durable` holds it exclusively — a durable
+    /// commit never captures a half-applied statement.
+    pub(crate) write_phase: RwLock<()>,
 }
 
 impl Default for Database {
@@ -90,6 +114,7 @@ impl Database {
             tables: RwLock::new(BTreeMap::new()),
             next_table_id: AtomicU32::new(0),
             app_state: RwLock::new(Vec::new()),
+            write_phase: RwLock::new(()),
         }
     }
 
@@ -117,6 +142,7 @@ impl Database {
                 tables: RwLock::new(BTreeMap::new()),
                 next_table_id: AtomicU32::new(0),
                 app_state: RwLock::new(Vec::new()),
+                write_phase: RwLock::new(()),
             })
         } else {
             crate::persist::decode_catalog(&opened.app_meta, pager)
@@ -150,8 +176,11 @@ impl Database {
 
     /// Replace the opaque application-state blob persisted alongside
     /// the catalog (the advisory layer's warm state), and commit.
-    pub fn set_app_state(&mut self, state: Vec<u8>) -> Result<()> {
-        *self.app_state.write().expect("app state poisoned") = state;
+    pub fn set_app_state(&self, state: Vec<u8>) -> Result<()> {
+        {
+            let _phase = self.mutation_phase();
+            *self.app_state.write().expect("app state poisoned") = state;
+        }
         self.commit_if_durable()
     }
 
@@ -161,15 +190,30 @@ impl Database {
         self.app_state.read().expect("app state poisoned").clone()
     }
 
+    /// Shared commit-phase guard: held for the duration of every
+    /// statement's mutation so a durable commit (which holds the phase
+    /// exclusively) never snapshots a half-applied statement. Acquired
+    /// *before* any table lock — the one lock-order rule writers
+    /// follow.
+    fn mutation_phase(&self) -> RwLockReadGuard<'_, ()> {
+        self.write_phase.read().expect("phase lock poisoned")
+    }
+
     /// Commit the current state durably: serialize the catalog and
     /// append every page mutated since the last commit to the WAL as
     /// one transaction. In-memory databases return `Ok` untouched.
     /// Called by every public mutator on successful completion, after
     /// all table guards are released.
+    ///
+    /// Holds the commit phase exclusively: no statement is mid-mutation
+    /// while the dirty-page set and the catalog are captured, so what a
+    /// racing writer committed is always a set of whole statements — a
+    /// serial prefix, which is what the recovery property requires.
     fn commit_if_durable(&self) -> Result<()> {
         if !self.pager.is_durable() {
             return Ok(());
         }
+        let _phase = self.write_phase.write().expect("phase lock poisoned");
         let blob = crate::persist::encode_catalog(self);
         self.pager.commit(&blob)?;
         Ok(())
@@ -203,8 +247,9 @@ impl Database {
     }
 
     /// Create a table.
-    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
         {
+            let _phase = self.mutation_phase();
             let mut tables = self.tables.write().expect("catalog lock poisoned");
             if tables.contains_key(name) {
                 return Err(Error::AlreadyExists(format!("table {name}")));
@@ -212,17 +257,37 @@ impl Database {
             let id = TableId(self.next_table_id.fetch_add(1, Ordering::Relaxed));
             tables.insert(
                 name.to_owned(),
-                Arc::new(RwLock::new(TableEntry {
-                    id,
-                    schema: Arc::new(schema),
-                    heap: HeapFile::create(self.pager.clone()),
-                    stats: None,
-                    maintainer: None,
-                    indexes: BTreeMap::new(),
-                })),
+                Arc::new(RwLock::new(TableEntry::new(id, schema, self.pager.clone()))),
             );
         }
         self.commit_if_durable()
+    }
+
+    /// Pin the current epoch of `table`: an immutable
+    /// [`TableSnapshot`] shared as one `Arc` clone. Writers install
+    /// successor versions under the per-table write lock (bumping the
+    /// epoch); a held pin is never mutated. Repeated pins between
+    /// mutations return the same cached `Arc`.
+    pub fn pin(&self, table: &str) -> Result<Arc<TableSnapshot>> {
+        let entry = self.table(table)?;
+        {
+            let guard = Self::read_entry(&entry);
+            if let Some(v) = &guard.version {
+                return Ok(v.clone());
+            }
+        }
+        // Cache miss: the last statement was a mutation. Escalate to
+        // the write lock just long enough to rebuild the snapshot.
+        let snap = Self::write_entry(&entry).snapshot();
+        Ok(snap)
+    }
+
+    /// The current catalog epoch of `table` (bumped by every mutating
+    /// statement on it; per-process, reset by recovery).
+    pub fn table_epoch(&self, table: &str) -> Result<u64> {
+        let entry = self.table(table)?;
+        let guard = Self::read_entry(&entry);
+        Ok(guard.epoch)
     }
 
     /// The schema of `table` (shared, cheap to clone).
@@ -241,13 +306,14 @@ impl Database {
     }
 
     /// Insert one row, maintaining all indexes.
-    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<Rid> {
+    pub fn insert(&self, table: &str, values: &[Value]) -> Result<Rid> {
         let rid = self.insert_inner(table, values)?;
         self.commit_if_durable()?;
         Ok(rid)
     }
 
-    fn insert_inner(&mut self, table: &str, values: &[Value]) -> Result<Rid> {
+    fn insert_inner(&self, table: &str, values: &[Value]) -> Result<Rid> {
+        let _phase = self.mutation_phase();
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
         if !entry.schema.validates(values) {
@@ -269,6 +335,8 @@ impl Database {
         if let Some(m) = entry.maintainer.as_mut() {
             m.add_row(values);
         }
+        entry.log_delta(|| RowDelta::Insert(values.to_vec(), rid));
+        entry.bump_epoch();
         Ok(rid)
     }
 
@@ -276,7 +344,7 @@ impl Database {
     /// database the whole batch is one commit — one WAL transaction —
     /// so bulk loads do not pay a per-row serialization.
     pub fn insert_many<'r>(
-        &mut self,
+        &self,
         table: &str,
         rows: impl IntoIterator<Item = &'r [Value]>,
     ) -> Result<u64> {
@@ -293,14 +361,15 @@ impl Database {
     /// accumulated state is retained as a stats maintainer so later
     /// DML can be folded in and [`Database::refresh_stats`] can rebuild
     /// statistics without another scan.
-    pub fn analyze(&mut self, table: &str) -> Result<Arc<TableStats>> {
+    pub fn analyze(&self, table: &str) -> Result<Arc<TableStats>> {
         let stats = self.analyze_inner(table)?;
         self.commit_if_durable()?;
         Ok(stats)
     }
 
-    fn analyze_inner(&mut self, table: &str) -> Result<Arc<TableStats>> {
+    fn analyze_inner(&self, table: &str) -> Result<Arc<TableStats>> {
         let _span = cdpd_obs::span!("engine.analyze", table = table);
+        let _phase = self.mutation_phase();
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
         let mut maintainer = StatsMaintainer::new(entry.schema.len(), entry.heap.row_count());
@@ -314,6 +383,7 @@ impl Database {
         let stats = Arc::new(maintainer.snapshot(entry.heap.page_count()));
         entry.stats = Some(stats.clone());
         entry.maintainer = Some(maintainer);
+        entry.bump_epoch();
         Ok(stats)
     }
 
@@ -324,7 +394,7 @@ impl Database {
     ///
     /// # Errors
     /// The table must exist and have been `ANALYZE`d at least once.
-    pub fn refresh_stats(&mut self, table: &str) -> Result<StatsRefresh> {
+    pub fn refresh_stats(&self, table: &str) -> Result<StatsRefresh> {
         let refresh = self.refresh_stats_inner(table)?;
         // A no-op refresh mutated nothing; skip the commit entirely.
         if !refresh.is_noop() {
@@ -333,7 +403,8 @@ impl Database {
         Ok(refresh)
     }
 
-    fn refresh_stats_inner(&mut self, table: &str) -> Result<StatsRefresh> {
+    fn refresh_stats_inner(&self, table: &str) -> Result<StatsRefresh> {
+        let _phase = self.mutation_phase();
         let entry = self.table(table)?;
         let entry = &mut *Self::write_entry(&entry);
         let Some(maintainer) = entry.maintainer.as_mut() else {
@@ -348,6 +419,7 @@ impl Database {
         cdpd_obs::counter!("engine.stats.refreshes").inc();
         let refresh = maintainer.take_refresh();
         entry.stats = Some(Arc::new(maintainer.snapshot(entry.heap.page_count())));
+        entry.bump_epoch();
         Ok(refresh)
     }
 
@@ -389,14 +461,15 @@ impl Database {
             .is_ok_and(|t| Self::read_entry(&t).indexes.contains_key(&spec.name()))
     }
 
-    /// Scan → sort → bulk-load one index over `entry`'s heap, without
-    /// touching the catalog. Needs only a *read* view of the table, so
-    /// concurrent builds of different indexes can share one read guard.
-    /// Returns the resolved key columns, the loaded tree, and the
-    /// build's measured I/O (scoped to this thread).
+    /// Scan → sort → bulk-load one index over a pinned snapshot's heap,
+    /// without touching the catalog. Runs lock-free against the frozen
+    /// page chain (pager pages are copy-on-write), so any number of
+    /// builds — and foreground DML on the live entry — proceed
+    /// concurrently. Returns the resolved key columns, the loaded tree,
+    /// and the build's measured I/O (scoped to this thread).
     fn build_index(
         pager: &Arc<Pager>,
-        entry: &TableEntry,
+        snap: &TableSnapshot,
         spec: &IndexSpec,
     ) -> Result<(Vec<ColumnId>, BTree, IoStats)> {
         let scope = ThreadIoScope::start();
@@ -404,8 +477,7 @@ impl Database {
             .columns
             .iter()
             .map(|c| {
-                entry
-                    .schema
+                snap.schema
                     .column_id(c)
                     .ok_or_else(|| Error::NotFound(format!("column {c}")))
             })
@@ -414,9 +486,9 @@ impl Database {
         // Scan the heap collecting (key, rid), then sort: the in-memory
         // stand-in for an external sort.
         let mut entries: Vec<(Vec<Value>, Rid)> =
-            Vec::with_capacity(entry.heap.row_count() as usize);
+            Vec::with_capacity(snap.heap.row_count() as usize);
         {
-            let mut scan = entry.heap.scan();
+            let mut scan = snap.heap.scan();
             while let Some((rid, view)) = scan.next_row()? {
                 let key: Vec<Value> = columns
                     .iter()
@@ -430,24 +502,85 @@ impl Database {
         Ok((columns, btree, scope.delta()))
     }
 
-    /// `CREATE INDEX`: scan → sort → bulk load. The report's `io` is
-    /// the measured transition cost of this build.
-    pub fn create_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+    /// Replay the row deltas DML logged while an online build was
+    /// scanning into the freshly bulk-loaded tree, in chronological
+    /// order. Each delta is applied idempotently — the scan may or may
+    /// not have seen the row the delta describes, so an insert of an
+    /// already-present `(key, rid)` and a delete of an absent one are
+    /// both fine — which makes the installed tree exactly what a build
+    /// at the install point would have produced.
+    fn catch_up_index(btree: &mut BTree, columns: &[ColumnId], deltas: &[RowDelta]) -> Result<()> {
+        for delta in deltas {
+            match delta {
+                RowDelta::Insert(values, rid) => {
+                    let key: Vec<Value> =
+                        columns.iter().map(|c| values[c.index()].clone()).collect();
+                    match btree.insert(&key, *rid) {
+                        Ok(()) | Err(Error::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                RowDelta::Delete(values, rid) => {
+                    let key: Vec<Value> =
+                        columns.iter().map(|c| values[c.index()].clone()).collect();
+                    btree.delete(&key, *rid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `CREATE INDEX`: an *online* scan → sort → bulk load. The build
+    /// registers a side log and pins the table's current epoch snapshot
+    /// under the write lock, then scans and loads with **no lock held**
+    /// — concurrent sessions keep reading and writing the table, their
+    /// row deltas accumulating in the log — and finally reacquires the
+    /// write lock to drain the log into the new tree and install it
+    /// atomically. The report's `io` is the measured transition cost of
+    /// this build (scan + load + catch-up).
+    pub fn create_index(&self, spec: &IndexSpec) -> Result<DdlReport> {
         let report = self.create_index_inner(spec)?;
         self.commit_if_durable()?;
         Ok(report)
     }
 
-    fn create_index_inner(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+    fn create_index_inner(&self, spec: &IndexSpec) -> Result<DdlReport> {
         let _span = cdpd_obs::span!("ddl.create_index", index = spec.name());
-        let entry = self.table(&spec.table)?;
-        let entry = &mut *Self::write_entry(&entry);
         let name = spec.name();
-        if entry.indexes.contains_key(&name) {
+        let entry = self.table(&spec.table)?;
+        // Register: under the phase + table write lock, check the name
+        // is free, register a build log for concurrent DML to feed, and
+        // pin the current snapshot.
+        let (log, snap) = {
+            let _phase = self.mutation_phase();
+            let e = &mut *Self::write_entry(&entry);
+            if e.indexes.contains_key(&name) {
+                return Err(Error::AlreadyExists(format!("index {name}")));
+            }
+            let log: BuildLog = Arc::new(Mutex::new(Vec::new()));
+            e.build_logs.push(log.clone());
+            (log, e.snapshot())
+        };
+        // Build: no lock held; DML from other sessions interleaves here.
+        let built = Self::build_index(&self.pager, &snap, spec);
+        // Install: unregister the log first (even on build failure),
+        // then catch up and publish under the write lock.
+        let _phase = self.mutation_phase();
+        let e = &mut *Self::write_entry(&entry);
+        e.build_logs.retain(|l| !Arc::ptr_eq(l, &log));
+        let (columns, btree, io) = built?;
+        if e.indexes.contains_key(&name) {
+            // A racing session installed the same index while we built;
+            // surrender and return our tree's pages.
+            self.pager.free(&btree.into_pages());
             return Err(Error::AlreadyExists(format!("index {name}")));
         }
-        let (columns, btree, io) = Self::build_index(&self.pager, entry, spec)?;
-        entry.indexes.insert(
+        let mut btree = btree;
+        let scope = ThreadIoScope::start();
+        let deltas = std::mem::take(&mut *log.lock().expect("build log poisoned"));
+        Self::catch_up_index(&mut btree, &columns, &deltas)?;
+        let catchup = scope.delta();
+        e.indexes.insert(
             name.clone(),
             IndexEntry {
                 spec: spec.clone(),
@@ -455,8 +588,13 @@ impl Database {
                 btree,
             },
         );
+        e.bump_epoch();
         Ok(DdlReport {
-            io,
+            io: IoStats {
+                reads: io.reads + catchup.reads,
+                writes: io.writes + catchup.writes,
+                allocs: io.allocs + catchup.allocs,
+            },
             created: vec![name],
             dropped: Vec::new(),
         })
@@ -464,21 +602,23 @@ impl Database {
 
     /// `DROP INDEX`. Cost model: one catalog write; the tree's pages
     /// return to the free list for reuse by later builds.
-    pub fn drop_index(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+    pub fn drop_index(&self, spec: &IndexSpec) -> Result<DdlReport> {
         let report = self.drop_index_inner(spec)?;
         self.commit_if_durable()?;
         Ok(report)
     }
 
-    fn drop_index_inner(&mut self, spec: &IndexSpec) -> Result<DdlReport> {
+    fn drop_index_inner(&self, spec: &IndexSpec) -> Result<DdlReport> {
         let _span = cdpd_obs::span!("ddl.drop_index", index = spec.name());
         let scope = ThreadIoScope::start();
+        let _phase = self.mutation_phase();
         let entry = self.table(&spec.table)?;
         let entry = &mut *Self::write_entry(&entry);
         let name = spec.name();
         let Some(dropped) = entry.indexes.remove(&name) else {
             return Err(Error::NotFound(format!("index {name}")));
         };
+        entry.bump_epoch();
         self.pager.free(&dropped.btree.into_pages());
         // Account the catalog write on a real page so measured TRANS
         // matches the model: touch page 0 if it exists, else skip.
@@ -499,7 +639,7 @@ impl Database {
     /// Builds run serially; use
     /// [`Database::apply_configuration_with`] to build missing indexes
     /// concurrently.
-    pub fn apply_configuration(&mut self, table: &str, target: &[IndexSpec]) -> Result<DdlReport> {
+    pub fn apply_configuration(&self, table: &str, target: &[IndexSpec]) -> Result<DdlReport> {
         self.apply_configuration_with(table, target, 1)
     }
 
@@ -517,7 +657,7 @@ impl Database {
     /// ([`ThreadIoScope`]) so the summed transition cost is
     /// bit-identical to a serial application.
     pub fn apply_configuration_with(
-        &mut self,
+        &self,
         table: &str,
         target: &[IndexSpec],
         threads: usize,
@@ -530,7 +670,7 @@ impl Database {
     }
 
     fn apply_configuration_inner(
-        &mut self,
+        &self,
         table: &str,
         target: &[IndexSpec],
         threads: usize,
@@ -565,23 +705,45 @@ impl Database {
             }
             return Ok(report);
         }
+        // Online parallel build: register ONE shared log and pin one
+        // snapshot under the write lock, fan the scans/loads out with
+        // no lock held (DML from other sessions interleaves, feeding
+        // the log), then reacquire the lock to catch up and install
+        // every tree in one atomic step.
         let entry = self.table(table)?;
-        let built = {
-            let entry = Self::read_entry(&entry);
+        let (log, snap) = {
+            let _phase = self.mutation_phase();
+            let e = &mut *Self::write_entry(&entry);
             for spec in &missing {
-                if entry.indexes.contains_key(&spec.name()) {
+                if e.indexes.contains_key(&spec.name()) {
                     return Err(Error::AlreadyExists(format!("index {}", spec.name())));
                 }
             }
+            let log: BuildLog = Arc::new(Mutex::new(Vec::new()));
+            e.build_logs.push(log.clone());
+            (log, e.snapshot())
+        };
+        let built = {
             let pager = &self.pager;
-            let entry = &*entry;
+            let snap = &snap;
             crate::par::parallel_map(missing.len(), threads, |i| {
                 let _span = cdpd_obs::span!("ddl.create_index", index = missing[i].name());
-                Self::build_index(pager, entry, missing[i])
-            })?
+                Self::build_index(pager, snap, missing[i])
+            })
         };
+        let _phase = self.mutation_phase();
         let entry = &mut *Self::write_entry(&entry);
-        for (spec, (columns, btree, io)) in missing.iter().zip(built) {
+        entry.build_logs.retain(|l| !Arc::ptr_eq(l, &log));
+        let built = built?;
+        let deltas = std::mem::take(&mut *log.lock().expect("build log poisoned"));
+        for (spec, (columns, mut btree, io)) in missing.iter().zip(built) {
+            if entry.indexes.contains_key(&spec.name()) {
+                self.pager.free(&btree.into_pages());
+                return Err(Error::AlreadyExists(format!("index {}", spec.name())));
+            }
+            let scope = ThreadIoScope::start();
+            Self::catch_up_index(&mut btree, &columns, &deltas)?;
+            let catchup = scope.delta();
             entry.indexes.insert(
                 spec.name(),
                 IndexEntry {
@@ -590,11 +752,12 @@ impl Database {
                     btree,
                 },
             );
-            report.io.reads += io.reads;
-            report.io.writes += io.writes;
-            report.io.allocs += io.allocs;
+            report.io.reads += io.reads + catchup.reads;
+            report.io.writes += io.writes + catchup.writes;
+            report.io.allocs += io.allocs + catchup.allocs;
             report.created.push(spec.name());
         }
+        entry.bump_epoch();
         Ok(report)
     }
 
@@ -679,7 +842,7 @@ impl Database {
     /// Queries run in counting mode (no result materialization) since
     /// this is the workload-replay entry point; use [`Database::query`]
     /// for materialized results.
-    pub fn execute_dml(&mut self, stmt: &Dml) -> Result<QueryResult> {
+    pub fn execute_dml(&self, stmt: &Dml) -> Result<QueryResult> {
         match stmt {
             Dml::Select(s) => self.query_count(s),
             Dml::Update(u) => self.run_update(u),
@@ -707,14 +870,15 @@ impl Database {
         Ok((rids, planned))
     }
 
-    fn run_update(&mut self, stmt: &UpdateStmt) -> Result<QueryResult> {
+    fn run_update(&self, stmt: &UpdateStmt) -> Result<QueryResult> {
         let result = self.run_update_inner(stmt)?;
         self.commit_if_durable()?;
         Ok(result)
     }
 
-    fn run_update_inner(&mut self, stmt: &UpdateStmt) -> Result<QueryResult> {
+    fn run_update_inner(&self, stmt: &UpdateStmt) -> Result<QueryResult> {
         let scope = ThreadIoScope::start();
+        let _phase = self.mutation_phase();
         let dml = Dml::Update(stmt.clone());
         let entry = self.table(&stmt.table)?;
         let entry = &mut *Self::write_entry(&entry);
@@ -760,6 +924,11 @@ impl Database {
             if let Some(m) = entry.maintainer.as_mut() {
                 m.update_row(&old_values, &new_values);
             }
+            entry.log_delta(|| RowDelta::Delete(old_values.clone(), rid));
+            entry.log_delta(|| RowDelta::Insert(new_values.clone(), new_rid));
+        }
+        if count > 0 {
+            entry.bump_epoch();
         }
         Ok(QueryResult {
             count,
@@ -771,14 +940,15 @@ impl Database {
         })
     }
 
-    fn run_delete(&mut self, stmt: &DeleteStmt) -> Result<QueryResult> {
+    fn run_delete(&self, stmt: &DeleteStmt) -> Result<QueryResult> {
         let result = self.run_delete_inner(stmt)?;
         self.commit_if_durable()?;
         Ok(result)
     }
 
-    fn run_delete_inner(&mut self, stmt: &DeleteStmt) -> Result<QueryResult> {
+    fn run_delete_inner(&self, stmt: &DeleteStmt) -> Result<QueryResult> {
         let scope = ThreadIoScope::start();
+        let _phase = self.mutation_phase();
         let dml = Dml::Delete(stmt.clone());
         let entry = self.table(&stmt.table)?;
         let entry = &mut *Self::write_entry(&entry);
@@ -799,6 +969,10 @@ impl Database {
             if let Some(m) = entry.maintainer.as_mut() {
                 m.delete_row(&old_values);
             }
+            entry.log_delta(|| RowDelta::Delete(old_values.clone(), rid));
+        }
+        if count > 0 {
+            entry.bump_epoch();
         }
         Ok(QueryResult {
             count,
@@ -817,7 +991,7 @@ impl Database {
     /// errors by the `;` count before the failing offset), so a failure
     /// in a multi-statement script is attributable even when scripts
     /// are replayed out of band.
-    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
         let stmts = cdpd_sql::parse_many(sql).map_err(|e| {
             if let Error::Parse { offset, .. } = e {
                 let index = sql[..offset.min(sql.len())].matches(';').count();
@@ -855,11 +1029,13 @@ impl Database {
     }
 
     /// Parse and execute one SQL statement.
-    pub fn execute_sql(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
         self.execute_statement(cdpd_sql::parse(sql)?)
     }
 
-    fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
+    /// Execute one already-parsed statement. Queries run in counting
+    /// mode; see [`Database::query`] for materialized results.
+    pub fn execute_statement(&self, stmt: Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Select(stmt) => self.query(&stmt),
             Statement::Update(stmt) => self.run_update(&stmt),
@@ -949,7 +1125,7 @@ mod tests {
 
     /// A small deterministic table in the paper's shape.
     fn load_db(rows: i64, modulus: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", abcd_schema()).unwrap();
         for i in 0..rows {
             let v = (i * 2654435761) % modulus;
@@ -970,7 +1146,7 @@ mod tests {
 
     #[test]
     fn create_insert_query_roundtrip() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", abcd_schema()).unwrap();
         db.execute_sql("INSERT INTO t VALUES (1, 2, 3, 4)").unwrap();
         db.insert(
@@ -986,7 +1162,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_rows_and_missing_objects() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", abcd_schema()).unwrap();
         assert!(db.create_table("t", abcd_schema()).is_err());
         assert!(db.insert("t", &[Value::Int(1)]).is_err());
@@ -998,7 +1174,7 @@ mod tests {
 
     #[test]
     fn index_changes_plan_and_cost() {
-        let mut db = load_db(20_000, 5_000);
+        let db = load_db(20_000, 5_000);
         let q = SelectStmt::point("t", "a", 1234);
         let scan = db.query_count(&q).unwrap();
         assert!(scan.plan.starts_with("SeqScan"), "{}", scan.plan);
@@ -1021,7 +1197,7 @@ mod tests {
 
     #[test]
     fn query_results_match_between_plans() {
-        let mut db = load_db(5_000, 500);
+        let db = load_db(5_000, 500);
         let q = SelectStmt::point("t", "b", 123);
         let baseline = db.query(&q).unwrap();
         db.create_index(&IndexSpec::new("t", &["b"])).unwrap();
@@ -1037,7 +1213,7 @@ mod tests {
 
     #[test]
     fn index_maintenance_on_insert() {
-        let mut db = load_db(1_000, 100);
+        let db = load_db(1_000, 100);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         db.insert(
             "t",
@@ -1057,7 +1233,7 @@ mod tests {
 
     #[test]
     fn apply_configuration_diffs() {
-        let mut db = load_db(2_000, 500);
+        let db = load_db(2_000, 500);
         let a = IndexSpec::new("t", &["a"]);
         let cd = IndexSpec::new("t", &["c", "d"]);
         let b = IndexSpec::new("t", &["b"]);
@@ -1082,7 +1258,7 @@ mod tests {
 
     #[test]
     fn drop_index_is_cheap_create_is_not() {
-        let mut db = load_db(10_000, 1_000);
+        let db = load_db(10_000, 1_000);
         let spec = IndexSpec::new("t", &["a"]);
         let create = db.create_index(&spec).unwrap();
         let drop = db.drop_index(&spec).unwrap();
@@ -1094,7 +1270,7 @@ mod tests {
 
     #[test]
     fn repeated_design_changes_reuse_pages() {
-        let mut db = load_db(5_000, 1_000);
+        let db = load_db(5_000, 1_000);
         let a = IndexSpec::new("t", &["a"]);
         let b = IndexSpec::new("t", &["b"]);
         db.create_index(&a).unwrap();
@@ -1122,7 +1298,7 @@ mod tests {
     fn estimates_track_measurements() {
         // The planner's estimated I/O and the executor's measured I/O
         // must agree within a small factor for every access path.
-        let mut db = load_db(50_000, 10_000);
+        let db = load_db(50_000, 10_000);
         db.create_index(&IndexSpec::new("t", &["a", "b"])).unwrap();
         db.create_index(&IndexSpec::new("t", &["c"])).unwrap();
         let queries = [
@@ -1146,7 +1322,7 @@ mod tests {
 
     #[test]
     fn update_executes_and_maintains_indexes() {
-        let mut db = load_db(5_000, 500);
+        let db = load_db(5_000, 500);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         db.create_index(&IndexSpec::new("t", &["b"])).unwrap();
         let before = db
@@ -1174,7 +1350,7 @@ mod tests {
 
     #[test]
     fn delete_executes_and_maintains_indexes() {
-        let mut db = load_db(5_000, 500);
+        let db = load_db(5_000, 500);
         db.create_index(&IndexSpec::new("t", &["c"])).unwrap();
         let victims = db
             .execute_sql("SELECT COUNT(*) FROM t WHERE c = 77")
@@ -1193,7 +1369,7 @@ mod tests {
         let via_index = db
             .execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0")
             .unwrap();
-        let mut db2 = load_db(5_000, 500);
+        let db2 = load_db(5_000, 500);
         db2.execute_sql("DELETE FROM t WHERE c = 77").unwrap();
         let via_scan = db2
             .execute_sql("SELECT COUNT(*) FROM t WHERE c >= 0")
@@ -1203,7 +1379,7 @@ mod tests {
 
     #[test]
     fn refresh_stats_folds_dml_without_rescan() {
-        let mut db = load_db(5_000, 500);
+        let db = load_db(5_000, 500);
         assert!(
             db.refresh_stats("t").unwrap().is_noop(),
             "fresh analyze leaves nothing pending"
@@ -1266,7 +1442,7 @@ mod tests {
         // For insert-only deltas (no stale-distinct asymmetry) the
         // refreshed statistics must agree with a from-scratch analyze
         // on every exact field.
-        let mut db = load_db(2_000, 500);
+        let db = load_db(2_000, 500);
         for i in 0..100 {
             db.insert(
                 "t",
@@ -1295,7 +1471,7 @@ mod tests {
 
     #[test]
     fn execute_dml_routes_all_kinds() {
-        let mut db = load_db(2_000, 100);
+        let db = load_db(2_000, 100);
         let q = Dml::Select(SelectStmt::point("t", "a", 5));
         let qr = db.execute_dml(&q).unwrap();
         assert!(qr.rows.is_none(), "replay mode counts only");
@@ -1314,7 +1490,7 @@ mod tests {
 
     #[test]
     fn unpredicated_update_touches_every_row() {
-        let mut db = load_db(1_000, 100);
+        let db = load_db(1_000, 100);
         let r = db.execute_sql("UPDATE t SET a = 42").unwrap();
         assert_eq!(r.count, 1_000);
         assert_eq!(
@@ -1327,7 +1503,7 @@ mod tests {
 
     #[test]
     fn write_estimates_track_measurements() {
-        let mut db = load_db(20_000, 4_000);
+        let db = load_db(20_000, 4_000);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         db.create_index(&IndexSpec::new("t", &["b", "c"])).unwrap();
         let r = db.execute_sql("UPDATE t SET b = 7 WHERE a = 99").unwrap();
@@ -1343,7 +1519,7 @@ mod tests {
 
     #[test]
     fn count_star_and_star_queries() {
-        let mut db = load_db(2_000, 100);
+        let db = load_db(2_000, 100);
         let r = db
             .execute_sql("SELECT COUNT(*) FROM t WHERE a = 5")
             .unwrap();
@@ -1356,7 +1532,7 @@ mod tests {
 
     #[test]
     fn execute_script_runs_statement_sequences() {
-        let mut db = Database::new();
+        let db = Database::new();
         let results = db
             .execute_script(
                 "CREATE TABLE s (x INT, y INT);\n\
@@ -1388,7 +1564,7 @@ mod tests {
 
     #[test]
     fn execute_script_errors_report_statement_index() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.execute_script("CREATE TABLE s (x INT, y INT);").unwrap();
         db.analyze("s").unwrap();
         // Parse errors are attributed by the `;` count before the
@@ -1417,7 +1593,7 @@ mod tests {
 
     #[test]
     fn aggregates_match_brute_force() {
-        let mut db = load_db(5_000, 400);
+        let db = load_db(5_000, 400);
         // Ground truth from materialized rows.
         let all_b = db.execute_sql("SELECT b FROM t WHERE a = 123").unwrap();
         let vals: Vec<i64> = all_b
@@ -1455,7 +1631,7 @@ mod tests {
 
     #[test]
     fn unpredicated_min_max_use_index_extremum() {
-        let mut db = load_db(20_000, 3_000);
+        let db = load_db(20_000, 3_000);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         // Brute-force extremes via a scan on another column path.
         let all = db.execute_sql("SELECT a FROM t").unwrap();
@@ -1487,7 +1663,7 @@ mod tests {
 
     #[test]
     fn order_by_and_limit() {
-        let mut db = load_db(3_000, 500);
+        let db = load_db(3_000, 500);
         let r = db
             .execute_sql("SELECT a FROM t WHERE b = 77 ORDER BY a")
             .unwrap();
@@ -1540,14 +1716,14 @@ mod tests {
 
     #[test]
     fn range_queries_execute_correctly() {
-        let mut db = load_db(5_000, 1_000);
+        let db = load_db(5_000, 1_000);
         db.create_index(&IndexSpec::new("t", &["a"])).unwrap();
         let scan = db
             .execute_sql("SELECT COUNT(*) FROM t WHERE a BETWEEN 100 AND 120 AND b >= 0")
             .unwrap();
         // Verify against a brute-force count via seq scan on column d
         // (no index): same predicate must give the same count.
-        let mut db2 = load_db(5_000, 1_000);
+        let db2 = load_db(5_000, 1_000);
         let brute = db2
             .execute_sql("SELECT COUNT(*) FROM t WHERE a BETWEEN 100 AND 120 AND b >= 0")
             .unwrap();

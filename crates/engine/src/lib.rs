@@ -32,7 +32,7 @@ mod planner;
 mod stats;
 mod whatif;
 
-pub use catalog::IndexSpec;
+pub use catalog::{IndexSpec, TableSnapshot};
 pub use cost::{CostModel, IndexShape};
 pub use db::{Database, DdlReport, QueryResult};
 pub use exec::ExecOutcome;

@@ -276,6 +276,7 @@ pub(crate) fn decode_catalog(bytes: &[u8], pager: Arc<Pager>) -> Result<Database
         tables: RwLock::new(tables),
         next_table_id: AtomicU32::new(next_table_id),
         app_state: RwLock::new(app_state),
+        write_phase: RwLock::new(()),
     })
 }
 
@@ -340,6 +341,8 @@ fn decode_table(r: &mut Reader<'_>, pager: &Arc<Pager>) -> Result<TableEntry> {
             return Err(Error::Corrupt("duplicate index in catalog".into()));
         }
     }
+    // Epochs are per-process: a recovered catalog restarts at 0 with
+    // no pinned snapshots or in-flight builds.
     Ok(TableEntry {
         id,
         schema,
@@ -347,6 +350,9 @@ fn decode_table(r: &mut Reader<'_>, pager: &Arc<Pager>) -> Result<TableEntry> {
         stats,
         maintainer,
         indexes,
+        epoch: 0,
+        version: None,
+        build_logs: Vec::new(),
     })
 }
 

@@ -269,7 +269,7 @@ mod tests {
     use cdpd_types::{ColumnDef, Value};
 
     fn paper_db(rows: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn snapshot_requires_stats() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", Schema::new(vec![ColumnDef::int("a")]))
             .unwrap();
         assert!(WhatIfEngine::snapshot(&db, "t").is_err());
@@ -535,7 +535,7 @@ mod tests {
 
     #[test]
     fn estimated_shape_tracks_real_build() {
-        let mut db = paper_db(30_000);
+        let db = paper_db(30_000);
         let w = WhatIfEngine::snapshot(&db, "t").unwrap();
         let s = spec(&["a", "b"]);
         let est = w.shape(&s).unwrap();
@@ -554,7 +554,7 @@ mod tests {
 
     #[test]
     fn live_snapshot_matches_executor_estimates_exactly() {
-        let mut db = paper_db(30_000);
+        let db = paper_db(30_000);
         db.create_index(&spec(&["a"])).unwrap();
         db.create_index(&spec(&["c", "d"])).unwrap();
         let w = WhatIfEngine::snapshot_live(&db, "t").unwrap();

@@ -22,9 +22,9 @@ fn build_dbs(rows: &[(i64, i64, i64)]) -> (Database, Database) {
             ColumnDef::int("c"),
         ])
     };
-    let mut plain = Database::new();
+    let plain = Database::new();
     plain.create_table("t", schema()).unwrap();
-    let mut indexed = Database::new();
+    let indexed = Database::new();
     indexed.create_table("t", schema()).unwrap();
     for &(a, b, c) in rows {
         let row = vec![Value::Int(a), Value::Int(b), Value::Int(c)];
@@ -100,7 +100,7 @@ fn normalized_rows(r: &cdpd_engine::QueryResult) -> Option<Vec<Vec<Value>>> {
 }
 
 fn check_agreement(rows: &[(i64, i64, i64)], stmts: &[String]) {
-    let (mut plain, mut indexed) = build_dbs(rows);
+    let (plain, indexed) = build_dbs(rows);
     for (i, sql) in stmts.iter().enumerate() {
         let a = plain.execute_sql(sql).unwrap();
         let b = indexed.execute_sql(sql).unwrap();

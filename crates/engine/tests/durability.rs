@@ -81,7 +81,7 @@ fn reopen_resumes_table_id_allocation_and_ddl() {
         load(&mut db, 50);
         db.create_table("u", abcd_schema()).unwrap();
     }
-    let mut db = open_mem(&vfs);
+    let db = open_mem(&vfs);
     // New DDL keeps working against the recovered pager and catalog.
     db.create_table("v", abcd_schema()).unwrap();
     db.insert("v", &[iv(1), iv(2), iv(3), Value::Str("x".into())])
@@ -109,7 +109,7 @@ fn stale_stats_snapshot_survives_reopen() {
         .execute_sql("UPDATE t SET b = 11 WHERE a < 20")
         .unwrap();
 
-    let mut db = open_mem(&vfs);
+    let db = open_mem(&vfs);
     let stats = db.stats("t").unwrap().unwrap();
     let cstats = control.stats("t").unwrap().unwrap();
     assert_eq!(stats.row_count, cstats.row_count);
@@ -127,13 +127,13 @@ fn stale_stats_snapshot_survives_reopen() {
 fn app_state_round_trips() {
     let vfs = MemVfs::new();
     {
-        let mut db = open_mem(&vfs);
+        let db = open_mem(&vfs);
         db.set_app_state(b"advisor state v1".to_vec()).unwrap();
     }
     let db = open_mem(&vfs);
     assert_eq!(db.app_state(), b"advisor state v1");
     // In-memory databases accept but do not persist app state.
-    let mut mem = Database::new();
+    let mem = Database::new();
     assert!(!mem.is_durable());
     mem.set_app_state(b"x".to_vec()).unwrap();
     assert_eq!(mem.app_state(), b"x");
@@ -185,7 +185,7 @@ fn bounded_cache_database_round_trips() {
 fn failed_script_keeps_its_committed_prefix_across_restart() {
     let vfs = MemVfs::new();
     {
-        let mut db = open_mem(&vfs);
+        let db = open_mem(&vfs);
         db.execute_script("CREATE TABLE s (x INT, y INT); INSERT INTO s VALUES (1, 10);")
             .unwrap();
         db.analyze("s").unwrap();
@@ -200,7 +200,7 @@ fn failed_script_keeps_its_committed_prefix_across_restart() {
             "{err}"
         );
     }
-    let mut db = open_mem(&vfs);
+    let db = open_mem(&vfs);
     let rows = db.execute_sql("SELECT x FROM s WHERE x >= 0").unwrap();
     // Statement 0 of the failed script committed; statement 1 failed
     // before touching anything; statement 2 never ran.

@@ -1,0 +1,53 @@
+//! Serve a demo database with the online advisor in the loop.
+//!
+//! ```text
+//! cargo run -p cdpd-server --example serve [--release]
+//! ```
+//!
+//! Binds `127.0.0.1:4547` (override with `CDPD_ADDR`), loads a small
+//! four-column table, and serves until the process is killed. Talk to
+//! it with [`cdpd_server::Client`], e.g. from another shell via a tiny
+//! Rust script, and watch the advisor adapt the index set as your
+//! query mix shifts; `METRICS` frames expose the live registry.
+
+use cdpd::{OnlineAdvisor, OnlineOptions};
+use cdpd_engine::Database;
+use cdpd_server::Server;
+use cdpd_types::{ColumnDef, Schema, Value, ValueType};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let addr = std::env::var("CDPD_ADDR").unwrap_or_else(|_| "127.0.0.1:4547".into());
+    let db = Arc::new(Database::new());
+    let schema = Schema::new(vec![
+        ColumnDef::new("a", ValueType::Int),
+        ColumnDef::new("b", ValueType::Int),
+        ColumnDef::new("c", ValueType::Int),
+        ColumnDef::new("d", ValueType::Int),
+    ]);
+    db.create_table("t", schema).expect("create table");
+    for i in 0..10_000i64 {
+        db.insert(
+            "t",
+            &[
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Int(i % 10),
+                Value::Int(i / 2),
+            ],
+        )
+        .expect("load row");
+    }
+    db.analyze("t").expect("analyze");
+
+    let advisor = OnlineAdvisor::new(&db, "t", OnlineOptions::default()).expect("advisor");
+    let server =
+        Server::bind(db, &addr)
+            .expect("bind")
+            .with_advisor(advisor, Duration::from_secs(2), 2);
+    let bound = server.local_addr().expect("local addr");
+    println!("cdpd-server listening on {bound} (advisor: table t, 2s tick)");
+    println!("stop with Ctrl-C");
+    server.run().expect("serve");
+}

@@ -1,0 +1,365 @@
+//! End-to-end wire tests: a real [`Server`] on an ephemeral loopback
+//! port, driven by [`Client`] — round trips, the METRICS exposition,
+//! every protocol error path, and the advisor running inside the
+//! serving loop.
+//!
+//! The obs registry is process-global and these tests run on sibling
+//! threads, so counter assertions are monotone (`>=`), never exact.
+
+use cdpd::{AdvisorOptions, OnlineAdvisor, OnlineOptions};
+use cdpd_engine::{Database, IndexSpec};
+use cdpd_server::{proto, Client, Server, ServerHandle, ServerReport};
+use cdpd_testkit::Prng;
+use cdpd_types::{ColumnDef, Error, Result, Schema, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const ROWS: i64 = 2_000;
+const DOMAIN: i64 = 400;
+
+/// The paper table, loaded and analyzed, ready to serve.
+fn loaded_db(seed: u64) -> Arc<Database> {
+    let db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )
+    .expect("fresh table");
+    let mut rng = Prng::seed_from_u64(seed);
+    for _ in 0..ROWS {
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..DOMAIN)))
+            .collect();
+        db.insert("t", &row).expect("row matches schema");
+    }
+    db.analyze("t").expect("table exists");
+    Arc::new(db)
+}
+
+fn start(server: Server) -> (ServerHandle, JoinHandle<Result<ServerReport>>) {
+    let handle = server.handle().expect("handle");
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn stop(handle: &ServerHandle, join: JoinHandle<Result<ServerReport>>) -> ServerReport {
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run")
+}
+
+#[test]
+fn query_exec_and_ping_round_trip() {
+    let db = loaded_db(7);
+    let (handle, join) = start(Server::bind(db.clone(), "127.0.0.1:0").expect("bind"));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client.ping().expect("ping");
+
+    // QUERY materializes rows; the server-side truth is one local call
+    // away on the shared database.
+    let cdpd_sql::Statement::Select(sel) =
+        cdpd_sql::parse("SELECT * FROM t WHERE a = 3").expect("parses")
+    else {
+        unreachable!()
+    };
+    let local = db.query(&sel).expect("local query");
+    let remote = client.query("SELECT * FROM t WHERE a = 3").expect("query");
+    assert_eq!(remote.count, local.count);
+    assert_eq!(remote.rows, local.rows);
+    assert_eq!(remote.plan, local.plan);
+    assert!(remote.io.reads > 0, "statement I/O must ride the wire");
+
+    // EXEC runs the same statement in counting mode: same count, no
+    // materialized rows.
+    let counted = client.exec("SELECT * FROM t WHERE a = 3").expect("exec");
+    assert_eq!(counted.count, local.count);
+    assert_eq!(counted.rows, None);
+
+    // Mutations through the wire are immediately visible to queries —
+    // same catalog, same epochs.
+    let tag = DOMAIN + 77;
+    client
+        .exec(&format!("INSERT INTO t VALUES ({tag}, 0, 0, 0)"))
+        .expect("insert");
+    let seen = client
+        .query(&format!("SELECT * FROM t WHERE a = {tag}"))
+        .expect("query");
+    assert_eq!(seen.count, 1);
+    assert_eq!(
+        seen.rows,
+        Some(vec![vec![
+            Value::Int(tag),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+        ]])
+    );
+    let gone = client
+        .exec(&format!("DELETE FROM t WHERE a = {tag}"))
+        .expect("delete");
+    assert_eq!(gone.count, 1);
+
+    // Aggregates ride the aggregate slot — same answer as a local call.
+    let local_agg = db
+        .execute_sql("SELECT MIN(b) FROM t")
+        .expect("local aggregate");
+    let agg = client.query("SELECT MIN(b) FROM t").expect("aggregate");
+    assert_eq!(agg.aggregate, local_agg.aggregate);
+    assert!(agg.aggregate.is_some(), "MIN must produce an aggregate");
+
+    // DDL over the wire lands in the shared catalog.
+    client
+        .exec("CREATE INDEX ix_wire ON t (b)")
+        .expect("create index");
+    assert!(db.has_index(&IndexSpec::new("t", &["b"])));
+
+    drop(client);
+    let report = stop(&handle, join);
+    assert_eq!(report.sessions, 1);
+    assert!(report.advisor.is_none());
+}
+
+#[test]
+fn metrics_frame_round_trips_the_openmetrics_exposition() {
+    let db = loaded_db(11);
+    let (handle, join) = start(Server::bind(db, "127.0.0.1:0").expect("bind"));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    const STATEMENTS: u64 = 5;
+    for i in 0..STATEMENTS {
+        client
+            .exec(&format!("SELECT * FROM t WHERE a = {i}"))
+            .expect("exec");
+    }
+    let text = client.metrics().expect("metrics");
+
+    // Structural round trip: the exposition parses line by line and
+    // terminates correctly.
+    assert!(text.ends_with("# EOF\n"), "exposition must end with EOF");
+    let mut families = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line == "# EOF" {
+            break;
+        }
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line: {line}"));
+        // Histogram buckets carry labels; everything else is bare.
+        if !name.contains('{') {
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric sample: {line}"));
+            families.insert(name.to_owned(), value);
+        }
+    }
+
+    // The serving counters are live in the exposition. The registry is
+    // process-global, so sibling tests may have pushed these higher.
+    let counter = |name: &str| -> f64 {
+        *families
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+    };
+    assert!(counter("server_statements_total") >= STATEMENTS as f64);
+    assert!(counter("server_sessions_opened_total") >= 1.0);
+    assert!(counter("server_bytes_in_total") > 0.0);
+    assert!(counter("server_bytes_out_total") > 0.0);
+    // And the engine's own ledger flows through the same registry.
+    assert!(counter("storage_pager_reads_total") > 0.0);
+
+    drop(client);
+    stop(&handle, join);
+}
+
+#[test]
+fn malformed_requests_leave_the_session_usable() {
+    let db = loaded_db(13);
+    let (handle, join) = start(Server::bind(db, "127.0.0.1:0").expect("bind"));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Unknown (but well-framed) op: rejected, session continues.
+    let err = client.raw(b'Z', b"").expect_err("unknown op must fail");
+    assert!(matches!(err, Error::InvalidArgument(m) if m.contains("unknown op")));
+    client.ping().expect("session survives unknown op");
+
+    // Non-UTF-8 statement payload.
+    let err = client
+        .raw(proto::OP_EXEC, &[0xFF, 0xFE, 0x00])
+        .expect_err("non-UTF-8 must fail");
+    assert!(matches!(err, Error::InvalidArgument(m) if m.contains("UTF-8")));
+    client.ping().expect("session survives bad encoding");
+
+    // SQL that does not parse: the original error variant (with its
+    // offset) survives the wire.
+    let err = client.exec("SELEC * FROM t").expect_err("parse must fail");
+    assert!(matches!(err, Error::Parse { .. }));
+    client.ping().expect("session survives parse error");
+
+    // QUERY is for SELECT only.
+    let err = client
+        .query("INSERT INTO t VALUES (1, 2, 3, 4)")
+        .expect_err("QUERY rejects non-SELECT");
+    assert!(matches!(err, Error::InvalidArgument(m) if m.contains("EXEC")));
+
+    // A statement error (missing table) is not a protocol error: the
+    // session — and the catalog under it — keep working.
+    let err = client
+        .exec("SELECT * FROM missing")
+        .expect_err("missing table must fail");
+    assert!(matches!(err, Error::NotFound(_)));
+    let ok = client
+        .exec("SELECT * FROM t WHERE a = 1")
+        .expect("statement runs");
+    assert!(ok.count <= ROWS as u64);
+
+    drop(client);
+    let report = stop(&handle, join);
+    assert_eq!(report.sessions, 1);
+}
+
+#[test]
+fn oversized_announcement_errors_and_closes_the_connection() {
+    let db = loaded_db(17);
+    let (handle, join) = start(Server::bind(db, "127.0.0.1:0").expect("bind"));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+
+    // Forge a header announcing a payload the server must refuse (the
+    // client-side encoder rejects it, so write the bytes by hand).
+    let announced = (proto::MAX_PAYLOAD as u32) + 1;
+    let mut header = vec![proto::OP_EXEC];
+    header.extend_from_slice(&announced.to_le_bytes());
+    client.stream().write_all(&header).expect("header sent");
+
+    // The server explains itself before hanging up…
+    let (status, body) = proto::read_frame(client.stream())
+        .expect("error frame arrives")
+        .expect("frame, not EOF");
+    assert_eq!(status, proto::STATUS_ERR);
+    assert!(matches!(proto::decode_error(&body), Error::TooLarge(_)));
+
+    // …and the stream is gone: the length prefix cannot be resynced.
+    assert!(client.ping().is_err(), "connection must be closed");
+
+    // The server itself is healthy — new connections serve normally.
+    let mut fresh = Client::connect(handle.addr()).expect("reconnect");
+    fresh.ping().expect("fresh session works");
+    drop((client, fresh));
+    stop(&handle, join);
+}
+
+#[test]
+fn mid_statement_disconnect_leaves_the_server_healthy() {
+    let db = loaded_db(19);
+    let (handle, join) = start(Server::bind(db.clone(), "127.0.0.1:0").expect("bind"));
+
+    // Announce 64 payload bytes, send 9, vanish.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut partial = vec![proto::OP_EXEC];
+        partial.extend_from_slice(&64u32.to_le_bytes());
+        partial.extend_from_slice(b"SELECT * ");
+        stream.write_all(&partial).expect("partial frame sent");
+    } // dropped mid-frame
+
+    // The aborted session took nothing down with it: catalog intact,
+    // new sessions fine.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+    let r = client
+        .exec("SELECT * FROM t WHERE a = 1")
+        .expect("statement runs");
+    assert!(r.count > 0);
+    drop(client);
+
+    let report = stop(&handle, join);
+    assert_eq!(report.sessions, 2, "both connections were served");
+}
+
+#[test]
+fn advisor_adapts_the_design_inside_the_serving_loop() {
+    const WINDOW: usize = 25;
+    const STATEMENTS: usize = 100;
+
+    let db = loaded_db(23);
+    let options = OnlineOptions {
+        advisor: AdvisorOptions {
+            k: Some(2),
+            window_len: WINDOW,
+            structures: Some(vec![
+                IndexSpec::new("t", &["a"]),
+                IndexSpec::new("t", &["b"]),
+                IndexSpec::new("t", &["a", "b"]),
+            ]),
+            max_structures_per_config: Some(1),
+            ..AdvisorOptions::default()
+        },
+        ..OnlineOptions::default()
+    };
+    let advisor = OnlineAdvisor::new(&db, "t", options).expect("advisor opens");
+    let server = Server::bind(db.clone(), "127.0.0.1:0")
+        .expect("bind")
+        // A long tick: windows seal on statement count here; the
+        // wall-clock path gets its own coverage via the tail seal.
+        .with_advisor(advisor, Duration::from_secs(30), 2);
+    let (handle, join) = start(server);
+
+    // An a-heavy statement stream: the advisor should pick an a-leading
+    // index and build it online, under this very traffic.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut rng = Prng::seed_from_u64(23);
+    for _ in 0..STATEMENTS {
+        let v = rng.gen_range(0..DOMAIN);
+        client
+            .exec(&format!("SELECT * FROM t WHERE a = {v}"))
+            .expect("statement runs");
+    }
+    drop(client);
+    let report = stop(&handle, join);
+
+    let advisor = report.advisor.expect("advisor was in the loop");
+    assert_eq!(advisor.errors, 0, "the advisor loop must stay clean");
+    // 100 statements at window 25: at least four statement-count seals
+    // (wall-clock seals can only add more).
+    assert!(
+        advisor.advisor.decisions().len() >= STATEMENTS / WINDOW,
+        "expected >= {} decisions, got {}",
+        STATEMENTS / WINDOW,
+        advisor.advisor.decisions().len()
+    );
+    let changed = advisor
+        .advisor
+        .decisions()
+        .iter()
+        .filter(|d| d.changed)
+        .count();
+    assert_eq!(
+        advisor.applied.len(),
+        changed,
+        "every changed decision must be applied exactly once"
+    );
+    assert!(changed >= 1, "an a-only workload must change the design");
+    // The applied design is live in the shared catalog, built online
+    // while the session was still executing statements.
+    let specs = db.index_specs("t").expect("table exists");
+    assert!(
+        specs.iter().all(|s| s.columns[0] == "a"),
+        "a-leading design expected, got {specs:?}"
+    );
+    assert!(!specs.is_empty(), "the decided index must be installed");
+}

@@ -226,6 +226,12 @@ pub(crate) struct Durable {
     pub(crate) ckpt_no: AtomicU64,
     /// Snapshot of the last committed state (what a checkpoint headers).
     pub(crate) committed: Mutex<CommittedMeta>,
+    /// Serializes whole commits: dirty-page collection, sequence-number
+    /// assignment, WAL append, and committed-meta publication must be
+    /// one atomic unit even when several sessions commit concurrently
+    /// (the engine orders mutation vs. commit with its own phase lock;
+    /// this mutex makes `Pager::commit` itself safe regardless).
+    pub(crate) commit_serial: Mutex<()>,
     pub(crate) wal_appends: AtomicU64,
     pub(crate) wal_commits: AtomicU64,
     pub(crate) wal_fsyncs: AtomicU64,

@@ -16,8 +16,14 @@ use std::sync::Arc;
 /// `&self` and go through the lock-striped pager, so any number of
 /// threads may scan one heap concurrently (pages are copy-on-write
 /// `Arc`s — a reader holds an immutable snapshot of each page it
-/// touches); mutation stays `&mut self`, single-writer by the borrow
-/// checker.
+/// touches); mutation stays `&mut self`, so writers must hold an
+/// exclusive handle (the engine serializes them under a per-table
+/// write lock).
+///
+/// The handle itself is `Clone`: a clone shares the pager and pins the
+/// page chain *as of the clone* — the epoch-snapshot mechanism online
+/// index builds scan against while the original keeps absorbing DML.
+#[derive(Clone)]
 pub struct HeapFile {
     pager: Arc<Pager>,
     pages: Vec<PageId>,

@@ -351,6 +351,7 @@ impl Pager {
             seq: AtomicU64::new(seq),
             ckpt_no: AtomicU64::new(ckpt_no),
             committed: Mutex::new(meta.clone()),
+            commit_serial: Mutex::new(()),
             wal_appends: AtomicU64::new(0),
             wal_commits: AtomicU64::new(0),
             wal_fsyncs: AtomicU64::new(0),
@@ -689,11 +690,17 @@ impl Pager {
     /// per the group-commit policy. Returns the commit's sequence
     /// number. No-op (returning 0) on an in-memory pager.
     ///
-    /// The caller is the single writer; readers may run concurrently.
+    /// Commits are serialized internally (racing callers queue on a
+    /// commit mutex), and readers may run concurrently — but a commit
+    /// snapshots *every* page dirtied since the last commit, so the
+    /// caller must ensure no mutation is mid-flight when it commits
+    /// (the engine holds its commit-phase lock exclusively here, and
+    /// shared during statement mutation, for exactly this reason).
     pub fn commit(&self, app_meta: &[u8]) -> Result<u64> {
         let Some(d) = &self.durable else {
             return Ok(0);
         };
+        let _serial = d.commit_serial.lock().expect("pager lock poisoned");
         let _span = cdpd_obs::span!("storage.commit");
         let mut dirty: Vec<(PageId, Page)> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {

@@ -30,6 +30,7 @@ mod gen;
 mod mix;
 pub mod paper;
 pub mod perturb;
+pub mod session;
 mod spec;
 pub mod stream;
 mod summarize;
@@ -37,6 +38,7 @@ mod trace;
 
 pub use gen::generate;
 pub use mix::{QueryMix, Template};
+pub use session::{partition, retarget, SessionWorkload};
 pub use spec::WorkloadSpec;
 pub use stream::{stream_trace, OnlineShiftDetector, StatementStream, StreamState};
 pub use summarize::{summarize, Block, SummarizedWorkload, WeightedStatement};

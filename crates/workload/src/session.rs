@@ -1,0 +1,167 @@
+//! Multi-session workload shaping: deal one recorded [`Trace`] out to
+//! N concurrent sessions and reconstruct the canonical serial order.
+//!
+//! The serving loop (`cdpd-server`) executes statements from many
+//! connections at once; the serializability gate needs a *reference*
+//! serial interleaving to compare against. This module fixes that
+//! reference deterministically: [`partition`] deals statements
+//! round-robin (statement `i` goes to session `i % n`), and
+//! [`SessionWorkload::serial_interleaving`] re-deals them back into the
+//! original trace order. A concurrent run of the partitioned sessions
+//! is correct iff its observable results match replaying that serial
+//! order — which is exactly the original trace.
+//!
+//! [`retarget`] clones a trace onto another table name, so one
+//! generated workload can drive N sessions on N *disjoint* tables —
+//! the configuration where concurrent execution must be bit-identical
+//! to serial, not merely equivalent.
+
+use crate::trace::Trace;
+use cdpd_sql::Dml;
+use cdpd_types::{Error, Result};
+
+/// A trace dealt out to a fixed number of sessions, round-robin.
+#[derive(Clone, Debug)]
+pub struct SessionWorkload {
+    sessions: Vec<Trace>,
+}
+
+impl SessionWorkload {
+    /// Per-session traces, in session order. Session `s` holds the
+    /// original statements `s, s + n, s + 2n, …` in trace order.
+    pub fn sessions(&self) -> &[Trace] {
+        &self.sessions
+    }
+
+    /// Number of sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total statements across all sessions (= the source trace's
+    /// length).
+    pub fn len(&self) -> usize {
+        self.sessions.iter().map(Trace::len).sum()
+    }
+
+    /// True if no statements were dealt.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical serial interleaving: statements re-dealt
+    /// round-robin back into one sequence. For a workload built by
+    /// [`partition`] this reproduces the source trace exactly — the
+    /// reference order the serializability gate replays.
+    pub fn serial_interleaving(&self) -> Vec<Dml> {
+        let mut cursors: Vec<std::slice::Iter<'_, Dml>> = self
+            .sessions
+            .iter()
+            .map(|t| t.statements().iter())
+            .collect();
+        let mut out = Vec::with_capacity(self.len());
+        let mut exhausted = 0;
+        while exhausted < cursors.len() {
+            exhausted = 0;
+            for cur in &mut cursors {
+                match cur.next() {
+                    Some(stmt) => out.push(stmt.clone()),
+                    None => exhausted += 1,
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deal `trace` out to `sessions` concurrent sessions, round-robin:
+/// statement `i` goes to session `i % sessions`. Every session's local
+/// statement order preserves trace order, so the round-robin re-deal
+/// ([`SessionWorkload::serial_interleaving`]) is the original trace.
+///
+/// # Errors
+/// `sessions` must be positive.
+pub fn partition(trace: &Trace, sessions: usize) -> Result<SessionWorkload> {
+    if sessions == 0 {
+        return Err(Error::InvalidArgument(
+            "session count must be positive".into(),
+        ));
+    }
+    let mut per: Vec<Vec<Dml>> = vec![Vec::with_capacity(trace.len().div_ceil(sessions)); sessions];
+    for (i, stmt) in trace.statements().iter().enumerate() {
+        per[i % sessions].push(stmt.clone());
+    }
+    Ok(SessionWorkload {
+        sessions: per
+            .into_iter()
+            .map(|stmts| Trace::new(trace.table(), stmts))
+            .collect(),
+    })
+}
+
+/// Clone `trace` with every statement retargeted to `table`. Point
+/// predicates, sets, and values are untouched — only the table name
+/// changes — so N retargeted copies drive N disjoint tables with the
+/// same statement mix.
+pub fn retarget(trace: &Trace, table: &str) -> Trace {
+    let statements = trace
+        .statements()
+        .iter()
+        .map(|stmt| {
+            let mut stmt = stmt.clone();
+            match &mut stmt {
+                Dml::Select(s) => s.table = table.to_owned(),
+                Dml::Update(u) => u.table = table.to_owned(),
+                Dml::Delete(d) => d.table = table.to_owned(),
+            }
+            stmt
+        })
+        .collect();
+    Trace::new(table, statements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpd_sql::SelectStmt;
+
+    fn trace_of(n: i64) -> Trace {
+        Trace::from_selects(
+            "t",
+            (0..n).map(|i| SelectStmt::point("t", "a", i)).collect(),
+        )
+    }
+
+    #[test]
+    fn partition_deals_round_robin() {
+        let trace = trace_of(7);
+        let w = partition(&trace, 3).unwrap();
+        assert_eq!(w.session_count(), 3);
+        assert_eq!(w.len(), 7);
+        let lens: Vec<usize> = w.sessions().iter().map(Trace::len).collect();
+        assert_eq!(lens, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn serial_interleaving_reproduces_trace() {
+        let trace = trace_of(10);
+        for n in [1, 2, 3, 8, 10, 16] {
+            let w = partition(&trace, n).unwrap();
+            assert_eq!(w.serial_interleaving(), trace.statements());
+        }
+    }
+
+    #[test]
+    fn retarget_renames_every_statement() {
+        let trace = trace_of(4);
+        let moved = retarget(&trace, "t2");
+        assert_eq!(moved.table(), "t2");
+        assert_eq!(moved.len(), 4);
+        assert!(moved.statements().iter().all(|s| s.table() == "t2"));
+    }
+
+    #[test]
+    fn zero_sessions_rejected() {
+        assert!(partition(&trace_of(1), 0).is_err());
+    }
+}

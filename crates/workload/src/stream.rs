@@ -221,6 +221,19 @@ impl StatementStream {
         Ok(sealed)
     }
 
+    /// Seal the open window now, even though it is short of
+    /// `window_len` — the boundary a serving loop forces on wall-clock
+    /// ticks when traffic goes quiet. Returns the sealed window's
+    /// absolute index, or `None` if the open window is empty (nothing
+    /// to seal). The next pushed statement starts a fresh window.
+    pub fn force_seal(&mut self) -> Option<usize> {
+        if self.open.len == 0 {
+            None
+        } else {
+            Some(self.seal())
+        }
+    }
+
     fn seal(&mut self) -> usize {
         let index = self.evicted + self.sealed.len();
         let start = self.pushed - self.open.len;

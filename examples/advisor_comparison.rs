@@ -20,7 +20,7 @@ const K: usize = 2;
 
 fn main() -> cdpd::types::Result<()> {
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![

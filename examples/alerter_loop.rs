@@ -26,7 +26,7 @@ const CHECK_EVERY: usize = 200;
 
 fn main() -> cdpd::types::Result<()> {
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![

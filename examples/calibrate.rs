@@ -25,7 +25,7 @@ fn main() -> cdpd::types::Result<()> {
     const ROWS: i64 = 20_000;
     const WINDOW: usize = 200;
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -75,7 +75,7 @@ fn main() -> cdpd::types::Result<()> {
     //    from the live materialized shapes, the executor keeps its own
     //    model account, and the two must reconcile exactly.
     let report = replay_calibrated(
-        &mut db,
+        &db,
         &trace,
         WINDOW,
         &schedule,

@@ -30,7 +30,7 @@ const WINDOW: usize = 150;
 
 fn load_accounts(seed: u64) -> cdpd::types::Result<Database> {
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "accounts",
         Schema::new(vec![
@@ -109,13 +109,13 @@ fn main() -> cdpd::types::Result<()> {
     println!("k = 2 recommendation:\n{}", rec.describe());
 
     // Measure against the static alternative on identically loaded DBs.
-    let mut db_dynamic = load_accounts(7)?;
-    let dynamic = replay_recommendation(&mut db_dynamic, &trace, &rec)?;
+    let db_dynamic = load_accounts(7)?;
+    let dynamic = replay_recommendation(&db_dynamic, &trace, &rec)?;
 
-    let mut db_static = load_accounts(7)?;
+    let db_static = load_accounts(7)?;
     let stages = trace.len().div_ceil(WINDOW);
     let static_specs = vec![vec![IndexSpec::new("accounts", &["balance"])]; stages];
-    let pinned = replay(&mut db_static, &trace, WINDOW, &static_specs, None)?;
+    let pinned = replay(&db_static, &trace, WINDOW, &static_specs, None)?;
 
     println!("measured I/O over the whole day:");
     println!(

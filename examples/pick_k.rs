@@ -21,7 +21,7 @@ const WINDOW: usize = 250;
 
 fn main() -> cdpd::types::Result<()> {
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![

@@ -21,7 +21,7 @@ fn main() -> cdpd::types::Result<()> {
     //    columns, uniformly random values, ~5 rows per distinct value.
     const ROWS: i64 = 50_000;
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -70,7 +70,7 @@ fn main() -> cdpd::types::Result<()> {
 
     // 4. Apply it for real: replay the trace, building and dropping
     //    indexes exactly where the schedule says, and measure I/O.
-    let report = replay_recommendation(&mut db, &trace, &rec)?;
+    let report = replay_recommendation(&db, &trace, &rec)?;
     println!(
         "replayed {} statements: {} exec I/Os + {} transition I/Os (wall {:.1} ms)",
         report.statements,

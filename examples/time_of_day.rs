@@ -78,7 +78,7 @@ fn build_day_trace(domain: i64) -> Trace {
 fn main() -> cdpd::types::Result<()> {
     const ROWS: i64 = 40_000;
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "orders",
         Schema::new(vec![

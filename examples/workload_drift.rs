@@ -23,7 +23,7 @@ const WINDOW: usize = 100;
 
 fn main() -> cdpd::types::Result<()> {
     let domain = ROWS / 5;
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -85,8 +85,8 @@ fn main() -> cdpd::types::Result<()> {
         "", "unconstrained", "constrained", "drift"
     );
     for (name, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
-        let unc_io = replay_recommendation(&mut db, trace, &unconstrained)?.total_io();
-        let con_io = replay_recommendation(&mut db, trace, &constrained)?.total_io();
+        let unc_io = replay_recommendation(&db, trace, &unconstrained)?.total_io();
+        let con_io = replay_recommendation(&db, trace, &constrained)?.total_io();
         let base = *baseline.get_or_insert(unc_io) as f64;
         println!(
             "{:<4} {:>14.1}% {:>14.1}% {:>10}",

@@ -210,7 +210,7 @@ mod tests {
     use cdpd_types::{ColumnDef, Schema, Value};
 
     fn db_with(rows: i64, index_on: Option<&str>) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![

@@ -579,7 +579,7 @@ mod tests {
     #[test]
     fn every_live_plan_describe_string_round_trips() {
         use cdpd_types::Value;
-        let mut db = Database::new();
+        let db = Database::new();
         let schema = cdpd_types::Schema::new(vec![
             cdpd_types::ColumnDef::int("a"),
             cdpd_types::ColumnDef::int("b"),

@@ -345,6 +345,36 @@ impl OnlineAdvisor {
         let Some(window) = self.stream.push(stmt)? else {
             return Ok(None);
         };
+        self.seal_pipeline(db, window, evicted_before).map(Some)
+    }
+
+    /// Seal the open window *now*, even though it is short of the
+    /// statement-count boundary — the wall-clock boundary the serving
+    /// loop imposes when traffic goes quiet — and run the full
+    /// seal-time pipeline (shift detection, vocabulary extension,
+    /// oracle sync, decision). Returns `None` when the open window is
+    /// empty: nothing observed since the last seal, nothing to decide.
+    ///
+    /// # Errors
+    /// Same conditions as [`OnlineAdvisor::ingest`].
+    pub fn seal_now(&mut self, db: &Database) -> Result<Option<OnlineDecision>> {
+        let evicted_before = self.stream.evicted();
+        let Some(window) = self.stream.force_seal() else {
+            return Ok(None);
+        };
+        self.seal_pipeline(db, window, evicted_before).map(Some)
+    }
+
+    /// Everything that happens when window `window` seals: observe the
+    /// profile, extend the vocabulary, sync the oracle, decide. Shared
+    /// by the statement-count path ([`OnlineAdvisor::ingest`]) and the
+    /// wall-clock path ([`OnlineAdvisor::seal_now`]).
+    fn seal_pipeline(
+        &mut self,
+        db: &Database,
+        window: usize,
+        evicted_before: usize,
+    ) -> Result<OnlineDecision> {
         let _span = cdpd_obs::span!("online.seal", window = window);
         if self.stream.evicted() != evicted_before {
             // Stage indices shifted under the oracle: memo unusable.
@@ -354,7 +384,7 @@ impl OnlineAdvisor {
             .stream
             .last_sealed()
             .map(|(b, p)| (b.clone(), p.clone()))
-            .expect("push just sealed this window");
+            .expect("caller just sealed this window");
         self.detector.observe(&profile);
         if self.derived {
             self.extend_vocabulary(db, &block)?;
@@ -362,7 +392,7 @@ impl OnlineAdvisor {
         self.sync_oracle(db, &block)?;
         let decision = self.decide(window)?;
         self.decisions.push(decision.clone());
-        Ok(Some(decision))
+        Ok(decision)
     }
 
     /// Ingest a batch, returning every decision made along the way.
@@ -1056,7 +1086,7 @@ mod tests {
     use cdpd_types::{ColumnDef, Schema, Value};
 
     fn db_with(rows: i64, index_on: Option<&str>) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![
@@ -1229,7 +1259,7 @@ mod tests {
 
     #[test]
     fn stats_refresh_evicts_changed_parts_only() {
-        let mut db = db_with(8_000, None);
+        let db = db_with(8_000, None);
         let mut adv = OnlineAdvisor::new(&db, "t", opts(40, None)).unwrap();
         for i in 0..40 {
             adv.ingest(&db, &q("a", i)).unwrap();
@@ -1296,7 +1326,7 @@ mod tests {
     /// An 8-column table whose index permutations push the vocabulary
     /// past the old 64-structure cap.
     fn wide_db(rows: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let cols: Vec<ColumnDef> = (0..8).map(|i| ColumnDef::int(format!("c{i}"))).collect();
         db.create_table("w", Schema::new(cols)).unwrap();
         let domain = rows / 5;

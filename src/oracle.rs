@@ -332,7 +332,7 @@ mod tests {
     use cdpd_workload::{generate, paper, summarize};
 
     fn test_db(rows: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![

@@ -112,7 +112,7 @@ impl ReplayReport {
 /// `exec_io` is bit-identical to a serial run at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn execute_window(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     stage: usize,
     lo: usize,
@@ -171,7 +171,7 @@ fn execute_window(
 /// *different* trace of the same length — that is the Figure 3
 /// experiment (W1's designs replayed on W2 and W3).
 pub fn replay(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     window_len: usize,
     stage_specs: &[Vec<IndexSpec>],
@@ -193,7 +193,7 @@ pub fn replay(
 /// (thread-count knob: the `CDPD_THREADS` environment variable drives
 /// the default).
 pub fn replay_with(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     window_len: usize,
     stage_specs: &[Vec<IndexSpec>],
@@ -218,7 +218,7 @@ pub fn replay_with(
 /// behavior: measured-I/O calibration with the stock band.
 #[allow(clippy::too_many_arguments)]
 pub fn replay_calibrated(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     window_len: usize,
     stage_specs: &[Vec<IndexSpec>],
@@ -293,7 +293,7 @@ pub fn replay_calibrated(
 
 /// Replay a trace under an advisor [`Recommendation`].
 pub fn replay_recommendation(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     rec: &Recommendation,
 ) -> Result<ReplayReport> {
@@ -326,11 +326,7 @@ pub fn replay_recommendation(
 /// # Errors
 /// The trace must target the advisor's table; execution, ingestion,
 /// and solver errors propagate.
-pub fn drive(
-    db: &mut Database,
-    trace: &Trace,
-    advisor: &mut OnlineAdvisor,
-) -> Result<ReplayReport> {
+pub fn drive(db: &Database, trace: &Trace, advisor: &mut OnlineAdvisor) -> Result<ReplayReport> {
     drive_with(db, trace, advisor, default_threads())
 }
 
@@ -338,7 +334,7 @@ pub fn drive(
 /// concurrent index builds. `threads == 1` is the serial online loop;
 /// any `threads` produces bit-identical decisions and reports.
 pub fn drive_with(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     advisor: &mut OnlineAdvisor,
     threads: usize,
@@ -354,7 +350,7 @@ pub fn drive_with(
 }
 
 fn run_online(
-    db: &mut Database,
+    db: &Database,
     trace: &Trace,
     advisor: &mut OnlineAdvisor,
     threads: usize,

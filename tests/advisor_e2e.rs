@@ -102,7 +102,7 @@ fn space_bound_is_enforced() {
 
 #[test]
 fn starts_from_current_materialized_design() {
-    let mut db = paper_database(ROWS, 23);
+    let db = paper_database(ROWS, 23);
     // The DBA already has I(c) materialized.
     let existing = IndexSpec::new("t", &["c"]);
     db.create_index(&existing).unwrap();

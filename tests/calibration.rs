@@ -94,10 +94,10 @@ fn oracle_reconciles_with_executor_exactly_across_w1_w2_w3() {
     for (name, spec) in specs {
         for seed in [11, 42] {
             let trace = generate(&spec, seed);
-            let mut db = paper_database(ROWS, seed);
+            let db = paper_database(ROWS, seed);
             let schedule = rotating_schedule(trace.len().div_ceil(WINDOW));
             let report = replay_calibrated(
-                &mut db,
+                &db,
                 &trace,
                 WINDOW,
                 &schedule,
@@ -151,12 +151,12 @@ fn oracle_reconciles_exactly_on_intersection_and_union_paths() {
     for (name, spec) in specs {
         for seed in [13, 47] {
             let trace = generate(&spec, seed);
-            let mut db = paper_database(ROWS, seed);
+            let db = paper_database(ROWS, seed);
             // All four single-column indexes: EqPair conjunctions can
             // intersect, OrPair/IN statements can union.
             let schedule = indexed_schedule(trace.len().div_ceil(WINDOW));
             let report = replay_calibrated(
-                &mut db,
+                &db,
                 &trace,
                 WINDOW,
                 &schedule,
@@ -202,11 +202,10 @@ fn oracle_reconciles_exactly_on_intersection_and_union_paths() {
 fn oracle_reconciles_writes_exactly() {
     for seed in [5, 29] {
         let trace = write_trace(seed);
-        let mut db = paper_database(ROWS, seed);
+        let db = paper_database(ROWS, seed);
         let schedule = rotating_schedule(trace.len().div_ceil(WINDOW));
-        let report =
-            replay_calibrated(&mut db, &trace, WINDOW, &schedule, None, 1, model_account())
-                .expect("replay runs");
+        let report = replay_calibrated(&db, &trace, WINDOW, &schedule, None, 1, model_account())
+            .expect("replay runs");
         let calib = report.calibration.expect("replay always calibrates");
         assert!(
             calib.is_exact(),
@@ -235,17 +234,17 @@ fn injected_index_mis_costing_trips_the_drift_watchdog() {
     let trace = generate(&paper::w1_with(&params), 42);
     let schedule = indexed_schedule(trace.len().div_ceil(WINDOW));
 
-    let mut db = paper_database(ROWS, 42);
-    let control = replay_calibrated(&mut db, &trace, WINDOW, &schedule, None, 2, model_account())
+    let db = paper_database(ROWS, 42);
+    let control = replay_calibrated(&db, &trace, WINDOW, &schedule, None, 2, model_account())
         .expect("replay runs")
         .calibration
         .expect("replay always calibrates");
     assert!(control.is_exact(), "control run must reconcile");
     assert_eq!(control.alerts, 0, "control run must not alert");
 
-    let mut db = paper_database(ROWS, 42);
+    let db = paper_database(ROWS, 42);
     let skewed = replay_calibrated(
-        &mut db,
+        &db,
         &trace,
         WINDOW,
         &schedule,
@@ -288,8 +287,8 @@ fn calibration_is_bit_identical_across_thread_counts() {
     let trace = generate(&paper::w2_with(&params), 7);
     let schedule = rotating_schedule(trace.len().div_ceil(WINDOW));
     let run = |threads: usize| {
-        let mut db = paper_database(ROWS, 7);
-        replay_with(&mut db, &trace, WINDOW, &schedule, Some(&[]), threads)
+        let db = paper_database(ROWS, 7);
+        replay_with(&db, &trace, WINDOW, &schedule, Some(&[]), threads)
             .expect("replay runs")
             .calibration
             .expect("replay always calibrates")

@@ -14,7 +14,7 @@ pub const ROWS_PER_VALUE: i64 = 5;
 /// Build and analyze the experimental table at a given scale.
 #[allow(dead_code)] // each integration-test binary uses a subset
 pub fn paper_database(rows: i64, seed: u64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -42,7 +42,7 @@ pub fn paper_database(rows: i64, seed: u64) -> Database {
 /// candidate count far past the old 64-structure encoding cap.
 #[allow(dead_code)] // each integration-test binary uses a subset
 pub fn wide_database(rows: i64, n_cols: usize, seed: u64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     let cols: Vec<ColumnDef> = (0..n_cols)
         .map(|i| ColumnDef::int(format!("c{i}")))
         .collect();

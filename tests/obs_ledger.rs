@@ -16,8 +16,10 @@
 //! threads — and durable pager traffic bumps `storage.pager.*` too, so
 //! every registry measurement serializes on [`REGISTRY_LOCK`].
 
+use cdpd::engine::{Database, IndexSpec};
 use cdpd::storage::{DurableOptions, IoStats, MemVfs, Pager, ThreadIoScope, PAGE_SIZE};
-use cdpd::types::PageId;
+use cdpd::types::{ColumnDef, PageId, Schema, Value};
+use cdpd_testkit::Prng;
 use std::sync::{Arc, Mutex};
 
 /// Serializes registry-delta measurements across tests in this binary.
@@ -96,6 +98,116 @@ fn racing_pagers_reconcile_with_global_tracked_counters() {
     );
     assert_eq!(summed.writes, total_threads * OPS / 2);
     assert_eq!(summed.allocs, 0);
+}
+
+/// Statement-level attribution through the whole engine under racing
+/// *mutators*: writer threads (inserts / updates / deletes) race an
+/// online index build, every thread metering itself with a
+/// [`ThreadIoScope`]. The summed per-thread deltas must equal both the
+/// pager's own ledger delta and the obs-registry delta **exactly** —
+/// the catch-up work a build does for concurrent writers is charged to
+/// the building thread, never dropped and never double-counted.
+#[test]
+fn racing_mutators_and_online_builds_reconcile_attribution() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const WRITERS: usize = 4;
+    const OPS_PER_WRITER: usize = 150;
+    const ROWS: i64 = 1_500;
+    const DOMAIN: i64 = 300;
+
+    let db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::int("a"),
+            ColumnDef::int("b"),
+            ColumnDef::int("c"),
+            ColumnDef::int("d"),
+        ]),
+    )
+    .expect("fresh table");
+    let mut rng = Prng::seed_from_u64(99);
+    for _ in 0..ROWS {
+        let row: Vec<Value> = (0..4)
+            .map(|_| Value::Int(rng.gen_range(0..DOMAIN)))
+            .collect();
+        db.insert("t", &row).expect("row matches schema");
+    }
+    db.analyze("t").expect("table exists");
+
+    let global_before = IoStats::global();
+    let pager_before = db.pager().stats();
+
+    let deltas: Vec<IoStats> = std::thread::scope(|s| {
+        let mut handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = &db;
+                s.spawn(move || {
+                    let scope = ThreadIoScope::start();
+                    let mut rng = Prng::seed_from_u64(0xAB ^ w as u64);
+                    for _ in 0..OPS_PER_WRITER {
+                        let v = rng.gen_range(0..DOMAIN);
+                        match rng.gen_range(0..4i64) {
+                            0 => {
+                                db.execute_sql(&format!(
+                                    "UPDATE t SET c = {} WHERE a = {v}",
+                                    rng.gen_range(0..DOMAIN)
+                                ))
+                                .expect("racing update");
+                            }
+                            1 => {
+                                db.execute_sql(&format!("DELETE FROM t WHERE b = {v} AND c = {v}"))
+                                    .expect("racing delete");
+                            }
+                            _ => {
+                                let row: Vec<Value> = (0..4)
+                                    .map(|_| Value::Int(rng.gen_range(0..DOMAIN)))
+                                    .collect();
+                                db.insert("t", &row).expect("racing insert");
+                            }
+                        }
+                    }
+                    scope.delta()
+                })
+            })
+            .collect();
+        // The builder races the writers: base scan from a pinned
+        // snapshot, then catch-up from the delta log at install.
+        handles.push(s.spawn(|| {
+            let scope = ThreadIoScope::start();
+            db.create_index(&IndexSpec::new("t", &["a", "b"]))
+                .expect("online build");
+            db.create_index(&IndexSpec::new("t", &["d"]))
+                .expect("online build");
+            db.drop_index(&IndexSpec::new("t", &["d"])).expect("drop");
+            scope.delta()
+        }));
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    });
+
+    let mut summed = IoStats::default();
+    for d in &deltas {
+        summed.reads += d.reads;
+        summed.writes += d.writes;
+        summed.allocs += d.allocs;
+    }
+    assert_eq!(
+        summed,
+        db.pager().stats().delta(pager_before),
+        "summed per-thread scopes must equal the pager ledger delta"
+    );
+    assert_eq!(
+        summed,
+        IoStats::global().delta(global_before),
+        "summed per-thread scopes must equal the obs-registry delta"
+    );
+    assert!(
+        deltas.last().expect("builder ran").total() > 0,
+        "the build thread's scope must charge the build + catch-up I/O"
+    );
 }
 
 /// The six durable tracked counters, in [`cdpd::storage::DurableStats`]

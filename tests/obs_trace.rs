@@ -312,7 +312,7 @@ fn span_pager_counters_reconcile_with_global_io_stats() {
     {
         let _run = cdpd_obs::span!("obstest.run");
         let rows = 2_000;
-        let mut db = paper_database(rows, 11);
+        let db = paper_database(rows, 11);
         let trace = generate(&paper::w1_with(&paper_params(rows, 100)), 42);
         let rec = Advisor::new(&db, "t")
             .options(AdvisorOptions {
@@ -333,7 +333,7 @@ fn span_pager_counters_reconcile_with_global_io_stats() {
             rec.profile.as_deref().is_some_and(|p| p.contains("solve.")),
             "tracing was on, so the recommendation carries a profile"
         );
-        replay_recommendation(&mut db, &trace, &rec).expect("replay");
+        replay_recommendation(&db, &trace, &rec).expect("replay");
     }
 
     cdpd_obs::trace::set_enabled(false);

@@ -132,7 +132,7 @@ fn equivalence_holds_in_the_paper_regime() {
 /// recommendation still matches the batch answer over the same trace.
 #[test]
 fn drive_executes_decisions_and_finish_still_matches_batch() {
-    let mut db = paper_database(ROWS, 7);
+    let db = paper_database(ROWS, 7);
     let trace = generate(&spec_for(1), 9);
     let options = AdvisorOptions {
         k: Some(4),
@@ -150,7 +150,7 @@ fn drive_executes_decisions_and_finish_still_matches_batch() {
     )
     .expect("session opens");
 
-    let report = cdpd::replay::drive(&mut db, &trace, &mut online).expect("drive runs");
+    let report = cdpd::replay::drive(&db, &trace, &mut online).expect("drive runs");
     let windows = trace.len().div_ceil(WINDOW);
     assert_eq!(report.stages.len(), windows);
     assert_eq!(report.statements, trace.len() as u64);
@@ -186,7 +186,7 @@ fn drive_executes_decisions_and_finish_still_matches_batch() {
 /// `drive` rejects a trace aimed at a different table.
 #[test]
 fn drive_validates_the_table() {
-    let mut db = paper_database(1_000, 3);
+    let db = paper_database(1_000, 3);
     let mut online = OnlineAdvisor::new(&db, "t", OnlineOptions::default()).expect("opens");
     let params = cdpd::workload::paper::PaperParams {
         table: "u".into(),
@@ -194,5 +194,5 @@ fn drive_validates_the_table() {
         window_len: WINDOW,
     };
     let wrong = generate(&paper::w1_with(&params), 1);
-    assert!(cdpd::replay::drive(&mut db, &wrong, &mut online).is_err());
+    assert!(cdpd::replay::drive(&db, &wrong, &mut online).is_err());
 }

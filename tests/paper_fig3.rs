@@ -35,7 +35,7 @@ fn recommend(db: &cdpd::engine::Database, trace: &Trace, k: Option<usize>) -> Re
 
 #[test]
 fn fig3_orderings_hold() {
-    let mut db = paper_database(ROWS, 7);
+    let db = paper_database(ROWS, 7);
     let params = paper_params(ROWS, WINDOW);
     let w1 = generate(&paper::w1_with(&params), 42);
     let w2 = generate(&paper::w2_with(&params), 43);
@@ -52,7 +52,7 @@ fn fig3_orderings_hold() {
     let mut checksums = std::collections::HashMap::new();
     for (wname, trace) in [("W1", &w1), ("W2", &w2), ("W3", &w3)] {
         for (dname, rec) in [("unc", &unc), ("k2", &k2)] {
-            let report = replay_recommendation(&mut db, trace, rec).expect("replay runs");
+            let report = replay_recommendation(&db, trace, rec).expect("replay runs");
             io.insert((wname, dname), report.total_io());
             checksums.insert((wname, dname, trace.len()), report.row_checksum);
             // A workload's result rows must not depend on the design.
@@ -97,7 +97,7 @@ fn fig3_orderings_hold() {
 
 #[test]
 fn replay_validates_inputs() {
-    let mut db = paper_database(2_000, 9);
+    let db = paper_database(2_000, 9);
     let params = paper_params(2_000, 50);
     let spec = paper::w1_with(&paper::PaperParams {
         window_len: 50,
@@ -105,19 +105,19 @@ fn replay_validates_inputs() {
     });
     let trace = generate(&spec, 1);
     // Wrong stage count.
-    let err = replay(&mut db, &trace, 50, &[vec![]], None).unwrap_err();
+    let err = replay(&db, &trace, 50, &[vec![]], None).unwrap_err();
     assert!(err.to_string().contains("stages"), "{err}");
     // Zero window.
-    assert!(replay(&mut db, &trace, 0, &[], None).is_err());
+    assert!(replay(&db, &trace, 0, &[], None).is_err());
 }
 
 #[test]
 fn transitions_happen_where_the_schedule_says() {
-    let mut db = paper_database(5_000, 3);
+    let db = paper_database(5_000, 3);
     let params = paper_params(5_000, WINDOW);
     let trace = generate(&paper::w1_with(&params), 5);
     let rec = recommend(&db, &trace, Some(2));
-    let report = replay_recommendation(&mut db, &trace, &rec).unwrap();
+    let report = replay_recommendation(&db, &trace, &rec).unwrap();
     let change_windows: Vec<usize> = report
         .stages
         .iter()

@@ -136,7 +136,7 @@ fn assert_same_report(serial: &ReplayReport, parallel: &ReplayReport, what: &str
 #[test]
 fn parallel_reads_reproduce_serial_query_results() {
     for seed in seeds() {
-        let mut db = paper_database(ROWS, seed);
+        let db = paper_database(ROWS, seed);
         db.apply_configuration(
             "t",
             &[
@@ -181,9 +181,9 @@ fn parallel_replay_is_bit_identical_to_serial() {
         let trace = mixed_trace(seed);
         let schedule = fixed_schedule();
         let run = |threads: usize| -> (ReplayReport, u64) {
-            let mut db = paper_database(ROWS, seed);
+            let db = paper_database(ROWS, seed);
             let before = db.pager().stats();
-            let report = replay_with(&mut db, &trace, WINDOW, &schedule, Some(&[]), threads)
+            let report = replay_with(&db, &trace, WINDOW, &schedule, Some(&[]), threads)
                 .expect("replay runs");
             let ledger = db.pager().stats().delta(before).total();
             (report, ledger)
@@ -235,9 +235,9 @@ fn parallel_drive_reproduces_decisions_and_schedule() {
             ..OnlineOptions::default()
         };
         let run = |threads: usize| {
-            let mut db = paper_database(ROWS, seed);
+            let db = paper_database(ROWS, seed);
             let mut advisor = OnlineAdvisor::new(&db, "t", options.clone()).expect("session opens");
-            let report = drive_with(&mut db, &trace, &mut advisor, threads).expect("drive runs");
+            let report = drive_with(&db, &trace, &mut advisor, threads).expect("drive runs");
             let decisions: Vec<(usize, Vec<IndexSpec>, bool)> = advisor
                 .decisions()
                 .iter()
@@ -276,11 +276,11 @@ fn concurrent_index_builds_match_serial() {
         IndexSpec::new("t", &["a", "b"]),
         IndexSpec::new("t", &["c", "d"]),
     ];
-    let mut serial_db = paper_database(ROWS, 7);
+    let serial_db = paper_database(ROWS, 7);
     let serial = serial_db
         .apply_configuration_with("t", &target, 1)
         .expect("serial build");
-    let mut parallel_db = paper_database(ROWS, 7);
+    let parallel_db = paper_database(ROWS, 7);
     let parallel = parallel_db
         .apply_configuration_with("t", &target, 8)
         .expect("parallel build");
@@ -306,7 +306,7 @@ fn concurrent_index_builds_match_serial() {
 /// DROP + CREATE cycle allocates no new pages at all.
 #[test]
 fn hundred_transition_replay_keeps_footprint_bounded() {
-    let mut db = paper_database(ROWS, 7);
+    let db = paper_database(ROWS, 7);
     let a = IndexSpec::new("t", &["a"]);
     let ab = IndexSpec::new("t", &["a", "b"]);
     let cd = IndexSpec::new("t", &["c", "d"]);

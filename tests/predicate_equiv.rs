@@ -121,7 +121,7 @@ fn every_chosen_path_matches_the_seq_scan_baseline() {
     let domain = ROWS / ROWS_PER_VALUE;
     let mut paths_seen: Vec<String> = Vec::new();
     for seed in [3, 17] {
-        let mut db = paper_database(ROWS, seed);
+        let db = paper_database(ROWS, seed);
         let mut rng = Prng::seed_from_u64(seed ^ 0xbeef);
         let statements: Vec<SelectStmt> =
             (0..30).map(|_| rand_statement(&mut rng, domain)).collect();

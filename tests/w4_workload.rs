@@ -39,7 +39,7 @@ fn w4_online_run_recommends_multi_index_designs() {
         "W4 must exercise the predicate tree: {ranges} ranges, {ins} INs, {ors} ORs"
     );
 
-    let mut db = paper_database(ROWS, 19);
+    let db = paper_database(ROWS, 19);
     let mut online = OnlineAdvisor::new(
         &db,
         "t",

@@ -109,14 +109,13 @@ fn maintenance_makes_write_phase_config_matter_in_replay() {
             .expect("advisor runs")
     };
 
-    let mut db_good = paper_database(ROWS, 33);
-    let good = replay_recommendation(&mut db_good, &trace, &rec).expect("replay");
+    let db_good = paper_database(ROWS, 33);
+    let good = replay_recommendation(&db_good, &trace, &rec).expect("replay");
 
-    let mut db_bad = paper_database(ROWS, 33);
+    let db_bad = paper_database(ROWS, 33);
     let stages = trace.len().div_ceil(WINDOW);
     let pinned: Vec<Vec<IndexSpec>> = vec![vec![IndexSpec::new("t", &["b"])]; stages];
-    let bad =
-        cdpd::replay::replay(&mut db_bad, &trace, WINDOW, &pinned, Some(&[])).expect("replay");
+    let bad = cdpd::replay::replay(&db_bad, &trace, WINDOW, &pinned, Some(&[])).expect("replay");
 
     assert!(
         good.total_io() < bad.total_io(),
